@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Beyond the paper: ablation of the astar custom predictor's design
+ * ingredients, quantifying each piece's contribution:
+ *
+ *  - full design (load-based, CAM inference, both branches)
+ *  - no index1-CAM store inference (Section 4.1.2's key mechanism)
+ *  - waymap branch only (Slipstream-like restriction)
+ *  - astar-alt (EXACT-style table mimicry instead of loads)
+ *  - non-stalling Fetch Agent (Section 2.4's alternative sketch)
+ */
+
+#include "bench_util.h"
+
+using namespace pfm;
+
+int
+main()
+{
+    reportHeader("Ablation: astar custom-predictor design ingredients "
+                 "(clk4_w4 delay4 queue32 portLS1)");
+
+    SimResult base = runSim(benchOptions("astar", "none"));
+    reportNote("baseline IPC " + std::to_string(base.ipc) + ", MPKI " +
+               std::to_string(base.mpki));
+
+    const char* cfg = "clk4_w4 delay4 queue32 portLS1";
+
+    SimResult full = runSim(benchOptions("astar", "auto", cfg));
+    reportRow("full design", speedupPct(base, full));
+
+    {
+        // Disable the index1 CAM: in-flight visited stores are no longer
+        // inferred, so revisited cells within the speculative scope
+        // mispredict (the slipstream failure mode, Section 1.1).
+        SimOptions o = benchOptions("astar", "slipstream", cfg);
+        SimResult r = runSim(o);
+        reportRow("no CAM + waymap-only (slipstream)", speedupPct(base, r));
+    }
+
+    {
+        SimOptions o = benchOptions("astar", "alt", cfg);
+        SimResult r = runSim(o);
+        reportRow("astar-alt (table mimicry)", speedupPct(base, r));
+        reportNote("paper reports ~125% for astar-alt; table mimicry is "
+                   "sensitive to dataset size (Section 5 footnote)");
+    }
+
+    {
+        SimOptions o = benchOptions("astar", "auto",
+                                    std::string(cfg) + " nonstall");
+        SimResult r = runSim(o);
+        reportRow("non-stalling Fetch Agent", speedupPct(base, r));
+        reportNote("without stalling, fetch never waits for the component "
+                   "and the stream is mostly core-predicted - the reason "
+                   "the paper's primary design stalls");
+    }
+
+    {
+        // Narrow the Load Agent's missed-load buffer: the custom
+        // predictor's MLP collapses when missed loads cannot be parked.
+        SimOptions o = benchOptions("astar", "auto", cfg);
+        o.pfm.mlb_entries = 4;
+        SimResult r = runSim(o);
+        reportRow("4-entry missed-load buffer", speedupPct(base, r));
+    }
+
+    reportHeader("Ablation: context-switch teardown (Section 2.4 "
+                 "isolation; reconfig = 100k cycles)");
+    for (Cycle interval : {Cycle{2'000'000}, Cycle{500'000},
+                           Cycle{150'000}}) {
+        SimOptions o = benchOptions("astar", "auto", cfg);
+        o.pfm.context_switch_interval = interval;
+        SimResult r = runSim(o);
+        reportRow("switch every " + std::to_string(interval / 1000) +
+                      "k cycles",
+                  speedupPct(base, r));
+    }
+    reportNote("frequent context switches amortize poorly against the "
+               "bitstream reload, bounding PFM to long-running contexts");
+
+    return 0;
+}

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Shared helpers for the per-figure bench harnesses.
+ */
+
+#ifndef PFM_BENCH_BENCH_UTIL_H
+#define PFM_BENCH_BENCH_UTIL_H
+
+#include <string>
+
+#include "sim/options.h"
+#include "sim/report.h"
+#include "sim/simulator.h"
+
+namespace pfm {
+
+/** Options preset for a bench run of @p workload with @p component. */
+inline SimOptions
+benchOptions(const std::string& workload, const std::string& component,
+             const std::string& tokens = "")
+{
+    SimOptions o;
+    o.workload = workload;
+    o.component = component;
+    o.max_instructions = defaultInstructionBudget();
+    o.warmup_instructions = o.max_instructions / 10;
+    if (!tokens.empty())
+        applyTokens(o, tokens);
+    return o;
+}
+
+} // namespace pfm
+
+#endif // PFM_BENCH_BENCH_UTIL_H

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Figure 2: IPC improvement of PFM custom components and the simplified
+ * Slipstream 2.0 model over the baseline core, for astar and bfs (Roads).
+ */
+
+#include "bench_util.h"
+
+using namespace pfm;
+
+int
+main()
+{
+    reportHeader("Figure 2: Speedups of PFM and Slipstream 2.0");
+
+    {
+        SimResult base = runSim(benchOptions("astar", "none"));
+        SimResult slip = runSim(benchOptions(
+            "astar", "slipstream", "clk4_w4 delay4 queue32 portLS1"));
+        SimResult pfm = runSim(benchOptions(
+            "astar", "auto", "clk4_w4 delay4 queue32 portLS1"));
+        reportRowVs("astar slipstream-2.0", speedupPct(base, slip), 18.0);
+        reportRowVs("astar PFM", speedupPct(base, pfm), 154.0);
+    }
+    {
+        SimResult base = runSim(benchOptions("bfs-roads", "none"));
+        SimResult slip = runSim(benchOptions(
+            "bfs-roads", "slipstream", "clk4_w4 delay4 queue32 portLS1"));
+        SimResult pfm = runSim(benchOptions(
+            "bfs-roads", "auto", "clk4_w4 delay4 queue32 portLS1"));
+        reportRow("bfs slipstream-2.0", speedupPct(base, slip));
+        reportNote("paper shows a small slipstream bar for bfs (no number "
+                   "given in the text)");
+        reportRowVs("bfs PFM", speedupPct(base, pfm), 125.0);
+    }
+    return 0;
+}

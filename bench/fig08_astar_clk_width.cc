@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 8: speedup of the custom astar branch predictor for different
+ * frequency dividers (C) and widths (W). All configurations: delay0,
+ * queue32, portALL, 8-entry index_queue; perfBP shown for reference.
+ */
+
+#include "bench_util.h"
+
+using namespace pfm;
+
+int
+main()
+{
+    reportHeader("Figure 8: astar speedup vs clkC_wW "
+                 "(delay0 queue32 portALL, 8-entry index_queue)");
+
+    SimResult base = runSim(benchOptions("astar", "none"));
+    reportNote("baseline MPKI " + std::to_string(base.mpki) +
+               " (paper: 31.9)");
+
+    struct Ref {
+        const char* cfg;
+        double paper;
+    };
+    const Ref refs[] = {
+        {"clk4_w1", -20.0}, {"clk8_w1", -35.0}, {"clk8_w2", 20.0},
+        {"clk4_w2", 99.0},  {"clk4_w3", 155.0}, {"clk4_w4", 163.0},
+        {"clk2_w2", 120.0}, {"clk2_w4", 163.0}, {"clk1_w4", 163.0},
+    };
+    for (const Ref& r : refs) {
+        SimOptions o = benchOptions("astar", "auto",
+                                    std::string(r.cfg) +
+                                        " delay0 queue32 portALL");
+        SimResult res = runSim(o);
+        if (r.paper > -30.0 && r.cfg[3] == '4') {
+            reportRowVs(r.cfg, speedupPct(base, res), r.paper);
+        } else {
+            reportRow(r.cfg, speedupPct(base, res));
+        }
+    }
+
+    SimOptions perf = benchOptions("astar", "none", "perfBP");
+    SimResult rp = runSim(perf);
+    reportRowVs("perfBP", speedupPct(base, rp), 162.0);
+    return 0;
+}

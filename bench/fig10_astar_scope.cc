@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Figure 10: astar speedup vs the number of index_queue entries (the
+ * design's speculative scope). clk4_w4 delay4 queue32 portLS1.
+ */
+
+#include "bench_util.h"
+
+using namespace pfm;
+
+int
+main()
+{
+    reportHeader("Figure 10: astar vs index_queue entries "
+                 "(clk4_w4 delay4 queue32 portLS1)");
+    SimResult base = runSim(benchOptions("astar", "none"));
+    for (unsigned n : {2u, 4u, 8u, 16u}) {
+        SimOptions o = benchOptions("astar", "auto",
+                                    "clk4_w4 delay4 queue32 portLS1");
+        o.astar_index_queue = n;
+        SimResult res = runSim(o);
+        std::string label = std::to_string(n) + "-entry index_queue";
+        if (n == 8)
+            reportRowVs(label, speedupPct(base, res), 154.0);
+        else
+            reportRow(label, speedupPct(base, res));
+    }
+    reportNote("paper: 8 entries capture most of the speedup potential");
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 12: bfs speedups — perfBP / perfD$ / both, then the custom
+ * component across clkC_wW points (delay0 queue32 portALL, 64-entry
+ * queues). Roads input headline; Youtube also reported.
+ */
+
+#include "bench_util.h"
+
+using namespace pfm;
+
+int
+main()
+{
+    reportHeader("Figure 12: bfs (Roads) speedups");
+    SimResult base = runSim(benchOptions("bfs-roads", "none"));
+    reportNote("baseline MPKI " + std::to_string(base.mpki) +
+               " (paper: 19.1)");
+
+    SimResult perf_bp =
+        runSim(benchOptions("bfs-roads", "none", "perfBP"));
+    SimResult perf_ds =
+        runSim(benchOptions("bfs-roads", "none", "perfD$"));
+    SimResult perf_both =
+        runSim(benchOptions("bfs-roads", "none", "perfBP perfD$"));
+    reportRowVs("perfBP", speedupPct(base, perf_bp), 11.0);
+    reportRowVs("perfD$", speedupPct(base, perf_ds), 152.0);
+    reportRowVs("perfBP+D$", speedupPct(base, perf_both), 426.0);
+
+    struct Ref {
+        const char* cfg;
+        double paper; // approximate bar heights; 125% is the max
+    };
+    for (const Ref& r :
+         {Ref{"clk8_w1", 0.0}, Ref{"clk4_w1", 30.0}, Ref{"clk4_w2", 110.0},
+          Ref{"clk4_w4", 125.0}, Ref{"clk2_w4", 125.0},
+          Ref{"clk1_w4", 125.0}}) {
+        SimResult res = runSim(benchOptions(
+            "bfs-roads", "auto",
+            std::string(r.cfg) + " delay0 queue32 portALL"));
+        if (r.paper > 100.0)
+            reportRowVs(r.cfg, speedupPct(base, res), r.paper);
+        else
+            reportRow(r.cfg, speedupPct(base, res));
+    }
+
+    reportHeader("Figure 12 (Youtube input)");
+    SimResult ybase = runSim(benchOptions("bfs-youtube", "none"));
+    SimResult ypfm = runSim(benchOptions(
+        "bfs-youtube", "auto", "clk4_w4 delay0 queue32 portALL"));
+    reportRow("clk4_w4", speedupPct(ybase, ypfm));
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 13: bfs sensitivity to delayD, queueQ, portP (all with 64-entry
+ * frontier/begin-address/trip-count/neighbor queues).
+ */
+
+#include "bench_util.h"
+
+using namespace pfm;
+
+int
+main()
+{
+    SimResult base = runSim(benchOptions("bfs-roads", "none"));
+
+    reportHeader("Figure 13a: bfs vs delayD (clk4_w4 queue32 portALL)");
+    for (const char* d : {"delay0", "delay2", "delay4", "delay8"}) {
+        SimResult res = runSim(benchOptions(
+            "bfs-roads", "auto",
+            std::string("clk4_w4 queue32 portALL ") + d));
+        reportRow(d, speedupPct(base, res));
+    }
+    reportNote("paper: low sensitivity to D");
+
+    reportHeader("Figure 13b: bfs vs queueQ (clk4_w4 delay4 portALL)");
+    for (const char* q : {"queue8", "queue16", "queue32", "queue64"}) {
+        SimResult res = runSim(benchOptions(
+            "bfs-roads", "auto",
+            std::string("clk4_w4 delay4 portALL ") + q));
+        reportRow(q, speedupPct(base, res));
+    }
+    reportNote("paper: low sensitivity to Q");
+
+    reportHeader("Figure 13c: bfs vs portP (clk4_w4 delay4 queue32)");
+    for (const char* p : {"portALL", "portLS", "portLS1"}) {
+        SimResult res = runSim(benchOptions(
+            "bfs-roads", "auto",
+            std::string("clk4_w4 delay4 queue32 ") + p));
+        reportRow(p, speedupPct(base, res));
+    }
+    reportNote("paper: low sensitivity to P");
+    return 0;
+}

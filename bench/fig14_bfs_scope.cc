@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Figure 14: bfs speedup vs the size of its frontier / begin-address /
+ * trip-count / neighbor queues (clk4_w4 delay4 queue32 portLS1).
+ */
+
+#include "bench_util.h"
+
+using namespace pfm;
+
+int
+main()
+{
+    reportHeader("Figure 14: bfs vs internal queue entries "
+                 "(clk4_w4 delay4 queue32 portLS1)");
+    SimResult base = runSim(benchOptions("bfs-roads", "none"));
+    for (unsigned n : {16u, 32u, 64u, 128u}) {
+        SimOptions o = benchOptions("bfs-roads", "auto",
+                                    "clk4_w4 delay4 queue32 portLS1");
+        o.bfs_queue_entries = n;
+        SimResult res = runSim(o);
+        reportRow(std::to_string(n) + "-entry queues",
+                  speedupPct(base, res));
+    }
+    reportNote("paper: performance scales with the queue sizes");
+    return 0;
+}

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Figure 17: speedups of the five custom prefetchers for different C and
+ * W (all configs: delay0 queue32 portALL). The paper's key observation is
+ * resistance to C and W.
+ */
+
+#include "bench_util.h"
+
+using namespace pfm;
+
+int
+main()
+{
+    reportHeader("Figure 17: custom prefetcher speedups vs clkC_wW "
+                 "(delay0 queue32 portALL)");
+    for (const char* wl :
+         {"libquantum", "bwaves", "lbm", "milc", "leslie"}) {
+        SimResult base = runSim(benchOptions(wl, "none"));
+        std::printf("  %s (baseline IPC %.2f):\n", wl, base.ipc);
+        for (const char* cfg :
+             {"clk1_w1", "clk4_w1", "clk4_w4", "clk8_w1"}) {
+            SimResult res = runSim(benchOptions(
+                wl, "auto", std::string(cfg) + " delay0 queue32 portALL"));
+            reportRow(std::string("  ") + cfg, speedupPct(base, res));
+        }
+    }
+    reportNote("paper: performance is very resistant to C and W");
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot structures:
+ * TAGE prediction, cache probing, circular queues, and the functional
+ * engine's interpretation rate.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "branch/tage_scl.h"
+#include "common/circular_queue.h"
+#include "isa/assembler.h"
+#include "isa/functional_engine.h"
+#include "memory/cache.h"
+
+namespace pfm {
+namespace {
+
+void
+BM_TageSclPredictUpdate(benchmark::State& state)
+{
+    TageSclPredictor bp;
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        Addr pc = 0x1000 + (i % 16) * 4;
+        bool pred = bp.predict(pc);
+        benchmark::DoNotOptimize(pred);
+        bp.update(pc, (i & 3) != 0);
+        ++i;
+    }
+}
+BENCHMARK(BM_TageSclPredictUpdate);
+
+void
+BM_CacheProbe(benchmark::State& state)
+{
+    Cache c({"c", 32 * 1024, 8, 2, 16});
+    for (Addr a = 0; a < 32 * 1024; a += 64)
+        c.fill(a, 0, false);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        CacheProbe p = c.probe((i * 64) % (32 * 1024), i, true);
+        benchmark::DoNotOptimize(p);
+        ++i;
+    }
+}
+BENCHMARK(BM_CacheProbe);
+
+void
+BM_CircularQueuePushPop(benchmark::State& state)
+{
+    CircularQueue<std::uint64_t> q(64);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        q.push(i);
+        benchmark::DoNotOptimize(q.pop());
+        ++i;
+    }
+}
+BENCHMARK(BM_CircularQueuePushPop);
+
+void
+BM_FunctionalEngineLoop(benchmark::State& state)
+{
+    SimMemory mem;
+    Program prog = assemble("  li x2, 1000000000\n"
+                            "loop:\n"
+                            "  addi x3, x3, 1\n"
+                            "  xor x4, x3, x2\n"
+                            "  addi x2, x2, -1\n"
+                            "  bne x2, x0, loop\n"
+                            "  halt\n");
+    FunctionalEngine e(prog, mem);
+    e.reset(prog.base());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(e.step().result);
+    }
+}
+BENCHMARK(BM_FunctionalEngineLoop);
+
+} // namespace
+} // namespace pfm
+
+BENCHMARK_MAIN();

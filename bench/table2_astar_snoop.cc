@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Table 2: percentage of retired instructions in the ROI hitting the RST
+ * and of fetched instructions hitting the FST, for astar.
+ */
+
+#include "bench_util.h"
+
+using namespace pfm;
+
+int
+main()
+{
+    reportHeader("Table 2: astar FST and RST snoop percentages");
+    SimResult r = runSim(
+        benchOptions("astar", "auto", "clk4_w4 delay0 queue32 portALL"));
+    reportRowVs("% retired in ROI hit RST", r.rst_hit_pct, 20.3);
+    reportRowVs("% fetched in ROI hit FST", r.fst_hit_pct, 15.5);
+    return 0;
+}

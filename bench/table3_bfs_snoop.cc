@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Table 3: bfs FST and RST snoop percentages (Roads input).
+ */
+
+#include "bench_util.h"
+
+using namespace pfm;
+
+int
+main()
+{
+    reportHeader("Table 3: bfs FST and RST snoop percentages");
+    SimResult r = runSim(benchOptions("bfs-roads", "auto",
+                                      "clk4_w4 delay0 queue32 portALL"));
+    reportRowVs("% retired in ROI hit RST", r.rst_hit_pct, 31.0);
+    reportRowVs("% fetched in ROI hit FST", r.fst_hit_pct, 13.0);
+    return 0;
+}

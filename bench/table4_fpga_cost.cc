@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Table 4: FPGA cost/frequency/power of the custom components, from the
+ * structural resource model, side by side with the paper's synthesis
+ * results.
+ */
+
+#include <cstdio>
+
+#include "energy/fpga_model.h"
+#include "sim/report.h"
+
+using namespace pfm;
+
+int
+main()
+{
+    reportHeader("Table 4: FPGA cost model vs paper (xcvu3p)");
+    std::printf("  %-14s %8s %8s %6s %4s %7s %9s %7s %8s\n", "design",
+                "LUT", "FF", "BRAM", "DSP", "MHz", "logic mW", "io mW",
+                "stat mW");
+
+    auto designs = paperTable4Designs();
+    auto refs = paperTable4Reference();
+    for (size_t i = 0; i < designs.size(); ++i) {
+        FpgaEstimate e = estimateFpga(designs[i]);
+        std::printf("  %-14s %8llu %8llu %6.1f %4u %7.0f %9.0f %7.0f "
+                    "%8.0f\n",
+                    e.name.c_str(), (unsigned long long)e.luts,
+                    (unsigned long long)e.ffs, e.brams, e.dsps, e.freq_mhz,
+                    e.dyn_logic_mw, e.dyn_io_mw, e.static_mw);
+        const FpgaEstimate& r = refs[i];
+        std::printf("  %-14s %8llu %8llu %6.1f %4u %7.0f %9.0f %7.0f "
+                    "%8.0f\n",
+                    "  (paper)", (unsigned long long)r.luts,
+                    (unsigned long long)r.ffs, r.brams, r.dsps, r.freq_mhz,
+                    r.dyn_logic_mw, r.dyn_io_mw, r.static_mw);
+    }
+    return 0;
+}

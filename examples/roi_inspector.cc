@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The PFM development workflow's first step (paper Section 1: "analyzing
+ * their bottlenecks"): run a workload on the baseline core and print its
+ * hardest branches and most delinquent loads with disassembly, i.e. the
+ * information a PFM engineer uses to design a custom component.
+ *
+ *   ./roi_inspector --workload=astar
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "sim/simulator.h"
+
+using namespace pfm;
+
+namespace {
+
+struct Hot {
+    Addr pc;
+    std::uint64_t count;
+};
+
+std::vector<Hot>
+topN(const std::unordered_map<Addr, std::uint64_t>& profile, size_t n)
+{
+    std::vector<Hot> v;
+    v.reserve(profile.size());
+    for (const auto& [pc, count] : profile)
+        v.push_back({pc, count});
+    std::sort(v.begin(), v.end(),
+              [](const Hot& a, const Hot& b) { return a.count > b.count; });
+    if (v.size() > n)
+        v.resize(n);
+    return v;
+}
+
+std::string
+annotate(const Workload& w, Addr pc)
+{
+    for (const auto& [name, apc] : w.pcs) {
+        if (apc == pc)
+            return " <" + name + ">";
+    }
+    return "";
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    SimOptions opt = parseCommandLine(argc, argv);
+    opt.component = "none";
+    if (opt.max_instructions > 1'000'000)
+        opt.max_instructions = 1'000'000;
+
+    Simulator sim(opt);
+    SimResult r = sim.run();
+    const Workload& w = sim.workload();
+
+    std::printf("=== %s on the baseline core ===\n", w.name.c_str());
+    std::printf("IPC %.3f, MPKI %.1f over %llu instructions\n\n", r.ipc,
+                r.mpki, (unsigned long long)r.instructions);
+
+    std::printf("hardest conditional branches (misprediction counts):\n");
+    for (const Hot& h : topN(sim.core().mispredictProfile(), 10)) {
+        std::printf("  %6llx  %8llu  %s%s\n", (unsigned long long)h.pc,
+                    (unsigned long long)h.count,
+                    formatInst(w.program.instAt(h.pc)).c_str(),
+                    annotate(w, h.pc).c_str());
+    }
+
+    std::printf("\nmost delinquent loads (miss depth-weighted):\n");
+    for (const Hot& h : topN(sim.core().missProfile(), 10)) {
+        std::printf("  %6llx  %8llu  %s%s\n", (unsigned long long)h.pc,
+                    (unsigned long long)h.count,
+                    formatInst(w.program.instAt(h.pc)).c_str(),
+                    annotate(w, h.pc).c_str());
+    }
+
+    std::printf("\nThese PCs are exactly what a PFM bitstream configures "
+                "the FST/RST with\n(compare with the workload's annotated "
+                "br_*/del_* labels above).\n");
+    return 0;
+}

@@ -1,0 +1,41 @@
+#include "branch/bimodal.h"
+
+namespace pfm {
+
+BimodalPredictor::BimodalPredictor(unsigned log_entries)
+    : log_entries_(log_entries),
+      table_(size_t{1} << log_entries, 2) // weakly taken
+{}
+
+size_t
+BimodalPredictor::index(Addr pc) const
+{
+    return (pc >> 2) & ((size_t{1} << log_entries_) - 1);
+}
+
+bool
+BimodalPredictor::predict(Addr pc)
+{
+    return table_[index(pc)] >= 2;
+}
+
+void
+BimodalPredictor::update(Addr pc, bool taken)
+{
+    std::uint8_t& ctr = table_[index(pc)];
+    if (taken) {
+        if (ctr < 3)
+            ++ctr;
+    } else {
+        if (ctr > 0)
+            --ctr;
+    }
+}
+
+void
+BimodalPredictor::reset()
+{
+    std::fill(table_.begin(), table_.end(), 2);
+}
+
+} // namespace pfm

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Classic bimodal predictor: PC-indexed table of 2-bit counters.
+ */
+
+#ifndef PFM_BRANCH_BIMODAL_H
+#define PFM_BRANCH_BIMODAL_H
+
+#include <vector>
+
+#include "branch/predictor.h"
+
+namespace pfm {
+
+class BimodalPredictor : public BranchPredictor
+{
+  public:
+    explicit BimodalPredictor(unsigned log_entries = 13);
+
+    bool predict(Addr pc) override;
+    void update(Addr pc, bool taken) override;
+    void reset() override;
+
+  private:
+    size_t index(Addr pc) const;
+
+    unsigned log_entries_;
+    std::vector<std::uint8_t> table_;
+};
+
+} // namespace pfm
+
+#endif // PFM_BRANCH_BIMODAL_H

@@ -1,0 +1,85 @@
+#include "branch/btb.h"
+
+#include "common/bitutils.h"
+#include "common/log.h"
+
+namespace pfm {
+
+Btb::Btb(const BtbParams& params) : params_(params)
+{
+    pfm_assert(isPow2(params_.sets), "BTB sets must be a power of two");
+    entries_.resize(static_cast<size_t>(params_.sets) * params_.ways);
+}
+
+Addr
+Btb::lookup(Addr pc)
+{
+    size_t set = (pc >> 2) & (params_.sets - 1);
+    Entry* base = &entries_[set * params_.ways];
+    for (unsigned w = 0; w < params_.ways; ++w) {
+        if (base[w].tag == pc) {
+            base[w].lru = ++lru_clock_;
+            return base[w].target;
+        }
+    }
+    return kBadAddr;
+}
+
+void
+Btb::update(Addr pc, Addr target)
+{
+    size_t set = (pc >> 2) & (params_.sets - 1);
+    Entry* base = &entries_[set * params_.ways];
+    Entry* victim = base;
+    for (unsigned w = 0; w < params_.ways; ++w) {
+        if (base[w].tag == pc) {
+            base[w].target = target;
+            base[w].lru = ++lru_clock_;
+            return;
+        }
+        if (base[w].lru < victim->lru)
+            victim = &base[w];
+    }
+    victim->tag = pc;
+    victim->target = target;
+    victim->lru = ++lru_clock_;
+}
+
+void
+Btb::reset()
+{
+    for (Entry& e : entries_)
+        e = Entry{};
+    lru_clock_ = 0;
+}
+
+ReturnAddressStack::ReturnAddressStack(unsigned depth) : stack_(depth) {}
+
+void
+ReturnAddressStack::push(Addr return_pc)
+{
+    stack_[top_] = return_pc;
+    top_ = (top_ + 1) % stack_.size();
+    if (size_ < stack_.size())
+        ++size_;
+}
+
+Addr
+ReturnAddressStack::pop()
+{
+    if (size_ == 0)
+        return kBadAddr;
+    top_ = (top_ + static_cast<unsigned>(stack_.size()) - 1) %
+           static_cast<unsigned>(stack_.size());
+    --size_;
+    return stack_[top_];
+}
+
+void
+ReturnAddressStack::reset()
+{
+    top_ = 0;
+    size_ = 0;
+}
+
+} // namespace pfm

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Branch target buffer and return address stack. The direction predictor
+ * (TAGE-SC-L) decides taken/not-taken; the BTB supplies taken targets at
+ * fetch, and the RAS supplies return targets. A taken control transfer
+ * whose target the front end cannot produce pays a bubble (BTB fill /
+ * decode redirect), modeled by the core as a short fetch stall.
+ */
+
+#ifndef PFM_BRANCH_BTB_H
+#define PFM_BRANCH_BTB_H
+
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace pfm {
+
+struct BtbParams {
+    unsigned sets = 512;
+    unsigned ways = 4;
+    unsigned ras_depth = 16;
+};
+
+class Btb
+{
+  public:
+    explicit Btb(const BtbParams& params = {});
+
+    /** Predicted target for @p pc, or kBadAddr on a BTB miss. */
+    Addr lookup(Addr pc);
+
+    /** Install/refresh the mapping pc -> target. */
+    void update(Addr pc, Addr target);
+
+    void reset();
+
+  private:
+    struct Entry {
+        Addr tag = kBadAddr;
+        Addr target = kBadAddr;
+        std::uint64_t lru = 0;
+    };
+
+    BtbParams params_;
+    std::vector<Entry> entries_;
+    std::uint64_t lru_clock_ = 0;
+};
+
+/** Classic return address stack (wrap-around on overflow). */
+class ReturnAddressStack
+{
+  public:
+    explicit ReturnAddressStack(unsigned depth = 16);
+
+    void push(Addr return_pc);
+
+    /** Pop a predicted return target (kBadAddr when empty). */
+    Addr pop();
+
+    void reset();
+
+    unsigned size() const { return size_; }
+
+  private:
+    std::vector<Addr> stack_;
+    unsigned top_ = 0;   ///< next push slot
+    unsigned size_ = 0;  ///< valid entries (<= depth)
+};
+
+} // namespace pfm
+
+#endif // PFM_BRANCH_BTB_H

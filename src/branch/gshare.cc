@@ -1,0 +1,47 @@
+#include "branch/gshare.h"
+
+#include "common/bitutils.h"
+
+namespace pfm {
+
+GsharePredictor::GsharePredictor(unsigned log_entries, unsigned history_bits)
+    : log_entries_(log_entries),
+      history_bits_(history_bits),
+      table_(size_t{1} << log_entries, 2)
+{}
+
+size_t
+GsharePredictor::index(Addr pc) const
+{
+    std::uint64_t h = ghr_ & mask(history_bits_);
+    return ((pc >> 2) ^ h) & ((size_t{1} << log_entries_) - 1);
+}
+
+bool
+GsharePredictor::predict(Addr pc)
+{
+    return table_[index(pc)] >= 2;
+}
+
+void
+GsharePredictor::update(Addr pc, bool taken)
+{
+    std::uint8_t& ctr = table_[index(pc)];
+    if (taken) {
+        if (ctr < 3)
+            ++ctr;
+    } else {
+        if (ctr > 0)
+            --ctr;
+    }
+    ghr_ = (ghr_ << 1) | (taken ? 1 : 0);
+}
+
+void
+GsharePredictor::reset()
+{
+    std::fill(table_.begin(), table_.end(), 2);
+    ghr_ = 0;
+}
+
+} // namespace pfm

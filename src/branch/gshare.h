@@ -1,0 +1,36 @@
+/**
+ * @file
+ * gshare: global-history-XOR-PC indexed 2-bit counter table.
+ */
+
+#ifndef PFM_BRANCH_GSHARE_H
+#define PFM_BRANCH_GSHARE_H
+
+#include <vector>
+
+#include "branch/predictor.h"
+
+namespace pfm {
+
+class GsharePredictor : public BranchPredictor
+{
+  public:
+    explicit GsharePredictor(unsigned log_entries = 14,
+                             unsigned history_bits = 14);
+
+    bool predict(Addr pc) override;
+    void update(Addr pc, bool taken) override;
+    void reset() override;
+
+  private:
+    size_t index(Addr pc) const;
+
+    unsigned log_entries_;
+    unsigned history_bits_;
+    std::uint64_t ghr_ = 0;
+    std::vector<std::uint8_t> table_;
+};
+
+} // namespace pfm
+
+#endif // PFM_BRANCH_GSHARE_H

@@ -1,0 +1,87 @@
+#include "branch/loop_predictor.h"
+
+namespace pfm {
+
+LoopPredictor::LoopPredictor(unsigned log_entries)
+    : log_entries_(log_entries), table_(size_t{1} << log_entries)
+{}
+
+LoopPredictor::Entry&
+LoopPredictor::entryFor(Addr pc)
+{
+    return table_[(pc >> 2) & ((size_t{1} << log_entries_) - 1)];
+}
+
+std::uint16_t
+LoopPredictor::tagOf(Addr pc)
+{
+    return static_cast<std::uint16_t>((pc >> 8) & 0x3FF);
+}
+
+void
+LoopPredictor::lookup(Addr pc, bool& valid, bool& dir)
+{
+    Entry& e = entryFor(pc);
+    valid = false;
+    dir = false;
+    if (!e.valid || e.tag != tagOf(pc) || e.confidence < 3)
+        return;
+    valid = true;
+    // Loop body branch: taken while iterating, not-taken at the trip count.
+    dir = (e.current_iter + 1 != e.past_trip);
+}
+
+void
+LoopPredictor::update(Addr pc, bool taken, bool tage_pred)
+{
+    Entry& e = entryFor(pc);
+    if (!e.valid || e.tag != tagOf(pc)) {
+        // Allocate on a not-taken outcome (potential loop exit) when the
+        // entry is old or invalid.
+        if (!taken) {
+            if (e.valid && e.age > 0) {
+                --e.age;
+                return;
+            }
+            e = Entry{};
+            e.tag = tagOf(pc);
+            e.valid = true;
+            e.age = 3;
+        }
+        return;
+    }
+
+    if (taken) {
+        ++e.current_iter;
+        if (e.current_iter == 0) // overflow: trip too long to track
+            e.valid = false;
+        return;
+    }
+
+    // Loop exited: current_iter+1 is the observed trip count.
+    std::uint16_t trip = static_cast<std::uint16_t>(e.current_iter + 1);
+    if (trip == e.past_trip) {
+        if (e.confidence < 3)
+            ++e.confidence;
+        if (e.age < 3)
+            ++e.age;
+    } else {
+        if (e.confidence == 3 && tage_pred == taken) {
+            // TAGE got it right and we were confidently wrong: retire entry.
+            e.valid = false;
+            return;
+        }
+        e.past_trip = trip;
+        e.confidence = 0;
+    }
+    e.current_iter = 0;
+}
+
+void
+LoopPredictor::reset()
+{
+    for (auto& e : table_)
+        e = Entry{};
+}
+
+} // namespace pfm

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Loop predictor (the L of TAGE-SC-L): learns constant trip counts and,
+ * once confident, predicts the loop-exit iteration exactly.
+ */
+
+#ifndef PFM_BRANCH_LOOP_PREDICTOR_H
+#define PFM_BRANCH_LOOP_PREDICTOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace pfm {
+
+class LoopPredictor
+{
+  public:
+    explicit LoopPredictor(unsigned log_entries = 6);
+
+    /**
+     * Query for the branch at @p pc. Returns true in @p valid when the
+     * predictor is confident; the direction is then in @p dir.
+     */
+    void lookup(Addr pc, bool& valid, bool& dir);
+
+    /** Train with the actual outcome. Call after each lookup. */
+    void update(Addr pc, bool taken, bool tage_pred);
+
+    void reset();
+
+  private:
+    struct Entry {
+        std::uint16_t tag = 0;
+        std::uint16_t past_trip = 0;   ///< learned trip count
+        std::uint16_t current_iter = 0;
+        std::uint8_t confidence = 0;   ///< saturates at 3
+        std::uint8_t age = 0;
+        bool valid = false;
+    };
+
+    Entry& entryFor(Addr pc);
+    static std::uint16_t tagOf(Addr pc);
+
+    unsigned log_entries_;
+    std::vector<Entry> table_;
+};
+
+} // namespace pfm
+
+#endif // PFM_BRANCH_LOOP_PREDICTOR_H

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Conditional branch direction predictor interface.
+ *
+ * The timing core calls predict() when a conditional branch is fetched and
+ * update() immediately afterwards with the true outcome (the model never
+ * fetches wrong-path instructions, so speculative history == committed
+ * history; see DESIGN.md). predict()/update() come in strict pairs, so
+ * implementations may stash per-prediction metadata between the calls.
+ */
+
+#ifndef PFM_BRANCH_PREDICTOR_H
+#define PFM_BRANCH_PREDICTOR_H
+
+#include "common/types.h"
+
+namespace pfm {
+
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /** Predict the direction of the conditional branch at @p pc. */
+    virtual bool predict(Addr pc) = 0;
+
+    /**
+     * Train with the actual outcome of the branch predicted by the
+     * immediately preceding predict() call (same pc).
+     */
+    virtual void update(Addr pc, bool taken) = 0;
+
+    virtual void reset() = 0;
+};
+
+} // namespace pfm
+
+#endif // PFM_BRANCH_PREDICTOR_H

@@ -1,0 +1,89 @@
+#include "branch/statistical_corrector.h"
+
+#include <cstdlib>
+
+namespace pfm {
+
+constexpr unsigned StatisticalCorrector::kHistBits[];
+
+StatisticalCorrector::StatisticalCorrector()
+    : tables_(kNumTables, std::vector<std::int8_t>(size_t{1} << kLogEntries, 0))
+{}
+
+size_t
+StatisticalCorrector::index(Addr pc, unsigned t, std::uint64_t hash) const
+{
+    std::uint64_t x = (pc >> 2) * 0x9E3779B1u;
+    x ^= hash * (2 * t + 1);
+    return x & ((size_t{1} << kLogEntries) - 1);
+}
+
+int
+StatisticalCorrector::sum(Addr pc, bool tage_pred,
+                          const std::uint64_t* hashes) const
+{
+    int s = tage_pred ? 2 : -2; // TAGE's vote, lightly weighted
+    for (unsigned t = 0; t < kNumTables; ++t)
+        s += 2 * tables_[t][index(pc, t, hashes[t])] + 1;
+    return s;
+}
+
+bool
+StatisticalCorrector::predict(Addr pc, bool tage_pred, bool tage_weak,
+                              const std::uint64_t* hashes)
+{
+    for (unsigned t = 0; t < kNumTables; ++t)
+        last_hashes_[t] = hashes[t];
+    last_tage_pred_ = tage_pred;
+    last_sum_ = sum(pc, tage_pred, hashes);
+
+    bool sc_pred = last_sum_ >= 0;
+    bool use_sc = tage_weak && std::abs(last_sum_) >= threshold_;
+    last_used_sc_ = use_sc;
+    last_final_ = use_sc ? sc_pred : tage_pred;
+    return last_final_;
+}
+
+void
+StatisticalCorrector::update(Addr pc, bool taken)
+{
+    bool sc_pred = last_sum_ >= 0;
+
+    // Dynamic threshold training (Seznec): adjust when SC and TAGE disagree.
+    if (sc_pred != last_tage_pred_) {
+        if (last_final_ == taken && last_used_sc_) {
+            if (tc_ < 63) ++tc_;
+        } else if (last_final_ != taken) {
+            if (tc_ > -64) --tc_;
+        }
+        if (tc_ == 63 && threshold_ > 4) {
+            --threshold_;
+            tc_ = 0;
+        } else if (tc_ == -64 && threshold_ < 31) {
+            ++threshold_;
+            tc_ = 0;
+        }
+    }
+
+    // Train counters when SC was wrong or weakly confident.
+    if (sc_pred != taken || std::abs(last_sum_) < threshold_ + 4) {
+        for (unsigned t = 0; t < kNumTables; ++t) {
+            std::int8_t& c = tables_[t][index(pc, t, last_hashes_[t])];
+            if (taken && c < 31)
+                ++c;
+            else if (!taken && c > -32)
+                --c;
+        }
+    }
+}
+
+void
+StatisticalCorrector::reset()
+{
+    for (auto& tbl : tables_)
+        std::fill(tbl.begin(), tbl.end(), 0);
+    threshold_ = 6;
+    tc_ = 0;
+}
+
+} // namespace pfm

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Statistical corrector (the SC of TAGE-SC-L): GEHL-style tables of signed
+ * counters indexed by PC and global-history hashes of several lengths. The
+ * summed vote can revert a low-confidence TAGE prediction when the
+ * statistical bias disagrees.
+ */
+
+#ifndef PFM_BRANCH_STATISTICAL_CORRECTOR_H
+#define PFM_BRANCH_STATISTICAL_CORRECTOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace pfm {
+
+class StatisticalCorrector
+{
+  public:
+    StatisticalCorrector();
+
+    /**
+     * Decide the final direction given TAGE's prediction and confidence
+     * hints. @p hist_hash(bits) supplies the current history.
+     */
+    bool predict(Addr pc, bool tage_pred, bool tage_weak,
+                 const std::uint64_t* hist_hashes);
+
+    /** Train with the actual outcome (pairs with predict()). */
+    void update(Addr pc, bool taken);
+
+    void reset();
+
+    /** History lengths (in bits) this SC wants hashes for. */
+    static constexpr unsigned kNumTables = 4;
+    static constexpr unsigned kHistBits[kNumTables] = {0, 5, 11, 21};
+
+  private:
+    int sum(Addr pc, bool tage_pred, const std::uint64_t* hist_hashes) const;
+    size_t index(Addr pc, unsigned t, std::uint64_t hash) const;
+
+    static constexpr unsigned kLogEntries = 10;
+    std::vector<std::vector<std::int8_t>> tables_;
+    int threshold_ = 6;       ///< dynamic revert threshold
+    int tc_ = 0;              ///< threshold training counter
+
+    // predict() metadata for update().
+    bool last_tage_pred_ = false;
+    bool last_used_sc_ = false;
+    bool last_final_ = false;
+    int last_sum_ = 0;
+    std::uint64_t last_hashes_[kNumTables] = {};
+};
+
+} // namespace pfm
+
+#endif // PFM_BRANCH_STATISTICAL_CORRECTOR_H

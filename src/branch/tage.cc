@@ -1,0 +1,256 @@
+#include "branch/tage.h"
+
+#include <cmath>
+
+#include "common/bitutils.h"
+#include "common/log.h"
+
+namespace pfm {
+
+namespace {
+constexpr unsigned kGhistSize = 4096;
+} // namespace
+
+void
+TagePredictor::FoldedHistory::init(unsigned orig, unsigned comp)
+{
+    value = 0;
+    orig_length = orig;
+    comp_length = comp;
+    outpoint = orig % comp;
+}
+
+void
+TagePredictor::FoldedHistory::update(const std::vector<std::uint8_t>& ghist,
+                                     unsigned ptr)
+{
+    // Insert newest bit (at ptr), remove the bit falling out of range.
+    value = (value << 1) | ghist[ptr & (kGhistSize - 1)];
+    value ^= ghist[(ptr + orig_length) & (kGhistSize - 1)] << outpoint;
+    value ^= value >> comp_length;
+    value &= (1u << comp_length) - 1;
+}
+
+TagePredictor::TagePredictor(const TageParams& params) : params_(params)
+{
+    hist_lengths_.resize(params_.num_tables);
+    double ratio =
+        std::pow(static_cast<double>(params_.max_history) / params_.min_history,
+                 1.0 / (params_.num_tables - 1));
+    double len = params_.min_history;
+    for (unsigned i = 0; i < params_.num_tables; ++i) {
+        hist_lengths_[i] = static_cast<unsigned>(len + 0.5);
+        if (i > 0 && hist_lengths_[i] <= hist_lengths_[i - 1])
+            hist_lengths_[i] = hist_lengths_[i - 1] + 1;
+        len *= ratio;
+    }
+
+    tables_.assign(params_.num_tables,
+                   std::vector<TaggedEntry>(size_t{1}
+                                            << params_.log_tagged_entries));
+    base_.assign(size_t{1} << params_.log_base_entries, 2);
+    ghist_.assign(kGhistSize, 0);
+
+    idx_fold_.resize(params_.num_tables);
+    tag_fold_a_.resize(params_.num_tables);
+    tag_fold_b_.resize(params_.num_tables);
+    for (unsigned i = 0; i < params_.num_tables; ++i) {
+        idx_fold_[i].init(hist_lengths_[i], params_.log_tagged_entries);
+        tag_fold_a_[i].init(hist_lengths_[i], params_.tag_bits);
+        tag_fold_b_[i].init(hist_lengths_[i], params_.tag_bits - 1);
+    }
+    cached_idx_.resize(params_.num_tables);
+    cached_tag_.resize(params_.num_tables);
+}
+
+void
+TagePredictor::reset()
+{
+    *this = TagePredictor(params_);
+}
+
+size_t
+TagePredictor::taggedIndex(Addr pc, unsigned t) const
+{
+    std::uint64_t x = (pc >> 2) ^ ((pc >> 2) >> (params_.log_tagged_entries -
+                                                 (t % 4))) ^
+                      idx_fold_[t].value;
+    return x & ((size_t{1} << params_.log_tagged_entries) - 1);
+}
+
+std::uint16_t
+TagePredictor::taggedTag(Addr pc, unsigned t) const
+{
+    std::uint64_t x =
+        (pc >> 2) ^ tag_fold_a_[t].value ^ (tag_fold_b_[t].value << 1);
+    return static_cast<std::uint16_t>(x & mask(params_.tag_bits));
+}
+
+bool
+TagePredictor::predict(Addr pc)
+{
+    info_ = TagePredictionInfo{};
+
+    size_t base_idx = (pc >> 2) & ((size_t{1} << params_.log_base_entries) - 1);
+    bool base_pred = base_.at(base_idx) >= 2;
+
+    info_.pred = base_pred;
+    info_.alt_pred = base_pred;
+
+    for (unsigned t = 0; t < params_.num_tables; ++t) {
+        cached_idx_[t] = taggedIndex(pc, t);
+        cached_tag_[t] = taggedTag(pc, t);
+    }
+
+    // Find provider (longest history hit) and alternate (next longest).
+    for (int t = static_cast<int>(params_.num_tables) - 1; t >= 0; --t) {
+        const TaggedEntry& e = tables_[t][cached_idx_[t]];
+        if (e.tag == cached_tag_[t]) {
+            if (info_.provider < 0) {
+                info_.provider = t;
+            } else if (info_.alt_provider < 0) {
+                info_.alt_provider = t;
+                break;
+            }
+        }
+    }
+
+    if (info_.provider >= 0) {
+        const TaggedEntry& p = tables_[info_.provider]
+                                      [cached_idx_[info_.provider]];
+        bool prov_pred = p.ctr >= 0;
+        info_.provider_ctr = p.ctr;
+        info_.provider_weak = (p.ctr == 0 || p.ctr == -1);
+
+        if (info_.alt_provider >= 0) {
+            const TaggedEntry& a = tables_[info_.alt_provider]
+                                          [cached_idx_[info_.alt_provider]];
+            info_.alt_pred = a.ctr >= 0;
+        } else {
+            info_.alt_pred = base_pred;
+        }
+
+        info_.pseudo_new_alloc = info_.provider_weak && p.u == 0;
+        if (info_.pseudo_new_alloc && use_alt_on_na_ >= 0) {
+            info_.pred = info_.alt_pred;
+        } else {
+            info_.pred = prov_pred;
+        }
+    }
+    return info_.pred;
+}
+
+void
+TagePredictor::update(Addr pc, bool taken)
+{
+    ++branch_count_;
+    lfsr_ = (lfsr_ >> 1) ^ (-(lfsr_ & 1u) & 0xB400u);
+
+    size_t base_idx = (pc >> 2) & ((size_t{1} << params_.log_base_entries) - 1);
+
+    bool mispred = (info_.pred != taken);
+
+    // use_alt_on_na training: when provider is newly allocated and provider
+    // and alt disagree, learn which of the two to trust.
+    if (info_.provider >= 0 && info_.pseudo_new_alloc) {
+        TaggedEntry& p = tables_[info_.provider][cached_idx_[info_.provider]];
+        bool prov_pred = p.ctr >= 0;
+        if (prov_pred != info_.alt_pred) {
+            bool alt_correct = (info_.alt_pred == taken);
+            if (alt_correct && use_alt_on_na_ < 7)
+                ++use_alt_on_na_;
+            else if (!alt_correct && use_alt_on_na_ > -8)
+                --use_alt_on_na_;
+        }
+    }
+
+    // Allocate on misprediction (if a longer table could help).
+    if (mispred && info_.provider < static_cast<int>(params_.num_tables) - 1) {
+        unsigned start = static_cast<unsigned>(info_.provider + 1);
+        // Probabilistically skip one table to spread allocations.
+        if ((lfsr_ & 1) && start + 1 < params_.num_tables)
+            ++start;
+        bool allocated = false;
+        for (unsigned t = start; t < params_.num_tables; ++t) {
+            TaggedEntry& e = tables_[t][cached_idx_[t]];
+            if (e.u == 0) {
+                e.tag = cached_tag_[t];
+                e.ctr = taken ? 0 : -1;
+                allocated = true;
+                break;
+            }
+        }
+        if (!allocated) {
+            // Decay usefulness so future allocations succeed.
+            for (unsigned t = start; t < params_.num_tables; ++t) {
+                TaggedEntry& e = tables_[t][cached_idx_[t]];
+                if (e.u > 0)
+                    --e.u;
+            }
+        }
+    }
+
+    // Update provider counter (or base).
+    int max_ctr = (1 << (params_.ctr_bits - 1)) - 1;
+    int min_ctr = -(1 << (params_.ctr_bits - 1));
+    if (info_.provider >= 0) {
+        TaggedEntry& p = tables_[info_.provider][cached_idx_[info_.provider]];
+        if (taken && p.ctr < max_ctr)
+            ++p.ctr;
+        else if (!taken && p.ctr > min_ctr)
+            --p.ctr;
+        // Usefulness: provider correct and alt wrong.
+        bool prov_pred_correct = ((p.ctr >= 0) == taken);
+        if (info_.alt_pred != taken && prov_pred_correct && p.u < 3)
+            ++p.u;
+        else if (info_.alt_pred == taken && !prov_pred_correct && p.u > 0)
+            --p.u;
+        // Also train base when provider was newly allocated (helps warmup).
+        if (info_.pseudo_new_alloc) {
+            std::uint8_t& b = base_[base_idx];
+            if (taken && b < 3)
+                ++b;
+            else if (!taken && b > 0)
+                --b;
+        }
+    } else {
+        std::uint8_t& b = base_[base_idx];
+        if (taken && b < 3)
+            ++b;
+        else if (!taken && b > 0)
+            --b;
+    }
+
+    // Periodic graceful aging of u bits.
+    if ((branch_count_ & ((std::uint64_t{1} << params_.useful_reset_period) -
+                          1)) == 0) {
+        for (auto& table : tables_)
+            for (auto& e : table)
+                e.u >>= 1;
+    }
+
+    pushHistory(taken);
+}
+
+void
+TagePredictor::pushHistory(bool taken)
+{
+    ghist_ptr_ = (ghist_ptr_ - 1) & (kGhistSize - 1);
+    ghist_[ghist_ptr_] = taken ? 1 : 0;
+    for (unsigned t = 0; t < params_.num_tables; ++t) {
+        idx_fold_[t].update(ghist_, ghist_ptr_);
+        tag_fold_a_[t].update(ghist_, ghist_ptr_);
+        tag_fold_b_[t].update(ghist_, ghist_ptr_);
+    }
+}
+
+std::uint64_t
+TagePredictor::historyHash(unsigned bits) const
+{
+    std::uint64_t h = 0;
+    for (unsigned i = 0; i < bits; ++i)
+        h = (h << 1) | ghist_[(ghist_ptr_ + i) & (kGhistSize - 1)];
+    return h;
+}
+
+} // namespace pfm

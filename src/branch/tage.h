@@ -1,0 +1,107 @@
+/**
+ * @file
+ * TAGE predictor (Seznec): a bimodal base plus N partially-tagged tables
+ * indexed with geometrically increasing global-history lengths. This is the
+ * T component of the paper's 64KB TAGE-SC-L baseline (Table 1).
+ */
+
+#ifndef PFM_BRANCH_TAGE_H
+#define PFM_BRANCH_TAGE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "branch/predictor.h"
+
+namespace pfm {
+
+struct TageParams {
+    unsigned num_tables = 12;      ///< tagged tables
+    unsigned min_history = 4;
+    unsigned max_history = 640;
+    unsigned log_tagged_entries = 10;  ///< per tagged table
+    unsigned log_base_entries = 13;    ///< bimodal base
+    unsigned tag_bits = 11;
+    unsigned ctr_bits = 3;
+    unsigned useful_reset_period = 18; ///< log2 of branches between u-aging
+};
+
+/**
+ * Per-prediction metadata kept between predict() and update(); exposed so
+ * the SC/L wrapper can make its confidence decisions.
+ */
+struct TagePredictionInfo {
+    bool pred = false;          ///< final TAGE prediction
+    bool alt_pred = false;      ///< alternate prediction
+    int provider = -1;          ///< providing table (-1 == base)
+    int alt_provider = -1;
+    bool provider_weak = false; ///< |provider counter| is minimal
+    bool pseudo_new_alloc = false;
+    int provider_ctr = 0;       ///< signed provider counter value
+};
+
+class TagePredictor : public BranchPredictor
+{
+  public:
+    explicit TagePredictor(const TageParams& params = {});
+
+    bool predict(Addr pc) override;
+    void update(Addr pc, bool taken) override;
+    void reset() override;
+
+    /** Metadata for the most recent predict(). */
+    const TagePredictionInfo& lastInfo() const { return info_; }
+
+    /** Also used by the SC component: current global history bits. */
+    std::uint64_t historyHash(unsigned bits) const;
+
+  private:
+    struct TaggedEntry {
+        std::uint16_t tag = 0;
+        std::int8_t ctr = 0;    ///< signed: >=0 predicts taken
+        std::uint8_t u = 0;     ///< usefulness
+    };
+
+    /** Incremental folded history (Seznec's circular-shift trick). */
+    struct FoldedHistory {
+        std::uint32_t value = 0;
+        unsigned comp_length = 0;
+        unsigned orig_length = 0;
+        unsigned outpoint = 0;
+
+        void init(unsigned orig, unsigned comp);
+        void update(const std::vector<std::uint8_t>& ghist, unsigned ptr);
+    };
+
+    size_t taggedIndex(Addr pc, unsigned table) const;
+    std::uint16_t taggedTag(Addr pc, unsigned table) const;
+    void pushHistory(bool taken);
+
+    TageParams params_;
+    std::vector<unsigned> hist_lengths_;
+    std::vector<std::vector<TaggedEntry>> tables_;
+    std::vector<std::uint8_t> base_;    ///< 2-bit counters
+
+    // Global history ring buffer (most recent at ptr_).
+    std::vector<std::uint8_t> ghist_;
+    unsigned ghist_ptr_ = 0;
+
+    std::vector<FoldedHistory> idx_fold_;
+    std::vector<FoldedHistory> tag_fold_a_;
+    std::vector<FoldedHistory> tag_fold_b_;
+
+    // use_alt_on_newly_allocated counter (4 bits signed semantics).
+    int use_alt_on_na_ = 0;
+
+    std::uint64_t branch_count_ = 0;
+    std::uint32_t lfsr_ = 0xACE1u;  ///< deterministic allocation tie-break
+
+    TagePredictionInfo info_;
+    // Cached index/tag per table for the in-flight prediction.
+    std::vector<size_t> cached_idx_;
+    std::vector<std::uint16_t> cached_tag_;
+};
+
+} // namespace pfm
+
+#endif // PFM_BRANCH_TAGE_H

@@ -1,0 +1,48 @@
+#include "branch/tage_scl.h"
+
+namespace pfm {
+
+TageSclPredictor::TageSclPredictor(const TageParams& tage_params)
+    : tage_(tage_params)
+{}
+
+bool
+TageSclPredictor::predict(Addr pc)
+{
+    bool tage_pred = tage_.predict(pc);
+    last_tage_pred_ = tage_pred;
+    const TagePredictionInfo& info = tage_.lastInfo();
+
+    std::uint64_t hashes[StatisticalCorrector::kNumTables];
+    for (unsigned t = 0; t < StatisticalCorrector::kNumTables; ++t)
+        hashes[t] = tage_.historyHash(StatisticalCorrector::kHistBits[t]);
+
+    bool tage_weak = info.provider < 0 || info.provider_weak;
+    bool pred = sc_.predict(pc, tage_pred, tage_weak, hashes);
+
+    bool loop_valid, loop_dir;
+    loop_.lookup(pc, loop_valid, loop_dir);
+    last_loop_valid_ = loop_valid;
+    if (loop_valid)
+        pred = loop_dir;
+
+    return pred;
+}
+
+void
+TageSclPredictor::update(Addr pc, bool taken)
+{
+    loop_.update(pc, taken, last_tage_pred_);
+    sc_.update(pc, taken);
+    tage_.update(pc, taken);
+}
+
+void
+TageSclPredictor::reset()
+{
+    tage_.reset();
+    loop_.reset();
+    sc_.reset();
+}
+
+} // namespace pfm

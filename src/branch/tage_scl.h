@@ -1,0 +1,41 @@
+/**
+ * @file
+ * TAGE-SC-L composite (Seznec, CBP-5 2016): TAGE provides the base
+ * prediction, the loop predictor overrides for confident constant-trip
+ * loops, and the statistical corrector may revert weak TAGE predictions.
+ * This is the paper's baseline conditional branch predictor (Table 1).
+ */
+
+#ifndef PFM_BRANCH_TAGE_SCL_H
+#define PFM_BRANCH_TAGE_SCL_H
+
+#include "branch/loop_predictor.h"
+#include "branch/predictor.h"
+#include "branch/statistical_corrector.h"
+#include "branch/tage.h"
+
+namespace pfm {
+
+class TageSclPredictor : public BranchPredictor
+{
+  public:
+    explicit TageSclPredictor(const TageParams& tage_params = {});
+
+    bool predict(Addr pc) override;
+    void update(Addr pc, bool taken) override;
+    void reset() override;
+
+    TagePredictor& tage() { return tage_; }
+
+  private:
+    TagePredictor tage_;
+    LoopPredictor loop_;
+    StatisticalCorrector sc_;
+
+    bool last_loop_valid_ = false;
+    bool last_tage_pred_ = false;
+};
+
+} // namespace pfm
+
+#endif // PFM_BRANCH_TAGE_SCL_H

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by predictors and cache indexing.
+ */
+
+#ifndef PFM_COMMON_BITUTILS_H
+#define PFM_COMMON_BITUTILS_H
+
+#include <cstdint>
+
+namespace pfm {
+
+/** floor(log2(x)); x must be nonzero. */
+constexpr unsigned
+floorLog2(std::uint64_t x)
+{
+    unsigned r = 0;
+    while (x >>= 1)
+        ++r;
+    return r;
+}
+
+/** True iff x is a power of two (and nonzero). */
+constexpr bool
+isPow2(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** Mask with the low @p n bits set. */
+constexpr std::uint64_t
+mask(unsigned n)
+{
+    return n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+}
+
+/** Extract bits [lo, lo+n) of x. */
+constexpr std::uint64_t
+bits(std::uint64_t x, unsigned lo, unsigned n)
+{
+    return (x >> lo) & mask(n);
+}
+
+/** Saturating counter increment/decrement on an n-bit unsigned counter. */
+inline void
+satIncrement(std::uint8_t& ctr, std::uint8_t max)
+{
+    if (ctr < max)
+        ++ctr;
+}
+
+inline void
+satDecrement(std::uint8_t& ctr)
+{
+    if (ctr > 0)
+        --ctr;
+}
+
+/** Signed saturating counter update in [-2^(n-1), 2^(n-1)-1]. */
+inline void
+satUpdate(std::int8_t& ctr, bool up, int nbits)
+{
+    int max = (1 << (nbits - 1)) - 1;
+    int min = -(1 << (nbits - 1));
+    if (up && ctr < max)
+        ++ctr;
+    else if (!up && ctr > min)
+        --ctr;
+}
+
+} // namespace pfm
+
+#endif // PFM_COMMON_BITUTILS_H

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Minimal gem5-flavoured status/error reporting: panic for simulator bugs,
+ * fatal for user errors, warn/inform for status messages.
+ */
+
+#ifndef PFM_COMMON_LOG_H
+#define PFM_COMMON_LOG_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace pfm {
+
+namespace log_detail {
+
+[[noreturn]] void panicImpl(const char* file, int line, const std::string& msg);
+[[noreturn]] void fatalImpl(const char* file, int line, const std::string& msg);
+void warnImpl(const std::string& msg);
+void informImpl(const std::string& msg);
+
+/** printf-style formatting into a std::string. */
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Global verbosity: 0 = quiet, 1 = inform, 2 = debug. */
+int verbosity();
+void setVerbosity(int level);
+
+} // namespace log_detail
+
+/** Abort: something happened that indicates a simulator bug. */
+#define pfm_panic(...) \
+    ::pfm::log_detail::panicImpl(__FILE__, __LINE__, \
+                                 ::pfm::log_detail::format(__VA_ARGS__))
+
+/** Exit with error: the user asked for something unsupported/inconsistent. */
+#define pfm_fatal(...) \
+    ::pfm::log_detail::fatalImpl(__FILE__, __LINE__, \
+                                 ::pfm::log_detail::format(__VA_ARGS__))
+
+/** Non-fatal warning to stderr. */
+#define pfm_warn(...) \
+    ::pfm::log_detail::warnImpl(::pfm::log_detail::format(__VA_ARGS__))
+
+/** Status message (suppressed when verbosity == 0). */
+#define pfm_inform(...) \
+    ::pfm::log_detail::informImpl(::pfm::log_detail::format(__VA_ARGS__))
+
+/** Simulator invariant check; always on (cheap relative to modeling work). */
+#define pfm_assert(cond, ...)                                              \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::pfm::log_detail::panicImpl(                                  \
+                __FILE__, __LINE__,                                        \
+                std::string("assertion failed: " #cond " — ") +           \
+                    ::pfm::log_detail::format(__VA_ARGS__));               \
+        }                                                                  \
+    } while (0)
+
+} // namespace pfm
+
+#endif // PFM_COMMON_LOG_H

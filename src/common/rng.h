@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (splitmix64 + xoshiro-style
+ * usage). Workload generators must be reproducible across platforms, so we
+ * avoid std::mt19937's distribution non-determinism by rolling our own
+ * uniform helpers.
+ */
+
+#ifndef PFM_COMMON_RNG_H
+#define PFM_COMMON_RNG_H
+
+#include <cstdint>
+
+namespace pfm {
+
+/** splitmix64: tiny, fast, and good enough for workload synthesis. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform in [lo, hi]. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+                        below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform real in [0, 1). */
+    double
+    real()
+    {
+        return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli trial with probability @p p. */
+    bool chance(double p) { return real() < p; }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace pfm
+
+#endif // PFM_COMMON_RNG_H

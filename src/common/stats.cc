@@ -1,0 +1,48 @@
+#include "common/stats.h"
+
+#include <iomanip>
+
+namespace pfm {
+
+Counter&
+StatGroup::counter(const std::string& name)
+{
+    return counters_[name];
+}
+
+Distribution&
+StatGroup::distribution(const std::string& name)
+{
+    return dists_[name];
+}
+
+std::uint64_t
+StatGroup::get(const std::string& name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+void
+StatGroup::dump(std::ostream& os) const
+{
+    for (const auto& [name, c] : counters_) {
+        os << prefix_ << name << " " << c.value() << "\n";
+    }
+    for (const auto& [name, d] : dists_) {
+        os << prefix_ << name << " mean=" << std::fixed
+           << std::setprecision(3) << d.mean() << " min=" << d.min()
+           << " max=" << d.max() << " n=" << d.count() << "\n";
+    }
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto& [name, c] : counters_)
+        c.reset();
+    for (auto& [name, d] : dists_)
+        d.reset();
+}
+
+} // namespace pfm

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Lightweight named-statistics registry. Modules register scalar counters
+ * and distributions against a StatGroup; the simulator driver dumps them.
+ */
+
+#ifndef PFM_COMMON_STATS_H
+#define PFM_COMMON_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pfm {
+
+/** A simple accumulating counter. */
+class Counter
+{
+  public:
+    Counter& operator++() { ++value_; return *this; }
+    Counter& operator+=(std::uint64_t v) { value_ += v; return *this; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running mean/min/max of a sampled quantity. */
+class Distribution
+{
+  public:
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++count_;
+        if (v < min_ || count_ == 1)
+            min_ = v;
+        if (v > max_ || count_ == 1)
+            max_ = v;
+    }
+
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    std::uint64_t count() const { return count_; }
+    void reset() { sum_ = 0; count_ = 0; min_ = 0; max_ = 0; }
+
+  private:
+    double sum_ = 0;
+    double min_ = 0;
+    double max_ = 0;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * Flat registry of named counters/distributions. Each major model object
+ * owns a StatGroup; names are dotted paths ("core.retired", "l1d.misses").
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string prefix = "") : prefix_(std::move(prefix)) {}
+
+    /** Look up (creating on first use) a counter. */
+    Counter& counter(const std::string& name);
+
+    /** Look up (creating on first use) a distribution. */
+    Distribution& distribution(const std::string& name);
+
+    /** Value of a counter, 0 if it was never touched. */
+    std::uint64_t get(const std::string& name) const;
+
+    /** Dump all stats, sorted by name. */
+    void dump(std::ostream& os) const;
+
+    /** Reset every stat in the group (e.g., after warmup). */
+    void resetAll();
+
+    const std::string& prefix() const { return prefix_; }
+
+  private:
+    std::string prefix_;
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Distribution> dists_;
+};
+
+} // namespace pfm
+
+#endif // PFM_COMMON_STATS_H

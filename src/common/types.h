@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every module of the PFM simulator.
+ */
+
+#ifndef PFM_COMMON_TYPES_H
+#define PFM_COMMON_TYPES_H
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+using std::size_t;
+
+namespace pfm {
+
+/** Byte address in the simulated 64-bit address space. */
+using Addr = std::uint64_t;
+
+/** Core clock cycle count. The RF fabric derives its cycles from this. */
+using Cycle = std::uint64_t;
+
+/** Global dynamic instruction sequence number (monotonic, never reused). */
+using SeqNum = std::uint64_t;
+
+/** Integer register value. FP values are stored bit-cast into this. */
+using RegVal = std::uint64_t;
+
+/** Sentinel for "no cycle"/"not scheduled". */
+inline constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
+
+/** Sentinel for "no sequence number". */
+inline constexpr SeqNum kNoSeq = std::numeric_limits<SeqNum>::max();
+
+/** Sentinel for "invalid address". */
+inline constexpr Addr kBadAddr = std::numeric_limits<Addr>::max();
+
+/** Cache line size used throughout the memory hierarchy. */
+inline constexpr unsigned kLineBytes = 64;
+
+/** Returns the line-aligned address containing @p a. */
+constexpr Addr lineAlign(Addr a) { return a & ~Addr{kLineBytes - 1}; }
+
+} // namespace pfm
+
+#endif // PFM_COMMON_TYPES_H

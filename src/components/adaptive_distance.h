@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Sampling-based prefetch-distance feedback (Section 4.3): each epoch the
+ * engine counts retired instances of the delinquent load (a proxy for
+ * IPC); the distance keeps growing while the proxy improves, settles when
+ * it is flat, and backs off when it degrades.
+ */
+
+#ifndef PFM_COMPONENTS_ADAPTIVE_DISTANCE_H
+#define PFM_COMPONENTS_ADAPTIVE_DISTANCE_H
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace pfm {
+
+struct AdaptiveDistanceParams {
+    // The distance is measured from the *retired* delinquent-load frontier,
+    // so it must clear the core's in-flight window (~28 loads for a
+    // 224-entry ROB) before prefetches lead demand at all.
+    unsigned initial = 128;
+    unsigned step = 32;
+    unsigned min = 16;
+    unsigned max = 512;
+    Cycle epoch_cycles = 16384;
+    double improve_threshold = 0.02; ///< relative change = "changed"
+};
+
+class AdaptiveDistance
+{
+  public:
+    using Params = AdaptiveDistanceParams;
+
+    explicit AdaptiveDistance(const Params& p = Params())
+        : p_(p), distance_(p.initial)
+    {}
+
+    unsigned distance() const { return distance_; }
+
+    /** Feed the running feedback counter; call once per RF cycle. */
+    void
+    tick(Cycle now, std::uint64_t events)
+    {
+        if (epoch_start_ == kNoCycle) {
+            epoch_start_ = now;
+            epoch_events_base_ = events;
+            return;
+        }
+        if (now - epoch_start_ < p_.epoch_cycles)
+            return;
+
+        double rate = static_cast<double>(events - epoch_events_base_);
+        if (last_rate_ >= 0.0 && !settled_) {
+            double delta = rate - last_rate_;
+            double rel = last_rate_ > 0 ? delta / last_rate_ : 0.0;
+            if (rel > p_.improve_threshold) {
+                if (distance_ + p_.step <= p_.max)
+                    distance_ += p_.step;
+                else
+                    settled_ = true;
+            } else if (rel < -p_.improve_threshold) {
+                if (distance_ >= p_.min + p_.step)
+                    distance_ -= p_.step;
+                settled_ = true;
+            } else {
+                settled_ = true;
+            }
+        } else if (last_rate_ < 0.0) {
+            // First full epoch: begin probing upward.
+            if (distance_ + p_.step <= p_.max)
+                distance_ += p_.step;
+        }
+        last_rate_ = rate;
+        epoch_start_ = now;
+        epoch_events_base_ = events;
+    }
+
+    void
+    reset()
+    {
+        distance_ = p_.initial;
+        last_rate_ = -1.0;
+        settled_ = false;
+        epoch_start_ = kNoCycle;
+        epoch_events_base_ = 0;
+    }
+
+  private:
+    Params p_;
+    unsigned distance_;
+    double last_rate_ = -1.0;
+    bool settled_ = false;
+    Cycle epoch_start_ = kNoCycle;
+    std::uint64_t epoch_events_base_ = 0;
+};
+
+} // namespace pfm
+
+#endif // PFM_COMPONENTS_ADAPTIVE_DISTANCE_H

@@ -1,0 +1,255 @@
+#include "components/astar_alt_predictor.h"
+
+#include <ostream>
+
+#include "common/bitutils.h"
+#include "common/log.h"
+
+namespace pfm {
+
+namespace {
+constexpr unsigned kMetaWay = 1;
+constexpr unsigned kMetaMap = 2;
+
+std::uint32_t
+meta(unsigned kind, size_t table_index)
+{
+    return static_cast<std::uint32_t>((kind << 30) |
+                                      (table_index & ((1u << 30) - 1)));
+}
+} // namespace
+
+AstarAltPredictor::AstarAltPredictor(const Workload& w,
+                                     const AstarAltOptions& opt)
+    : CustomComponent("astar-alt"),
+      opt_(opt),
+      pc_roi_begin_(w.pc("roi_begin")),
+      pc_yoffset_(w.pc("snoop_yoffset")),
+      pc_inbase_(w.pc("snoop_inbase")),
+      pc_waymap_(w.pc("snoop_waymap")),
+      pc_maparp_(w.pc("snoop_maparp")),
+      pc_induction_(w.pc("snoop_induction"))
+{
+    // One tag byte per entry: a 32KB table tracks 32Ki cells.
+    way_table_.assign(opt.table_bytes, 0xFF);
+    // Two bits per entry packed as one byte for simplicity of modeling
+    // (the cost model charges the architected 2 bits).
+    map_state_.assign(opt.table_bytes, 0);
+    pfm_assert(isPow2(way_table_.size()) && isPow2(map_state_.size()),
+               "astar-alt tables must be powers of two");
+    collecting_.reserve(opt.worklist_entries);
+    for (unsigned n = 0; n < kNeighbors; ++n) {
+        out_store_pcs_.insert(w.pc("st_out" + std::to_string(n)));
+        way_store_pcs_.insert(w.pc("st_way" + std::to_string(n)));
+        way_branch_pcs_.insert(w.pc("br_way" + std::to_string(n)));
+        map_branch_pcs_.insert(w.pc("br_map" + std::to_string(n)));
+    }
+}
+
+void
+AstarAltPredictor::attach(PfmSystem& sys, const Workload& w,
+                          const AstarAltOptions& opt)
+{
+    RetireSnoopTable& rst = sys.retireAgent().rst();
+    FetchSnoopTable& fst = sys.fetchAgent().fst();
+
+    RstEntry begin;
+    begin.type = ObsType::kRoiBegin;
+    begin.roi_begin = true;
+    rst.add(w.pc("roi_begin"), begin);
+    rst.add(w.pc("snoop_yoffset"), begin);
+
+    RstEntry dest;
+    dest.type = ObsType::kDestValue;
+    rst.add(w.pc("snoop_inbase"), dest);
+    rst.add(w.pc("snoop_waymap"), dest);
+    rst.add(w.pc("snoop_maparp"), dest);
+
+    RstEntry store;
+    store.type = ObsType::kStoreValue;
+    RstEntry branch;
+    branch.type = ObsType::kBranchOutcome;
+    for (unsigned n = 0; n < 8; ++n) {
+        rst.add(w.pc("st_out" + std::to_string(n)), store);
+        rst.add(w.pc("st_way" + std::to_string(n)), store);
+        Addr way = w.pc("br_way" + std::to_string(n));
+        Addr map = w.pc("br_map" + std::to_string(n));
+        rst.add(way, branch);
+        rst.add(map, branch);
+        fst.add(way);
+        fst.add(map);
+    }
+
+    sys.setComponent(std::make_unique<AstarAltPredictor>(w, opt));
+}
+
+void
+AstarAltPredictor::reset()
+{
+    CustomComponent::reset();
+    // Per-call state: swap the collected worklist in; tables persist.
+    draining_ = std::move(collecting_);
+    collecting_.clear();
+    drain_pos_ = 0;
+    nb_pos_ = 0;
+    phase_ = 0;
+}
+
+void
+AstarAltPredictor::onObservation(const ObsPacket& p, Cycle now)
+{
+    (void)now;
+    switch (p.type) {
+      case ObsType::kRoiBegin:
+        if (p.pc == pc_roi_begin_) {
+            fillnum_ = p.value;
+        } else if (p.pc == pc_yoffset_) {
+            yoffset_ = static_cast<std::int64_t>(p.value);
+            const std::int64_t y = yoffset_;
+            const std::int64_t offs[kNeighbors] = {-y - 1, -y, -y + 1, -1,
+                                                   +1,     y - 1, y, y + 1};
+            for (unsigned n = 0; n < kNeighbors; ++n)
+                offsets_[n] = offs[n];
+        }
+        return;
+      case ObsType::kDestValue:
+        if (p.pc == pc_waymap_)
+            waymap_base_ = p.value;
+        return;
+      case ObsType::kStoreValue: {
+        // Two families of stores are snooped: output-worklist pushes
+        // (value = index1; collect for the next call) and waymap fillnum
+        // stores (active table update by address).
+        if (way_store_pcs_.count(p.pc)) {
+            if (waymap_base_ != kBadAddr && p.mem_addr >= waymap_base_) {
+                std::int64_t index1 = static_cast<std::int64_t>(
+                    (p.mem_addr - waymap_base_) / 8);
+                way_table_[wayIndex(index1)] =
+                    static_cast<std::uint8_t>(fillnum_);
+            }
+        } else if (out_store_pcs_.count(p.pc)) {
+            auto index1 = static_cast<std::int32_t>(p.value);
+            if (collecting_.size() < opt_.worklist_entries)
+                collecting_.push_back(index1);
+            else
+                ++dropped_;
+        }
+        return;
+      }
+      default:
+        return; // branch outcomes: bandwidth-only in this model
+    }
+}
+
+void
+AstarAltPredictor::rfStep(Cycle now)
+{
+    if (yoffset_ == 0)
+        return;
+    for (;;) {
+        if (drain_pos_ >= draining_.size()) {
+            // Worklist exhausted (either genuinely at the call's end or
+            // truncated at 512 entries): keep the fetch unit fed with
+            // default predict-visited packets; the per-call ROI squash
+            // resynchronizes and mispredictions are bounded by the
+            // truncation (the capacity weakness the paper calls out).
+            if (!emitPrediction(true, now, meta(kMetaWay, 0)))
+                return;
+            ++stats().counter("alt_default_predictions");
+            continue;
+        }
+        std::int64_t index = draining_[drain_pos_];
+        std::int64_t index1 = index + offsets_[nb_pos_];
+        if (phase_ == 0) {
+            bool visited = way_table_[wayIndex(index1)] ==
+                           static_cast<std::uint8_t>(fillnum_);
+            if (!emitPrediction(visited, now,
+                                meta(kMetaWay, wayIndex(index1))))
+                return;
+            if (visited) {
+                // [T, -]: no maparp branch follows.
+                if (++nb_pos_ == kNeighbors) {
+                    nb_pos_ = 0;
+                    ++drain_pos_;
+                }
+                continue;
+            }
+            phase_ = 1;
+        }
+        // Maparp prediction from the learned table (0 = unknown: guess
+        // free, and learn from the outcome via the patch path).
+        std::uint8_t st = map_state_[mapIndex(index1)];
+        bool blocked = (st == 2);
+        if (!emitPrediction(blocked, now, meta(kMetaMap, mapIndex(index1))))
+            return;
+        if (!blocked) {
+            // [NT, NT]: the program will mark index1 visited; mirror the
+            // store speculatively so in-flight revisits predict correctly.
+            way_table_[wayIndex(index1)] =
+                static_cast<std::uint8_t>(fillnum_);
+        }
+        phase_ = 0;
+        if (++nb_pos_ == kNeighbors) {
+            nb_pos_ = 0;
+            ++drain_pos_;
+        }
+    }
+}
+
+void
+AstarAltPredictor::patchLog(const SquashInfo& info)
+{
+    if (!info.branch_mispredict || info.rollback_pos == 0)
+        return;
+    std::uint64_t pos = info.rollback_pos - 1;
+    std::uint32_t m = logMetaAt(pos);
+    unsigned kind = m >> 30;
+    size_t table_index = m & ((1u << 30) - 1);
+
+    if (map_branch_pcs_.count(info.branch_pc) && kind == kMetaMap) {
+        // Learn the static maparp truth from the resolved outcome.
+        map_state_[table_index & (map_state_.size() - 1)] =
+            info.actual_taken ? 2 : 1;
+        logSetDirAt(pos, info.actual_taken);
+        if (info.actual_taken) {
+            // We guessed [NT,NT] and speculatively marked the cell
+            // visited, but the blocked maparp means the program never
+            // stores: undo the poisoned waymap-table entry.
+            way_table_[table_index & (way_table_.size() - 1)] = 0xFF;
+        }
+        ++stats().counter("alt_map_learned");
+        return;
+    }
+    if (!way_branch_pcs_.count(info.branch_pc) || kind != kMetaWay)
+        return;
+    if (!info.actual_taken && logDirAt(pos)) {
+        // Predicted visited, actually not: a maparp branch follows.
+        logSetDirAt(pos, false);
+        bool blocked =
+            map_state_[table_index & (map_state_.size() - 1)] == 2;
+        logInsertAt(info.rollback_pos, blocked,
+                    meta(kMetaMap, table_index & (map_state_.size() - 1)));
+        ++stats().counter("alt_patch_insertions");
+    } else if (info.actual_taken && !logDirAt(pos)) {
+        // Predicted not-visited but it was: drop the recorded maparp pred.
+        if (info.rollback_pos < genPos() &&
+            (logMetaAt(info.rollback_pos) >> 30) == kMetaMap)
+            logEraseAt(info.rollback_pos);
+        logSetDirAt(pos, true);
+        way_table_[table_index & (way_table_.size() - 1)] =
+            static_cast<std::uint8_t>(fillnum_);
+        ++stats().counter("alt_patch_deletions");
+    }
+}
+
+void
+AstarAltPredictor::dumpDebug(std::ostream& os) const
+{
+    CustomComponent::dumpDebug(os);
+    os << "astar-alt: drain=" << drain_pos_ << "/" << draining_.size()
+       << " nb=" << nb_pos_ << " phase=" << int(phase_)
+       << " collecting=" << collecting_.size() << " dropped=" << dropped_
+       << "\n";
+}
+
+} // namespace pfm

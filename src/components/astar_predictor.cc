@@ -1,0 +1,390 @@
+#include "components/astar_predictor.h"
+
+#include <ostream>
+
+#include "common/log.h"
+
+namespace pfm {
+
+namespace {
+constexpr unsigned kKindIndex = 0;
+constexpr unsigned kKindWay = 1;
+constexpr unsigned kKindMap = 2;
+} // namespace
+
+AstarPredictor::AstarPredictor(const Workload& w,
+                               const AstarPredictorOptions& opt)
+    : CustomComponent("astar-predictor"),
+      opt_(opt),
+      pc_roi_begin_(w.pc("roi_begin")),
+      pc_yoffset_(w.pc("snoop_yoffset")),
+      pc_inbase_(w.pc("snoop_inbase")),
+      pc_waymap_(w.pc("snoop_waymap")),
+      pc_maparp_(w.pc("snoop_maparp")),
+      pc_induction_(w.pc("snoop_induction")),
+      ring_(opt.index_queue_entries)
+{
+    for (unsigned n = 0; n < kNeighbors; ++n) {
+        way_pcs_.push_back(w.pc("br_way" + std::to_string(n)));
+        map_pcs_.push_back(w.pc("br_map" + std::to_string(n)));
+    }
+}
+
+void
+AstarPredictor::attach(PfmSystem& sys, const Workload& w,
+                       const AstarPredictorOptions& opt)
+{
+    RetireSnoopTable& rst = sys.retireAgent().rst();
+    FetchSnoopTable& fst = sys.fetchAgent().fst();
+
+    RstEntry begin;
+    begin.type = ObsType::kRoiBegin;
+    begin.roi_begin = true;
+    rst.add(w.pc("roi_begin"), begin);
+    rst.add(w.pc("snoop_yoffset"), begin); // per-call resynchronization
+
+    RstEntry dest;
+    dest.type = ObsType::kDestValue;
+    rst.add(w.pc("snoop_inbase"), dest);
+    rst.add(w.pc("snoop_waymap"), dest);
+    rst.add(w.pc("snoop_maparp"), dest);
+    rst.add(w.pc("snoop_induction"), dest);
+
+    RstEntry branch;
+    branch.type = ObsType::kBranchOutcome;
+    for (unsigned n = 0; n < 8; ++n) {
+        Addr way = w.pc("br_way" + std::to_string(n));
+        Addr map = w.pc("br_map" + std::to_string(n));
+        rst.add(way, branch);
+        fst.add(way);
+        if (opt.predict_maparp) {
+            rst.add(map, branch);
+            fst.add(map);
+        }
+    }
+
+    sys.setComponent(std::make_unique<AstarPredictor>(w, opt));
+}
+
+std::uint64_t
+AstarPredictor::makeId(unsigned kind, std::uint64_t iter, unsigned nb) const
+{
+    return (static_cast<std::uint64_t>(gen_) << 48) |
+           (static_cast<std::uint64_t>(kind) << 46) |
+           (static_cast<std::uint64_t>(nb) << 43) |
+           (iter & ((std::uint64_t{1} << 43) - 1));
+}
+
+std::uint32_t
+AstarPredictor::predMeta(unsigned kind, std::uint64_t iter, unsigned nb)
+{
+    return static_cast<std::uint32_t>((kind << 30) | (nb << 27) |
+                                      (iter & ((1u << 27) - 1)));
+}
+
+void
+AstarPredictor::reset()
+{
+    CustomComponent::reset();
+    for (Iter& it : ring_)
+        it = Iter{};
+    alloc_iter_ = 0;
+    t1_iter_ = 0;
+    t2_iter_ = 0;
+    t2_nb_ = 0;
+    commit_iter_ = 0;
+    next_i_ = 0;
+    in_base_valid_ = false;
+    ++gen_;
+    // fillnum_, bases and yoffset_ are configuration registers and persist.
+}
+
+void
+AstarPredictor::onObservation(const ObsPacket& p, Cycle now)
+{
+    (void)now;
+    if (p.type == ObsType::kRoiBegin) {
+        if (p.pc == pc_roi_begin_) {
+            fillnum_ = p.value;
+        } else if (p.pc == pc_yoffset_) {
+            yoffset_ = static_cast<std::int64_t>(p.value);
+            const std::int64_t y = yoffset_;
+            const std::int64_t offs[kNeighbors] = {-y - 1, -y, -y + 1, -1,
+                                                   +1,     y - 1, y, y + 1};
+            for (unsigned n = 0; n < kNeighbors; ++n)
+                offsets_[n] = offs[n];
+        }
+        return;
+    }
+    if (p.type == ObsType::kDestValue) {
+        if (p.pc == pc_inbase_) {
+            in_base_ = p.value;
+            in_base_valid_ = true;
+        } else if (p.pc == pc_waymap_) {
+            waymap_base_ = p.value;
+        } else if (p.pc == pc_maparp_) {
+            maparp_base_ = p.value;
+        } else if (p.pc == pc_induction_) {
+            ++commit_iter_;
+        }
+        return;
+    }
+    // Branch-outcome packets: the hardware design uses them to validate and
+    // advance fine-grained commit state; the model only needs the queue
+    // bandwidth they consume.
+}
+
+void
+AstarPredictor::onLoadReturn(const LoadReturn& r, Cycle now)
+{
+    (void)now;
+    if ((r.id >> 48) != gen_)
+        return; // stale return from before a call-boundary reset
+    unsigned kind = static_cast<unsigned>((r.id >> 46) & 3);
+    unsigned nb = static_cast<unsigned>((r.id >> 43) & 7);
+    std::uint64_t iter = r.id & ((std::uint64_t{1} << 43) - 1);
+
+    Iter& it = slot(iter);
+    if (it.state == Iter::kFree || it.number != iter)
+        return; // slot was reclaimed
+
+    if (kind == kKindIndex) {
+        it.index = static_cast<std::int32_t>(r.value); // worklist is int32
+        it.state = Iter::kHaveIndex;
+        return;
+    }
+    Neighbor& n = it.nb[nb];
+    if (kind == kKindWay) {
+        n.way_visited =
+            (static_cast<std::uint32_t>(r.value) ==
+             static_cast<std::uint32_t>(fillnum_));
+        n.way_valid = true;
+    } else {
+        n.map_blocked = (static_cast<std::uint32_t>(r.value) != 0);
+        n.map_valid = true;
+    }
+}
+
+void
+AstarPredictor::stepT0(Cycle now)
+{
+    if (!in_base_valid_)
+        return;
+    while (alloc_iter_ < commit_iter_ + ring_.size() &&
+           alloc_iter_ < t2_iter_ + ring_.size()) {
+        Iter& it = slot(alloc_iter_);
+        // The slot must be fully drained by T2 before reuse.
+        if (it.state != Iter::kFree && it.number + ring_.size() != alloc_iter_)
+            break;
+        if (!issueLoad(makeId(kKindIndex, alloc_iter_, 0),
+                       in_base_ + 4 * next_i_, 4, now)) {
+            break; // width budget or IntQ-IS full
+        }
+        it = Iter{};
+        it.state = Iter::kWaitIndex;
+        it.number = alloc_iter_;
+        ++alloc_iter_;
+        ++next_i_;
+    }
+}
+
+void
+AstarPredictor::stepT1(Cycle now)
+{
+    while (t1_iter_ < alloc_iter_) {
+        Iter& it = slot(t1_iter_);
+        if (it.state != Iter::kHaveIndex || it.number != t1_iter_)
+            return; // index not returned yet (in-order consumption)
+        while (it.t1_next < kNeighbors) {
+            unsigned n = it.t1_next;
+            Neighbor& nb = it.nb[n];
+            if (!nb.way_issued) {
+                std::int64_t index1 = it.index + offsets_[n];
+                Addr way_addr =
+                    waymap_base_ + static_cast<Addr>(index1) * 8;
+                if (!issueLoad(makeId(kKindWay, t1_iter_, n), way_addr, 4,
+                               now))
+                    return;
+                nb.index1 = index1;
+                nb.way_issued = true;
+            }
+            if (!nb.map_issued) {
+                Addr map_addr =
+                    maparp_base_ + static_cast<Addr>(nb.index1) * 4;
+                if (!issueLoad(makeId(kKindMap, t1_iter_, n), map_addr, 4,
+                               now))
+                    return;
+                nb.map_issued = true;
+            }
+            ++it.t1_next;
+        }
+        ++t1_iter_;
+    }
+}
+
+void
+AstarPredictor::stepT2(Cycle now)
+{
+    while (t2_iter_ < alloc_iter_) {
+        Iter& it = slot(t2_iter_);
+        if (it.number != t2_iter_)
+            return;
+        while (t2_nb_ < kNeighbors) {
+            // T1 must have issued this neighbor's loads.
+            if (t2_iter_ > t1_iter_ ||
+                (t2_iter_ == t1_iter_ && t2_nb_ >= it.t1_next))
+                return;
+            Neighbor& n = it.nb[t2_nb_];
+            if (!n.way_valid)
+                return;
+            bool visited;
+            if (n.emit_state == 0) {
+                bool inferred =
+                    opt_.inference && camHit(n.index1, t2_iter_, t2_nb_);
+                visited = inferred || n.way_visited;
+                if (visited) {
+                    // Final prediction [T, -].
+                    if (!emitPrediction(true, now,
+                                        predMeta(kKindWay, t2_iter_,
+                                                 t2_nb_)))
+                        return;
+                    n.emit_state = 2;
+                } else {
+                    if (!emitPrediction(false, now,
+                                        predMeta(kKindWay, t2_iter_,
+                                                 t2_nb_)))
+                        return;
+                    n.emit_state = opt_.predict_maparp ? 1 : 2;
+                }
+            }
+            if (n.emit_state == 1) {
+                // The maparp prediction of a [NT, x] pair.
+                if (!n.map_valid)
+                    return;
+                if (!emitPrediction(n.map_blocked, now,
+                                    predMeta(kKindMap, t2_iter_, t2_nb_)))
+                    return;
+                n.emit_state = 2;
+                if (!n.map_blocked) {
+                    // [NT, NT]: the control-dependent store will execute.
+                    n.inferred_store = true;
+                }
+            }
+            ++t2_nb_;
+        }
+        t2_nb_ = 0;
+        ++t2_iter_;
+    }
+}
+
+bool
+AstarPredictor::camHit(std::int64_t index1, std::uint64_t iter,
+                       unsigned nb) const
+{
+    std::uint64_t oldest =
+        alloc_iter_ > ring_.size() ? alloc_iter_ - ring_.size() : 0;
+    for (std::uint64_t k = oldest; k <= iter; ++k) {
+        const Iter& it = ring_[k % ring_.size()];
+        if (it.state == Iter::kFree || it.number != k)
+            continue;
+        unsigned limit = (k == iter) ? nb : kNeighbors;
+        for (unsigned n = 0; n < limit; ++n) {
+            const Neighbor& cand = it.nb[n];
+            if (cand.inferred_store && cand.index1 == index1)
+                return true;
+        }
+    }
+    return false;
+}
+
+void
+AstarPredictor::dumpDebug(std::ostream& os) const
+{
+    CustomComponent::dumpDebug(os);
+    os << "astar: alloc=" << alloc_iter_ << " t1=" << t1_iter_
+       << " t2=" << t2_iter_ << "/" << t2_nb_ << " commit=" << commit_iter_
+       << " next_i=" << next_i_ << " in_base_valid=" << in_base_valid_
+       << " gen=" << gen_ << "\n";
+    for (size_t i = 0; i < ring_.size(); ++i) {
+        const Iter& it = ring_[i];
+        os << "  slot" << i << ": state=" << int(it.state)
+           << " num=" << it.number << " t1_next=" << it.t1_next << " nb[";
+        for (unsigned n = 0; n < kNeighbors; ++n) {
+            os << (it.nb[n].way_valid ? "W" : "w")
+               << (it.nb[n].map_valid ? "M" : "m")
+               << int(it.nb[n].emit_state) << " ";
+        }
+        os << "]\n";
+    }
+}
+
+void
+AstarPredictor::rfStep(Cycle now)
+{
+    if (waymap_base_ == kBadAddr || maparp_base_ == kBadAddr)
+        return;
+    stepT0(now);
+    stepT1(now);
+    stepT2(now);
+}
+
+void
+AstarPredictor::patchLog(const SquashInfo& info)
+{
+    if (!info.branch_mispredict || !opt_.predict_maparp)
+        return;
+
+    // The mispredicted branch's own prediction sits just before the
+    // rollback position (it resolved and keeps its pop).
+    if (info.rollback_pos == 0)
+        return;
+    std::uint64_t pos = info.rollback_pos - 1;
+    std::uint32_t meta = logMetaAt(pos);
+    unsigned kind = meta >> 30;
+    unsigned nb = (meta >> 27) & 7;
+    std::uint64_t iter_lo = meta & ((1u << 27) - 1);
+
+    // Locate the ring slot (iteration numbers are tagged modulo 2^27).
+    Iter* it = nullptr;
+    for (Iter& cand : ring_) {
+        if (cand.state != Iter::kFree &&
+            (cand.number & ((1u << 27) - 1)) == iter_lo) {
+            it = &cand;
+            break;
+        }
+    }
+
+    bool is_way = false;
+    for (Addr pc : way_pcs_) {
+        if (pc == info.branch_pc)
+            is_way = true;
+    }
+
+    if (is_way && kind == kKindWay) {
+        if (!info.actual_taken && logDirAt(pos)) {
+            // Predicted visited [T,-] but the core found it unvisited: the
+            // maparp branch now executes; splice in its raw predicate.
+            bool blocked = it ? it->nb[nb].map_blocked : false;
+            logSetDirAt(pos, false);
+            logInsertAt(info.rollback_pos, blocked,
+                        predMeta(kKindMap, iter_lo, nb));
+            if (it && !blocked)
+                it->nb[nb].inferred_store = true;
+            ++stats().counter("patch_insertions");
+        } else if (info.actual_taken && !logDirAt(pos)) {
+            // Predicted unvisited [NT,x] but it was visited: the recorded
+            // maparp prediction will never be consumed; drop it.
+            if (info.rollback_pos < genPos()) {
+                std::uint32_t next_meta = logMetaAt(info.rollback_pos);
+                if ((next_meta >> 30) == kKindMap)
+                    logEraseAt(info.rollback_pos);
+            }
+            logSetDirAt(pos, true);
+            if (it)
+                it->nb[nb].inferred_store = false;
+            ++stats().counter("patch_deletions");
+        }
+    }
+}
+
+} // namespace pfm

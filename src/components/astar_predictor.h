@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Custom astar branch predictor (Section 4.1.2, Figure 7).
+ *
+ * Three decoupled engines ("threads" in fixed hardware):
+ *  T0 — pre-allocates index_queue entries and loads the next `index` from
+ *       the input worklist (tagged id = entry number; returns may be OOO).
+ *  T1 — consumes indices in order, computes the eight `index1` neighbor
+ *       cells, and issues the waymap/maparp load pairs.
+ *  T2 — converts raw predicates (from the returned load values, sampled
+ *       from committed memory) into final predictions, inferring
+ *       not-yet-retired stores to waymap[index1].fillnum by searching the
+ *       index1 CAM; [NT,NT] outcomes write their index1 into the CAM.
+ *
+ * Squash handling follows the paper: T0/T1 work is never redone; T2's
+ * output stream is rolled back and recorded final predictions are
+ * replayed (base-class machinery), with the log patched around the
+ * mispredicted waymap branch (the corrected direction adds or removes the
+ * dependent maparp prediction).
+ *
+ * The slipstream-style variant (inference and maparp prediction disabled)
+ * models Slipstream 2.0's qualified astar configuration for Figure 2.
+ */
+
+#ifndef PFM_COMPONENTS_ASTAR_PREDICTOR_H
+#define PFM_COMPONENTS_ASTAR_PREDICTOR_H
+
+#include <vector>
+
+#include "pfm/component.h"
+#include "pfm/pfm_system.h"
+#include "workloads/workload.h"
+
+namespace pfm {
+
+struct AstarPredictorOptions {
+    unsigned index_queue_entries = 8; ///< speculative scope (Figure 10)
+    bool inference = true;            ///< index1 CAM store inference
+    bool predict_maparp = true;       ///< false: waymap-only (slipstream)
+};
+
+class AstarPredictor : public CustomComponent
+{
+  public:
+    AstarPredictor(const Workload& w, const AstarPredictorOptions& opt);
+
+    void reset() override;
+    void dumpDebug(std::ostream& os) const override;
+
+    /** Configure RST/FST and install the component into @p sys. */
+    static void attach(PfmSystem& sys, const Workload& w,
+                       const AstarPredictorOptions& opt = {});
+
+  protected:
+    void rfStep(Cycle now) override;
+    void onObservation(const ObsPacket& p, Cycle now) override;
+    void onLoadReturn(const LoadReturn& r, Cycle now) override;
+    void patchLog(const SquashInfo& info) override;
+
+  private:
+    static constexpr unsigned kNeighbors = 8;
+
+    struct Neighbor {
+        std::int64_t index1 = 0;
+        bool way_issued = false;
+        bool map_issued = false;
+        bool way_valid = false;
+        bool map_valid = false;
+        bool way_visited = false;  ///< committed waymap predicate
+        bool map_blocked = false;  ///< committed maparp predicate
+        bool inferred_store = false; ///< CAM entry: in-flight visit
+        std::uint8_t emit_state = 0; ///< 0 none, 1 way emitted, 2 done
+    };
+
+    struct Iter {
+        enum State : std::uint8_t { kFree, kWaitIndex, kHaveIndex };
+        State state = kFree;
+        std::uint64_t number = 0;   ///< iteration id (tag for OOO returns)
+        std::int64_t index = 0;
+        unsigned t1_next = 0;       ///< next neighbor T1 must issue
+        Neighbor nb[kNeighbors];
+    };
+
+    // id encoding: gen(16) | kind(2) | nb(3) | iter(43)
+    std::uint64_t makeId(unsigned kind, std::uint64_t iter,
+                         unsigned nb) const;
+
+    Iter& slot(std::uint64_t iter) { return ring_[iter % ring_.size()]; }
+
+    bool camHit(std::int64_t index1, std::uint64_t iter, unsigned nb) const;
+    void stepT0(Cycle now);
+    void stepT1(Cycle now);
+    void stepT2(Cycle now);
+
+    // Prediction-log metadata: kind(1=way,2=map) | nb(3) | iter(28 bits).
+    static std::uint32_t predMeta(unsigned kind, std::uint64_t iter,
+                                  unsigned nb);
+
+    AstarPredictorOptions opt_;
+
+    // Bitstream configuration (PCs) from the workload annotations.
+    Addr pc_roi_begin_, pc_yoffset_, pc_inbase_, pc_waymap_, pc_maparp_,
+        pc_induction_;
+    std::vector<Addr> way_pcs_;
+    std::vector<Addr> map_pcs_;
+
+    // Persistent configuration registers (survive per-call resets).
+    RegVal fillnum_ = 0;
+    Addr waymap_base_ = kBadAddr;
+    Addr maparp_base_ = kBadAddr;
+    std::int64_t yoffset_ = 0;
+    std::int64_t offsets_[kNeighbors] = {};
+
+    // Per-call state.
+    Addr in_base_ = kBadAddr;
+    bool in_base_valid_ = false;
+    std::vector<Iter> ring_;
+    std::uint64_t alloc_iter_ = 0;   ///< T (allocation tail)
+    std::uint64_t t1_iter_ = 0;
+    std::uint64_t t2_iter_ = 0;
+    unsigned t2_nb_ = 0;
+    std::uint64_t commit_iter_ = 0;  ///< H (retired iterations)
+    std::uint64_t next_i_ = 0;       ///< next input worklist element
+    std::uint16_t gen_ = 0;          ///< id generation (stale-return filter)
+};
+
+} // namespace pfm
+
+#endif // PFM_COMPONENTS_ASTAR_PREDICTOR_H

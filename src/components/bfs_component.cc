@@ -1,0 +1,444 @@
+#include "components/bfs_component.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/log.h"
+
+namespace pfm {
+
+namespace {
+constexpr unsigned kKindFrontier = 0;
+constexpr unsigned kKindOffsets = 1;
+constexpr unsigned kKindNeighbor = 2;
+constexpr unsigned kKindVisited = 3;
+
+constexpr unsigned kMetaLoop = 1;
+constexpr unsigned kMetaVisited = 2;
+
+// Garbage trip counts (from running ahead past the frontier end) are
+// clamped so a bogus offsets read cannot wedge the engines; the per-level
+// ROI-begin squash cleans the stream up anyway.
+constexpr std::uint64_t kMaxTrip = 4096;
+} // namespace
+
+BfsComponent::BfsComponent(const Workload& w, const BfsComponentOptions& opt)
+    : CustomComponent("bfs-component"),
+      opt_(opt),
+      pc_roi_begin_(w.pc("roi_begin")),
+      pc_offsets_(w.pc("snoop_offsets")),
+      pc_neighbors_(w.pc("snoop_neighbors")),
+      pc_parent_(w.pc("snoop_parent")),
+      pc_induction_(w.pc("snoop_induction")),
+      pc_br_nbloop_(w.pc("br_nbloop")),
+      pc_br_visited_(w.pc("br_visited")),
+      nodes_(opt.queue_entries),
+      nbq_(opt.queue_entries)
+{}
+
+void
+BfsComponent::attach(PfmSystem& sys, const Workload& w,
+                     const BfsComponentOptions& opt)
+{
+    RetireSnoopTable& rst = sys.retireAgent().rst();
+    FetchSnoopTable& fst = sys.fetchAgent().fst();
+
+    RstEntry begin;
+    begin.type = ObsType::kRoiBegin;
+    begin.roi_begin = true;
+    rst.add(w.pc("roi_begin"), begin);
+
+    RstEntry dest;
+    dest.type = ObsType::kDestValue;
+    rst.add(w.pc("snoop_offsets"), dest);
+    rst.add(w.pc("snoop_neighbors"), dest);
+    rst.add(w.pc("snoop_parent"), dest);
+    rst.add(w.pc("snoop_induction"), dest);
+
+    RstEntry branch;
+    branch.type = ObsType::kBranchOutcome;
+    if (opt.predict_loop) {
+        rst.add(w.pc("br_nbloop"), branch);
+        fst.add(w.pc("br_nbloop"));
+    }
+    if (opt.predict_visited) {
+        rst.add(w.pc("br_visited"), branch);
+        fst.add(w.pc("br_visited"));
+    }
+
+    sys.setComponent(std::make_unique<BfsComponent>(w, opt));
+}
+
+std::uint64_t
+BfsComponent::makeId(unsigned kind, unsigned sub, std::uint64_t ordinal) const
+{
+    return (static_cast<std::uint64_t>(gen_) << 48) |
+           (static_cast<std::uint64_t>(kind) << 46) |
+           (static_cast<std::uint64_t>(sub) << 45) |
+           (ordinal & ((std::uint64_t{1} << 45) - 1));
+}
+
+std::uint32_t
+BfsComponent::predMeta(unsigned kind, std::uint64_t ordinal)
+{
+    return static_cast<std::uint32_t>((kind << 30) |
+                                      (ordinal & ((1u << 30) - 1)));
+}
+
+void
+BfsComponent::reset()
+{
+    CustomComponent::reset();
+    for (NodeSlot& s : nodes_)
+        s = NodeSlot{};
+    for (NbSlot& s : nbq_)
+        s = NbSlot{};
+    node_alloc_ = t1_node_ = t2_node_ = 0;
+    nb_alloc_ = t3_ord_ = nb_head_ = 0;
+    commit_node_ = 0;
+    next_i_ = 0;
+    e_node_ = e_j_ = 0;
+    e_phase_ = 0;
+    frontier_valid_ = false;
+    ++gen_;
+}
+
+void
+BfsComponent::onObservation(const ObsPacket& p, Cycle now)
+{
+    (void)now;
+    if (p.type == ObsType::kRoiBegin && p.pc == pc_roi_begin_) {
+        frontier_base_ = p.value;
+        frontier_valid_ = true;
+        return;
+    }
+    if (p.type == ObsType::kDestValue) {
+        if (p.pc == pc_offsets_)
+            offsets_base_ = p.value;
+        else if (p.pc == pc_neighbors_)
+            neighbors_base_ = p.value;
+        else if (p.pc == pc_parent_)
+            parent_base_ = p.value;
+        else if (p.pc == pc_induction_)
+            ++commit_node_;
+    }
+}
+
+void
+BfsComponent::onLoadReturn(const LoadReturn& r, Cycle now)
+{
+    (void)now;
+    if ((r.id >> 48) != gen_)
+        return;
+    unsigned kind = static_cast<unsigned>((r.id >> 46) & 3);
+    unsigned sub = static_cast<unsigned>((r.id >> 45) & 1);
+    std::uint64_t ord = r.id & ((std::uint64_t{1} << 45) - 1);
+
+    if (kind == kKindFrontier) {
+        NodeSlot& s = node(ord);
+        if (s.state != NodeSlot::kWaitU || s.number != ord)
+            return;
+        s.u = static_cast<std::int32_t>(r.value);
+        s.state = NodeSlot::kHaveU;
+        return;
+    }
+    if (kind == kKindOffsets) {
+        NodeSlot& s = node(ord);
+        // The two offset loads issue across RF cycles at low width; a
+        // return may arrive while the slot is still mid-issue (kHaveU).
+        if (s.number != ord || (s.state != NodeSlot::kWaitOffsets &&
+                                s.state != NodeSlot::kHaveU))
+            return;
+        if (sub == 0) {
+            s.off_a = r.value;
+            s.a_valid = true;
+        } else {
+            s.off_b = r.value;
+            s.b_valid = true;
+        }
+        if (s.state == NodeSlot::kWaitOffsets && s.a_valid && s.b_valid) {
+            std::uint64_t trip =
+                s.off_b > s.off_a ? s.off_b - s.off_a : 0;
+            s.trip = std::min(trip, kMaxTrip);
+            s.state = NodeSlot::kHaveOffsets;
+        }
+        return;
+    }
+    if (kind == kKindNeighbor) {
+        NbSlot& s = nb(ord);
+        if (!s.used || s.ordinal != ord)
+            return;
+        s.v = static_cast<std::int32_t>(r.value);
+        s.v_valid = true;
+        return;
+    }
+    // kKindVisited
+    NbSlot& s = nb(ord);
+    if (!s.used || s.ordinal != ord)
+        return;
+    s.visited = (static_cast<std::int32_t>(r.value) >= 0);
+    s.vis_valid = true;
+}
+
+void
+BfsComponent::reclaim()
+{
+    // Neighbor-queue entries are freed once emitted and their node has
+    // retired (the design's commit head).
+    while (nb_head_ < nb_alloc_) {
+        NbSlot& s = nb(nb_head_);
+        if (!s.used || s.ordinal != nb_head_)
+            break;
+        if (!s.emitted || s.node >= commit_node_)
+            break;
+        s.used = false;
+        ++nb_head_;
+    }
+}
+
+void
+BfsComponent::stepT0(Cycle now)
+{
+    if (!frontier_valid_)
+        return;
+    while (node_alloc_ < commit_node_ + nodes_.size() &&
+           node_alloc_ < e_node_ + nodes_.size()) {
+        NodeSlot& s = node(node_alloc_);
+        if (s.state != NodeSlot::kFree &&
+            s.number + nodes_.size() != node_alloc_)
+            break;
+        if (!issueLoad(makeId(kKindFrontier, 0, node_alloc_),
+                       frontier_base_ + 4 * next_i_, 4, now))
+            break;
+        s = NodeSlot{};
+        s.state = NodeSlot::kWaitU;
+        s.number = node_alloc_;
+        ++node_alloc_;
+        ++next_i_;
+    }
+}
+
+void
+BfsComponent::stepT1(Cycle now)
+{
+    while (t1_node_ < node_alloc_) {
+        NodeSlot& s = node(t1_node_);
+        if (s.number != t1_node_ || s.state != NodeSlot::kHaveU)
+            return;
+        Addr base = offsets_base_ + static_cast<Addr>(s.u) * 8;
+        if (s.t1_issued == 0) {
+            if (!issueLoad(makeId(kKindOffsets, 0, t1_node_), base, 8, now))
+                return;
+            s.t1_issued = 1;
+        }
+        if (s.t1_issued == 1) {
+            if (!issueLoad(makeId(kKindOffsets, 1, t1_node_), base + 8, 8,
+                           now))
+                return;
+            s.t1_issued = 2;
+        }
+        s.state = NodeSlot::kWaitOffsets;
+        if (s.a_valid && s.b_valid) {
+            std::uint64_t trip = s.off_b > s.off_a ? s.off_b - s.off_a : 0;
+            s.trip = std::min(trip, kMaxTrip);
+            s.state = NodeSlot::kHaveOffsets;
+        }
+        ++t1_node_;
+    }
+}
+
+void
+BfsComponent::stepT2(Cycle now)
+{
+    while (t2_node_ < t1_node_) {
+        NodeSlot& s = node(t2_node_);
+        if (s.number != t2_node_ || s.state != NodeSlot::kHaveOffsets)
+            return;
+        if (!s.t2_started) {
+            s.nb_base = nb_alloc_;
+            s.t2_next = 0;
+            s.t2_started = true;
+        }
+        while (s.t2_next < s.trip) {
+            std::uint64_t ord = s.nb_base + s.t2_next;
+            NbSlot& n = nb(ord);
+            if (n.used)
+                return; // neighbor queue full (awaiting reclaim)
+            if (!issueLoad(makeId(kKindNeighbor, 0, ord),
+                           neighbors_base_ +
+                               (s.off_a + s.t2_next) * 4,
+                           4, now))
+                return;
+            n = NbSlot{};
+            n.used = true;
+            n.ordinal = ord;
+            n.node = t2_node_;
+            ++nb_alloc_;
+            ++s.t2_next;
+        }
+        ++t2_node_;
+    }
+}
+
+void
+BfsComponent::stepT3(Cycle now)
+{
+    if (!opt_.predict_visited)
+        return;
+    while (t3_ord_ < nb_alloc_) {
+        NbSlot& s = nb(t3_ord_);
+        if (!s.used || s.ordinal != t3_ord_)
+            return;
+        if (!s.v_valid)
+            return; // in-order visited issue
+        if (!s.vis_issued) {
+            if (!issueLoad(makeId(kKindVisited, 0, t3_ord_),
+                           parent_base_ + static_cast<Addr>(s.v) * 4, 4,
+                           now))
+                return;
+            s.vis_issued = true;
+        }
+        ++t3_ord_;
+    }
+}
+
+bool
+BfsComponent::duplicateInFlight(std::int64_t v, std::uint64_t ordinal) const
+{
+    std::uint64_t start = std::max(
+        nb_head_, ordinal > nbq_.size() ? ordinal - nbq_.size() : 0);
+    for (std::uint64_t k = start; k < ordinal; ++k) {
+        const NbSlot& s = nbq_[k % nbq_.size()];
+        if (s.used && s.ordinal == k && s.emitted && s.predicted_enter &&
+            s.v == v)
+            return true;
+    }
+    return false;
+}
+
+void
+BfsComponent::stepEmit(Cycle now)
+{
+    for (;;) {
+        if (e_node_ >= t1_node_)
+            return;
+        NodeSlot& s = node(e_node_);
+        if (s.number != e_node_ || s.state != NodeSlot::kHaveOffsets)
+            return;
+        while (e_j_ < s.trip) {
+            if (e_phase_ == 0) {
+                if (opt_.predict_loop) {
+                    // Neighbor-loop branch: not taken (iterate).
+                    if (!emitPrediction(false, now,
+                                        predMeta(kMetaLoop, e_node_)))
+                        return;
+                }
+                e_phase_ = 1;
+            }
+            if (e_phase_ == 1) {
+                if (opt_.predict_visited) {
+                    std::uint64_t ord = s.nb_base + e_j_;
+                    NbSlot& n = nb(ord);
+                    if (!n.used || n.ordinal != ord || !n.vis_valid)
+                        return;
+                    bool inferred =
+                        opt_.inference && duplicateInFlight(n.v, ord);
+                    bool visited = inferred || n.visited;
+                    if (!emitPrediction(visited, now,
+                                        predMeta(kMetaVisited, ord)))
+                        return;
+                    n.predicted_enter = !visited;
+                    n.emitted = true;
+                } else {
+                    std::uint64_t ord = s.nb_base + e_j_;
+                    NbSlot& n = nb(ord);
+                    if (n.used && n.ordinal == ord)
+                        n.emitted = true;
+                }
+                e_phase_ = 0;
+                ++e_j_;
+            }
+        }
+        if (opt_.predict_loop) {
+            // Loop-exit: taken.
+            if (!emitPrediction(true, now, predMeta(kMetaLoop, e_node_)))
+                return;
+        }
+        e_j_ = 0;
+        e_phase_ = 0;
+        ++e_node_;
+    }
+}
+
+void
+BfsComponent::dumpDebug(std::ostream& os) const
+{
+    CustomComponent::dumpDebug(os);
+    os << "bfs: alloc=" << node_alloc_ << " t1=" << t1_node_
+       << " t2=" << t2_node_ << " nb_alloc=" << nb_alloc_
+       << " t3=" << t3_ord_ << " nb_head=" << nb_head_
+       << " commit=" << commit_node_ << " emit=" << e_node_ << "/" << e_j_
+       << "/" << int(e_phase_) << " frontier_valid=" << frontier_valid_
+       << " gen=" << gen_ << "\n";
+    for (size_t i = 0; i < std::min<size_t>(nodes_.size(), 8); ++i) {
+        const NodeSlot& s = nodes_[i];
+        os << "  node" << i << ": st=" << int(s.state) << " num=" << s.number
+           << " u=" << s.u << " trip=" << s.trip << " t2_next=" << s.t2_next
+           << " nb_base=" << s.nb_base << "\n";
+    }
+    for (size_t i = 0; i < std::min<size_t>(nbq_.size(), 8); ++i) {
+        const NbSlot& s = nbq_[i];
+        os << "  nb" << i << ": used=" << s.used << " ord=" << s.ordinal
+           << " v=" << s.v << (s.v_valid ? " V" : " -")
+           << (s.vis_issued ? "I" : "-") << (s.vis_valid ? "R" : "-")
+           << (s.emitted ? "E" : "-") << "\n";
+    }
+}
+
+void
+BfsComponent::rfStep(Cycle now)
+{
+    if (offsets_base_ == kBadAddr || neighbors_base_ == kBadAddr ||
+        parent_base_ == kBadAddr)
+        return;
+    reclaim();
+    stepT0(now);
+    stepT1(now);
+    stepT2(now);
+    stepT3(now);
+    stepEmit(now);
+}
+
+void
+BfsComponent::patchLog(const SquashInfo& info)
+{
+    if (!info.branch_mispredict || info.rollback_pos == 0)
+        return;
+    std::uint64_t pos = info.rollback_pos - 1;
+    std::uint32_t meta = logMetaAt(pos);
+    unsigned kind = meta >> 30;
+
+    if (info.branch_pc == pc_br_visited_ && kind == kMetaVisited) {
+        // Stream shape is unchanged (the visited branch's region contains
+        // no FST branches); correct the recorded direction and the
+        // inference mark so later duplicate searches see the truth.
+        logSetDirAt(pos, info.actual_taken);
+        std::uint64_t ord = meta & ((1u << 30) - 1);
+        // Ordinals are tagged modulo 2^30; find the live slot.
+        for (NbSlot& s : nbq_) {
+            if (s.used && (s.ordinal & ((1u << 30) - 1)) == ord) {
+                s.predicted_enter = !info.actual_taken;
+                break;
+            }
+        }
+        ++stats().counter("bfs_visited_patches");
+    } else if (info.branch_pc == pc_br_nbloop_ && kind == kMetaLoop) {
+        // Should only happen for garbage beyond the frontier end; the
+        // recorded direction is fixed and the per-level ROI squash will
+        // resynchronize. Count it for visibility.
+        logSetDirAt(pos, info.actual_taken);
+        ++stats().counter("bfs_loop_patches");
+    }
+}
+
+} // namespace pfm

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Custom bfs component (Section 4.2, Figure 11): four decoupled engines.
+ *
+ *  T0 — sliding window over the program's global frontier (frontier queue).
+ *  T1 — pops node U, loads offsets[U] and offsets[U+1]; pushes U's first
+ *       neighbor address and trip count (begin-address / trip-count
+ *       queues).
+ *  T2 — loads all of U's neighbors into the neighbor queue and provides
+ *       the trip count for the hard-to-predict neighbor-loop branch.
+ *  T3 — loads each neighbor V's visited-ness (parent array) and computes
+ *       the visited-branch predicate, inferring in-flight visited stores
+ *       by searching the neighbor queue for older unretired instances of
+ *       the same V.
+ *
+ * The emitted stream interleaves loop-branch and visited-branch
+ * predictions exactly as the core fetches them: (NT, visited_j) per
+ * neighbor, then the loop-exit T.
+ */
+
+#ifndef PFM_COMPONENTS_BFS_COMPONENT_H
+#define PFM_COMPONENTS_BFS_COMPONENT_H
+
+#include <vector>
+
+#include "pfm/component.h"
+#include "pfm/pfm_system.h"
+#include "workloads/workload.h"
+
+namespace pfm {
+
+struct BfsComponentOptions {
+    unsigned queue_entries = 64;  ///< frontier & other queues (Figure 14)
+    bool inference = true;        ///< duplicate-V visited-store inference
+    bool predict_visited = true;  ///< false: loop-branch only
+    bool predict_loop = true;     ///< false: visited-branch only (slipstream)
+};
+
+class BfsComponent : public CustomComponent
+{
+  public:
+    BfsComponent(const Workload& w, const BfsComponentOptions& opt);
+
+    void reset() override;
+    void dumpDebug(std::ostream& os) const override;
+
+    static void attach(PfmSystem& sys, const Workload& w,
+                       const BfsComponentOptions& opt = {});
+
+  protected:
+    void rfStep(Cycle now) override;
+    void onObservation(const ObsPacket& p, Cycle now) override;
+    void onLoadReturn(const LoadReturn& r, Cycle now) override;
+    void patchLog(const SquashInfo& info) override;
+
+  private:
+    struct NodeSlot {
+        enum State : std::uint8_t {
+            kFree, kWaitU, kHaveU, kWaitOffsets, kHaveOffsets
+        };
+        State state = kFree;
+        std::uint64_t number = 0;  ///< node ordinal within the level
+        std::int64_t u = 0;
+        std::uint64_t off_a = 0;
+        std::uint64_t off_b = 0;
+        bool a_valid = false;
+        bool b_valid = false;
+        std::uint64_t trip = 0;
+        std::uint8_t t1_issued = 0; ///< offset loads issued (0..2)
+        std::uint64_t nb_base = 0; ///< global neighbor ordinal of 1st nb
+        bool t2_started = false;
+        std::uint64_t t2_next = 0; ///< next neighbor load to issue
+    };
+
+    struct NbSlot {
+        bool used = false;
+        std::uint64_t ordinal = 0; ///< global neighbor ordinal (tag)
+        std::uint64_t node = 0;    ///< owning node ordinal
+        std::int64_t v = 0;
+        bool v_valid = false;
+        bool vis_issued = false;
+        bool vis_valid = false;
+        bool visited = false;      ///< committed parent[v] >= 0
+        bool predicted_enter = false; ///< final pred NT: store will execute
+        bool emitted = false;
+    };
+
+    std::uint64_t makeId(unsigned kind, unsigned sub,
+                         std::uint64_t ordinal) const;
+    static std::uint32_t predMeta(unsigned kind, std::uint64_t ordinal);
+
+    NodeSlot& node(std::uint64_t ord) { return nodes_[ord % nodes_.size()]; }
+    NbSlot& nb(std::uint64_t ord) { return nbq_[ord % nbq_.size()]; }
+
+    void stepT0(Cycle now);
+    void stepT1(Cycle now);
+    void stepT2(Cycle now);
+    void stepT3(Cycle now);
+    void stepEmit(Cycle now);
+    void reclaim();
+    bool duplicateInFlight(std::int64_t v, std::uint64_t ordinal) const;
+
+    BfsComponentOptions opt_;
+
+    Addr pc_roi_begin_, pc_offsets_, pc_neighbors_, pc_parent_,
+        pc_induction_;
+    Addr pc_br_nbloop_, pc_br_visited_;
+
+    // Persistent configuration.
+    Addr offsets_base_ = kBadAddr;
+    Addr neighbors_base_ = kBadAddr;
+    Addr parent_base_ = kBadAddr;
+
+    // Per-level state.
+    Addr frontier_base_ = kBadAddr;
+    bool frontier_valid_ = false;
+    std::vector<NodeSlot> nodes_;
+    std::vector<NbSlot> nbq_;
+    std::uint64_t node_alloc_ = 0;  ///< T0 tail
+    std::uint64_t t1_node_ = 0;
+    std::uint64_t t2_node_ = 0;
+    std::uint64_t nb_alloc_ = 0;    ///< global neighbor ordinal tail
+    std::uint64_t t3_ord_ = 0;      ///< T3 cursor over neighbor ordinals
+    std::uint64_t nb_head_ = 0;     ///< oldest live neighbor ordinal
+    std::uint64_t commit_node_ = 0; ///< retired node iterations
+    std::uint64_t next_i_ = 0;      ///< next frontier element for T0
+
+    // Emitter cursor.
+    std::uint64_t e_node_ = 0;
+    std::uint64_t e_j_ = 0;
+    std::uint8_t e_phase_ = 0;      ///< 0: loop pred, 1: visited pred
+
+    std::uint16_t gen_ = 0;
+};
+
+} // namespace pfm
+
+#endif // PFM_COMPONENTS_BFS_COMPONENT_H

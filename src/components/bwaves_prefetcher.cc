@@ -1,0 +1,35 @@
+#include "components/bwaves_prefetcher.h"
+
+#include "components/prefetch_engine.h"
+
+namespace pfm {
+
+void
+attachBwavesPrefetcher(PfmSystem& sys, const Workload& w)
+{
+    std::uint64_t ni = w.metaVal("ni");
+    std::uint64_t nj = w.metaVal("nj");
+    std::uint64_t nk = w.metaVal("nk");
+    auto stride_k = static_cast<std::int64_t>(w.metaVal("stride_k"));
+
+    std::vector<PrefetchStream> streams;
+    for (const char* which : {"a", "b"}) {
+        PrefetchStream s;
+        s.name = which;
+        s.base = w.dataAddr(which);
+        auto elem = static_cast<std::int64_t>(w.metaVal("elem"));
+        // Loop nest: rounds (stride 0), j (NI*elem), i (elem), k (plane).
+        s.levels = {{1u << 20, 0},
+                    {nj, static_cast<std::int64_t>(ni) * elem},
+                    {ni, elem},
+                    {nk, stride_k}};
+        s.unit_elems = 1;        // every k step lands on a new page
+        s.events_per_unit = 1.0; // one retired load B per k iteration
+        s.feedback_pc =
+            w.pc(std::string("del_load_") + which);
+        streams.push_back(s);
+    }
+    FsmPrefetcher::attach(sys, w, std::move(streams));
+}
+
+} // namespace pfm

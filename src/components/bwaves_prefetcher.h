@@ -1,0 +1,20 @@
+/**
+ * @file
+ * bwaves custom prefetcher: a deep nested-counter FSM that surgically
+ * follows the plane-strided (transposed) access of the two delinquent
+ * loads in the innermost loop (Section 4.3).
+ */
+
+#ifndef PFM_COMPONENTS_BWAVES_PREFETCHER_H
+#define PFM_COMPONENTS_BWAVES_PREFETCHER_H
+
+#include "pfm/pfm_system.h"
+#include "workloads/workload.h"
+
+namespace pfm {
+
+void attachBwavesPrefetcher(PfmSystem& sys, const Workload& w);
+
+} // namespace pfm
+
+#endif // PFM_COMPONENTS_BWAVES_PREFETCHER_H

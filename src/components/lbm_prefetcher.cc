@@ -1,0 +1,27 @@
+#include "components/lbm_prefetcher.h"
+
+#include "components/prefetch_engine.h"
+
+namespace pfm {
+
+void
+attachLbmPrefetcher(PfmSystem& sys, const Workload& w)
+{
+    std::uint64_t cells = w.metaVal("cells");
+    auto plane = static_cast<std::int64_t>(w.metaVal("plane_bytes"));
+    auto row = static_cast<std::int64_t>(w.metaVal("row_bytes"));
+
+    PrefetchStream s;
+    s.name = "cluster";
+    s.base = w.dataAddr("src");
+    s.levels = {{1u << 20, 0}, {cells, 8}};
+    s.unit_elems = 8; // one line of cells per unit
+    s.events_per_unit = 8.0;
+    s.set_offsets = {0, row, -row, plane, -plane};
+    s.skip_if_full = true; // push the cluster as a set, or not at all
+    s.feedback_pc = w.pc("del0");
+
+    FsmPrefetcher::attach(sys, w, {s});
+}
+
+} // namespace pfm

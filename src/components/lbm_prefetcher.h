@@ -1,0 +1,20 @@
+/**
+ * @file
+ * lbm custom prefetcher: pushes the whole delinquent-load cluster per
+ * cell *as a set* (or skips it when IntQ-IS is full) — the MLP awareness
+ * Section 4.3 identifies as necessary for lbm.
+ */
+
+#ifndef PFM_COMPONENTS_LBM_PREFETCHER_H
+#define PFM_COMPONENTS_LBM_PREFETCHER_H
+
+#include "pfm/pfm_system.h"
+#include "workloads/workload.h"
+
+namespace pfm {
+
+void attachLbmPrefetcher(PfmSystem& sys, const Workload& w);
+
+} // namespace pfm
+
+#endif // PFM_COMPONENTS_LBM_PREFETCHER_H

@@ -1,0 +1,50 @@
+#include "components/leslie_prefetcher.h"
+
+#include "components/prefetch_engine.h"
+
+namespace pfm {
+
+void
+attachLesliePrefetcher(PfmSystem& sys, const Workload& w)
+{
+    std::uint64_t nx = w.metaVal("nx");
+    std::uint64_t ny = w.metaVal("ny");
+    std::uint64_t nz = w.metaVal("nz");
+    std::uint64_t n3 = nx * ny * nz;
+    auto row = static_cast<std::int64_t>(nx * 8);
+
+    std::vector<PrefetchStream> streams;
+
+    PrefetchStream r1;
+    r1.name = "roi1-stream";
+    r1.base = w.dataAddr("u");
+    r1.levels = {{1u << 20, 0}, {n3, 8}};
+    r1.unit_elems = 8;
+    r1.events_per_unit = 8.0;
+    r1.feedback_pc = w.pc("del_r1");
+    streams.push_back(r1);
+
+    PrefetchStream r2;
+    r2.name = "roi2-transposed";
+    r2.base = w.dataAddr("u");
+    // for j in [0,NX): for i in [0,NY): u[i*NX + j]
+    r2.levels = {{1u << 20, 0}, {nx, 8}, {ny, row}};
+    r2.unit_elems = 1;
+    r2.events_per_unit = 1.0;
+    r2.feedback_pc = w.pc("del_r2");
+    streams.push_back(r2);
+
+    PrefetchStream r3;
+    r3.name = "roi3-stencil";
+    r3.base = w.dataAddr("v");
+    r3.levels = {{1u << 20, 0}, {n3 - 2 * nx, 8}};
+    r3.unit_elems = 8;
+    r3.events_per_unit = 8.0;
+    r3.set_offsets = {0, row};
+    r3.feedback_pc = w.pc("del_r3");
+    streams.push_back(r3);
+
+    FsmPrefetcher::attach(sys, w, std::move(streams));
+}
+
+} // namespace pfm

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * leslie custom prefetcher: one FSM per ROI (streaming copy, transposed
+ * read, stencil), each paced by its own delinquent load (Section 4.3).
+ */
+
+#ifndef PFM_COMPONENTS_LESLIE_PREFETCHER_H
+#define PFM_COMPONENTS_LESLIE_PREFETCHER_H
+
+#include "pfm/pfm_system.h"
+#include "workloads/workload.h"
+
+namespace pfm {
+
+void attachLesliePrefetcher(PfmSystem& sys, const Workload& w);
+
+} // namespace pfm
+
+#endif // PFM_COMPONENTS_LESLIE_PREFETCHER_H

@@ -1,0 +1,33 @@
+#include "components/libquantum_prefetcher.h"
+
+#include "components/prefetch_engine.h"
+
+namespace pfm {
+
+void
+attachLibquantumPrefetcher(PfmSystem& sys, const Workload& w)
+{
+    std::uint64_t nodes = w.metaVal("nodes");
+    std::uint64_t stride = w.metaVal("stride");
+    Addr reg = w.dataAddr("reg");
+
+    std::vector<PrefetchStream> streams;
+
+    PrefetchStream tof;
+    tof.name = "toffoli";
+    tof.base = reg;
+    tof.levels = {{1u << 20, 0}, {nodes, static_cast<std::int64_t>(stride)}};
+    tof.unit_elems = kLineBytes / stride;  // one prefetch per line
+    tof.events_per_unit = static_cast<double>(kLineBytes / stride);
+    tof.feedback_pc = w.pc("del_load_tof");
+    streams.push_back(tof);
+
+    PrefetchStream sig = tof;
+    sig.name = "sigma_x";
+    sig.feedback_pc = w.pc("del_load_sig");
+    streams.push_back(sig);
+
+    FsmPrefetcher::attach(sys, w, std::move(streams));
+}
+
+} // namespace pfm

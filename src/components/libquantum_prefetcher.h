@@ -1,0 +1,19 @@
+/**
+ * @file
+ * libquantum custom prefetcher (Figure 16): one simple streaming FSM per
+ * gate sweep (toffoli, sigma_x) with adaptive prefetch distance.
+ */
+
+#ifndef PFM_COMPONENTS_LIBQUANTUM_PREFETCHER_H
+#define PFM_COMPONENTS_LIBQUANTUM_PREFETCHER_H
+
+#include "pfm/pfm_system.h"
+#include "workloads/workload.h"
+
+namespace pfm {
+
+void attachLibquantumPrefetcher(PfmSystem& sys, const Workload& w);
+
+} // namespace pfm
+
+#endif // PFM_COMPONENTS_LIBQUANTUM_PREFETCHER_H

@@ -1,0 +1,36 @@
+#include "components/milc_prefetcher.h"
+
+#include "components/prefetch_engine.h"
+
+namespace pfm {
+
+void
+attachMilcPrefetcher(PfmSystem& sys, const Workload& w)
+{
+    std::uint64_t sites = w.metaVal("sites");
+    auto stride = static_cast<std::int64_t>(w.metaVal("stride"));
+
+    std::vector<PrefetchStream> streams;
+    struct Cfg {
+        const char* array;
+        const char* feedback;
+    };
+    // c is written (write-allocate misses); paced by the a-load counter.
+    for (Cfg cfg : {Cfg{"a", "del_a"}, Cfg{"b", "del_b"}, Cfg{"c", "del_a"}}) {
+        PrefetchStream s;
+        s.name = cfg.array;
+        s.base = w.dataAddr(cfg.array);
+        s.levels = {{1u << 20, 0}, {sites, stride}};
+        s.unit_elems = 1;
+        s.events_per_unit = 1.0;
+        // Prefetch the line holding each access start: the resulting line
+        // deltas (2,2,2,3 at the 144-byte stride) are exactly the demand
+        // stream and are ambiguous for VLDP's delta histories.
+        s.set_offsets = {0};
+        s.feedback_pc = w.pc(cfg.feedback);
+        streams.push_back(s);
+    }
+    FsmPrefetcher::attach(sys, w, std::move(streams));
+}
+
+} // namespace pfm

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * milc custom prefetcher: libquantum-style streaming FSMs, one per su3
+ * array, with adaptive distance control (Section 4.3).
+ */
+
+#ifndef PFM_COMPONENTS_MILC_PREFETCHER_H
+#define PFM_COMPONENTS_MILC_PREFETCHER_H
+
+#include "pfm/pfm_system.h"
+#include "workloads/workload.h"
+
+namespace pfm {
+
+void attachMilcPrefetcher(PfmSystem& sys, const Workload& w);
+
+} // namespace pfm
+
+#endif // PFM_COMPONENTS_MILC_PREFETCHER_H

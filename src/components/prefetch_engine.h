@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Configurable FSM prefetch engine (Section 4.3, Figure 16): one or more
+ * nested-loop address generators ("Prefetch Generation Engines"), each
+ * paced by the retired-instance counter of its delinquent load and an
+ * adaptive prefetch distance. The five custom prefetchers (libquantum,
+ * bwaves, lbm, milc, leslie) are factory-configured instances.
+ */
+
+#ifndef PFM_COMPONENTS_PREFETCH_ENGINE_H
+#define PFM_COMPONENTS_PREFETCH_ENGINE_H
+
+#include <vector>
+
+#include "components/adaptive_distance.h"
+#include "pfm/component.h"
+#include "pfm/pfm_system.h"
+#include "workloads/workload.h"
+
+namespace pfm {
+
+/** One delinquent-load pattern, expressed as a nested-counter FSM. */
+struct PrefetchStream {
+    std::string name;
+
+    struct Level {
+        std::uint64_t count;       ///< trip count
+        std::int64_t stride_bytes; ///< address step per iteration
+    };
+
+    Addr base = 0;
+    std::vector<Level> levels;     ///< outermost first; innermost last
+    std::uint64_t unit_elems = 8;  ///< innermost steps per prefetch unit
+    std::vector<std::int64_t> set_offsets{0}; ///< cluster offsets (lbm)
+
+    Addr feedback_pc = kBadAddr;   ///< count_only RST PC pacing this stream
+    double events_per_unit = 8.0;  ///< retired events per emitted unit
+    bool skip_if_full = false;     ///< push the set or skip it (lbm MLP)
+    bool wrap = true;              ///< restart at the outer-loop end
+};
+
+class FsmPrefetcher : public CustomComponent
+{
+  public:
+    FsmPrefetcher(std::string name, std::vector<PrefetchStream> streams,
+                  const AdaptiveDistance::Params& adapt = {});
+
+    void reset() override;
+
+    /**
+     * Configure the RST (roi_begin + count_only feedback PCs) and install
+     * the engine.
+     */
+    static void attach(PfmSystem& sys, const Workload& w,
+                       std::vector<PrefetchStream> streams,
+                       const AdaptiveDistance::Params& adapt = {});
+
+  protected:
+    void rfStep(Cycle now) override;
+    void onObservation(const ObsPacket& p, Cycle now) override;
+
+  private:
+    struct StreamState {
+        std::vector<std::uint64_t> idx; ///< per-level counters
+        std::uint64_t units_issued = 0;
+        bool done = false;
+        AdaptiveDistance adapt;
+        std::vector<Addr> pending;      ///< set awaiting queue space
+    };
+
+    Addr currentAddr(const PrefetchStream& s, const StreamState& st) const;
+    bool advance(const PrefetchStream& s, StreamState& st);
+
+    std::vector<PrefetchStream> streams_;
+    std::vector<StreamState> state_;
+};
+
+} // namespace pfm
+
+#endif // PFM_COMPONENTS_PREFETCH_ENGINE_H

@@ -1,0 +1,27 @@
+#include "components/slipstream.h"
+
+#include "components/astar_predictor.h"
+#include "components/bfs_component.h"
+
+namespace pfm {
+
+void
+attachAstarSlipstream(PfmSystem& sys, const Workload& w)
+{
+    AstarPredictorOptions opt;
+    opt.inference = false;      // omitted loop-carried memory dependence
+    opt.predict_maparp = false; // branch 2 is skipped over
+    AstarPredictor::attach(sys, w, opt);
+}
+
+void
+attachBfsSlipstream(PfmSystem& sys, const Workload& w)
+{
+    BfsComponentOptions opt;
+    opt.inference = false;
+    opt.predict_loop = false;   // no trip-count streaming
+    opt.predict_visited = true;
+    BfsComponent::attach(sys, w, opt);
+}
+
+} // namespace pfm

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Simplified Slipstream 2.0 comparator for Figure 2 (see Section 1.1 and
+ * the DESIGN.md substitution notes). The leading thread's automated branch
+ * pre-execution is modeled as the PFM streaming machinery restricted the
+ * way the paper describes Slipstream's limits on these ROIs:
+ *
+ *  - astar: only branch 1 (waymap) is pre-executed — branch 2 (maparp) is
+ *    inside the pruned control-dependent region and stays on the core
+ *    predictor; the loop-carried memory dependence (the fillnum store) is
+ *    NOT tracked, so conflicting in-flight visits pre-execute incorrectly
+ *    (we model the paper's optimized variant: a local squash rather than a
+ *    leading-thread restart).
+ *  - bfs: only the visited branch is pre-executed, without duplicate-V
+ *    store inference, and trip-count (loop-branch) streaming is absent.
+ */
+
+#ifndef PFM_COMPONENTS_SLIPSTREAM_H
+#define PFM_COMPONENTS_SLIPSTREAM_H
+
+#include "pfm/pfm_system.h"
+#include "workloads/workload.h"
+
+namespace pfm {
+
+void attachAstarSlipstream(PfmSystem& sys, const Workload& w);
+void attachBfsSlipstream(PfmSystem& sys, const Workload& w);
+
+} // namespace pfm
+
+#endif // PFM_COMPONENTS_SLIPSTREAM_H

@@ -1,0 +1,266 @@
+#include "core/core.h"
+
+#include <algorithm>
+
+#include "branch/bimodal.h"
+#include "branch/gshare.h"
+#include "branch/tage_scl.h"
+#include "common/log.h"
+#include "sim/trace.h"
+
+namespace pfm {
+
+namespace {
+
+/** Oracle predictor used for perfBP runs; handled specially in fetch. */
+class NullPredictor : public BranchPredictor
+{
+  public:
+    bool predict(Addr) override { return false; }
+    void update(Addr, bool) override {}
+    void reset() override {}
+};
+
+} // namespace
+
+Core::Core(const CoreParams& params, FunctionalEngine& engine,
+           Hierarchy& memory)
+    : params_(params),
+      engine_(engine),
+      mem_(memory),
+      store_sets_(),
+      rename_(params.prf_size),
+      stats_("core.")
+{
+    switch (params_.bp_kind) {
+      case BpKind::kTageScl:
+        bp_ = std::make_unique<TageSclPredictor>();
+        break;
+      case BpKind::kTage:
+        bp_ = std::make_unique<TagePredictor>();
+        break;
+      case BpKind::kGshare:
+        bp_ = std::make_unique<GsharePredictor>();
+        break;
+      case BpKind::kBimodal:
+        bp_ = std::make_unique<BimodalPredictor>();
+        break;
+      case BpKind::kPerfect:
+        bp_ = std::make_unique<NullPredictor>();
+        break;
+    }
+}
+
+bool
+Core::inWindow(SeqNum seq) const
+{
+    return seq >= head_seq_ && seq < head_seq_ + rob_.size();
+}
+
+Core::InstRec&
+Core::rec(SeqNum seq)
+{
+    pfm_assert(inWindow(seq), "seq %llu not in ROB window",
+               (unsigned long long)seq);
+    return rob_[seq - head_seq_];
+}
+
+const Core::InstRec&
+Core::rec(SeqNum seq) const
+{
+    pfm_assert(inWindow(seq), "seq %llu not in ROB window",
+               (unsigned long long)seq);
+    return rob_[seq - head_seq_];
+}
+
+bool
+Core::sourceReady(SeqNum producer, Cycle now) const
+{
+    if (producer == kNoSeq || producer < head_seq_)
+        return true; // architectural or already retired
+    if (!inWindow(producer))
+        return true; // producer squashed+retired concurrently (stale ref)
+    const InstRec& p = rec(producer);
+    return p.complete_cycle != kNoCycle && p.complete_cycle <= now;
+}
+
+void
+Core::tick()
+{
+    Cycle now = cycle_;
+    processCompletions(now);
+    retire(now);
+    issue(now);
+    dispatch(now);
+    fetch(now);
+    if (hooks_)
+        hooks_->onCycle(now, free_ls_slots_, usage_);
+    drainWriteBuffer(now);
+    ++cycle_;
+    ++stats_.counter("cycles");
+}
+
+void
+Core::processCompletions(Cycle now)
+{
+    while (!completions_.empty() && completions_.top().first <= now) {
+        auto [c, seq] = completions_.top();
+        completions_.pop();
+        if (!inWindow(seq))
+            continue; // squashed
+        InstRec& e = rec(seq);
+        if (e.state != InstRec::kIssued || e.complete_cycle != c)
+            continue; // stale event from before a squash/replay
+        e.state = InstRec::kDone;
+        if (tracer_)
+            tracer_->stage(e.d, TraceStage::kComplete, now);
+
+        if (e.d.isStore())
+            checkViolations(e, now);
+
+        if (e.mispredicted && fetch_blocked_seq_ == seq)
+            resolveMispredict(e, now);
+    }
+}
+
+void
+Core::resolveMispredict(InstRec& e, Cycle now)
+{
+    fetch_blocked_seq_ = kNoSeq;
+    fetch_resume_at_ =
+        std::max(fetch_resume_at_, now + 1 + params_.redirect_penalty);
+    if (!e.mispredict_counted) {
+        e.mispredict_counted = true;
+        if (e.d.isCondBranch()) {
+            ++stats_.counter("branch_mispredicts");
+            ++mispredict_by_pc_[e.d.pc];
+            if (e.used_custom)
+                ++stats_.counter("custom_mispredicts");
+        } else {
+            ++stats_.counter("target_mispredicts");
+        }
+    }
+    ++stats_.counter("mispredict_squashes");
+    if (hooks_) {
+        Cycle stall = hooks_->onSquash(now, e.d.seq, &e.d);
+        retire_stall_until_ = std::max(retire_stall_until_, stall);
+    }
+}
+
+void
+Core::squashAfter(SeqNum last_kept, Cycle now, const char* reason)
+{
+    ++stats_.counter(std::string("squash_") + reason);
+
+    // Pull squashed instructions out of the ROB, youngest first.
+    std::vector<InstRec> pulled;
+    unsigned squashed_writers = 0;
+    while (!rob_.empty() && rob_.back().d.seq > last_kept) {
+        InstRec e = std::move(rob_.back());
+        rob_.pop_back();
+        const OpTraits& t = e.d.inst->traits();
+        if (t.writes_rd && e.d.inst->rd != 0)
+            ++squashed_writers;
+        if (e.d.isStore())
+            store_sets_.storeInactive(e.d.pc, e.d.seq);
+        // Reset backend state for replay.
+        e.state = InstRec::kFrontend;
+        e.complete_cycle = kNoCycle;
+        e.forwarded = false;
+        e.forwarded_from = kNoSeq;
+        e.service_level = 0;
+        e.replayed = true;
+        if (tracer_)
+            tracer_->stage(e.d, TraceStage::kSquash, now);
+        pulled.push_back(std::move(e));
+    }
+
+    // The frontend pipe and staging slot are strictly younger.
+    std::vector<InstRec> young;
+    for (InstRec& e : frontend_) {
+        e.state = InstRec::kFrontend;
+        e.complete_cycle = kNoCycle;
+        e.replayed = true;
+        if (tracer_)
+            tracer_->stage(e.d, TraceStage::kSquash, now);
+        young.push_back(std::move(e));
+    }
+    frontend_.clear();
+    if (staged_) {
+        staged_->replayed = true;
+        young.push_back(std::move(*staged_));
+        staged_.reset();
+    }
+
+    // Rebuild replay buffer in ascending sequence order:
+    // pulled (reversed) + young + existing replay entries.
+    for (auto it = young.rbegin(); it != young.rend(); ++it)
+        replay_.push_front(std::move(*it));
+    for (InstRec& e : pulled) // pulled is youngest-first already
+        replay_.push_front(std::move(e));
+
+    stats_.counter("squashed_instrs") += pulled.size() + young.size();
+
+    // Rebuild rename state from the surviving window.
+    rename_.rebuildBegin(squashed_writers);
+    for (InstRec& e : rob_)
+        rename_.rebuildAdd(*e.d.inst, e.d.seq);
+
+    // Purge scheduling structures.
+    auto purge = [last_kept](std::vector<SeqNum>& v) {
+        v.erase(std::remove_if(v.begin(), v.end(),
+                               [last_kept](SeqNum s) { return s > last_kept; }),
+                v.end());
+    };
+    purge(iq_);
+    purge(ldq_);
+    purge(stq_);
+
+    if (fetch_blocked_seq_ != kNoSeq && fetch_blocked_seq_ > last_kept)
+        fetch_blocked_seq_ = kNoSeq;
+    fetch_resume_at_ =
+        std::max(fetch_resume_at_, now + 1 + params_.redirect_penalty);
+}
+
+void
+Core::drainWriteBuffer(Cycle now)
+{
+    if (write_buffer_.empty())
+        return;
+    PendingWrite w = write_buffer_.front();
+    write_buffer_.pop_front();
+    mem_.access(w.addr, now, MemAccessType::kStore);
+    ++stats_.counter("stores_drained");
+}
+
+void
+Core::resetStats()
+{
+    stats_cycle_base_ = cycle_;
+    stats_retired_base_ = retired_;
+    stats_.resetAll();
+    mispredict_by_pc_.clear();
+    miss_by_pc_.clear();
+}
+
+double
+Core::ipc() const
+{
+    Cycle cycles = cycle_ - stats_cycle_base_;
+    if (cycles == 0)
+        return 0.0;
+    return static_cast<double>(retired_ - stats_retired_base_) /
+           static_cast<double>(cycles);
+}
+
+double
+Core::mpki() const
+{
+    std::uint64_t insts = retired_ - stats_retired_base_;
+    if (insts == 0)
+        return 0.0;
+    return 1000.0 * static_cast<double>(stats_.get("branch_mispredicts")) /
+           static_cast<double>(insts);
+}
+
+} // namespace pfm

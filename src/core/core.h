@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Execution-driven, cycle-level out-of-order superscalar core model
+ * (Table 1 configuration). The functional engine supplies the committed
+ * dynamic instruction stream at fetch; the core models queue occupancy,
+ * rename, issue scheduling, the load/store queue with store-set memory
+ * dependence speculation, cache timing and branch (mis)prediction.
+ *
+ * Modeling deltas vs. real hardware (documented in DESIGN.md):
+ *  - wrong-path instructions are not fetched; a mispredicted branch stalls
+ *    fetch until it resolves, then pays a redirect penalty;
+ *  - branch targets (BTB/RAS) are assumed predicted correctly; only
+ *    conditional-branch directions mispredict (the phenomenon PFM targets).
+ *
+ * PFM hooks: the agents of the paper attach through CoreHooks — fetch-time
+ * prediction override (Fetch Agent), retire-time observation (Retire
+ * Agent), squash protocol, and per-cycle access to idle load/store issue
+ * slots (Load Agent).
+ */
+
+#ifndef PFM_CORE_CORE_H
+#define PFM_CORE_CORE_H
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "branch/btb.h"
+#include "branch/predictor.h"
+#include "common/stats.h"
+#include "core/core_params.h"
+#include "core/rename.h"
+#include "core/store_sets.h"
+#include "isa/dyn_inst.h"
+#include "isa/functional_engine.h"
+#include "memory/hierarchy.h"
+
+namespace pfm {
+
+/** Fetch Agent's answer for a fetched conditional branch. */
+struct FetchOverride {
+    bool has_prediction = false; ///< agent supplies the direction
+    bool stall = false;          ///< FST hit but IntQ-F empty: stall fetch
+    bool dir = false;            ///< supplied direction
+};
+
+/** Retire Agent's answer for a retiring instruction. */
+struct RetireDecision {
+    bool allow = true;        ///< false: stall retirement, retry later
+    Cycle retry_at = 0;
+    bool squash_younger = false; ///< ROI-begin core/RF synchronization
+    Cycle stall_until = 0;    ///< post-retire stall (squash/squash-done)
+};
+
+/** Issue-lane usage in one cycle (for PRF read-port contention, portP). */
+struct IssueUsage {
+    unsigned alu = 0; ///< simple-ALU lanes used (of 4)
+    unsigned ls = 0;  ///< load/store lanes used (of 2)
+    unsigned fp = 0;  ///< FP/complex lanes used (of 2)
+};
+
+/** Interface the PFM system implements to attach to the core. */
+class CoreHooks
+{
+  public:
+    virtual ~CoreHooks() = default;
+
+    /** A conditional branch is being fetched; may override the predictor. */
+    virtual FetchOverride
+    fetchOverride(const DynInst& d, bool replayed, Cycle now)
+    {
+        (void)d; (void)replayed; (void)now;
+        return {};
+    }
+
+    /** An instruction is about to retire. */
+    virtual RetireDecision
+    onRetire(const DynInst& d, Cycle now)
+    {
+        (void)d; (void)now;
+        return {};
+    }
+
+    /**
+     * A squash: either a resolved conditional-branch misprediction
+     * (@p branch != nullptr) or a memory-order/ROI squash. Instructions
+     * with seq > @p last_kept are squashed. Returns the cycle until which
+     * retirement must stall (squash/squash-done protocol), or 0.
+     */
+    virtual Cycle
+    onSquash(Cycle now, SeqNum last_kept, const DynInst* branch)
+    {
+        (void)now; (void)last_kept; (void)branch;
+        return 0;
+    }
+
+    /**
+     * End-of-cycle callback: @p free_ls_slots load/store issue slots were
+     * left idle this cycle (Load Agent injection opportunity); @p usage
+     * reports which execution lanes read the PRF this cycle (Retire Agent
+     * port contention).
+     */
+    virtual void
+    onCycle(Cycle now, unsigned free_ls_slots, const IssueUsage& usage)
+    {
+        (void)now; (void)free_ls_slots; (void)usage;
+    }
+};
+
+class TraceSink; // sim/trace.h
+
+class Core
+{
+  public:
+    Core(const CoreParams& params, FunctionalEngine& engine,
+         Hierarchy& memory);
+
+    void setHooks(CoreHooks* hooks) { hooks_ = hooks; }
+
+    /** Attach a pipeline trace sink (nullptr detaches). */
+    void setTracer(TraceSink* tracer) { tracer_ = tracer; }
+
+    /** Advance one core cycle. */
+    void tick();
+
+    /** True once the workload's halt instruction has retired. */
+    bool done() const { return halt_retired_; }
+
+    Cycle cycle() const { return cycle_; }
+    std::uint64_t retired() const { return retired_; }
+
+    StatGroup& stats() { return stats_; }
+    const StatGroup& stats() const { return stats_; }
+    const CoreParams& params() const { return params_; }
+
+    /** Reset performance counters (end of warmup). */
+    void resetStats();
+
+    /** Mispredictions per kilo-instruction (conditional branches). */
+    double mpki() const;
+
+    /** Retired instructions per cycle since the last stats reset. */
+    double ipc() const;
+
+    /** Per-PC conditional-branch misprediction counts (bottleneck map). */
+    const std::unordered_map<Addr, std::uint64_t>& mispredictProfile() const
+    {
+        return mispredict_by_pc_;
+    }
+
+    /** Per-PC load L1-miss counts weighted by service level. */
+    const std::unordered_map<Addr, std::uint64_t>& missProfile() const
+    {
+        return miss_by_pc_;
+    }
+
+  private:
+    /** One in-flight instruction (frontend, ROB, or replay buffer). */
+    struct InstRec {
+        DynInst d;
+        Cycle dispatch_ready = 0;   ///< frontend pipe exit cycle
+
+        // Branch prediction bookkeeping.
+        bool pred_taken = false;
+        bool used_custom = false;   ///< direction came from the Fetch Agent
+        bool mispredicted = false;
+        bool mispredict_counted = false;
+        bool replayed = false;      ///< refetched after a squash
+
+        // Backend state machine.
+        enum : std::uint8_t { kFrontend, kWaiting, kIssued, kDone };
+        std::uint8_t state = kFrontend;
+        SeqNum src1 = kNoSeq;
+        SeqNum src2 = kNoSeq;
+        Cycle complete_cycle = kNoCycle;
+
+        // Memory bookkeeping.
+        SeqNum mem_barrier = kNoSeq; ///< store-set barrier (dispatch-time)
+        bool forwarded = false;
+        SeqNum forwarded_from = kNoSeq;
+        int service_level = 0;
+    };
+
+    struct PendingWrite {
+        Addr addr;
+        unsigned size;
+    };
+
+    // --- stage functions (core_fetch.cc / core_issue.cc / core_retire.cc)
+    void fetch(Cycle now);
+    void dispatch(Cycle now);
+    void issue(Cycle now);
+    void retire(Cycle now);
+    void drainWriteBuffer(Cycle now);
+    void processCompletions(Cycle now);
+
+    // --- helpers
+    bool inWindow(SeqNum seq) const;
+    InstRec& rec(SeqNum seq);
+    const InstRec& rec(SeqNum seq) const;
+    bool sourceReady(SeqNum producer, Cycle now) const;
+    InstRec* peekNextFetch();
+    void consumeNextFetch();
+    Cycle issueLoad(InstRec& e, Cycle now);
+    void checkViolations(InstRec& store, Cycle now);
+    void squashAfter(SeqNum last_kept, Cycle now, const char* reason);
+    void resolveMispredict(InstRec& e, Cycle now);
+
+    CoreParams params_;
+    FunctionalEngine& engine_;
+    Hierarchy& mem_;
+    CoreHooks* hooks_ = nullptr;
+    TraceSink* tracer_ = nullptr;
+    std::unique_ptr<BranchPredictor> bp_;
+    Btb btb_;
+    ReturnAddressStack ras_;
+    StoreSets store_sets_;
+    RenameTracker rename_;
+
+    Cycle cycle_ = 0;
+    std::uint64_t retired_ = 0;
+    bool halt_retired_ = false;
+
+    // Windows: replay (squashed awaiting refetch) -> staging -> frontend ->
+    // ROB. Sequence numbers are contiguous across these structures.
+    std::deque<InstRec> replay_;
+    std::optional<InstRec> staged_;
+    std::deque<InstRec> frontend_;
+    std::deque<InstRec> rob_;
+    SeqNum head_seq_ = 0;             ///< seq of rob_.front()
+
+    std::vector<SeqNum> iq_;          ///< waiting instructions, seq order
+    std::vector<SeqNum> ldq_;         ///< in-flight loads, seq order
+    std::vector<SeqNum> stq_;         ///< in-flight stores, seq order
+
+    using CompletionEvent = std::pair<Cycle, SeqNum>;
+    std::priority_queue<CompletionEvent, std::vector<CompletionEvent>,
+                        std::greater<CompletionEvent>>
+        completions_;
+
+    std::deque<PendingWrite> write_buffer_;
+
+    SeqNum fetch_blocked_seq_ = kNoSeq;
+    Cycle fetch_resume_at_ = 0;
+    Cycle retire_stall_until_ = 0;
+
+    unsigned free_ls_slots_ = 0;      ///< computed by issue() each cycle
+    IssueUsage usage_;                ///< lanes used this cycle
+
+    std::unordered_map<Addr, std::uint64_t> mispredict_by_pc_;
+    std::unordered_map<Addr, std::uint64_t> miss_by_pc_;
+
+    // Stats baseline for ipc()/mpki() after resetStats().
+    Cycle stats_cycle_base_ = 0;
+    std::uint64_t stats_retired_base_ = 0;
+
+    StatGroup stats_;
+};
+
+} // namespace pfm
+
+#endif // PFM_CORE_CORE_H

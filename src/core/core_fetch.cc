@@ -1,0 +1,231 @@
+#include <algorithm>
+
+#include "common/log.h"
+#include "core/core.h"
+#include "sim/trace.h"
+
+namespace pfm {
+
+/**
+ * Staging: the next instruction to fetch comes from the replay buffer
+ * (after a squash) or from the functional engine (executed on demand).
+ */
+Core::InstRec*
+Core::peekNextFetch()
+{
+    if (staged_)
+        return &*staged_;
+    if (!replay_.empty()) {
+        staged_ = std::move(replay_.front());
+        replay_.pop_front();
+        return &*staged_;
+    }
+    if (engine_.halted())
+        return nullptr;
+    InstRec e;
+    e.d = engine_.step();
+    staged_ = std::move(e);
+    return &*staged_;
+}
+
+void
+Core::consumeNextFetch()
+{
+    pfm_assert(staged_.has_value(), "consume without staged instruction");
+    frontend_.push_back(std::move(*staged_));
+    staged_.reset();
+}
+
+void
+Core::fetch(Cycle now)
+{
+    if (now < fetch_resume_at_ || fetch_blocked_seq_ != kNoSeq)
+        return;
+
+    for (unsigned i = 0; i < params_.fetch_width; ++i) {
+        if (frontend_.size() >= params_.frontend_buffer)
+            return;
+
+        InstRec* e = peekNextFetch();
+        if (!e)
+            return;
+
+        bool end_group = false;
+        Cycle target_bubble = 0;
+        if (e->d.isCondBranch()) {
+            ++stats_.counter("cond_branches_fetched");
+            FetchOverride fo;
+            if (hooks_)
+                fo = hooks_->fetchOverride(e->d, e->replayed, now);
+            if (fo.stall) {
+                ++stats_.counter("fetch_stall_pfm");
+                return; // retry next cycle; do not consume
+            }
+            bool pred;
+            if (fo.has_prediction) {
+                pred = fo.dir;
+                e->used_custom = true;
+            } else if (e->replayed) {
+                // Refetched after a squash: the predictor already saw this
+                // branch; reuse its recorded prediction without retraining.
+                pred = e->pred_taken;
+            } else if (params_.bp_kind == BpKind::kPerfect) {
+                pred = e->d.taken;
+            } else {
+                pred = bp_->predict(e->d.pc);
+                bp_->update(e->d.pc, e->d.taken);
+            }
+            e->pred_taken = pred;
+            e->mispredicted = (pred != e->d.taken);
+            end_group = pred; // predicted-taken branch ends the fetch group
+
+            // A correctly-predicted-taken branch still needs its target
+            // from the BTB; a miss costs a decode redirect bubble (the
+            // target is direct and computed at decode).
+            if (params_.model_btb && pred && !e->replayed) {
+                if (btb_.lookup(e->d.pc) != e->d.next_pc) {
+                    target_bubble = params_.btb_fill_penalty;
+                    btb_.update(e->d.pc, e->d.next_pc);
+                    ++stats_.counter("btb_misses");
+                }
+            }
+        } else if (e->d.isControl()) {
+            end_group = true;
+            if (params_.model_btb && !e->replayed) {
+                const Instruction& in = *e->d.inst;
+                bool is_call = in.traits().writes_rd && in.rd == 1;
+                bool is_ret = (in.op == Opcode::kJalr) && in.rd == 0 &&
+                              in.rs1 == 1;
+                Addr fallthrough = e->d.pc + 4;
+                if (in.op == Opcode::kJal) {
+                    if (is_call)
+                        ras_.push(fallthrough);
+                    if (btb_.lookup(e->d.pc) != e->d.next_pc) {
+                        target_bubble = params_.btb_fill_penalty;
+                        btb_.update(e->d.pc, e->d.next_pc);
+                        ++stats_.counter("btb_misses");
+                    }
+                } else if (is_ret) {
+                    Addr predicted = ras_.pop();
+                    if (predicted != e->d.next_pc) {
+                        // Return mispredicted: resolve at execute like a
+                        // direction mispredict (no wrong path fetched).
+                        e->mispredicted = true;
+                        ++stats_.counter("ras_mispredicts");
+                    }
+                } else {
+                    // Indirect jump: BTB target or resolve at execute.
+                    if (btb_.lookup(e->d.pc) != e->d.next_pc) {
+                        e->mispredicted = true;
+                        ++stats_.counter("indirect_mispredicts");
+                    }
+                    btb_.update(e->d.pc, e->d.next_pc);
+                }
+            }
+        }
+
+        e->dispatch_ready = now + params_.frontend_depth;
+        bool mispredicted = e->mispredicted;
+        SeqNum seq = e->d.seq;
+        if (tracer_)
+            tracer_->stage(e->d, TraceStage::kFetch, now);
+        consumeNextFetch();
+        ++stats_.counter("fetched");
+
+        if (mispredicted) {
+            // Fetch stalls on the correct path until the branch resolves
+            // (wrong-path fetch is not modeled).
+            fetch_blocked_seq_ = seq;
+            return;
+        }
+        if (target_bubble != 0) {
+            fetch_resume_at_ = std::max(fetch_resume_at_,
+                                        now + target_bubble);
+            return;
+        }
+        if (end_group)
+            return;
+        if (frontend_.back().d.isHalt())
+            return;
+    }
+}
+
+void
+Core::dispatch(Cycle now)
+{
+    for (unsigned i = 0; i < params_.fetch_width; ++i) {
+        if (frontend_.empty())
+            return;
+        InstRec& f = frontend_.front();
+        if (f.dispatch_ready > now)
+            return;
+        if (rob_.size() >= params_.rob_size) {
+            ++stats_.counter("dispatch_stall_rob");
+            return;
+        }
+
+        const OpTraits& t = f.d.inst->traits();
+        bool is_ls = t.is_load || t.is_store;
+        bool needs_iq = t.cls != OpClass::kNop;
+
+        if (needs_iq && iq_.size() >= params_.iq_size) {
+            ++stats_.counter("dispatch_stall_iq");
+            return;
+        }
+        if (t.is_load && ldq_.size() >= params_.ldq_size) {
+            ++stats_.counter("dispatch_stall_ldq");
+            return;
+        }
+        if (t.is_store && stq_.size() >= params_.stq_size) {
+            ++stats_.counter("dispatch_stall_stq");
+            return;
+        }
+
+        SeqNum src1, src2;
+        if (!rename_.rename(*f.d.inst, f.d.seq, src1, src2)) {
+            ++stats_.counter("dispatch_stall_prf");
+            return;
+        }
+
+        InstRec e = std::move(f);
+        frontend_.pop_front();
+        e.src1 = src1;
+        e.src2 = src2;
+
+        if (rob_.empty())
+            head_seq_ = e.d.seq;
+        pfm_assert(rob_.empty() || e.d.seq == rob_.back().d.seq + 1,
+                   "non-contiguous dispatch");
+
+        if (needs_iq) {
+            e.state = InstRec::kWaiting;
+            iq_.push_back(e.d.seq);
+        } else {
+            // nop/halt: complete immediately, consuming only retire slots.
+            e.state = InstRec::kDone;
+            e.complete_cycle = now;
+        }
+
+        if (t.is_load) {
+            ldq_.push_back(e.d.seq);
+            // Snapshot the store-set barrier now: the LFST tracks the
+            // youngest store of the set, which is only this load's
+            // producer if read before younger stores dispatch.
+            SeqNum barrier = store_sets_.barrierFor(e.d.pc);
+            if (barrier != kNoSeq && barrier < e.d.seq)
+                e.mem_barrier = barrier;
+        }
+        if (t.is_store) {
+            stq_.push_back(e.d.seq);
+            store_sets_.storeDispatched(e.d.pc, e.d.seq);
+        }
+        (void)is_ls;
+
+        if (tracer_)
+            tracer_->stage(e.d, TraceStage::kDispatch, now);
+        rob_.push_back(std::move(e));
+        ++stats_.counter("dispatched");
+    }
+}
+
+} // namespace pfm

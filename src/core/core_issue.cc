@@ -1,0 +1,214 @@
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/log.h"
+#include "core/core.h"
+#include "sim/trace.h"
+
+namespace pfm {
+
+namespace {
+
+/** Lane group an op class issues to. */
+enum LaneGroup { kLaneAlu, kLaneLs, kLaneFp };
+
+LaneGroup
+laneOf(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::kIntAlu:
+      case OpClass::kBranch:
+      case OpClass::kJump:
+        return kLaneAlu;
+      case OpClass::kLoad:
+      case OpClass::kStore:
+        return kLaneLs;
+      default:
+        return kLaneFp; // mul/div/fp go to the FP/complex lanes
+    }
+}
+
+} // namespace
+
+void
+Core::issue(Cycle now)
+{
+    unsigned budget = params_.issue_width;
+    unsigned used_alu = 0, used_ls = 0, used_fp = 0;
+
+    // Oldest-first select over the issue queue (kept in sequence order).
+    size_t i = 0;
+    while (i < iq_.size() && budget > 0) {
+        SeqNum seq = iq_[i];
+        InstRec& e = rec(seq);
+        const OpTraits& t = e.d.inst->traits();
+
+        if (!sourceReady(e.src1, now) || !sourceReady(e.src2, now)) {
+            ++i;
+            continue;
+        }
+
+        // Memory dependence prediction: a load whose store set has an
+        // unexecuted in-flight store waits for it (store-set barrier,
+        // snapshotted at dispatch).
+        if (t.is_load && e.mem_barrier != kNoSeq &&
+            inWindow(e.mem_barrier)) {
+            const InstRec& s = rec(e.mem_barrier);
+            if (s.state != InstRec::kFrontend &&
+                (s.complete_cycle == kNoCycle || s.complete_cycle > now)) {
+                ++stats_.counter("load_waits_storeset");
+                ++i;
+                continue;
+            }
+        }
+
+        LaneGroup lane = laneOf(t.cls);
+        bool lane_free =
+            (lane == kLaneAlu && used_alu < params_.alu_lanes) ||
+            (lane == kLaneLs && used_ls < params_.ls_lanes) ||
+            (lane == kLaneFp && used_fp < params_.fp_lanes);
+        if (!lane_free) {
+            ++i;
+            continue;
+        }
+
+        Cycle complete;
+        switch (t.cls) {
+          case OpClass::kIntAlu:
+          case OpClass::kBranch:
+          case OpClass::kJump:
+            complete = now + params_.lat_int_alu;
+            break;
+          case OpClass::kIntMul:
+            complete = now + params_.lat_int_mul;
+            break;
+          case OpClass::kIntDiv:
+            complete = now + params_.lat_int_div;
+            break;
+          case OpClass::kFpAdd:
+            complete = now + params_.lat_fp_add;
+            break;
+          case OpClass::kFpMul:
+            complete = now + params_.lat_fp_mul;
+            break;
+          case OpClass::kFpDiv:
+            complete = now + params_.lat_fp_div;
+            break;
+          case OpClass::kLoad:
+            complete = issueLoad(e, now);
+            break;
+          case OpClass::kStore:
+            // Issues once address and data are both ready; agen completes
+            // the store (commit happens via the write buffer at retire).
+            complete = now + params_.lat_agen;
+            break;
+          default:
+            complete = now + 1;
+            break;
+        }
+
+        e.state = InstRec::kIssued;
+        e.complete_cycle = complete;
+        completions_.emplace(complete, seq);
+        ++stats_.counter("issued");
+        if (tracer_)
+            tracer_->stage(e.d, TraceStage::kIssue, now);
+
+        switch (lane) {
+          case kLaneAlu: ++used_alu; break;
+          case kLaneLs:  ++used_ls;  break;
+          case kLaneFp:  ++used_fp;  break;
+        }
+        --budget;
+        iq_.erase(iq_.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+
+    usage_ = IssueUsage{used_alu, used_ls, used_fp};
+    free_ls_slots_ = params_.ls_lanes - used_ls;
+}
+
+Cycle
+Core::issueLoad(InstRec& e, Cycle now)
+{
+    Cycle agen = now + params_.lat_agen;
+    Addr lo = e.d.mem_addr;
+    Addr hi = lo + e.d.mem_size;
+
+    // Search older in-flight stores (youngest first) for forwarding.
+    for (auto it = stq_.rbegin(); it != stq_.rend(); ++it) {
+        if (*it > e.d.seq)
+            continue;
+        const InstRec& s = rec(*it);
+        // Only stores that have executed (address known) participate.
+        if (s.complete_cycle == kNoCycle || s.complete_cycle > agen)
+            continue;
+        Addr slo = s.d.mem_addr;
+        Addr shi = slo + s.d.mem_size;
+        if (hi <= slo || shi <= lo)
+            continue; // no overlap
+        if (slo <= lo && hi <= shi) {
+            // Full containment: store-to-load forwarding.
+            e.forwarded = true;
+            e.forwarded_from = s.d.seq;
+            ++stats_.counter("stl_forwards");
+            return agen + 1;
+        }
+        // Partial overlap: conservative replay-through-cache penalty.
+        e.forwarded = true;
+        e.forwarded_from = s.d.seq;
+        ++stats_.counter("stl_partial");
+        return agen + 3;
+    }
+
+    MemAccessResult r = mem_.access(e.d.mem_addr, agen, MemAccessType::kLoad);
+    stats_.distribution("load_latency").sample(
+        static_cast<double>(r.done - now));
+    e.service_level = r.service_level;
+    if (r.service_level > 1) {
+        ++stats_.counter("load_l1_misses");
+        // Weight the delinquency map by how deep the miss went.
+        miss_by_pc_[e.d.pc] +=
+            static_cast<std::uint64_t>(r.service_level - 1);
+        if (std::getenv("PFM_PF_TRACE") && r.service_level >= 4) {
+            static unsigned long traced = 0;
+            if (traced++ < 20)
+                std::fprintf(stderr, "demand dram addr=%llx\n",
+                             (unsigned long long)e.d.mem_addr);
+        }
+    }
+    return r.done;
+}
+
+void
+Core::checkViolations(InstRec& store, Cycle now)
+{
+    Addr slo = store.d.mem_addr;
+    Addr shi = slo + store.d.mem_size;
+
+    // Oldest violating load wins (loads kept in sequence order).
+    for (SeqNum lseq : ldq_) {
+        if (lseq <= store.d.seq)
+            continue;
+        InstRec& l = rec(lseq);
+        if (l.state != InstRec::kIssued && l.state != InstRec::kDone)
+            continue; // not yet issued: no speculation happened
+        Addr llo = l.d.mem_addr;
+        Addr lhi = llo + l.d.mem_size;
+        if (lhi <= slo || shi <= llo)
+            continue;
+        if (l.forwarded_from != kNoSeq && l.forwarded_from >= store.d.seq)
+            continue; // got its data from this store or a younger one
+        // Memory-order violation: squash from the load (inclusive).
+        ++stats_.counter("memory_violations");
+        store_sets_.trainViolation(l.d.pc, store.d.pc);
+        squashAfter(lseq - 1, now, "violation");
+        if (hooks_) {
+            Cycle stall = hooks_->onSquash(now, lseq - 1, nullptr);
+            retire_stall_until_ = std::max(retire_stall_until_, stall);
+        }
+        return;
+    }
+}
+
+} // namespace pfm

@@ -1,0 +1,84 @@
+#include <algorithm>
+
+#include "common/log.h"
+#include "core/core.h"
+#include "sim/trace.h"
+
+namespace pfm {
+
+void
+Core::retire(Cycle now)
+{
+    if (now < retire_stall_until_)
+        return;
+
+    for (unsigned i = 0; i < params_.retire_width; ++i) {
+        if (rob_.empty())
+            return;
+        InstRec& head = rob_.front();
+        // Writeback-to-retire takes one stage: an instruction completing
+        // in cycle X is eligible to retire from X+1.
+        if (head.state != InstRec::kDone || head.complete_cycle >= now)
+            return;
+
+        if (head.d.isStore() &&
+            write_buffer_.size() >= params_.write_buffer_size) {
+            ++stats_.counter("retire_stall_wb");
+            return;
+        }
+
+        RetireDecision dec;
+        if (hooks_)
+            dec = hooks_->onRetire(head.d, now);
+        if (!dec.allow) {
+            retire_stall_until_ = std::max(dec.retry_at, now + 1);
+            ++stats_.counter("retire_stall_pfm");
+            return;
+        }
+
+        // Commit.
+        if (head.d.isStore()) {
+            write_buffer_.push_back({head.d.mem_addr, head.d.mem_size});
+            engine_.commitLog().retireStore(head.d.seq, head.d.mem_addr,
+                                            head.d.mem_size);
+            store_sets_.storeInactive(head.d.pc, head.d.seq);
+            pfm_assert(!stq_.empty() && stq_.front() == head.d.seq,
+                       "STQ out of sync at retire");
+            stq_.erase(stq_.begin());
+        }
+        if (head.d.isLoad()) {
+            pfm_assert(!ldq_.empty() && ldq_.front() == head.d.seq,
+                       "LDQ out of sync at retire");
+            ldq_.erase(ldq_.begin());
+        }
+        if (head.d.isCondBranch())
+            ++stats_.counter("cond_branches_retired");
+
+        rename_.retire(*head.d.inst, head.d.seq);
+
+        if (head.d.isHalt())
+            halt_retired_ = true;
+
+        SeqNum retired_seq = head.d.seq;
+        if (tracer_)
+            tracer_->stage(head.d, TraceStage::kRetire, now);
+        rob_.pop_front();
+        ++head_seq_;
+        ++retired_;
+        ++stats_.counter("retired");
+
+        if (dec.squash_younger) {
+            // ROI-begin synchronization: flush everything younger so the
+            // core and the custom component start from the same point.
+            squashAfter(retired_seq, now, "roi_begin");
+        }
+        if (dec.stall_until > now) {
+            retire_stall_until_ = dec.stall_until;
+            return;
+        }
+        if (dec.squash_younger)
+            return;
+    }
+}
+
+} // namespace pfm

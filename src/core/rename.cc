@@ -1,0 +1,77 @@
+#include "core/rename.h"
+
+#include "common/log.h"
+
+namespace pfm {
+
+RenameTracker::RenameTracker(unsigned prf_size) : prf_size_(prf_size)
+{
+    pfm_assert(prf_size > kNumArchRegs,
+               "PRF must be larger than the architectural register count");
+    reset();
+}
+
+void
+RenameTracker::reset()
+{
+    free_regs_ = prf_size_ - kNumArchRegs;
+    last_writer_.fill(kNoSeq);
+}
+
+bool
+RenameTracker::rename(const Instruction& inst, SeqNum seq, SeqNum& src1,
+                      SeqNum& src2)
+{
+    const OpTraits& t = inst.traits();
+    src1 = kNoSeq;
+    src2 = kNoSeq;
+
+    bool writes = t.writes_rd && inst.rd != 0;
+    if (writes && free_regs_ == 0)
+        return false;
+
+    if (t.reads_rs1 && inst.rs1 != 0)
+        src1 = last_writer_[inst.rs1];
+    if (t.reads_rs2 && inst.rs2 != 0)
+        src2 = last_writer_[inst.rs2];
+
+    if (writes) {
+        --free_regs_;
+        last_writer_[inst.rd] = seq;
+    }
+    return true;
+}
+
+void
+RenameTracker::retire(const Instruction& inst, SeqNum seq)
+{
+    const OpTraits& t = inst.traits();
+    if (t.writes_rd && inst.rd != 0) {
+        // Freeing the *previous* mapping of rd nets out to one register
+        // returning to the free list.
+        ++free_regs_;
+        pfm_assert(free_regs_ <= prf_size_ - kNumArchRegs,
+                   "PRF free-list overflow");
+        if (last_writer_[inst.rd] == seq)
+            last_writer_[inst.rd] = kNoSeq;
+    }
+}
+
+void
+RenameTracker::rebuildBegin(unsigned num_squashed_writers)
+{
+    free_regs_ += num_squashed_writers;
+    pfm_assert(free_regs_ <= prf_size_ - kNumArchRegs,
+               "PRF free-list overflow on squash");
+    last_writer_.fill(kNoSeq);
+}
+
+void
+RenameTracker::rebuildAdd(const Instruction& inst, SeqNum seq)
+{
+    const OpTraits& t = inst.traits();
+    if (t.writes_rd && inst.rd != 0)
+        last_writer_[inst.rd] = seq;
+}
+
+} // namespace pfm

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Register rename bookkeeping for a PRF-based core. Because the simulator
+ * is execution-driven (values are architecturally exact), rename tracks
+ * only *dependences* (last in-flight writer per architectural register) and
+ * *physical register occupancy* (a free-list count with proper
+ * free-previous-mapping-at-retire semantics).
+ */
+
+#ifndef PFM_CORE_RENAME_H
+#define PFM_CORE_RENAME_H
+
+#include <array>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/instruction.h"
+
+namespace pfm {
+
+class RenameTracker
+{
+  public:
+    explicit RenameTracker(unsigned prf_size);
+
+    /** Free physical registers available for allocation. */
+    unsigned freeRegs() const { return free_regs_; }
+
+    /**
+     * Rename one instruction at dispatch. Sources resolve to the producing
+     * in-flight instruction (kNoSeq if the value is architectural).
+     * Returns false if no physical register is free (caller must stall).
+     */
+    bool rename(const Instruction& inst, SeqNum seq, SeqNum& src1,
+                SeqNum& src2);
+
+    /** Instruction @p seq (writer of @p inst's rd) retires. */
+    void retire(const Instruction& inst, SeqNum seq);
+
+    /**
+     * Squash: writers with seq > @p last_kept disappear. The caller
+     * supplies the surviving in-flight writers oldest-to-youngest via
+     * repeated rebuildAdd() calls after rebuildBegin().
+     */
+    void rebuildBegin(unsigned num_squashed_writers);
+    void rebuildAdd(const Instruction& inst, SeqNum seq);
+
+    /** Last in-flight writer of @p arch_reg (kNoSeq if none). */
+    SeqNum lastWriter(unsigned arch_reg) const
+    {
+        return last_writer_[arch_reg];
+    }
+
+    void reset();
+
+  private:
+    unsigned prf_size_;
+    unsigned free_regs_;
+    std::array<SeqNum, kNumArchRegs> last_writer_;
+};
+
+} // namespace pfm
+
+#endif // PFM_CORE_RENAME_H

@@ -1,0 +1,80 @@
+#include "core/store_sets.h"
+
+#include <algorithm>
+
+namespace pfm {
+
+StoreSets::StoreSets(unsigned log_ssit, unsigned lfst_size)
+    : log_ssit_(log_ssit),
+      ssit_(size_t{1} << log_ssit, -1),
+      lfst_(lfst_size, kNoSeq)
+{}
+
+size_t
+StoreSets::ssitIndex(Addr pc) const
+{
+    return (pc >> 2) & ((size_t{1} << log_ssit_) - 1);
+}
+
+int
+StoreSets::ssidOf(Addr pc) const
+{
+    return ssit_[ssitIndex(pc)];
+}
+
+SeqNum
+StoreSets::barrierFor(Addr load_pc) const
+{
+    int ssid = ssidOf(load_pc);
+    if (ssid < 0)
+        return kNoSeq;
+    return lfst_[static_cast<size_t>(ssid) % lfst_.size()];
+}
+
+void
+StoreSets::storeDispatched(Addr pc, SeqNum seq)
+{
+    int ssid = ssidOf(pc);
+    if (ssid < 0)
+        return;
+    lfst_[static_cast<size_t>(ssid) % lfst_.size()] = seq;
+}
+
+void
+StoreSets::storeInactive(Addr pc, SeqNum seq)
+{
+    int ssid = ssidOf(pc);
+    if (ssid < 0)
+        return;
+    SeqNum& last = lfst_[static_cast<size_t>(ssid) % lfst_.size()];
+    if (last == seq)
+        last = kNoSeq;
+}
+
+void
+StoreSets::trainViolation(Addr load_pc, Addr store_pc)
+{
+    std::int32_t& ls = ssit_[ssitIndex(load_pc)];
+    std::int32_t& ss = ssit_[ssitIndex(store_pc)];
+    if (ls < 0 && ss < 0) {
+        ls = ss = next_ssid_++;
+    } else if (ls < 0) {
+        ls = ss;
+    } else if (ss < 0) {
+        ss = ls;
+    } else {
+        // Merge into the smaller SSID (Chrysos-Emer rule).
+        std::int32_t winner = std::min(ls, ss);
+        ls = ss = winner;
+    }
+}
+
+void
+StoreSets::reset()
+{
+    std::fill(ssit_.begin(), ssit_.end(), -1);
+    std::fill(lfst_.begin(), lfst_.end(), kNoSeq);
+    next_ssid_ = 0;
+}
+
+} // namespace pfm

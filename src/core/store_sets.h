@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Store-set memory dependence predictor (Chrysos & Emer). Loads that have
+ * historically conflicted with an in-flight store wait for it; all other
+ * loads issue speculatively past unresolved stores, with violations
+ * detected when store addresses resolve.
+ */
+
+#ifndef PFM_CORE_STORE_SETS_H
+#define PFM_CORE_STORE_SETS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace pfm {
+
+class StoreSets
+{
+  public:
+    StoreSets(unsigned log_ssit = 10, unsigned lfst_size = 128);
+
+    /** SSID a load/store PC currently belongs to, or -1. */
+    int ssidOf(Addr pc) const;
+
+    /**
+     * The last in-flight store of @p load_pc's store set, or kNoSeq.
+     * The load must not issue before that store has executed.
+     */
+    SeqNum barrierFor(Addr load_pc) const;
+
+    /** A store of @p pc (seq @p seq) dispatched: becomes its set's last. */
+    void storeDispatched(Addr pc, SeqNum seq);
+
+    /** A store executed/retired/squashed: clear it from the LFST. */
+    void storeInactive(Addr pc, SeqNum seq);
+
+    /** A violation between @p load_pc and @p store_pc: merge their sets. */
+    void trainViolation(Addr load_pc, Addr store_pc);
+
+    void reset();
+
+  private:
+    size_t ssitIndex(Addr pc) const;
+
+    unsigned log_ssit_;
+    std::vector<std::int32_t> ssit_;   ///< PC -> SSID (-1 invalid)
+    std::vector<SeqNum> lfst_;         ///< SSID -> last in-flight store seq
+    std::int32_t next_ssid_ = 0;
+};
+
+} // namespace pfm
+
+#endif // PFM_CORE_STORE_SETS_H

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Event-energy model of the core (McPAT-style constants) plus RF power,
+ * used to reproduce Figure 18 (core+RF energy normalized to baseline).
+ * Energy falls with PFM because (1) fewer misspeculated fetch/execute
+ * events and (2) shorter runtime cuts static energy — the two effects the
+ * paper attributes the reduction to.
+ */
+
+#ifndef PFM_ENERGY_ENERGY_MODEL_H
+#define PFM_ENERGY_ENERGY_MODEL_H
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "energy/fpga_model.h"
+
+namespace pfm {
+
+/** Per-event energies in nanojoules (22nm-class 4-wide OOO core). */
+struct EnergyParams {
+    double core_static_nj_per_cycle = 0.90; ///< ~1.8 W at 2 GHz
+    double fetch_nj = 0.15;       ///< I$ + predictor per instruction
+    double rename_dispatch_nj = 0.12;
+    double issue_exec_nj = 0.25;
+    double lsq_dcache_nj = 0.35;  ///< per load/store
+    double l2_nj = 1.2;
+    double l3_nj = 3.0;
+    double dram_nj = 20.0;
+    double squash_overhead_nj = 0.10; ///< per squashed instruction
+    /**
+     * Wrong-path activity estimate: the model fetches no wrong path, so
+     * misprediction energy is charged as penalty_cycles x width x factor
+     * worth of fetch+rename events per misprediction.
+     */
+    double wrongpath_insts_per_mispredict = 24.0;
+    double core_freq_ghz = 2.0;
+};
+
+struct EnergyBreakdown {
+    double core_dynamic_nj = 0;
+    double core_static_nj = 0;
+    double rf_nj = 0;
+    double total_nj = 0;
+};
+
+/**
+ * Compute energy from a finished run's counters.
+ * @p core_stats / @p mem_stats are the core's and memory's StatGroups;
+ * @p rf (nullable) is the FPGA estimate of the attached component.
+ */
+EnergyBreakdown computeEnergy(const EnergyParams& p, Cycle cycles,
+                              const StatGroup& core_stats,
+                              const StatGroup& l2_stats,
+                              const StatGroup& l3_stats,
+                              const StatGroup& dram_stats,
+                              const FpgaEstimate* rf);
+
+} // namespace pfm
+
+#endif // PFM_ENERGY_ENERGY_MODEL_H

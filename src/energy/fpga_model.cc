@@ -1,0 +1,164 @@
+#include "energy/fpga_model.h"
+
+#include <cmath>
+
+namespace pfm {
+
+namespace {
+
+// Coefficients calibrated against the paper's Table 4 (xcvu3p, Vivado).
+constexpr double kFfPerRegBit = 0.9;
+constexpr double kLutPerRegBit = 0.35;
+constexpr double kLutPerCamBit = 2.6;
+constexpr double kLutPerAdderBit = 1.4;
+constexpr double kLutPerFsmState = 12.0;
+constexpr double kLutPerBramTile = 20.0;
+constexpr double kLutPerWidth = 120.0;
+
+constexpr double kBaseFreqMhz = 740.0;
+constexpr double kFreqCamPenalty = 14.0;   ///< per log2(cam bits)
+constexpr double kFreqLutPenalty = 0.02;
+constexpr double kFreqWidthPenalty = 6.0;
+constexpr double kFreqBramPenalty = 12.0;  ///< per BRAM tile (routing)
+
+constexpr double kDynFf = 0.03;    ///< mW per FF per GHz
+constexpr double kDynLut = 0.012;
+constexpr double kDynCamBit = 0.25;
+constexpr double kDynDsp = 12.0;
+constexpr double kDynBramTile = 24.0;
+
+constexpr double kIoPerBitMhz = 0.00093;
+constexpr double kIoWidth = 55.0;
+
+constexpr double kStaticBase = 858.0;
+constexpr double kStaticPerLut = 0.001;
+
+constexpr double kBramTileBytes = 36 * 1024 / 8; ///< 36 Kb tile
+
+} // namespace
+
+FpgaEstimate
+estimateFpga(const ComponentStructure& s)
+{
+    FpgaEstimate e;
+    e.name = s.name;
+
+    e.ffs = static_cast<std::uint64_t>(
+        kFfPerRegBit * static_cast<double>(s.reg_bits + s.cam_bits) +
+        40.0 * s.width);
+    e.brams = static_cast<double>(s.bram_bytes) / kBramTileBytes;
+    e.dsps = s.dsp_mults;
+    e.luts = static_cast<std::uint64_t>(
+        kLutPerRegBit * static_cast<double>(s.reg_bits) +
+        kLutPerCamBit * static_cast<double>(s.cam_bits) +
+        kLutPerAdderBit * static_cast<double>(s.adder_bits) +
+        kLutPerFsmState * s.fsm_states + kLutPerBramTile * e.brams +
+        kLutPerWidth * (s.width > 1 ? s.width : 0));
+
+    double cam_log = s.cam_bits ? std::log2(1.0 + static_cast<double>(
+                                                      s.cam_bits))
+                                : 0.0;
+    e.freq_mhz = kBaseFreqMhz - kFreqCamPenalty * cam_log -
+                 kFreqLutPenalty * static_cast<double>(e.luts) -
+                 kFreqWidthPenalty * s.width - kFreqBramPenalty * e.brams;
+    if (e.freq_mhz < 100.0)
+        e.freq_mhz = 100.0;
+
+    double freq_ghz = e.freq_mhz / 1000.0;
+    e.dyn_logic_mw =
+        (kDynFf * static_cast<double>(e.ffs) +
+         kDynLut * static_cast<double>(e.luts) +
+         kDynCamBit * static_cast<double>(s.cam_bits) +
+         kDynDsp * e.dsps + kDynBramTile * e.brams) *
+        freq_ghz;
+    e.dyn_io_mw = kIoPerBitMhz * static_cast<double>(s.io_bits) * e.freq_mhz +
+                  (s.width > 1 ? kIoWidth * s.width : 0.0);
+    e.static_mw = kStaticBase + kStaticPerLut * static_cast<double>(e.luts);
+    return e;
+}
+
+std::vector<ComponentStructure>
+paperTable4Designs()
+{
+    std::vector<ComponentStructure> v;
+
+    // astar (W=4, 8-entry index_queue): index_queue 8x33b, pred_queue
+    // 128x3b, index1_queue 64x21b, replay queue 128x2b, config registers,
+    // 64x20b index1 CAM, per-width address generators.
+    ComponentStructure astar;
+    astar.name = "astar (4wide)";
+    astar.reg_bits = 8 * 33 + 128 * 3 + 64 * 21 + 128 * 2 + 6 * 64 + 200;
+    astar.cam_bits = 64 * 20;
+    astar.adder_bits = 8 * 21 + 4 * 2 * 40;
+    astar.fsm_states = 12;
+    astar.width = 4;
+    astar.io_bits = 5 * 56 + 4 * 5; // 5 load packets + 4 prediction packets
+    v.push_back(astar);
+
+    // astar-alt: two 32KB prediction tables (BRAM) + two 512-entry
+    // worklists, table-indexing datapath instead of loads.
+    ComponentStructure alt;
+    alt.name = "astar-alt";
+    alt.reg_bits = 650;
+    alt.bram_bytes = 2 * 32 * 1024 + 2 * 512 * 4;
+    alt.adder_bits = 3 * 40;
+    alt.fsm_states = 10;
+    alt.width = 1;
+    alt.io_bits = 180;
+    v.push_back(alt);
+
+    // The four FSM prefetchers (W=1).
+    ComponentStructure libq;
+    libq.name = "libq";
+    libq.reg_bits = 180;
+    libq.adder_bits = 80;
+    libq.fsm_states = 8;
+    libq.width = 1;
+    libq.io_bits = 70;
+    v.push_back(libq);
+
+    ComponentStructure lbm;
+    lbm.name = "lbm";
+    lbm.reg_bits = 200;
+    lbm.adder_bits = 48;
+    lbm.fsm_states = 6;
+    lbm.width = 1;
+    lbm.io_bits = 70;
+    v.push_back(lbm);
+
+    ComponentStructure bwaves;
+    bwaves.name = "bwaves";
+    bwaves.reg_bits = 360;
+    bwaves.adder_bits = 64;
+    bwaves.fsm_states = 10;
+    bwaves.width = 1;
+    bwaves.io_bits = 72;
+    v.push_back(bwaves);
+
+    ComponentStructure milc;
+    milc.name = "milc";
+    milc.reg_bits = 640;
+    milc.adder_bits = 60;
+    milc.fsm_states = 8;
+    milc.dsp_mults = 4;
+    milc.width = 1;
+    milc.io_bits = 196;
+    v.push_back(milc);
+
+    return v;
+}
+
+std::vector<FpgaEstimate>
+paperTable4Reference()
+{
+    return {
+        {"astar (4wide)", 6249, 3523, 0.0, 0, 500, 251, 338, 865},
+        {"astar-alt", 1064, 700, 17.5, 0, 498, 236, 174, 864},
+        {"libq", 282, 215, 0.0, 0, 690, 8, 45, 861},
+        {"lbm", 169, 204, 0.0, 0, 628, 6, 44, 861},
+        {"bwaves", 182, 363, 0.0, 0, 731, 10, 49, 861},
+        {"milc", 253, 667, 0.0, 4, 628, 38, 115, 861},
+    };
+}
+
+} // namespace pfm

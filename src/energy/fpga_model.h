@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Analytical FPGA resource/frequency/power estimator standing in for the
+ * paper's Vivado synthesis flow (Table 4; see DESIGN.md substitutions).
+ *
+ * A custom component is described structurally (register bits, CAM bits,
+ * BRAM bytes, adders, DSP multipliers, FSM states, interface bits, width)
+ * and the model maps the structure to LUT/FF/BRAM/DSP counts, achievable
+ * frequency and power, with coefficients calibrated against the paper's
+ * Table 4 (Xilinx Virtex UltraScale+ xcvu3p).
+ */
+
+#ifndef PFM_ENERGY_FPGA_MODEL_H
+#define PFM_ENERGY_FPGA_MODEL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pfm {
+
+/** Structural description of an RF-synthesized component. */
+struct ComponentStructure {
+    std::string name;
+    std::uint64_t reg_bits = 0;    ///< flip-flop storage (queues, regs)
+    std::uint64_t cam_bits = 0;    ///< content-addressable bits
+    std::uint64_t bram_bytes = 0;  ///< large RAM tables
+    std::uint64_t adder_bits = 0;  ///< address/index arithmetic
+    unsigned dsp_mults = 0;        ///< hard multipliers
+    unsigned fsm_states = 0;
+    unsigned width = 1;            ///< superscalar width W
+    std::uint64_t io_bits = 0;     ///< agent interface width (packets/cycle)
+};
+
+/** Estimated implementation cost (Table 4 row). */
+struct FpgaEstimate {
+    std::string name;
+    std::uint64_t luts = 0;
+    std::uint64_t ffs = 0;
+    double brams = 0;        ///< 36Kb BRAM tiles
+    unsigned dsps = 0;
+    double freq_mhz = 0;
+    double dyn_logic_mw = 0;
+    double dyn_io_mw = 0;
+    double static_mw = 0;
+};
+
+FpgaEstimate estimateFpga(const ComponentStructure& s);
+
+/** Structural descriptors of the paper's six Table 4 designs. */
+std::vector<ComponentStructure> paperTable4Designs();
+
+/** The paper's measured Table 4 numbers, for side-by-side reporting. */
+std::vector<FpgaEstimate> paperTable4Reference();
+
+} // namespace pfm
+
+#endif // PFM_ENERGY_FPGA_MODEL_H

@@ -1,0 +1,262 @@
+#include "isa/assembler.h"
+
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+#include "common/log.h"
+
+namespace pfm {
+
+namespace {
+
+/** One unresolved branch/jump target, fixed up after pass 1. */
+struct Fixup {
+    size_t inst_index;
+    std::string label;
+    int line;
+};
+
+struct Token {
+    std::string text;
+};
+
+std::vector<std::string>
+tokenize(const std::string& line)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : line) {
+        if (c == '#')
+            break;
+        if (std::isspace(static_cast<unsigned char>(c)) || c == ',' ||
+            c == '(' || c == ')') {
+            if (!cur.empty()) {
+                out.push_back(cur);
+                cur.clear();
+            }
+            // '(' and ')' delimit but also mark memory operands; the operand
+            // order ld rd, disp(base) already disambiguates, so we drop them.
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+bool
+parseReg(const std::string& s, unsigned& reg)
+{
+    if (s.size() < 2)
+        return false;
+    char bank = s[0];
+    if (bank != 'x' && bank != 'f')
+        return false;
+    for (size_t i = 1; i < s.size(); ++i)
+        if (!std::isdigit(static_cast<unsigned char>(s[i])))
+            return false;
+    unsigned n = static_cast<unsigned>(std::stoul(s.substr(1)));
+    if (bank == 'x') {
+        if (n >= kNumIntRegs)
+            return false;
+        reg = n;
+    } else {
+        if (n >= kNumFpRegs)
+            return false;
+        reg = fpReg(n);
+    }
+    return true;
+}
+
+bool
+parseImm(const std::string& s, std::int64_t& imm)
+{
+    if (s.empty())
+        return false;
+    size_t pos = 0;
+    try {
+        imm = std::stoll(s, &pos, 0);
+    } catch (...) {
+        return false;
+    }
+    return pos == s.size();
+}
+
+[[noreturn]] void
+syntaxError(int line, const std::string& msg)
+{
+    pfm_fatal("assembler: line %d: %s", line, msg.c_str());
+}
+
+unsigned
+expectReg(const std::vector<std::string>& tok, size_t i, int line)
+{
+    if (i >= tok.size())
+        syntaxError(line, "missing register operand");
+    unsigned r;
+    if (!parseReg(tok[i], r))
+        syntaxError(line, "bad register '" + tok[i] + "'");
+    return r;
+}
+
+std::int64_t
+expectImm(const std::vector<std::string>& tok, size_t i, int line)
+{
+    if (i >= tok.size())
+        syntaxError(line, "missing immediate operand");
+    std::int64_t v;
+    if (!parseImm(tok[i], v))
+        syntaxError(line, "bad immediate '" + tok[i] + "'");
+    return v;
+}
+
+std::string
+expectLabel(const std::vector<std::string>& tok, size_t i, int line)
+{
+    if (i >= tok.size())
+        syntaxError(line, "missing label operand");
+    return tok[i];
+}
+
+} // namespace
+
+Program
+assemble(const std::string& source, Addr base)
+{
+    Program prog(base);
+    std::vector<Fixup> fixups;
+
+    std::istringstream in(source);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        // Labels may share a line with an instruction: "foo: addi x1,x0,1".
+        std::string rest = line;
+        for (;;) {
+            // Find a label prefix (identifier followed by ':').
+            size_t i = 0;
+            while (i < rest.size() &&
+                   std::isspace(static_cast<unsigned char>(rest[i])))
+                ++i;
+            size_t j = i;
+            while (j < rest.size() &&
+                   (std::isalnum(static_cast<unsigned char>(rest[j])) ||
+                    rest[j] == '_' || rest[j] == '.'))
+                ++j;
+            if (j > i && j < rest.size() && rest[j] == ':') {
+                prog.defineLabel(rest.substr(i, j - i));
+                rest = rest.substr(j + 1);
+            } else {
+                break;
+            }
+        }
+
+        std::vector<std::string> tok = tokenize(rest);
+        if (tok.empty())
+            continue;
+
+        const std::string& mn = tok[0];
+        Instruction inst;
+
+        // Pseudo-ops first.
+        if (mn == "li") {
+            inst.op = Opcode::kAddi;
+            inst.rd = static_cast<std::uint8_t>(expectReg(tok, 1, lineno));
+            inst.rs1 = 0;
+            inst.imm = expectImm(tok, 2, lineno);
+            prog.append(inst);
+            continue;
+        }
+        if (mn == "mv") {
+            inst.op = Opcode::kAddi;
+            inst.rd = static_cast<std::uint8_t>(expectReg(tok, 1, lineno));
+            inst.rs1 = static_cast<std::uint8_t>(expectReg(tok, 2, lineno));
+            inst.imm = 0;
+            prog.append(inst);
+            continue;
+        }
+        if (mn == "j") {
+            inst.op = Opcode::kJal;
+            inst.rd = 0;
+            size_t idx = prog.append(inst);
+            fixups.push_back({idx, expectLabel(tok, 1, lineno), lineno});
+            continue;
+        }
+        if (mn == "call") {
+            inst.op = Opcode::kJal;
+            inst.rd = 1; // x1 = return address (by convention)
+            size_t idx = prog.append(inst);
+            fixups.push_back({idx, expectLabel(tok, 1, lineno), lineno});
+            continue;
+        }
+        if (mn == "ret") {
+            inst.op = Opcode::kJalr;
+            inst.rd = 0;
+            inst.rs1 = 1;
+            inst.imm = 0;
+            prog.append(inst);
+            continue;
+        }
+
+        Opcode op = opFromName(mn);
+        if (op == Opcode::kNumOpcodes)
+            syntaxError(lineno, "unknown mnemonic '" + mn + "'");
+        inst.op = op;
+        const OpTraits& t = opTraits(op);
+
+        if (t.is_load) {
+            // ld rd, disp(base)  -> tokens: [ld, rd, disp, base]
+            inst.rd = static_cast<std::uint8_t>(expectReg(tok, 1, lineno));
+            inst.imm = expectImm(tok, 2, lineno);
+            inst.rs1 = static_cast<std::uint8_t>(expectReg(tok, 3, lineno));
+        } else if (t.is_store) {
+            // sd rs2, disp(base) -> tokens: [sd, rs2, disp, base]
+            inst.rs2 = static_cast<std::uint8_t>(expectReg(tok, 1, lineno));
+            inst.imm = expectImm(tok, 2, lineno);
+            inst.rs1 = static_cast<std::uint8_t>(expectReg(tok, 3, lineno));
+        } else if (t.is_cond_branch) {
+            inst.rs1 = static_cast<std::uint8_t>(expectReg(tok, 1, lineno));
+            inst.rs2 = static_cast<std::uint8_t>(expectReg(tok, 2, lineno));
+            size_t idx = prog.append(inst);
+            fixups.push_back({idx, expectLabel(tok, 3, lineno), lineno});
+            continue;
+        } else if (op == Opcode::kJal) {
+            inst.rd = static_cast<std::uint8_t>(expectReg(tok, 1, lineno));
+            size_t idx = prog.append(inst);
+            fixups.push_back({idx, expectLabel(tok, 2, lineno), lineno});
+            continue;
+        } else if (op == Opcode::kJalr) {
+            inst.rd = static_cast<std::uint8_t>(expectReg(tok, 1, lineno));
+            inst.imm = expectImm(tok, 2, lineno);
+            inst.rs1 = static_cast<std::uint8_t>(expectReg(tok, 3, lineno));
+        } else if (op == Opcode::kLui) {
+            inst.rd = static_cast<std::uint8_t>(expectReg(tok, 1, lineno));
+            inst.imm = expectImm(tok, 2, lineno);
+        } else if (op == Opcode::kNop || op == Opcode::kHalt) {
+            // no operands
+        } else if (t.reads_rs2) {
+            inst.rd = static_cast<std::uint8_t>(expectReg(tok, 1, lineno));
+            inst.rs1 = static_cast<std::uint8_t>(expectReg(tok, 2, lineno));
+            inst.rs2 = static_cast<std::uint8_t>(expectReg(tok, 3, lineno));
+        } else {
+            // reg-imm ALU
+            inst.rd = static_cast<std::uint8_t>(expectReg(tok, 1, lineno));
+            inst.rs1 = static_cast<std::uint8_t>(expectReg(tok, 2, lineno));
+            inst.imm = expectImm(tok, 3, lineno);
+        }
+        prog.append(inst);
+    }
+
+    for (const Fixup& f : fixups) {
+        if (!prog.hasLabel(f.label))
+            syntaxError(f.line, "undefined label '" + f.label + "'");
+        prog.mutableInst(f.inst_index).target =
+            static_cast<std::int32_t>(prog.indexOf(prog.labelPc(f.label)));
+    }
+    return prog;
+}
+
+} // namespace pfm

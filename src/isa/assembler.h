@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Two-pass text assembler for the micro-ISA.
+ *
+ * Syntax is RISC-V-like:
+ *
+ *     loop:                     # labels end with ':'
+ *         ld   x5, 0(x6)        # loads/stores: disp(base)
+ *         addi x6, x6, 8
+ *         bne  x5, x0, loop     # branches take a label
+ *         li   x7, 123456       # pseudo-op (arbitrary 64-bit immediate)
+ *         halt
+ *
+ * Pseudo-ops: li, mv, j, call, ret, nop. Comments start with '#'.
+ * Immediates are not range-checked against RISC-V encodings; this is a
+ * modeling ISA, not an encodable one (documented in DESIGN.md).
+ */
+
+#ifndef PFM_ISA_ASSEMBLER_H
+#define PFM_ISA_ASSEMBLER_H
+
+#include <string>
+
+#include "isa/program.h"
+
+namespace pfm {
+
+/**
+ * Assemble @p source into a Program based at @p base.
+ * Calls pfm_fatal() on syntax errors (with line numbers).
+ */
+Program assemble(const std::string& source, Addr base = 0x10000);
+
+} // namespace pfm
+
+#endif // PFM_ISA_ASSEMBLER_H

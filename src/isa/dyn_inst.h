@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Dynamic instruction record produced by the functional engine and consumed
+ * by the timing core. Because the simulator is execution-driven
+ * execute-at-execute, every value here is architecturally exact.
+ */
+
+#ifndef PFM_ISA_DYN_INST_H
+#define PFM_ISA_DYN_INST_H
+
+#include "common/types.h"
+#include "isa/instruction.h"
+
+namespace pfm {
+
+struct DynInst {
+    SeqNum seq = kNoSeq;
+    Addr pc = kBadAddr;
+    const Instruction* inst = nullptr;
+
+    Addr next_pc = kBadAddr;   ///< architectural successor PC
+    bool taken = false;        ///< branch direction (conditional branches)
+
+    Addr mem_addr = kBadAddr;  ///< effective address (loads/stores)
+    std::uint8_t mem_size = 0;
+
+    RegVal result = 0;         ///< destination value (if writes_rd)
+    RegVal store_val = 0;      ///< value stored (if is_store)
+
+    bool isLoad() const { return inst->isLoad(); }
+    bool isStore() const { return inst->isStore(); }
+    bool isCondBranch() const { return inst->isCondBranch(); }
+    bool isControl() const { return inst->isControl(); }
+    bool isHalt() const { return inst->isHalt(); }
+};
+
+} // namespace pfm
+
+#endif // PFM_ISA_DYN_INST_H

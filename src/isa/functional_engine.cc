@@ -1,0 +1,169 @@
+#include "isa/functional_engine.h"
+
+#include <bit>
+
+#include "common/log.h"
+
+namespace pfm {
+
+namespace {
+
+double
+asDouble(RegVal v)
+{
+    return std::bit_cast<double>(v);
+}
+
+RegVal
+asBits(double d)
+{
+    return std::bit_cast<RegVal>(d);
+}
+
+std::int64_t
+signExtend(std::uint64_t v, unsigned bytes)
+{
+    unsigned shift = 64 - 8 * bytes;
+    return static_cast<std::int64_t>(v << shift) >> shift;
+}
+
+} // namespace
+
+FunctionalEngine::FunctionalEngine(const Program& prog, SimMemory& mem)
+    : prog_(prog), mem_(mem), commit_log_(mem)
+{
+    pc_ = prog.base();
+}
+
+void
+FunctionalEngine::reset(Addr entry_pc)
+{
+    regs_.fill(0);
+    pc_ = entry_pc;
+    seq_ = 0;
+    halted_ = false;
+}
+
+RegVal
+FunctionalEngine::aluResult(const Instruction& inst, RegVal a, RegVal b) const
+{
+    auto sa = static_cast<std::int64_t>(a);
+    auto sb = static_cast<std::int64_t>(b);
+    switch (inst.op) {
+      case Opcode::kAdd: return a + b;
+      case Opcode::kSub: return a - b;
+      case Opcode::kMul: return a * b;
+      case Opcode::kDiv: return sb == 0 ? ~RegVal{0}
+                                        : static_cast<RegVal>(sa / sb);
+      case Opcode::kRem: return sb == 0 ? a : static_cast<RegVal>(sa % sb);
+      case Opcode::kAnd: return a & b;
+      case Opcode::kOr:  return a | b;
+      case Opcode::kXor: return a ^ b;
+      case Opcode::kSll: return a << (b & 63);
+      case Opcode::kSrl: return a >> (b & 63);
+      case Opcode::kSra: return static_cast<RegVal>(sa >> (b & 63));
+      case Opcode::kSlt: return sa < sb ? 1 : 0;
+      case Opcode::kSltu: return a < b ? 1 : 0;
+      case Opcode::kAddi: return a + static_cast<RegVal>(inst.imm);
+      case Opcode::kAndi: return a & static_cast<RegVal>(inst.imm);
+      case Opcode::kOri:  return a | static_cast<RegVal>(inst.imm);
+      case Opcode::kXori: return a ^ static_cast<RegVal>(inst.imm);
+      case Opcode::kSlli: return a << (inst.imm & 63);
+      case Opcode::kSrli: return a >> (inst.imm & 63);
+      case Opcode::kSrai: return static_cast<RegVal>(sa >> (inst.imm & 63));
+      case Opcode::kSlti: return sa < inst.imm ? 1 : 0;
+      case Opcode::kSltiu:
+        return a < static_cast<RegVal>(inst.imm) ? 1 : 0;
+      case Opcode::kLui: return static_cast<RegVal>(inst.imm) << 12;
+      case Opcode::kFadd: return asBits(asDouble(a) + asDouble(b));
+      case Opcode::kFsub: return asBits(asDouble(a) - asDouble(b));
+      case Opcode::kFmul: return asBits(asDouble(a) * asDouble(b));
+      case Opcode::kFdiv: return asBits(asDouble(a) / asDouble(b));
+      default:
+        pfm_panic("aluResult on non-ALU opcode %s", opName(inst.op));
+    }
+}
+
+bool
+FunctionalEngine::branchTaken(const Instruction& inst, RegVal a,
+                              RegVal b) const
+{
+    auto sa = static_cast<std::int64_t>(a);
+    auto sb = static_cast<std::int64_t>(b);
+    switch (inst.op) {
+      case Opcode::kBeq:  return a == b;
+      case Opcode::kBne:  return a != b;
+      case Opcode::kBlt:  return sa < sb;
+      case Opcode::kBge:  return sa >= sb;
+      case Opcode::kBltu: return a < b;
+      case Opcode::kBgeu: return a >= b;
+      default:
+        pfm_panic("branchTaken on non-branch opcode %s", opName(inst.op));
+    }
+}
+
+DynInst
+FunctionalEngine::step()
+{
+    pfm_assert(!halted_, "step() after halt");
+
+    const Instruction& inst = prog_.instAt(pc_);
+    const OpTraits& t = inst.traits();
+
+    DynInst d;
+    d.seq = seq_++;
+    d.pc = pc_;
+    d.inst = &inst;
+
+    RegVal a = t.reads_rs1 ? regs_[inst.rs1] : 0;
+    RegVal b = t.reads_rs2 ? regs_[inst.rs2] : 0;
+
+    Addr fallthrough = pc_ + 4;
+    d.next_pc = fallthrough;
+
+    if (inst.isHalt()) {
+        halted_ = true;
+    } else if (t.is_load) {
+        d.mem_addr = a + static_cast<Addr>(inst.imm);
+        d.mem_size = t.mem_bytes;
+        std::uint64_t raw = mem_.readInt(d.mem_addr, t.mem_bytes);
+        d.result = t.mem_signed
+                       ? static_cast<RegVal>(signExtend(raw, t.mem_bytes))
+                       : raw;
+        setReg(inst.rd, d.result);
+    } else if (t.is_store) {
+        d.mem_addr = a + static_cast<Addr>(inst.imm);
+        d.mem_size = t.mem_bytes;
+        d.store_val = b;
+        commit_log_.recordStore(d.seq, d.mem_addr, t.mem_bytes);
+        mem_.writeInt(d.mem_addr, b, t.mem_bytes);
+    } else if (t.is_cond_branch) {
+        d.taken = branchTaken(inst, a, b);
+        if (d.taken) {
+            pfm_assert(inst.target >= 0, "unresolved branch target");
+            d.next_pc = prog_.pcOf(static_cast<size_t>(inst.target));
+        }
+    } else if (inst.op == Opcode::kJal) {
+        d.taken = true;
+        d.result = fallthrough;
+        setReg(inst.rd, fallthrough);
+        pfm_assert(inst.target >= 0, "unresolved jump target");
+        d.next_pc = prog_.pcOf(static_cast<size_t>(inst.target));
+    } else if (inst.op == Opcode::kJalr) {
+        d.taken = true;
+        d.result = fallthrough;
+        Addr dest = (a + static_cast<Addr>(inst.imm)) & ~Addr{1};
+        setReg(inst.rd, fallthrough);
+        d.next_pc = dest;
+    } else if (inst.op == Opcode::kNop) {
+        // nothing
+    } else {
+        d.result = aluResult(inst, a, b);
+        setReg(inst.rd, d.result);
+    }
+
+    pc_ = d.next_pc;
+    return d;
+}
+
+} // namespace pfm

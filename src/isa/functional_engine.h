@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Architectural interpreter of the micro-ISA. step() executes exactly one
+ * instruction and returns its DynInst record; the timing core calls it from
+ * its fetch stage, so the functional state always corresponds to the
+ * fetch-point of the correct path (the model never fetches wrong-path
+ * instructions — see DESIGN.md).
+ */
+
+#ifndef PFM_ISA_FUNCTIONAL_ENGINE_H
+#define PFM_ISA_FUNCTIONAL_ENGINE_H
+
+#include <array>
+#include <cstdint>
+
+#include "isa/dyn_inst.h"
+#include "isa/program.h"
+#include "mem_sys/commit_log.h"
+#include "mem_sys/sim_memory.h"
+
+namespace pfm {
+
+class FunctionalEngine
+{
+  public:
+    FunctionalEngine(const Program& prog, SimMemory& mem);
+
+    /** Reset architectural state and jump to @p entry_pc. */
+    void reset(Addr entry_pc);
+
+    /** True once a halt instruction has executed. */
+    bool halted() const { return halted_; }
+
+    /** Next PC to be executed. */
+    Addr pc() const { return pc_; }
+
+    /**
+     * Execute one instruction. Stores are recorded in the commit log before
+     * memory is mutated. Returns the full dynamic record.
+     */
+    DynInst step();
+
+    /** Architectural register read (unified index). */
+    RegVal reg(unsigned r) const { return regs_[r]; }
+    void setReg(unsigned r, RegVal v) { if (r != 0) regs_[r] = v; }
+
+    /** Number of instructions executed since reset. */
+    SeqNum executed() const { return seq_; }
+
+    CommitLog& commitLog() { return commit_log_; }
+    const CommitLog& commitLog() const { return commit_log_; }
+    SimMemory& memory() { return mem_; }
+
+  private:
+    RegVal aluResult(const Instruction& inst, RegVal a, RegVal b) const;
+    bool branchTaken(const Instruction& inst, RegVal a, RegVal b) const;
+
+    const Program& prog_;
+    SimMemory& mem_;
+    CommitLog commit_log_;
+    std::array<RegVal, kNumArchRegs> regs_{};
+    Addr pc_ = 0;
+    SeqNum seq_ = 0;
+    bool halted_ = false;
+};
+
+} // namespace pfm
+
+#endif // PFM_ISA_FUNCTIONAL_ENGINE_H

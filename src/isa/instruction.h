@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Static (decoded) instruction representation.
+ */
+
+#ifndef PFM_ISA_INSTRUCTION_H
+#define PFM_ISA_INSTRUCTION_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+#include "isa/opcode.h"
+
+namespace pfm {
+
+/** Number of integer architectural registers (x0 hardwired to zero). */
+inline constexpr unsigned kNumIntRegs = 32;
+
+/** Number of FP architectural registers. */
+inline constexpr unsigned kNumFpRegs = 16;
+
+/**
+ * Unified architectural register index: [0,32) integer, [32,48) fp.
+ * x0 (index 0) reads as zero and is never renamed.
+ */
+inline constexpr unsigned kNumArchRegs = kNumIntRegs + kNumFpRegs;
+
+constexpr unsigned fpReg(unsigned f) { return kNumIntRegs + f; }
+
+/** A decoded static instruction. PC = program base + 4 * index. */
+struct Instruction {
+    Opcode op = Opcode::kNop;
+    std::uint8_t rd = 0;    ///< unified destination register index
+    std::uint8_t rs1 = 0;   ///< unified source 1
+    std::uint8_t rs2 = 0;   ///< unified source 2
+    std::int64_t imm = 0;   ///< immediate / load-store displacement
+    std::int32_t target = -1;  ///< branch/jump target (instruction index)
+
+    const OpTraits& traits() const { return opTraits(op); }
+    bool isLoad() const { return traits().is_load; }
+    bool isStore() const { return traits().is_store; }
+    bool isCondBranch() const { return traits().is_cond_branch; }
+    bool isUncond() const { return traits().is_uncond; }
+    bool isControl() const { return isCondBranch() || isUncond(); }
+    bool isHalt() const { return op == Opcode::kHalt; }
+};
+
+/** Render one instruction as assembly text (for debug/disassembly). */
+std::string formatInst(const Instruction& inst);
+
+} // namespace pfm
+
+#endif // PFM_ISA_INSTRUCTION_H

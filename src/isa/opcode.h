@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The simulator's RISC-V-flavoured micro-op set. Workload ROIs are
+ * hand-compiled to this ISA; the functional engine interprets it and the
+ * timing core models it.
+ */
+
+#ifndef PFM_ISA_OPCODE_H
+#define PFM_ISA_OPCODE_H
+
+#include <cstdint>
+#include <string>
+
+namespace pfm {
+
+enum class Opcode : std::uint8_t {
+    // ALU register-register
+    kAdd, kSub, kMul, kDiv, kRem, kAnd, kOr, kXor,
+    kSll, kSrl, kSra, kSlt, kSltu,
+    // ALU register-immediate
+    kAddi, kAndi, kOri, kXori, kSlli, kSrli, kSrai, kSlti, kSltiu, kLui,
+    // Loads (rd <- mem[rs1 + imm])
+    kLb, kLbu, kLh, kLhu, kLw, kLwu, kLd,
+    // Stores (mem[rs1 + imm] <- rs2)
+    kSb, kSh, kSw, kSd,
+    // Conditional branches (compare rs1, rs2; target = label)
+    kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
+    // Unconditional control
+    kJal, kJalr,
+    // Floating point (operates on the f-register bank, bit-cast doubles)
+    kFld, kFsd, kFadd, kFsub, kFmul, kFdiv,
+    // Misc
+    kNop, kHalt,
+    kNumOpcodes,
+};
+
+/** Coarse functional class used for lane steering and latency. */
+enum class OpClass : std::uint8_t {
+    kIntAlu,    ///< single-cycle integer op
+    kIntMul,    ///< pipelined multiplier
+    kIntDiv,    ///< unpipelined divider
+    kLoad,
+    kStore,
+    kBranch,    ///< conditional branch
+    kJump,      ///< unconditional jump / call / return
+    kFpAdd,
+    kFpMul,
+    kFpDiv,
+    kNop,
+};
+
+/** Static properties of an opcode. */
+struct OpTraits {
+    OpClass cls;
+    bool is_load;
+    bool is_store;
+    bool is_cond_branch;
+    bool is_uncond;
+    bool writes_rd;
+    bool reads_rs1;
+    bool reads_rs2;
+    bool is_fp;         ///< rd/rs operands name the f-register bank
+    std::uint8_t mem_bytes;  ///< access size for loads/stores, else 0
+    bool mem_signed;    ///< sign-extend loaded value
+};
+
+/** Table lookup of traits for @p op. */
+const OpTraits& opTraits(Opcode op);
+
+/** Mnemonic for @p op ("add", "ld", ...). */
+const char* opName(Opcode op);
+
+/** Parse a mnemonic; returns kNumOpcodes if unknown. */
+Opcode opFromName(const std::string& name);
+
+} // namespace pfm
+
+#endif // PFM_ISA_OPCODE_H

@@ -1,0 +1,118 @@
+#include "isa/program.h"
+
+#include <sstream>
+
+#include "common/log.h"
+
+namespace pfm {
+
+const Instruction&
+Program::inst(size_t idx) const
+{
+    pfm_assert(idx < insts_.size(), "instruction index %zu out of range %zu",
+               idx, insts_.size());
+    return insts_[idx];
+}
+
+size_t
+Program::indexOf(Addr pc) const
+{
+    pfm_assert(contains(pc), "pc %#lx not in program [%#lx, %#lx)",
+               (unsigned long)pc, (unsigned long)base_,
+               (unsigned long)(base_ + 4 * insts_.size()));
+    return (pc - base_) / 4;
+}
+
+size_t
+Program::append(const Instruction& inst)
+{
+    insts_.push_back(inst);
+    return insts_.size() - 1;
+}
+
+void
+Program::defineLabel(const std::string& label)
+{
+    pfm_assert(!labels_.count(label), "duplicate label '%s'", label.c_str());
+    labels_[label] = insts_.size();
+}
+
+Addr
+Program::labelPc(const std::string& label) const
+{
+    auto it = labels_.find(label);
+    if (it == labels_.end())
+        pfm_fatal("undefined label '%s'", label.c_str());
+    return pcOf(it->second);
+}
+
+bool
+Program::hasLabel(const std::string& label) const
+{
+    return labels_.count(label) != 0;
+}
+
+Instruction&
+Program::mutableInst(size_t idx)
+{
+    pfm_assert(idx < insts_.size(), "instruction index %zu out of range", idx);
+    return insts_[idx];
+}
+
+std::string
+Program::disassemble() const
+{
+    // Invert the label map for printing.
+    std::map<size_t, std::string> by_index;
+    for (const auto& [name, idx] : labels_)
+        by_index[idx] = name;
+
+    std::ostringstream os;
+    for (size_t i = 0; i < insts_.size(); ++i) {
+        auto lit = by_index.find(i);
+        if (lit != by_index.end())
+            os << lit->second << ":\n";
+        os << "  " << std::hex << pcOf(i) << std::dec << ": "
+           << formatInst(insts_[i]) << "\n";
+    }
+    return os.str();
+}
+
+std::string
+formatInst(const Instruction& inst)
+{
+    const OpTraits& t = inst.traits();
+    std::ostringstream os;
+    os << opName(inst.op);
+    auto reg = [&](unsigned r) -> std::string {
+        if (r >= kNumIntRegs)
+            return "f" + std::to_string(r - kNumIntRegs);
+        return "x" + std::to_string(r);
+    };
+    if (t.is_load) {
+        os << " " << reg(inst.rd) << ", " << inst.imm << "(" << reg(inst.rs1)
+           << ")";
+    } else if (t.is_store) {
+        os << " " << reg(inst.rs2) << ", " << inst.imm << "(" << reg(inst.rs1)
+           << ")";
+    } else if (t.is_cond_branch) {
+        os << " " << reg(inst.rs1) << ", " << reg(inst.rs2) << ", @"
+           << inst.target;
+    } else if (inst.op == Opcode::kJal) {
+        os << " " << reg(inst.rd) << ", @" << inst.target;
+    } else if (inst.op == Opcode::kJalr) {
+        os << " " << reg(inst.rd) << ", " << inst.imm << "(" << reg(inst.rs1)
+           << ")";
+    } else if (inst.op == Opcode::kLui) {
+        os << " " << reg(inst.rd) << ", " << inst.imm;
+    } else if (t.writes_rd) {
+        os << " " << reg(inst.rd) << ", " << reg(inst.rs1);
+        if (t.reads_rs2)
+            os << ", " << reg(inst.rs2);
+        else
+            os << ", " << inst.imm;
+    }
+    return os.str();
+}
+
+} // namespace pfm

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * A Program is an assembled list of static instructions plus label and PC
+ * bookkeeping. Instruction i lives at PC base() + 4*i.
+ */
+
+#ifndef PFM_ISA_PROGRAM_H
+#define PFM_ISA_PROGRAM_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/instruction.h"
+
+namespace pfm {
+
+class Program
+{
+  public:
+    explicit Program(Addr base = 0x10000) : base_(base) {}
+
+    Addr base() const { return base_; }
+    size_t size() const { return insts_.size(); }
+
+    const Instruction& inst(size_t idx) const;
+    const Instruction& instAt(Addr pc) const { return inst(indexOf(pc)); }
+
+    /** PC of instruction @p idx. */
+    Addr pcOf(size_t idx) const { return base_ + 4 * idx; }
+
+    /** Instruction index of @p pc (must be in range and aligned). */
+    size_t indexOf(Addr pc) const;
+
+    bool contains(Addr pc) const
+    {
+        return pc >= base_ && pc < base_ + 4 * insts_.size() &&
+               (pc & 3) == 0;
+    }
+
+    /** Append an instruction; returns its index. */
+    size_t append(const Instruction& inst);
+
+    /** Bind @p label to the next appended instruction. */
+    void defineLabel(const std::string& label);
+
+    /** PC of @p label; fatal if undefined. */
+    Addr labelPc(const std::string& label) const;
+
+    /** True if @p label was defined. */
+    bool hasLabel(const std::string& label) const;
+
+    /** All labels (used by tooling/tests). */
+    const std::map<std::string, size_t>& labels() const { return labels_; }
+
+    /** Mutable access for target fixup by the assembler. */
+    Instruction& mutableInst(size_t idx);
+
+    /** Disassembly of the whole program. */
+    std::string disassemble() const;
+
+  private:
+    Addr base_;
+    std::vector<Instruction> insts_;
+    std::map<std::string, size_t> labels_;
+};
+
+} // namespace pfm
+
+#endif // PFM_ISA_PROGRAM_H

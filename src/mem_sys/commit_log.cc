@@ -1,0 +1,51 @@
+#include "mem_sys/commit_log.h"
+
+#include "common/log.h"
+
+namespace pfm {
+
+void
+CommitLog::recordStore(SeqNum seq, Addr addr, unsigned size)
+{
+    for (unsigned i = 0; i < size; ++i) {
+        Addr a = addr + i;
+        std::uint8_t old = 0;
+        mem_.readBytes(a, &old, 1);
+        pending_[a].emplace(seq, old);
+    }
+}
+
+void
+CommitLog::retireStore(SeqNum seq, Addr addr, unsigned size)
+{
+    for (unsigned i = 0; i < size; ++i) {
+        Addr a = addr + i;
+        auto it = pending_.find(a);
+        pfm_assert(it != pending_.end(), "retiring untracked store byte");
+        pfm_assert(it->second.begin()->first == seq,
+                   "stores must retire in order per byte");
+        it->second.erase(it->second.begin());
+        if (it->second.empty())
+            pending_.erase(it);
+    }
+}
+
+std::uint64_t
+CommitLog::committedRead(Addr addr, unsigned size) const
+{
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < size; ++i) {
+        Addr a = addr + i;
+        std::uint8_t byte;
+        auto it = pending_.find(a);
+        if (it != pending_.end()) {
+            byte = it->second.begin()->second;
+        } else {
+            mem_.readBytes(a, &byte, 1);
+        }
+        v |= std::uint64_t{byte} << (8 * i);
+    }
+    return v;
+}
+
+} // namespace pfm

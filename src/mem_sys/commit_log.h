@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Tracks stores that have functionally executed but not yet retired, so
+ * that custom-component loads (which bypass the store queue and read the
+ * data cache) observe *committed* memory state, exactly as the paper's
+ * Load Agent semantics require ("they do not search the Store Queue").
+ *
+ * The functional engine runs at fetch, ahead of retirement, mutating
+ * SimMemory immediately; this log remembers the pre-store bytes of every
+ * in-flight store so committedRead() can reconstruct the retire-time image.
+ */
+
+#ifndef PFM_MEM_SYS_COMMIT_LOG_H
+#define PFM_MEM_SYS_COMMIT_LOG_H
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "mem_sys/sim_memory.h"
+
+namespace pfm {
+
+class CommitLog
+{
+  public:
+    explicit CommitLog(SimMemory& mem) : mem_(mem) {}
+
+    /**
+     * Record a store about to functionally execute. Must be called *before*
+     * the bytes are written to SimMemory (it snapshots the old bytes).
+     */
+    void recordStore(SeqNum seq, Addr addr, unsigned size);
+
+    /** The store @p seq has retired; its bytes become architectural. */
+    void retireStore(SeqNum seq, Addr addr, unsigned size);
+
+    /**
+     * Read @p size bytes at @p addr as of the last retired store, i.e. with
+     * all in-flight stores' effects undone.
+     */
+    std::uint64_t committedRead(Addr addr, unsigned size) const;
+
+    /** Number of in-flight store bytes being tracked (for tests). */
+    size_t pendingBytes() const { return pending_.size(); }
+
+  private:
+    SimMemory& mem_;
+    // Per byte address: in-flight stores ordered oldest-first, with the byte
+    // value *before* that store executed. Committed value = oldest entry.
+    std::unordered_map<Addr, std::map<SeqNum, std::uint8_t>> pending_;
+};
+
+} // namespace pfm
+
+#endif // PFM_MEM_SYS_COMMIT_LOG_H

@@ -1,0 +1,50 @@
+#include "mem_sys/sim_memory.h"
+
+namespace pfm {
+
+Addr
+SimMemory::alloc(Addr bytes, Addr align)
+{
+    pfm_assert(align != 0 && (align & (align - 1)) == 0,
+               "alignment must be a power of two");
+    brk_ = (brk_ + align - 1) & ~(align - 1);
+    Addr a = brk_;
+    brk_ += bytes;
+    return a;
+}
+
+void
+SimMemory::readBytes(Addr addr, void* out, unsigned n) const
+{
+    auto* dst = static_cast<std::uint8_t*>(out);
+    for (unsigned i = 0; i < n; ++i)
+        dst[i] = readByte(addr + i);
+}
+
+void
+SimMemory::writeBytes(Addr addr, const void* in, unsigned n)
+{
+    const auto* src = static_cast<const std::uint8_t*>(in);
+    for (unsigned i = 0; i < n; ++i)
+        writeByte(addr + i, src[i]);
+}
+
+std::uint8_t
+SimMemory::readByte(Addr addr) const
+{
+    auto it = pages_.find(addr >> kPageShift);
+    if (it == pages_.end())
+        return 0;
+    return (*it->second)[addr & (kPageBytes - 1)];
+}
+
+void
+SimMemory::writeByte(Addr addr, std::uint8_t v)
+{
+    auto& page = pages_[addr >> kPageShift];
+    if (!page)
+        page = std::make_unique<PageData>(kPageBytes, 0);
+    (*page)[addr & (kPageBytes - 1)] = v;
+}
+
+} // namespace pfm

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Flat, sparse simulated memory. Workloads allocate their data structures
+ * here; the functional engine and custom components read/write through it.
+ * This holds the *up-to-date functional* image; see CommitLog for the
+ * retire-time (committed) view used by custom-component loads.
+ */
+
+#ifndef PFM_MEM_SYS_SIM_MEMORY_H
+#define PFM_MEM_SYS_SIM_MEMORY_H
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/log.h"
+#include "common/types.h"
+
+namespace pfm {
+
+class SimMemory
+{
+  public:
+    static constexpr unsigned kPageShift = 12;
+    static constexpr Addr kPageBytes = Addr{1} << kPageShift;
+
+    SimMemory() = default;
+
+    /** Bump-allocate @p bytes with @p align alignment in the data segment. */
+    Addr alloc(Addr bytes, Addr align = 8);
+
+    /** Current top of the allocated data segment. */
+    Addr brk() const { return brk_; }
+
+    void readBytes(Addr addr, void* out, unsigned n) const;
+    void writeBytes(Addr addr, const void* in, unsigned n);
+
+    template <typename T>
+    T
+    read(Addr addr) const
+    {
+        T v{};
+        readBytes(addr, &v, sizeof(T));
+        return v;
+    }
+
+    template <typename T>
+    void
+    write(Addr addr, T v)
+    {
+        writeBytes(addr, &v, sizeof(T));
+    }
+
+    /** Unsigned integer read of @p n (1/2/4/8) bytes. */
+    std::uint64_t
+    readInt(Addr addr, unsigned n) const
+    {
+        std::uint64_t v = 0;
+        readBytes(addr, &v, n);
+        return v;
+    }
+
+    void
+    writeInt(Addr addr, std::uint64_t v, unsigned n)
+    {
+        writeBytes(addr, &v, n);
+    }
+
+  private:
+    using PageData = std::vector<std::uint8_t>;
+
+    std::uint8_t readByte(Addr addr) const;
+    void writeByte(Addr addr, std::uint8_t v);
+
+    std::unordered_map<Addr, std::unique_ptr<PageData>> pages_;
+    Addr brk_ = 0x100000; // data segment starts above the code region
+};
+
+} // namespace pfm
+
+#endif // PFM_MEM_SYS_SIM_MEMORY_H

@@ -1,0 +1,152 @@
+#include "memory/cache.h"
+
+#include <algorithm>
+
+#include "common/bitutils.h"
+#include "common/log.h"
+
+namespace pfm {
+
+Cache::Cache(const CacheParams& params)
+    : params_(params), stats_(params.name + ".")
+{
+    pfm_assert(params_.size_bytes % (params_.assoc * kLineBytes) == 0,
+               "%s: size must be a multiple of assoc * line size",
+               params_.name.c_str());
+    num_sets_ =
+        static_cast<unsigned>(params_.size_bytes / (params_.assoc * kLineBytes));
+    pfm_assert(isPow2(num_sets_), "%s: number of sets must be a power of two",
+               params_.name.c_str());
+    lines_.resize(static_cast<size_t>(num_sets_) * params_.assoc);
+    mshr_free_at_.assign(params_.mshrs, 0);
+}
+
+size_t
+Cache::setIndex(Addr addr) const
+{
+    return (addr / kLineBytes) & (num_sets_ - 1);
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return (addr / kLineBytes) >> floorLog2(num_sets_);
+}
+
+CacheProbe
+Cache::probe(Addr addr, Cycle now, bool is_demand)
+{
+    CacheProbe res;
+    size_t set = setIndex(addr);
+    Addr tag = tagOf(addr);
+    Line* base = &lines_[set * params_.assoc];
+
+    if (is_demand)
+        ++stats_.counter("accesses");
+
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        Line& line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lru = ++lru_clock_;
+            res.hit = true;
+            res.data_ready = std::max(now, line.fill_done) + params_.latency;
+            if (line.prefetched && is_demand) {
+                res.was_prefetched = true;
+                line.prefetched = false;
+                ++stats_.counter("prefetch_useful");
+            }
+            if (is_demand && line.fill_done > now)
+                ++stats_.counter("hits_under_fill");
+            return res;
+        }
+    }
+    if (is_demand)
+        ++stats_.counter("misses");
+    return res;
+}
+
+void
+Cache::fill(Addr addr, Cycle fill_done, bool prefetched)
+{
+    size_t set = setIndex(addr);
+    Addr tag = tagOf(addr);
+    Line* base = &lines_[set * params_.assoc];
+
+    // If the line is already present (e.g., racing prefetch + demand),
+    // just take the earlier completion.
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        Line& line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.fill_done = std::min(line.fill_done, fill_done);
+            return;
+        }
+    }
+
+    // Prefer an invalid way; otherwise evict the least-recently-used line.
+    Line* victim = base;
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lru < victim->lru)
+            victim = &base[w];
+    }
+
+    if (victim->valid) {
+        ++stats_.counter("evictions");
+        if (victim->prefetched)
+            ++stats_.counter("prefetch_unused");
+    }
+
+    victim->valid = true;
+    victim->tag = tag;
+    victim->fill_done = fill_done;
+    victim->prefetched = prefetched;
+    victim->lru = ++lru_clock_;
+}
+
+Cycle
+Cache::mshrAcquire(Cycle now)
+{
+    size_t best = 0;
+    for (size_t i = 1; i < mshr_free_at_.size(); ++i) {
+        if (mshr_free_at_[i] < mshr_free_at_[best])
+            best = i;
+    }
+    last_mshr_ = best;
+    Cycle start = std::max(now, mshr_free_at_[best]);
+    if (start > now)
+        ++stats_.counter("mshr_stalls");
+    return start;
+}
+
+void
+Cache::holdMshr(Cycle done)
+{
+    mshr_free_at_[last_mshr_] = done;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    size_t set = setIndex(addr);
+    Addr tag = tagOf(addr);
+    const Line* base = &lines_[set * params_.assoc];
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (Line& line : lines_)
+        line = Line{};
+    std::fill(mshr_free_at_.begin(), mshr_free_at_.end(), 0);
+    lru_clock_ = 0;
+}
+
+} // namespace pfm

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Set-associative cache timing model with LRU replacement, in-flight-fill
+ * tracking (hit-under-fill == MSHR merging) and a bounded MSHR pool that
+ * caps memory-level parallelism at each level.
+ *
+ * The model is "latency-forwarding": an access at cycle `now` computes the
+ * cycle its data is available, mutating tag state immediately but recording
+ * fill completion times so later accesses to in-flight lines wait correctly.
+ */
+
+#ifndef PFM_MEMORY_CACHE_H
+#define PFM_MEMORY_CACHE_H
+
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace pfm {
+
+struct CacheParams {
+    std::string name = "cache";
+    std::uint64_t size_bytes = 32 * 1024;
+    unsigned assoc = 8;
+    unsigned latency = 2;      ///< added cycles for a hit at this level
+    unsigned mshrs = 16;       ///< max concurrent outstanding fills
+};
+
+/** Result of probing one level. */
+struct CacheProbe {
+    bool hit = false;           ///< tag present (possibly still filling)
+    Cycle data_ready = kNoCycle; ///< cycle the data can be delivered
+    bool was_prefetched = false; ///< first demand touch of a prefetched line
+};
+
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams& params);
+
+    const std::string& name() const { return params_.name; }
+    const CacheParams& params() const { return params_; }
+
+    /**
+     * Look up @p addr at cycle @p now. On a hit, returns data_ready =
+     * max(now, line fill completion) + latency. On a miss, returns
+     * hit=false; the caller is responsible for going to the next level and
+     * then calling fill().
+     */
+    CacheProbe probe(Addr addr, Cycle now, bool is_demand);
+
+    /**
+     * Allocate @p addr with fill completing at @p fill_done. Evicts LRU.
+     * @p prefetched marks prefetch-initiated fills for accuracy stats.
+     */
+    void fill(Addr addr, Cycle fill_done, bool prefetched);
+
+    /**
+     * Reserve an MSHR for a miss issued at @p now; returns the cycle the
+     * miss request can actually start (>= now; later if all MSHRs busy).
+     * Call mshrRelease() time is folded in: the slot is held until
+     * @p expected_done computed by the caller via holdMshr().
+     */
+    Cycle mshrAcquire(Cycle now);
+
+    /** Mark the acquired MSHR busy until @p done. Pair with mshrAcquire. */
+    void holdMshr(Cycle done);
+
+    /** True if the line holding @p addr is present (valid tag). */
+    bool contains(Addr addr) const;
+
+    /** Invalidate everything (used between experiment runs). */
+    void flush();
+
+    StatGroup& stats() { return stats_; }
+    const StatGroup& stats() const { return stats_; }
+
+  private:
+    struct Line {
+        Addr tag = kBadAddr;
+        bool valid = false;
+        bool prefetched = false;    ///< filled by a prefetch, not yet used
+        Cycle fill_done = 0;
+        std::uint64_t lru = 0;      ///< higher == more recent
+    };
+
+    size_t setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+
+    CacheParams params_;
+    unsigned num_sets_;
+    std::vector<Line> lines_;      ///< num_sets_ * assoc, row-major by set
+    std::uint64_t lru_clock_ = 0;
+    std::vector<Cycle> mshr_free_at_; ///< per-MSHR next-free cycle
+    size_t last_mshr_ = 0;            ///< slot chosen by last mshrAcquire
+    StatGroup stats_;
+};
+
+} // namespace pfm
+
+#endif // PFM_MEMORY_CACHE_H

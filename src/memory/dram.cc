@@ -1,0 +1,38 @@
+#include "memory/dram.h"
+
+#include <algorithm>
+
+namespace pfm {
+
+Dram::Dram(const DramParams& params)
+    : params_(params), slots_(params.max_outstanding, 0), stats_("dram.")
+{}
+
+Cycle
+Dram::access(Cycle now)
+{
+    ++stats_.counter("accesses");
+
+    // Bounded outstanding requests: reuse the earliest-free slot.
+    size_t best = 0;
+    for (size_t i = 1; i < slots_.size(); ++i) {
+        if (slots_[i] < slots_[best])
+            best = i;
+    }
+    Cycle start = std::max({now, next_issue_, slots_[best]});
+    if (start > now)
+        ++stats_.counter("queue_delay_events");
+    next_issue_ = start + params_.issue_gap;
+    Cycle done = start + params_.latency;
+    slots_[best] = done;
+    return done;
+}
+
+void
+Dram::flush()
+{
+    next_issue_ = 0;
+    std::fill(slots_.begin(), slots_.end(), 0);
+}
+
+} // namespace pfm

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Flat-latency DRAM model with a bandwidth cap (minimum inter-request gap)
+ * and a bounded number of outstanding requests.
+ */
+
+#ifndef PFM_MEMORY_DRAM_H
+#define PFM_MEMORY_DRAM_H
+
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace pfm {
+
+struct DramParams {
+    unsigned latency = 250;      ///< Table 1: DRAM 250 cycles
+    unsigned issue_gap = 2;      ///< min core cycles between request starts
+    unsigned max_outstanding = 64;
+};
+
+class Dram
+{
+  public:
+    explicit Dram(const DramParams& params);
+
+    /** Request data at cycle @p now; returns completion cycle. */
+    Cycle access(Cycle now);
+
+    void flush();
+
+    StatGroup& stats() { return stats_; }
+
+  private:
+    DramParams params_;
+    Cycle next_issue_ = 0;
+    std::vector<Cycle> slots_;   ///< outstanding-request completion times
+    StatGroup stats_;
+};
+
+} // namespace pfm
+
+#endif // PFM_MEMORY_DRAM_H

@@ -1,0 +1,183 @@
+#include "memory/hierarchy.h"
+
+#include <algorithm>
+
+namespace pfm {
+
+Hierarchy::Hierarchy(const HierarchyParams& params)
+    : params_(params),
+      l1i_(params.l1i),
+      l1d_(params.l1d),
+      l2_(params.l2),
+      l3_(params.l3),
+      dram_(params.dram),
+      l1d_pf_(params.l1d_next_n),
+      vldp_(),
+      stats_("mem.")
+{}
+
+MemAccessResult
+Hierarchy::access(Addr addr, Cycle now, MemAccessType type)
+{
+    bool ifetch = (type == MemAccessType::kIFetch);
+
+    if (ifetch && params_.perfect_icache) {
+        return {now + l1i_.params().latency, 1};
+    }
+    if (!ifetch && params_.perfect_dcache) {
+        return {now + l1d_.params().latency, 1};
+    }
+
+    if (type == MemAccessType::kPrefetch) {
+        // Agent/software prefetches fill L2/L3 only: they must not consume
+        // L1 MSHRs or displace the demand working set in the small L1
+        // (prefetch-to-L2 policy; see DESIGN.md).
+        Addr line = lineAlign(addr);
+        if (l1d_.contains(line) || l2_.contains(line))
+            return {now, 2};
+        ++stats_.counter("agent_prefetch_fills");
+        Cycle t1 = l2_.mshrAcquire(now) + l2_.params().latency;
+        CacheProbe p3 = l3_.probe(line, t1, false);
+        Cycle done;
+        if (p3.hit) {
+            done = p3.data_ready;
+        } else {
+            Cycle t2 = l3_.mshrAcquire(t1) + l3_.params().latency;
+            done = dram_.access(t2);
+            l3_.fill(line, done, true);
+            l3_.holdMshr(done);
+        }
+        l2_.fill(line, done, true);
+        l2_.holdMshr(done);
+        return {done, 2};
+    }
+
+    bool demand = (type != MemAccessType::kPrefetch);
+    MemAccessResult res = walk(addr, now, ifetch, demand, demand && !ifetch);
+    return res;
+}
+
+MemAccessResult
+Hierarchy::walk(Addr addr, Cycle now, bool ifetch, bool demand,
+                bool trigger_prefetch)
+{
+    Cache& l1 = ifetch ? l1i_ : l1d_;
+    Addr line = lineAlign(addr);
+    MemAccessResult res;
+
+    CacheProbe p1 = l1.probe(line, now, demand);
+    std::vector<Addr> l1_pf;
+    if (trigger_prefetch && params_.l1d_next_n != 0)
+        l1d_pf_.onAccess(line, !p1.hit, l1_pf);
+
+    if (p1.hit) {
+        res = {p1.data_ready, 1};
+        runPrefetches(l1_pf, now, true);
+        return res;
+    }
+
+    // L1 miss: request proceeds to L2 after the L1 lookup, gated by MSHRs.
+    // Prefetch-initiated fills do not occupy demand MSHRs (hardware keeps
+    // them in a separate, droppable prefetch queue).
+    Cycle t1 = (demand ? l1.mshrAcquire(now) : now) + l1.params().latency;
+
+    CacheProbe p2 = l2_.probe(line, t1, demand);
+    std::vector<Addr> l2_pf;
+    if (trigger_prefetch && params_.vldp_enabled)
+        vldp_.onAccess(line, !p2.hit, l2_pf);
+
+    Cycle done;
+    int level;
+    if (p2.hit) {
+        done = p2.data_ready;
+        level = 2;
+    } else {
+        Cycle t2 = l2_.mshrAcquire(t1) + l2_.params().latency;
+        CacheProbe p3 = l3_.probe(line, t2, demand);
+        if (p3.hit) {
+            done = p3.data_ready;
+            level = 3;
+        } else {
+            Cycle t3 = l3_.mshrAcquire(t2) + l3_.params().latency;
+            done = dram_.access(t3);
+            level = 4;
+            l3_.fill(line, done, !demand);
+            l3_.holdMshr(done);
+        }
+        l2_.fill(line, done, !demand);
+        l2_.holdMshr(done);
+    }
+    l1.fill(line, done, !demand);
+    if (demand)
+        l1.holdMshr(done);
+
+    if (demand) {
+        switch (level) {
+          case 2: ++stats_.counter("served_l2"); break;
+          case 3: ++stats_.counter("served_l3"); break;
+          case 4: ++stats_.counter("served_dram"); break;
+          default: break;
+        }
+    }
+
+    runPrefetches(l1_pf, now, true);
+    runPrefetches(l2_pf, now, false);
+    return {done, level};
+}
+
+void
+Hierarchy::runPrefetches(std::vector<Addr>& queue, Cycle now, bool l1_level)
+{
+    for (Addr a : queue) {
+        if (l1_level) {
+            if (!l1d_.contains(a)) {
+                ++stats_.counter("l1_prefetches");
+                walk(a, now, /*ifetch=*/false, /*demand=*/false,
+                     /*trigger_prefetch=*/false);
+            }
+        } else {
+            // VLDP prefetches fill L2/L3 only.
+            if (l2_.contains(a))
+                continue;
+            ++stats_.counter("l2_prefetches");
+            Addr line = lineAlign(a);
+            Cycle t1 = l2_.mshrAcquire(now) + l2_.params().latency;
+            CacheProbe p3 = l3_.probe(line, t1, false);
+            Cycle done;
+            if (p3.hit) {
+                done = p3.data_ready;
+            } else {
+                Cycle t2 = l3_.mshrAcquire(t1) + l3_.params().latency;
+                done = dram_.access(t2);
+                l3_.fill(line, done, true);
+                l3_.holdMshr(done);
+            }
+            l2_.fill(line, done, true);
+            l2_.holdMshr(done);
+        }
+    }
+    queue.clear();
+}
+
+void
+Hierarchy::warm(Addr addr)
+{
+    Addr line = lineAlign(addr);
+    l1d_.fill(line, 0, false);
+    l2_.fill(line, 0, false);
+    l3_.fill(line, 0, false);
+}
+
+void
+Hierarchy::flush()
+{
+    l1i_.flush();
+    l1d_.flush();
+    l2_.flush();
+    l3_.flush();
+    dram_.flush();
+    l1d_pf_.reset();
+    vldp_.reset();
+}
+
+} // namespace pfm

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Composes L1I / L1D / L2 / L3 / DRAM per Table 1, with the next-2-line
+ * prefetcher at L1D and VLDP at L2/L3. The timing core (and the PFM Load
+ * Agent) call access(); the returned cycle is when data is usable.
+ */
+
+#ifndef PFM_MEMORY_HIERARCHY_H
+#define PFM_MEMORY_HIERARCHY_H
+
+#include <memory>
+#include <vector>
+
+#include "memory/cache.h"
+#include "memory/dram.h"
+#include "memory/next_n_line.h"
+#include "memory/vldp.h"
+
+namespace pfm {
+
+enum class MemAccessType {
+    kIFetch,
+    kLoad,
+    kStore,
+    kPrefetch,   ///< software/agent-injected prefetch (fills, no data use)
+};
+
+struct HierarchyParams {
+    CacheParams l1i{"l1i", 32 * 1024, 8, 2, 8};
+    CacheParams l1d{"l1d", 32 * 1024, 8, 2, 16};
+    // MSHR depths sized for streaming workloads: sustained DRAM-bound
+    // throughput is mshrs/latency, so ~128 outstanding lines sustain
+    // ~0.44 lines/cycle (~28 GB/s at 2 GHz), matching the channel.
+    CacheParams l2{"l2", 256 * 1024, 8, 10, 128};
+    CacheParams l3{"l3", 8 * 1024 * 1024, 16, 30, 128};
+    DramParams dram{};
+    unsigned l1d_next_n = 2;     ///< next-N-line degree (0 disables)
+    bool vldp_enabled = true;    ///< VLDP at L2/L3
+    bool perfect_dcache = false; ///< perfD$ experiments
+    bool perfect_icache = true;  ///< tiny ROIs always hit; modeled anyway
+};
+
+struct MemAccessResult {
+    Cycle done = 0;
+    int service_level = 0;  ///< 1=L1, 2=L2, 3=L3, 4=DRAM
+};
+
+class Hierarchy
+{
+  public:
+    explicit Hierarchy(const HierarchyParams& params);
+
+    MemAccessResult access(Addr addr, Cycle now, MemAccessType type);
+
+    /** Warm a line into all levels instantly (used for warmup phases). */
+    void warm(Addr addr);
+
+    void flush();
+
+    const HierarchyParams& params() const { return params_; }
+    Cache& l1i() { return l1i_; }
+    Cache& l1d() { return l1d_; }
+    Cache& l2() { return l2_; }
+    Cache& l3() { return l3_; }
+    Dram& dram() { return dram_; }
+    StatGroup& stats() { return stats_; }
+
+  private:
+    /**
+     * Demand path shared by all types: probe L1 (selected by @p ifetch),
+     * then L2, L3, DRAM; fill inward on the way back.
+     */
+    MemAccessResult walk(Addr addr, Cycle now, bool ifetch, bool demand,
+                         bool trigger_prefetch);
+
+    void runPrefetches(std::vector<Addr>& queue, Cycle now, bool l1_level);
+
+    HierarchyParams params_;
+    Cache l1i_;
+    Cache l1d_;
+    Cache l2_;
+    Cache l3_;
+    Dram dram_;
+    NextNLinePrefetcher l1d_pf_;
+    VldpPrefetcher vldp_;
+    StatGroup stats_;
+    std::vector<Addr> pf_scratch_;
+};
+
+} // namespace pfm
+
+#endif // PFM_MEMORY_HIERARCHY_H

@@ -1,0 +1,15 @@
+#include "memory/next_n_line.h"
+
+namespace pfm {
+
+void
+NextNLinePrefetcher::onAccess(Addr addr, bool miss, std::vector<Addr>& out)
+{
+    if (!miss)
+        return;
+    Addr line = lineAlign(addr);
+    for (unsigned i = 1; i <= degree_; ++i)
+        out.push_back(line + static_cast<Addr>(i) * kLineBytes);
+}
+
+} // namespace pfm

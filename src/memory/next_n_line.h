@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Next-N-line prefetcher (Table 1: L1D uses N=2).
+ */
+
+#ifndef PFM_MEMORY_NEXT_N_LINE_H
+#define PFM_MEMORY_NEXT_N_LINE_H
+
+#include "memory/prefetcher.h"
+
+namespace pfm {
+
+class NextNLinePrefetcher : public Prefetcher
+{
+  public:
+    explicit NextNLinePrefetcher(unsigned degree = 2) : degree_(degree) {}
+
+    void onAccess(Addr addr, bool miss, std::vector<Addr>& out) override;
+    void reset() override {}
+
+  private:
+    unsigned degree_;
+};
+
+} // namespace pfm
+
+#endif // PFM_MEMORY_NEXT_N_LINE_H

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Prefetcher interface. A prefetcher is attached to one cache level; the
+ * hierarchy invokes it on demand accesses at that level and injects the
+ * returned line addresses as prefetch fills.
+ */
+
+#ifndef PFM_MEMORY_PREFETCHER_H
+#define PFM_MEMORY_PREFETCHER_H
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace pfm {
+
+class Prefetcher
+{
+  public:
+    virtual ~Prefetcher() = default;
+
+    /**
+     * Observe a demand access to @p addr (line-aligned internally).
+     * @p miss is true if the access missed at the attached level.
+     * Prefetch candidates (full byte addresses) are appended to @p out.
+     */
+    virtual void onAccess(Addr addr, bool miss, std::vector<Addr>& out) = 0;
+
+    /** Forget all training state. */
+    virtual void reset() = 0;
+};
+
+} // namespace pfm
+
+#endif // PFM_MEMORY_PREFETCHER_H

@@ -1,0 +1,150 @@
+#include "memory/vldp.h"
+
+#include <algorithm>
+
+namespace pfm {
+
+namespace {
+constexpr unsigned kPageShift = 12;
+constexpr std::int64_t kLinesPerPage = 1 << (kPageShift - 6);
+} // namespace
+
+VldpPrefetcher::VldpPrefetcher(const VldpParams& params) : params_(params)
+{
+    dhb_.resize(params_.dhb_entries);
+    dpt_.assign(params_.history, std::vector<DptEntry>(params_.dpt_entries));
+}
+
+void
+VldpPrefetcher::reset()
+{
+    for (auto& e : dhb_)
+        e = DhbEntry{};
+    for (auto& table : dpt_)
+        std::fill(table.begin(), table.end(), DptEntry{});
+    lru_clock_ = 0;
+}
+
+VldpPrefetcher::DhbEntry&
+VldpPrefetcher::lookupPage(Addr page)
+{
+    DhbEntry* victim = &dhb_[0];
+    for (auto& e : dhb_) {
+        if (e.page == page) {
+            e.lru = ++lru_clock_;
+            return e;
+        }
+        if (e.lru < victim->lru)
+            victim = &e;
+    }
+    *victim = DhbEntry{};
+    victim->page = page;
+    victim->lru = ++lru_clock_;
+    return *victim;
+}
+
+std::uint64_t
+VldpPrefetcher::hashDeltas(const std::int64_t* d, unsigned n)
+{
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (unsigned i = 0; i < n; ++i) {
+        h ^= static_cast<std::uint64_t>(d[i]) + 0x9e3779b97f4a7c15ULL +
+             (h << 6) + (h >> 2);
+    }
+    return h;
+}
+
+void
+VldpPrefetcher::train(DhbEntry& e, std::int64_t new_delta)
+{
+    // Update each DPT with key = deltas preceding new_delta.
+    for (unsigned k = 0; k < params_.history; ++k) {
+        unsigned hist_len = k + 1;
+        if (e.deltas.size() < hist_len)
+            break;
+        const std::int64_t* start = e.deltas.data() + e.deltas.size() - hist_len;
+        std::uint64_t key = hashDeltas(start, hist_len);
+        DptEntry& ent = dpt_[k][key % params_.dpt_entries];
+        if (ent.key == key) {
+            if (ent.pred_delta == new_delta) {
+                if (ent.confidence < 3)
+                    ++ent.confidence;
+            } else if (ent.confidence > 0) {
+                --ent.confidence;
+            } else {
+                ent.pred_delta = new_delta;
+            }
+        } else {
+            if (ent.confidence > 0) {
+                --ent.confidence;
+            } else {
+                ent.key = key;
+                ent.pred_delta = new_delta;
+                ent.confidence = 1;
+            }
+        }
+    }
+    e.deltas.push_back(new_delta);
+    if (e.deltas.size() > params_.history)
+        e.deltas.erase(e.deltas.begin());
+}
+
+bool
+VldpPrefetcher::predict(const std::vector<std::int64_t>& deltas,
+                        std::int64_t& out_delta) const
+{
+    // Longest matching history wins.
+    for (int k = static_cast<int>(params_.history) - 1; k >= 0; --k) {
+        unsigned hist_len = static_cast<unsigned>(k) + 1;
+        if (deltas.size() < hist_len)
+            continue;
+        const std::int64_t* start = deltas.data() + deltas.size() - hist_len;
+        std::uint64_t key = hashDeltas(start, hist_len);
+        const DptEntry& ent = dpt_[k][key % params_.dpt_entries];
+        if (ent.key == key && ent.confidence >= params_.min_confidence) {
+            out_delta = ent.pred_delta;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+VldpPrefetcher::onAccess(Addr addr, bool miss, std::vector<Addr>& out)
+{
+    (void)miss; // VLDP trains on all demand accesses reaching its level.
+
+    Addr page = addr >> kPageShift;
+    auto line_in_page =
+        static_cast<std::int64_t>((addr >> 6) & (kLinesPerPage - 1));
+
+    DhbEntry& e = lookupPage(page);
+    bool first_touch = (e.last_line < 0);
+    if (!first_touch) {
+        std::int64_t delta = line_in_page - e.last_line;
+        if (delta != 0)
+            train(e, delta);
+    }
+    e.last_line = line_in_page;
+    if (first_touch)
+        return;
+
+    // Cascade: walk the predicted delta chain up to `degree` steps.
+    std::vector<std::int64_t> hist = e.deltas;
+    std::int64_t line = line_in_page;
+    for (unsigned i = 0; i < params_.degree; ++i) {
+        std::int64_t delta;
+        if (!predict(hist, delta))
+            break;
+        line += delta;
+        if (line < 0 || line >= kLinesPerPage)
+            break; // VLDP does not cross page boundaries
+        out.push_back((page << kPageShift) +
+                      static_cast<Addr>(line) * kLineBytes);
+        hist.push_back(delta);
+        if (hist.size() > params_.history)
+            hist.erase(hist.begin());
+    }
+}
+
+} // namespace pfm

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Variable Length Delta Prefetcher (Shevgoor et al., MICRO-48 2015),
+ * scaled to the paper's 5.5 Kb budget. Per-page delta histories feed three
+ * delta prediction tables keyed by the last 1, 2, or 3 deltas; the longest
+ * matching history wins. Cascaded (multi-degree) prediction follows the
+ * predicted delta chain.
+ */
+
+#ifndef PFM_MEMORY_VLDP_H
+#define PFM_MEMORY_VLDP_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "memory/prefetcher.h"
+
+namespace pfm {
+
+struct VldpParams {
+    unsigned dhb_entries = 16;   ///< tracked pages
+    unsigned dpt_entries = 64;   ///< per delta prediction table
+    unsigned degree = 2;         ///< cascaded prefetches per trigger
+    unsigned history = 3;        ///< max delta-history length (tables)
+    unsigned min_confidence = 2; ///< counter threshold to predict
+};
+
+class VldpPrefetcher : public Prefetcher
+{
+  public:
+    explicit VldpPrefetcher(const VldpParams& params = {});
+
+    void onAccess(Addr addr, bool miss, std::vector<Addr>& out) override;
+    void reset() override;
+
+  private:
+    /** Per-page state in the Delta History Buffer. */
+    struct DhbEntry {
+        Addr page = kBadAddr;
+        std::int64_t last_line = -1;       ///< last line offset within page
+        std::vector<std::int64_t> deltas;  ///< most recent last
+        std::uint64_t lru = 0;
+    };
+
+    /** One delta prediction table entry. */
+    struct DptEntry {
+        std::uint64_t key = ~std::uint64_t{0};
+        std::int64_t pred_delta = 0;
+        std::uint8_t confidence = 0;  ///< 2-bit
+    };
+
+    DhbEntry& lookupPage(Addr page);
+    static std::uint64_t hashDeltas(const std::int64_t* d, unsigned n);
+    void train(DhbEntry& e, std::int64_t new_delta);
+    bool predict(const std::vector<std::int64_t>& deltas,
+                 std::int64_t& out_delta) const;
+
+    VldpParams params_;
+    std::vector<DhbEntry> dhb_;
+    // dpt_[k] keyed by the last k+1 deltas.
+    std::vector<std::vector<DptEntry>> dpt_;
+    std::uint64_t lru_clock_ = 0;
+};
+
+} // namespace pfm
+
+#endif // PFM_MEMORY_VLDP_H

@@ -1,0 +1,208 @@
+#include "pfm/component.h"
+
+#include "common/log.h"
+
+namespace pfm {
+
+void
+CustomComponent::attach(FetchAgent* fetch, RetireAgent* retire,
+                        LoadAgent* load, const PfmParams* params,
+                        StatGroup* stats)
+{
+    fetch_ = fetch;
+    retire_ = retire;
+    load_ = load;
+    params_ = params;
+    stats_ = stats;
+}
+
+Cycle
+CustomComponent::predAvail(Cycle now) const
+{
+    return now + static_cast<Cycle>(params_->delay) * params_->clk_div + 1;
+}
+
+void
+CustomComponent::step(Cycle now)
+{
+    pred_budget_ = params_->width;
+    load_budget_ = params_->width;
+
+    // Deliver up to W observation packets.
+    ObsPacket p;
+    for (unsigned i = 0; i < params_->width; ++i) {
+        if (!retire_->popObservation(p, now))
+            break;
+        onObservation(p, now);
+    }
+
+    // Deliver up to W load returns.
+    LoadReturn r;
+    for (unsigned i = 0; i < params_->width; ++i) {
+        if (!load_->popReturn(r, now))
+            break;
+        onLoadReturn(r, now);
+    }
+
+    if (replaying_)
+        drainReplay(now);
+
+    rfStep(now);
+}
+
+void
+CustomComponent::drainReplay(Cycle now)
+{
+    while (replay_cursor_ < replay_end_ && pred_budget_ > 0) {
+        pfm_assert(replay_cursor_ >= log_base_ &&
+                       replay_cursor_ < log_base_ + log_.size(),
+                   "replay cursor outside log");
+        bool dir = log_[replay_cursor_ - log_base_].dir != 0;
+        if (!fetch_->pushPrediction(dir, predAvail(now)))
+            break; // IntQ-F full; continue next RF cycle
+        ++replay_cursor_;
+        --pred_budget_;
+        ++stats_->counter("replayed_predictions");
+    }
+    if (replay_cursor_ >= replay_end_)
+        replaying_ = false;
+}
+
+bool
+CustomComponent::emitPrediction(bool dir, Cycle now, std::uint32_t meta)
+{
+    if (replaying_ || pred_budget_ == 0)
+        return false;
+    if (!fetch_->pushPrediction(dir, predAvail(now)))
+        return false;
+    --pred_budget_;
+    log_.push_back({static_cast<std::uint8_t>(dir ? 1 : 0), meta});
+    ++gen_pos_;
+    // Prune the log; rollbacks never reach further back than the in-flight
+    // window plus the queued predictions.
+    while (log_.size() > 8192) {
+        log_.pop_front();
+        ++log_base_;
+    }
+    return true;
+}
+
+bool
+CustomComponent::issueLoad(std::uint64_t id, Addr addr, unsigned size,
+                           Cycle now, bool prefetch_only)
+{
+    (void)now;
+    if (load_budget_ == 0)
+        return false;
+    LoadRequest req;
+    req.id = id;
+    req.addr = addr;
+    req.size = static_cast<std::uint8_t>(size);
+    req.prefetch_only = prefetch_only;
+    if (!load_->pushRequest(req))
+        return false;
+    --load_budget_;
+    return true;
+}
+
+void
+CustomComponent::invalidateUnconsumed()
+{
+    fetch_->flushQueue();
+    std::uint64_t consumed = fetch_->popCount();
+    pfm_assert(consumed >= log_base_, "log pruned past consumption point");
+    if (consumed > gen_pos_) {
+        // Non-stalling mode: nothing unconsumed; the core ran ahead.
+        fetch_->addPendingDrops(consumed - gen_pos_);
+        consumed = gen_pos_;
+    }
+    log_.resize(consumed - log_base_);
+    gen_pos_ = consumed;
+    replaying_ = false;
+    ++stats_->counter("stream_invalidations");
+}
+
+void
+CustomComponent::squash(Cycle now, const SquashInfo& info)
+{
+    pfm_assert(info.rollback_pos >= log_base_,
+               "rollback position pruned from log");
+    std::uint64_t rb = info.rollback_pos;
+    if (rb > gen_pos_) {
+        // Non-stalling Fetch Agent: the core consumed positions the
+        // component has not generated yet (it predicted them itself);
+        // those packets are swallowed on arrival.
+        fetch_->addPendingDrops(rb - gen_pos_);
+        rb = gen_pos_;
+    }
+    replay_cursor_ = rb;
+    replay_end_ = gen_pos_;
+    replaying_ = replay_cursor_ < replay_end_;
+    if (rb == info.rollback_pos)
+        patchLog(info);
+    onSquashHook(now, info);
+    ++stats_->counter("component_squashes");
+}
+
+void
+CustomComponent::logInsertAt(std::uint64_t pos, bool dir, std::uint32_t meta)
+{
+    pfm_assert(pos >= log_base_ && pos <= gen_pos_, "bad log insert");
+    log_.insert(log_.begin() + static_cast<std::ptrdiff_t>(pos - log_base_),
+                {static_cast<std::uint8_t>(dir ? 1 : 0), meta});
+    ++gen_pos_;
+    if (replaying_)
+        ++replay_end_;
+}
+
+void
+CustomComponent::logEraseAt(std::uint64_t pos)
+{
+    pfm_assert(pos >= log_base_ && pos < gen_pos_, "bad log erase");
+    log_.erase(log_.begin() + static_cast<std::ptrdiff_t>(pos - log_base_));
+    --gen_pos_;
+    if (replaying_ && replay_end_ > replay_cursor_)
+        --replay_end_;
+}
+
+bool
+CustomComponent::logDirAt(std::uint64_t pos) const
+{
+    pfm_assert(pos >= log_base_ && pos < gen_pos_, "bad log read");
+    return log_[pos - log_base_].dir != 0;
+}
+
+std::uint32_t
+CustomComponent::logMetaAt(std::uint64_t pos) const
+{
+    pfm_assert(pos >= log_base_ && pos < gen_pos_, "bad log read");
+    return log_[pos - log_base_].meta;
+}
+
+void
+CustomComponent::logSetDirAt(std::uint64_t pos, bool dir)
+{
+    pfm_assert(pos >= log_base_ && pos < gen_pos_, "bad log write");
+    log_[pos - log_base_].dir = dir ? 1 : 0;
+}
+
+void
+CustomComponent::dumpDebug(std::ostream& os) const
+{
+    os << "component " << name_ << ": gen_pos=" << gen_pos_
+       << " log_base=" << log_base_ << " replaying=" << replaying_
+       << " replay=[" << replay_cursor_ << "," << replay_end_ << ")\n";
+}
+
+void
+CustomComponent::reset()
+{
+    log_.clear();
+    log_base_ = 0;
+    gen_pos_ = 0;
+    replaying_ = false;
+    replay_cursor_ = 0;
+    replay_end_ = 0;
+}
+
+} // namespace pfm

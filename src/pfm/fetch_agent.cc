@@ -1,0 +1,109 @@
+#include "pfm/fetch_agent.h"
+
+namespace pfm {
+
+FetchAgent::FetchAgent(const PfmParams& params, StatGroup& stats)
+    : params_(params), stats_(stats), intq_f_(params.queue_size)
+{}
+
+FetchAgent::Decision
+FetchAgent::onBranchFetch(const DynInst& d, Cycle now)
+{
+    Decision dec;
+    if (!enabled() || !fst_.contains(d.pc))
+        return dec;
+
+    dec.hit = true;
+    ++stats_.counter("fst_hits");
+
+    if (intq_f_.empty() || intq_f_.front().avail > now) {
+        if (params_.non_stalling_fetch) {
+            // Section 2.4 alternative: fall back to the core predictor for
+            // this branch, but keep the stream position: the late packet
+            // is dropped when it arrives (or immediately if queued).
+            pops_.push_back({d.seq, pop_count_});
+            ++pop_count_;
+            if (pops_.size() > 4096)
+                pops_.pop_front();
+            if (!intq_f_.empty())
+                intq_f_.pop();
+            else
+                ++pending_drops_;
+            ++stats_.counter("late_packet_drops");
+            dec.hit = false;
+            return dec;
+        }
+        dec.stall = true;
+        ++stats_.counter("fetch_stall_cycles");
+        if (stall_started_ == kNoCycle)
+            stall_started_ = now;
+        if (params_.watchdog_cycles != 0 &&
+            now - stall_started_ >= params_.watchdog_cycles) {
+            // Chicken switch: permanently fall back to the core predictor.
+            chicken_switched_ = true;
+            dec.hit = false;
+            dec.stall = false;
+            ++stats_.counter("watchdog_disables");
+        }
+        return dec;
+    }
+    stall_started_ = kNoCycle;
+
+    PredPacket p = intq_f_.pop();
+    dec.dir = p.dir;
+    pops_.push_back({d.seq, pop_count_});
+    ++pop_count_;
+    if (pops_.size() > 4096)
+        pops_.pop_front();
+    ++stats_.counter("custom_predictions_used");
+    return dec;
+}
+
+bool
+FetchAgent::pushPrediction(bool dir, Cycle avail)
+{
+    if (pending_drops_ > 0) {
+        // The branch this prediction was for already went past fetch with
+        // the core's prediction; swallow the late packet.
+        --pending_drops_;
+        ++push_count_;
+        return true;
+    }
+    if (intq_f_.full())
+        return false;
+    intq_f_.push({dir, avail});
+    ++push_count_;
+    return true;
+}
+
+std::uint64_t
+FetchAgent::flushAndRollback(SeqNum last_kept)
+{
+    // Un-pop predictions consumed by squashed branches.
+    while (!pops_.empty() && pops_.back().seq > last_kept) {
+        pop_count_ = pops_.back().pos;
+        pops_.pop_back();
+    }
+    flushQueue();
+    return pop_count_;
+}
+
+void
+FetchAgent::flushQueue()
+{
+    intq_f_.clear();
+    push_count_ = pop_count_;
+    pending_drops_ = 0;
+    stall_started_ = kNoCycle;
+}
+
+void
+FetchAgent::resetStream()
+{
+    flushQueue();
+    pops_.clear();
+    pop_count_ = 0;
+    push_count_ = 0;
+}
+
+} // namespace pfm

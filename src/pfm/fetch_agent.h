@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Fetch Agent (Section 2.2): matches fetched PCs against the FST and
+ * overrides the core's conditional branch prediction with one popped from
+ * the Intervention Queue at Fetch (IntQ-F). Stalls fetch when IntQ-F is
+ * empty; an optional watchdog + chicken-switch disables a stuck component
+ * (Section 2.4).
+ *
+ * For squash realignment the agent keeps a short history of (branch seq,
+ * stream position) pops so the rollback position can be computed exactly.
+ */
+
+#ifndef PFM_PFM_FETCH_AGENT_H
+#define PFM_PFM_FETCH_AGENT_H
+
+#include <deque>
+
+#include "common/circular_queue.h"
+#include "common/stats.h"
+#include "isa/dyn_inst.h"
+#include "pfm/packets.h"
+#include "pfm/pfm_params.h"
+#include "pfm/snoop_table.h"
+
+namespace pfm {
+
+class FetchAgent
+{
+  public:
+    FetchAgent(const PfmParams& params, StatGroup& stats);
+
+    FetchSnoopTable& fst() { return fst_; }
+
+    void setEnabled(bool on) { enabled_ = on; }
+    bool enabled() const { return enabled_ && !chicken_switched_; }
+
+    /**
+     * The core fetched a conditional branch at @p d.pc. Returns the
+     * override decision; a popped prediction advances the stream position.
+     */
+    struct Decision {
+        bool hit = false;    ///< pc is in the FST (and agent enabled)
+        bool stall = false;  ///< IntQ-F empty/late: stall the fetch unit
+        bool dir = false;
+    };
+    Decision onBranchFetch(const DynInst& d, Cycle now);
+
+    /** Component side: push a prediction; false if IntQ-F is full. */
+    bool pushPrediction(bool dir, Cycle avail);
+
+    unsigned freeSlots() const { return static_cast<unsigned>(intq_f_.freeSlots()); }
+
+    /** Total predictions popped since enable (the stream position). */
+    std::uint64_t popCount() const { return pop_count_; }
+
+    /** Total predictions pushed since enable. */
+    std::uint64_t pushCount() const { return push_count_; }
+
+    /**
+     * Squash: drop queued predictions and un-pop those consumed by
+     * squashed branches (seq > @p last_kept). Returns the stream position
+     * generation must resume from.
+     */
+    std::uint64_t flushAndRollback(SeqNum last_kept);
+
+    /** Drop all queued predictions without moving the position. */
+    void flushQueue();
+
+    /**
+     * Non-stalling mode: @p n upcoming pushes belong to branches the core
+     * already predicted itself; swallow them on arrival.
+     */
+    void addPendingDrops(std::uint64_t n) { pending_drops_ += n; }
+
+    /** Forget everything (component swap / ROI restart). */
+    void resetStream();
+
+  private:
+    PfmParams params_;
+    StatGroup& stats_;
+    FetchSnoopTable fst_;
+    CircularQueue<PredPacket> intq_f_;
+    bool enabled_ = false;
+    bool chicken_switched_ = false;
+    std::uint64_t pop_count_ = 0;
+    std::uint64_t push_count_ = 0;
+    Cycle stall_started_ = kNoCycle;
+    std::uint64_t pending_drops_ = 0; ///< non-stalling mode: late packets owed
+
+    struct PopRecord {
+        SeqNum seq;
+        std::uint64_t pos;
+    };
+    std::deque<PopRecord> pops_;   ///< recent pops, oldest first
+};
+
+} // namespace pfm
+
+#endif // PFM_PFM_FETCH_AGENT_H

@@ -1,0 +1,128 @@
+#include "pfm/load_agent.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace pfm {
+
+LoadAgent::LoadAgent(const PfmParams& params, Hierarchy& mem,
+                     const CommitLog& commit_log, StatGroup& stats)
+    : params_(params),
+      mem_(mem),
+      commit_log_(commit_log),
+      stats_(stats),
+      intq_is_(params.queue_size),
+      obsq_ex_(params.queue_size)
+{
+    mlb_.reserve(params.mlb_entries);
+}
+
+bool
+LoadAgent::pushRequest(const LoadRequest& req)
+{
+    if (intq_is_.full())
+        return false;
+    intq_is_.push(req);
+    ++stats_.counter(req.prefetch_only ? "agent_prefetches"
+                                       : "agent_loads");
+    return true;
+}
+
+bool
+LoadAgent::popReturn(LoadReturn& out, Cycle now)
+{
+    if (obsq_ex_.empty() || obsq_ex_.front().avail > now)
+        return false;
+    out = obsq_ex_.pop();
+    drainStaging();
+    return true;
+}
+
+void
+LoadAgent::finish(const LoadRequest& req, RegVal value, Cycle avail)
+{
+    if (req.prefetch_only)
+        return;
+    staging_.push_back({req.id, value, avail});
+    drainStaging();
+}
+
+void
+LoadAgent::drainStaging()
+{
+    while (!staging_.empty() && !obsq_ex_.full()) {
+        obsq_ex_.push(staging_.front());
+        staging_.pop_front();
+    }
+}
+
+void
+LoadAgent::inject(const LoadRequest& req, Cycle now)
+{
+    // 1 cycle of TLB/agen, then the D$ hierarchy.
+    Cycle start = now + 1;
+    MemAccessResult r = mem_.access(
+        req.addr, start,
+        req.prefetch_only ? MemAccessType::kPrefetch : MemAccessType::kLoad);
+
+    // Injected loads see committed architectural memory (no SQ search).
+    RegVal value = 0;
+    if (!req.prefetch_only)
+        value = commit_log_.committedRead(req.addr, req.size);
+
+    if (r.service_level <= 1 || req.prefetch_only) {
+        finish(req, value, r.done);
+    } else {
+        // Miss: park in the MLB and replay when the fill arrives.
+        ++stats_.counter("mlb_allocations");
+        mlb_.push_back({req, value, r.done});
+    }
+}
+
+void
+LoadAgent::onCycle(Cycle now, unsigned free_ls_slots)
+{
+    drainStaging();
+
+    for (unsigned s = 0; s < free_ls_slots; ++s) {
+        // MLB replays take priority over new injections (they are
+        // older). A replay is guaranteed to succeed once the fill that the
+        // original miss triggered has arrived, so the agent replays the
+        // load exactly then (the livelock-prone "poll until hit" variant
+        // can thrash under set-conflicting address streams).
+        auto ready = std::find_if(mlb_.begin(), mlb_.end(),
+                                  [now](const MlbEntry& e) {
+                                      return e.retry_at <= now;
+                                  });
+        if (ready != mlb_.end()) {
+            finish(ready->req, ready->value, now + 1);
+            mlb_.erase(ready);
+            ++stats_.counter("mlb_replays_hit");
+            continue;
+        }
+
+        if (intq_is_.empty())
+            break;
+        // A missed (non-prefetch) load needs an MLB entry; block the queue
+        // head if the MLB is full.
+        if (!intq_is_.front().prefetch_only &&
+            mlb_.size() >= params_.mlb_entries) {
+            ++stats_.counter("mlb_full_stalls");
+            break;
+        }
+        LoadRequest req = intq_is_.pop();
+        inject(req, now);
+    }
+}
+
+void
+LoadAgent::reset()
+{
+    intq_is_.clear();
+    obsq_ex_.clear();
+    mlb_.clear();
+    staging_.clear();
+}
+
+} // namespace pfm

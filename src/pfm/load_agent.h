@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Load Agent (Section 2.3): pops prefetch/load packets from IntQ-IS and
+ * injects them into idle load/store issue slots. Injected loads are
+ * translated and access the data cache only — no store queue search, no
+ * wakeup/bypass, no PRF write. Values therefore reflect *committed* memory
+ * state (CommitLog). Missed loads park in the 64-entry missed-load buffer
+ * (MLB) and replay until they hit; values return out-of-order through
+ * ObsQ-EX tagged with the component's id.
+ */
+
+#ifndef PFM_PFM_LOAD_AGENT_H
+#define PFM_PFM_LOAD_AGENT_H
+
+#include <deque>
+#include <vector>
+
+#include "common/circular_queue.h"
+#include "common/stats.h"
+#include "mem_sys/commit_log.h"
+#include "memory/hierarchy.h"
+#include "pfm/packets.h"
+#include "pfm/pfm_params.h"
+
+namespace pfm {
+
+class LoadAgent
+{
+  public:
+    LoadAgent(const PfmParams& params, Hierarchy& mem,
+              const CommitLog& commit_log, StatGroup& stats);
+
+    /** Component side: queue a load/prefetch. False if IntQ-IS is full. */
+    bool pushRequest(const LoadRequest& req);
+
+    unsigned intqFreeSlots() const
+    {
+        return static_cast<unsigned>(intq_is_.freeSlots());
+    }
+
+    /** Component side: pop a completed load value (OOO). */
+    bool popReturn(LoadReturn& out, Cycle now);
+
+    size_t pendingReturns() const { return obsq_ex_.size(); }
+
+    /**
+     * Core end-of-cycle: @p free_ls_slots issue slots went unused; inject
+     * that many requests (TLB + D$) and replay ready MLB entries.
+     */
+    void onCycle(Cycle now, unsigned free_ls_slots);
+
+    void reset();
+
+  private:
+    struct MlbEntry {
+        LoadRequest req;
+        RegVal value;      ///< sampled committed value at first injection
+        Cycle retry_at;
+    };
+
+    void inject(const LoadRequest& req, Cycle now);
+    void finish(const LoadRequest& req, RegVal value, Cycle avail);
+    void drainStaging();
+
+    PfmParams params_;
+    Hierarchy& mem_;
+    const CommitLog& commit_log_;
+    StatGroup& stats_;
+
+    CircularQueue<LoadRequest> intq_is_;
+    CircularQueue<LoadReturn> obsq_ex_;
+    std::vector<MlbEntry> mlb_;
+    std::deque<LoadReturn> staging_;   ///< completed, waiting for ObsQ-EX room
+};
+
+} // namespace pfm
+
+#endif // PFM_PFM_LOAD_AGENT_H

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Packet formats flowing between the core-side Agents and the
+ * RF-synthesized custom component (Section 2 of the paper).
+ */
+
+#ifndef PFM_PFM_PACKETS_H
+#define PFM_PFM_PACKETS_H
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace pfm {
+
+/** Observation packet kinds constructed by the Retire Agent. */
+enum class ObsType : std::uint8_t {
+    kRoiBegin,       ///< beginning-of-ROI marker (enables the component)
+    kDestValue,      ///< destination register value of a retired instr
+    kStoreValue,     ///< committed store value + address
+    kBranchOutcome,  ///< retired conditional branch outcome
+};
+
+/** Retire Agent -> component, via ObsQ-R. */
+struct ObsPacket {
+    ObsType type = ObsType::kDestValue;
+    Addr pc = kBadAddr;
+    RegVal value = 0;       ///< dest value / store value
+    Addr mem_addr = kBadAddr; ///< store address (kStoreValue)
+    bool taken = false;     ///< branch outcome (kBranchOutcome)
+    Cycle avail = 0;        ///< earliest cycle the component may consume it
+};
+
+/** Component -> Load Agent, via IntQ-IS. */
+struct LoadRequest {
+    std::uint64_t id = 0;    ///< component-chosen tag for OOO return match
+    Addr addr = kBadAddr;
+    std::uint8_t size = 8;
+    bool prefetch_only = false; ///< no value returned; just fill the cache
+};
+
+/** Load Agent -> component, via ObsQ-EX. */
+struct LoadReturn {
+    std::uint64_t id = 0;
+    RegVal value = 0;
+    Cycle avail = 0;
+};
+
+/** Component -> Fetch Agent, via IntQ-F. */
+struct PredPacket {
+    bool dir = false;
+    Cycle avail = 0;
+};
+
+} // namespace pfm
+
+#endif // PFM_PFM_PACKETS_H

@@ -1,0 +1,25 @@
+#include "pfm/pfm_params.h"
+
+#include "common/log.h"
+
+namespace pfm {
+
+const char*
+portPolicyName(PortPolicy p)
+{
+    switch (p) {
+      case PortPolicy::kAll: return "portALL";
+      case PortPolicy::kLs:  return "portLS";
+      case PortPolicy::kLs1: return "portLS1";
+    }
+    return "?";
+}
+
+std::string
+PfmParams::tag() const
+{
+    return log_detail::format("clk%u_w%u delay%u queue%u %s", clk_div, width,
+                              delay, queue_size, portPolicyName(port));
+}
+
+} // namespace pfm

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * PFM configuration knobs swept in the paper's evaluation (Section 3):
+ * clkC_wW, delayD, queueQ, portP, plus the fixed 64-entry missed-load
+ * buffer of the Load Agent.
+ */
+
+#ifndef PFM_PFM_PFM_PARAMS_H
+#define PFM_PFM_PFM_PARAMS_H
+
+#include <string>
+
+#include "common/types.h"
+
+namespace pfm {
+
+/** Which PRF read ports the Retire Agent may contend on (portP). */
+enum class PortPolicy {
+    kAll,  ///< any execution lane's ports
+    kLs,   ///< both load/store lanes' ports
+    kLs1,  ///< a single load/store lane's ports
+};
+
+struct PfmParams {
+    unsigned clk_div = 4;     ///< C: CLK_CORE / CLK_RF
+    unsigned width = 4;       ///< W: packets and predictions per RF cycle
+    unsigned delay = 0;       ///< D: pipelined execution latency (RF cycles)
+    unsigned queue_size = 32; ///< Q: Observation/Intervention queue entries
+    PortPolicy port = PortPolicy::kAll;
+    unsigned mlb_entries = 64;  ///< Load Agent missed-load buffer (fixed)
+    unsigned watchdog_cycles = 0; ///< 0 disables the fetch-stall watchdog
+
+    /**
+     * Section 2.4's alternative Fetch Agent: instead of stalling on a late
+     * prediction, proceed with the core's predictor and keep count of how
+     * many late packets to drop when they eventually arrive.
+     */
+    bool non_stalling_fetch = false;
+
+    /**
+     * Section 2.4's context-isolation rule: "removing a context's custom
+     * component from RF and the Agents when that context is swapped out."
+     * When nonzero, a context switch is simulated every this-many cycles:
+     * the component and agent state are torn down and the fabric is
+     * unavailable for reconfig_cycles (bitstream reload) before the next
+     * ROI-begin re-attaches the component.
+     */
+    Cycle context_switch_interval = 0;
+    Cycle reconfig_cycles = 100'000;
+
+    std::string tag() const;  ///< "clk4_w4 delay0 queue32 portALL"
+};
+
+const char* portPolicyName(PortPolicy p);
+
+} // namespace pfm
+
+#endif // PFM_PFM_PFM_PARAMS_H

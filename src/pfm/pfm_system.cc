@@ -1,0 +1,176 @@
+#include "pfm/pfm_system.h"
+
+#include <ostream>
+
+namespace pfm {
+
+PfmSystem::PfmSystem(const PfmParams& params, Hierarchy& mem,
+                     const CommitLog& commit_log)
+    : params_(params),
+      stats_("pfm."),
+      fetch_agent_(params, stats_),
+      retire_agent_(params, stats_),
+      load_agent_(params, mem, commit_log, stats_)
+{}
+
+void
+PfmSystem::setComponent(std::unique_ptr<CustomComponent> component)
+{
+    component_ = std::move(component);
+    if (component_) {
+        component_->attach(&fetch_agent_, &retire_agent_, &load_agent_,
+                           &params_, &stats_);
+    }
+}
+
+FetchOverride
+PfmSystem::fetchOverride(const DynInst& d, bool replayed, Cycle now)
+{
+    (void)replayed;
+    FetchOverride fo;
+    if (!component_ || now < reconfig_until_)
+        return fo;
+    FetchAgent::Decision dec = fetch_agent_.onBranchFetch(d, now);
+    fo.stall = dec.stall;
+    fo.has_prediction = dec.hit && !dec.stall;
+    fo.dir = dec.dir;
+    return fo;
+}
+
+RetireDecision
+PfmSystem::onRetire(const DynInst& d, Cycle now)
+{
+    RetireDecision dec;
+    if (!component_ || now < reconfig_until_)
+        return dec;
+
+    // Table 2/3 accounting: count the would-be FST traffic at retirement
+    // (the retired stream equals the correct-path fetched stream).
+    if (retire_agent_.roiActive() && d.isCondBranch() &&
+        fetch_agent_.fst().contains(d.pc)) {
+        ++stats_.counter("fst_retired_hits");
+    }
+
+    bool roi_begin = false;
+    retire_agent_.onRetire(d, now, dec, roi_begin);
+    if (roi_begin) {
+        // Synchronize: squash everything younger so the core and the
+        // component restart from the same point of the dynamic stream.
+        dec.squash_younger = true;
+        dec.stall_until = squashDoneCycle(now);
+        fetch_agent_.setEnabled(true);
+
+        // Drain queued observations in retirement order: packets older
+        // than the ROI marker still inform the outgoing state; the
+        // component resets exactly at the RoiBegin packet, so snoops that
+        // retired just before the marker (e.g. the fill-prologue base
+        // addresses) are never lost to the boundary.
+        ObsPacket p;
+        while (retire_agent_.drainOne(p)) {
+            if (p.type == ObsType::kRoiBegin && p.pc == d.pc) {
+                fetch_agent_.resetStream();
+                load_agent_.reset();
+                component_->reset();
+            }
+            component_->deliver(p, now);
+        }
+        ++stats_.counter("roi_begins");
+    }
+    return dec;
+}
+
+Cycle
+PfmSystem::onSquash(Cycle now, SeqNum last_kept, const DynInst* branch)
+{
+    if (!component_ || !retire_agent_.roiActive() || now < reconfig_until_)
+        return 0;
+
+    SquashInfo info;
+    info.rollback_pos = fetch_agent_.flushAndRollback(last_kept);
+    if (branch && fetch_agent_.fst().contains(branch->pc)) {
+        info.branch_mispredict = true;
+        info.branch_pc = branch->pc;
+        info.actual_taken = branch->taken;
+    }
+    component_->squash(now, info);
+    ++stats_.counter("squash_packets");
+    return squashDoneCycle(now);
+}
+
+void
+PfmSystem::onCycle(Cycle now, unsigned free_ls_slots, const IssueUsage& usage)
+{
+    retire_agent_.setLaneUsage(usage);
+    if (!component_)
+        return;
+
+    if (params_.context_switch_interval != 0) {
+        if (next_context_switch_ == 0)
+            next_context_switch_ = params_.context_switch_interval;
+        if (now >= next_context_switch_) {
+            // The context is swapped out: the component leaves the fabric
+            // and every agent forgets its state (Section 2.4 isolation).
+            next_context_switch_ = now + params_.context_switch_interval;
+            reconfig_until_ = now + params_.reconfig_cycles;
+            fetch_agent_.setEnabled(false);
+            fetch_agent_.resetStream();
+            load_agent_.reset();
+            retire_agent_.reset();
+            component_->reset();
+            ++stats_.counter("context_switches");
+        }
+        if (now < reconfig_until_)
+            return; // fabric reconfiguring: no component this interval
+    }
+
+    load_agent_.onCycle(now, free_ls_slots);
+    if (retire_agent_.roiActive() && now % params_.clk_div == 0)
+        component_->step(now);
+}
+
+Cycle
+PfmSystem::squashDoneCycle(Cycle now) const
+{
+    // The squash packet reaches the component at its next RF edge; the
+    // rollback takes one RF cycle plus the component's pipelined execution
+    // latency before squash-done reaches the Fetch Agent via IntQ-F.
+    Cycle next_edge = ((now / params_.clk_div) + 1) * params_.clk_div;
+    return next_edge + (1 + params_.delay) * params_.clk_div;
+}
+
+void
+PfmSystem::dumpDebug(std::ostream& os) const
+{
+    os << "fetch agent: pops=" << fetch_agent_.popCount()
+       << " pushes=" << fetch_agent_.pushCount()
+       << " intqF_free=" << fetch_agent_.freeSlots()
+       << " enabled=" << fetch_agent_.enabled() << "\n";
+    os << "load agent: obsEx_pending=" << load_agent_.pendingReturns()
+       << " intqIS_free=" << load_agent_.intqFreeSlots() << "\n";
+    os << "retire agent: obsR_pending=" << retire_agent_.pendingObservations()
+       << " roi=" << retire_agent_.roiActive() << "\n";
+    if (component_)
+        component_->dumpDebug(os);
+}
+
+double
+PfmSystem::rstHitPct() const
+{
+    std::uint64_t retired = stats_.get("retired_in_roi");
+    if (retired == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(stats_.get("rst_hits")) /
+           static_cast<double>(retired);
+}
+
+double
+PfmSystem::fstHitPct() const
+{
+    std::uint64_t retired = stats_.get("retired_in_roi");
+    if (retired == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(stats_.get("fst_retired_hits")) /
+           static_cast<double>(retired);
+}
+
+} // namespace pfm

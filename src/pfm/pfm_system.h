@@ -1,0 +1,67 @@
+/**
+ * @file
+ * PfmSystem glues the three Agents, the RF clocking and one custom
+ * component to the core through the CoreHooks interface. It owns the
+ * squash/squash-done protocol timing.
+ */
+
+#ifndef PFM_PFM_PFM_SYSTEM_H
+#define PFM_PFM_PFM_SYSTEM_H
+
+#include <memory>
+
+#include "core/core.h"
+#include "pfm/component.h"
+#include "pfm/fetch_agent.h"
+#include "pfm/load_agent.h"
+#include "pfm/retire_agent.h"
+
+namespace pfm {
+
+class PfmSystem : public CoreHooks
+{
+  public:
+    PfmSystem(const PfmParams& params, Hierarchy& mem,
+              const CommitLog& commit_log);
+
+    void setComponent(std::unique_ptr<CustomComponent> component);
+    CustomComponent* component() { return component_.get(); }
+
+    FetchAgent& fetchAgent() { return fetch_agent_; }
+    RetireAgent& retireAgent() { return retire_agent_; }
+    LoadAgent& loadAgent() { return load_agent_; }
+    StatGroup& stats() { return stats_; }
+    const PfmParams& params() const { return params_; }
+
+    // --- CoreHooks ---------------------------------------------------------
+    FetchOverride fetchOverride(const DynInst& d, bool replayed,
+                                Cycle now) override;
+    RetireDecision onRetire(const DynInst& d, Cycle now) override;
+    Cycle onSquash(Cycle now, SeqNum last_kept, const DynInst* branch) override;
+    void onCycle(Cycle now, unsigned free_ls_slots,
+                 const IssueUsage& usage) override;
+
+    /** Debug: dump agent + component state. */
+    void dumpDebug(std::ostream& os) const;
+
+    /** Snoop percentages for Tables 2 and 3. */
+    double rstHitPct() const;
+    double fstHitPct() const;
+
+  private:
+    /** Squash/squash-done round trip: component rollback through its pipe. */
+    Cycle squashDoneCycle(Cycle now) const;
+
+    PfmParams params_;
+    StatGroup stats_;
+    Cycle next_context_switch_ = 0;
+    Cycle reconfig_until_ = 0;
+    FetchAgent fetch_agent_;
+    RetireAgent retire_agent_;
+    LoadAgent load_agent_;
+    std::unique_ptr<CustomComponent> component_;
+};
+
+} // namespace pfm
+
+#endif // PFM_PFM_PFM_SYSTEM_H

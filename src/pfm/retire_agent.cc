@@ -1,0 +1,133 @@
+#include "pfm/retire_agent.h"
+
+namespace pfm {
+
+RetireAgent::RetireAgent(const PfmParams& params, StatGroup& stats)
+    : params_(params), stats_(stats), obsq_r_(params.queue_size)
+{}
+
+bool
+RetireAgent::portAvailable() const
+{
+    switch (params_.port) {
+      case PortPolicy::kAll:
+        return usage_.alu < 4 || usage_.ls < 2 || usage_.fp < 2;
+      case PortPolicy::kLs:
+        return usage_.ls < 2;
+      case PortPolicy::kLs1:
+        // Sharing is limited to one specific LS lane; we model issue as
+        // filling lane 0 first, so that lane is free only when no LS op
+        // issued this cycle.
+        return usage_.ls == 0;
+    }
+    return true;
+}
+
+void
+RetireAgent::onRetire(const DynInst& d, Cycle now, RetireDecision& decision,
+                      bool& roi_begin_out)
+{
+    decision = RetireDecision{};
+    roi_begin_out = false;
+
+    const RstEntry* e = rst_.lookup(d.pc);
+    bool actionable = e && (roi_active_ || e->roi_begin);
+
+    if (actionable && e->count_only) {
+        ++counts_[d.pc];
+        ++stats_.counter("rst_hits");
+        if (roi_active_)
+            ++stats_.counter("retired_in_roi");
+        return;
+    }
+
+    if (actionable) {
+        // Destination-value packets must win a PRF read port first.
+        bool needs_port = (e->type == ObsType::kDestValue ||
+                           (e->roi_begin && d.inst->traits().writes_rd));
+        if (needs_port && !portAvailable()) {
+            decision.allow = false;
+            decision.retry_at = now + 1;
+            ++stats_.counter("port_stalls");
+            return;
+        }
+        if (obsq_r_.full()) {
+            decision.allow = false;
+            decision.retry_at = now + 1;
+            ++stats_.counter("obsq_r_full_stalls");
+            return;
+        }
+    }
+
+    // The instruction retires this cycle: account it exactly once.
+    if (roi_active_)
+        ++stats_.counter("retired_in_roi");
+    if (!actionable)
+        return;
+
+    ++stats_.counter("rst_hits");
+
+    ObsPacket p;
+    p.pc = d.pc;
+    p.avail = now + 1;
+    if (e->roi_begin) {
+        p.type = ObsType::kRoiBegin;
+        p.value = d.result;
+        roi_active_ = true;
+        roi_begin_out = true;
+        // The ROI-begin retirement itself counts as in-ROI.
+        ++stats_.counter("retired_in_roi");
+    } else {
+        p.type = e->type;
+        switch (e->type) {
+          case ObsType::kDestValue:
+            p.value = d.result;
+            break;
+          case ObsType::kStoreValue:
+            p.value = d.store_val;
+            p.mem_addr = d.mem_addr;
+            break;
+          case ObsType::kBranchOutcome:
+            p.taken = d.taken;
+            break;
+          default:
+            break;
+        }
+    }
+    obsq_r_.push(p);
+}
+
+bool
+RetireAgent::popObservation(ObsPacket& out, Cycle now)
+{
+    if (obsq_r_.empty() || obsq_r_.front().avail > now)
+        return false;
+    out = obsq_r_.pop();
+    return true;
+}
+
+bool
+RetireAgent::drainOne(ObsPacket& out)
+{
+    if (obsq_r_.empty())
+        return false;
+    out = obsq_r_.pop();
+    return true;
+}
+
+std::uint64_t
+RetireAgent::countFor(Addr pc) const
+{
+    auto it = counts_.find(pc);
+    return it == counts_.end() ? 0 : it->second;
+}
+
+void
+RetireAgent::reset()
+{
+    obsq_r_.clear();
+    roi_active_ = false;
+    counts_.clear();
+}
+
+} // namespace pfm

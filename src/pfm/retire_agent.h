@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Retire Agent (Section 2.1): matches retired PCs against the RST,
+ * detects the beginning of the ROI (squash-synchronizing the core and the
+ * component), and constructs observation packets. Destination-value
+ * packets contend for PRF read ports with the execution lanes (portP);
+ * store values come from the SQ head and branch outcomes from the branch
+ * queue (no port needed).
+ */
+
+#ifndef PFM_PFM_RETIRE_AGENT_H
+#define PFM_PFM_RETIRE_AGENT_H
+
+#include "common/circular_queue.h"
+#include "common/stats.h"
+#include "core/core.h"
+#include "pfm/packets.h"
+#include "pfm/pfm_params.h"
+#include "pfm/snoop_table.h"
+
+namespace pfm {
+
+class RetireAgent
+{
+  public:
+    RetireAgent(const PfmParams& params, StatGroup& stats);
+
+    RetireSnoopTable& rst() { return rst_; }
+
+    bool roiActive() const { return roi_active_; }
+
+    /** Record the execution-lane usage of the previous cycle (for portP). */
+    void setLaneUsage(const IssueUsage& usage) { usage_ = usage; }
+
+    /**
+     * An instruction is about to retire. Fills @p decision; when the
+     * instruction matched an RST entry a packet is queued for the
+     * component (or retirement stalls on ObsQ-R / PRF-port pressure).
+     * @p roi_begin_out is set when this retirement begins the ROI.
+     */
+    void onRetire(const DynInst& d, Cycle now, RetireDecision& decision,
+                  bool& roi_begin_out);
+
+    /** Component side: pop the next observation packet. */
+    bool popObservation(ObsPacket& out, Cycle now);
+
+    /** Pop regardless of availability (ROI-boundary synchronous drain). */
+    bool drainOne(ObsPacket& out);
+
+    /** Count of retired count_only RST hits for @p pc (feedback wire). */
+    std::uint64_t countFor(Addr pc) const;
+
+    size_t pendingObservations() const { return obsq_r_.size(); }
+
+    void reset();
+
+  private:
+    bool portAvailable() const;
+
+    PfmParams params_;
+    StatGroup& stats_;
+    RetireSnoopTable rst_;
+    CircularQueue<ObsPacket> obsq_r_;
+    IssueUsage usage_;
+    bool roi_active_ = false;
+    std::unordered_map<Addr, std::uint64_t> counts_;
+};
+
+} // namespace pfm
+
+#endif // PFM_PFM_RETIRE_AGENT_H

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fetch Snoop Table (FST) and Retire Snoop Table (RST). Both are
+ * configured by the "bitstream" shipped with the executable (in this
+ * simulator: by the workload's component factory) and match PCs of fetched
+ * / retired instructions.
+ */
+
+#ifndef PFM_PFM_SNOOP_TABLE_H
+#define PFM_PFM_SNOOP_TABLE_H
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/types.h"
+#include "pfm/packets.h"
+
+namespace pfm {
+
+/** What the Retire Agent should do for a matching retired instruction. */
+struct RstEntry {
+    ObsType type = ObsType::kDestValue;
+    bool roi_begin = false;   ///< triggers the ROI-begin synchronization
+    /**
+     * No packet: just bump a per-PC event counter in the agent. Used by
+     * the prefetchers' sampling feedback (retired instances of the
+     * delinquent load per epoch), which in hardware is a dedicated counter
+     * wire rather than queue traffic.
+     */
+    bool count_only = false;
+    int user_tag = 0;         ///< component-defined meaning (e.g. "yoffset")
+};
+
+class RetireSnoopTable
+{
+  public:
+    void add(Addr pc, const RstEntry& entry) { table_[pc] = entry; }
+    const RstEntry* lookup(Addr pc) const
+    {
+        auto it = table_.find(pc);
+        return it == table_.end() ? nullptr : &it->second;
+    }
+    void clear() { table_.clear(); }
+    size_t size() const { return table_.size(); }
+
+  private:
+    std::unordered_map<Addr, RstEntry> table_;
+};
+
+class FetchSnoopTable
+{
+  public:
+    void add(Addr pc) { pcs_.insert(pc); }
+    bool contains(Addr pc) const { return pcs_.count(pc) != 0; }
+    void clear() { pcs_.clear(); }
+    size_t size() const { return pcs_.size(); }
+
+  private:
+    std::unordered_set<Addr> pcs_;
+};
+
+} // namespace pfm
+
+#endif // PFM_PFM_SNOOP_TABLE_H

@@ -1,0 +1,134 @@
+#include "sim/options.h"
+
+#include <cstdlib>
+
+#include "common/log.h"
+
+namespace pfm {
+
+void
+applyToken(SimOptions& opt, const std::string& token)
+{
+    if (token.empty())
+        return;
+    if (token.rfind("clk", 0) == 0) {
+        // clkC_wW
+        size_t us = token.find("_w");
+        if (us == std::string::npos)
+            pfm_fatal("bad clk token '%s' (expected clkC_wW)",
+                      token.c_str());
+        opt.pfm.clk_div =
+            static_cast<unsigned>(std::stoul(token.substr(3, us - 3)));
+        opt.pfm.width =
+            static_cast<unsigned>(std::stoul(token.substr(us + 2)));
+        return;
+    }
+    if (token.rfind("delay", 0) == 0) {
+        opt.pfm.delay = static_cast<unsigned>(std::stoul(token.substr(5)));
+        return;
+    }
+    if (token.rfind("queue", 0) == 0) {
+        opt.pfm.queue_size =
+            static_cast<unsigned>(std::stoul(token.substr(5)));
+        return;
+    }
+    if (token == "portALL") {
+        opt.pfm.port = PortPolicy::kAll;
+        return;
+    }
+    if (token == "portLS") {
+        opt.pfm.port = PortPolicy::kLs;
+        return;
+    }
+    if (token == "portLS1") {
+        opt.pfm.port = PortPolicy::kLs1;
+        return;
+    }
+    if (token.rfind("ctx", 0) == 0) {
+        opt.pfm.context_switch_interval =
+            std::strtoull(token.substr(3).c_str(), nullptr, 0);
+        return;
+    }
+    if (token == "nonstall") {
+        opt.pfm.non_stalling_fetch = true;
+        return;
+    }
+    if (token == "noL1pf") {
+        opt.mem.l1d_next_n = 0;
+        return;
+    }
+    if (token == "noVLDP") {
+        opt.mem.vldp_enabled = false;
+        return;
+    }
+    if (token == "perfBP") {
+        opt.core.bp_kind = BpKind::kPerfect;
+        return;
+    }
+    if (token == "perfD$" || token == "perfDS") {
+        opt.mem.perfect_dcache = true;
+        return;
+    }
+    if (token.rfind("scope", 0) == 0) {
+        unsigned n = static_cast<unsigned>(std::stoul(token.substr(5)));
+        opt.astar_index_queue = n;
+        opt.bfs_queue_entries = n;
+        return;
+    }
+    pfm_fatal("unknown parameter token '%s'", token.c_str());
+}
+
+void
+applyTokens(SimOptions& opt, const std::string& tokens)
+{
+    size_t pos = 0;
+    while (pos < tokens.size()) {
+        size_t next = tokens.find(' ', pos);
+        if (next == std::string::npos)
+            next = tokens.size();
+        if (next > pos)
+            applyToken(opt, tokens.substr(pos, next - pos));
+        pos = next + 1;
+    }
+}
+
+std::uint64_t
+defaultInstructionBudget()
+{
+    if (const char* env = std::getenv("PFM_INSTRUCTIONS"))
+        return std::strtoull(env, nullptr, 0);
+    return 3'000'000;
+}
+
+SimOptions
+parseCommandLine(int argc, char** argv)
+{
+    SimOptions opt;
+    opt.max_instructions = defaultInstructionBudget();
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&arg](const char* prefix) -> std::string {
+            return arg.substr(std::string(prefix).size());
+        };
+        if (arg.rfind("--workload=", 0) == 0) {
+            opt.workload = value("--workload=");
+        } else if (arg.rfind("--component=", 0) == 0) {
+            opt.component = value("--component=");
+        } else if (arg.rfind("--instructions=", 0) == 0) {
+            opt.max_instructions =
+                std::strtoull(value("--instructions=").c_str(), nullptr, 0);
+        } else if (arg.rfind("--warmup=", 0) == 0) {
+            opt.warmup_instructions =
+                std::strtoull(value("--warmup=").c_str(), nullptr, 0);
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            opt.trace_path = value("--trace=");
+        } else if (arg.rfind("--verbose", 0) == 0) {
+            log_detail::setVerbosity(2);
+        } else {
+            applyToken(opt, arg);
+        }
+    }
+    return opt;
+}
+
+} // namespace pfm

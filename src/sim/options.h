@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Simulation options and parsing of the paper's parameter notation
+ * (Section 3): clkC_wW, delayD, queueQ, portP.
+ */
+
+#ifndef PFM_SIM_OPTIONS_H
+#define PFM_SIM_OPTIONS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/core_params.h"
+#include "memory/hierarchy.h"
+#include "pfm/pfm_params.h"
+
+namespace pfm {
+
+struct SimOptions {
+    std::string workload = "astar";
+
+    /**
+     * Component selection: "auto" attaches the workload's custom
+     * component, "none" runs the bare core, "slipstream" attaches the
+     * simplified Slipstream 2.0 model (astar/bfs only).
+     */
+    std::string component = "auto";
+
+    PfmParams pfm;
+    CoreParams core;
+    HierarchyParams mem;
+
+    unsigned astar_index_queue = 8;   ///< Figure 10 sweep
+    unsigned bfs_queue_entries = 64;  ///< Figure 14 sweep
+
+    std::uint64_t max_instructions = 3'000'000;
+    std::uint64_t warmup_instructions = 200'000;
+
+    /** Abort if no instruction retires for this many cycles (deadlock). */
+    Cycle deadlock_cycles = 2'000'000;
+
+    /** Konata pipeline trace output ("" disables). */
+    std::string trace_path;
+    std::uint64_t trace_limit = 50'000;
+};
+
+/**
+ * Apply one parameter token in the paper's notation: "clk4_w4", "delay8",
+ * "queue32", "portLS1", "perfBP", "perfD$". Fatal on unknown tokens.
+ */
+void applyToken(SimOptions& opt, const std::string& token);
+
+/** Apply a whitespace-separated token string. */
+void applyTokens(SimOptions& opt, const std::string& tokens);
+
+/** Parse --workload= / --component= / --instructions= / tokens argv. */
+SimOptions parseCommandLine(int argc, char** argv);
+
+/** Default per-benchmark instruction budget (env PFM_INSTRUCTIONS wins). */
+std::uint64_t defaultInstructionBudget();
+
+} // namespace pfm
+
+#endif // PFM_SIM_OPTIONS_H

@@ -1,0 +1,33 @@
+#include "sim/report.h"
+
+#include <cstdio>
+
+namespace pfm {
+
+void
+reportHeader(const std::string& title)
+{
+    std::printf("\n== %s ==\n", title.c_str());
+}
+
+void
+reportRow(const std::string& label, double value_pct, const char* unit)
+{
+    std::printf("  %-28s %8.1f%s\n", label.c_str(), value_pct, unit);
+}
+
+void
+reportRowVs(const std::string& label, double measured, double paper,
+            const char* unit)
+{
+    std::printf("  %-28s %8.1f%-2s   (paper: %.1f%s)\n", label.c_str(),
+                measured, unit, paper, unit);
+}
+
+void
+reportNote(const std::string& text)
+{
+    std::printf("  # %s\n", text.c_str());
+}
+
+} // namespace pfm

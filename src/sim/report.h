@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Small helpers for printing paper-style tables/series from the bench
+ * harnesses.
+ */
+
+#ifndef PFM_SIM_REPORT_H
+#define PFM_SIM_REPORT_H
+
+#include <string>
+#include <vector>
+
+namespace pfm {
+
+/** Print a boxed section header. */
+void reportHeader(const std::string& title);
+
+/** Print one "label: value%" row, optionally with a paper reference. */
+void reportRow(const std::string& label, double value_pct,
+               const char* unit = "%");
+void reportRowVs(const std::string& label, double measured, double paper,
+                 const char* unit = "%");
+
+/** Print a free-form note line. */
+void reportNote(const std::string& text);
+
+} // namespace pfm
+
+#endif // PFM_SIM_REPORT_H

@@ -1,0 +1,155 @@
+#include "sim/simulator.h"
+
+#include <iostream>
+
+#include "common/log.h"
+#include "components/astar_alt_predictor.h"
+#include "components/astar_predictor.h"
+#include "components/bfs_component.h"
+#include "components/bwaves_prefetcher.h"
+#include "components/lbm_prefetcher.h"
+#include "components/leslie_prefetcher.h"
+#include "components/libquantum_prefetcher.h"
+#include "components/milc_prefetcher.h"
+#include "components/slipstream.h"
+#include "workloads/registry.h"
+
+namespace pfm {
+
+Simulator::Simulator(const SimOptions& opt)
+    : opt_(opt), workload_(makeWorkload(opt.workload))
+{
+    mem_ = std::make_unique<Hierarchy>(opt_.mem);
+    engine_ = std::make_unique<FunctionalEngine>(workload_.program,
+                                                 *workload_.mem);
+    engine_->reset(workload_.entry);
+    for (const auto& [reg, val] : workload_.init_regs)
+        engine_->setReg(reg, val);
+
+    core_ = std::make_unique<Core>(opt_.core, *engine_, *mem_);
+    if (!opt_.trace_path.empty()) {
+        tracer_ = std::make_unique<PipelineTracer>(opt_.trace_path,
+                                                   opt_.trace_limit);
+        core_->setTracer(tracer_.get());
+    }
+    attachComponent();
+}
+
+Simulator::~Simulator() = default;
+
+void
+Simulator::attachComponent()
+{
+    if (opt_.component == "none")
+        return;
+
+    pfm_ = std::make_unique<PfmSystem>(opt_.pfm, *mem_,
+                                       engine_->commitLog());
+
+    const std::string& wl = opt_.workload;
+    if (opt_.component == "slipstream") {
+        if (wl == "astar") {
+            attachAstarSlipstream(*pfm_, workload_);
+        } else if (wl.rfind("bfs", 0) == 0) {
+            attachBfsSlipstream(*pfm_, workload_);
+        } else {
+            pfm_fatal("slipstream model exists only for astar/bfs");
+        }
+    } else if (opt_.component == "alt") {
+        if (wl != "astar")
+            pfm_fatal("the astar-alt microarchitecture exists only for astar");
+        AstarAltPredictor::attach(*pfm_, workload_);
+    } else if (opt_.component == "auto") {
+        if (wl == "astar") {
+            AstarPredictorOptions o;
+            o.index_queue_entries = opt_.astar_index_queue;
+            AstarPredictor::attach(*pfm_, workload_, o);
+        } else if (wl.rfind("bfs", 0) == 0) {
+            BfsComponentOptions o;
+            o.queue_entries = opt_.bfs_queue_entries;
+            BfsComponent::attach(*pfm_, workload_, o);
+        } else if (wl == "libquantum") {
+            attachLibquantumPrefetcher(*pfm_, workload_);
+        } else if (wl == "bwaves") {
+            attachBwavesPrefetcher(*pfm_, workload_);
+        } else if (wl == "lbm") {
+            attachLbmPrefetcher(*pfm_, workload_);
+        } else if (wl == "milc") {
+            attachMilcPrefetcher(*pfm_, workload_);
+        } else if (wl == "leslie") {
+            attachLesliePrefetcher(*pfm_, workload_);
+        } else {
+            pfm_fatal("no custom component registered for workload '%s'",
+                      wl.c_str());
+        }
+    } else {
+        pfm_fatal("unknown component option '%s'", opt_.component.c_str());
+    }
+    core_->setHooks(pfm_.get());
+}
+
+SimResult
+Simulator::run()
+{
+    auto run_until = [this](std::uint64_t target) {
+        std::uint64_t last_retired = core_->retired();
+        Cycle last_progress = core_->cycle();
+        while (!core_->done() && core_->retired() < target) {
+            core_->tick();
+            if (core_->retired() != last_retired) {
+                last_retired = core_->retired();
+                last_progress = core_->cycle();
+            } else if (core_->cycle() - last_progress >
+                       opt_.deadlock_cycles) {
+                std::cerr << "--- deadlock diagnostics ---\n";
+                core_->stats().dump(std::cerr);
+                if (pfm_) {
+                    pfm_->stats().dump(std::cerr);
+                    pfm_->dumpDebug(std::cerr);
+                }
+                pfm_panic("deadlock: no retirement for %llu cycles "
+                          "(workload %s, pc frontier %llu retired)",
+                          (unsigned long long)opt_.deadlock_cycles,
+                          opt_.workload.c_str(),
+                          (unsigned long long)core_->retired());
+            }
+        }
+    };
+
+    run_until(opt_.warmup_instructions);
+    core_->resetStats();
+    mem_->stats().resetAll();
+    if (pfm_)
+        pfm_->stats().resetAll();
+
+    run_until(opt_.warmup_instructions + opt_.max_instructions);
+
+    SimResult r;
+    r.ipc = core_->ipc();
+    r.mpki = core_->mpki();
+    r.cycles = core_->cycle();
+    r.instructions = core_->retired();
+    r.finished = core_->done();
+    if (pfm_) {
+        r.rst_hit_pct = pfm_->rstHitPct();
+        r.fst_hit_pct = pfm_->fstHitPct();
+    }
+    return r;
+}
+
+SimResult
+runSim(const SimOptions& opt)
+{
+    Simulator sim(opt);
+    return sim.run();
+}
+
+double
+speedupPct(const SimResult& base, const SimResult& with)
+{
+    if (base.ipc <= 0)
+        return 0.0;
+    return (with.ipc / base.ipc - 1.0) * 100.0;
+}
+
+} // namespace pfm

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Top-level simulator: builds the workload, functional engine, memory
+ * hierarchy, core and (optionally) the PFM system + custom component,
+ * runs warmup + measurement, and returns the result counters.
+ */
+
+#ifndef PFM_SIM_SIMULATOR_H
+#define PFM_SIM_SIMULATOR_H
+
+#include <memory>
+#include <optional>
+
+#include "core/core.h"
+#include "sim/trace.h"
+#include "pfm/pfm_system.h"
+#include "sim/options.h"
+#include "workloads/workload.h"
+
+namespace pfm {
+
+struct SimResult {
+    double ipc = 0;
+    double mpki = 0;
+    Cycle cycles = 0;
+    std::uint64_t instructions = 0;
+    double rst_hit_pct = 0;   ///< Tables 2/3
+    double fst_hit_pct = 0;
+    bool finished = false;    ///< workload halted before the budget
+};
+
+class Simulator
+{
+  public:
+    explicit Simulator(const SimOptions& opt);
+    ~Simulator();
+
+    /** Warmup then measure; returns the measured-phase result. */
+    SimResult run();
+
+    Core& core() { return *core_; }
+    Hierarchy& memory() { return *mem_; }
+    FunctionalEngine& engine() { return *engine_; }
+    PfmSystem* pfm() { return pfm_.get(); }
+    const Workload& workload() const { return workload_; }
+
+  private:
+    void attachComponent();
+
+    SimOptions opt_;
+    Workload workload_;
+    std::unique_ptr<Hierarchy> mem_;
+    std::unique_ptr<FunctionalEngine> engine_;
+    std::unique_ptr<Core> core_;
+    std::unique_ptr<PfmSystem> pfm_;
+    std::unique_ptr<PipelineTracer> tracer_;
+};
+
+/** Convenience: build, run, and return the result. */
+SimResult runSim(const SimOptions& opt);
+
+/** Speedup of @p pfm over @p base in percent ((ipc/ipc - 1) * 100). */
+double speedupPct(const SimResult& base, const SimResult& with);
+
+} // namespace pfm
+
+#endif // PFM_SIM_SIMULATOR_H

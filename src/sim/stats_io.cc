@@ -1,0 +1,82 @@
+#include "sim/stats_io.h"
+
+#include <sstream>
+
+namespace pfm {
+
+void
+writeStatsCsv(std::ostream& os, const std::vector<const StatGroup*>& groups)
+{
+    os << "stat,value\n";
+    for (const StatGroup* g : groups) {
+        if (!g)
+            continue;
+        std::ostringstream buf;
+        g->dump(buf);
+        // dump() emits "prefix.name value" lines; re-render as CSV.
+        std::istringstream in(buf.str());
+        std::string line;
+        while (std::getline(in, line)) {
+            size_t sp = line.find(' ');
+            if (sp == std::string::npos)
+                continue;
+            os << line.substr(0, sp) << "," << line.substr(sp + 1) << "\n";
+        }
+    }
+}
+
+std::string
+configSummary(const CoreParams& core, const HierarchyParams& mem)
+{
+    std::ostringstream os;
+    os << "superscalar core and memory hierarchy (cf. paper Table 1)\n";
+    os << "  branch predictor     : "
+       << (core.bp_kind == BpKind::kTageScl   ? "64KB-class TAGE-SC-L"
+           : core.bp_kind == BpKind::kTage    ? "TAGE"
+           : core.bp_kind == BpKind::kGshare  ? "gshare"
+           : core.bp_kind == BpKind::kBimodal ? "bimodal"
+                                              : "perfect (oracle)")
+       << "\n";
+    os << "  pipeline depth       : " << core.frontend_depth + 5
+       << " stages (fetch to retire)\n";
+    os << "  fetch/retire width   : " << core.fetch_width << "/"
+       << core.retire_width << " instr/cycle\n";
+    os << "  issue/execute width  : " << core.issue_width
+       << " instr/cycle\n";
+    os << "  execution lanes      : " << core.alu_lanes << " simple ALU, "
+       << core.ls_lanes << " load/store, " << core.fp_lanes
+       << " FP/complex ALU\n";
+    os << "  ROB/IQ/LDQ/STQ/PRF   : " << core.rob_size << "/" << core.iq_size
+       << "/" << core.ldq_size << "/" << core.stq_size << "/"
+       << core.prf_size << "\n";
+    auto cache_line = [&os](const char* name, const CacheParams& c,
+                            const char* extra) {
+        os << "  " << name << " : " << c.size_bytes / 1024 << "KB, "
+           << c.assoc << "-way, " << c.latency << "-cycle" << extra << "\n";
+    };
+    cache_line("L1I cache           ", mem.l1i, "");
+    cache_line("L1D cache           ", mem.l1d, " (+1 agen)");
+    os << "  L1D prefetcher       : next-" << mem.l1d_next_n << "-line\n";
+    cache_line("L2 cache            ", mem.l2, "");
+    cache_line("L3 cache            ", mem.l3, "");
+    os << "  L2/L3 prefetcher     : "
+       << (mem.vldp_enabled ? "VLDP (5.5Kb-class)" : "disabled") << "\n";
+    os << "  DRAM                 : " << mem.dram.latency << " cycles, "
+       << mem.dram.max_outstanding << " outstanding, issue gap "
+       << mem.dram.issue_gap << "\n";
+    return os.str();
+}
+
+std::string
+pfmSummary(const PfmParams& pfm)
+{
+    std::ostringstream os;
+    os << pfm.tag() << " mlb" << pfm.mlb_entries;
+    if (pfm.watchdog_cycles)
+        os << " watchdog" << pfm.watchdog_cycles;
+    if (pfm.non_stalling_fetch)
+        os << " nonstall";
+    return os.str();
+}
+
+} // namespace pfm

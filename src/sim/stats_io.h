@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Statistics export (CSV) and configuration pretty-printing (the Table 1
+ * summary every bench can echo via --print-config).
+ */
+
+#ifndef PFM_SIM_STATS_IO_H
+#define PFM_SIM_STATS_IO_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/core_params.h"
+#include "memory/hierarchy.h"
+#include "pfm/pfm_params.h"
+
+namespace pfm {
+
+/** Write all counters of @p groups as "name,value" CSV rows. */
+void writeStatsCsv(std::ostream& os,
+                   const std::vector<const StatGroup*>& groups);
+
+/** Human-readable Table-1-style configuration summary. */
+std::string configSummary(const CoreParams& core,
+                          const HierarchyParams& mem);
+
+/** One-line PFM parameter summary (paper notation). */
+std::string pfmSummary(const PfmParams& pfm);
+
+} // namespace pfm
+
+#endif // PFM_SIM_STATS_IO_H

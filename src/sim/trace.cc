@@ -1,0 +1,97 @@
+#include "sim/trace.h"
+
+#include "common/log.h"
+#include "isa/program.h"
+
+namespace pfm {
+
+namespace {
+
+const char*
+stageLabel(TraceStage s)
+{
+    switch (s) {
+      case TraceStage::kFetch:    return "F";
+      case TraceStage::kDispatch: return "Ds";
+      case TraceStage::kIssue:    return "X";
+      case TraceStage::kComplete: return "Wb";
+      case TraceStage::kRetire:   return "Cm";
+      default:                    return "?";
+    }
+}
+
+} // namespace
+
+PipelineTracer::PipelineTracer(const std::string& path, std::uint64_t limit)
+    : out_(path), limit_(limit)
+{
+    if (!out_)
+        pfm_fatal("cannot open trace file '%s'", path.c_str());
+    out_ << "Kanata\t0004\n";
+}
+
+PipelineTracer::~PipelineTracer()
+{
+    for (auto& [seq, row] : live_) {
+        if (row.open)
+            out_ << "R\t" << row.id << "\t" << row.id << "\t1\n";
+    }
+}
+
+void
+PipelineTracer::advanceClock(Cycle now)
+{
+    if (!clock_started_) {
+        out_ << "C=\t" << now << "\n";
+        clock_ = now;
+        clock_started_ = true;
+        return;
+    }
+    if (now > clock_) {
+        out_ << "C\t" << (now - clock_) << "\n";
+        clock_ = now;
+    }
+}
+
+void
+PipelineTracer::stage(const DynInst& d, TraceStage s, Cycle now)
+{
+    if (limit_ != 0 && traced_ >= limit_ && !live_.count(d.seq))
+        return;
+
+    advanceClock(now);
+
+    auto it = live_.find(d.seq);
+    if (it == live_.end()) {
+        if (s != TraceStage::kFetch)
+            return; // instruction began before tracing started
+        Row row{next_id_++, now, true};
+        out_ << "I\t" << row.id << "\t" << d.seq << "\t0\n";
+        out_ << "L\t" << row.id << "\t0\t" << formatInst(*d.inst) << "\n";
+        out_ << "S\t" << row.id << "\t0\t" << stageLabel(s) << "\n";
+        live_.emplace(d.seq, row);
+        ++traced_;
+        return;
+    }
+
+    Row& row = it->second;
+    if (!row.open)
+        return;
+    if (s == TraceStage::kRetire) {
+        out_ << "E\t" << row.id << "\t0\t" << stageLabel(TraceStage::kRetire)
+             << "\n";
+        out_ << "R\t" << row.id << "\t" << row.id << "\t0\n";
+        row.open = false;
+        live_.erase(it);
+    } else if (s == TraceStage::kSquash) {
+        // Squashed instructions are flushed (retired=0 in Kanata terms);
+        // the refetch re-opens a fresh row.
+        out_ << "R\t" << row.id << "\t" << row.id << "\t1\n";
+        row.open = false;
+        live_.erase(it);
+    } else {
+        out_ << "S\t" << row.id << "\t0\t" << stageLabel(s) << "\n";
+    }
+}
+
+} // namespace pfm

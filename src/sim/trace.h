@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Per-instruction pipeline trace writer in Kanata/Konata format, viewable
+ * with the Konata pipeline visualizer. The core reports stage events
+ * through the TraceSink interface; PipelineTracer buffers them per
+ * instruction and emits the log at retirement/squash.
+ */
+
+#ifndef PFM_SIM_TRACE_H
+#define PFM_SIM_TRACE_H
+
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "common/types.h"
+#include "isa/dyn_inst.h"
+
+namespace pfm {
+
+/** Pipeline stage identifiers reported by the core. */
+enum class TraceStage : std::uint8_t {
+    kFetch,
+    kDispatch,
+    kIssue,
+    kComplete,
+    kRetire,
+    kSquash,
+};
+
+/** Interface the core drives when tracing is attached. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+    virtual void stage(const DynInst& d, TraceStage s, Cycle now) = 0;
+};
+
+/** Konata ("Kanata 0004") log writer. */
+class PipelineTracer : public TraceSink
+{
+  public:
+    /**
+     * @param path   output file
+     * @param limit  stop tracing after this many instructions (0 = all)
+     */
+    explicit PipelineTracer(const std::string& path,
+                            std::uint64_t limit = 0);
+    ~PipelineTracer() override;
+
+    void stage(const DynInst& d, TraceStage s, Cycle now) override;
+
+    std::uint64_t traced() const { return traced_; }
+
+  private:
+    struct Row {
+        std::uint64_t id;
+        Cycle last_event;
+        bool open;
+    };
+
+    void advanceClock(Cycle now);
+
+    std::ofstream out_;
+    std::uint64_t limit_;
+    std::uint64_t next_id_ = 0;
+    std::uint64_t traced_ = 0;
+    Cycle clock_ = 0;
+    bool clock_started_ = false;
+    std::map<SeqNum, Row> live_;
+};
+
+} // namespace pfm
+
+#endif // PFM_SIM_TRACE_H

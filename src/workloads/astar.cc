@@ -1,0 +1,171 @@
+#include "workloads/astar.h"
+
+#include <sstream>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "isa/assembler.h"
+
+namespace pfm {
+
+namespace {
+
+/**
+ * Register allocation for the kernel:
+ *  x1  ra                  x2  i            x3  bound1l   x4  in base
+ *  x5  out base            x6  bound2l      x7  index     x8  index1
+ *  x9  loaded value        x11 fillnum      x12 step      x13 yoffset
+ *  x14 waymap base         x15 maparp base  x16 endindex  x17 addr tmp
+ *  x18 flend               x20-x24 snoop destinations     x22 addr tmp2
+ *  x26 bound1p base        x27 bound2p base
+ */
+std::string
+buildAstarAsm(unsigned side)
+{
+    std::ostringstream os;
+    os << "fill:\n"
+          "roi_begin:  addi x11, x11, 1\n"      // fillnum++
+          "snoop_waymap: mv x23, x14\n"
+          "snoop_maparp: mv x24, x15\n"
+          "    li  x12, 0\n"                    // step = 0
+          "    li  x18, 0\n"                    // flend = false
+          "fill_loop:\n"
+          "    beq x3, x0, fill_done\n"         // while bound1l != 0
+          "    bne x18, x0, fill_done\n"        // && !flend
+          "    mv  x4, x26\n"                   // even call: in = bound1p
+          "    mv  x5, x27\n"
+          "    call makebound2\n"
+          "    mv  x3, x6\n"
+          "    addi x12, x12, 1\n"              // step++
+          "    beq x3, x0, fill_done\n"
+          "    bne x18, x0, fill_done\n"
+          "    mv  x4, x27\n"                   // odd call: worklists swap
+          "    mv  x5, x26\n"
+          "    call makebound2\n"
+          "    mv  x3, x6\n"
+          "    addi x12, x12, 1\n"
+          "    j   fill_loop\n"
+          "fill_done:\n"
+          "    halt\n"
+          "\n"
+          "makebound2:\n"
+          "snoop_yoffset: mv x20, x13\n"        // per-call marker (line 14)
+          "snoop_inbase:  mv x21, x4\n"         // input worklist base
+          "    li  x2, 0\n"                     // i = 0
+          "    li  x6, 0\n"                     // bound2l = 0
+          "loop:\n"
+          "    bge x2, x3, loop_end\n"          // for (i = 0; i < bound1l; )
+          "    slli x17, x2, 2\n"
+          "    add  x17, x17, x4\n"
+          "    lw   x7, 0(x17)\n"               // index = bound1p[i]
+          "snoop_induction: addi x2, x2, 1\n";  // i++ (commit-head tracking)
+
+    // The eight neighbor blocks (Figure 6's repeated nested-if template).
+    const long w = static_cast<long>(side);
+    const long offsets[8] = {-w - 1, -w, -w + 1, -1, +1, w - 1, w, w + 1};
+    for (int n = 0; n < 8; ++n) {
+        os << "nb" << n << ":\n"
+           << "    addi x8, x7, " << offsets[n] << "\n"   // index1
+           << "    slli x17, x8, 3\n"
+           << "    add  x17, x17, x14\n"                  // &waymap[index1]
+           << "    lw   x9, 0(x17)\n"                     // .fillnum
+           << "br_way" << n << ": beq x9, x11, nb" << (n + 1) << "\n"
+           << "    slli x22, x8, 2\n"
+           << "    add  x22, x22, x15\n"                  // &maparp[index1]
+           << "    lw   x9, 0(x22)\n"
+           << "br_map" << n << ": bne x9, x0, nb" << (n + 1) << "\n"
+           << "    slli x22, x6, 2\n"
+           << "    add  x22, x22, x5\n"
+           << "st_out" << n << ": sw x8, 0(x22)\n"        // bound2p[bound2l]
+           << "    addi x6, x6, 1\n"
+           << "st_way" << n << ": sw x11, 0(x17)\n"       // fillnum store
+           << "    sw   x12, 4(x17)\n"                    // .num = step
+           << "    beq  x8, x16, found\n";
+    }
+    os << "nb8:\n"
+          "    j   loop\n"
+          "loop_end:\n"
+          "    ret\n"
+          "found:\n"
+          "    li  x18, 1\n"
+          "    ret\n";
+    return os.str();
+}
+
+} // namespace
+
+Workload
+makeAstarWorkload(const AstarConfig& cfg)
+{
+    Workload w;
+    w.name = "astar";
+    w.mem = std::make_shared<SimMemory>();
+    Rng rng(cfg.seed);
+
+    const std::uint64_t cells =
+        static_cast<std::uint64_t>(cfg.side) * cfg.side;
+
+    Addr waymap = w.mem->alloc(cells * 8, 64);   // {fillnum, num} per cell
+    Addr maparp = w.mem->alloc(cells * 4, 64);
+    Addr bound1p = w.mem->alloc(cells * 4, 64);
+    Addr bound2p = w.mem->alloc(cells * 4, 64);
+
+    // Obstacles: random interior blockage plus a solid border ring so the
+    // flood fill never walks outside the grid.
+    for (unsigned y = 0; y < cfg.side; ++y) {
+        for (unsigned x = 0; x < cfg.side; ++x) {
+            std::uint64_t idx = static_cast<std::uint64_t>(y) * cfg.side + x;
+            bool border = (x == 0 || y == 0 || x == cfg.side - 1 ||
+                           y == cfg.side - 1);
+            std::uint32_t blocked =
+                (border || rng.chance(cfg.obstacle_prob)) ? 1 : 0;
+            w.mem->write<std::uint32_t>(maparp + idx * 4, blocked);
+        }
+    }
+
+    // Start cell at the grid center (must be free).
+    std::uint64_t start =
+        (static_cast<std::uint64_t>(cfg.side / 2)) * cfg.side + cfg.side / 2;
+    w.mem->write<std::uint32_t>(maparp + start * 4, 0);
+    w.mem->write<std::uint32_t>(bound1p, static_cast<std::uint32_t>(start));
+    // Mark the start visited with the upcoming fillnum (fill() will ++ to 1).
+    w.mem->write<std::uint32_t>(waymap + start * 8, 1);
+
+    w.program = assemble(buildAstarAsm(cfg.side));
+    w.entry = w.program.labelPc("fill");
+
+    w.init_regs = {
+        {3, 1},                      // bound1l = 1 (start cell)
+        {11, 0},                     // fillnum (becomes 1 at roi_begin)
+        {13, cfg.side},              // yoffset
+        {14, waymap},
+        {15, maparp},
+        {16, static_cast<RegVal>(-1)}, // endindex: unreachable (full fill)
+        {26, bound1p},
+        {27, bound2p},
+    };
+
+    for (const char* key :
+         {"roi_begin", "snoop_yoffset", "snoop_inbase", "snoop_waymap",
+          "snoop_maparp", "snoop_induction"}) {
+        w.pcs[key] = w.program.labelPc(key);
+    }
+    for (int n = 0; n < 8; ++n) {
+        for (const char* prefix : {"br_way", "br_map", "st_out", "st_way"}) {
+            std::string key = prefix + std::to_string(n);
+            w.pcs[key] = w.program.labelPc(key);
+        }
+    }
+
+    w.data = {{"waymap", waymap},
+              {"maparp", maparp},
+              {"bound1p", bound1p},
+              {"bound2p", bound2p}};
+    w.meta = {{"side", cfg.side},
+              {"cells", cells},
+              {"waymap_stride", 8},
+              {"worklist_stride", 4}};
+    return w;
+}
+
+} // namespace pfm

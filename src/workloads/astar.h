@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The astar ROI (Figure 6 of the paper): wayobj::fill() repeatedly calls
+ * wayobj::makebound2(), flood-filling a 2D grid through two alternating
+ * worklists. Each popped cell tests its eight neighbors with the heavily
+ * mispredicted waymap and maparp branches.
+ *
+ * The kernel is hand-compiled to the micro-ISA and runs on a real grid in
+ * simulated memory, so branch outcomes and access patterns are genuine.
+ */
+
+#ifndef PFM_WORKLOADS_ASTAR_H
+#define PFM_WORKLOADS_ASTAR_H
+
+#include "workloads/workload.h"
+
+namespace pfm {
+
+struct AstarConfig {
+    unsigned side = 512;          ///< grid is side x side cells
+    double obstacle_prob = 0.35;  ///< maparp != 0 density
+    std::uint64_t seed = 42;
+};
+
+/**
+ * Annotations produced:
+ *  pcs:  roi_begin (fillnum++), snoop_yoffset (per-call marker),
+ *        snoop_inbase, snoop_waymap, snoop_maparp, snoop_induction,
+ *        br_way0..7, br_map0..7
+ *  data: waymap, maparp, bound1p, bound2p
+ *  meta: side, cells, waymap_stride(8), worklist_stride(4)
+ */
+Workload makeAstarWorkload(const AstarConfig& cfg = {});
+
+} // namespace pfm
+
+#endif // PFM_WORKLOADS_ASTAR_H

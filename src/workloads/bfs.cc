@@ -1,0 +1,129 @@
+#include "workloads/bfs.h"
+
+#include <string>
+
+#include "common/log.h"
+#include "isa/assembler.h"
+
+namespace pfm {
+
+namespace {
+
+/**
+ * Register allocation:
+ *  x2  i              x3  frontier_len   x4  cur frontier   x5 next frontier
+ *  x6  next_len       x7  u              x8  j (edge idx)   x9 edge end
+ *  x10 v              x14 offsets        x15 neighbors      x19 parent
+ *  x17/x22 addr tmps  x25 parent[v]      x28 swap tmp
+ *  x20,x21,x23,x24 snoop destinations
+ */
+const char* kBfsAsm = R"(
+bfs:
+level_loop:
+    beq x3, x0, bfs_done
+roi_begin:       mv x20, x4
+snoop_offsets:   mv x21, x14
+snoop_neighbors: mv x22, x15
+snoop_parent:    mv x23, x19
+snoop_len:       mv x24, x3
+    li  x2, 0
+    li  x6, 0
+td_loop:
+    bge x2, x3, td_end
+    slli x17, x2, 2
+    add  x17, x17, x4
+    lw   x7, 0(x17)
+snoop_induction: addi x2, x2, 1
+    slli x17, x7, 3
+    add  x17, x17, x14
+    ld   x8, 0(x17)
+    ld   x9, 8(x17)
+nb_loop:
+br_nbloop: bge x8, x9, td_loop
+    slli x17, x8, 2
+    add  x17, x17, x15
+    lw   x10, 0(x17)
+    slli x17, x10, 2
+    add  x17, x17, x19
+    lw   x25, 0(x17)
+br_visited: bge x25, x0, nb_skip
+    sw   x7, 0(x17)
+    slli x22, x6, 2
+    add  x22, x22, x5
+    sw   x10, 0(x22)
+    addi x6, x6, 1
+nb_skip:
+    addi x8, x8, 1
+    j    nb_loop
+td_end:
+    mv  x28, x4
+    mv  x4, x5
+    mv  x5, x28
+    mv  x3, x6
+    j   level_loop
+bfs_done:
+    halt
+)";
+
+} // namespace
+
+Workload
+makeBfsWorkload(const BfsConfig& cfg)
+{
+    CsrGraph g = cfg.input == BfsInput::kRoads
+                     ? makeRoadGraph(cfg.road_side, cfg.seed)
+                     : makeYoutubeGraph(cfg.youtube_nodes, cfg.youtube_deg,
+                                        cfg.seed);
+
+    Workload w;
+    w.name = cfg.input == BfsInput::kRoads ? "bfs-roads" : "bfs-youtube";
+    w.mem = std::make_shared<SimMemory>();
+
+    Addr offsets = w.mem->alloc((g.num_nodes + 1) * 8, 64);
+    Addr neighbors = w.mem->alloc(g.neighbors.size() * 4 + 8, 64);
+    Addr parent = w.mem->alloc(g.num_nodes * 4, 64);
+    Addr frontier_a = w.mem->alloc(g.num_nodes * 4, 64);
+    Addr frontier_b = w.mem->alloc(g.num_nodes * 4, 64);
+
+    for (std::uint32_t u = 0; u <= g.num_nodes; ++u)
+        w.mem->write<std::uint64_t>(offsets + u * 8, g.offsets[u]);
+    for (size_t e = 0; e < g.neighbors.size(); ++e) {
+        w.mem->write<std::uint32_t>(neighbors + e * 4, g.neighbors[e]);
+    }
+    for (std::uint32_t u = 0; u < g.num_nodes; ++u) {
+        w.mem->write<std::uint32_t>(parent + u * 4,
+                                    static_cast<std::uint32_t>(-1));
+    }
+
+    std::uint32_t src = cfg.source % g.num_nodes;
+    w.mem->write<std::uint32_t>(parent + src * 4, src); // visited
+    w.mem->write<std::uint32_t>(frontier_a, src);
+
+    w.program = assemble(kBfsAsm);
+    w.entry = w.program.labelPc("bfs");
+
+    w.init_regs = {
+        {3, 1},           // frontier length
+        {4, frontier_a},
+        {5, frontier_b},
+        {14, offsets},
+        {15, neighbors},
+        {19, parent},
+    };
+
+    for (const char* key :
+         {"roi_begin", "snoop_len", "snoop_offsets", "snoop_neighbors",
+          "snoop_parent", "snoop_induction", "br_nbloop", "br_visited"}) {
+        w.pcs[key] = w.program.labelPc(key);
+    }
+    w.data = {{"offsets", offsets},
+              {"neighbors", neighbors},
+              {"parent", parent},
+              {"frontier_a", frontier_a},
+              {"frontier_b", frontier_b}};
+    w.meta = {{"num_nodes", g.num_nodes},
+              {"num_edges", g.neighbors.size()}};
+    return w;
+}
+
+} // namespace pfm

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * GAP-style top-down breadth-first search (the paper's bfs use-case,
+ * Section 4.2). Each level walks the frontier; per node U it loads
+ * offsets[U]/offsets[U+1], iterates U's neighbors (hard-to-predict
+ * trip-count loop branch), loads each neighbor's visited-ness from the
+ * parent/properties array (load-dependent load) and conditionally marks +
+ * enqueues it (hard-to-predict visited branch).
+ */
+
+#ifndef PFM_WORKLOADS_BFS_H
+#define PFM_WORKLOADS_BFS_H
+
+#include "workloads/graph.h"
+#include "workloads/workload.h"
+
+namespace pfm {
+
+enum class BfsInput { kRoads, kYoutube };
+
+struct BfsConfig {
+    BfsInput input = BfsInput::kRoads;
+    unsigned road_side = 700;       ///< ~490k nodes (roadNet-CA-like scale)
+    unsigned youtube_nodes = 300000;
+    unsigned youtube_deg = 3;
+    std::uint32_t source = 0;
+    std::uint64_t seed = 7;
+};
+
+/**
+ * Annotations:
+ *  pcs:  roi_begin (per-level marker, value = frontier base),
+ *        snoop_len, snoop_offsets, snoop_neighbors, snoop_parent,
+ *        snoop_induction, br_nbloop, br_visited
+ *  data: offsets, neighbors, parent, frontier_a, frontier_b
+ *  meta: num_nodes, num_edges
+ */
+Workload makeBfsWorkload(const BfsConfig& cfg = {});
+
+} // namespace pfm
+
+#endif // PFM_WORKLOADS_BFS_H

@@ -1,0 +1,108 @@
+#include "workloads/bwaves.h"
+
+#include <sstream>
+
+#include "common/rng.h"
+#include "isa/assembler.h"
+
+namespace pfm {
+
+namespace {
+
+/**
+ * x2 round, x3 rounds, x4 j, x5 i, x6 k, x7 NJ, x8 NI, x9 NK,
+ * x14 A base, x15 B base, x16 C base, x17 A addr, x18 B addr, x19 C addr,
+ * x22 tmp.
+ */
+constexpr unsigned kElemBytes = 192;
+
+std::string
+buildBwavesAsm(unsigned ni, unsigned nj)
+{
+    // 192-byte elements (the PDE-component block per grid point): element
+    // strides span three lines, so neighboring i iterations touch
+    // non-adjacent lines (next-line prefetching cannot cover them), and
+    // the inner k loop strides by a full plane — a fresh page per access.
+    std::uint64_t stride_k =
+        static_cast<std::uint64_t>(ni) * nj * kElemBytes;
+    std::ostringstream os;
+    os << "bwaves:\n"
+          "roi_begin: mv x20, x14\n"
+          "round_loop:\n"
+          "    li  x4, 0\n"
+          "    mv  x19, x16\n"
+          "j_loop:\n"
+          "    li  x5, 0\n"
+          "i_loop:\n"
+          "    li  x6, 0\n"
+          // addrA = A + (j*NI + i)*8 ; k advances by a plane each step.
+       << "    mul  x17, x4, x8\n"
+          "    add  x17, x17, x5\n"
+       << "    li   x22, " << kElemBytes << "\n"
+          "    mul  x17, x17, x22\n"
+          "    add  x18, x17, x15\n"
+          "    add  x17, x17, x14\n"
+          "    fsub f4, f4, f4\n"            // acc = 0
+          "k_loop:\n"
+          "del_load_a: fld f1, 0(x17)\n"
+          "del_load_b: fld f2, 0(x18)\n"
+          "    fmul f3, f1, f2\n"
+          "    fadd f4, f4, f3\n"
+       << "    addi x17, x17, " << stride_k << "\n"
+       << "    addi x18, x18, " << stride_k << "\n"
+       << "    addi x6, x6, 1\n"
+          "    blt  x6, x9, k_loop\n"
+          "    fsd  f4, 0(x19)\n"
+          "    addi x19, x19, 8\n"
+          "    addi x5, x5, 1\n"
+          "    blt  x5, x8, i_loop\n"
+          "    addi x4, x4, 1\n"
+          "    blt  x4, x7, j_loop\n"
+          "    addi x2, x2, 1\n"
+          "    blt  x2, x3, round_loop\n"
+          "    halt\n";
+    return os.str();
+}
+
+} // namespace
+
+Workload
+makeBwavesWorkload(const BwavesConfig& cfg)
+{
+    Workload w;
+    w.name = "bwaves";
+    w.mem = std::make_shared<SimMemory>();
+    Rng rng(cfg.seed);
+
+    std::uint64_t elems =
+        static_cast<std::uint64_t>(cfg.ni) * cfg.nj * cfg.nk;
+    Addr a = w.mem->alloc(elems * kElemBytes, 64);
+    Addr b = w.mem->alloc(elems * kElemBytes, 64);
+    Addr c = w.mem->alloc(static_cast<std::uint64_t>(cfg.ni) * cfg.nj * 8, 64);
+
+    // Sparse init is fine: untouched pages read as 0.0.
+    for (std::uint64_t i = 0; i < elems; i += 997) {
+        w.mem->write<double>(a + i * kElemBytes, rng.real());
+        w.mem->write<double>(b + i * kElemBytes, rng.real());
+    }
+
+    w.program = assemble(buildBwavesAsm(cfg.ni, cfg.nj));
+    w.entry = w.program.labelPc("bwaves");
+
+    w.init_regs = {
+        {2, 0},  {3, cfg.rounds}, {7, cfg.nj}, {8, cfg.ni}, {9, cfg.nk},
+        {14, a}, {15, b},         {16, c},
+    };
+    for (const char* key : {"roi_begin", "del_load_a", "del_load_b"})
+        w.pcs[key] = w.program.labelPc(key);
+    w.data = {{"a", a}, {"b", b}, {"c", c}};
+    w.meta = {{"ni", cfg.ni},
+              {"nj", cfg.nj},
+              {"nk", cfg.nk},
+              {"stride_k",
+               static_cast<std::uint64_t>(cfg.ni) * cfg.nj * kElemBytes},
+              {"elem", kElemBytes}};
+    return w;
+}
+
+} // namespace pfm

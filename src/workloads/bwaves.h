@@ -1,0 +1,37 @@
+/**
+ * @file
+ * bwaves-style ROI: delinquent loads in the innermost of a deep loop nest,
+ * with addresses that stride by a full plane (transposed traversal) so
+ * every access touches a new page — beyond VLDP's per-page reach but
+ * exactly followable by a custom FSM (Section 4.3).
+ */
+
+#ifndef PFM_WORKLOADS_BWAVES_H
+#define PFM_WORKLOADS_BWAVES_H
+
+#include "workloads/workload.h"
+
+namespace pfm {
+
+struct BwavesConfig {
+    // Non-power-of-two grid (like the real benchmark's 65^3-class grids):
+    // a power-of-two plane stride would alias every inner-loop access into
+    // a single cache set.
+    unsigned ni = 40;
+    unsigned nj = 40;
+    unsigned nk = 96;
+    unsigned rounds = 2;
+    std::uint64_t seed = 13;
+};
+
+/**
+ * Annotations:
+ *  pcs:  roi_begin, del_load_a, del_load_b
+ *  data: a, b, c
+ *  meta: ni, nj, nk, stride_k (plane stride in bytes), elem (8)
+ */
+Workload makeBwavesWorkload(const BwavesConfig& cfg = {});
+
+} // namespace pfm
+
+#endif // PFM_WORKLOADS_BWAVES_H

@@ -1,0 +1,105 @@
+#include "workloads/graph.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace pfm {
+
+namespace {
+
+CsrGraph
+fromAdjacency(const std::vector<std::vector<std::uint32_t>>& adj)
+{
+    CsrGraph g;
+    g.num_nodes = static_cast<std::uint32_t>(adj.size());
+    g.offsets.resize(adj.size() + 1);
+    std::uint64_t total = 0;
+    for (size_t u = 0; u < adj.size(); ++u) {
+        g.offsets[u] = total;
+        total += adj[u].size();
+    }
+    g.offsets[adj.size()] = total;
+    g.neighbors.reserve(total);
+    for (const auto& n : adj)
+        g.neighbors.insert(g.neighbors.end(), n.begin(), n.end());
+    return g;
+}
+
+} // namespace
+
+CsrGraph
+makeRoadGraph(unsigned side, std::uint64_t seed, double edge_drop_prob)
+{
+    Rng rng(seed);
+    auto node = [side](unsigned x, unsigned y) { return y * side + x; };
+
+    std::vector<std::vector<std::uint32_t>> adj(
+        static_cast<size_t>(side) * side);
+    for (unsigned y = 0; y < side; ++y) {
+        for (unsigned x = 0; x < side; ++x) {
+            std::uint32_t u = node(x, y);
+            // East and south edges; drop some to make the lattice irregular.
+            if (x + 1 < side && !rng.chance(edge_drop_prob)) {
+                std::uint32_t v = node(x + 1, y);
+                adj[u].push_back(v);
+                adj[v].push_back(u);
+            }
+            if (y + 1 < side && !rng.chance(edge_drop_prob)) {
+                std::uint32_t v = node(x, y + 1);
+                adj[u].push_back(v);
+                adj[v].push_back(u);
+            }
+        }
+    }
+    // A sprinkle of shortcut "highways" so the graph is connected-ish even
+    // with drops, mimicking real road networks' bridges.
+    unsigned shortcuts = side; // ~sqrt(n)
+    for (unsigned i = 0; i < shortcuts; ++i) {
+        auto u = static_cast<std::uint32_t>(rng.below(adj.size()));
+        auto v = static_cast<std::uint32_t>(rng.below(adj.size()));
+        if (u != v) {
+            adj[u].push_back(v);
+            adj[v].push_back(u);
+        }
+    }
+    return fromAdjacency(adj);
+}
+
+CsrGraph
+makeYoutubeGraph(unsigned nodes, unsigned deg, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::vector<std::uint32_t>> adj(nodes);
+    // Preferential attachment via the repeated-endpoint trick: sample an
+    // endpoint of an existing edge to bias toward high-degree nodes.
+    std::vector<std::uint32_t> endpoints;
+    endpoints.reserve(static_cast<size_t>(nodes) * deg * 2);
+
+    unsigned seed_nodes = std::max(deg, 2u);
+    for (unsigned u = 1; u < seed_nodes && u < nodes; ++u) {
+        adj[u].push_back(u - 1);
+        adj[u - 1].push_back(u);
+        endpoints.push_back(u);
+        endpoints.push_back(u - 1);
+    }
+    for (std::uint32_t u = seed_nodes; u < nodes; ++u) {
+        for (unsigned e = 0; e < deg; ++e) {
+            std::uint32_t v;
+            if (rng.chance(0.92) && !endpoints.empty()) {
+                v = endpoints[rng.below(endpoints.size())];
+            } else {
+                v = static_cast<std::uint32_t>(rng.below(u));
+            }
+            if (v == u)
+                continue;
+            adj[u].push_back(v);
+            adj[v].push_back(u);
+            endpoints.push_back(u);
+            endpoints.push_back(v);
+        }
+    }
+    return fromAdjacency(adj);
+}
+
+} // namespace pfm

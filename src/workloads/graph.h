@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Synthetic graph generators standing in for the SNAP datasets the paper
+ * uses (roadNet-CA and com-Youtube; see DESIGN.md substitutions).
+ *
+ *  - Road-like: a 2D lattice with random perturbations — high diameter,
+ *    degree ~<=4, long BFS frontier progression (many levels).
+ *  - Youtube-like: preferential attachment — heavy-tailed degrees, tiny
+ *    diameter, huge frontiers after two hops.
+ */
+
+#ifndef PFM_WORKLOADS_GRAPH_H
+#define PFM_WORKLOADS_GRAPH_H
+
+#include <cstdint>
+#include <vector>
+
+namespace pfm {
+
+/** CSR graph (GAP-style: offsets into a flat neighbor array). */
+struct CsrGraph {
+    std::uint32_t num_nodes = 0;
+    std::vector<std::uint64_t> offsets;   ///< num_nodes + 1
+    std::vector<std::uint32_t> neighbors;
+
+    std::uint32_t degree(std::uint32_t u) const
+    {
+        return static_cast<std::uint32_t>(offsets[u + 1] - offsets[u]);
+    }
+};
+
+/** Lattice road network: side x side nodes, ~4-neighborhood with deletions. */
+CsrGraph makeRoadGraph(unsigned side, std::uint64_t seed,
+                       double edge_drop_prob = 0.1);
+
+/** Preferential-attachment graph with @p nodes nodes, ~deg mean degree. */
+CsrGraph makeYoutubeGraph(unsigned nodes, unsigned deg, std::uint64_t seed);
+
+} // namespace pfm
+
+#endif // PFM_WORKLOADS_GRAPH_H

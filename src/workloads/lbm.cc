@@ -1,0 +1,84 @@
+#include "workloads/lbm.h"
+
+#include <sstream>
+
+#include "common/rng.h"
+#include "isa/assembler.h"
+
+namespace pfm {
+
+namespace {
+
+/**
+ * x2 i, x3 cells, x4 round, x5 rounds, x14 src (sweep pointer start),
+ * x16 dst base, x17 src addr, x19 dst addr.
+ */
+std::string
+buildLbmAsm(std::uint64_t plane_bytes, std::uint64_t row_bytes)
+{
+    std::ostringstream os;
+    os << "lbm:\n"
+          "roi_begin: mv x20, x14\n"
+          "round_loop:\n"
+          "    mv  x17, x14\n"
+          "    mv  x19, x16\n"
+          "    li  x2, 0\n"
+          "cell_loop:\n"
+          "del0: fld f1, 0(x17)\n"
+       << "del1: fld f2, " << row_bytes << "(x17)\n"
+       << "del2: fld f3, -" << row_bytes << "(x17)\n"
+       << "del3: fld f4, " << plane_bytes << "(x17)\n"
+       << "del4: fld f5, -" << plane_bytes << "(x17)\n"
+       << "    fadd f6, f1, f2\n"
+          "    fadd f6, f6, f3\n"
+          "    fadd f7, f4, f5\n"
+          "    fmul f6, f6, f7\n"
+          "    fsd  f6, 0(x19)\n"
+          "    addi x17, x17, 8\n"
+          "    addi x19, x19, 8\n"
+          "    addi x2, x2, 1\n"
+          "    blt  x2, x3, cell_loop\n"
+          "    addi x4, x4, 1\n"
+          "    blt  x4, x5, round_loop\n"
+          "    halt\n";
+    return os.str();
+}
+
+} // namespace
+
+Workload
+makeLbmWorkload(const LbmConfig& cfg)
+{
+    Workload w;
+    w.name = "lbm";
+    w.mem = std::make_shared<SimMemory>();
+    Rng rng(cfg.seed);
+
+    std::uint64_t plane_bytes = static_cast<std::uint64_t>(cfg.plane) * 8;
+    std::uint64_t row_bytes = static_cast<std::uint64_t>(cfg.row) * 8;
+
+    // Guard band before/after the swept region for the negative offsets.
+    Addr src_region = w.mem->alloc((cfg.cells + 2 * cfg.plane) * 8, 64);
+    Addr src = src_region + plane_bytes;
+    Addr dst = w.mem->alloc(cfg.cells * 8, 64);
+    for (std::uint64_t i = 0; i < cfg.cells; i += 997)
+        w.mem->write<double>(src + i * 8, rng.real());
+
+    w.program = assemble(buildLbmAsm(plane_bytes, row_bytes));
+    w.entry = w.program.labelPc("lbm");
+
+    w.init_regs = {
+        {2, 0}, {3, cfg.cells}, {4, 0}, {5, cfg.rounds},
+        {14, src}, {16, dst},
+    };
+    for (const char* key :
+         {"roi_begin", "del0", "del1", "del2", "del3", "del4"})
+        w.pcs[key] = w.program.labelPc(key);
+    w.data = {{"src", src}, {"dst", dst}};
+    w.meta = {{"cells", cfg.cells},
+              {"plane_bytes", plane_bytes},
+              {"row_bytes", row_bytes}};
+    return w;
+}
+
+} // namespace pfm

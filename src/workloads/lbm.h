@@ -1,0 +1,34 @@
+/**
+ * @file
+ * lbm-style ROI: a cluster of delinquent loads per cell (stencil neighbors
+ * in distant planes). The paper notes the baseline prefetcher reduces
+ * latency unevenly so the bottleneck shifts among the cluster's loads; the
+ * custom prefetcher pushes the whole set together (MLP awareness).
+ */
+
+#ifndef PFM_WORKLOADS_LBM_H
+#define PFM_WORKLOADS_LBM_H
+
+#include "workloads/workload.h"
+
+namespace pfm {
+
+struct LbmConfig {
+    std::uint64_t cells = 1u << 20;  ///< sweep length
+    unsigned plane = 16384;          ///< plane offset in elements
+    unsigned row = 128;              ///< row offset in elements
+    unsigned rounds = 4;
+    std::uint64_t seed = 17;
+};
+
+/**
+ * Annotations:
+ *  pcs:  roi_begin, del0..del4
+ *  data: src, dst
+ *  meta: cells, plane_bytes, row_bytes
+ */
+Workload makeLbmWorkload(const LbmConfig& cfg = {});
+
+} // namespace pfm
+
+#endif // PFM_WORKLOADS_LBM_H

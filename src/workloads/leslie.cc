@@ -1,0 +1,111 @@
+#include "workloads/leslie.h"
+
+#include <sstream>
+
+#include "common/rng.h"
+#include "isa/assembler.h"
+
+namespace pfm {
+
+namespace {
+
+/**
+ * Three ROIs per round:
+ *  ROI1: streaming copy u -> wrk (stride 8)
+ *  ROI2: transposed read of u (stride NY*8 inner, +8 outer)
+ *  ROI3: +/-NX stencil over v
+ *
+ * x2 idx, x3 limit, x4 j, x5 round, x6 rounds,
+ * x14 u, x15 v, x16 wrk, x17/x18/x19 addr tmps, x7 NY, x8 NX.
+ */
+std::string
+buildLeslieAsm(unsigned nx, unsigned ny, unsigned nz)
+{
+    std::uint64_t n2 = static_cast<std::uint64_t>(nx) * ny;
+    std::uint64_t n3 = n2 * nz;
+    std::uint64_t row_bytes = static_cast<std::uint64_t>(nx) * 8;
+    std::ostringstream os;
+    os << "leslie:\n"
+          "roi_begin: mv x20, x14\n"
+          "round_loop:\n"
+          // ROI1: streaming copy, n3 elements.
+          "    mv  x17, x14\n"
+          "    mv  x19, x16\n"
+          "    li  x2, 0\n"
+       << "    li  x3, " << n3 << "\n"
+       << "r1_loop:\n"
+          "del_r1: fld f1, 0(x17)\n"
+          "    fadd f1, f1, f2\n"
+          "    fsd  f1, 0(x19)\n"
+          "    addi x17, x17, 8\n"
+          "    addi x19, x19, 8\n"
+          "    addi x2, x2, 1\n"
+          "    blt  x2, x3, r1_loop\n"
+          // ROI2: transposed: for j in [0,NX): for i in [0,NY):
+          //   read u[i*NX + j]  (inner stride = NX*8)
+          "    li  x4, 0\n"
+          "r2_outer:\n"
+          "    slli x17, x4, 3\n"
+          "    add  x17, x17, x14\n"
+          "    li  x2, 0\n"
+          "r2_loop:\n"
+          "del_r2: fld f1, 0(x17)\n"
+          "    fadd f3, f3, f1\n"
+       << "    addi x17, x17, " << row_bytes << "\n"
+       << "    addi x2, x2, 1\n"
+          "    blt  x2, x7, r2_loop\n"
+          "    addi x4, x4, 1\n"
+          "    blt  x4, x8, r2_outer\n"
+          // ROI3: stencil over v: v[i-NX], v[i], v[i+NX].
+       << "    mv  x18, x15\n"
+          "    li  x2, 0\n"
+       << "    li  x3, " << (n3 - 2 * nx) << "\n"
+       << "r3_loop:\n"
+       << "del_r3: fld f1, " << row_bytes << "(x18)\n"
+       << "    fld  f2, 0(x18)\n"
+          "    fadd f1, f1, f2\n"
+          "    fsd  f1, 0(x18)\n"
+          "    addi x18, x18, 8\n"
+          "    addi x2, x2, 1\n"
+          "    blt  x2, x3, r3_loop\n"
+          "    addi x5, x5, 1\n"
+          "    blt  x5, x6, round_loop\n"
+          "    halt\n";
+    return os.str();
+}
+
+} // namespace
+
+Workload
+makeLeslieWorkload(const LeslieConfig& cfg)
+{
+    Workload w;
+    w.name = "leslie";
+    w.mem = std::make_shared<SimMemory>();
+    Rng rng(cfg.seed);
+
+    std::uint64_t n3 =
+        static_cast<std::uint64_t>(cfg.nx) * cfg.ny * cfg.nz;
+    Addr u = w.mem->alloc(n3 * 8, 64);
+    Addr v = w.mem->alloc(n3 * 8, 64);
+    Addr wrk = w.mem->alloc(n3 * 8, 64);
+    for (std::uint64_t i = 0; i < n3; i += 499) {
+        w.mem->write<double>(u + i * 8, rng.real());
+        w.mem->write<double>(v + i * 8, rng.real());
+    }
+
+    w.program = assemble(buildLeslieAsm(cfg.nx, cfg.ny, cfg.nz));
+    w.entry = w.program.labelPc("leslie");
+
+    w.init_regs = {
+        {5, 0}, {6, cfg.rounds}, {7, cfg.ny}, {8, cfg.nx},
+        {14, u}, {15, v}, {16, wrk},
+    };
+    for (const char* key : {"roi_begin", "del_r1", "del_r2", "del_r3"})
+        w.pcs[key] = w.program.labelPc(key);
+    w.data = {{"u", u}, {"v", v}, {"wrk", wrk}};
+    w.meta = {{"nx", cfg.nx}, {"ny", cfg.ny}, {"nz", cfg.nz}};
+    return w;
+}
+
+} // namespace pfm

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * leslie3d-style ROI: multiple distinct loop-nest ROIs executed in
+ * sequence per timestep, each contributing load misses with a different
+ * (2- to 3-deep) nested stride pattern; the custom prefetcher implements
+ * one FSM per ROI (Section 4.3).
+ */
+
+#ifndef PFM_WORKLOADS_LESLIE_H
+#define PFM_WORKLOADS_LESLIE_H
+
+#include "workloads/workload.h"
+
+namespace pfm {
+
+struct LeslieConfig {
+    unsigned nx = 256;
+    unsigned ny = 256;
+    unsigned nz = 16;
+    unsigned rounds = 3;
+    std::uint64_t seed = 23;
+};
+
+/**
+ * Annotations:
+ *  pcs:  roi_begin, del_r1 (streaming), del_r2 (transposed), del_r3
+ *        (stencil)
+ *  data: u, v, wrk
+ *  meta: nx, ny, nz
+ */
+Workload makeLeslieWorkload(const LeslieConfig& cfg = {});
+
+} // namespace pfm
+
+#endif // PFM_WORKLOADS_LESLIE_H

@@ -1,0 +1,83 @@
+#include "workloads/libquantum.h"
+
+#include "common/rng.h"
+#include "isa/assembler.h"
+
+namespace pfm {
+
+namespace {
+
+/**
+ * x2 i, x3 nodes, x9 state, x14 reg base, x17 addr, x22 tmp,
+ * x24/x25/x26 c1/c2/target masks, x28 round, x29 rounds.
+ */
+const char* kLibqAsm = R"(
+libq:
+roi_begin:  mv x20, x14
+snoop_count: mv x21, x3
+round_loop:
+    mv  x17, x14
+    li  x2, 0
+tof_loop:
+del_load_tof: ld x9, 0(x17)
+    and x22, x9, x24
+    beq x22, x0, tof_skip
+    and x22, x9, x25
+    beq x22, x0, tof_skip
+    xor x9, x9, x26
+    sd  x9, 0(x17)
+tof_skip:
+    addi x17, x17, 16
+    addi x2, x2, 1
+    blt  x2, x3, tof_loop
+
+    mv  x17, x14
+    li  x2, 0
+sig_loop:
+del_load_sig: ld x9, 0(x17)
+    xor x9, x9, x26
+    sd  x9, 0(x17)
+    addi x17, x17, 16
+    addi x2, x2, 1
+    blt  x2, x3, sig_loop
+
+    addi x28, x28, 1
+    blt  x28, x29, round_loop
+    halt
+)";
+
+} // namespace
+
+Workload
+makeLibquantumWorkload(const LibquantumConfig& cfg)
+{
+    Workload w;
+    w.name = "libquantum";
+    w.mem = std::make_shared<SimMemory>();
+    Rng rng(cfg.seed);
+
+    Addr reg = w.mem->alloc(cfg.nodes * 16, 64);
+    for (std::uint64_t i = 0; i < cfg.nodes; ++i)
+        w.mem->write<std::uint64_t>(reg + i * 16, rng.next());
+
+    w.program = assemble(kLibqAsm);
+    w.entry = w.program.labelPc("libq");
+
+    w.init_regs = {
+        {3, cfg.nodes},
+        {14, reg},
+        {24, 1u << 3},  // c1 mask
+        {25, 1u << 7},  // c2 mask
+        {26, 1u << 11}, // target mask
+        {28, 0},
+        {29, cfg.rounds},
+    };
+
+    for (const char* key : {"roi_begin", "del_load_tof", "del_load_sig"})
+        w.pcs[key] = w.program.labelPc(key);
+    w.data = {{"reg", reg}};
+    w.meta = {{"nodes", cfg.nodes}, {"stride", 16}};
+    return w;
+}
+
+} // namespace pfm

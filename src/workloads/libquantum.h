@@ -1,0 +1,31 @@
+/**
+ * @file
+ * libquantum ROI (Figure 15): quantum_toffoli and quantum_sigma_x sweep a
+ * huge quantum-register state vector; each has one delinquent streaming
+ * load (marked B in the paper). Stride-regular but DRAM-resident.
+ */
+
+#ifndef PFM_WORKLOADS_LIBQUANTUM_H
+#define PFM_WORKLOADS_LIBQUANTUM_H
+
+#include "workloads/workload.h"
+
+namespace pfm {
+
+struct LibquantumConfig {
+    std::uint64_t nodes = 1u << 21;  ///< state-vector entries (16 B each)
+    unsigned rounds = 8;             ///< toffoli+sigma_x passes
+    std::uint64_t seed = 11;
+};
+
+/**
+ * Annotations:
+ *  pcs:  roi_begin, del_load_tof, del_load_sig, count_tof (== del_load_tof)
+ *  data: reg (state vector base)
+ *  meta: nodes, stride (16)
+ */
+Workload makeLibquantumWorkload(const LibquantumConfig& cfg = {});
+
+} // namespace pfm
+
+#endif // PFM_WORKLOADS_LIBQUANTUM_H

@@ -1,0 +1,77 @@
+#include "workloads/milc.h"
+
+#include <sstream>
+
+#include "common/rng.h"
+#include "isa/assembler.h"
+
+namespace pfm {
+
+namespace {
+
+/** x2 i, x3 sites, x4 round, x5 rounds, x14/x15/x16 a/b/c bases. */
+std::string
+buildMilcAsm(unsigned stride)
+{
+    std::ostringstream os;
+    os << "milc:\n"
+          "roi_begin: mv x20, x14\n"
+          "round_loop:\n"
+          "    mv  x17, x14\n"
+          "    mv  x18, x15\n"
+          "    mv  x19, x16\n"
+          "    li  x2, 0\n"
+          "site_loop:\n"
+          "del_a: fld f1, 0(x17)\n"
+          "del_b: fld f2, 0(x18)\n"
+          "    fld  f3, 8(x17)\n"
+          "    fld  f4, 8(x18)\n"
+          "    fmul f5, f1, f2\n"
+          "    fmul f6, f3, f4\n"
+          "    fsub f5, f5, f6\n"
+          "    fsd  f5, 0(x19)\n"
+       << "    addi x17, x17, " << stride << "\n"
+       << "    addi x18, x18, " << stride << "\n"
+       << "    addi x19, x19, " << stride << "\n"
+       << "    addi x2, x2, 1\n"
+          "    blt  x2, x3, site_loop\n"
+          "    addi x4, x4, 1\n"
+          "    blt  x4, x5, round_loop\n"
+          "    halt\n";
+    return os.str();
+}
+
+} // namespace
+
+Workload
+makeMilcWorkload(const MilcConfig& cfg)
+{
+    Workload w;
+    w.name = "milc";
+    w.mem = std::make_shared<SimMemory>();
+    Rng rng(cfg.seed);
+
+    std::uint64_t bytes = cfg.sites * cfg.stride;
+    Addr a = w.mem->alloc(bytes, 64);
+    Addr b = w.mem->alloc(bytes, 64);
+    Addr c = w.mem->alloc(bytes, 64);
+    for (std::uint64_t i = 0; i < cfg.sites; i += 97) {
+        w.mem->write<double>(a + i * cfg.stride, rng.real());
+        w.mem->write<double>(b + i * cfg.stride, rng.real());
+    }
+
+    w.program = assemble(buildMilcAsm(cfg.stride));
+    w.entry = w.program.labelPc("milc");
+
+    w.init_regs = {
+        {2, 0}, {3, cfg.sites}, {4, 0}, {5, cfg.rounds},
+        {14, a}, {15, b}, {16, c},
+    };
+    for (const char* key : {"roi_begin", "del_a", "del_b"})
+        w.pcs[key] = w.program.labelPc(key);
+    w.data = {{"a", a}, {"b", b}, {"c", c}};
+    w.meta = {{"sites", cfg.sites}, {"stride", cfg.stride}};
+    return w;
+}
+
+} // namespace pfm

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * milc-style ROI: several parallel streaming loads with a large constant
+ * stride (su3 matrix arrays). Each stream is libquantum-like; the custom
+ * prefetcher reuses the adaptive-distance design (Section 4.3).
+ */
+
+#ifndef PFM_WORKLOADS_MILC_H
+#define PFM_WORKLOADS_MILC_H
+
+#include "workloads/workload.h"
+
+namespace pfm {
+
+struct MilcConfig {
+    std::uint64_t sites = 1u << 18;  ///< lattice sites
+    unsigned stride = 144;           ///< su3 matrix stride in bytes
+    unsigned rounds = 6;
+    std::uint64_t seed = 19;
+};
+
+/**
+ * Annotations:
+ *  pcs:  roi_begin, del_a, del_b
+ *  data: a, b, c
+ *  meta: sites, stride
+ */
+Workload makeMilcWorkload(const MilcConfig& cfg = {});
+
+} // namespace pfm
+
+#endif // PFM_WORKLOADS_MILC_H

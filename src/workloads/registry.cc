@@ -1,0 +1,49 @@
+#include "workloads/registry.h"
+
+#include "common/log.h"
+#include "workloads/astar.h"
+#include "workloads/bfs.h"
+#include "workloads/bwaves.h"
+#include "workloads/lbm.h"
+#include "workloads/leslie.h"
+#include "workloads/libquantum.h"
+#include "workloads/milc.h"
+
+namespace pfm {
+
+Workload
+makeWorkload(const std::string& name)
+{
+    if (name == "astar")
+        return makeAstarWorkload();
+    if (name == "bfs-roads") {
+        BfsConfig cfg;
+        cfg.input = BfsInput::kRoads;
+        return makeBfsWorkload(cfg);
+    }
+    if (name == "bfs-youtube") {
+        BfsConfig cfg;
+        cfg.input = BfsInput::kYoutube;
+        return makeBfsWorkload(cfg);
+    }
+    if (name == "libquantum")
+        return makeLibquantumWorkload();
+    if (name == "bwaves")
+        return makeBwavesWorkload();
+    if (name == "lbm")
+        return makeLbmWorkload();
+    if (name == "milc")
+        return makeMilcWorkload();
+    if (name == "leslie")
+        return makeLeslieWorkload();
+    pfm_fatal("unknown workload '%s'", name.c_str());
+}
+
+std::vector<std::string>
+workloadNames()
+{
+    return {"astar", "bfs-roads", "bfs-youtube", "libquantum",
+            "bwaves", "lbm", "milc", "leslie"};
+}
+
+} // namespace pfm

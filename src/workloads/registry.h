@@ -1,0 +1,26 @@
+/**
+ * @file
+ * By-name workload factory used by the simulator driver, benches and
+ * examples.
+ */
+
+#ifndef PFM_WORKLOADS_REGISTRY_H
+#define PFM_WORKLOADS_REGISTRY_H
+
+#include <string>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace pfm {
+
+/** Names: astar, bfs-roads, bfs-youtube, libquantum, bwaves, lbm, milc,
+ *  leslie. Fatal on unknown names. */
+Workload makeWorkload(const std::string& name);
+
+/** All registered workload names. */
+std::vector<std::string> workloadNames();
+
+} // namespace pfm
+
+#endif // PFM_WORKLOADS_REGISTRY_H

@@ -1,0 +1,37 @@
+#include "workloads/workload.h"
+
+#include "common/log.h"
+
+namespace pfm {
+
+Addr
+Workload::pc(const std::string& key) const
+{
+    auto it = pcs.find(key);
+    if (it == pcs.end())
+        pfm_fatal("workload '%s': no PC annotation '%s'", name.c_str(),
+                  key.c_str());
+    return it->second;
+}
+
+Addr
+Workload::dataAddr(const std::string& key) const
+{
+    auto it = data.find(key);
+    if (it == data.end())
+        pfm_fatal("workload '%s': no data annotation '%s'", name.c_str(),
+                  key.c_str());
+    return it->second;
+}
+
+std::uint64_t
+Workload::metaVal(const std::string& key) const
+{
+    auto it = meta.find(key);
+    if (it == meta.end())
+        pfm_fatal("workload '%s': no metadata '%s'", name.c_str(),
+                  key.c_str());
+    return it->second;
+}
+
+} // namespace pfm

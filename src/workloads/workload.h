@@ -1,0 +1,47 @@
+/**
+ * @file
+ * A Workload bundles an assembled micro-ISA program, its initialized
+ * simulated memory image, entry state, and named annotations (PCs of
+ * snoopable instructions / FST branches, data-structure base addresses,
+ * and scalar metadata). Component factories consume the annotations the
+ * way a PFM configuration bitstream would.
+ */
+
+#ifndef PFM_WORKLOADS_WORKLOAD_H
+#define PFM_WORKLOADS_WORKLOAD_H
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "isa/program.h"
+#include "mem_sys/sim_memory.h"
+
+namespace pfm {
+
+struct Workload {
+    std::string name;
+    Program program;
+    std::shared_ptr<SimMemory> mem;
+    Addr entry = 0;
+
+    /** Initial architectural register values (unified indices). */
+    std::map<unsigned, RegVal> init_regs;
+
+    /** Named PCs: snoop points and FST branches ("br_way0", ...). */
+    std::map<std::string, Addr> pcs;
+
+    /** Named data-structure base addresses. */
+    std::map<std::string, Addr> data;
+
+    /** Scalar metadata (grid width, node counts, strides, ...). */
+    std::map<std::string, std::uint64_t> meta;
+
+    Addr pc(const std::string& key) const;
+    Addr dataAddr(const std::string& key) const;
+    std::uint64_t metaVal(const std::string& key) const;
+};
+
+} // namespace pfm
+
+#endif // PFM_WORKLOADS_WORKLOAD_H

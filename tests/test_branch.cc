@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Unit tests for the branch predictors: bimodal, gshare, TAGE, loop
+ * predictor and the TAGE-SC-L composite. Pattern-learning properties use
+ * accuracy thresholds rather than exact counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "branch/bimodal.h"
+#include "branch/gshare.h"
+#include "branch/loop_predictor.h"
+#include "branch/tage.h"
+#include "branch/tage_scl.h"
+#include "common/rng.h"
+
+namespace pfm {
+namespace {
+
+/** Run @p n outcomes of @p gen through @p bp; return accuracy. */
+double
+accuracy(BranchPredictor& bp, Addr pc, unsigned n,
+         const std::function<bool(unsigned)>& gen, unsigned warmup = 64)
+{
+    unsigned correct = 0, counted = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        bool taken = gen(i);
+        bool pred = bp.predict(pc);
+        bp.update(pc, taken);
+        if (i >= warmup) {
+            ++counted;
+            correct += (pred == taken) ? 1 : 0;
+        }
+    }
+    return static_cast<double>(correct) / counted;
+}
+
+TEST(Bimodal, LearnsStrongBias)
+{
+    BimodalPredictor bp;
+    double acc = accuracy(bp, 0x1000, 1000, [](unsigned) { return true; });
+    EXPECT_GT(acc, 0.99);
+}
+
+TEST(Bimodal, FailsOnAlternation)
+{
+    BimodalPredictor bp;
+    double acc =
+        accuracy(bp, 0x1000, 1000, [](unsigned i) { return i % 2 == 0; });
+    EXPECT_LT(acc, 0.7);
+}
+
+TEST(Gshare, LearnsAlternation)
+{
+    GsharePredictor bp;
+    double acc =
+        accuracy(bp, 0x1000, 2000, [](unsigned i) { return i % 2 == 0; });
+    EXPECT_GT(acc, 0.95);
+}
+
+TEST(Gshare, LearnsShortPeriodicPattern)
+{
+    GsharePredictor bp;
+    double acc = accuracy(bp, 0x1000, 4000,
+                          [](unsigned i) { return (i % 5) < 2; });
+    EXPECT_GT(acc, 0.9);
+}
+
+TEST(Tage, LearnsBias)
+{
+    TagePredictor bp;
+    double acc = accuracy(bp, 0x4000, 1000, [](unsigned) { return false; });
+    EXPECT_GT(acc, 0.98);
+}
+
+TEST(Tage, LearnsLongPeriodicPattern)
+{
+    TagePredictor bp;
+    double acc = accuracy(bp, 0x4000, 8000,
+                          [](unsigned i) { return (i % 24) == 7; },
+                          2000);
+    EXPECT_GT(acc, 0.95);
+}
+
+TEST(Tage, RandomStreamNearChance)
+{
+    TagePredictor bp;
+    Rng rng(3);
+    double acc = accuracy(bp, 0x4000, 8000,
+                          [&rng](unsigned) { return rng.chance(0.5); },
+                          1000);
+    EXPECT_LT(acc, 0.62);
+    EXPECT_GT(acc, 0.38);
+}
+
+TEST(Tage, TracksMultipleBranches)
+{
+    TagePredictor bp;
+    unsigned correct = 0, total = 0;
+    for (unsigned i = 0; i < 6000; ++i) {
+        for (Addr pc : {0x100, 0x200, 0x300}) {
+            bool taken = (pc == 0x100)   ? true
+                         : (pc == 0x200) ? (i % 2 == 0)
+                                         : (i % 7 < 3);
+            bool pred = bp.predict(pc);
+            bp.update(pc, taken);
+            if (i > 1000) {
+                ++total;
+                correct += pred == taken;
+            }
+        }
+    }
+    EXPECT_GT(static_cast<double>(correct) / total, 0.93);
+}
+
+TEST(LoopPredictor, LearnsConstantTripCount)
+{
+    LoopPredictor lp;
+    const Addr pc = 0x800;
+    unsigned correct = 0, counted = 0;
+    // Loop branch: taken 9 times, then not-taken (trip 10).
+    for (unsigned rep = 0; rep < 40; ++rep) {
+        for (unsigned i = 0; i < 10; ++i) {
+            bool taken = (i != 9);
+            bool valid, dir;
+            lp.lookup(pc, valid, dir);
+            if (rep > 20) {
+                ++counted;
+                if (valid && dir == taken)
+                    ++correct;
+            }
+            lp.update(pc, taken, /*tage_pred=*/true);
+        }
+    }
+    // Once confident it should be essentially perfect, including exits.
+    EXPECT_GT(static_cast<double>(correct) / counted, 0.95);
+}
+
+TEST(TageScl, LoopOverrideBeatsPlainTageOnConstantTrips)
+{
+    TageSclPredictor scl;
+    const Addr pc = 0x900;
+    unsigned mispredicts = 0;
+    for (unsigned rep = 0; rep < 200; ++rep) {
+        for (unsigned i = 0; i < 37; ++i) {
+            bool taken = (i != 36);
+            bool pred = scl.predict(pc);
+            if (rep > 100 && pred != taken)
+                ++mispredicts;
+            scl.update(pc, taken);
+        }
+    }
+    // 99 trailing reps x 37 iterations: nearly no mispredicts expected.
+    EXPECT_LT(mispredicts, 20u);
+}
+
+TEST(TageScl, HandlesBiasedStream)
+{
+    TageSclPredictor scl;
+    double acc = accuracy(scl, 0x1000, 2000, [](unsigned) { return true; });
+    EXPECT_GT(acc, 0.98);
+}
+
+TEST(TageScl, ResetForgets)
+{
+    TageSclPredictor scl;
+    accuracy(scl, 0x1000, 500, [](unsigned) { return true; });
+    scl.reset();
+    // After reset the first prediction must not crash and training resumes.
+    bool p = scl.predict(0x1000);
+    scl.update(0x1000, !p);
+    SUCCEED();
+}
+
+TEST(Tage, DataDependentAstarLikeBranchIsHard)
+{
+    // The motivating property: a branch whose outcome depends on dynamic
+    // worklist data is near-chance for TAGE. Synthesize outcomes from a
+    // hash of an RNG-driven "index" stream.
+    TagePredictor bp;
+    Rng rng(99);
+    double acc = accuracy(
+        bp, 0x2000, 10000,
+        [&rng](unsigned) { return (rng.next() & 7) < 3; }, 2000);
+    EXPECT_LT(acc, 0.68);
+}
+
+} // namespace
+} // namespace pfm

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Unit tests for the common substrate: circular queue, RNG, stats,
+ * bit utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitutils.h"
+#include "common/circular_queue.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace pfm {
+namespace {
+
+TEST(CircularQueue, PushPopFifoOrder)
+{
+    CircularQueue<int> q(4);
+    EXPECT_TRUE(q.empty());
+    q.push(1);
+    q.push(2);
+    q.push(3);
+    EXPECT_EQ(q.size(), 3u);
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_EQ(q.pop(), 2);
+    q.push(4);
+    q.push(5);
+    q.push(6);
+    EXPECT_TRUE(q.full());
+    EXPECT_EQ(q.pop(), 3);
+    EXPECT_EQ(q.pop(), 4);
+    EXPECT_EQ(q.pop(), 5);
+    EXPECT_EQ(q.pop(), 6);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(CircularQueue, WrapsAroundManyTimes)
+{
+    CircularQueue<int> q(3);
+    for (int round = 0; round < 100; ++round) {
+        q.push(round);
+        ASSERT_EQ(q.pop(), round);
+    }
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(CircularQueue, AtIndexesFromHead)
+{
+    CircularQueue<int> q(4);
+    q.push(10);
+    q.push(20);
+    q.push(30);
+    q.pop();
+    q.push(40);
+    EXPECT_EQ(q.at(0), 20);
+    EXPECT_EQ(q.at(1), 30);
+    EXPECT_EQ(q.at(2), 40);
+    EXPECT_EQ(q.front(), 20);
+    EXPECT_EQ(q.back(), 40);
+}
+
+TEST(CircularQueue, PopBackDropsYoungest)
+{
+    CircularQueue<int> q(4);
+    q.push(1);
+    q.push(2);
+    q.push(3);
+    q.popBack(2);
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.front(), 1);
+}
+
+TEST(CircularQueue, FreeSlotsTracksCapacity)
+{
+    CircularQueue<int> q(8);
+    EXPECT_EQ(q.freeSlots(), 8u);
+    q.push(1);
+    q.push(2);
+    EXPECT_EQ(q.freeSlots(), 6u);
+    q.clear();
+    EXPECT_EQ(q.freeSlots(), 8u);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RealInUnitInterval)
+{
+    Rng r(9);
+    for (int i = 0; i < 1000; ++i) {
+        double v = r.real();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, ChanceIsRoughlyCalibrated)
+{
+    Rng r(11);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += r.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Stats, CountersAccumulate)
+{
+    StatGroup g("test.");
+    ++g.counter("a");
+    g.counter("a") += 4;
+    EXPECT_EQ(g.get("a"), 5u);
+    EXPECT_EQ(g.get("missing"), 0u);
+}
+
+TEST(Stats, ResetClearsEverything)
+{
+    StatGroup g;
+    g.counter("x") += 7;
+    g.distribution("d").sample(3.0);
+    g.resetAll();
+    EXPECT_EQ(g.get("x"), 0u);
+    EXPECT_EQ(g.distribution("d").count(), 0u);
+}
+
+TEST(Stats, DistributionTracksMinMaxMean)
+{
+    Distribution d;
+    d.sample(1.0);
+    d.sample(3.0);
+    d.sample(2.0);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 3.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+    EXPECT_EQ(d.count(), 3u);
+}
+
+TEST(BitUtils, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+}
+
+TEST(BitUtils, IsPow2)
+{
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(64));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(48));
+}
+
+TEST(BitUtils, MaskAndBits)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(8), 0xFFu);
+    EXPECT_EQ(mask(64), ~std::uint64_t{0});
+    EXPECT_EQ(bits(0xABCD, 4, 8), 0xBCu);
+}
+
+TEST(BitUtils, SaturatingCounters)
+{
+    std::uint8_t c = 2;
+    satIncrement(c, 3);
+    satIncrement(c, 3);
+    EXPECT_EQ(c, 3);
+    satDecrement(c);
+    EXPECT_EQ(c, 2);
+    std::int8_t s = 0;
+    for (int i = 0; i < 10; ++i)
+        satUpdate(s, true, 3);
+    EXPECT_EQ(s, 3);
+    for (int i = 0; i < 10; ++i)
+        satUpdate(s, false, 3);
+    EXPECT_EQ(s, -4);
+}
+
+} // namespace
+} // namespace pfm

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * End-to-end custom-component tests on scaled-down workloads: the astar
+ * predictor and bfs component must slash MPKI and speed execution up; the
+ * FSM prefetchers must cut miss latency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace pfm {
+namespace {
+
+SimOptions
+fastOpts(const std::string& workload, const std::string& component)
+{
+    SimOptions o;
+    o.workload = workload;
+    o.component = component;
+    o.warmup_instructions = 50'000;
+    o.max_instructions = 400'000;
+    return o;
+}
+
+TEST(AstarComponent, SlashesMpkiAndSpeedsUp)
+{
+    SimResult base = runSim(fastOpts("astar", "none"));
+    SimResult with = runSim(fastOpts("astar", "auto"));
+
+    EXPECT_GT(base.mpki, 15.0) << "baseline astar must be mispredict-bound";
+    EXPECT_LT(with.mpki, base.mpki / 4.0);
+    EXPECT_GT(speedupPct(base, with), 40.0);
+}
+
+TEST(AstarComponent, SnoopPercentagesInPaperBallpark)
+{
+    SimResult with = runSim(fastOpts("astar", "auto"));
+    // Paper Table 2: RST 20.3%, FST 15.5%.
+    EXPECT_GT(with.rst_hit_pct, 8.0);
+    EXPECT_LT(with.rst_hit_pct, 40.0);
+    EXPECT_GT(with.fst_hit_pct, 8.0);
+    EXPECT_LT(with.fst_hit_pct, 30.0);
+}
+
+TEST(AstarComponent, LowBandwidthHurts)
+{
+    SimOptions narrow = fastOpts("astar", "auto");
+    applyTokens(narrow, "clk8_w1");
+    SimOptions wide = fastOpts("astar", "auto");
+    applyTokens(wide, "clk4_w4");
+    SimResult n = runSim(narrow);
+    SimResult w = runSim(wide);
+    EXPECT_GT(w.ipc, n.ipc * 1.2);
+}
+
+TEST(AstarComponent, SlipstreamVariantIsWeaker)
+{
+    SimResult base = runSim(fastOpts("astar", "none"));
+    SimResult slip = runSim(fastOpts("astar", "slipstream"));
+    SimResult full = runSim(fastOpts("astar", "auto"));
+    EXPECT_GT(full.ipc, slip.ipc);
+    EXPECT_GT(slip.mpki, full.mpki);
+    EXPECT_LT(slip.mpki, base.mpki); // still helps on branch 1
+}
+
+TEST(BfsComponent, SpeedsUpRoads)
+{
+    SimResult base = runSim(fastOpts("bfs-roads", "none"));
+    SimResult with = runSim(fastOpts("bfs-roads", "auto"));
+    EXPECT_GT(base.mpki, 8.0);
+    EXPECT_LT(with.mpki, base.mpki / 2.0);
+    EXPECT_GT(speedupPct(base, with), 20.0);
+}
+
+TEST(BfsComponent, WorksOnYoutubeInput)
+{
+    SimResult base = runSim(fastOpts("bfs-youtube", "none"));
+    SimResult with = runSim(fastOpts("bfs-youtube", "auto"));
+    EXPECT_GT(speedupPct(base, with), 5.0);
+}
+
+TEST(Prefetchers, LibquantumGainsFromCustomPrefetcher)
+{
+    SimResult base = runSim(fastOpts("libquantum", "none"));
+    SimResult with = runSim(fastOpts("libquantum", "auto"));
+    EXPECT_GT(speedupPct(base, with), 10.0);
+}
+
+TEST(Prefetchers, BwavesTransposedPatternNeedsCustomFsm)
+{
+    SimResult base = runSim(fastOpts("bwaves", "none"));
+    SimResult with = runSim(fastOpts("bwaves", "auto"));
+    EXPECT_GT(speedupPct(base, with), 10.0);
+}
+
+TEST(Prefetchers, LbmClusterPrefetchHelps)
+{
+    SimResult base = runSim(fastOpts("lbm", "none"));
+    SimResult with = runSim(fastOpts("lbm", "auto"));
+    EXPECT_GT(speedupPct(base, with), 5.0);
+}
+
+TEST(Prefetchers, MilcStreamsHelp)
+{
+    SimResult base = runSim(fastOpts("milc", "none"));
+    SimResult with = runSim(fastOpts("milc", "auto"));
+    EXPECT_GT(speedupPct(base, with), 5.0);
+}
+
+TEST(Prefetchers, LeslieMultiRoiHelps)
+{
+    SimResult base = runSim(fastOpts("leslie", "none"));
+    SimResult with = runSim(fastOpts("leslie", "auto"));
+    EXPECT_GT(speedupPct(base, with), 5.0);
+}
+
+TEST(Prefetchers, ResistantToClockDivider)
+{
+    SimOptions slow = fastOpts("libquantum", "auto");
+    applyTokens(slow, "clk8_w1");
+    SimOptions fast = fastOpts("libquantum", "auto");
+    applyTokens(fast, "clk1_w1");
+    SimResult s = runSim(slow);
+    SimResult f = runSim(fast);
+    // Figure 17: prefetch performance is resistant to C and W.
+    EXPECT_NEAR(s.ipc / f.ipc, 1.0, 0.15);
+}
+
+} // namespace
+} // namespace pfm

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Energy and FPGA-model tests: the structural estimator must land near
+ * the paper's Table 4 and the energy model must show the Figure 18
+ * effects (shorter runtime + fewer mispredicts => less energy).
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.h"
+#include "energy/fpga_model.h"
+
+namespace pfm {
+namespace {
+
+double
+relErr(double est, double ref)
+{
+    if (ref == 0)
+        return est == 0 ? 0 : 1e9;
+    return std::abs(est - ref) / std::abs(ref);
+}
+
+TEST(FpgaModel, AstarIsMuchBiggerThanPrefetchers)
+{
+    auto designs = paperTable4Designs();
+    FpgaEstimate astar = estimateFpga(designs[0]);
+    FpgaEstimate libq = estimateFpga(designs[2]);
+    EXPECT_GT(astar.luts, 10 * libq.luts);
+    EXPECT_GT(astar.ffs, 5 * libq.ffs);
+    EXPECT_LT(astar.freq_mhz, libq.freq_mhz);
+}
+
+TEST(FpgaModel, EstimatesTrackTable4WithinFactorOfTwo)
+{
+    auto designs = paperTable4Designs();
+    auto refs = paperTable4Reference();
+    ASSERT_EQ(designs.size(), refs.size());
+    for (size_t i = 0; i < designs.size(); ++i) {
+        SCOPED_TRACE(refs[i].name);
+        FpgaEstimate e = estimateFpga(designs[i]);
+        EXPECT_LT(relErr(static_cast<double>(e.luts),
+                         static_cast<double>(refs[i].luts)),
+                  1.0);
+        EXPECT_LT(relErr(static_cast<double>(e.ffs),
+                         static_cast<double>(refs[i].ffs)),
+                  1.0);
+        EXPECT_LT(relErr(e.freq_mhz, refs[i].freq_mhz), 0.35);
+        EXPECT_LT(relErr(e.static_mw, refs[i].static_mw), 0.1);
+    }
+}
+
+TEST(FpgaModel, AstarAltUsesBrams)
+{
+    auto designs = paperTable4Designs();
+    FpgaEstimate alt = estimateFpga(designs[1]);
+    EXPECT_GT(alt.brams, 10.0);
+    FpgaEstimate astar = estimateFpga(designs[0]);
+    EXPECT_EQ(astar.brams, 0.0);
+}
+
+TEST(FpgaModel, FrequencyDegradesWithCamSize)
+{
+    ComponentStructure small;
+    small.reg_bits = 100;
+    ComponentStructure big = small;
+    big.cam_bits = 4096;
+    EXPECT_GT(estimateFpga(small).freq_mhz, estimateFpga(big).freq_mhz);
+}
+
+TEST(EnergyModel, ShorterRuntimeCutsStaticEnergy)
+{
+    EnergyParams p;
+    StatGroup core("c."), l2("l2."), l3("l3."), dram("d.");
+    core.counter("fetched") += 1000;
+
+    EnergyBreakdown slow =
+        computeEnergy(p, 100000, core, l2, l3, dram, nullptr);
+    EnergyBreakdown fast =
+        computeEnergy(p, 40000, core, l2, l3, dram, nullptr);
+    EXPECT_LT(fast.core_static_nj, slow.core_static_nj);
+    EXPECT_DOUBLE_EQ(fast.core_dynamic_nj, slow.core_dynamic_nj);
+}
+
+TEST(EnergyModel, MispredictsCostEnergy)
+{
+    EnergyParams p;
+    StatGroup a("a."), l2("l2."), l3("l3."), dram("d.");
+    StatGroup b("b.");
+    a.counter("fetched") += 1000;
+    b.counter("fetched") += 1000;
+    b.counter("branch_mispredicts") += 100;
+    EnergyBreakdown ea = computeEnergy(p, 1000, a, l2, l3, dram, nullptr);
+    EnergyBreakdown eb = computeEnergy(p, 1000, b, l2, l3, dram, nullptr);
+    EXPECT_GT(eb.core_dynamic_nj, ea.core_dynamic_nj);
+}
+
+TEST(EnergyModel, RfPowerScalesWithRuntime)
+{
+    EnergyParams p;
+    StatGroup core("c."), l2("l2."), l3("l3."), dram("d.");
+    FpgaEstimate rf = estimateFpga(paperTable4Designs()[0]);
+    EnergyBreakdown e1 =
+        computeEnergy(p, 1'000'000, core, l2, l3, dram, &rf);
+    EnergyBreakdown e2 =
+        computeEnergy(p, 2'000'000, core, l2, l3, dram, &rf);
+    EXPECT_NEAR(e2.rf_nj / e1.rf_nj, 2.0, 0.01);
+    EXPECT_GT(e1.rf_nj, 0.0);
+}
+
+TEST(EnergyModel, PfmStyleRunUsesLessEnergyThanBaseline)
+{
+    // Figure 18's effect, synthesized: PFM run has ~2.5x fewer cycles and
+    // far fewer mispredicts, at the cost of RF power.
+    EnergyParams p;
+    StatGroup base("b."), l2("l2."), l3("l3."), dram("d.");
+    base.counter("fetched") += 1'000'000;
+    base.counter("dispatched") += 1'000'000;
+    base.counter("issued") += 1'100'000;
+    base.counter("branch_mispredicts") += 32'000;
+    EnergyBreakdown eb =
+        computeEnergy(p, 1'800'000, base, l2, l3, dram, nullptr);
+
+    StatGroup pfm_run("p.");
+    pfm_run.counter("fetched") += 1'000'000;
+    pfm_run.counter("dispatched") += 1'000'000;
+    pfm_run.counter("issued") += 1'100'000;
+    pfm_run.counter("branch_mispredicts") += 1'000;
+    FpgaEstimate rf = estimateFpga(paperTable4Designs()[0]);
+    EnergyBreakdown ep =
+        computeEnergy(p, 700'000, pfm_run, l2, l3, dram, &rf);
+
+    EXPECT_LT(ep.total_nj, eb.total_nj);
+}
+
+} // namespace
+} // namespace pfm

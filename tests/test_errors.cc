@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Error-path tests: user errors must fail fast with clear diagnostics
+ * (pfm_fatal) and simulator-bug traps must fire (pfm_assert). Uses gtest
+ * death tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/circular_queue.h"
+#include "isa/assembler.h"
+#include "sim/options.h"
+#include "workloads/registry.h"
+
+namespace pfm {
+namespace {
+
+using ErrorDeathTest = ::testing::Test;
+
+TEST(ErrorDeathTest, AssemblerRejectsUnknownMnemonic)
+{
+    EXPECT_EXIT(assemble("  frobnicate x1, x2\n"),
+                ::testing::ExitedWithCode(1), "unknown mnemonic");
+}
+
+TEST(ErrorDeathTest, AssemblerRejectsUndefinedLabel)
+{
+    EXPECT_EXIT(assemble("  j nowhere\n"), ::testing::ExitedWithCode(1),
+                "undefined label");
+}
+
+TEST(ErrorDeathTest, AssemblerRejectsBadRegister)
+{
+    EXPECT_EXIT(assemble("  addi x99, x0, 1\n"),
+                ::testing::ExitedWithCode(1), "bad register");
+}
+
+TEST(ErrorDeathTest, AssemblerRejectsDuplicateLabel)
+{
+    EXPECT_DEATH(assemble("a:\n  nop\na:\n  nop\n"), "duplicate label");
+}
+
+TEST(ErrorDeathTest, AssemblerReportsLineNumbers)
+{
+    EXPECT_EXIT(assemble("  nop\n  nop\n  bogus x1\n"),
+                ::testing::ExitedWithCode(1), "line 3");
+}
+
+TEST(ErrorDeathTest, UnknownWorkloadIsFatal)
+{
+    EXPECT_EXIT(makeWorkload("doom"), ::testing::ExitedWithCode(1),
+                "unknown workload");
+}
+
+TEST(ErrorDeathTest, UnknownTokenIsFatal)
+{
+    SimOptions o;
+    EXPECT_EXIT(applyToken(o, "clkX"), ::testing::ExitedWithCode(1),
+                "bad clk token");
+    EXPECT_EXIT(applyToken(o, "frobnicate"), ::testing::ExitedWithCode(1),
+                "unknown parameter token");
+}
+
+TEST(ErrorDeathTest, QueueOverflowIsABug)
+{
+    CircularQueue<int> q(1);
+    q.push(1);
+    EXPECT_DEATH(q.push(2), "push to full queue");
+}
+
+TEST(ErrorDeathTest, QueueUnderflowIsABug)
+{
+    CircularQueue<int> q(1);
+    EXPECT_DEATH(q.pop(), "pop from empty queue");
+}
+
+TEST(ErrorDeathTest, WorkloadMissingAnnotationIsFatal)
+{
+    Workload w = makeWorkload("astar");
+    EXPECT_EXIT(w.pc("no_such_marker"), ::testing::ExitedWithCode(1),
+                "no PC annotation");
+    EXPECT_EXIT(w.dataAddr("no_such_array"), ::testing::ExitedWithCode(1),
+                "no data annotation");
+}
+
+} // namespace
+} // namespace pfm

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Tests for statistics export and configuration printing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats_io.h"
+
+namespace pfm {
+namespace {
+
+TEST(StatsCsv, EmitsHeaderAndRows)
+{
+    StatGroup a("core."), b("mem.");
+    a.counter("retired") += 123;
+    a.counter("cycles") += 456;
+    b.counter("misses") += 7;
+
+    std::ostringstream os;
+    writeStatsCsv(os, {&a, &b});
+    std::string out = os.str();
+    EXPECT_NE(out.find("stat,value\n"), std::string::npos);
+    EXPECT_NE(out.find("core.retired,123\n"), std::string::npos);
+    EXPECT_NE(out.find("core.cycles,456\n"), std::string::npos);
+    EXPECT_NE(out.find("mem.misses,7\n"), std::string::npos);
+}
+
+TEST(StatsCsv, SkipsNullGroups)
+{
+    StatGroup a("x.");
+    a.counter("v") += 1;
+    std::ostringstream os;
+    writeStatsCsv(os, {nullptr, &a, nullptr});
+    EXPECT_NE(os.str().find("x.v,1"), std::string::npos);
+}
+
+TEST(ConfigSummary, MatchesTable1Defaults)
+{
+    CoreParams core;
+    HierarchyParams mem;
+    std::string s = configSummary(core, mem);
+    EXPECT_NE(s.find("10 stages"), std::string::npos);
+    EXPECT_NE(s.find("4/4 instr/cycle"), std::string::npos);
+    EXPECT_NE(s.find("8 instr/cycle"), std::string::npos);
+    EXPECT_NE(s.find("224/100/72/72/288"), std::string::npos);
+    EXPECT_NE(s.find("32KB, 8-way"), std::string::npos);
+    EXPECT_NE(s.find("TAGE-SC-L"), std::string::npos);
+    EXPECT_NE(s.find("next-2-line"), std::string::npos);
+    EXPECT_NE(s.find("VLDP"), std::string::npos);
+    EXPECT_NE(s.find("250 cycles"), std::string::npos);
+}
+
+TEST(ConfigSummary, ReflectsOverrides)
+{
+    CoreParams core;
+    core.bp_kind = BpKind::kPerfect;
+    HierarchyParams mem;
+    mem.vldp_enabled = false;
+    std::string s = configSummary(core, mem);
+    EXPECT_NE(s.find("perfect (oracle)"), std::string::npos);
+    EXPECT_NE(s.find("disabled"), std::string::npos);
+}
+
+TEST(PfmSummary, IncludesOptionalFlags)
+{
+    PfmParams p;
+    EXPECT_EQ(pfmSummary(p), "clk4_w4 delay0 queue32 portALL mlb64");
+    p.watchdog_cycles = 500;
+    p.non_stalling_fetch = true;
+    std::string s = pfmSummary(p);
+    EXPECT_NE(s.find("watchdog500"), std::string::npos);
+    EXPECT_NE(s.find("nonstall"), std::string::npos);
+}
+
+} // namespace
+} // namespace pfm

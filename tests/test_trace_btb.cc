@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Tests for the BTB/RAS front-end model and the Konata pipeline tracer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "branch/btb.h"
+#include "core/core.h"
+#include "isa/assembler.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+
+namespace pfm {
+namespace {
+
+TEST(Btb, MissThenHit)
+{
+    Btb btb;
+    EXPECT_EQ(btb.lookup(0x1000), kBadAddr);
+    btb.update(0x1000, 0x2000);
+    EXPECT_EQ(btb.lookup(0x1000), 0x2000u);
+}
+
+TEST(Btb, UpdateOverwritesTarget)
+{
+    Btb btb;
+    btb.update(0x1000, 0x2000);
+    btb.update(0x1000, 0x3000);
+    EXPECT_EQ(btb.lookup(0x1000), 0x3000u);
+}
+
+TEST(Btb, SetConflictEvictsLru)
+{
+    BtbParams p;
+    p.sets = 1;
+    p.ways = 2;
+    Btb btb(p);
+    btb.update(0x100, 0xA);
+    btb.update(0x200, 0xB);
+    btb.lookup(0x100);        // 0x200 becomes LRU
+    btb.update(0x300, 0xC);   // evicts 0x200
+    EXPECT_EQ(btb.lookup(0x100), 0xAu);
+    EXPECT_EQ(btb.lookup(0x200), kBadAddr);
+    EXPECT_EQ(btb.lookup(0x300), 0xCu);
+}
+
+TEST(Ras, PushPopLifoOrder)
+{
+    ReturnAddressStack ras(4);
+    ras.push(0x10);
+    ras.push(0x20);
+    EXPECT_EQ(ras.pop(), 0x20u);
+    EXPECT_EQ(ras.pop(), 0x10u);
+    EXPECT_EQ(ras.pop(), kBadAddr);
+}
+
+TEST(Ras, OverflowWrapsKeepingNewest)
+{
+    ReturnAddressStack ras(2);
+    ras.push(0x10);
+    ras.push(0x20);
+    ras.push(0x30); // overwrites 0x10
+    EXPECT_EQ(ras.pop(), 0x30u);
+    EXPECT_EQ(ras.pop(), 0x20u);
+    EXPECT_EQ(ras.pop(), kBadAddr);
+}
+
+struct CoreRun {
+    std::unique_ptr<SimMemory> mem;
+    std::unique_ptr<Program> prog;
+    std::unique_ptr<FunctionalEngine> engine;
+    std::unique_ptr<Hierarchy> hier;
+    std::unique_ptr<Core> core;
+
+    void
+    build(const std::string& src, CoreParams cp = {})
+    {
+        mem = std::make_unique<SimMemory>();
+        prog = std::make_unique<Program>(assemble(src));
+        engine = std::make_unique<FunctionalEngine>(*prog, *mem);
+        engine->reset(prog->base());
+        hier = std::make_unique<Hierarchy>(HierarchyParams{});
+        core = std::make_unique<Core>(cp, *engine, *hier);
+    }
+
+    void
+    run()
+    {
+        while (!core->done())
+            core->tick();
+    }
+};
+
+TEST(BtbCore, CallReturnPairsPredictPerfectlyViaRas)
+{
+    CoreRun r;
+    r.build("  li x2, 300\n"
+            "loop:\n"
+            "  call fn\n"
+            "  addi x2, x2, -1\n"
+            "  bne x2, x0, loop\n"
+            "  halt\n"
+            "fn:\n"
+            "  addi x3, x3, 1\n"
+            "  ret\n");
+    r.run();
+    EXPECT_EQ(r.core->stats().get("ras_mispredicts"), 0u);
+    // First taken encounter fills the BTB; afterwards it hits.
+    EXPECT_LE(r.core->stats().get("btb_misses"), 4u);
+}
+
+TEST(BtbCore, BtbWarmupCostsBubblesOnce)
+{
+    CoreRun r;
+    r.build("  li x2, 100\n"
+            "loop:\n"
+            "  addi x2, x2, -1\n"
+            "  bne x2, x0, loop\n"
+            "  halt\n");
+    r.run();
+    // The loop backedge misses the BTB exactly once.
+    EXPECT_LE(r.core->stats().get("btb_misses"), 2u);
+}
+
+TEST(BtbCore, DisablingBtbModelRemovesBubbles)
+{
+    CoreParams cp;
+    cp.model_btb = false;
+    CoreRun with, without;
+    std::string prog = "  li x2, 500\n"
+                       "loop:\n"
+                       "  addi x2, x2, -1\n"
+                       "  bne x2, x0, loop\n"
+                       "  halt\n";
+    with.build(prog);
+    without.build(prog, cp);
+    with.run();
+    without.run();
+    EXPECT_EQ(without.core->stats().get("btb_misses"), 0u);
+    EXPECT_LE(without.core->cycle(), with.core->cycle());
+}
+
+TEST(Tracer, EmitsWellFormedKanataLog)
+{
+    std::string path = ::testing::TempDir() + "/pfm_trace_test.kanata";
+    {
+        CoreRun r;
+        r.build("  li x1, 10\n"
+                "loop:\n"
+                "  addi x1, x1, -1\n"
+                "  bne x1, x0, loop\n"
+                "  halt\n");
+        PipelineTracer tracer(path, 0);
+        r.core->setTracer(&tracer);
+        r.run();
+        EXPECT_GT(tracer.traced(), 20u);
+    }
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "Kanata\t0004");
+
+    unsigned begins = 0, retires = 0, stages = 0;
+    while (std::getline(in, line)) {
+        if (line.rfind("I\t", 0) == 0)
+            ++begins;
+        else if (line.rfind("R\t", 0) == 0)
+            ++retires;
+        else if (line.rfind("S\t", 0) == 0)
+            ++stages;
+    }
+    EXPECT_EQ(begins, retires);
+    EXPECT_GT(stages, begins); // at least fetch + one more stage each
+    std::remove(path.c_str());
+}
+
+TEST(Tracer, LimitCapsTracedInstructions)
+{
+    std::string path = ::testing::TempDir() + "/pfm_trace_limit.kanata";
+    {
+        CoreRun r;
+        std::ostringstream os;
+        for (int i = 0; i < 200; ++i)
+            os << "  addi x1, x1, 1\n";
+        os << "  halt\n";
+        r.build(os.str());
+        PipelineTracer tracer(path, 10);
+        r.core->setTracer(&tracer);
+        r.run();
+        EXPECT_EQ(tracer.traced(), 10u);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Tracer, WorksThroughSimulatorOption)
+{
+    std::string path = ::testing::TempDir() + "/pfm_trace_sim.kanata";
+    SimOptions o;
+    o.workload = "astar";
+    o.component = "auto";
+    o.warmup_instructions = 2'000;
+    o.max_instructions = 20'000;
+    o.trace_path = path;
+    o.trace_limit = 5'000;
+    runSim(o);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string first;
+    std::getline(in, first);
+    EXPECT_EQ(first, "Kanata\t0004");
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace pfm
