@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_astar_design.dir/ablation_astar_design.cc.o"
+  "CMakeFiles/ablation_astar_design.dir/ablation_astar_design.cc.o.d"
+  "ablation_astar_design"
+  "ablation_astar_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_astar_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

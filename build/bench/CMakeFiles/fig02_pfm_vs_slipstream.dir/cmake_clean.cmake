@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_pfm_vs_slipstream.dir/fig02_pfm_vs_slipstream.cc.o"
+  "CMakeFiles/fig02_pfm_vs_slipstream.dir/fig02_pfm_vs_slipstream.cc.o.d"
+  "fig02_pfm_vs_slipstream"
+  "fig02_pfm_vs_slipstream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_pfm_vs_slipstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_astar_dqp.dir/fig09_astar_dqp.cc.o"
+  "CMakeFiles/fig09_astar_dqp.dir/fig09_astar_dqp.cc.o.d"
+  "fig09_astar_dqp"
+  "fig09_astar_dqp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_astar_dqp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

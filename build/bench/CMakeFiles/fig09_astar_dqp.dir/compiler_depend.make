@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig09_astar_dqp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_astar_dqp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_astar_scope.dir/fig10_astar_scope.cc.o"
+  "CMakeFiles/fig10_astar_scope.dir/fig10_astar_scope.cc.o.d"
+  "fig10_astar_scope"
+  "fig10_astar_scope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_astar_scope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

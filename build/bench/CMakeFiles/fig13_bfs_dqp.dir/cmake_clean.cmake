@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_bfs_dqp.dir/fig13_bfs_dqp.cc.o"
+  "CMakeFiles/fig13_bfs_dqp.dir/fig13_bfs_dqp.cc.o.d"
+  "fig13_bfs_dqp"
+  "fig13_bfs_dqp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_bfs_dqp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_bfs_scope.dir/fig14_bfs_scope.cc.o"
+  "CMakeFiles/fig14_bfs_scope.dir/fig14_bfs_scope.cc.o.d"
+  "fig14_bfs_scope"
+  "fig14_bfs_scope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_bfs_scope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_prefetchers.dir/fig17_prefetchers.cc.o"
+  "CMakeFiles/fig17_prefetchers.dir/fig17_prefetchers.cc.o.d"
+  "fig17_prefetchers"
+  "fig17_prefetchers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_prefetchers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_astar_snoop.dir/table2_astar_snoop.cc.o"
+  "CMakeFiles/table2_astar_snoop.dir/table2_astar_snoop.cc.o.d"
+  "table2_astar_snoop"
+  "table2_astar_snoop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_astar_snoop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_bfs_snoop.dir/table3_bfs_snoop.cc.o"
+  "CMakeFiles/table3_bfs_snoop.dir/table3_bfs_snoop.cc.o.d"
+  "table3_bfs_snoop"
+  "table3_bfs_snoop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_bfs_snoop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_fpga_cost.dir/table4_fpga_cost.cc.o"
+  "CMakeFiles/table4_fpga_cost.dir/table4_fpga_cost.cc.o.d"
+  "table4_fpga_cost"
+  "table4_fpga_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_fpga_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_predictor_tour.dir/custom_predictor_tour.cc.o"
+  "CMakeFiles/custom_predictor_tour.dir/custom_predictor_tour.cc.o.d"
+  "custom_predictor_tour"
+  "custom_predictor_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_predictor_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

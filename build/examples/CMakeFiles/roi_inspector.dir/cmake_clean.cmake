@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roi_inspector.dir/roi_inspector.cc.o"
+  "CMakeFiles/roi_inspector.dir/roi_inspector.cc.o.d"
+  "roi_inspector"
+  "roi_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roi_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/watchdog_chicken_switch.cc" "examples/CMakeFiles/watchdog_chicken_switch.dir/watchdog_chicken_switch.cc.o" "gcc" "examples/CMakeFiles/watchdog_chicken_switch.dir/watchdog_chicken_switch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pfm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfm_components.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfm_pfm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfm_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfm_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfm_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfm_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

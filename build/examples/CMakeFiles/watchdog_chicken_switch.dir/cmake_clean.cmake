@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/watchdog_chicken_switch.dir/watchdog_chicken_switch.cc.o"
+  "CMakeFiles/watchdog_chicken_switch.dir/watchdog_chicken_switch.cc.o.d"
+  "watchdog_chicken_switch"
+  "watchdog_chicken_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/watchdog_chicken_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for watchdog_chicken_switch.
+# This may be replaced when dependencies are built.

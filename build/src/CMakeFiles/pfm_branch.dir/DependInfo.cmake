@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/branch/bimodal.cc" "src/CMakeFiles/pfm_branch.dir/branch/bimodal.cc.o" "gcc" "src/CMakeFiles/pfm_branch.dir/branch/bimodal.cc.o.d"
+  "/root/repo/src/branch/btb.cc" "src/CMakeFiles/pfm_branch.dir/branch/btb.cc.o" "gcc" "src/CMakeFiles/pfm_branch.dir/branch/btb.cc.o.d"
+  "/root/repo/src/branch/gshare.cc" "src/CMakeFiles/pfm_branch.dir/branch/gshare.cc.o" "gcc" "src/CMakeFiles/pfm_branch.dir/branch/gshare.cc.o.d"
+  "/root/repo/src/branch/loop_predictor.cc" "src/CMakeFiles/pfm_branch.dir/branch/loop_predictor.cc.o" "gcc" "src/CMakeFiles/pfm_branch.dir/branch/loop_predictor.cc.o.d"
+  "/root/repo/src/branch/statistical_corrector.cc" "src/CMakeFiles/pfm_branch.dir/branch/statistical_corrector.cc.o" "gcc" "src/CMakeFiles/pfm_branch.dir/branch/statistical_corrector.cc.o.d"
+  "/root/repo/src/branch/tage.cc" "src/CMakeFiles/pfm_branch.dir/branch/tage.cc.o" "gcc" "src/CMakeFiles/pfm_branch.dir/branch/tage.cc.o.d"
+  "/root/repo/src/branch/tage_scl.cc" "src/CMakeFiles/pfm_branch.dir/branch/tage_scl.cc.o" "gcc" "src/CMakeFiles/pfm_branch.dir/branch/tage_scl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pfm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

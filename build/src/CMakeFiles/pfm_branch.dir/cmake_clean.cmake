@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfm_branch.dir/branch/bimodal.cc.o"
+  "CMakeFiles/pfm_branch.dir/branch/bimodal.cc.o.d"
+  "CMakeFiles/pfm_branch.dir/branch/btb.cc.o"
+  "CMakeFiles/pfm_branch.dir/branch/btb.cc.o.d"
+  "CMakeFiles/pfm_branch.dir/branch/gshare.cc.o"
+  "CMakeFiles/pfm_branch.dir/branch/gshare.cc.o.d"
+  "CMakeFiles/pfm_branch.dir/branch/loop_predictor.cc.o"
+  "CMakeFiles/pfm_branch.dir/branch/loop_predictor.cc.o.d"
+  "CMakeFiles/pfm_branch.dir/branch/statistical_corrector.cc.o"
+  "CMakeFiles/pfm_branch.dir/branch/statistical_corrector.cc.o.d"
+  "CMakeFiles/pfm_branch.dir/branch/tage.cc.o"
+  "CMakeFiles/pfm_branch.dir/branch/tage.cc.o.d"
+  "CMakeFiles/pfm_branch.dir/branch/tage_scl.cc.o"
+  "CMakeFiles/pfm_branch.dir/branch/tage_scl.cc.o.d"
+  "libpfm_branch.a"
+  "libpfm_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfm_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfm_common.dir/common/log.cc.o"
+  "CMakeFiles/pfm_common.dir/common/log.cc.o.d"
+  "CMakeFiles/pfm_common.dir/common/stats.cc.o"
+  "CMakeFiles/pfm_common.dir/common/stats.cc.o.d"
+  "libpfm_common.a"
+  "libpfm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/components/astar_alt_predictor.cc" "src/CMakeFiles/pfm_components.dir/components/astar_alt_predictor.cc.o" "gcc" "src/CMakeFiles/pfm_components.dir/components/astar_alt_predictor.cc.o.d"
+  "/root/repo/src/components/astar_predictor.cc" "src/CMakeFiles/pfm_components.dir/components/astar_predictor.cc.o" "gcc" "src/CMakeFiles/pfm_components.dir/components/astar_predictor.cc.o.d"
+  "/root/repo/src/components/bfs_component.cc" "src/CMakeFiles/pfm_components.dir/components/bfs_component.cc.o" "gcc" "src/CMakeFiles/pfm_components.dir/components/bfs_component.cc.o.d"
+  "/root/repo/src/components/bwaves_prefetcher.cc" "src/CMakeFiles/pfm_components.dir/components/bwaves_prefetcher.cc.o" "gcc" "src/CMakeFiles/pfm_components.dir/components/bwaves_prefetcher.cc.o.d"
+  "/root/repo/src/components/lbm_prefetcher.cc" "src/CMakeFiles/pfm_components.dir/components/lbm_prefetcher.cc.o" "gcc" "src/CMakeFiles/pfm_components.dir/components/lbm_prefetcher.cc.o.d"
+  "/root/repo/src/components/leslie_prefetcher.cc" "src/CMakeFiles/pfm_components.dir/components/leslie_prefetcher.cc.o" "gcc" "src/CMakeFiles/pfm_components.dir/components/leslie_prefetcher.cc.o.d"
+  "/root/repo/src/components/libquantum_prefetcher.cc" "src/CMakeFiles/pfm_components.dir/components/libquantum_prefetcher.cc.o" "gcc" "src/CMakeFiles/pfm_components.dir/components/libquantum_prefetcher.cc.o.d"
+  "/root/repo/src/components/milc_prefetcher.cc" "src/CMakeFiles/pfm_components.dir/components/milc_prefetcher.cc.o" "gcc" "src/CMakeFiles/pfm_components.dir/components/milc_prefetcher.cc.o.d"
+  "/root/repo/src/components/prefetch_engine.cc" "src/CMakeFiles/pfm_components.dir/components/prefetch_engine.cc.o" "gcc" "src/CMakeFiles/pfm_components.dir/components/prefetch_engine.cc.o.d"
+  "/root/repo/src/components/slipstream.cc" "src/CMakeFiles/pfm_components.dir/components/slipstream.cc.o" "gcc" "src/CMakeFiles/pfm_components.dir/components/slipstream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pfm_pfm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfm_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfm_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfm_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfm_components.dir/components/astar_alt_predictor.cc.o"
+  "CMakeFiles/pfm_components.dir/components/astar_alt_predictor.cc.o.d"
+  "CMakeFiles/pfm_components.dir/components/astar_predictor.cc.o"
+  "CMakeFiles/pfm_components.dir/components/astar_predictor.cc.o.d"
+  "CMakeFiles/pfm_components.dir/components/bfs_component.cc.o"
+  "CMakeFiles/pfm_components.dir/components/bfs_component.cc.o.d"
+  "CMakeFiles/pfm_components.dir/components/bwaves_prefetcher.cc.o"
+  "CMakeFiles/pfm_components.dir/components/bwaves_prefetcher.cc.o.d"
+  "CMakeFiles/pfm_components.dir/components/lbm_prefetcher.cc.o"
+  "CMakeFiles/pfm_components.dir/components/lbm_prefetcher.cc.o.d"
+  "CMakeFiles/pfm_components.dir/components/leslie_prefetcher.cc.o"
+  "CMakeFiles/pfm_components.dir/components/leslie_prefetcher.cc.o.d"
+  "CMakeFiles/pfm_components.dir/components/libquantum_prefetcher.cc.o"
+  "CMakeFiles/pfm_components.dir/components/libquantum_prefetcher.cc.o.d"
+  "CMakeFiles/pfm_components.dir/components/milc_prefetcher.cc.o"
+  "CMakeFiles/pfm_components.dir/components/milc_prefetcher.cc.o.d"
+  "CMakeFiles/pfm_components.dir/components/prefetch_engine.cc.o"
+  "CMakeFiles/pfm_components.dir/components/prefetch_engine.cc.o.d"
+  "CMakeFiles/pfm_components.dir/components/slipstream.cc.o"
+  "CMakeFiles/pfm_components.dir/components/slipstream.cc.o.d"
+  "libpfm_components.a"
+  "libpfm_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfm_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/core.cc" "src/CMakeFiles/pfm_core.dir/core/core.cc.o" "gcc" "src/CMakeFiles/pfm_core.dir/core/core.cc.o.d"
+  "/root/repo/src/core/core_fetch.cc" "src/CMakeFiles/pfm_core.dir/core/core_fetch.cc.o" "gcc" "src/CMakeFiles/pfm_core.dir/core/core_fetch.cc.o.d"
+  "/root/repo/src/core/core_issue.cc" "src/CMakeFiles/pfm_core.dir/core/core_issue.cc.o" "gcc" "src/CMakeFiles/pfm_core.dir/core/core_issue.cc.o.d"
+  "/root/repo/src/core/core_retire.cc" "src/CMakeFiles/pfm_core.dir/core/core_retire.cc.o" "gcc" "src/CMakeFiles/pfm_core.dir/core/core_retire.cc.o.d"
+  "/root/repo/src/core/rename.cc" "src/CMakeFiles/pfm_core.dir/core/rename.cc.o" "gcc" "src/CMakeFiles/pfm_core.dir/core/rename.cc.o.d"
+  "/root/repo/src/core/store_sets.cc" "src/CMakeFiles/pfm_core.dir/core/store_sets.cc.o" "gcc" "src/CMakeFiles/pfm_core.dir/core/store_sets.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pfm_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfm_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfm_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

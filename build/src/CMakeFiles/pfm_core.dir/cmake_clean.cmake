@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfm_core.dir/core/core.cc.o"
+  "CMakeFiles/pfm_core.dir/core/core.cc.o.d"
+  "CMakeFiles/pfm_core.dir/core/core_fetch.cc.o"
+  "CMakeFiles/pfm_core.dir/core/core_fetch.cc.o.d"
+  "CMakeFiles/pfm_core.dir/core/core_issue.cc.o"
+  "CMakeFiles/pfm_core.dir/core/core_issue.cc.o.d"
+  "CMakeFiles/pfm_core.dir/core/core_retire.cc.o"
+  "CMakeFiles/pfm_core.dir/core/core_retire.cc.o.d"
+  "CMakeFiles/pfm_core.dir/core/rename.cc.o"
+  "CMakeFiles/pfm_core.dir/core/rename.cc.o.d"
+  "CMakeFiles/pfm_core.dir/core/store_sets.cc.o"
+  "CMakeFiles/pfm_core.dir/core/store_sets.cc.o.d"
+  "libpfm_core.a"
+  "libpfm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfm_energy.dir/energy/energy_model.cc.o"
+  "CMakeFiles/pfm_energy.dir/energy/energy_model.cc.o.d"
+  "CMakeFiles/pfm_energy.dir/energy/fpga_model.cc.o"
+  "CMakeFiles/pfm_energy.dir/energy/fpga_model.cc.o.d"
+  "libpfm_energy.a"
+  "libpfm_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfm_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

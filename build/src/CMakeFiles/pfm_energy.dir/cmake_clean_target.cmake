@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpfm_energy.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/assembler.cc" "src/CMakeFiles/pfm_isa.dir/isa/assembler.cc.o" "gcc" "src/CMakeFiles/pfm_isa.dir/isa/assembler.cc.o.d"
+  "/root/repo/src/isa/functional_engine.cc" "src/CMakeFiles/pfm_isa.dir/isa/functional_engine.cc.o" "gcc" "src/CMakeFiles/pfm_isa.dir/isa/functional_engine.cc.o.d"
+  "/root/repo/src/isa/opcode.cc" "src/CMakeFiles/pfm_isa.dir/isa/opcode.cc.o" "gcc" "src/CMakeFiles/pfm_isa.dir/isa/opcode.cc.o.d"
+  "/root/repo/src/isa/program.cc" "src/CMakeFiles/pfm_isa.dir/isa/program.cc.o" "gcc" "src/CMakeFiles/pfm_isa.dir/isa/program.cc.o.d"
+  "/root/repo/src/mem_sys/commit_log.cc" "src/CMakeFiles/pfm_isa.dir/mem_sys/commit_log.cc.o" "gcc" "src/CMakeFiles/pfm_isa.dir/mem_sys/commit_log.cc.o.d"
+  "/root/repo/src/mem_sys/sim_memory.cc" "src/CMakeFiles/pfm_isa.dir/mem_sys/sim_memory.cc.o" "gcc" "src/CMakeFiles/pfm_isa.dir/mem_sys/sim_memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pfm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfm_isa.dir/isa/assembler.cc.o"
+  "CMakeFiles/pfm_isa.dir/isa/assembler.cc.o.d"
+  "CMakeFiles/pfm_isa.dir/isa/functional_engine.cc.o"
+  "CMakeFiles/pfm_isa.dir/isa/functional_engine.cc.o.d"
+  "CMakeFiles/pfm_isa.dir/isa/opcode.cc.o"
+  "CMakeFiles/pfm_isa.dir/isa/opcode.cc.o.d"
+  "CMakeFiles/pfm_isa.dir/isa/program.cc.o"
+  "CMakeFiles/pfm_isa.dir/isa/program.cc.o.d"
+  "CMakeFiles/pfm_isa.dir/mem_sys/commit_log.cc.o"
+  "CMakeFiles/pfm_isa.dir/mem_sys/commit_log.cc.o.d"
+  "CMakeFiles/pfm_isa.dir/mem_sys/sim_memory.cc.o"
+  "CMakeFiles/pfm_isa.dir/mem_sys/sim_memory.cc.o.d"
+  "libpfm_isa.a"
+  "libpfm_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfm_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

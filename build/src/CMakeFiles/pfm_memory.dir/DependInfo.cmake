@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memory/cache.cc" "src/CMakeFiles/pfm_memory.dir/memory/cache.cc.o" "gcc" "src/CMakeFiles/pfm_memory.dir/memory/cache.cc.o.d"
+  "/root/repo/src/memory/dram.cc" "src/CMakeFiles/pfm_memory.dir/memory/dram.cc.o" "gcc" "src/CMakeFiles/pfm_memory.dir/memory/dram.cc.o.d"
+  "/root/repo/src/memory/hierarchy.cc" "src/CMakeFiles/pfm_memory.dir/memory/hierarchy.cc.o" "gcc" "src/CMakeFiles/pfm_memory.dir/memory/hierarchy.cc.o.d"
+  "/root/repo/src/memory/next_n_line.cc" "src/CMakeFiles/pfm_memory.dir/memory/next_n_line.cc.o" "gcc" "src/CMakeFiles/pfm_memory.dir/memory/next_n_line.cc.o.d"
+  "/root/repo/src/memory/vldp.cc" "src/CMakeFiles/pfm_memory.dir/memory/vldp.cc.o" "gcc" "src/CMakeFiles/pfm_memory.dir/memory/vldp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pfm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfm_memory.dir/memory/cache.cc.o"
+  "CMakeFiles/pfm_memory.dir/memory/cache.cc.o.d"
+  "CMakeFiles/pfm_memory.dir/memory/dram.cc.o"
+  "CMakeFiles/pfm_memory.dir/memory/dram.cc.o.d"
+  "CMakeFiles/pfm_memory.dir/memory/hierarchy.cc.o"
+  "CMakeFiles/pfm_memory.dir/memory/hierarchy.cc.o.d"
+  "CMakeFiles/pfm_memory.dir/memory/next_n_line.cc.o"
+  "CMakeFiles/pfm_memory.dir/memory/next_n_line.cc.o.d"
+  "CMakeFiles/pfm_memory.dir/memory/vldp.cc.o"
+  "CMakeFiles/pfm_memory.dir/memory/vldp.cc.o.d"
+  "libpfm_memory.a"
+  "libpfm_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfm_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pfm/component.cc" "src/CMakeFiles/pfm_pfm.dir/pfm/component.cc.o" "gcc" "src/CMakeFiles/pfm_pfm.dir/pfm/component.cc.o.d"
+  "/root/repo/src/pfm/fetch_agent.cc" "src/CMakeFiles/pfm_pfm.dir/pfm/fetch_agent.cc.o" "gcc" "src/CMakeFiles/pfm_pfm.dir/pfm/fetch_agent.cc.o.d"
+  "/root/repo/src/pfm/load_agent.cc" "src/CMakeFiles/pfm_pfm.dir/pfm/load_agent.cc.o" "gcc" "src/CMakeFiles/pfm_pfm.dir/pfm/load_agent.cc.o.d"
+  "/root/repo/src/pfm/pfm_params.cc" "src/CMakeFiles/pfm_pfm.dir/pfm/pfm_params.cc.o" "gcc" "src/CMakeFiles/pfm_pfm.dir/pfm/pfm_params.cc.o.d"
+  "/root/repo/src/pfm/pfm_system.cc" "src/CMakeFiles/pfm_pfm.dir/pfm/pfm_system.cc.o" "gcc" "src/CMakeFiles/pfm_pfm.dir/pfm/pfm_system.cc.o.d"
+  "/root/repo/src/pfm/retire_agent.cc" "src/CMakeFiles/pfm_pfm.dir/pfm/retire_agent.cc.o" "gcc" "src/CMakeFiles/pfm_pfm.dir/pfm/retire_agent.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pfm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfm_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfm_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfm_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfm_pfm.dir/pfm/component.cc.o"
+  "CMakeFiles/pfm_pfm.dir/pfm/component.cc.o.d"
+  "CMakeFiles/pfm_pfm.dir/pfm/fetch_agent.cc.o"
+  "CMakeFiles/pfm_pfm.dir/pfm/fetch_agent.cc.o.d"
+  "CMakeFiles/pfm_pfm.dir/pfm/load_agent.cc.o"
+  "CMakeFiles/pfm_pfm.dir/pfm/load_agent.cc.o.d"
+  "CMakeFiles/pfm_pfm.dir/pfm/pfm_params.cc.o"
+  "CMakeFiles/pfm_pfm.dir/pfm/pfm_params.cc.o.d"
+  "CMakeFiles/pfm_pfm.dir/pfm/pfm_system.cc.o"
+  "CMakeFiles/pfm_pfm.dir/pfm/pfm_system.cc.o.d"
+  "CMakeFiles/pfm_pfm.dir/pfm/retire_agent.cc.o"
+  "CMakeFiles/pfm_pfm.dir/pfm/retire_agent.cc.o.d"
+  "libpfm_pfm.a"
+  "libpfm_pfm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfm_pfm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfm_sim.dir/sim/options.cc.o"
+  "CMakeFiles/pfm_sim.dir/sim/options.cc.o.d"
+  "CMakeFiles/pfm_sim.dir/sim/report.cc.o"
+  "CMakeFiles/pfm_sim.dir/sim/report.cc.o.d"
+  "CMakeFiles/pfm_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/pfm_sim.dir/sim/simulator.cc.o.d"
+  "CMakeFiles/pfm_sim.dir/sim/stats_io.cc.o"
+  "CMakeFiles/pfm_sim.dir/sim/stats_io.cc.o.d"
+  "CMakeFiles/pfm_sim.dir/sim/trace.cc.o"
+  "CMakeFiles/pfm_sim.dir/sim/trace.cc.o.d"
+  "libpfm_sim.a"
+  "libpfm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

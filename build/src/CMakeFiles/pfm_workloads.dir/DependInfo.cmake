@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/astar.cc" "src/CMakeFiles/pfm_workloads.dir/workloads/astar.cc.o" "gcc" "src/CMakeFiles/pfm_workloads.dir/workloads/astar.cc.o.d"
+  "/root/repo/src/workloads/bfs.cc" "src/CMakeFiles/pfm_workloads.dir/workloads/bfs.cc.o" "gcc" "src/CMakeFiles/pfm_workloads.dir/workloads/bfs.cc.o.d"
+  "/root/repo/src/workloads/bwaves.cc" "src/CMakeFiles/pfm_workloads.dir/workloads/bwaves.cc.o" "gcc" "src/CMakeFiles/pfm_workloads.dir/workloads/bwaves.cc.o.d"
+  "/root/repo/src/workloads/graph.cc" "src/CMakeFiles/pfm_workloads.dir/workloads/graph.cc.o" "gcc" "src/CMakeFiles/pfm_workloads.dir/workloads/graph.cc.o.d"
+  "/root/repo/src/workloads/lbm.cc" "src/CMakeFiles/pfm_workloads.dir/workloads/lbm.cc.o" "gcc" "src/CMakeFiles/pfm_workloads.dir/workloads/lbm.cc.o.d"
+  "/root/repo/src/workloads/leslie.cc" "src/CMakeFiles/pfm_workloads.dir/workloads/leslie.cc.o" "gcc" "src/CMakeFiles/pfm_workloads.dir/workloads/leslie.cc.o.d"
+  "/root/repo/src/workloads/libquantum.cc" "src/CMakeFiles/pfm_workloads.dir/workloads/libquantum.cc.o" "gcc" "src/CMakeFiles/pfm_workloads.dir/workloads/libquantum.cc.o.d"
+  "/root/repo/src/workloads/milc.cc" "src/CMakeFiles/pfm_workloads.dir/workloads/milc.cc.o" "gcc" "src/CMakeFiles/pfm_workloads.dir/workloads/milc.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/CMakeFiles/pfm_workloads.dir/workloads/registry.cc.o" "gcc" "src/CMakeFiles/pfm_workloads.dir/workloads/registry.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/pfm_workloads.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/pfm_workloads.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pfm_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfm_workloads.dir/workloads/astar.cc.o"
+  "CMakeFiles/pfm_workloads.dir/workloads/astar.cc.o.d"
+  "CMakeFiles/pfm_workloads.dir/workloads/bfs.cc.o"
+  "CMakeFiles/pfm_workloads.dir/workloads/bfs.cc.o.d"
+  "CMakeFiles/pfm_workloads.dir/workloads/bwaves.cc.o"
+  "CMakeFiles/pfm_workloads.dir/workloads/bwaves.cc.o.d"
+  "CMakeFiles/pfm_workloads.dir/workloads/graph.cc.o"
+  "CMakeFiles/pfm_workloads.dir/workloads/graph.cc.o.d"
+  "CMakeFiles/pfm_workloads.dir/workloads/lbm.cc.o"
+  "CMakeFiles/pfm_workloads.dir/workloads/lbm.cc.o.d"
+  "CMakeFiles/pfm_workloads.dir/workloads/leslie.cc.o"
+  "CMakeFiles/pfm_workloads.dir/workloads/leslie.cc.o.d"
+  "CMakeFiles/pfm_workloads.dir/workloads/libquantum.cc.o"
+  "CMakeFiles/pfm_workloads.dir/workloads/libquantum.cc.o.d"
+  "CMakeFiles/pfm_workloads.dir/workloads/milc.cc.o"
+  "CMakeFiles/pfm_workloads.dir/workloads/milc.cc.o.d"
+  "CMakeFiles/pfm_workloads.dir/workloads/registry.cc.o"
+  "CMakeFiles/pfm_workloads.dir/workloads/registry.cc.o.d"
+  "CMakeFiles/pfm_workloads.dir/workloads/workload.cc.o"
+  "CMakeFiles/pfm_workloads.dir/workloads/workload.cc.o.d"
+  "libpfm_workloads.a"
+  "libpfm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_agents_more.cc" "tests/CMakeFiles/pfm_tests.dir/test_agents_more.cc.o" "gcc" "tests/CMakeFiles/pfm_tests.dir/test_agents_more.cc.o.d"
+  "/root/repo/tests/test_branch.cc" "tests/CMakeFiles/pfm_tests.dir/test_branch.cc.o" "gcc" "tests/CMakeFiles/pfm_tests.dir/test_branch.cc.o.d"
+  "/root/repo/tests/test_branch_params.cc" "tests/CMakeFiles/pfm_tests.dir/test_branch_params.cc.o" "gcc" "tests/CMakeFiles/pfm_tests.dir/test_branch_params.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/pfm_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/pfm_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_component_options.cc" "tests/CMakeFiles/pfm_tests.dir/test_component_options.cc.o" "gcc" "tests/CMakeFiles/pfm_tests.dir/test_component_options.cc.o.d"
+  "/root/repo/tests/test_components.cc" "tests/CMakeFiles/pfm_tests.dir/test_components.cc.o" "gcc" "tests/CMakeFiles/pfm_tests.dir/test_components.cc.o.d"
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/pfm_tests.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/pfm_tests.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_core_params.cc" "tests/CMakeFiles/pfm_tests.dir/test_core_params.cc.o" "gcc" "tests/CMakeFiles/pfm_tests.dir/test_core_params.cc.o.d"
+  "/root/repo/tests/test_energy.cc" "tests/CMakeFiles/pfm_tests.dir/test_energy.cc.o" "gcc" "tests/CMakeFiles/pfm_tests.dir/test_energy.cc.o.d"
+  "/root/repo/tests/test_errors.cc" "tests/CMakeFiles/pfm_tests.dir/test_errors.cc.o" "gcc" "tests/CMakeFiles/pfm_tests.dir/test_errors.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/pfm_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/pfm_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_isa.cc" "tests/CMakeFiles/pfm_tests.dir/test_isa.cc.o" "gcc" "tests/CMakeFiles/pfm_tests.dir/test_isa.cc.o.d"
+  "/root/repo/tests/test_isa_more.cc" "tests/CMakeFiles/pfm_tests.dir/test_isa_more.cc.o" "gcc" "tests/CMakeFiles/pfm_tests.dir/test_isa_more.cc.o.d"
+  "/root/repo/tests/test_memory.cc" "tests/CMakeFiles/pfm_tests.dir/test_memory.cc.o" "gcc" "tests/CMakeFiles/pfm_tests.dir/test_memory.cc.o.d"
+  "/root/repo/tests/test_pfm.cc" "tests/CMakeFiles/pfm_tests.dir/test_pfm.cc.o" "gcc" "tests/CMakeFiles/pfm_tests.dir/test_pfm.cc.o.d"
+  "/root/repo/tests/test_property.cc" "tests/CMakeFiles/pfm_tests.dir/test_property.cc.o" "gcc" "tests/CMakeFiles/pfm_tests.dir/test_property.cc.o.d"
+  "/root/repo/tests/test_simulator.cc" "tests/CMakeFiles/pfm_tests.dir/test_simulator.cc.o" "gcc" "tests/CMakeFiles/pfm_tests.dir/test_simulator.cc.o.d"
+  "/root/repo/tests/test_stats_io.cc" "tests/CMakeFiles/pfm_tests.dir/test_stats_io.cc.o" "gcc" "tests/CMakeFiles/pfm_tests.dir/test_stats_io.cc.o.d"
+  "/root/repo/tests/test_trace_btb.cc" "tests/CMakeFiles/pfm_tests.dir/test_trace_btb.cc.o" "gcc" "tests/CMakeFiles/pfm_tests.dir/test_trace_btb.cc.o.d"
+  "/root/repo/tests/test_workload_kernels.cc" "tests/CMakeFiles/pfm_tests.dir/test_workload_kernels.cc.o" "gcc" "tests/CMakeFiles/pfm_tests.dir/test_workload_kernels.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/pfm_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/pfm_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pfm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfm_components.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfm_pfm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfm_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfm_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfm_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfm_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
