@@ -15,69 +15,73 @@
 using namespace pfm;
 
 int
-main()
+main(int argc, char** argv)
 {
+    const char* cfg = "clk4_w4 delay4 queue32 portLS1";
+    const Cycle intervals[] = {Cycle{2'000'000}, Cycle{500'000},
+                               Cycle{150'000}};
+
+    SweepSpec spec;
+    RunHandle base = spec.add("base", benchOptions("astar", "none"));
+    RunHandle full =
+        spec.add("full design", benchOptions("astar", "auto", cfg), base);
+    // Disable the index1 CAM: in-flight visited stores are no longer
+    // inferred, so revisited cells within the speculative scope
+    // mispredict (the slipstream failure mode, Section 1.1).
+    RunHandle slip = spec.add("slipstream",
+                              benchOptions("astar", "slipstream", cfg),
+                              base);
+    RunHandle alt =
+        spec.add("astar-alt", benchOptions("astar", "alt", cfg), base);
+    RunHandle nonstall = spec.add(
+        "nonstall",
+        benchOptions("astar", "auto", std::string(cfg) + " nonstall"),
+        base);
+    // Narrow the Load Agent's missed-load buffer: the custom predictor's
+    // MLP collapses when missed loads cannot be parked.
+    SimOptions mlb_opt = benchOptions("astar", "auto", cfg);
+    mlb_opt.pfm.mlb_entries = 4;
+    RunHandle mlb = spec.add("mlb4", std::move(mlb_opt), base);
+
+    std::vector<RunHandle> ctx_runs;
+    for (Cycle interval : intervals) {
+        SimOptions o = benchOptions("astar", "auto", cfg);
+        o.pfm.context_switch_interval = interval;
+        ctx_runs.push_back(
+            spec.add("ctx" + std::to_string(interval), std::move(o), base));
+    }
+
+    SweepRunner runner = benchRunner(argc, argv);
+    runner.run(spec);
+
     reportHeader("Ablation: astar custom-predictor design ingredients "
                  "(clk4_w4 delay4 queue32 portLS1)");
-
-    SimResult base = runSim(benchOptions("astar", "none"));
-    reportNote("baseline IPC " + std::to_string(base.ipc) + ", MPKI " +
-               std::to_string(base.mpki));
-
-    const char* cfg = "clk4_w4 delay4 queue32 portLS1";
-
-    SimResult full = runSim(benchOptions("astar", "auto", cfg));
-    reportRow("full design", speedupPct(base, full));
-
-    {
-        // Disable the index1 CAM: in-flight visited stores are no longer
-        // inferred, so revisited cells within the speculative scope
-        // mispredict (the slipstream failure mode, Section 1.1).
-        SimOptions o = benchOptions("astar", "slipstream", cfg);
-        SimResult r = runSim(o);
-        reportRow("no CAM + waymap-only (slipstream)", speedupPct(base, r));
-    }
-
-    {
-        SimOptions o = benchOptions("astar", "alt", cfg);
-        SimResult r = runSim(o);
-        reportRow("astar-alt (table mimicry)", speedupPct(base, r));
-        reportNote("paper reports ~125% for astar-alt; table mimicry is "
-                   "sensitive to dataset size (Section 5 footnote)");
-    }
-
-    {
-        SimOptions o = benchOptions("astar", "auto",
-                                    std::string(cfg) + " nonstall");
-        SimResult r = runSim(o);
-        reportRow("non-stalling Fetch Agent", speedupPct(base, r));
-        reportNote("without stalling, fetch never waits for the component "
-                   "and the stream is mostly core-predicted - the reason "
-                   "the paper's primary design stalls");
-    }
-
-    {
-        // Narrow the Load Agent's missed-load buffer: the custom
-        // predictor's MLP collapses when missed loads cannot be parked.
-        SimOptions o = benchOptions("astar", "auto", cfg);
-        o.pfm.mlb_entries = 4;
-        SimResult r = runSim(o);
-        reportRow("4-entry missed-load buffer", speedupPct(base, r));
-    }
+    reportNote("baseline IPC " + std::to_string(runner.sim(base).ipc) +
+               ", MPKI " + std::to_string(runner.sim(base).mpki));
+    reportRow("full design", speedupPct(runner.sim(base), runner.sim(full)));
+    reportRow("no CAM + waymap-only (slipstream)",
+              speedupPct(runner.sim(base), runner.sim(slip)));
+    reportRow("astar-alt (table mimicry)",
+              speedupPct(runner.sim(base), runner.sim(alt)));
+    reportNote("paper reports ~125% for astar-alt; table mimicry is "
+               "sensitive to dataset size (Section 5 footnote)");
+    reportRow("non-stalling Fetch Agent",
+              speedupPct(runner.sim(base), runner.sim(nonstall)));
+    reportNote("without stalling, fetch never waits for the component "
+               "and the stream is mostly core-predicted - the reason "
+               "the paper's primary design stalls");
+    reportRow("4-entry missed-load buffer",
+              speedupPct(runner.sim(base), runner.sim(mlb)));
 
     reportHeader("Ablation: context-switch teardown (Section 2.4 "
                  "isolation; reconfig = 100k cycles)");
-    for (Cycle interval : {Cycle{2'000'000}, Cycle{500'000},
-                           Cycle{150'000}}) {
-        SimOptions o = benchOptions("astar", "auto", cfg);
-        o.pfm.context_switch_interval = interval;
-        SimResult r = runSim(o);
-        reportRow("switch every " + std::to_string(interval / 1000) +
+    for (size_t i = 0; i < ctx_runs.size(); ++i)
+        reportRow("switch every " + std::to_string(intervals[i] / 1000) +
                       "k cycles",
-                  speedupPct(base, r));
-    }
+                  speedupPct(runner.sim(base), runner.sim(ctx_runs[i])));
     reportNote("frequent context switches amortize poorly against the "
                "bitstream reload, bounding PFM to long-running contexts");
 
+    emitBenchJson("ablation_astar", spec, runner);
     return 0;
 }

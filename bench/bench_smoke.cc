@@ -1,0 +1,91 @@
+/**
+ * @file
+ * CI smoke test for the sweep infrastructure: a tiny sweep (reduced
+ * instruction budget) executed twice through SweepRunner — serially and
+ * with a worker pool — verifying the parallel results are bit-identical
+ * to serial execution. Exits nonzero on any mismatch, so it can run
+ * under ctest on every build.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util.h"
+
+using namespace pfm;
+
+namespace {
+
+SweepSpec
+smokeSpec()
+{
+    SweepSpec spec;
+    auto tiny = [](const char* wl, const char* component,
+                   const char* tokens) {
+        SimOptions o;
+        o.workload = wl;
+        o.component = component;
+        o.max_instructions = 30'000;
+        o.warmup_instructions = 5'000;
+        if (tokens && *tokens)
+            applyTokens(o, tokens);
+        return o;
+    };
+    RunHandle abase = spec.add("astar/base", tiny("astar", "none", ""));
+    spec.add("astar/pfm",
+             tiny("astar", "auto", "clk4_w4 delay0 queue32 portALL"),
+             abase);
+    RunHandle bbase =
+        spec.add("bfs/base", tiny("bfs-roads", "none", ""));
+    spec.add("bfs/pfm",
+             tiny("bfs-roads", "auto", "clk4_w4 delay0 queue32 portALL"),
+             bbase);
+    return spec;
+}
+
+bool
+sameResult(const SimResult& a, const SimResult& b)
+{
+    return a.cycles == b.cycles && a.instructions == b.instructions &&
+           a.ipc == b.ipc && a.mpki == b.mpki &&
+           a.rst_hit_pct == b.rst_hit_pct &&
+           a.fst_hit_pct == b.fst_hit_pct && a.finished == b.finished;
+}
+
+} // namespace
+
+int
+main()
+{
+    SweepSpec spec = smokeSpec();
+
+    SweepRunner serial(1);
+    serial.run(spec);
+    SweepRunner parallel(4);
+    parallel.run(spec);
+
+    int mismatches = 0;
+    for (std::size_t i = 0; i < spec.size(); ++i) {
+        const SimResult& s = serial.results()[i].sim;
+        const SimResult& p = parallel.results()[i].sim;
+        if (!sameResult(s, p)) {
+            std::fprintf(stderr,
+                         "bench_smoke: '%s' diverged (serial %llu cycles, "
+                         "jobs=4 %llu cycles)\n",
+                         spec.runs()[i].label.c_str(),
+                         (unsigned long long)s.cycles,
+                         (unsigned long long)p.cycles);
+            ++mismatches;
+        }
+        std::printf("  %-24s ipc %.4f  %7.1f ms serial, %7.1f ms jobs=4\n",
+                    spec.runs()[i].label.c_str(), s.ipc,
+                    serial.results()[i].wall_ms,
+                    parallel.results()[i].wall_ms);
+    }
+    std::printf("bench_smoke: %zu configs, jobs=1 %.1f ms, jobs=4 %.1f ms%s\n",
+                spec.size(), serial.totalWallMs(), parallel.totalWallMs(),
+                mismatches ? " [MISMATCH]" : "");
+
+    emitBenchJson("smoke", spec, parallel);
+    return mismatches ? 1 : 0;
+}

@@ -11,6 +11,7 @@
 #include "sim/options.h"
 #include "sim/report.h"
 #include "sim/simulator.h"
+#include "sim/sweep.h"
 
 namespace pfm {
 
@@ -27,6 +28,19 @@ benchOptions(const std::string& workload, const std::string& component,
     if (!tokens.empty())
         applyTokens(o, tokens);
     return o;
+}
+
+/**
+ * Executor for a harness's sweep, honouring --jobs=N / PFM_JOBS from the
+ * harness command line (default: hardware_concurrency()). Harnesses
+ * declare every configuration up front in a SweepSpec, run it here, then
+ * print rows from the collected results in spec order — so the report is
+ * byte-identical for any worker count.
+ */
+inline SweepRunner
+benchRunner(int argc, char** argv)
+{
+    return SweepRunner(resolveJobs(argc, argv));
 }
 
 } // namespace pfm

@@ -9,29 +9,39 @@
 using namespace pfm;
 
 int
-main()
+main(int argc, char** argv)
 {
-    reportHeader("Figure 2: Speedups of PFM and Slipstream 2.0");
+    const char* cfg = "clk4_w4 delay4 queue32 portLS1";
+    SweepSpec spec;
+    RunHandle abase = spec.add("astar/base", benchOptions("astar", "none"));
+    RunHandle aslip = spec.add("astar/slipstream",
+                               benchOptions("astar", "slipstream", cfg),
+                               abase);
+    RunHandle apfm =
+        spec.add("astar/pfm", benchOptions("astar", "auto", cfg), abase);
+    RunHandle bbase =
+        spec.add("bfs/base", benchOptions("bfs-roads", "none"));
+    RunHandle bslip = spec.add("bfs/slipstream",
+                               benchOptions("bfs-roads", "slipstream", cfg),
+                               bbase);
+    RunHandle bpfm =
+        spec.add("bfs/pfm", benchOptions("bfs-roads", "auto", cfg), bbase);
 
-    {
-        SimResult base = runSim(benchOptions("astar", "none"));
-        SimResult slip = runSim(benchOptions(
-            "astar", "slipstream", "clk4_w4 delay4 queue32 portLS1"));
-        SimResult pfm = runSim(benchOptions(
-            "astar", "auto", "clk4_w4 delay4 queue32 portLS1"));
-        reportRowVs("astar slipstream-2.0", speedupPct(base, slip), 18.0);
-        reportRowVs("astar PFM", speedupPct(base, pfm), 154.0);
-    }
-    {
-        SimResult base = runSim(benchOptions("bfs-roads", "none"));
-        SimResult slip = runSim(benchOptions(
-            "bfs-roads", "slipstream", "clk4_w4 delay4 queue32 portLS1"));
-        SimResult pfm = runSim(benchOptions(
-            "bfs-roads", "auto", "clk4_w4 delay4 queue32 portLS1"));
-        reportRow("bfs slipstream-2.0", speedupPct(base, slip));
-        reportNote("paper shows a small slipstream bar for bfs (no number "
-                   "given in the text)");
-        reportRowVs("bfs PFM", speedupPct(base, pfm), 125.0);
-    }
+    SweepRunner runner = benchRunner(argc, argv);
+    runner.run(spec);
+
+    reportHeader("Figure 2: Speedups of PFM and Slipstream 2.0");
+    reportRowVs("astar slipstream-2.0",
+                speedupPct(runner.sim(abase), runner.sim(aslip)), 18.0);
+    reportRowVs("astar PFM",
+                speedupPct(runner.sim(abase), runner.sim(apfm)), 154.0);
+    reportRow("bfs slipstream-2.0",
+              speedupPct(runner.sim(bbase), runner.sim(bslip)));
+    reportNote("paper shows a small slipstream bar for bfs (no number "
+               "given in the text)");
+    reportRowVs("bfs PFM",
+                speedupPct(runner.sim(bbase), runner.sim(bpfm)), 125.0);
+
+    emitBenchJson("fig02", spec, runner);
     return 0;
 }

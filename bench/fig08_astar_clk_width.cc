@@ -10,15 +10,8 @@
 using namespace pfm;
 
 int
-main()
+main(int argc, char** argv)
 {
-    reportHeader("Figure 8: astar speedup vs clkC_wW "
-                 "(delay0 queue32 portALL, 8-entry index_queue)");
-
-    SimResult base = runSim(benchOptions("astar", "none"));
-    reportNote("baseline MPKI " + std::to_string(base.mpki) +
-               " (paper: 31.9)");
-
     struct Ref {
         const char* cfg;
         double paper;
@@ -28,20 +21,39 @@ main()
         {"clk4_w2", 99.0},  {"clk4_w3", 155.0}, {"clk4_w4", 163.0},
         {"clk2_w2", 120.0}, {"clk2_w4", 163.0}, {"clk1_w4", 163.0},
     };
+
+    SweepSpec spec;
+    RunHandle base = spec.add("base", benchOptions("astar", "none"));
+    std::vector<RunHandle> runs;
     for (const Ref& r : refs) {
-        SimOptions o = benchOptions("astar", "auto",
-                                    std::string(r.cfg) +
-                                        " delay0 queue32 portALL");
-        SimResult res = runSim(o);
+        runs.push_back(spec.add(
+            r.cfg,
+            benchOptions("astar", "auto",
+                         std::string(r.cfg) + " delay0 queue32 portALL"),
+            base));
+    }
+    RunHandle perf =
+        spec.add("perfBP", benchOptions("astar", "none", "perfBP"), base);
+
+    SweepRunner runner = benchRunner(argc, argv);
+    runner.run(spec);
+
+    reportHeader("Figure 8: astar speedup vs clkC_wW "
+                 "(delay0 queue32 portALL, 8-entry index_queue)");
+    reportNote("baseline MPKI " + std::to_string(runner.sim(base).mpki) +
+               " (paper: 31.9)");
+    for (size_t i = 0; i < runs.size(); ++i) {
+        const Ref& r = refs[i];
+        double speedup = speedupPct(runner.sim(base), runner.sim(runs[i]));
         if (r.paper > -30.0 && r.cfg[3] == '4') {
-            reportRowVs(r.cfg, speedupPct(base, res), r.paper);
+            reportRowVs(r.cfg, speedup, r.paper);
         } else {
-            reportRow(r.cfg, speedupPct(base, res));
+            reportRow(r.cfg, speedup);
         }
     }
+    reportRowVs("perfBP", speedupPct(runner.sim(base), runner.sim(perf)),
+                162.0);
 
-    SimOptions perf = benchOptions("astar", "none", "perfBP");
-    SimResult rp = runSim(perf);
-    reportRowVs("perfBP", speedupPct(base, rp), 162.0);
+    emitBenchJson("fig08", spec, runner);
     return 0;
 }

@@ -9,41 +9,65 @@
 using namespace pfm;
 
 int
-main()
+main(int argc, char** argv)
 {
-    SimResult base = runSim(benchOptions("astar", "none"));
-
-    reportHeader("Figure 9a: astar vs delayD (clk4_w4 queue32 portALL)");
     struct Ref {
         const char* cfg;
         double paper;
     };
-    for (const Ref& r : {Ref{"delay0", 163.0}, Ref{"delay2", 155.0},
-                         Ref{"delay4", 150.0}, Ref{"delay8", 138.0}}) {
-        SimResult res = runSim(benchOptions(
-            "astar", "auto",
-            std::string("clk4_w4 queue32 portALL ") + r.cfg));
-        reportRowVs(r.cfg, speedupPct(base, res), r.paper);
-    }
+    const Ref delays[] = {{"delay0", 163.0}, {"delay2", 155.0},
+                          {"delay4", 150.0}, {"delay8", 138.0}};
+    const char* queues[] = {"queue8", "queue16", "queue32", "queue64"};
+    const char* ports[] = {"portALL", "portLS", "portLS1"};
+
+    SweepSpec spec;
+    RunHandle base = spec.add("base", benchOptions("astar", "none"));
+    std::vector<RunHandle> drun, qrun, prun;
+    for (const Ref& r : delays)
+        drun.push_back(spec.add(
+            r.cfg,
+            benchOptions("astar", "auto",
+                         std::string("clk4_w4 queue32 portALL ") + r.cfg),
+            base));
+    for (const char* q : queues)
+        qrun.push_back(spec.add(
+            q,
+            benchOptions("astar", "auto",
+                         std::string("clk4_w4 delay4 portALL ") + q),
+            base));
+    for (const char* p : ports)
+        prun.push_back(spec.add(
+            p,
+            benchOptions("astar", "auto",
+                         std::string("clk4_w4 delay4 queue32 ") + p),
+            base));
+
+    SweepRunner runner = benchRunner(argc, argv);
+    runner.run(spec);
+
+    reportHeader("Figure 9a: astar vs delayD (clk4_w4 queue32 portALL)");
+    for (size_t i = 0; i < drun.size(); ++i)
+        reportRowVs(delays[i].cfg,
+                    speedupPct(runner.sim(base), runner.sim(drun[i])),
+                    delays[i].paper);
 
     reportHeader("Figure 9b: astar vs queueQ (clk4_w4 delay4 portALL)");
-    for (const char* q : {"queue8", "queue16", "queue32", "queue64"}) {
-        SimResult res = runSim(benchOptions(
-            "astar", "auto", std::string("clk4_w4 delay4 portALL ") + q));
-        reportRow(q, speedupPct(base, res));
-    }
+    for (size_t i = 0; i < qrun.size(); ++i)
+        reportRow(queues[i],
+                  speedupPct(runner.sim(base), runner.sim(qrun[i])));
     reportNote("paper: performance is resistant to queue size");
 
     reportHeader("Figure 9c: astar vs portP (clk4_w4 delay4 queue32)");
-    for (const char* p : {"portALL", "portLS", "portLS1"}) {
-        SimResult res = runSim(benchOptions(
-            "astar", "auto", std::string("clk4_w4 delay4 queue32 ") + p));
-        if (std::string(p) == "portLS1")
-            reportRowVs(p, speedupPct(base, res), 154.0);
+    for (size_t i = 0; i < prun.size(); ++i) {
+        double speedup = speedupPct(runner.sim(base), runner.sim(prun[i]));
+        if (std::string(ports[i]) == "portLS1")
+            reportRowVs(ports[i], speedup, 154.0);
         else
-            reportRow(p, speedupPct(base, res));
+            reportRow(ports[i], speedup);
     }
     reportNote("paper: PRF port availability is not an issue; portLS1 "
                "yields the headline 154%");
+
+    emitBenchJson("fig09", spec, runner);
     return 0;
 }

@@ -9,22 +9,37 @@
 using namespace pfm;
 
 int
-main()
+main(int argc, char** argv)
 {
-    reportHeader("Figure 10: astar vs index_queue entries "
-                 "(clk4_w4 delay4 queue32 portLS1)");
-    SimResult base = runSim(benchOptions("astar", "none"));
-    for (unsigned n : {2u, 4u, 8u, 16u}) {
+    const unsigned entries[] = {2u, 4u, 8u, 16u};
+
+    SweepSpec spec;
+    RunHandle base = spec.add("base", benchOptions("astar", "none"));
+    std::vector<RunHandle> runs;
+    for (unsigned n : entries) {
         SimOptions o = benchOptions("astar", "auto",
                                     "clk4_w4 delay4 queue32 portLS1");
         o.astar_index_queue = n;
-        SimResult res = runSim(o);
+        runs.push_back(spec.add(std::to_string(n) + "-entry index_queue",
+                                std::move(o), base));
+    }
+
+    SweepRunner runner = benchRunner(argc, argv);
+    runner.run(spec);
+
+    reportHeader("Figure 10: astar vs index_queue entries "
+                 "(clk4_w4 delay4 queue32 portLS1)");
+    for (size_t i = 0; i < runs.size(); ++i) {
+        unsigned n = entries[i];
+        double speedup = speedupPct(runner.sim(base), runner.sim(runs[i]));
         std::string label = std::to_string(n) + "-entry index_queue";
         if (n == 8)
-            reportRowVs(label, speedupPct(base, res), 154.0);
+            reportRowVs(label, speedup, 154.0);
         else
-            reportRow(label, speedupPct(base, res));
+            reportRow(label, speedup);
     }
     reportNote("paper: 8 entries capture most of the speedup potential");
+
+    emitBenchJson("fig10", spec, runner);
     return 0;
 }

@@ -10,44 +10,65 @@
 using namespace pfm;
 
 int
-main()
+main(int argc, char** argv)
 {
-    reportHeader("Figure 12: bfs (Roads) speedups");
-    SimResult base = runSim(benchOptions("bfs-roads", "none"));
-    reportNote("baseline MPKI " + std::to_string(base.mpki) +
-               " (paper: 19.1)");
-
-    SimResult perf_bp =
-        runSim(benchOptions("bfs-roads", "none", "perfBP"));
-    SimResult perf_ds =
-        runSim(benchOptions("bfs-roads", "none", "perfD$"));
-    SimResult perf_both =
-        runSim(benchOptions("bfs-roads", "none", "perfBP perfD$"));
-    reportRowVs("perfBP", speedupPct(base, perf_bp), 11.0);
-    reportRowVs("perfD$", speedupPct(base, perf_ds), 152.0);
-    reportRowVs("perfBP+D$", speedupPct(base, perf_both), 426.0);
-
     struct Ref {
         const char* cfg;
         double paper; // approximate bar heights; 125% is the max
     };
-    for (const Ref& r :
-         {Ref{"clk8_w1", 0.0}, Ref{"clk4_w1", 30.0}, Ref{"clk4_w2", 110.0},
-          Ref{"clk4_w4", 125.0}, Ref{"clk2_w4", 125.0},
-          Ref{"clk1_w4", 125.0}}) {
-        SimResult res = runSim(benchOptions(
-            "bfs-roads", "auto",
-            std::string(r.cfg) + " delay0 queue32 portALL"));
+    const Ref refs[] = {{"clk8_w1", 0.0},   {"clk4_w1", 30.0},
+                        {"clk4_w2", 110.0}, {"clk4_w4", 125.0},
+                        {"clk2_w4", 125.0}, {"clk1_w4", 125.0}};
+
+    SweepSpec spec;
+    RunHandle base = spec.add("base", benchOptions("bfs-roads", "none"));
+    RunHandle perf_bp = spec.add(
+        "perfBP", benchOptions("bfs-roads", "none", "perfBP"), base);
+    RunHandle perf_ds = spec.add(
+        "perfD$", benchOptions("bfs-roads", "none", "perfD$"), base);
+    RunHandle perf_both = spec.add(
+        "perfBP+D$", benchOptions("bfs-roads", "none", "perfBP perfD$"),
+        base);
+    std::vector<RunHandle> runs;
+    for (const Ref& r : refs)
+        runs.push_back(spec.add(
+            r.cfg,
+            benchOptions("bfs-roads", "auto",
+                         std::string(r.cfg) + " delay0 queue32 portALL"),
+            base));
+    RunHandle ybase =
+        spec.add("youtube/base", benchOptions("bfs-youtube", "none"));
+    RunHandle ypfm = spec.add(
+        "youtube/clk4_w4",
+        benchOptions("bfs-youtube", "auto",
+                     "clk4_w4 delay0 queue32 portALL"),
+        ybase);
+
+    SweepRunner runner = benchRunner(argc, argv);
+    runner.run(spec);
+
+    reportHeader("Figure 12: bfs (Roads) speedups");
+    reportNote("baseline MPKI " + std::to_string(runner.sim(base).mpki) +
+               " (paper: 19.1)");
+    reportRowVs("perfBP", speedupPct(runner.sim(base), runner.sim(perf_bp)),
+                11.0);
+    reportRowVs("perfD$", speedupPct(runner.sim(base), runner.sim(perf_ds)),
+                152.0);
+    reportRowVs("perfBP+D$",
+                speedupPct(runner.sim(base), runner.sim(perf_both)), 426.0);
+
+    for (size_t i = 0; i < runs.size(); ++i) {
+        const Ref& r = refs[i];
+        double speedup = speedupPct(runner.sim(base), runner.sim(runs[i]));
         if (r.paper > 100.0)
-            reportRowVs(r.cfg, speedupPct(base, res), r.paper);
+            reportRowVs(r.cfg, speedup, r.paper);
         else
-            reportRow(r.cfg, speedupPct(base, res));
+            reportRow(r.cfg, speedup);
     }
 
     reportHeader("Figure 12 (Youtube input)");
-    SimResult ybase = runSim(benchOptions("bfs-youtube", "none"));
-    SimResult ypfm = runSim(benchOptions(
-        "bfs-youtube", "auto", "clk4_w4 delay0 queue32 portALL"));
-    reportRow("clk4_w4", speedupPct(ybase, ypfm));
+    reportRow("clk4_w4", speedupPct(runner.sim(ybase), runner.sim(ypfm)));
+
+    emitBenchJson("fig12", spec, runner);
     return 0;
 }

@@ -9,35 +9,55 @@
 using namespace pfm;
 
 int
-main()
+main(int argc, char** argv)
 {
-    SimResult base = runSim(benchOptions("bfs-roads", "none"));
+    const char* delays[] = {"delay0", "delay2", "delay4", "delay8"};
+    const char* queues[] = {"queue8", "queue16", "queue32", "queue64"};
+    const char* ports[] = {"portALL", "portLS", "portLS1"};
+
+    SweepSpec spec;
+    RunHandle base = spec.add("base", benchOptions("bfs-roads", "none"));
+    std::vector<RunHandle> drun, qrun, prun;
+    for (const char* d : delays)
+        drun.push_back(spec.add(
+            d,
+            benchOptions("bfs-roads", "auto",
+                         std::string("clk4_w4 queue32 portALL ") + d),
+            base));
+    for (const char* q : queues)
+        qrun.push_back(spec.add(
+            q,
+            benchOptions("bfs-roads", "auto",
+                         std::string("clk4_w4 delay4 portALL ") + q),
+            base));
+    for (const char* p : ports)
+        prun.push_back(spec.add(
+            p,
+            benchOptions("bfs-roads", "auto",
+                         std::string("clk4_w4 delay4 queue32 ") + p),
+            base));
+
+    SweepRunner runner = benchRunner(argc, argv);
+    runner.run(spec);
 
     reportHeader("Figure 13a: bfs vs delayD (clk4_w4 queue32 portALL)");
-    for (const char* d : {"delay0", "delay2", "delay4", "delay8"}) {
-        SimResult res = runSim(benchOptions(
-            "bfs-roads", "auto",
-            std::string("clk4_w4 queue32 portALL ") + d));
-        reportRow(d, speedupPct(base, res));
-    }
+    for (size_t i = 0; i < drun.size(); ++i)
+        reportRow(delays[i],
+                  speedupPct(runner.sim(base), runner.sim(drun[i])));
     reportNote("paper: low sensitivity to D");
 
     reportHeader("Figure 13b: bfs vs queueQ (clk4_w4 delay4 portALL)");
-    for (const char* q : {"queue8", "queue16", "queue32", "queue64"}) {
-        SimResult res = runSim(benchOptions(
-            "bfs-roads", "auto",
-            std::string("clk4_w4 delay4 portALL ") + q));
-        reportRow(q, speedupPct(base, res));
-    }
+    for (size_t i = 0; i < qrun.size(); ++i)
+        reportRow(queues[i],
+                  speedupPct(runner.sim(base), runner.sim(qrun[i])));
     reportNote("paper: low sensitivity to Q");
 
     reportHeader("Figure 13c: bfs vs portP (clk4_w4 delay4 queue32)");
-    for (const char* p : {"portALL", "portLS", "portLS1"}) {
-        SimResult res = runSim(benchOptions(
-            "bfs-roads", "auto",
-            std::string("clk4_w4 delay4 queue32 ") + p));
-        reportRow(p, speedupPct(base, res));
-    }
+    for (size_t i = 0; i < prun.size(); ++i)
+        reportRow(ports[i],
+                  speedupPct(runner.sim(base), runner.sim(prun[i])));
     reportNote("paper: low sensitivity to P");
+
+    emitBenchJson("fig13", spec, runner);
     return 0;
 }

@@ -9,19 +9,31 @@
 using namespace pfm;
 
 int
-main()
+main(int argc, char** argv)
 {
-    reportHeader("Figure 14: bfs vs internal queue entries "
-                 "(clk4_w4 delay4 queue32 portLS1)");
-    SimResult base = runSim(benchOptions("bfs-roads", "none"));
-    for (unsigned n : {16u, 32u, 64u, 128u}) {
+    const unsigned entries[] = {16u, 32u, 64u, 128u};
+
+    SweepSpec spec;
+    RunHandle base = spec.add("base", benchOptions("bfs-roads", "none"));
+    std::vector<RunHandle> runs;
+    for (unsigned n : entries) {
         SimOptions o = benchOptions("bfs-roads", "auto",
                                     "clk4_w4 delay4 queue32 portLS1");
         o.bfs_queue_entries = n;
-        SimResult res = runSim(o);
-        reportRow(std::to_string(n) + "-entry queues",
-                  speedupPct(base, res));
+        runs.push_back(spec.add(std::to_string(n) + "-entry queues",
+                                std::move(o), base));
     }
+
+    SweepRunner runner = benchRunner(argc, argv);
+    runner.run(spec);
+
+    reportHeader("Figure 14: bfs vs internal queue entries "
+                 "(clk4_w4 delay4 queue32 portLS1)");
+    for (size_t i = 0; i < runs.size(); ++i)
+        reportRow(std::to_string(entries[i]) + "-entry queues",
+                  speedupPct(runner.sim(base), runner.sim(runs[i])));
     reportNote("paper: performance scales with the queue sizes");
+
+    emitBenchJson("fig14", spec, runner);
     return 0;
 }

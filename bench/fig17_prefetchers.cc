@@ -10,21 +10,43 @@
 using namespace pfm;
 
 int
-main()
+main(int argc, char** argv)
 {
+    const char* workloads[] = {"libquantum", "bwaves", "lbm", "milc",
+                               "leslie"};
+    const char* cfgs[] = {"clk1_w1", "clk4_w1", "clk4_w4", "clk8_w1"};
+
+    SweepSpec spec;
+    std::vector<RunHandle> bases;
+    std::vector<std::vector<RunHandle>> runs;
+    for (const char* wl : workloads) {
+        RunHandle base = spec.add(std::string(wl) + "/base",
+                                  benchOptions(wl, "none"));
+        bases.push_back(base);
+        runs.emplace_back();
+        for (const char* cfg : cfgs)
+            runs.back().push_back(spec.add(
+                std::string(wl) + "/" + cfg,
+                benchOptions(wl, "auto",
+                             std::string(cfg) + " delay0 queue32 portALL"),
+                base));
+    }
+
+    SweepRunner runner = benchRunner(argc, argv);
+    runner.run(spec);
+
     reportHeader("Figure 17: custom prefetcher speedups vs clkC_wW "
                  "(delay0 queue32 portALL)");
-    for (const char* wl :
-         {"libquantum", "bwaves", "lbm", "milc", "leslie"}) {
-        SimResult base = runSim(benchOptions(wl, "none"));
-        std::printf("  %s (baseline IPC %.2f):\n", wl, base.ipc);
-        for (const char* cfg :
-             {"clk1_w1", "clk4_w1", "clk4_w4", "clk8_w1"}) {
-            SimResult res = runSim(benchOptions(
-                wl, "auto", std::string(cfg) + " delay0 queue32 portALL"));
-            reportRow(std::string("  ") + cfg, speedupPct(base, res));
-        }
+    for (size_t w = 0; w < runs.size(); ++w) {
+        std::printf("  %s (baseline IPC %.2f):\n", workloads[w],
+                    runner.sim(bases[w]).ipc);
+        for (size_t c = 0; c < runs[w].size(); ++c)
+            reportRow(std::string("  ") + cfgs[c],
+                      speedupPct(runner.sim(bases[w]),
+                                 runner.sim(runs[w][c])));
     }
     reportNote("paper: performance is very resistant to C and W");
+
+    emitBenchJson("fig17", spec, runner);
     return 0;
 }

@@ -2,7 +2,8 @@
  * @file
  * Figure 18: energy of PFM designs (core+RF) normalized to the baseline
  * (core only). Core energy comes from the event-energy model; RF power
- * from the FPGA structural model.
+ * from the FPGA structural model. The per-run energy is evaluated on the
+ * sweep worker (SweepRun::aux_fn) while the Simulator is alive.
  */
 
 #include <cstdio>
@@ -15,11 +16,8 @@ using namespace pfm;
 namespace {
 
 double
-runEnergy(const SimOptions& opt, const FpgaEstimate* rf)
+energyOf(Simulator& sim, const FpgaEstimate* rf)
 {
-    Simulator sim(opt);
-    SimResult r = sim.run();
-    (void)r;
     EnergyParams ep;
     EnergyBreakdown e = computeEnergy(
         ep, sim.core().cycle(), sim.core().stats(),
@@ -31,10 +29,8 @@ runEnergy(const SimOptions& opt, const FpgaEstimate* rf)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
-    reportHeader("Figure 18: core+RF energy normalized to baseline core");
-
     auto designs = paperTable4Designs();
     struct Row {
         const char* workload;
@@ -46,18 +42,43 @@ main()
         {"leslie", 4},
     };
 
+    SweepSpec spec;
+    std::vector<RunHandle> bases, withs;
     for (const Row& row : rows) {
         FpgaEstimate rf = estimateFpga(designs[row.design]);
-        double base =
-            runEnergy(benchOptions(row.workload, "none"), nullptr);
-        double with = runEnergy(
-            benchOptions(row.workload, "auto",
-                         "clk4_w4 delay4 queue32 portLS1"),
-            &rf);
-        std::printf("  %-12s core+RF / baseline = %.2f\n", row.workload,
-                    with / base);
+
+        SweepRun base;
+        base.label = std::string(row.workload) + "/base";
+        base.opt = benchOptions(row.workload, "none");
+        base.aux_fn = [](Simulator& sim, const SimResult&) {
+            return energyOf(sim, nullptr);
+        };
+        bases.push_back(spec.add(std::move(base)));
+
+        SweepRun with;
+        with.label = std::string(row.workload) + "/pfm";
+        with.opt = benchOptions(row.workload, "auto",
+                                "clk4_w4 delay4 queue32 portLS1");
+        with.speedup_base = bases.back();
+        with.aux_fn = [rf](Simulator& sim, const SimResult&) {
+            return energyOf(sim, &rf);
+        };
+        withs.push_back(spec.add(std::move(with)));
+    }
+
+    SweepRunner runner = benchRunner(argc, argv);
+    runner.run(spec);
+
+    reportHeader("Figure 18: core+RF energy normalized to baseline core");
+    for (size_t i = 0; i < withs.size(); ++i) {
+        std::printf("  %-12s core+RF / baseline = %.2f\n",
+                    rows[i].workload,
+                    runner.result(withs[i]).aux /
+                        runner.result(bases[i]).aux);
     }
     reportNote("paper: every PFM design lands below 1.0 (energy savings "
                "from less misspeculation and shorter runtime)");
+
+    emitBenchJson("fig18", spec, runner);
     return 0;
 }

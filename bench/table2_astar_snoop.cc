@@ -9,12 +9,21 @@
 using namespace pfm;
 
 int
-main()
+main(int argc, char** argv)
 {
-    reportHeader("Table 2: astar FST and RST snoop percentages");
-    SimResult r = runSim(
+    SweepSpec spec;
+    RunHandle run = spec.add(
+        "astar/clk4_w4",
         benchOptions("astar", "auto", "clk4_w4 delay0 queue32 portALL"));
+
+    SweepRunner runner = benchRunner(argc, argv);
+    runner.run(spec);
+    const SimResult& r = runner.sim(run);
+
+    reportHeader("Table 2: astar FST and RST snoop percentages");
     reportRowVs("% retired in ROI hit RST", r.rst_hit_pct, 20.3);
     reportRowVs("% fetched in ROI hit FST", r.fst_hit_pct, 15.5);
+
+    emitBenchJson("table2", spec, runner);
     return 0;
 }

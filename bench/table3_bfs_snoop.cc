@@ -8,12 +8,21 @@
 using namespace pfm;
 
 int
-main()
+main(int argc, char** argv)
 {
+    SweepSpec spec;
+    RunHandle run = spec.add(
+        "bfs/clk4_w4",
+        benchOptions("bfs-roads", "auto", "clk4_w4 delay0 queue32 portALL"));
+
+    SweepRunner runner = benchRunner(argc, argv);
+    runner.run(spec);
+    const SimResult& r = runner.sim(run);
+
     reportHeader("Table 3: bfs FST and RST snoop percentages");
-    SimResult r = runSim(benchOptions("bfs-roads", "auto",
-                                      "clk4_w4 delay0 queue32 portALL"));
     reportRowVs("% retired in ROI hit RST", r.rst_hit_pct, 31.0);
     reportRowVs("% fetched in ROI hit FST", r.fst_hit_pct, 13.0);
+
+    emitBenchJson("table3", spec, runner);
     return 0;
 }

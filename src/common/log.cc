@@ -1,25 +1,41 @@
 #include "common/log.h"
 
+#include <atomic>
 #include <cstdarg>
+#include <mutex>
 #include <vector>
 
 namespace pfm {
 namespace log_detail {
 
 namespace {
-int g_verbosity = 0;
+
+// Concurrent runSim() workers (sim/sweep.cc) may warn/inform at the same
+// time: verbosity is atomic, and every message is rendered to one string
+// and written under a mutex so lines never interleave on stderr.
+std::atomic<int> g_verbosity{0};
+std::mutex g_out_mutex;
+
+void
+writeLine(const char* prefix, const std::string& msg)
+{
+    std::string line = std::string(prefix) + msg + "\n";
+    std::lock_guard<std::mutex> lock(g_out_mutex);
+    std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
 } // namespace
 
 int
 verbosity()
 {
-    return g_verbosity;
+    return g_verbosity.load(std::memory_order_relaxed);
 }
 
 void
 setVerbosity(int level)
 {
-    g_verbosity = level;
+    g_verbosity.store(level, std::memory_order_relaxed);
 }
 
 std::string
@@ -44,28 +60,28 @@ format(const char* fmt, ...)
 void
 panicImpl(const char* file, int line, const std::string& msg)
 {
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    writeLine("panic: ", msg + format(" (%s:%d)", file, line));
     std::abort();
 }
 
 void
 fatalImpl(const char* file, int line, const std::string& msg)
 {
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    writeLine("fatal: ", msg + format(" (%s:%d)", file, line));
     std::exit(1);
 }
 
 void
 warnImpl(const std::string& msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    writeLine("warn: ", msg);
 }
 
 void
 informImpl(const std::string& msg)
 {
-    if (g_verbosity >= 1)
-        std::fprintf(stderr, "info: %s\n", msg.c_str());
+    if (verbosity() >= 1)
+        writeLine("info: ", msg);
 }
 
 } // namespace log_detail

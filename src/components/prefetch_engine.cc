@@ -10,7 +10,9 @@ namespace pfm {
 FsmPrefetcher::FsmPrefetcher(std::string name,
                              std::vector<PrefetchStream> streams,
                              const AdaptiveDistance::Params& adapt)
-    : CustomComponent(std::move(name)), streams_(std::move(streams))
+    : CustomComponent(std::move(name)),
+      streams_(std::move(streams)),
+      trace_enabled_(std::getenv("PFM_PF_TRACE") != nullptr)
 {
     state_.resize(streams_.size());
     for (size_t i = 0; i < streams_.size(); ++i) {
@@ -147,13 +149,11 @@ FsmPrefetcher::rfStep(Cycle now)
                     blocked = true;
                     break;
                 }
-                if (std::getenv("PFM_PF_TRACE")) {
-                    static unsigned long traced = 0;
-                    if (traced++ < 20)
-                        std::fprintf(stderr, "pf %s unit=%llu addr=%llx\n",
-                                     s.name.c_str(),
-                                     (unsigned long long)st.units_issued,
-                                     (unsigned long long)st.pending.back());
+                if (trace_enabled_ && trace_count_++ < 20) {
+                    std::fprintf(stderr, "pf %s unit=%llu addr=%llx\n",
+                                 s.name.c_str(),
+                                 (unsigned long long)st.units_issued,
+                                 (unsigned long long)st.pending.back());
                 }
                 st.pending.pop_back();
                 ++stats().counter("prefetches_issued");

@@ -73,6 +73,11 @@ class FsmPrefetcher : public CustomComponent
 
     std::vector<PrefetchStream> streams_;
     std::vector<StreamState> state_;
+
+    // PFM_PF_TRACE issue tracing (env checked once; per-instance counter
+    // so concurrent sweep workers don't share a static).
+    bool trace_enabled_ = false;
+    unsigned long trace_count_ = 0;
 };
 
 } // namespace pfm

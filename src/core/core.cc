@@ -1,6 +1,7 @@
 #include "core/core.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "branch/bimodal.h"
 #include "branch/gshare.h"
@@ -30,8 +31,21 @@ Core::Core(const CoreParams& params, FunctionalEngine& engine,
       mem_(memory),
       store_sets_(),
       rename_(params.prf_size),
-      stats_("core.")
+      stats_("core."),
+      ctr_cycles_(stats_.counter("cycles")),
+      ctr_fetched_(stats_.counter("fetched")),
+      ctr_dispatched_(stats_.counter("dispatched")),
+      ctr_issued_(stats_.counter("issued")),
+      ctr_retired_(stats_.counter("retired")),
+      ctr_cond_fetched_(stats_.counter("cond_branches_fetched")),
+      pf_trace_enabled_(std::getenv("PFM_PF_TRACE") != nullptr)
 {
+    iq_.reserve(params_.iq_size);
+    ldq_.reserve(params_.ldq_size);
+    stq_.reserve(params_.stq_size);
+    squash_pulled_.reserve(params_.rob_size);
+    squash_young_.reserve(params_.frontend_buffer + 1);
+
     switch (params_.bp_kind) {
       case BpKind::kTageScl:
         bp_ = std::make_unique<TageSclPredictor>();
@@ -85,7 +99,7 @@ Core::sourceReady(SeqNum producer, Cycle now) const
 }
 
 void
-Core::tick()
+Core::tick() noexcept
 {
     Cycle now = cycle_;
     processCompletions(now);
@@ -97,7 +111,7 @@ Core::tick()
         hooks_->onCycle(now, free_ls_slots_, usage_);
     drainWriteBuffer(now);
     ++cycle_;
-    ++stats_.counter("cycles");
+    ++ctr_cycles_;
 }
 
 void
@@ -153,7 +167,8 @@ Core::squashAfter(SeqNum last_kept, Cycle now, const char* reason)
     ++stats_.counter(std::string("squash_") + reason);
 
     // Pull squashed instructions out of the ROB, youngest first.
-    std::vector<InstRec> pulled;
+    std::vector<InstRec>& pulled = squash_pulled_;
+    pulled.clear();
     unsigned squashed_writers = 0;
     while (!rob_.empty() && rob_.back().d.seq > last_kept) {
         InstRec e = std::move(rob_.back());
@@ -176,7 +191,8 @@ Core::squashAfter(SeqNum last_kept, Cycle now, const char* reason)
     }
 
     // The frontend pipe and staging slot are strictly younger.
-    std::vector<InstRec> young;
+    std::vector<InstRec>& young = squash_young_;
+    young.clear();
     for (InstRec& e : frontend_) {
         e.state = InstRec::kFrontend;
         e.complete_cycle = kNoCycle;

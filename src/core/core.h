@@ -124,7 +124,7 @@ class Core
     void setTracer(TraceSink* tracer) { tracer_ = tracer; }
 
     /** Advance one core cycle. */
-    void tick();
+    void tick() noexcept;
 
     /** True once the workload's halt instruction has retired. */
     bool done() const { return halt_retired_; }
@@ -241,6 +241,10 @@ class Core
                         std::greater<CompletionEvent>>
         completions_;
 
+    // Scratch for squashAfter(), member so squashes don't allocate.
+    std::vector<InstRec> squash_pulled_;
+    std::vector<InstRec> squash_young_;
+
     std::deque<PendingWrite> write_buffer_;
 
     SeqNum fetch_blocked_seq_ = kNoSeq;
@@ -258,6 +262,20 @@ class Core
     std::uint64_t stats_retired_base_ = 0;
 
     StatGroup stats_;
+
+    // Hot counters resolved once at construction (StatGroup map nodes are
+    // stable), so the per-cycle stages skip the name lookup.
+    Counter& ctr_cycles_;
+    Counter& ctr_fetched_;
+    Counter& ctr_dispatched_;
+    Counter& ctr_issued_;
+    Counter& ctr_retired_;
+    Counter& ctr_cond_fetched_;
+
+    // PFM_PF_TRACE demand-miss tracing (env checked once; per-instance
+    // counter so concurrent sweep workers don't share a static).
+    bool pf_trace_enabled_ = false;
+    unsigned long pf_trace_count_ = 0;
 };
 
 } // namespace pfm

@@ -53,7 +53,7 @@ Core::fetch(Cycle now)
         bool end_group = false;
         Cycle target_bubble = 0;
         if (e->d.isCondBranch()) {
-            ++stats_.counter("cond_branches_fetched");
+            ++ctr_cond_fetched_;
             FetchOverride fo;
             if (hooks_)
                 fo = hooks_->fetchOverride(e->d, e->replayed, now);
@@ -130,7 +130,7 @@ Core::fetch(Cycle now)
         if (tracer_)
             tracer_->stage(e->d, TraceStage::kFetch, now);
         consumeNextFetch();
-        ++stats_.counter("fetched");
+        ++ctr_fetched_;
 
         if (mispredicted) {
             // Fetch stalls on the correct path until the branch resolves
@@ -224,7 +224,7 @@ Core::dispatch(Cycle now)
         if (tracer_)
             tracer_->stage(e.d, TraceStage::kDispatch, now);
         rob_.push_back(std::move(e));
-        ++stats_.counter("dispatched");
+        ++ctr_dispatched_;
     }
 }
 

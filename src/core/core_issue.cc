@@ -38,14 +38,17 @@ Core::issue(Cycle now)
     unsigned used_alu = 0, used_ls = 0, used_fp = 0;
 
     // Oldest-first select over the issue queue (kept in sequence order).
+    // Issued entries are compacted out in one pass (write cursor `kept`)
+    // instead of an O(queue) erase per issued instruction.
+    size_t kept = 0;
     size_t i = 0;
-    while (i < iq_.size() && budget > 0) {
+    for (; i < iq_.size() && budget > 0; ++i) {
         SeqNum seq = iq_[i];
         InstRec& e = rec(seq);
         const OpTraits& t = e.d.inst->traits();
 
         if (!sourceReady(e.src1, now) || !sourceReady(e.src2, now)) {
-            ++i;
+            iq_[kept++] = seq;
             continue;
         }
 
@@ -58,7 +61,7 @@ Core::issue(Cycle now)
             if (s.state != InstRec::kFrontend &&
                 (s.complete_cycle == kNoCycle || s.complete_cycle > now)) {
                 ++stats_.counter("load_waits_storeset");
-                ++i;
+                iq_[kept++] = seq;
                 continue;
             }
         }
@@ -69,7 +72,7 @@ Core::issue(Cycle now)
             (lane == kLaneLs && used_ls < params_.ls_lanes) ||
             (lane == kLaneFp && used_fp < params_.fp_lanes);
         if (!lane_free) {
-            ++i;
+            iq_[kept++] = seq;
             continue;
         }
 
@@ -111,7 +114,7 @@ Core::issue(Cycle now)
         e.state = InstRec::kIssued;
         e.complete_cycle = complete;
         completions_.emplace(complete, seq);
-        ++stats_.counter("issued");
+        ++ctr_issued_;
         if (tracer_)
             tracer_->stage(e.d, TraceStage::kIssue, now);
 
@@ -121,7 +124,13 @@ Core::issue(Cycle now)
           case kLaneFp:  ++used_fp;  break;
         }
         --budget;
-        iq_.erase(iq_.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+
+    // Entries past the scan point (budget exhausted) are all kept.
+    if (kept != i) {
+        for (; i < iq_.size(); ++i)
+            iq_[kept++] = iq_[i];
+        iq_.resize(kept);
     }
 
     usage_ = IssueUsage{used_alu, used_ls, used_fp};
@@ -170,9 +179,8 @@ Core::issueLoad(InstRec& e, Cycle now)
         // Weight the delinquency map by how deep the miss went.
         miss_by_pc_[e.d.pc] +=
             static_cast<std::uint64_t>(r.service_level - 1);
-        if (std::getenv("PFM_PF_TRACE") && r.service_level >= 4) {
-            static unsigned long traced = 0;
-            if (traced++ < 20)
+        if (pf_trace_enabled_ && r.service_level >= 4) {
+            if (pf_trace_count_++ < 20)
                 std::fprintf(stderr, "demand dram addr=%llx\n",
                              (unsigned long long)e.d.mem_addr);
         }

@@ -65,7 +65,7 @@ Core::retire(Cycle now)
         rob_.pop_front();
         ++head_seq_;
         ++retired_;
-        ++stats_.counter("retired");
+        ++ctr_retired_;
 
         if (dec.squash_younger) {
             // ROI-begin synchronization: flush everything younger so the

@@ -8,7 +8,12 @@
 namespace pfm {
 
 Cache::Cache(const CacheParams& params)
-    : params_(params), stats_(params.name + ".")
+    : params_(params),
+      stats_(params.name + "."),
+      ctr_accesses_(stats_.counter("accesses")),
+      ctr_misses_(stats_.counter("misses")),
+      ctr_hits_under_fill_(stats_.counter("hits_under_fill")),
+      ctr_prefetch_useful_(stats_.counter("prefetch_useful"))
 {
     pfm_assert(params_.size_bytes % (params_.assoc * kLineBytes) == 0,
                "%s: size must be a multiple of assoc * line size",
@@ -18,6 +23,7 @@ Cache::Cache(const CacheParams& params)
     pfm_assert(isPow2(num_sets_), "%s: number of sets must be a power of two",
                params_.name.c_str());
     lines_.resize(static_cast<size_t>(num_sets_) * params_.assoc);
+    line_index_.reserve(lines_.size() * 2);
     mshr_free_at_.assign(params_.mshrs, 0);
 }
 
@@ -33,54 +39,54 @@ Cache::tagOf(Addr addr) const
     return (addr / kLineBytes) >> floorLog2(num_sets_);
 }
 
+Addr
+Cache::keyOfLine(size_t set, Addr tag) const
+{
+    return (tag << floorLog2(num_sets_)) | set;
+}
+
 CacheProbe
-Cache::probe(Addr addr, Cycle now, bool is_demand)
+Cache::probe(Addr addr, Cycle now, bool is_demand) noexcept
 {
     CacheProbe res;
-    size_t set = setIndex(addr);
-    Addr tag = tagOf(addr);
-    Line* base = &lines_[set * params_.assoc];
 
     if (is_demand)
-        ++stats_.counter("accesses");
+        ++ctr_accesses_;
 
-    for (unsigned w = 0; w < params_.assoc; ++w) {
-        Line& line = base[w];
-        if (line.valid && line.tag == tag) {
-            line.lru = ++lru_clock_;
-            res.hit = true;
-            res.data_ready = std::max(now, line.fill_done) + params_.latency;
-            if (line.prefetched && is_demand) {
-                res.was_prefetched = true;
-                line.prefetched = false;
-                ++stats_.counter("prefetch_useful");
-            }
-            if (is_demand && line.fill_done > now)
-                ++stats_.counter("hits_under_fill");
-            return res;
+    auto it = line_index_.find(lineKey(addr));
+    if (it != line_index_.end()) {
+        Line& line = lines_[it->second];
+        line.lru = ++lru_clock_;
+        res.hit = true;
+        res.data_ready = std::max(now, line.fill_done) + params_.latency;
+        if (line.prefetched && is_demand) {
+            res.was_prefetched = true;
+            line.prefetched = false;
+            ++ctr_prefetch_useful_;
         }
+        if (is_demand && line.fill_done > now)
+            ++ctr_hits_under_fill_;
+        return res;
     }
     if (is_demand)
-        ++stats_.counter("misses");
+        ++ctr_misses_;
     return res;
 }
 
 void
-Cache::fill(Addr addr, Cycle fill_done, bool prefetched)
+Cache::fill(Addr addr, Cycle fill_done, bool prefetched) noexcept
 {
-    size_t set = setIndex(addr);
-    Addr tag = tagOf(addr);
-    Line* base = &lines_[set * params_.assoc];
-
     // If the line is already present (e.g., racing prefetch + demand),
     // just take the earlier completion.
-    for (unsigned w = 0; w < params_.assoc; ++w) {
-        Line& line = base[w];
-        if (line.valid && line.tag == tag) {
-            line.fill_done = std::min(line.fill_done, fill_done);
-            return;
-        }
+    auto it = line_index_.find(lineKey(addr));
+    if (it != line_index_.end()) {
+        Line& line = lines_[it->second];
+        line.fill_done = std::min(line.fill_done, fill_done);
+        return;
     }
+
+    size_t set = setIndex(addr);
+    Line* base = &lines_[set * params_.assoc];
 
     // Prefer an invalid way; otherwise evict the least-recently-used line.
     Line* victim = base;
@@ -97,17 +103,21 @@ Cache::fill(Addr addr, Cycle fill_done, bool prefetched)
         ++stats_.counter("evictions");
         if (victim->prefetched)
             ++stats_.counter("prefetch_unused");
+        line_index_.erase(keyOfLine(set, victim->tag));
     }
 
     victim->valid = true;
-    victim->tag = tag;
+    victim->tag = tagOf(addr);
     victim->fill_done = fill_done;
     victim->prefetched = prefetched;
     victim->lru = ++lru_clock_;
+    line_index_.emplace(
+        lineKey(addr),
+        static_cast<std::uint32_t>(victim - lines_.data()));
 }
 
 Cycle
-Cache::mshrAcquire(Cycle now)
+Cache::mshrAcquire(Cycle now) noexcept
 {
     size_t best = 0;
     for (size_t i = 1; i < mshr_free_at_.size(); ++i) {
@@ -122,22 +132,15 @@ Cache::mshrAcquire(Cycle now)
 }
 
 void
-Cache::holdMshr(Cycle done)
+Cache::holdMshr(Cycle done) noexcept
 {
     mshr_free_at_[last_mshr_] = done;
 }
 
 bool
-Cache::contains(Addr addr) const
+Cache::contains(Addr addr) const noexcept
 {
-    size_t set = setIndex(addr);
-    Addr tag = tagOf(addr);
-    const Line* base = &lines_[set * params_.assoc];
-    for (unsigned w = 0; w < params_.assoc; ++w) {
-        if (base[w].valid && base[w].tag == tag)
-            return true;
-    }
-    return false;
+    return line_index_.count(lineKey(addr)) != 0;
 }
 
 void
@@ -145,6 +148,7 @@ Cache::flush()
 {
     for (Line& line : lines_)
         line = Line{};
+    line_index_.clear();
     std::fill(mshr_free_at_.begin(), mshr_free_at_.end(), 0);
     lru_clock_ = 0;
 }

@@ -13,6 +13,7 @@
 #define PFM_MEMORY_CACHE_H
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/stats.h"
@@ -49,13 +50,13 @@ class Cache
      * hit=false; the caller is responsible for going to the next level and
      * then calling fill().
      */
-    CacheProbe probe(Addr addr, Cycle now, bool is_demand);
+    CacheProbe probe(Addr addr, Cycle now, bool is_demand) noexcept;
 
     /**
      * Allocate @p addr with fill completing at @p fill_done. Evicts LRU.
      * @p prefetched marks prefetch-initiated fills for accuracy stats.
      */
-    void fill(Addr addr, Cycle fill_done, bool prefetched);
+    void fill(Addr addr, Cycle fill_done, bool prefetched) noexcept;
 
     /**
      * Reserve an MSHR for a miss issued at @p now; returns the cycle the
@@ -63,13 +64,13 @@ class Cache
      * Call mshrRelease() time is folded in: the slot is held until
      * @p expected_done computed by the caller via holdMshr().
      */
-    Cycle mshrAcquire(Cycle now);
+    Cycle mshrAcquire(Cycle now) noexcept;
 
     /** Mark the acquired MSHR busy until @p done. Pair with mshrAcquire. */
-    void holdMshr(Cycle done);
+    void holdMshr(Cycle done) noexcept;
 
     /** True if the line holding @p addr is present (valid tag). */
-    bool contains(Addr addr) const;
+    bool contains(Addr addr) const noexcept;
 
     /** Invalidate everything (used between experiment runs). */
     void flush();
@@ -89,13 +90,33 @@ class Cache
     size_t setIndex(Addr addr) const;
     Addr tagOf(Addr addr) const;
 
+    /** Line number (addr / kLineBytes): unique (set, tag) identity. */
+    static Addr lineKey(Addr addr) { return addr / kLineBytes; }
+    Addr keyOfLine(size_t set, Addr tag) const;
+
     CacheParams params_;
     unsigned num_sets_;
     std::vector<Line> lines_;      ///< num_sets_ * assoc, row-major by set
+
+    /**
+     * Hit-path index: line key -> index into lines_, kept in lockstep with
+     * the valid tags. probe()/contains() are O(1) instead of an
+     * associativity-wide tag scan; fill() (off the hit path) still scans
+     * its set to pick a victim.
+     */
+    std::unordered_map<Addr, std::uint32_t> line_index_;
+
     std::uint64_t lru_clock_ = 0;
     std::vector<Cycle> mshr_free_at_; ///< per-MSHR next-free cycle
     size_t last_mshr_ = 0;            ///< slot chosen by last mshrAcquire
     StatGroup stats_;
+
+    // Hot counters resolved once at construction (StatGroup map nodes are
+    // stable), so the per-access paths skip the name lookup.
+    Counter& ctr_accesses_;
+    Counter& ctr_misses_;
+    Counter& ctr_hits_under_fill_;
+    Counter& ctr_prefetch_useful_;
 };
 
 } // namespace pfm

@@ -17,7 +17,7 @@ Hierarchy::Hierarchy(const HierarchyParams& params)
 {}
 
 MemAccessResult
-Hierarchy::access(Addr addr, Cycle now, MemAccessType type)
+Hierarchy::access(Addr addr, Cycle now, MemAccessType type) noexcept
 {
     bool ifetch = (type == MemAccessType::kIFetch);
 
@@ -59,20 +59,20 @@ Hierarchy::access(Addr addr, Cycle now, MemAccessType type)
 
 MemAccessResult
 Hierarchy::walk(Addr addr, Cycle now, bool ifetch, bool demand,
-                bool trigger_prefetch)
+                bool trigger_prefetch) noexcept
 {
     Cache& l1 = ifetch ? l1i_ : l1d_;
     Addr line = lineAlign(addr);
     MemAccessResult res;
 
     CacheProbe p1 = l1.probe(line, now, demand);
-    std::vector<Addr> l1_pf;
     if (trigger_prefetch && params_.l1d_next_n != 0)
-        l1d_pf_.onAccess(line, !p1.hit, l1_pf);
+        l1d_pf_.onAccess(line, !p1.hit, l1_pf_scratch_);
 
     if (p1.hit) {
         res = {p1.data_ready, 1};
-        runPrefetches(l1_pf, now, true);
+        if (trigger_prefetch)
+            runPrefetches(l1_pf_scratch_, now, true);
         return res;
     }
 
@@ -82,9 +82,8 @@ Hierarchy::walk(Addr addr, Cycle now, bool ifetch, bool demand,
     Cycle t1 = (demand ? l1.mshrAcquire(now) : now) + l1.params().latency;
 
     CacheProbe p2 = l2_.probe(line, t1, demand);
-    std::vector<Addr> l2_pf;
     if (trigger_prefetch && params_.vldp_enabled)
-        vldp_.onAccess(line, !p2.hit, l2_pf);
+        vldp_.onAccess(line, !p2.hit, l2_pf_scratch_);
 
     Cycle done;
     int level;
@@ -120,8 +119,10 @@ Hierarchy::walk(Addr addr, Cycle now, bool ifetch, bool demand,
         }
     }
 
-    runPrefetches(l1_pf, now, true);
-    runPrefetches(l2_pf, now, false);
+    if (trigger_prefetch) {
+        runPrefetches(l1_pf_scratch_, now, true);
+        runPrefetches(l2_pf_scratch_, now, false);
+    }
     return {done, level};
 }
 

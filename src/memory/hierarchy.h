@@ -50,7 +50,7 @@ class Hierarchy
   public:
     explicit Hierarchy(const HierarchyParams& params);
 
-    MemAccessResult access(Addr addr, Cycle now, MemAccessType type);
+    MemAccessResult access(Addr addr, Cycle now, MemAccessType type) noexcept;
 
     /** Warm a line into all levels instantly (used for warmup phases). */
     void warm(Addr addr);
@@ -71,7 +71,7 @@ class Hierarchy
      * then L2, L3, DRAM; fill inward on the way back.
      */
     MemAccessResult walk(Addr addr, Cycle now, bool ifetch, bool demand,
-                         bool trigger_prefetch);
+                         bool trigger_prefetch) noexcept;
 
     void runPrefetches(std::vector<Addr>& queue, Cycle now, bool l1_level);
 
@@ -84,7 +84,12 @@ class Hierarchy
     NextNLinePrefetcher l1d_pf_;
     VldpPrefetcher vldp_;
     StatGroup stats_;
-    std::vector<Addr> pf_scratch_;
+
+    // Per-access prefetch candidate buffers, members so walk() does not
+    // allocate on every access. Nested walk() calls (prefetch issue) run
+    // with trigger_prefetch=false and never touch them.
+    std::vector<Addr> l1_pf_scratch_;
+    std::vector<Addr> l2_pf_scratch_;
 };
 
 } // namespace pfm

@@ -2,6 +2,13 @@
  * @file
  * Small helpers for printing paper-style tables/series from the bench
  * harnesses.
+ *
+ * Threading contract: these helpers write to stdout unsynchronized and
+ * must only be called from the main thread, after SweepRunner::run() has
+ * collected all results. Sweep workers run simulations only and never
+ * print; anything a worker needs to report must travel through
+ * SweepResult (see SweepRun::aux_fn). Diagnostics that may fire on
+ * worker threads go through common/log.h, which serializes per line.
  */
 
 #ifndef PFM_SIM_REPORT_H

@@ -1,8 +1,47 @@
 #include "sim/stats_io.h"
 
+#include <cmath>
+#include <iomanip>
 #include <sstream>
 
 namespace pfm {
+
+namespace {
+
+/** Minimal JSON string escaping (quotes, backslashes, control chars). */
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** JSON has no NaN/Inf literals; map them to 0. */
+double
+jsonFinite(double v)
+{
+    return std::isfinite(v) ? v : 0.0;
+}
+
+} // namespace
 
 void
 writeStatsCsv(std::ostream& os, const std::vector<const StatGroup*>& groups)
@@ -23,6 +62,34 @@ writeStatsCsv(std::ostream& os, const std::vector<const StatGroup*>& groups)
             os << line.substr(0, sp) << "," << line.substr(sp + 1) << "\n";
         }
     }
+}
+
+void
+writeBenchJson(std::ostream& os, const std::string& bench, unsigned jobs,
+               double total_wall_ms, const std::vector<BenchJsonRow>& rows)
+{
+    os << "{\n";
+    os << "  \"bench\": \"" << jsonEscape(bench) << "\",\n";
+    os << "  \"jobs\": " << jobs << ",\n";
+    os << "  \"total_wall_ms\": " << std::fixed << std::setprecision(3)
+       << jsonFinite(total_wall_ms) << ",\n";
+    os << "  \"runs\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const BenchJsonRow& r = rows[i];
+        os << "    {\"label\": \"" << jsonEscape(r.label) << "\", "
+           << "\"ipc\": " << std::setprecision(6) << jsonFinite(r.ipc)
+           << ", \"mpki\": " << jsonFinite(r.mpki)
+           << ", \"cycles\": " << r.cycles
+           << ", \"instructions\": " << r.instructions
+           << ", \"wall_ms\": " << std::setprecision(3)
+           << jsonFinite(r.wall_ms);
+        if (r.has_speedup)
+            os << ", \"speedup_pct\": " << std::setprecision(6)
+               << jsonFinite(r.speedup_pct);
+        os << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n";
+    os << "}\n";
 }
 
 std::string

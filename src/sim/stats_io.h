@@ -22,6 +22,27 @@ namespace pfm {
 void writeStatsCsv(std::ostream& os,
                    const std::vector<const StatGroup*>& groups);
 
+/** One per-configuration row of a BENCH_<name>.json report. */
+struct BenchJsonRow {
+    std::string label;
+    double ipc = 0;
+    double mpki = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    double wall_ms = 0;        ///< per-run wall time on its worker thread
+    bool has_speedup = false;  ///< row declared a speedup baseline
+    double speedup_pct = 0;
+};
+
+/**
+ * Machine-readable benchmark report: {"bench", "jobs", "total_wall_ms",
+ * "runs": [{label, ipc, mpki, cycles, instructions, wall_ms[, speedup_pct]}]}.
+ * Keeps the perf trajectory of the figure sweeps comparable across PRs.
+ */
+void writeBenchJson(std::ostream& os, const std::string& bench,
+                    unsigned jobs, double total_wall_ms,
+                    const std::vector<BenchJsonRow>& rows);
+
 /** Human-readable Table-1-style configuration summary. */
 std::string configSummary(const CoreParams& core,
                           const HierarchyParams& mem);

@@ -1,0 +1,219 @@
+#include "sim/sweep.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <future>
+#include <thread>
+
+#include "common/log.h"
+#include "sim/stats_io.h"
+
+namespace pfm {
+
+namespace {
+
+unsigned
+clampJobs(long n)
+{
+    if (n < 1)
+        return 1;
+    if (n > 256)
+        return 256;
+    return static_cast<unsigned>(n);
+}
+
+/** Run one configuration, timing it on the calling thread. */
+SweepResult
+executeRun(const SweepRun& run)
+{
+    using clock = std::chrono::steady_clock;
+    SweepResult res;
+    auto t0 = clock::now();
+    Simulator sim(run.opt);
+    res.sim = sim.run();
+    if (run.aux_fn)
+        res.aux = run.aux_fn(sim, res.sim);
+    res.wall_ms =
+        std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+    return res;
+}
+
+} // namespace
+
+RunHandle
+SweepSpec::add(std::string label, SimOptions opt, RunHandle speedup_base)
+{
+    SweepRun run;
+    run.label = std::move(label);
+    run.opt = std::move(opt);
+    run.speedup_base = speedup_base;
+    return add(std::move(run));
+}
+
+RunHandle
+SweepSpec::add(SweepRun run)
+{
+    pfm_assert(!run.speedup_base.valid() ||
+                   run.speedup_base.index < runs_.size(),
+               "speedup base must be added before its dependents");
+    runs_.push_back(std::move(run));
+    return RunHandle{runs_.size() - 1};
+}
+
+std::vector<RunHandle>
+SweepSpec::addProduct(const std::vector<std::string>& workloads,
+                      const std::string& component,
+                      const std::vector<std::string>& token_sets)
+{
+    std::vector<RunHandle> handles;
+    handles.reserve(workloads.size() * token_sets.size());
+    for (const std::string& wl : workloads) {
+        for (const std::string& tokens : token_sets) {
+            SimOptions o;
+            o.workload = wl;
+            o.component = component;
+            if (!tokens.empty())
+                applyTokens(o, tokens);
+            handles.push_back(
+                add(wl + "/" + (tokens.empty() ? "default" : tokens),
+                    std::move(o)));
+        }
+    }
+    return handles;
+}
+
+SweepRunner::SweepRunner(unsigned jobs)
+    : jobs_(jobs ? clampJobs(jobs) : resolveJobs())
+{
+}
+
+const std::vector<SweepResult>&
+SweepRunner::run(const SweepSpec& spec)
+{
+    using clock = std::chrono::steady_clock;
+    auto t0 = clock::now();
+
+    const std::vector<SweepRun>& runs = spec.runs();
+    results_.clear();
+    results_.resize(runs.size());
+
+    unsigned workers =
+        static_cast<unsigned>(std::min<std::size_t>(jobs_, runs.size()));
+    if (workers <= 1) {
+        // Serial execution on the calling thread (reference semantics the
+        // parallel path must reproduce bit-for-bit).
+        for (std::size_t i = 0; i < runs.size(); ++i)
+            results_[i] = executeRun(runs[i]);
+    } else {
+        // One packaged task per run; a fixed pool of workers claims tasks
+        // in spec order via an atomic cursor. Futures are drained in spec
+        // order afterwards, so results (and any exception) surface
+        // deterministically.
+        std::vector<std::packaged_task<SweepResult()>> tasks;
+        std::vector<std::future<SweepResult>> futures;
+        tasks.reserve(runs.size());
+        futures.reserve(runs.size());
+        for (const SweepRun& r : runs) {
+            tasks.emplace_back([&r] { return executeRun(r); });
+            futures.push_back(tasks.back().get_future());
+        }
+
+        std::atomic<std::size_t> cursor{0};
+        auto worker = [&tasks, &cursor] {
+            for (;;) {
+                std::size_t i = cursor.fetch_add(1);
+                if (i >= tasks.size())
+                    return;
+                tasks[i]();
+            }
+        };
+
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w)
+            pool.emplace_back(worker);
+        for (std::thread& t : pool)
+            t.join();
+
+        for (std::size_t i = 0; i < futures.size(); ++i)
+            results_[i] = futures[i].get();
+    }
+
+    total_wall_ms_ =
+        std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+    return results_;
+}
+
+const SweepResult&
+SweepRunner::result(RunHandle h) const
+{
+    pfm_assert(h.valid() && h.index < results_.size(),
+               "invalid run handle (did run() execute this spec?)");
+    return results_[h.index];
+}
+
+unsigned
+resolveJobs(int argc, char** argv)
+{
+    long jobs = 0;
+    if (const char* env = std::getenv("PFM_JOBS"))
+        jobs = std::strtol(env, nullptr, 0);
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--jobs=", 0) == 0) {
+            jobs = std::strtol(arg.c_str() + 7, nullptr, 0);
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            jobs = std::strtol(argv[++i], nullptr, 0);
+        } else if (arg.rfind("-j", 0) == 0 && arg.size() > 2) {
+            jobs = std::strtol(arg.c_str() + 2, nullptr, 0);
+        }
+    }
+    if (jobs > 0)
+        return clampJobs(jobs);
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? clampJobs(hw) : 1;
+}
+
+std::string
+emitBenchJson(const std::string& name, const SweepSpec& spec,
+              const SweepRunner& runner)
+{
+    const std::vector<SweepRun>& runs = spec.runs();
+    const std::vector<SweepResult>& results = runner.results();
+    pfm_assert(runs.size() == results.size(),
+               "emitBenchJson before run() completed");
+
+    std::vector<BenchJsonRow> rows;
+    rows.reserve(runs.size());
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        BenchJsonRow row;
+        row.label = runs[i].label;
+        row.ipc = results[i].sim.ipc;
+        row.mpki = results[i].sim.mpki;
+        row.cycles = results[i].sim.cycles;
+        row.instructions = results[i].sim.instructions;
+        row.wall_ms = results[i].wall_ms;
+        if (runs[i].speedup_base.valid()) {
+            row.has_speedup = true;
+            row.speedup_pct = speedupPct(
+                results[runs[i].speedup_base.index].sim, results[i].sim);
+        }
+        rows.push_back(std::move(row));
+    }
+
+    std::string dir = ".";
+    if (const char* env = std::getenv("PFM_BENCH_JSON_DIR"))
+        dir = env;
+    std::string path = dir + "/BENCH_" + name + ".json";
+    std::ofstream os(path);
+    if (!os) {
+        pfm_warn("cannot write %s", path.c_str());
+        return "";
+    }
+    writeBenchJson(os, name, runner.jobs(), runner.totalWallMs(), rows);
+    return path;
+}
+
+} // namespace pfm
