@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Hot-path harness for the flattened fast paths (bind-once stats
+ * registry, TAGE index memoization, queue-based prefetch walk). Reports
+ * two numbers the ROADMAP tracks:
+ *  - Simulator construction time (every counter bind + predictor tables);
+ *  - simulated core cycles per wall-second on representative runs.
+ * Machine-readable output lands in BENCH_hotpath.json; run with --jobs=1
+ * for the single-thread throughput figure.
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+
+#include "bench_util.h"
+
+using namespace pfm;
+
+namespace {
+
+double
+cyclesPerSec(const SweepResult& r)
+{
+    if (r.wall_ms <= 0)
+        return 0;
+    return static_cast<double>(r.sim.cycles) / (r.wall_ms / 1000.0);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using clock = std::chrono::steady_clock;
+
+    // Part 1: construction cost. Building a Simulator exercises the
+    // registry bind path for every cached counter in core/memory/pfm and
+    // builds the TAGE-SC-L tables.
+    constexpr int kCtorReps = 20;
+    SimOptions copt =
+        benchOptions("astar", "auto", "clk4_w4 delay0 queue32 portALL");
+    auto t0 = clock::now();
+    for (int i = 0; i < kCtorReps; ++i)
+        Simulator sim(copt);
+    double ctor_ms =
+        std::chrono::duration<double, std::milli>(clock::now() - t0)
+            .count() /
+        kCtorReps;
+
+    // Part 2: steady-state throughput. base hits the TAGE predict path
+    // hardest (no agent overrides), the custom run adds the agent/stat
+    // paths, lbm drives the prefetch walk queue.
+    SweepSpec spec;
+    RunHandle base = spec.add("astar_base", benchOptions("astar", "none"));
+    RunHandle custom = spec.add(
+        "astar_clk4_w4",
+        benchOptions("astar", "auto", "clk4_w4 delay0 queue32 portALL"),
+        base);
+    RunHandle prefetch =
+        spec.add("lbm_prefetch", benchOptions("lbm", "auto"));
+
+    SweepRunner runner = benchRunner(argc, argv);
+    runner.run(spec);
+
+    reportHeader("Hot-path harness: construction + cycles/sec");
+    reportNote("construction: " + std::to_string(ctor_ms) + " ms/Simulator (" +
+               std::to_string(kCtorReps) + " reps)");
+    const RunHandle handles[] = {base, custom, prefetch};
+    for (RunHandle h : handles) {
+        const SweepRun& run = spec.runs()[h.index];
+        reportRow(run.label, cyclesPerSec(runner.result(h)) / 1e6,
+                  " Mcycles/s");
+    }
+
+    std::string dir = ".";
+    if (const char* env = std::getenv("PFM_BENCH_JSON_DIR"))
+        dir = env;
+    std::string path = dir + "/BENCH_hotpath.json";
+    std::ofstream os(path);
+    if (os) {
+        os << "{\n  \"bench\": \"hotpath\",\n";
+        os << "  \"jobs\": " << runner.jobs() << ",\n";
+        os << "  \"construct_reps\": " << kCtorReps << ",\n";
+        os << "  \"construct_ms_per_sim\": " << ctor_ms << ",\n";
+        os << "  \"total_wall_ms\": " << runner.totalWallMs() << ",\n";
+        os << "  \"rows\": [\n";
+        for (size_t i = 0; i < spec.size(); ++i) {
+            const SweepResult& r = runner.results()[i];
+            os << "    {\"label\": \"" << spec.runs()[i].label
+               << "\", \"cycles\": " << r.sim.cycles
+               << ", \"wall_ms\": " << r.wall_ms
+               << ", \"cycles_per_sec\": " << cyclesPerSec(r) << "}"
+               << (i + 1 < spec.size() ? "," : "") << "\n";
+        }
+        os << "  ]\n}\n";
+    }
+    return 0;
+}

@@ -97,9 +97,16 @@ TagePredictor::predict(Addr pc)
     info_.pred = base_pred;
     info_.alt_pred = base_pred;
 
-    for (unsigned t = 0; t < params_.num_tables; ++t) {
-        cached_idx_[t] = taggedIndex(pc, t);
-        cached_tag_[t] = taggedTag(pc, t);
+    // Same branch, same history (e.g. a taken-path re-predict within one
+    // fetch group): all N table indices/tags are unchanged, skip the hash.
+    if (!memo_valid_ || memo_pc_ != pc || memo_gen_ != hist_gen_) {
+        for (unsigned t = 0; t < params_.num_tables; ++t) {
+            cached_idx_[t] = taggedIndex(pc, t);
+            cached_tag_[t] = taggedTag(pc, t);
+        }
+        memo_pc_ = pc;
+        memo_gen_ = hist_gen_;
+        memo_valid_ = true;
     }
 
     // Find provider (longest history hit) and alternate (next longest).
@@ -237,6 +244,9 @@ TagePredictor::pushHistory(bool taken)
 {
     ghist_ptr_ = (ghist_ptr_ - 1) & (kGhistSize - 1);
     ghist_[ghist_ptr_] = taken ? 1 : 0;
+    packed_hist_ = (packed_hist_ >> 1) |
+                   (taken ? (std::uint64_t{1} << 63) : 0);
+    ++hist_gen_;
     for (unsigned t = 0; t < params_.num_tables; ++t) {
         idx_fold_[t].update(ghist_, ghist_ptr_);
         tag_fold_a_[t].update(ghist_, ghist_ptr_);
@@ -247,10 +257,13 @@ TagePredictor::pushHistory(bool taken)
 std::uint64_t
 TagePredictor::historyHash(unsigned bits) const
 {
-    std::uint64_t h = 0;
-    for (unsigned i = 0; i < bits; ++i)
-        h = (h << 1) | ghist_[(ghist_ptr_ + i) & (kGhistSize - 1)];
-    return h;
+    // packed_hist_ bit 63 is the newest outcome, matching the MSB-first
+    // walk of the ring buffer this replaces.
+    if (bits == 0)
+        return 0;
+    if (bits >= 64)
+        return packed_hist_;
+    return packed_hist_ >> (64 - bits);
 }
 
 } // namespace pfm

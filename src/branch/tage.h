@@ -52,8 +52,19 @@ class TagePredictor : public BranchPredictor
     /** Metadata for the most recent predict(). */
     const TagePredictionInfo& lastInfo() const { return info_; }
 
-    /** Also used by the SC component: current global history bits. */
+    /**
+     * Also used by the SC component: the @p bits most recent global
+     * history outcomes, newest in the most significant bit. O(1): served
+     * from an incrementally maintained packed word (bits <= 64).
+     */
     std::uint64_t historyHash(unsigned bits) const;
+
+    /**
+     * Monotonic count of history updates; predictions taken at the same
+     * (pc, historyGen()) share table indices/tags, which predict()
+     * exploits to skip rehashing on same-fetch-group re-predicts.
+     */
+    std::uint64_t historyGen() const { return hist_gen_; }
 
   private:
     struct TaggedEntry {
@@ -86,6 +97,11 @@ class TagePredictor : public BranchPredictor
     std::vector<std::uint8_t> ghist_;
     unsigned ghist_ptr_ = 0;
 
+    // The 64 most recent outcomes packed newest-at-bit-63; historyHash()
+    // is a shift of this word instead of a ring-buffer walk.
+    std::uint64_t packed_hist_ = 0;
+    std::uint64_t hist_gen_ = 0;
+
     std::vector<FoldedHistory> idx_fold_;
     std::vector<FoldedHistory> tag_fold_a_;
     std::vector<FoldedHistory> tag_fold_b_;
@@ -97,9 +113,14 @@ class TagePredictor : public BranchPredictor
     std::uint32_t lfsr_ = 0xACE1u;  ///< deterministic allocation tie-break
 
     TagePredictionInfo info_;
-    // Cached index/tag per table for the in-flight prediction.
+    // Cached index/tag per table for the in-flight prediction, memoized on
+    // (pc, history generation): a re-predict of the same branch before any
+    // history push reuses the folded-history hashes for all N tables.
     std::vector<size_t> cached_idx_;
     std::vector<std::uint16_t> cached_tag_;
+    Addr memo_pc_ = 0;
+    std::uint64_t memo_gen_ = 0;
+    bool memo_valid_ = false;
 };
 
 } // namespace pfm

@@ -13,12 +13,18 @@ TageSclPredictor::predict(Addr pc)
     last_tage_pred_ = tage_pred;
     const TagePredictionInfo& info = tage_.lastInfo();
 
-    std::uint64_t hashes[StatisticalCorrector::kNumTables];
-    for (unsigned t = 0; t < StatisticalCorrector::kNumTables; ++t)
-        hashes[t] = tage_.historyHash(StatisticalCorrector::kHistBits[t]);
+    // SC history hashes depend only on the global history, so re-predicts
+    // before the next history push reuse the memoized set.
+    if (!sc_hashes_valid_ || sc_hash_gen_ != tage_.historyGen()) {
+        for (unsigned t = 0; t < StatisticalCorrector::kNumTables; ++t)
+            sc_hashes_[t] =
+                tage_.historyHash(StatisticalCorrector::kHistBits[t]);
+        sc_hash_gen_ = tage_.historyGen();
+        sc_hashes_valid_ = true;
+    }
 
     bool tage_weak = info.provider < 0 || info.provider_weak;
-    bool pred = sc_.predict(pc, tage_pred, tage_weak, hashes);
+    bool pred = sc_.predict(pc, tage_pred, tage_weak, sc_hashes_);
 
     bool loop_valid, loop_dir;
     loop_.lookup(pc, loop_valid, loop_dir);
@@ -43,6 +49,8 @@ TageSclPredictor::reset()
     tage_.reset();
     loop_.reset();
     sc_.reset();
+    sc_hashes_valid_ = false;
+    sc_hash_gen_ = 0;
 }
 
 } // namespace pfm

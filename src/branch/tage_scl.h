@@ -34,6 +34,11 @@ class TageSclPredictor : public BranchPredictor
 
     bool last_loop_valid_ = false;
     bool last_tage_pred_ = false;
+
+    // SC history hashes memoized per TAGE history generation.
+    std::uint64_t sc_hashes_[StatisticalCorrector::kNumTables] = {};
+    std::uint64_t sc_hash_gen_ = 0;
+    bool sc_hashes_valid_ = false;
 };
 
 } // namespace pfm

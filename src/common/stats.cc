@@ -1,36 +1,62 @@
 #include "common/stats.h"
 
+#include <algorithm>
 #include <iomanip>
 
 namespace pfm {
 
+namespace stats_detail {
+
+template <typename T>
+std::vector<std::size_t>
+Registry<T>::sortedIndices() const
+{
+    std::vector<std::size_t> order(names_.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [this](std::size_t a, std::size_t b) {
+                  return names_[a] < names_[b];
+              });
+    return order;
+}
+
+template class Registry<Counter>;
+template class Registry<Distribution>;
+
+} // namespace stats_detail
+
 Counter&
 StatGroup::counter(const std::string& name)
 {
-    return counters_[name];
+    return counters_.bind(name);
 }
 
 Distribution&
 StatGroup::distribution(const std::string& name)
 {
-    return dists_[name];
+    return dists_.bind(name);
 }
 
 std::uint64_t
 StatGroup::get(const std::string& name) const
 {
-    auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second.value();
+    const Counter* c = counters_.find(name);
+    return c ? c->value() : 0;
 }
 
 void
 StatGroup::dump(std::ostream& os) const
 {
-    for (const auto& [name, c] : counters_) {
-        os << prefix_ << name << " " << c.value() << "\n";
+    for (std::size_t i : counters_.sortedIndices()) {
+        os << prefix_ << counters_.name(i) << " "
+           << counters_.value(i).value() << "\n";
     }
-    for (const auto& [name, d] : dists_) {
-        os << prefix_ << name << " mean=" << std::fixed
+    for (std::size_t i : dists_.sortedIndices()) {
+        const Distribution& d = dists_.value(i);
+        if (d.count() == 0)
+            continue;  // never sampled; zeros would read as real data
+        os << prefix_ << dists_.name(i) << " mean=" << std::fixed
            << std::setprecision(3) << d.mean() << " min=" << d.min()
            << " max=" << d.max() << " n=" << d.count() << "\n";
     }
@@ -39,10 +65,10 @@ StatGroup::dump(std::ostream& os) const
 void
 StatGroup::resetAll()
 {
-    for (auto& [name, c] : counters_)
-        c.reset();
-    for (auto& [name, d] : dists_)
-        d.reset();
+    for (std::size_t i = 0; i < counters_.size(); ++i)
+        counters_.value(i).reset();
+    for (std::size_t i = 0; i < dists_.size(); ++i)
+        dists_.value(i).reset();
 }
 
 } // namespace pfm

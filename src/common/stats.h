@@ -2,13 +2,21 @@
  * @file
  * Lightweight named-statistics registry. Modules register scalar counters
  * and distributions against a StatGroup; the simulator driver dumps them.
+ *
+ * Lookup is an open-addressing hash table (FNV-1a over the name, linear
+ * probing) instead of a std::map tree walk: stat binding is on the
+ * Simulator-construction path, which large sweeps pay once per
+ * configuration. Counter/Distribution storage is a std::deque, so the
+ * reference returned by the first lookup stays valid for the lifetime of
+ * the group — call sites bind once and cache the reference. dump() sorts
+ * names at dump time, preserving the old std::map output ordering.
  */
 
 #ifndef PFM_COMMON_STATS_H
 #define PFM_COMMON_STATS_H
 
 #include <cstdint>
-#include <map>
+#include <deque>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -56,6 +64,105 @@ class Distribution
     std::uint64_t count_ = 0;
 };
 
+namespace stats_detail {
+
+/** FNV-1a, the classic cheap string hash. */
+inline std::uint64_t
+hashName(const std::string& s) noexcept
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/**
+ * Open-addressing name -> value registry. Values live in a deque so
+ * references handed out by bind() are never invalidated by growth; the
+ * probe table only stores (hash, position) pairs and rehashes in place.
+ */
+template <typename T>
+class Registry
+{
+  public:
+    /** Look up @p name, creating a default-constructed value on first use. */
+    T&
+    bind(const std::string& name)
+    {
+        if (slots_.empty())
+            grow(kInitialSlots);
+        std::uint64_t h = hashName(name);
+        std::size_t mask = slots_.size() - 1;
+        std::size_t i = static_cast<std::size_t>(h) & mask;
+        while (slots_[i].pos != 0) {
+            if (slots_[i].hash == h && names_[slots_[i].pos - 1] == name)
+                return values_[slots_[i].pos - 1];
+            i = (i + 1) & mask;
+        }
+        names_.push_back(name);
+        values_.emplace_back();
+        slots_[i] = Slot{h, static_cast<std::uint32_t>(values_.size())};
+        if (values_.size() * 10 >= slots_.size() * 7)
+            grow(slots_.size() * 2);
+        return values_.back();
+    }
+
+    /** Find @p name without creating it; nullptr when absent. */
+    const T*
+    find(const std::string& name) const
+    {
+        if (slots_.empty())
+            return nullptr;
+        std::uint64_t h = hashName(name);
+        std::size_t mask = slots_.size() - 1;
+        std::size_t i = static_cast<std::size_t>(h) & mask;
+        while (slots_[i].pos != 0) {
+            if (slots_[i].hash == h && names_[slots_[i].pos - 1] == name)
+                return &values_[slots_[i].pos - 1];
+            i = (i + 1) & mask;
+        }
+        return nullptr;
+    }
+
+    std::size_t size() const { return values_.size(); }
+    const std::string& name(std::size_t i) const { return names_[i]; }
+    const T& value(std::size_t i) const { return values_[i]; }
+    T& value(std::size_t i) { return values_[i]; }
+
+    /** Insertion-order indices sorted by name (the old std::map order). */
+    std::vector<std::size_t> sortedIndices() const;
+
+  private:
+    struct Slot {
+        std::uint64_t hash = 0;
+        std::uint32_t pos = 0;  ///< index into values_ + 1; 0 == empty
+    };
+
+    void
+    grow(std::size_t new_size)
+    {
+        slots_.assign(new_size, Slot{});
+        std::size_t mask = new_size - 1;
+        for (std::size_t v = 0; v < names_.size(); ++v) {
+            std::uint64_t h = hashName(names_[v]);
+            std::size_t i = static_cast<std::size_t>(h) & mask;
+            while (slots_[i].pos != 0)
+                i = (i + 1) & mask;
+            slots_[i] = Slot{h, static_cast<std::uint32_t>(v + 1)};
+        }
+    }
+
+    static constexpr std::size_t kInitialSlots = 64;
+
+    std::vector<Slot> slots_;
+    std::deque<T> values_;           ///< stable storage; parallel to names_
+    std::vector<std::string> names_;
+};
+
+} // namespace stats_detail
+
 /**
  * Flat registry of named counters/distributions. Each major model object
  * owns a StatGroup; names are dotted paths ("core.retired", "l1d.misses").
@@ -65,7 +172,10 @@ class StatGroup
   public:
     explicit StatGroup(std::string prefix = "") : prefix_(std::move(prefix)) {}
 
-    /** Look up (creating on first use) a counter. */
+    /**
+     * Look up (creating on first use) a counter. The returned reference is
+     * stable for the group's lifetime: bind once, cache, increment.
+     */
     Counter& counter(const std::string& name);
 
     /** Look up (creating on first use) a distribution. */
@@ -74,7 +184,10 @@ class StatGroup
     /** Value of a counter, 0 if it was never touched. */
     std::uint64_t get(const std::string& name) const;
 
-    /** Dump all stats, sorted by name. */
+    /**
+     * Dump all stats, sorted by name. Distributions that never received a
+     * sample are skipped ("no samples" is not the same as mean 0).
+     */
     void dump(std::ostream& os) const;
 
     /** Reset every stat in the group (e.g., after warmup). */
@@ -84,8 +197,8 @@ class StatGroup
 
   private:
     std::string prefix_;
-    std::map<std::string, Counter> counters_;
-    std::map<std::string, Distribution> dists_;
+    stats_detail::Registry<Counter> counters_;
+    stats_detail::Registry<Distribution> dists_;
 };
 
 } // namespace pfm

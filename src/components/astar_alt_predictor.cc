@@ -84,6 +84,15 @@ AstarAltPredictor::attach(PfmSystem& sys, const Workload& w,
 }
 
 void
+AstarAltPredictor::onAttach()
+{
+    ctr_default_predictions_ = &stats().counter("alt_default_predictions");
+    ctr_map_learned_ = &stats().counter("alt_map_learned");
+    ctr_patch_insertions_ = &stats().counter("alt_patch_insertions");
+    ctr_patch_deletions_ = &stats().counter("alt_patch_deletions");
+}
+
+void
 AstarAltPredictor::reset()
 {
     CustomComponent::reset();
@@ -155,7 +164,7 @@ AstarAltPredictor::rfStep(Cycle now)
             // truncation (the capacity weakness the paper calls out).
             if (!emitPrediction(true, now, meta(kMetaWay, 0)))
                 return;
-            ++stats().counter("alt_default_predictions");
+            ++*ctr_default_predictions_;
             continue;
         }
         std::int64_t index = draining_[drain_pos_];
@@ -217,7 +226,7 @@ AstarAltPredictor::patchLog(const SquashInfo& info)
             // stores: undo the poisoned waymap-table entry.
             way_table_[table_index & (way_table_.size() - 1)] = 0xFF;
         }
-        ++stats().counter("alt_map_learned");
+        ++*ctr_map_learned_;
         return;
     }
     if (!way_branch_pcs_.count(info.branch_pc) || kind != kMetaWay)
@@ -229,7 +238,7 @@ AstarAltPredictor::patchLog(const SquashInfo& info)
             map_state_[table_index & (map_state_.size() - 1)] == 2;
         logInsertAt(info.rollback_pos, blocked,
                     meta(kMetaMap, table_index & (map_state_.size() - 1)));
-        ++stats().counter("alt_patch_insertions");
+        ++*ctr_patch_insertions_;
     } else if (info.actual_taken && !logDirAt(pos)) {
         // Predicted not-visited but it was: drop the recorded maparp pred.
         if (info.rollback_pos < genPos() &&
@@ -238,7 +247,7 @@ AstarAltPredictor::patchLog(const SquashInfo& info)
         logSetDirAt(pos, true);
         way_table_[table_index & (way_table_.size() - 1)] =
             static_cast<std::uint8_t>(fillnum_);
-        ++stats().counter("alt_patch_deletions");
+        ++*ctr_patch_deletions_;
     }
 }
 

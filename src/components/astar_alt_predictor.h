@@ -62,6 +62,7 @@ class AstarAltPredictor : public CustomComponent
     void rfStep(Cycle now) override;
     void onObservation(const ObsPacket& p, Cycle now) override;
     void patchLog(const SquashInfo& info) override;
+    void onAttach() override;
 
   private:
     static constexpr unsigned kNeighbors = 8;
@@ -107,6 +108,12 @@ class AstarAltPredictor : public CustomComponent
 
     // Emission sub-state: 0 = waymap pred next, 1 = maparp pred next.
     std::uint8_t phase_ = 0;
+
+    // Bound once in onAttach(); rfStep()/patchLog() are per-prediction.
+    Counter* ctr_default_predictions_ = nullptr;
+    Counter* ctr_map_learned_ = nullptr;
+    Counter* ctr_patch_insertions_ = nullptr;
+    Counter* ctr_patch_deletions_ = nullptr;
 };
 
 } // namespace pfm

@@ -83,6 +83,13 @@ AstarPredictor::predMeta(unsigned kind, std::uint64_t iter, unsigned nb)
 }
 
 void
+AstarPredictor::onAttach()
+{
+    ctr_patch_insertions_ = &stats().counter("patch_insertions");
+    ctr_patch_deletions_ = &stats().counter("patch_deletions");
+}
+
+void
 AstarPredictor::reset()
 {
     CustomComponent::reset();
@@ -370,7 +377,7 @@ AstarPredictor::patchLog(const SquashInfo& info)
                         predMeta(kKindMap, iter_lo, nb));
             if (it && !blocked)
                 it->nb[nb].inferred_store = true;
-            ++stats().counter("patch_insertions");
+            ++*ctr_patch_insertions_;
         } else if (info.actual_taken && !logDirAt(pos)) {
             // Predicted unvisited [NT,x] but it was visited: the recorded
             // maparp prediction will never be consumed; drop it.
@@ -382,7 +389,7 @@ AstarPredictor::patchLog(const SquashInfo& info)
             logSetDirAt(pos, true);
             if (it)
                 it->nb[nb].inferred_store = false;
-            ++stats().counter("patch_deletions");
+            ++*ctr_patch_deletions_;
         }
     }
 }

@@ -56,6 +56,7 @@ class AstarPredictor : public CustomComponent
     void onObservation(const ObsPacket& p, Cycle now) override;
     void onLoadReturn(const LoadReturn& r, Cycle now) override;
     void patchLog(const SquashInfo& info) override;
+    void onAttach() override;
 
   private:
     static constexpr unsigned kNeighbors = 8;
@@ -122,6 +123,10 @@ class AstarPredictor : public CustomComponent
     std::uint64_t commit_iter_ = 0;  ///< H (retired iterations)
     std::uint64_t next_i_ = 0;       ///< next input worklist element
     std::uint16_t gen_ = 0;          ///< id generation (stale-return filter)
+
+    // Bound once in onAttach(); patchLog() runs on every FST squash.
+    Counter* ctr_patch_insertions_ = nullptr;
+    Counter* ctr_patch_deletions_ = nullptr;
 };
 
 } // namespace pfm

@@ -86,6 +86,13 @@ BfsComponent::predMeta(unsigned kind, std::uint64_t ordinal)
 }
 
 void
+BfsComponent::onAttach()
+{
+    ctr_visited_patches_ = &stats().counter("bfs_visited_patches");
+    ctr_loop_patches_ = &stats().counter("bfs_loop_patches");
+}
+
+void
 BfsComponent::reset()
 {
     CustomComponent::reset();
@@ -431,13 +438,13 @@ BfsComponent::patchLog(const SquashInfo& info)
                 break;
             }
         }
-        ++stats().counter("bfs_visited_patches");
+        ++*ctr_visited_patches_;
     } else if (info.branch_pc == pc_br_nbloop_ && kind == kMetaLoop) {
         // Should only happen for garbage beyond the frontier end; the
         // recorded direction is fixed and the per-level ROI squash will
         // resynchronize. Count it for visibility.
         logSetDirAt(pos, info.actual_taken);
-        ++stats().counter("bfs_loop_patches");
+        ++*ctr_loop_patches_;
     }
 }
 

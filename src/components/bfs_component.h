@@ -52,6 +52,7 @@ class BfsComponent : public CustomComponent
     void onObservation(const ObsPacket& p, Cycle now) override;
     void onLoadReturn(const LoadReturn& r, Cycle now) override;
     void patchLog(const SquashInfo& info) override;
+    void onAttach() override;
 
   private:
     struct NodeSlot {
@@ -131,6 +132,10 @@ class BfsComponent : public CustomComponent
     std::uint8_t e_phase_ = 0;      ///< 0: loop pred, 1: visited pred
 
     std::uint16_t gen_ = 0;
+
+    // Bound once in onAttach(); patchLog() runs on every FST squash.
+    Counter* ctr_visited_patches_ = nullptr;
+    Counter* ctr_loop_patches_ = nullptr;
 };
 
 } // namespace pfm

@@ -46,6 +46,13 @@ FsmPrefetcher::attach(PfmSystem& sys, const Workload& w,
 }
 
 void
+FsmPrefetcher::onAttach()
+{
+    ctr_sets_skipped_ = &stats().counter("prefetch_sets_skipped");
+    ctr_prefetches_issued_ = &stats().counter("prefetches_issued");
+}
+
+void
 FsmPrefetcher::reset()
 {
     CustomComponent::reset();
@@ -136,7 +143,7 @@ FsmPrefetcher::rfStep(Cycle now)
                 loadAgent().intqFreeSlots() < st.pending.size()) {
                 // lbm-style MLP awareness: never push a partial cluster.
                 st.pending.clear();
-                ++stats().counter("prefetch_sets_skipped");
+                ++*ctr_sets_skipped_;
                 ++st.units_issued;
                 if (!advance(s, st))
                     break;
@@ -156,7 +163,7 @@ FsmPrefetcher::rfStep(Cycle now)
                                  (unsigned long long)st.pending.back());
                 }
                 st.pending.pop_back();
-                ++stats().counter("prefetches_issued");
+                ++*ctr_prefetches_issued_;
             }
             if (blocked)
                 break;

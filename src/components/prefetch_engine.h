@@ -58,6 +58,7 @@ class FsmPrefetcher : public CustomComponent
   protected:
     void rfStep(Cycle now) override;
     void onObservation(const ObsPacket& p, Cycle now) override;
+    void onAttach() override;
 
   private:
     struct StreamState {
@@ -78,6 +79,10 @@ class FsmPrefetcher : public CustomComponent
     // so concurrent sweep workers don't share a static).
     bool trace_enabled_ = false;
     unsigned long trace_count_ = 0;
+
+    // Bound once in onAttach(); rfStep() increments these per prefetch.
+    Counter* ctr_sets_skipped_ = nullptr;
+    Counter* ctr_prefetches_issued_ = nullptr;
 };
 
 } // namespace pfm

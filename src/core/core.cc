@@ -38,6 +38,28 @@ Core::Core(const CoreParams& params, FunctionalEngine& engine,
       ctr_issued_(stats_.counter("issued")),
       ctr_retired_(stats_.counter("retired")),
       ctr_cond_fetched_(stats_.counter("cond_branches_fetched")),
+      ctr_fetch_stall_pfm_(stats_.counter("fetch_stall_pfm")),
+      ctr_btb_misses_(stats_.counter("btb_misses")),
+      ctr_ras_mispredicts_(stats_.counter("ras_mispredicts")),
+      ctr_indirect_mispredicts_(stats_.counter("indirect_mispredicts")),
+      ctr_dispatch_stall_rob_(stats_.counter("dispatch_stall_rob")),
+      ctr_dispatch_stall_iq_(stats_.counter("dispatch_stall_iq")),
+      ctr_dispatch_stall_ldq_(stats_.counter("dispatch_stall_ldq")),
+      ctr_dispatch_stall_stq_(stats_.counter("dispatch_stall_stq")),
+      ctr_dispatch_stall_prf_(stats_.counter("dispatch_stall_prf")),
+      ctr_load_waits_storeset_(stats_.counter("load_waits_storeset")),
+      ctr_stl_forwards_(stats_.counter("stl_forwards")),
+      ctr_stl_partial_(stats_.counter("stl_partial")),
+      ctr_load_l1_misses_(stats_.counter("load_l1_misses")),
+      ctr_retire_stall_wb_(stats_.counter("retire_stall_wb")),
+      ctr_retire_stall_pfm_(stats_.counter("retire_stall_pfm")),
+      ctr_cond_retired_(stats_.counter("cond_branches_retired")),
+      ctr_branch_mispredicts_(stats_.counter("branch_mispredicts")),
+      ctr_custom_mispredicts_(stats_.counter("custom_mispredicts")),
+      ctr_target_mispredicts_(stats_.counter("target_mispredicts")),
+      ctr_mispredict_squashes_(stats_.counter("mispredict_squashes")),
+      ctr_stores_drained_(stats_.counter("stores_drained")),
+      dist_load_latency_(stats_.distribution("load_latency")),
       pf_trace_enabled_(std::getenv("PFM_PF_TRACE") != nullptr)
 {
     iq_.reserve(params_.iq_size);
@@ -146,15 +168,15 @@ Core::resolveMispredict(InstRec& e, Cycle now)
     if (!e.mispredict_counted) {
         e.mispredict_counted = true;
         if (e.d.isCondBranch()) {
-            ++stats_.counter("branch_mispredicts");
+            ++ctr_branch_mispredicts_;
             ++mispredict_by_pc_[e.d.pc];
             if (e.used_custom)
-                ++stats_.counter("custom_mispredicts");
+                ++ctr_custom_mispredicts_;
         } else {
-            ++stats_.counter("target_mispredicts");
+            ++ctr_target_mispredicts_;
         }
     }
-    ++stats_.counter("mispredict_squashes");
+    ++ctr_mispredict_squashes_;
     if (hooks_) {
         Cycle stall = hooks_->onSquash(now, e.d.seq, &e.d);
         retire_stall_until_ = std::max(retire_stall_until_, stall);
@@ -246,7 +268,7 @@ Core::drainWriteBuffer(Cycle now)
     PendingWrite w = write_buffer_.front();
     write_buffer_.pop_front();
     mem_.access(w.addr, now, MemAccessType::kStore);
-    ++stats_.counter("stores_drained");
+    ++ctr_stores_drained_;
 }
 
 void

@@ -263,14 +263,36 @@ class Core
 
     StatGroup stats_;
 
-    // Hot counters resolved once at construction (StatGroup map nodes are
-    // stable), so the per-cycle stages skip the name lookup.
+    // Hot counters resolved once at construction (the stats registry
+    // hands out stable refs), so the per-cycle stages skip the lookup.
     Counter& ctr_cycles_;
     Counter& ctr_fetched_;
     Counter& ctr_dispatched_;
     Counter& ctr_issued_;
     Counter& ctr_retired_;
     Counter& ctr_cond_fetched_;
+    Counter& ctr_fetch_stall_pfm_;
+    Counter& ctr_btb_misses_;
+    Counter& ctr_ras_mispredicts_;
+    Counter& ctr_indirect_mispredicts_;
+    Counter& ctr_dispatch_stall_rob_;
+    Counter& ctr_dispatch_stall_iq_;
+    Counter& ctr_dispatch_stall_ldq_;
+    Counter& ctr_dispatch_stall_stq_;
+    Counter& ctr_dispatch_stall_prf_;
+    Counter& ctr_load_waits_storeset_;
+    Counter& ctr_stl_forwards_;
+    Counter& ctr_stl_partial_;
+    Counter& ctr_load_l1_misses_;
+    Counter& ctr_retire_stall_wb_;
+    Counter& ctr_retire_stall_pfm_;
+    Counter& ctr_cond_retired_;
+    Counter& ctr_branch_mispredicts_;
+    Counter& ctr_custom_mispredicts_;
+    Counter& ctr_target_mispredicts_;
+    Counter& ctr_mispredict_squashes_;
+    Counter& ctr_stores_drained_;
+    Distribution& dist_load_latency_;
 
     // PFM_PF_TRACE demand-miss tracing (env checked once; per-instance
     // counter so concurrent sweep workers don't share a static).

@@ -58,7 +58,7 @@ Core::fetch(Cycle now)
             if (hooks_)
                 fo = hooks_->fetchOverride(e->d, e->replayed, now);
             if (fo.stall) {
-                ++stats_.counter("fetch_stall_pfm");
+                ++ctr_fetch_stall_pfm_;
                 return; // retry next cycle; do not consume
             }
             bool pred;
@@ -86,7 +86,7 @@ Core::fetch(Cycle now)
                 if (btb_.lookup(e->d.pc) != e->d.next_pc) {
                     target_bubble = params_.btb_fill_penalty;
                     btb_.update(e->d.pc, e->d.next_pc);
-                    ++stats_.counter("btb_misses");
+                    ++ctr_btb_misses_;
                 }
             }
         } else if (e->d.isControl()) {
@@ -103,7 +103,7 @@ Core::fetch(Cycle now)
                     if (btb_.lookup(e->d.pc) != e->d.next_pc) {
                         target_bubble = params_.btb_fill_penalty;
                         btb_.update(e->d.pc, e->d.next_pc);
-                        ++stats_.counter("btb_misses");
+                        ++ctr_btb_misses_;
                     }
                 } else if (is_ret) {
                     Addr predicted = ras_.pop();
@@ -111,13 +111,13 @@ Core::fetch(Cycle now)
                         // Return mispredicted: resolve at execute like a
                         // direction mispredict (no wrong path fetched).
                         e->mispredicted = true;
-                        ++stats_.counter("ras_mispredicts");
+                        ++ctr_ras_mispredicts_;
                     }
                 } else {
                     // Indirect jump: BTB target or resolve at execute.
                     if (btb_.lookup(e->d.pc) != e->d.next_pc) {
                         e->mispredicted = true;
-                        ++stats_.counter("indirect_mispredicts");
+                        ++ctr_indirect_mispredicts_;
                     }
                     btb_.update(e->d.pc, e->d.next_pc);
                 }
@@ -160,7 +160,7 @@ Core::dispatch(Cycle now)
         if (f.dispatch_ready > now)
             return;
         if (rob_.size() >= params_.rob_size) {
-            ++stats_.counter("dispatch_stall_rob");
+            ++ctr_dispatch_stall_rob_;
             return;
         }
 
@@ -169,21 +169,21 @@ Core::dispatch(Cycle now)
         bool needs_iq = t.cls != OpClass::kNop;
 
         if (needs_iq && iq_.size() >= params_.iq_size) {
-            ++stats_.counter("dispatch_stall_iq");
+            ++ctr_dispatch_stall_iq_;
             return;
         }
         if (t.is_load && ldq_.size() >= params_.ldq_size) {
-            ++stats_.counter("dispatch_stall_ldq");
+            ++ctr_dispatch_stall_ldq_;
             return;
         }
         if (t.is_store && stq_.size() >= params_.stq_size) {
-            ++stats_.counter("dispatch_stall_stq");
+            ++ctr_dispatch_stall_stq_;
             return;
         }
 
         SeqNum src1, src2;
         if (!rename_.rename(*f.d.inst, f.d.seq, src1, src2)) {
-            ++stats_.counter("dispatch_stall_prf");
+            ++ctr_dispatch_stall_prf_;
             return;
         }
 

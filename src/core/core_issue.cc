@@ -60,7 +60,7 @@ Core::issue(Cycle now)
             const InstRec& s = rec(e.mem_barrier);
             if (s.state != InstRec::kFrontend &&
                 (s.complete_cycle == kNoCycle || s.complete_cycle > now)) {
-                ++stats_.counter("load_waits_storeset");
+                ++ctr_load_waits_storeset_;
                 iq_[kept++] = seq;
                 continue;
             }
@@ -160,22 +160,22 @@ Core::issueLoad(InstRec& e, Cycle now)
             // Full containment: store-to-load forwarding.
             e.forwarded = true;
             e.forwarded_from = s.d.seq;
-            ++stats_.counter("stl_forwards");
+            ++ctr_stl_forwards_;
             return agen + 1;
         }
         // Partial overlap: conservative replay-through-cache penalty.
         e.forwarded = true;
         e.forwarded_from = s.d.seq;
-        ++stats_.counter("stl_partial");
+        ++ctr_stl_partial_;
         return agen + 3;
     }
 
     MemAccessResult r = mem_.access(e.d.mem_addr, agen, MemAccessType::kLoad);
-    stats_.distribution("load_latency").sample(
+    dist_load_latency_.sample(
         static_cast<double>(r.done - now));
     e.service_level = r.service_level;
     if (r.service_level > 1) {
-        ++stats_.counter("load_l1_misses");
+        ++ctr_load_l1_misses_;
         // Weight the delinquency map by how deep the miss went.
         miss_by_pc_[e.d.pc] +=
             static_cast<std::uint64_t>(r.service_level - 1);

@@ -23,7 +23,7 @@ Core::retire(Cycle now)
 
         if (head.d.isStore() &&
             write_buffer_.size() >= params_.write_buffer_size) {
-            ++stats_.counter("retire_stall_wb");
+            ++ctr_retire_stall_wb_;
             return;
         }
 
@@ -32,7 +32,7 @@ Core::retire(Cycle now)
             dec = hooks_->onRetire(head.d, now);
         if (!dec.allow) {
             retire_stall_until_ = std::max(dec.retry_at, now + 1);
-            ++stats_.counter("retire_stall_pfm");
+            ++ctr_retire_stall_pfm_;
             return;
         }
 
@@ -52,7 +52,7 @@ Core::retire(Cycle now)
             ldq_.erase(ldq_.begin());
         }
         if (head.d.isCondBranch())
-            ++stats_.counter("cond_branches_retired");
+            ++ctr_cond_retired_;
 
         rename_.retire(*head.d.inst, head.d.seq);
 

@@ -13,7 +13,10 @@ Cache::Cache(const CacheParams& params)
       ctr_accesses_(stats_.counter("accesses")),
       ctr_misses_(stats_.counter("misses")),
       ctr_hits_under_fill_(stats_.counter("hits_under_fill")),
-      ctr_prefetch_useful_(stats_.counter("prefetch_useful"))
+      ctr_prefetch_useful_(stats_.counter("prefetch_useful")),
+      ctr_evictions_(stats_.counter("evictions")),
+      ctr_prefetch_unused_(stats_.counter("prefetch_unused")),
+      ctr_mshr_stalls_(stats_.counter("mshr_stalls"))
 {
     pfm_assert(params_.size_bytes % (params_.assoc * kLineBytes) == 0,
                "%s: size must be a multiple of assoc * line size",
@@ -100,9 +103,9 @@ Cache::fill(Addr addr, Cycle fill_done, bool prefetched) noexcept
     }
 
     if (victim->valid) {
-        ++stats_.counter("evictions");
+        ++ctr_evictions_;
         if (victim->prefetched)
-            ++stats_.counter("prefetch_unused");
+            ++ctr_prefetch_unused_;
         line_index_.erase(keyOfLine(set, victim->tag));
     }
 
@@ -127,7 +130,7 @@ Cache::mshrAcquire(Cycle now) noexcept
     last_mshr_ = best;
     Cycle start = std::max(now, mshr_free_at_[best]);
     if (start > now)
-        ++stats_.counter("mshr_stalls");
+        ++ctr_mshr_stalls_;
     return start;
 }
 

@@ -111,12 +111,15 @@ class Cache
     size_t last_mshr_ = 0;            ///< slot chosen by last mshrAcquire
     StatGroup stats_;
 
-    // Hot counters resolved once at construction (StatGroup map nodes are
-    // stable), so the per-access paths skip the name lookup.
+    // Hot counters resolved once at construction (the stats registry
+    // hands out stable refs), so the per-access paths skip the lookup.
     Counter& ctr_accesses_;
     Counter& ctr_misses_;
     Counter& ctr_hits_under_fill_;
     Counter& ctr_prefetch_useful_;
+    Counter& ctr_evictions_;
+    Counter& ctr_prefetch_unused_;
+    Counter& ctr_mshr_stalls_;
 };
 
 } // namespace pfm

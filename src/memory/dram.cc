@@ -5,13 +5,17 @@
 namespace pfm {
 
 Dram::Dram(const DramParams& params)
-    : params_(params), slots_(params.max_outstanding, 0), stats_("dram.")
+    : params_(params),
+      slots_(params.max_outstanding, 0),
+      stats_("dram."),
+      ctr_accesses_(stats_.counter("accesses")),
+      ctr_queue_delay_events_(stats_.counter("queue_delay_events"))
 {}
 
 Cycle
 Dram::access(Cycle now)
 {
-    ++stats_.counter("accesses");
+    ++ctr_accesses_;
 
     // Bounded outstanding requests: reuse the earliest-free slot.
     size_t best = 0;
@@ -21,7 +25,7 @@ Dram::access(Cycle now)
     }
     Cycle start = std::max({now, next_issue_, slots_[best]});
     if (start > now)
-        ++stats_.counter("queue_delay_events");
+        ++ctr_queue_delay_events_;
     next_issue_ = start + params_.issue_gap;
     Cycle done = start + params_.latency;
     slots_[best] = done;

@@ -37,6 +37,10 @@ class Dram
     Cycle next_issue_ = 0;
     std::vector<Cycle> slots_;   ///< outstanding-request completion times
     StatGroup stats_;
+
+    // Bound once; access() runs on every DRAM-bound miss.
+    Counter& ctr_accesses_;
+    Counter& ctr_queue_delay_events_;
 };
 
 } // namespace pfm

@@ -13,7 +13,13 @@ Hierarchy::Hierarchy(const HierarchyParams& params)
       dram_(params.dram),
       l1d_pf_(params.l1d_next_n),
       vldp_(),
-      stats_("mem.")
+      stats_("mem."),
+      ctr_agent_pf_fills_(stats_.counter("agent_prefetch_fills")),
+      ctr_served_l2_(stats_.counter("served_l2")),
+      ctr_served_l3_(stats_.counter("served_l3")),
+      ctr_served_dram_(stats_.counter("served_dram")),
+      ctr_l1_prefetches_(stats_.counter("l1_prefetches")),
+      ctr_l2_prefetches_(stats_.counter("l2_prefetches"))
 {}
 
 MemAccessResult
@@ -35,31 +41,21 @@ Hierarchy::access(Addr addr, Cycle now, MemAccessType type) noexcept
         Addr line = lineAlign(addr);
         if (l1d_.contains(line) || l2_.contains(line))
             return {now, 2};
-        ++stats_.counter("agent_prefetch_fills");
-        Cycle t1 = l2_.mshrAcquire(now) + l2_.params().latency;
-        CacheProbe p3 = l3_.probe(line, t1, false);
-        Cycle done;
-        if (p3.hit) {
-            done = p3.data_ready;
-        } else {
-            Cycle t2 = l3_.mshrAcquire(t1) + l3_.params().latency;
-            done = dram_.access(t2);
-            l3_.fill(line, done, true);
-            l3_.holdMshr(done);
-        }
-        l2_.fill(line, done, true);
-        l2_.holdMshr(done);
-        return {done, 2};
+        ++ctr_agent_pf_fills_;
+        return {fillOuterLevels(line, now), 2};
     }
 
     bool demand = (type != MemAccessType::kPrefetch);
-    MemAccessResult res = walk(addr, now, ifetch, demand, demand && !ifetch);
+    MemAccessResult res =
+        walkLine(addr, now, ifetch, demand, demand && !ifetch);
+    if (demand && !ifetch)
+        drainPrefetchWork(now);
     return res;
 }
 
 MemAccessResult
-Hierarchy::walk(Addr addr, Cycle now, bool ifetch, bool demand,
-                bool trigger_prefetch) noexcept
+Hierarchy::walkLine(Addr addr, Cycle now, bool ifetch, bool demand,
+                    bool trigger_prefetch) noexcept
 {
     Cache& l1 = ifetch ? l1i_ : l1d_;
     Addr line = lineAlign(addr);
@@ -71,8 +67,11 @@ Hierarchy::walk(Addr addr, Cycle now, bool ifetch, bool demand,
 
     if (p1.hit) {
         res = {p1.data_ready, 1};
-        if (trigger_prefetch)
-            runPrefetches(l1_pf_scratch_, now, true);
+        if (trigger_prefetch) {
+            for (Addr a : l1_pf_scratch_)
+                pf_work_.push_back({a, /*l1_level=*/true});
+            l1_pf_scratch_.clear();
+        }
         return res;
     }
 
@@ -112,52 +111,67 @@ Hierarchy::walk(Addr addr, Cycle now, bool ifetch, bool demand,
 
     if (demand) {
         switch (level) {
-          case 2: ++stats_.counter("served_l2"); break;
-          case 3: ++stats_.counter("served_l3"); break;
-          case 4: ++stats_.counter("served_dram"); break;
+          case 2: ++ctr_served_l2_; break;
+          case 3: ++ctr_served_l3_; break;
+          case 4: ++ctr_served_dram_; break;
           default: break;
         }
     }
 
     if (trigger_prefetch) {
-        runPrefetches(l1_pf_scratch_, now, true);
-        runPrefetches(l2_pf_scratch_, now, false);
+        // Queue candidates in issue order (L1 prefetcher first, then
+        // VLDP); drainPrefetchWork() executes them without recursion.
+        for (Addr a : l1_pf_scratch_)
+            pf_work_.push_back({a, /*l1_level=*/true});
+        l1_pf_scratch_.clear();
+        for (Addr a : l2_pf_scratch_)
+            pf_work_.push_back({a, /*l1_level=*/false});
+        l2_pf_scratch_.clear();
     }
     return {done, level};
 }
 
 void
-Hierarchy::runPrefetches(std::vector<Addr>& queue, Cycle now, bool l1_level)
+Hierarchy::drainPrefetchWork(Cycle now) noexcept
 {
-    for (Addr a : queue) {
-        if (l1_level) {
-            if (!l1d_.contains(a)) {
-                ++stats_.counter("l1_prefetches");
-                walk(a, now, /*ifetch=*/false, /*demand=*/false,
+    // Index loop, not iterators: a prefetch cascade may append to
+    // pf_work_ while we drain it.
+    for (std::size_t i = 0; i < pf_work_.size(); ++i) {
+        PrefetchIssue w = pf_work_[i];
+        if (w.l1_level) {
+            if (l1d_.contains(w.addr))
+                continue;
+            ++ctr_l1_prefetches_;
+            walkLine(w.addr, now, /*ifetch=*/false, /*demand=*/false,
                      /*trigger_prefetch=*/false);
-            }
         } else {
             // VLDP prefetches fill L2/L3 only.
-            if (l2_.contains(a))
+            if (l2_.contains(w.addr))
                 continue;
-            ++stats_.counter("l2_prefetches");
-            Addr line = lineAlign(a);
-            Cycle t1 = l2_.mshrAcquire(now) + l2_.params().latency;
-            CacheProbe p3 = l3_.probe(line, t1, false);
-            Cycle done;
-            if (p3.hit) {
-                done = p3.data_ready;
-            } else {
-                Cycle t2 = l3_.mshrAcquire(t1) + l3_.params().latency;
-                done = dram_.access(t2);
-                l3_.fill(line, done, true);
-                l3_.holdMshr(done);
-            }
-            l2_.fill(line, done, true);
-            l2_.holdMshr(done);
+            ++ctr_l2_prefetches_;
+            fillOuterLevels(lineAlign(w.addr), now);
         }
     }
-    queue.clear();
+    pf_work_.clear();
+}
+
+Cycle
+Hierarchy::fillOuterLevels(Addr line, Cycle now) noexcept
+{
+    Cycle t1 = l2_.mshrAcquire(now) + l2_.params().latency;
+    CacheProbe p3 = l3_.probe(line, t1, false);
+    Cycle done;
+    if (p3.hit) {
+        done = p3.data_ready;
+    } else {
+        Cycle t2 = l3_.mshrAcquire(t1) + l3_.params().latency;
+        done = dram_.access(t2);
+        l3_.fill(line, done, true);
+        l3_.holdMshr(done);
+    }
+    l2_.fill(line, done, true);
+    l2_.holdMshr(done);
+    return done;
 }
 
 void

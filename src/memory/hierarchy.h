@@ -66,14 +66,31 @@ class Hierarchy
     StatGroup& stats() { return stats_; }
 
   private:
+    /** One queued prefetch issue: fill toward L1 or only the outer levels. */
+    struct PrefetchIssue {
+        Addr addr;
+        bool l1_level;
+    };
+
     /**
      * Demand path shared by all types: probe L1 (selected by @p ifetch),
-     * then L2, L3, DRAM; fill inward on the way back.
+     * then L2, L3, DRAM; fill inward on the way back. With
+     * @p trigger_prefetch, prefetcher candidates are appended to
+     * pf_work_ — never issued recursively — and the caller drains them.
      */
-    MemAccessResult walk(Addr addr, Cycle now, bool ifetch, bool demand,
-                         bool trigger_prefetch) noexcept;
+    MemAccessResult walkLine(Addr addr, Cycle now, bool ifetch, bool demand,
+                             bool trigger_prefetch) noexcept;
 
-    void runPrefetches(std::vector<Addr>& queue, Cycle now, bool l1_level);
+    /**
+     * Issue every queued prefetch with a flat loop. A cascade (e.g. VLDP
+     * degree > 1 queueing follow-on work) grows the queue in place; the
+     * loop keeps draining until it is empty, so prefetch issue never
+     * re-enters walkLine() above one level deep.
+     */
+    void drainPrefetchWork(Cycle now) noexcept;
+
+    /** L2/L3/DRAM-only fill path shared by agent and VLDP prefetches. */
+    Cycle fillOuterLevels(Addr line, Cycle now) noexcept;
 
     HierarchyParams params_;
     Cache l1i_;
@@ -85,11 +102,19 @@ class Hierarchy
     VldpPrefetcher vldp_;
     StatGroup stats_;
 
-    // Per-access prefetch candidate buffers, members so walk() does not
-    // allocate on every access. Nested walk() calls (prefetch issue) run
-    // with trigger_prefetch=false and never touch them.
+    // Hot-path counters bound once (the registry hands out stable refs).
+    Counter& ctr_agent_pf_fills_;
+    Counter& ctr_served_l2_;
+    Counter& ctr_served_l3_;
+    Counter& ctr_served_dram_;
+    Counter& ctr_l1_prefetches_;
+    Counter& ctr_l2_prefetches_;
+
+    // Per-access prefetch candidate buffers, members so walkLine() does
+    // not allocate on every access, plus the explicit issue work queue.
     std::vector<Addr> l1_pf_scratch_;
     std::vector<Addr> l2_pf_scratch_;
+    std::vector<PrefetchIssue> pf_work_;
 };
 
 } // namespace pfm

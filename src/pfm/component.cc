@@ -14,6 +14,7 @@ CustomComponent::attach(FetchAgent* fetch, RetireAgent* retire,
     load_ = load;
     params_ = params;
     stats_ = stats;
+    onAttach();
 }
 
 Cycle

@@ -80,6 +80,9 @@ class CustomComponent
     /** An observation packet (RST hit) arrived. */
     virtual void onObservation(const ObsPacket& p, Cycle now) = 0;
 
+    /** Agents and stats are wired; bind cached stat references here. */
+    virtual void onAttach() {}
+
     /** A load value came back from the Load Agent (possibly OOO). */
     virtual void onLoadReturn(const LoadReturn& r, Cycle now)
     {

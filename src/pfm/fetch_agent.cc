@@ -3,7 +3,15 @@
 namespace pfm {
 
 FetchAgent::FetchAgent(const PfmParams& params, StatGroup& stats)
-    : params_(params), stats_(stats), intq_f_(params.queue_size)
+    : params_(params),
+      stats_(stats),
+      ctr_fst_hits_(stats.counter("fst_hits")),
+      ctr_late_packet_drops_(stats.counter("late_packet_drops")),
+      ctr_fetch_stall_cycles_(stats.counter("fetch_stall_cycles")),
+      ctr_watchdog_disables_(stats.counter("watchdog_disables")),
+      ctr_custom_predictions_used_(
+          stats.counter("custom_predictions_used")),
+      intq_f_(params.queue_size)
 {}
 
 FetchAgent::Decision
@@ -14,7 +22,7 @@ FetchAgent::onBranchFetch(const DynInst& d, Cycle now)
         return dec;
 
     dec.hit = true;
-    ++stats_.counter("fst_hits");
+    ++ctr_fst_hits_;
 
     if (intq_f_.empty() || intq_f_.front().avail > now) {
         if (params_.non_stalling_fetch) {
@@ -29,12 +37,12 @@ FetchAgent::onBranchFetch(const DynInst& d, Cycle now)
                 intq_f_.pop();
             else
                 ++pending_drops_;
-            ++stats_.counter("late_packet_drops");
+            ++ctr_late_packet_drops_;
             dec.hit = false;
             return dec;
         }
         dec.stall = true;
-        ++stats_.counter("fetch_stall_cycles");
+        ++ctr_fetch_stall_cycles_;
         if (stall_started_ == kNoCycle)
             stall_started_ = now;
         if (params_.watchdog_cycles != 0 &&
@@ -43,7 +51,7 @@ FetchAgent::onBranchFetch(const DynInst& d, Cycle now)
             chicken_switched_ = true;
             dec.hit = false;
             dec.stall = false;
-            ++stats_.counter("watchdog_disables");
+            ++ctr_watchdog_disables_;
         }
         return dec;
     }
@@ -55,7 +63,7 @@ FetchAgent::onBranchFetch(const DynInst& d, Cycle now)
     ++pop_count_;
     if (pops_.size() > 4096)
         pops_.pop_front();
-    ++stats_.counter("custom_predictions_used");
+    ++ctr_custom_predictions_used_;
     return dec;
 }
 

@@ -78,6 +78,12 @@ class FetchAgent
   private:
     PfmParams params_;
     StatGroup& stats_;
+    // Bound once; onBranchFetch() runs for every fetched branch.
+    Counter& ctr_fst_hits_;
+    Counter& ctr_late_packet_drops_;
+    Counter& ctr_fetch_stall_cycles_;
+    Counter& ctr_watchdog_disables_;
+    Counter& ctr_custom_predictions_used_;
     FetchSnoopTable fst_;
     CircularQueue<PredPacket> intq_f_;
     bool enabled_ = false;

@@ -12,6 +12,11 @@ LoadAgent::LoadAgent(const PfmParams& params, Hierarchy& mem,
       mem_(mem),
       commit_log_(commit_log),
       stats_(stats),
+      ctr_agent_prefetches_(stats.counter("agent_prefetches")),
+      ctr_agent_loads_(stats.counter("agent_loads")),
+      ctr_mlb_allocations_(stats.counter("mlb_allocations")),
+      ctr_mlb_replays_hit_(stats.counter("mlb_replays_hit")),
+      ctr_mlb_full_stalls_(stats.counter("mlb_full_stalls")),
       intq_is_(params.queue_size),
       obsq_ex_(params.queue_size)
 {
@@ -24,8 +29,7 @@ LoadAgent::pushRequest(const LoadRequest& req)
     if (intq_is_.full())
         return false;
     intq_is_.push(req);
-    ++stats_.counter(req.prefetch_only ? "agent_prefetches"
-                                       : "agent_loads");
+    ++(req.prefetch_only ? ctr_agent_prefetches_ : ctr_agent_loads_);
     return true;
 }
 
@@ -75,7 +79,7 @@ LoadAgent::inject(const LoadRequest& req, Cycle now)
         finish(req, value, r.done);
     } else {
         // Miss: park in the MLB and replay when the fill arrives.
-        ++stats_.counter("mlb_allocations");
+        ++ctr_mlb_allocations_;
         mlb_.push_back({req, value, r.done});
     }
 }
@@ -98,7 +102,7 @@ LoadAgent::onCycle(Cycle now, unsigned free_ls_slots)
         if (ready != mlb_.end()) {
             finish(ready->req, ready->value, now + 1);
             mlb_.erase(ready);
-            ++stats_.counter("mlb_replays_hit");
+            ++ctr_mlb_replays_hit_;
             continue;
         }
 
@@ -108,7 +112,7 @@ LoadAgent::onCycle(Cycle now, unsigned free_ls_slots)
         // head if the MLB is full.
         if (!intq_is_.front().prefetch_only &&
             mlb_.size() >= params_.mlb_entries) {
-            ++stats_.counter("mlb_full_stalls");
+            ++ctr_mlb_full_stalls_;
             break;
         }
         LoadRequest req = intq_is_.pop();

@@ -66,6 +66,12 @@ class LoadAgent
     Hierarchy& mem_;
     const CommitLog& commit_log_;
     StatGroup& stats_;
+    // Bound once; the push/inject/replay paths run every idle LS slot.
+    Counter& ctr_agent_prefetches_;
+    Counter& ctr_agent_loads_;
+    Counter& ctr_mlb_allocations_;
+    Counter& ctr_mlb_replays_hit_;
+    Counter& ctr_mlb_full_stalls_;
 
     CircularQueue<LoadRequest> intq_is_;
     CircularQueue<LoadReturn> obsq_ex_;

@@ -8,6 +8,8 @@ PfmSystem::PfmSystem(const PfmParams& params, Hierarchy& mem,
                      const CommitLog& commit_log)
     : params_(params),
       stats_("pfm."),
+      ctr_fst_retired_hits_(stats_.counter("fst_retired_hits")),
+      ctr_squash_packets_(stats_.counter("squash_packets")),
       fetch_agent_(params, stats_),
       retire_agent_(params, stats_),
       load_agent_(params, mem, commit_log, stats_)
@@ -48,7 +50,7 @@ PfmSystem::onRetire(const DynInst& d, Cycle now)
     // (the retired stream equals the correct-path fetched stream).
     if (retire_agent_.roiActive() && d.isCondBranch() &&
         fetch_agent_.fst().contains(d.pc)) {
-        ++stats_.counter("fst_retired_hits");
+        ++ctr_fst_retired_hits_;
     }
 
     bool roi_begin = false;
@@ -93,7 +95,7 @@ PfmSystem::onSquash(Cycle now, SeqNum last_kept, const DynInst* branch)
         info.actual_taken = branch->taken;
     }
     component_->squash(now, info);
-    ++stats_.counter("squash_packets");
+    ++ctr_squash_packets_;
     return squashDoneCycle(now);
 }
 

@@ -54,6 +54,9 @@ class PfmSystem : public CoreHooks
 
     PfmParams params_;
     StatGroup stats_;
+    // Bound once; onRetire()/onSquash() are per-retirement paths.
+    Counter& ctr_fst_retired_hits_;
+    Counter& ctr_squash_packets_;
     Cycle next_context_switch_ = 0;
     Cycle reconfig_until_ = 0;
     FetchAgent fetch_agent_;

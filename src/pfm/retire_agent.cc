@@ -3,7 +3,13 @@
 namespace pfm {
 
 RetireAgent::RetireAgent(const PfmParams& params, StatGroup& stats)
-    : params_(params), stats_(stats), obsq_r_(params.queue_size)
+    : params_(params),
+      stats_(stats),
+      ctr_rst_hits_(stats.counter("rst_hits")),
+      ctr_retired_in_roi_(stats.counter("retired_in_roi")),
+      ctr_port_stalls_(stats.counter("port_stalls")),
+      ctr_obsq_r_full_stalls_(stats.counter("obsq_r_full_stalls")),
+      obsq_r_(params.queue_size)
 {}
 
 bool
@@ -35,9 +41,9 @@ RetireAgent::onRetire(const DynInst& d, Cycle now, RetireDecision& decision,
 
     if (actionable && e->count_only) {
         ++counts_[d.pc];
-        ++stats_.counter("rst_hits");
+        ++ctr_rst_hits_;
         if (roi_active_)
-            ++stats_.counter("retired_in_roi");
+            ++ctr_retired_in_roi_;
         return;
     }
 
@@ -48,24 +54,24 @@ RetireAgent::onRetire(const DynInst& d, Cycle now, RetireDecision& decision,
         if (needs_port && !portAvailable()) {
             decision.allow = false;
             decision.retry_at = now + 1;
-            ++stats_.counter("port_stalls");
+            ++ctr_port_stalls_;
             return;
         }
         if (obsq_r_.full()) {
             decision.allow = false;
             decision.retry_at = now + 1;
-            ++stats_.counter("obsq_r_full_stalls");
+            ++ctr_obsq_r_full_stalls_;
             return;
         }
     }
 
     // The instruction retires this cycle: account it exactly once.
     if (roi_active_)
-        ++stats_.counter("retired_in_roi");
+        ++ctr_retired_in_roi_;
     if (!actionable)
         return;
 
-    ++stats_.counter("rst_hits");
+    ++ctr_rst_hits_;
 
     ObsPacket p;
     p.pc = d.pc;
@@ -76,7 +82,7 @@ RetireAgent::onRetire(const DynInst& d, Cycle now, RetireDecision& decision,
         roi_active_ = true;
         roi_begin_out = true;
         // The ROI-begin retirement itself counts as in-ROI.
-        ++stats_.counter("retired_in_roi");
+        ++ctr_retired_in_roi_;
     } else {
         p.type = e->type;
         switch (e->type) {

@@ -59,6 +59,11 @@ class RetireAgent
 
     PfmParams params_;
     StatGroup& stats_;
+    // Bound once; onRetire() runs for every retired instruction.
+    Counter& ctr_rst_hits_;
+    Counter& ctr_retired_in_roi_;
+    Counter& ctr_port_stalls_;
+    Counter& ctr_obsq_r_full_stalls_;
     RetireSnoopTable rst_;
     CircularQueue<ObsPacket> obsq_r_;
     IssueUsage usage_;

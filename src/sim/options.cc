@@ -1,10 +1,37 @@
 #include "sim/options.h"
 
+#include <cerrno>
 #include <cstdlib>
+#include <limits>
 
 #include "common/log.h"
 
 namespace pfm {
+
+namespace {
+
+/**
+ * Parse the numeric field of a parameter token. The whole field must be
+ * decimal digits — an empty or partially-numeric field aborts with a
+ * diagnostic naming the full offending token (never an uncaught
+ * std::invalid_argument out of std::stoul).
+ */
+unsigned
+tokenNumber(const std::string& token, const std::string& digits)
+{
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos)
+        pfm_fatal("bad number '%s' in parameter token '%s'", digits.c_str(),
+                  token.c_str());
+    errno = 0;
+    unsigned long v = std::strtoul(digits.c_str(), nullptr, 10);
+    if (errno == ERANGE || v > std::numeric_limits<unsigned>::max())
+        pfm_fatal("number '%s' out of range in parameter token '%s'",
+                  digits.c_str(), token.c_str());
+    return static_cast<unsigned>(v);
+}
+
+} // namespace
 
 void
 applyToken(SimOptions& opt, const std::string& token)
@@ -17,19 +44,16 @@ applyToken(SimOptions& opt, const std::string& token)
         if (us == std::string::npos)
             pfm_fatal("bad clk token '%s' (expected clkC_wW)",
                       token.c_str());
-        opt.pfm.clk_div =
-            static_cast<unsigned>(std::stoul(token.substr(3, us - 3)));
-        opt.pfm.width =
-            static_cast<unsigned>(std::stoul(token.substr(us + 2)));
+        opt.pfm.clk_div = tokenNumber(token, token.substr(3, us - 3));
+        opt.pfm.width = tokenNumber(token, token.substr(us + 2));
         return;
     }
     if (token.rfind("delay", 0) == 0) {
-        opt.pfm.delay = static_cast<unsigned>(std::stoul(token.substr(5)));
+        opt.pfm.delay = tokenNumber(token, token.substr(5));
         return;
     }
     if (token.rfind("queue", 0) == 0) {
-        opt.pfm.queue_size =
-            static_cast<unsigned>(std::stoul(token.substr(5)));
+        opt.pfm.queue_size = tokenNumber(token, token.substr(5));
         return;
     }
     if (token == "portALL") {
@@ -45,8 +69,17 @@ applyToken(SimOptions& opt, const std::string& token)
         return;
     }
     if (token.rfind("ctx", 0) == 0) {
-        opt.pfm.context_switch_interval =
-            std::strtoull(token.substr(3).c_str(), nullptr, 0);
+        // Keep strtoull's 0x/octal prefixes but reject garbage (the old
+        // parse silently read "ctxfoo" as interval 0, i.e. disabled).
+        const std::string digits = token.substr(3);
+        char* end = nullptr;
+        errno = 0;
+        std::uint64_t v = std::strtoull(digits.c_str(), &end, 0);
+        if (digits.empty() || end == digits.c_str() || *end != '\0' ||
+            errno == ERANGE)
+            pfm_fatal("bad number '%s' in parameter token '%s'",
+                      digits.c_str(), token.c_str());
+        opt.pfm.context_switch_interval = v;
         return;
     }
     if (token == "nonstall") {
@@ -70,7 +103,7 @@ applyToken(SimOptions& opt, const std::string& token)
         return;
     }
     if (token.rfind("scope", 0) == 0) {
-        unsigned n = static_cast<unsigned>(std::stoul(token.substr(5)));
+        unsigned n = tokenNumber(token, token.substr(5));
         opt.astar_index_queue = n;
         opt.bfs_queue_entries = n;
         return;

@@ -1,6 +1,7 @@
 #include "sim/sweep.h"
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -154,21 +155,55 @@ SweepRunner::result(RunHandle h) const
     return results_[h.index];
 }
 
+namespace {
+
+/**
+ * Parse a jobs value strictly: the whole string must be a positive
+ * number (0x/octal accepted). Returns -1 on empty/garbage/zero/negative
+ * so callers can distinguish "invalid" from any accepted count.
+ */
+long
+parseJobsValue(const char* s)
+{
+    char* end = nullptr;
+    errno = 0;
+    long v = std::strtol(s, &end, 0);
+    if (end == s || *end != '\0' || errno == ERANGE || v <= 0)
+        return -1;
+    return v;
+}
+
+} // namespace
+
 unsigned
 resolveJobs(int argc, char** argv)
 {
     long jobs = 0;
-    if (const char* env = std::getenv("PFM_JOBS"))
-        jobs = std::strtol(env, nullptr, 0);
+    if (const char* env = std::getenv("PFM_JOBS")) {
+        jobs = parseJobsValue(env);
+        if (jobs < 0) {
+            // Environment is advisory: warn and fall through to the
+            // hardware default rather than killing a batch run.
+            pfm_warn("ignoring invalid PFM_JOBS value '%s'", env);
+            jobs = 0;
+        }
+    }
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
-        if (arg.rfind("--jobs=", 0) == 0) {
-            jobs = std::strtol(arg.c_str() + 7, nullptr, 0);
-        } else if (arg == "--jobs" && i + 1 < argc) {
-            jobs = std::strtol(argv[++i], nullptr, 0);
-        } else if (arg.rfind("-j", 0) == 0 && arg.size() > 2) {
-            jobs = std::strtol(arg.c_str() + 2, nullptr, 0);
-        }
+        const char* value = nullptr;
+        if (arg.rfind("--jobs=", 0) == 0)
+            value = arg.c_str() + 7;
+        else if (arg == "--jobs" && i + 1 < argc)
+            value = argv[++i];
+        else if (arg.rfind("-j", 0) == 0 && arg.size() > 2)
+            value = arg.c_str() + 2;
+        if (!value)
+            continue;
+        jobs = parseJobsValue(value);
+        // An explicit flag the user typed must not be silently replaced
+        // by hardware_concurrency (jobs=0 used to do exactly that).
+        if (jobs < 0)
+            pfm_fatal("invalid jobs count '%s' in '%s'", value, arg.c_str());
     }
     if (jobs > 0)
         return clampJobs(jobs);

@@ -115,7 +115,9 @@ class SweepRunner
 /**
  * Worker-count knob: the last --jobs=N / --jobs N / -jN argv entry wins,
  * then the PFM_JOBS environment variable, then hardware_concurrency().
- * Values are clamped to [1, 256].
+ * Values are clamped to [1, 256]. A malformed or non-positive explicit
+ * flag is fatal; a malformed PFM_JOBS warns and falls back to the
+ * hardware default.
  */
 unsigned resolveJobs(int argc = 0, char** argv = nullptr);
 

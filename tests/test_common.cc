@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <vector>
+
 #include "common/bitutils.h"
 #include "common/circular_queue.h"
 #include "common/rng.h"
@@ -144,6 +147,61 @@ TEST(Stats, DistributionTracksMinMaxMean)
     EXPECT_DOUBLE_EQ(d.max(), 3.0);
     EXPECT_DOUBLE_EQ(d.mean(), 2.0);
     EXPECT_EQ(d.count(), 3u);
+}
+
+TEST(Stats, BindReturnsStableReferences)
+{
+    StatGroup g;
+    Counter& a = g.counter("a");
+    // Grow the registry well past its initial slot table.
+    std::vector<Counter*> bound;
+    for (int i = 0; i < 300; ++i)
+        bound.push_back(&g.counter("c" + std::to_string(i)));
+    ++a;
+    // Rebinding after growth must return the same objects.
+    EXPECT_EQ(&g.counter("a"), &a);
+    for (int i = 0; i < 300; ++i)
+        EXPECT_EQ(&g.counter("c" + std::to_string(i)), bound[i]);
+    EXPECT_EQ(g.get("a"), 1u);
+}
+
+TEST(Stats, DumpSortsByName)
+{
+    StatGroup g("p.");
+    g.counter("zeta") += 1;
+    g.counter("alpha") += 2;
+    g.counter("mid") += 3;
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_EQ(os.str(), "p.alpha 2\np.mid 3\np.zeta 1\n");
+}
+
+TEST(Stats, DumpSkipsUnsampledDistributions)
+{
+    StatGroup g;
+    g.distribution("never");
+    g.distribution("sampled").sample(2.0);
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_EQ(os.str().find("never"), std::string::npos);
+    EXPECT_NE(os.str().find("sampled"), std::string::npos);
+}
+
+TEST(Stats, ResetKeepsBindings)
+{
+    StatGroup g;
+    Counter& c = g.counter("c");
+    Distribution& d = g.distribution("d");
+    c += 9;
+    d.sample(4.0);
+    g.resetAll();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(d.count(), 0u);
+    // The cached references still feed the same registry entries.
+    ++c;
+    d.sample(1.0);
+    EXPECT_EQ(g.get("c"), 1u);
+    EXPECT_EQ(g.distribution("d").count(), 1u);
 }
 
 TEST(BitUtils, FloorLog2)

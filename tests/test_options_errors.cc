@@ -1,0 +1,188 @@
+/**
+ * @file
+ * CLI-parsing error paths: every malformed parameter token or jobs value
+ * must produce a pfm diagnostic (exit 1 through pfm_fatal, or a warning
+ * plus fallback for the advisory PFM_JOBS environment variable) — never
+ * an uncaught std::invalid_argument out of the numeric parse.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "sim/options.h"
+#include "sim/sweep.h"
+
+namespace pfm {
+namespace {
+
+using OptionsErrorDeathTest = ::testing::Test;
+
+TEST(OptionsErrorDeathTest, ClkTokenEmptyDividerIsFatal)
+{
+    SimOptions o;
+    EXPECT_EXIT(applyToken(o, "clk_w4"), ::testing::ExitedWithCode(1),
+                "bad number '' in parameter token 'clk_w4'");
+}
+
+TEST(OptionsErrorDeathTest, ClkTokenEmptyWidthIsFatal)
+{
+    SimOptions o;
+    EXPECT_EXIT(applyToken(o, "clk4_w"), ::testing::ExitedWithCode(1),
+                "bad number '' in parameter token 'clk4_w'");
+}
+
+TEST(OptionsErrorDeathTest, ClkTokenGarbageDividerIsFatal)
+{
+    SimOptions o;
+    EXPECT_EXIT(applyToken(o, "clk4x_w2"), ::testing::ExitedWithCode(1),
+                "bad number '4x' in parameter token 'clk4x_w2'");
+}
+
+TEST(OptionsErrorDeathTest, ClkTokenMissingSeparatorIsFatal)
+{
+    SimOptions o;
+    EXPECT_EXIT(applyToken(o, "clk4w2"), ::testing::ExitedWithCode(1),
+                "bad clk token");
+}
+
+TEST(OptionsErrorDeathTest, DelayTokenGarbageIsFatal)
+{
+    SimOptions o;
+    EXPECT_EXIT(applyToken(o, "delayX"), ::testing::ExitedWithCode(1),
+                "bad number 'X' in parameter token 'delayX'");
+}
+
+TEST(OptionsErrorDeathTest, DelayTokenEmptyNumberIsFatal)
+{
+    SimOptions o;
+    EXPECT_EXIT(applyToken(o, "delay"), ::testing::ExitedWithCode(1),
+                "bad number '' in parameter token 'delay'");
+}
+
+TEST(OptionsErrorDeathTest, QueueTokenEmptyNumberIsFatal)
+{
+    SimOptions o;
+    EXPECT_EXIT(applyToken(o, "queue"), ::testing::ExitedWithCode(1),
+                "bad number '' in parameter token 'queue'");
+}
+
+TEST(OptionsErrorDeathTest, QueueTokenNegativeIsFatal)
+{
+    SimOptions o;
+    EXPECT_EXIT(applyToken(o, "queue-1"), ::testing::ExitedWithCode(1),
+                "bad number '-1' in parameter token 'queue-1'");
+}
+
+TEST(OptionsErrorDeathTest, ScopeTokenGarbageIsFatal)
+{
+    SimOptions o;
+    EXPECT_EXIT(applyToken(o, "scopeXL"), ::testing::ExitedWithCode(1),
+                "bad number 'XL' in parameter token 'scopeXL'");
+}
+
+TEST(OptionsErrorDeathTest, CtxTokenGarbageIsFatal)
+{
+    SimOptions o;
+    EXPECT_EXIT(applyToken(o, "ctxfoo"), ::testing::ExitedWithCode(1),
+                "bad number 'foo' in parameter token 'ctxfoo'");
+}
+
+TEST(OptionsErrorDeathTest, CtxTokenTrailingGarbageIsFatal)
+{
+    SimOptions o;
+    EXPECT_EXIT(applyToken(o, "ctx100q"), ::testing::ExitedWithCode(1),
+                "bad number '100q' in parameter token 'ctx100q'");
+}
+
+TEST(OptionsErrors, WellFormedTokensStillParse)
+{
+    SimOptions o;
+    applyTokens(o, "clk4_w2 delay3 queue16 scope8 ctx0x100");
+    EXPECT_EQ(o.pfm.clk_div, 4u);
+    EXPECT_EQ(o.pfm.width, 2u);
+    EXPECT_EQ(o.pfm.delay, 3u);
+    EXPECT_EQ(o.pfm.queue_size, 16u);
+    EXPECT_EQ(o.astar_index_queue, 8u);
+    EXPECT_EQ(o.bfs_queue_entries, 8u);
+    EXPECT_EQ(o.pfm.context_switch_interval, 0x100u);
+}
+
+TEST(OptionsErrorDeathTest, ExplicitJobsEqGarbageIsFatal)
+{
+    char prog[] = "bench";
+    char jobs[] = "--jobs=abc";
+    char* argv[] = {prog, jobs};
+    EXPECT_EXIT(resolveJobs(2, argv), ::testing::ExitedWithCode(1),
+                "invalid jobs count 'abc'");
+}
+
+TEST(OptionsErrorDeathTest, ExplicitJobsZeroIsFatal)
+{
+    char prog[] = "bench";
+    char jobs[] = "--jobs=0";
+    char* argv[] = {prog, jobs};
+    EXPECT_EXIT(resolveJobs(2, argv), ::testing::ExitedWithCode(1),
+                "invalid jobs count '0'");
+}
+
+TEST(OptionsErrorDeathTest, ExplicitJobsSeparateValueGarbageIsFatal)
+{
+    char prog[] = "bench";
+    char flag[] = "--jobs";
+    char val[] = "many";
+    char* argv[] = {prog, flag, val};
+    EXPECT_EXIT(resolveJobs(3, argv), ::testing::ExitedWithCode(1),
+                "invalid jobs count 'many'");
+}
+
+TEST(OptionsErrorDeathTest, ShortJobsGarbageIsFatal)
+{
+    char prog[] = "bench";
+    char jobs[] = "-jfoo";
+    char* argv[] = {prog, jobs};
+    EXPECT_EXIT(resolveJobs(2, argv), ::testing::ExitedWithCode(1),
+                "invalid jobs count 'foo'");
+}
+
+TEST(OptionsErrorDeathTest, ExplicitJobsTrailingGarbageIsFatal)
+{
+    char prog[] = "bench";
+    char jobs[] = "--jobs=4x";
+    char* argv[] = {prog, jobs};
+    EXPECT_EXIT(resolveJobs(2, argv), ::testing::ExitedWithCode(1),
+                "invalid jobs count '4x'");
+}
+
+TEST(OptionsErrors, InvalidJobsEnvWarnsAndFallsBack)
+{
+    // The environment is advisory: a garbage value must not kill the
+    // process; it falls back to the hardware default.
+    setenv("PFM_JOBS", "abc", 1);
+    EXPECT_GE(resolveJobs(), 1u);
+    setenv("PFM_JOBS", "0", 1);
+    EXPECT_GE(resolveJobs(), 1u);
+    setenv("PFM_JOBS", "-3", 1);
+    EXPECT_GE(resolveJobs(), 1u);
+    unsetenv("PFM_JOBS");
+}
+
+TEST(OptionsErrors, ValidJobsEnvStillHonoured)
+{
+    setenv("PFM_JOBS", "3", 1);
+    EXPECT_EQ(resolveJobs(), 3u);
+    unsetenv("PFM_JOBS");
+}
+
+TEST(OptionsErrors, ArgvOverridesInvalidEnv)
+{
+    setenv("PFM_JOBS", "bogus", 1);
+    char prog[] = "bench";
+    char jobs[] = "--jobs=4";
+    char* argv[] = {prog, jobs};
+    EXPECT_EQ(resolveJobs(2, argv), 4u);
+    unsetenv("PFM_JOBS");
+}
+
+} // namespace
+} // namespace pfm
