@@ -6,6 +6,7 @@
 #ifndef PFM_BENCH_BENCH_UTIL_H
 #define PFM_BENCH_BENCH_UTIL_H
 
+#include <cstdlib>
 #include <string>
 
 #include "sim/options.h"
@@ -27,6 +28,12 @@ benchOptions(const std::string& workload, const std::string& component,
     o.warmup_instructions = o.max_instructions / 10;
     if (!tokens.empty())
         applyTokens(o, tokens);
+    // Environment override hook, applied after the harness's own tokens:
+    //   PFM_EXTRA_TOKENS="fastfwd=off" ./fig17_prefetchers --jobs=1
+    // lets CI re-run any figure with the fast-forward escape hatch (or any
+    // other token) without recompiling, to verify reports are identical.
+    if (const char* extra = std::getenv("PFM_EXTRA_TOKENS"))
+        applyTokens(o, extra);
     return o;
 }
 

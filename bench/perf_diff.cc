@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Compare two BENCH_<figure>.json files (baseline vs candidate) and print
+ * a per-configuration wall-time / IPC delta table. Exits non-zero when
+ * any configuration's wall time regresses by more than the threshold
+ * (default 5%), so it can gate CI via the `perf` ctest label:
+ *
+ *   perf_diff [--threshold=PCT] baseline.json candidate.json
+ *
+ * Exit codes: 0 ok, 1 wall-time regression past threshold, 2 usage or
+ * parse error. IPC deltas are informational: any IPC change at all means
+ * the candidate simulates a *different machine* (a correctness bug, not a
+ * perf one), so it is flagged loudly but judged by the same exit code —
+ * the tier-1 identity tests are the authority on simulation output.
+ *
+ * The parser is deliberately dependency-free: it understands exactly the
+ * flat shape writeBenchJson()/bench_hotpath emit — a top-level object
+ * with "total_wall_ms" and a "runs" or "rows" array of one-line row
+ * objects carrying "label", "wall_ms" and optionally "ipc"/"cycles".
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct BenchRow {
+    std::string label;
+    double wall_ms = 0;
+    double ipc = -1;  // <0 = absent
+    unsigned long long cycles = 0;
+};
+
+struct BenchFile {
+    std::string path;
+    double total_wall_ms = -1;
+    std::vector<BenchRow> rows;
+};
+
+/** Value text after `"key":` inside @p obj, or "" when absent. */
+std::string
+rawValue(const std::string& obj, const char* key)
+{
+    std::string needle = std::string("\"") + key + "\"";
+    size_t k = obj.find(needle);
+    if (k == std::string::npos)
+        return "";
+    size_t colon = obj.find(':', k + needle.size());
+    if (colon == std::string::npos)
+        return "";
+    size_t start = obj.find_first_not_of(" \t\n", colon + 1);
+    if (start == std::string::npos)
+        return "";
+    if (obj[start] == '"') {
+        size_t end = start + 1;
+        while (end < obj.size() && obj[end] != '"') {
+            if (obj[end] == '\\')
+                ++end;
+            ++end;
+        }
+        return obj.substr(start + 1, end - start - 1);
+    }
+    size_t end = obj.find_first_of(",}\n", start);
+    return obj.substr(start, end - start);
+}
+
+double
+numValue(const std::string& obj, const char* key, double fallback)
+{
+    std::string v = rawValue(obj, key);
+    if (v.empty())
+        return fallback;
+    return std::strtod(v.c_str(), nullptr);
+}
+
+bool
+parseBenchFile(const std::string& path, BenchFile& out)
+{
+    std::ifstream is(path);
+    if (!is) {
+        std::fprintf(stderr, "perf_diff: cannot open '%s'\n", path.c_str());
+        return false;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const std::string text = buf.str();
+    out.path = path;
+
+    size_t arr = text.find("\"runs\"");
+    if (arr == std::string::npos)
+        arr = text.find("\"rows\"");
+    if (arr == std::string::npos) {
+        std::fprintf(stderr,
+                     "perf_diff: '%s' has no \"runs\"/\"rows\" array\n",
+                     path.c_str());
+        return false;
+    }
+    // Header keys live before the row array, so a row's own "wall_ms"
+    // can't shadow the total.
+    out.total_wall_ms = numValue(text.substr(0, arr), "total_wall_ms", -1);
+
+    size_t open = text.find('[', arr);
+    size_t close = text.find(']', arr);
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open) {
+        std::fprintf(stderr, "perf_diff: malformed row array in '%s'\n",
+                     path.c_str());
+        return false;
+    }
+    // Row objects are emitted one per line without nesting, so brace
+    // matching degenerates to find-the-pair.
+    size_t pos = open;
+    while (true) {
+        size_t ro = text.find('{', pos);
+        if (ro == std::string::npos || ro > close)
+            break;
+        size_t rc = text.find('}', ro);
+        if (rc == std::string::npos || rc > close)
+            break;
+        const std::string obj = text.substr(ro, rc - ro + 1);
+        BenchRow row;
+        row.label = rawValue(obj, "label");
+        row.wall_ms = numValue(obj, "wall_ms", 0);
+        row.ipc = numValue(obj, "ipc", -1);
+        row.cycles = static_cast<unsigned long long>(
+            numValue(obj, "cycles", 0));
+        if (row.label.empty()) {
+            std::fprintf(stderr, "perf_diff: row without label in '%s'\n",
+                         path.c_str());
+            return false;
+        }
+        out.rows.push_back(row);
+        pos = rc + 1;
+    }
+    if (out.rows.empty()) {
+        std::fprintf(stderr, "perf_diff: no rows parsed from '%s'\n",
+                     path.c_str());
+        return false;
+    }
+    return true;
+}
+
+const BenchRow*
+findRow(const BenchFile& f, const std::string& label)
+{
+    for (const BenchRow& r : f.rows)
+        if (r.label == label)
+            return &r;
+    return nullptr;
+}
+
+double
+pctDelta(double base, double now)
+{
+    if (base <= 0)
+        return 0;
+    return (now / base - 1.0) * 100.0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    double threshold = 5.0;
+    std::vector<std::string> files;
+    for (int i = 1; i < argc; ++i) {
+        const char* a = argv[i];
+        if (std::strncmp(a, "--threshold=", 12) == 0) {
+            char* end = nullptr;
+            threshold = std::strtod(a + 12, &end);
+            if (end == a + 12 || *end != '\0' || threshold < 0) {
+                std::fprintf(stderr, "perf_diff: bad --threshold '%s'\n", a);
+                return 2;
+            }
+        } else if (a[0] == '-') {
+            std::fprintf(stderr, "perf_diff: unknown option '%s'\n", a);
+            return 2;
+        } else {
+            files.push_back(a);
+        }
+    }
+    if (files.size() != 2) {
+        std::fprintf(stderr,
+                     "usage: perf_diff [--threshold=PCT] baseline.json "
+                     "candidate.json\n");
+        return 2;
+    }
+
+    BenchFile base, cand;
+    if (!parseBenchFile(files[0], base) || !parseBenchFile(files[1], cand))
+        return 2;
+
+    std::printf("perf_diff: %s -> %s (threshold %.1f%% wall)\n",
+                base.path.c_str(), cand.path.c_str(), threshold);
+    std::printf("  %-28s %12s %12s %8s  %s\n", "config", "base ms",
+                "cand ms", "wall", "ipc");
+
+    int regressions = 0;
+    bool ipc_drift = false;
+    for (const BenchRow& b : base.rows) {
+        const BenchRow* c = findRow(cand, b.label);
+        if (!c) {
+            std::printf("  %-28s %12.3f %12s\n", b.label.c_str(), b.wall_ms,
+                        "MISSING");
+            ++regressions;
+            continue;
+        }
+        double wall_pct = pctDelta(b.wall_ms, c->wall_ms);
+        const char* mark = "";
+        if (wall_pct > threshold) {
+            mark = "  << REGRESSION";
+            ++regressions;
+        }
+        char ipc_col[64] = "-";
+        if (b.ipc >= 0 && c->ipc >= 0) {
+            if (b.ipc == c->ipc) {
+                std::snprintf(ipc_col, sizeof ipc_col, "%.6f", c->ipc);
+            } else {
+                std::snprintf(ipc_col, sizeof ipc_col,
+                              "%.6f -> %.6f (DIVERGED)", b.ipc, c->ipc);
+                ipc_drift = true;
+            }
+        }
+        std::printf("  %-28s %12.3f %12.3f %+7.1f%%  %s%s\n",
+                    b.label.c_str(), b.wall_ms, c->wall_ms, wall_pct,
+                    ipc_col, mark);
+    }
+    for (const BenchRow& c : cand.rows)
+        if (!findRow(base, c.label))
+            std::printf("  %-28s %12s %12.3f   (new)\n", c.label.c_str(),
+                        "-", c.wall_ms);
+
+    if (base.total_wall_ms > 0 && cand.total_wall_ms > 0)
+        std::printf("  %-28s %12.3f %12.3f %+7.1f%%\n", "TOTAL",
+                    base.total_wall_ms, cand.total_wall_ms,
+                    pctDelta(base.total_wall_ms, cand.total_wall_ms));
+    if (ipc_drift)
+        std::printf("perf_diff: WARNING — IPC diverged; the candidate "
+                    "simulates a different machine\n");
+    if (regressions) {
+        std::printf("perf_diff: %d configuration(s) regressed past "
+                    "%.1f%%\n", regressions, threshold);
+        return 1;
+    }
+    std::printf("perf_diff: ok\n");
+    return 0;
+}

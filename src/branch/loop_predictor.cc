@@ -78,6 +78,60 @@ LoopPredictor::update(Addr pc, bool taken, bool tage_pred)
 }
 
 void
+LoopPredictor::lookupAndTrain(Addr pc, bool taken, bool tage_pred,
+                              bool& valid, bool& dir)
+{
+    Entry& e = entryFor(pc);
+    const std::uint16_t tag = tagOf(pc);
+
+    // Query half (identical to lookup(), against the untrained entry).
+    valid = false;
+    dir = false;
+    if (e.valid && e.tag == tag && e.confidence >= 3) {
+        valid = true;
+        dir = (e.current_iter + 1 != e.past_trip);
+    }
+
+    // Training half (identical to update(), same walk).
+    if (!e.valid || e.tag != tag) {
+        if (!taken) {
+            if (e.valid && e.age > 0) {
+                --e.age;
+                return;
+            }
+            e = Entry{};
+            e.tag = tag;
+            e.valid = true;
+            e.age = 3;
+        }
+        return;
+    }
+
+    if (taken) {
+        ++e.current_iter;
+        if (e.current_iter == 0)
+            e.valid = false;
+        return;
+    }
+
+    std::uint16_t trip = static_cast<std::uint16_t>(e.current_iter + 1);
+    if (trip == e.past_trip) {
+        if (e.confidence < 3)
+            ++e.confidence;
+        if (e.age < 3)
+            ++e.age;
+    } else {
+        if (e.confidence == 3 && tage_pred == taken) {
+            e.valid = false;
+            return;
+        }
+        e.past_trip = trip;
+        e.confidence = 0;
+    }
+    e.current_iter = 0;
+}
+
+void
 LoopPredictor::reset()
 {
     for (auto& e : table_)

@@ -28,6 +28,14 @@ class LoopPredictor
     /** Train with the actual outcome. Call after each lookup. */
     void update(Addr pc, bool taken, bool tage_pred);
 
+    /**
+     * Fused lookup()+update() sharing a single table walk: @p valid /
+     * @p dir report the pre-training query exactly as lookup() would,
+     * then the entry trains on @p taken in place.
+     */
+    void lookupAndTrain(Addr pc, bool taken, bool tage_pred, bool& valid,
+                        bool& dir);
+
     void reset();
 
   private:

@@ -30,6 +30,21 @@ class BranchPredictor
      */
     virtual void update(Addr pc, bool taken) = 0;
 
+    /**
+     * Fused predict+train for the fetch hot path (predict()/update()
+     * always come in strict pairs there). Returns the prediction made
+     * *before* training. Implementations override this to share the
+     * per-branch table walks and hash folds between the two halves;
+     * the default is exactly predict() followed by update().
+     */
+    virtual bool
+    predictAndTrain(Addr pc, bool taken)
+    {
+        bool pred = predict(pc);
+        update(pc, taken);
+        return pred;
+    }
+
     virtual void reset() = 0;
 };
 

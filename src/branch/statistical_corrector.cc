@@ -18,24 +18,17 @@ StatisticalCorrector::index(Addr pc, unsigned t, std::uint64_t hash) const
     return x & ((size_t{1} << kLogEntries) - 1);
 }
 
-int
-StatisticalCorrector::sum(Addr pc, bool tage_pred,
-                          const std::uint64_t* hashes) const
-{
-    int s = tage_pred ? 2 : -2; // TAGE's vote, lightly weighted
-    for (unsigned t = 0; t < kNumTables; ++t)
-        s += 2 * tables_[t][index(pc, t, hashes[t])] + 1;
-    return s;
-}
-
 bool
 StatisticalCorrector::predict(Addr pc, bool tage_pred, bool tage_weak,
                               const std::uint64_t* hashes)
 {
-    for (unsigned t = 0; t < kNumTables; ++t)
-        last_hashes_[t] = hashes[t];
     last_tage_pred_ = tage_pred;
-    last_sum_ = sum(pc, tage_pred, hashes);
+    int s = tage_pred ? 2 : -2; // TAGE's vote, lightly weighted
+    for (unsigned t = 0; t < kNumTables; ++t) {
+        last_idx_[t] = index(pc, t, hashes[t]);
+        s += 2 * tables_[t][last_idx_[t]] + 1;
+    }
+    last_sum_ = s;
 
     bool sc_pred = last_sum_ >= 0;
     bool use_sc = tage_weak && std::abs(last_sum_) >= threshold_;
@@ -66,9 +59,10 @@ StatisticalCorrector::update(Addr pc, bool taken)
     }
 
     // Train counters when SC was wrong or weakly confident.
+    (void)pc; // indexes were cached by the paired predict()
     if (sc_pred != taken || std::abs(last_sum_) < threshold_ + 4) {
         for (unsigned t = 0; t < kNumTables; ++t) {
-            std::int8_t& c = tables_[t][index(pc, t, last_hashes_[t])];
+            std::int8_t& c = tables_[t][last_idx_[t]];
             if (taken && c < 31)
                 ++c;
             else if (!taken && c > -32)

@@ -38,7 +38,6 @@ class StatisticalCorrector
     static constexpr unsigned kHistBits[kNumTables] = {0, 5, 11, 21};
 
   private:
-    int sum(Addr pc, bool tage_pred, const std::uint64_t* hist_hashes) const;
     size_t index(Addr pc, unsigned t, std::uint64_t hash) const;
 
     static constexpr unsigned kLogEntries = 10;
@@ -46,12 +45,14 @@ class StatisticalCorrector
     int threshold_ = 6;       ///< dynamic revert threshold
     int tc_ = 0;              ///< threshold training counter
 
-    // predict() metadata for update().
+    // predict() metadata for update(). The per-table indices are cached
+    // so the paired update() reuses predict()'s hash work instead of
+    // recomputing all kNumTables index mixes.
     bool last_tage_pred_ = false;
     bool last_used_sc_ = false;
     bool last_final_ = false;
     int last_sum_ = 0;
-    std::uint64_t last_hashes_[kNumTables] = {};
+    size_t last_idx_[kNumTables] = {};
 };
 
 } // namespace pfm

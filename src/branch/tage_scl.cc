@@ -43,6 +43,38 @@ TageSclPredictor::update(Addr pc, bool taken)
     tage_.update(pc, taken);
 }
 
+bool
+TageSclPredictor::predictAndTrain(Addr pc, bool taken)
+{
+    bool tage_pred = tage_.predict(pc);
+    last_tage_pred_ = tage_pred;
+    const TagePredictionInfo& info = tage_.lastInfo();
+
+    if (!sc_hashes_valid_ || sc_hash_gen_ != tage_.historyGen()) {
+        for (unsigned t = 0; t < StatisticalCorrector::kNumTables; ++t)
+            sc_hashes_[t] =
+                tage_.historyHash(StatisticalCorrector::kHistBits[t]);
+        sc_hash_gen_ = tage_.historyGen();
+        sc_hashes_valid_ = true;
+    }
+
+    bool tage_weak = info.provider < 0 || info.provider_weak;
+    bool pred = sc_.predict(pc, tage_pred, tage_weak, sc_hashes_);
+
+    // Loop query + training share one table walk; the three component
+    // updates touch disjoint state, so training the loop predictor here
+    // (before SC/TAGE train) is order-equivalent to update().
+    bool loop_valid, loop_dir;
+    loop_.lookupAndTrain(pc, taken, tage_pred, loop_valid, loop_dir);
+    last_loop_valid_ = loop_valid;
+    if (loop_valid)
+        pred = loop_dir;
+
+    sc_.update(pc, taken);
+    tage_.update(pc, taken);
+    return pred;
+}
+
 void
 TageSclPredictor::reset()
 {

@@ -23,6 +23,15 @@ class TageSclPredictor : public BranchPredictor
 
     bool predict(Addr pc) override;
     void update(Addr pc, bool taken) override;
+
+    /**
+     * Fused fetch-group hot path: one virtual dispatch per branch, the
+     * SC reuses predict()'s table indices for training, and the loop
+     * predictor folds lookup+train into a single table walk. Bit-exact
+     * with predict() followed by update().
+     */
+    bool predictAndTrain(Addr pc, bool taken) override;
+
     void reset() override;
 
     TagePredictor& tage() { return tage_; }

@@ -38,6 +38,18 @@ class AdaptiveDistance
 
     unsigned distance() const { return distance_; }
 
+    /**
+     * Fast-forward horizon: the next cycle at which tick() can change
+     * state — 0 (an immediate event) while the epoch is still unarmed,
+     * else the end of the running epoch.
+     */
+    Cycle nextEpochBoundary() const
+    {
+        if (epoch_start_ == kNoCycle)
+            return 0;
+        return epoch_start_ + p_.epoch_cycles;
+    }
+
     /** Feed the running feedback counter; call once per RF cycle. */
     void
     tick(Cycle now, std::uint64_t events)

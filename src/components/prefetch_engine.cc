@@ -65,6 +65,32 @@ FsmPrefetcher::reset()
     }
 }
 
+Cycle
+FsmPrefetcher::nextEventCycle(Cycle now) const
+{
+    if (replaying())
+        return now; // squash replay drains at every RF edge
+    Cycle next = kNoCycle;
+    for (size_t i = 0; i < streams_.size(); ++i) {
+        const PrefetchStream& s = streams_[i];
+        const StreamState& st = state_[i];
+        if (st.done)
+            continue;
+        std::uint64_t events = retireAgent().countFor(s.feedback_pc);
+        std::uint64_t demand_units = static_cast<std::uint64_t>(
+            static_cast<double>(events) / s.events_per_unit);
+        if (st.units_issued < demand_units + st.adapt.distance() ||
+            !st.pending.empty())
+            return now; // issue work outstanding (or blocked on IntQ-IS)
+        Cycle boundary = st.adapt.nextEpochBoundary();
+        if (boundary <= now)
+            return now;
+        if (boundary < next)
+            next = boundary;
+    }
+    return next;
+}
+
 void
 FsmPrefetcher::onObservation(const ObsPacket& p, Cycle now)
 {

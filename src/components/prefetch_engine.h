@@ -48,6 +48,13 @@ class FsmPrefetcher : public CustomComponent
     void reset() override;
 
     /**
+     * Fast-forward horizon: busy while any stream has issue work queued
+     * (or a squash replay is draining); otherwise the earliest
+     * adaptive-distance epoch boundary across the live streams.
+     */
+    Cycle nextEventCycle(Cycle now) const override;
+
+    /**
      * Configure the RST (roi_begin + count_only feedback PCs) and install
      * the engine.
      */

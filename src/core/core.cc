@@ -65,8 +65,16 @@ Core::Core(const CoreParams& params, FunctionalEngine& engine,
     iq_.reserve(params_.iq_size);
     ldq_.reserve(params_.ldq_size);
     stq_.reserve(params_.stq_size);
-    squash_pulled_.reserve(params_.rob_size);
-    squash_young_.reserve(params_.frontend_buffer + 1);
+
+    // Slab capacity: the live window [head_seq_, engine_next_) is at most
+    // ROB + frontend pipe + the staging slot; the engine only produces a
+    // new record once replay is drained and the frontend has room.
+    SeqNum cap = 1;
+    while (cap < static_cast<SeqNum>(params_.rob_size) +
+                     params_.frontend_buffer + 2)
+        cap <<= 1;
+    slab_.resize(cap);
+    slab_mask_ = cap - 1;
 
     switch (params_.bp_kind) {
       case BpKind::kTageScl:
@@ -90,7 +98,7 @@ Core::Core(const CoreParams& params, FunctionalEngine& engine,
 bool
 Core::inWindow(SeqNum seq) const
 {
-    return seq >= head_seq_ && seq < head_seq_ + rob_.size();
+    return seq >= head_seq_ && seq < dispatch_end_;
 }
 
 Core::InstRec&
@@ -98,7 +106,7 @@ Core::rec(SeqNum seq)
 {
     pfm_assert(inWindow(seq), "seq %llu not in ROB window",
                (unsigned long long)seq);
-    return rob_[seq - head_seq_];
+    return slot(seq);
 }
 
 const Core::InstRec&
@@ -106,7 +114,7 @@ Core::rec(SeqNum seq) const
 {
     pfm_assert(inWindow(seq), "seq %llu not in ROB window",
                (unsigned long long)seq);
-    return rob_[seq - head_seq_];
+    return slot(seq);
 }
 
 bool
@@ -134,6 +142,140 @@ Core::tick() noexcept
     drainWriteBuffer(now);
     ++cycle_;
     ++ctr_cycles_;
+}
+
+Cycle
+Core::fastForward() noexcept
+{
+    const Cycle now = cycle_;
+    if (halt_retired_)
+        return 0;
+
+    // --- Busy checks: anything that would act at `now` vetoes the skip.
+    // All checks are pure reads, so they can run in any order; the O(1)
+    // vetoes go first so busy phases (where some cheap veto almost always
+    // fires) never pay for the IQ scan.
+    if (!write_buffer_.empty())
+        return 0; // drains one store per cycle
+    if (!completions_.empty() && completions_.top().first <= now)
+        return 0; // a completion event fires this cycle
+
+    Cycle horizon = kNoCycle;
+    auto consider = [&horizon, now](Cycle c) {
+        if (c > now && c < horizon)
+            horizon = c;
+    };
+
+    // Retire: the head is eligible strictly after its completion cycle and
+    // only once any retire stall has elapsed. A non-Done head becomes Done
+    // via completions_, which is considered below.
+    if (head_seq_ != dispatch_end_) {
+        const InstRec& head = slot(head_seq_);
+        if (head.state == InstRec::kDone) {
+            if (now >= retire_stall_until_ && head.complete_cycle < now)
+                return 0; // would retire (or at least consult the hooks)
+            consider(retire_stall_until_);
+            consider(head.complete_cycle + 1);
+        }
+    }
+
+    // Dispatch: the frontend head either waits for its pipe-exit cycle, or
+    // sits on a structural stall that only a retire/squash can clear (so
+    // the same stall counter accrues every skipped cycle), or dispatches.
+    Counter* dispatch_stall = nullptr;
+    if (dispatch_end_ != fetch_end_) {
+        const InstRec& f = slot(dispatch_end_);
+        if (f.dispatch_ready > now) {
+            consider(f.dispatch_ready);
+        } else {
+            const OpTraits& t = f.d.inst->traits();
+            const bool needs_iq = t.cls != OpClass::kNop;
+            if (robSize() >= params_.rob_size)
+                dispatch_stall = &ctr_dispatch_stall_rob_;
+            else if (needs_iq && iq_.size() >= params_.iq_size)
+                dispatch_stall = &ctr_dispatch_stall_iq_;
+            else if (t.is_load && ldq_.size() >= params_.ldq_size)
+                dispatch_stall = &ctr_dispatch_stall_ldq_;
+            else if (t.is_store && stq_.size() >= params_.stq_size)
+                dispatch_stall = &ctr_dispatch_stall_stq_;
+            else if (!rename_.canRename(*f.d.inst))
+                dispatch_stall = &ctr_dispatch_stall_prf_;
+            else
+                return 0; // would dispatch this cycle
+        }
+    }
+
+    // Fetch: any fetch attempt runs the predictor and the Fetch Agent —
+    // never skip through one. Fetch is quiescent only when redirecting
+    // (resume cycle known), blocked on an unresolved mispredict (resolved
+    // by a completion event), out of frontend space (cleared by dispatch),
+    // or when the engine is out of instructions.
+    if (now >= fetch_resume_at_ && fetch_blocked_seq_ == kNoSeq) {
+        if (frontendSize() < params_.frontend_buffer &&
+            (fetch_end_ != engine_next_ || !engine_.halted()))
+            return 0; // would fetch this cycle
+    } else {
+        consider(fetch_resume_at_);
+    }
+
+    if (!completions_.empty())
+        consider(completions_.top().first);
+
+    // Hook-side event sources (agents, custom component, context-switch
+    // timer). A value <= now is a veto.
+    if (hooks_) {
+        Cycle h = hooks_->nextEventCycle(now);
+        if (h <= now)
+            return 0;
+        consider(h);
+    }
+
+    // Issue (the one non-O(1) veto, so it runs last): any queue entry
+    // with both sources ready either issues this cycle (all lanes are
+    // free at cycle start — busy) or is blocked on a store-set barrier,
+    // in which case it accrues load_waits_storeset every skipped cycle.
+    // Source readiness and barrier release are both driven by completion
+    // events, so they cannot change before the horizon computed from
+    // completions_.
+    std::uint64_t barrier_waits = 0;
+    for (SeqNum seq : iq_) {
+        const InstRec& e = slot(seq);
+        if (!sourceReady(e.src1, now) || !sourceReady(e.src2, now))
+            continue;
+        if (e.d.isLoad() && e.mem_barrier != kNoSeq &&
+            inWindow(e.mem_barrier)) {
+            const InstRec& s = slot(e.mem_barrier);
+            if (s.state != InstRec::kFrontend &&
+                (s.complete_cycle == kNoCycle || s.complete_cycle > now)) {
+                ++barrier_waits;
+                continue;
+            }
+        }
+        return 0; // would issue this cycle
+    }
+
+    // Memory-side timing events (MSHR/DRAM-slot frees). Fills are passive
+    // timestamps in this model, so these only bound how far a skip can
+    // run, never unblock the core by themselves.
+    consider(mem_.nextEventCycle(now));
+
+    if (horizon == kNoCycle || horizon <= now)
+        return 0; // nothing schedulable: leave it to the deadlock detector
+
+    const Cycle skipped = horizon - now;
+    cycle_ = horizon;
+    ctr_cycles_ += skipped;
+    if (dispatch_stall)
+        *dispatch_stall += skipped;
+    if (barrier_waits)
+        ctr_load_waits_storeset_ += barrier_waits * skipped;
+    // No lane issued during the gap: the next onCycle()/step() observers
+    // must see zero prior-cycle usage and all load/store slots idle.
+    usage_ = IssueUsage{};
+    free_ls_slots_ = params_.ls_lanes;
+    if (hooks_)
+        hooks_->onFastForward(now, horizon);
+    return skipped;
 }
 
 void
@@ -188,13 +330,20 @@ Core::squashAfter(SeqNum last_kept, Cycle now, const char* reason)
 {
     ++stats_.counter(std::string("squash_") + reason);
 
-    // Pull squashed instructions out of the ROB, youngest first.
-    std::vector<InstRec>& pulled = squash_pulled_;
-    pulled.clear();
+    // Squashed slots are recycled in place: rewinding dispatch_end_ and
+    // fetch_end_ to the first squashed seq turns the whole squashed range
+    // [first_squashed, engine_next_) into the replay window — no copies,
+    // no destruction, and each record keeps its prediction bookkeeping
+    // for the refetch.
+    const SeqNum first_squashed = std::max(last_kept + 1, head_seq_);
+    pfm_assert(first_squashed <= dispatch_end_,
+               "squash point beyond dispatch window");
+
+    // ROB part, youngest first (matches the historical pull order).
     unsigned squashed_writers = 0;
-    while (!rob_.empty() && rob_.back().d.seq > last_kept) {
-        InstRec e = std::move(rob_.back());
-        rob_.pop_back();
+    for (SeqNum s = dispatch_end_; s > first_squashed;) {
+        --s;
+        InstRec& e = slot(s);
         const OpTraits& t = e.d.inst->traits();
         if (t.writes_rd && e.d.inst->rd != 0)
             ++squashed_writers;
@@ -209,40 +358,32 @@ Core::squashAfter(SeqNum last_kept, Cycle now, const char* reason)
         e.replayed = true;
         if (tracer_)
             tracer_->stage(e.d, TraceStage::kSquash, now);
-        pulled.push_back(std::move(e));
     }
 
     // The frontend pipe and staging slot are strictly younger.
-    std::vector<InstRec>& young = squash_young_;
-    young.clear();
-    for (InstRec& e : frontend_) {
+    for (SeqNum s = std::max(dispatch_end_, first_squashed); s < fetch_end_;
+         ++s) {
+        InstRec& e = slot(s);
         e.state = InstRec::kFrontend;
         e.complete_cycle = kNoCycle;
         e.replayed = true;
         if (tracer_)
             tracer_->stage(e.d, TraceStage::kSquash, now);
-        young.push_back(std::move(e));
     }
-    frontend_.clear();
-    if (staged_) {
-        staged_->replayed = true;
-        young.push_back(std::move(*staged_));
-        staged_.reset();
-    }
+    if (staged_valid_)
+        slot(fetch_end_).replayed = true;
 
-    // Rebuild replay buffer in ascending sequence order:
-    // pulled (reversed) + young + existing replay entries.
-    for (auto it = young.rbegin(); it != young.rend(); ++it)
-        replay_.push_front(std::move(*it));
-    for (InstRec& e : pulled) // pulled is youngest-first already
-        replay_.push_front(std::move(e));
+    stats_.counter("squashed_instrs") +=
+        (fetch_end_ + (staged_valid_ ? 1 : 0)) - first_squashed;
 
-    stats_.counter("squashed_instrs") += pulled.size() + young.size();
+    dispatch_end_ = first_squashed;
+    fetch_end_ = first_squashed;
+    staged_valid_ = false;
 
     // Rebuild rename state from the surviving window.
     rename_.rebuildBegin(squashed_writers);
-    for (InstRec& e : rob_)
-        rename_.rebuildAdd(*e.d.inst, e.d.seq);
+    for (SeqNum s = head_seq_; s < dispatch_end_; ++s)
+        rename_.rebuildAdd(*slot(s).d.inst, s);
 
     // Purge scheduling structures.
     auto purge = [last_kept](std::vector<SeqNum>& v) {

@@ -24,7 +24,6 @@
 #include <deque>
 #include <memory>
 #include <unordered_map>
-#include <optional>
 #include <queue>
 #include <vector>
 
@@ -108,6 +107,34 @@ class CoreHooks
     {
         (void)now; (void)free_ls_slots; (void)usage;
     }
+
+    /**
+     * Fast-forward horizon query: the earliest cycle at which the hook
+     * owner needs onCycle() to run to make progress (MLB replay ready,
+     * queued agent work, prefetch-engine epoch boundary, context-switch
+     * timer, ...). Return a value <= @p now to veto fast-forwarding this
+     * cycle, kNoCycle if the owner is fully idle. Every per-cycle event
+     * source behind this interface must report here — see DESIGN.md
+     * "Fast-forward invariants".
+     */
+    virtual Cycle
+    nextEventCycle(Cycle now) const
+    {
+        (void)now;
+        return kNoCycle;
+    }
+
+    /**
+     * The core jumped from cycle @p from to @p to without ticking the
+     * intervening quiescent cycles. Hook owners must refresh any
+     * "previous cycle" state (e.g. last-cycle issue-lane usage is zero
+     * across the gap).
+     */
+    virtual void
+    onFastForward(Cycle from, Cycle to)
+    {
+        (void)from; (void)to;
+    }
 };
 
 class TraceSink; // sim/trace.h
@@ -125,6 +152,16 @@ class Core
 
     /** Advance one core cycle. */
     void tick() noexcept;
+
+    /**
+     * Event-horizon fast-forward: if nothing — retire, issue, dispatch,
+     * fetch, write-buffer drain, completion, or hook work — can happen at
+     * the current cycle, jump cycle() straight to the earliest cycle at
+     * which anything can change, bulk-incrementing per-cycle counters so
+     * stats stay byte-identical with the ticked execution. Returns the
+     * number of cycles skipped (0 when the machine is busy).
+     */
+    Cycle fastForward() noexcept;
 
     /** True once the workload's halt instruction has retired. */
     bool done() const { return halt_retired_; }
@@ -158,7 +195,7 @@ class Core
     }
 
   private:
-    /** One in-flight instruction (frontend, ROB, or replay buffer). */
+    /** One in-flight instruction (replay, staging, frontend, or ROB). */
     struct InstRec {
         DynInst d;
         Cycle dispatch_ready = 0;   ///< frontend pipe exit cycle
@@ -224,13 +261,33 @@ class Core
     std::uint64_t retired_ = 0;
     bool halt_retired_ = false;
 
-    // Windows: replay (squashed awaiting refetch) -> staging -> frontend ->
-    // ROB. Sequence numbers are contiguous across these structures.
-    std::deque<InstRec> replay_;
-    std::optional<InstRec> staged_;
-    std::deque<InstRec> frontend_;
-    std::deque<InstRec> rob_;
-    SeqNum head_seq_ = 0;             ///< seq of rob_.front()
+    // In-flight instruction slab: a power-of-two ring of stable InstRec
+    // slots indexed by sequence number (slot(seq) = slab_[seq & mask]).
+    // Sequence numbers are contiguous, so the live window is described by
+    // four monotone pointers instead of four containers:
+    //
+    //   [head_seq_, dispatch_end_)  ROB (dispatched, not retired)
+    //   [dispatch_end_, fetch_end_) frontend (fetched, not dispatched)
+    //   [fetch_end_, engine_next_)  staged + replay (awaiting (re)fetch)
+    //
+    // engine_next_ is the seq the functional engine will produce next; a
+    // squash rewinds fetch_end_/dispatch_end_ only, so the squashed slots
+    // become the replay window in place (no copies, no destruction), and a
+    // retire/dispatch/fetch advance recycles slots by bumping a pointer.
+    // staged_valid_ marks slot(fetch_end_) as materialized (peeked but not
+    // yet consumed by fetch).
+    std::vector<InstRec> slab_;
+    SeqNum slab_mask_ = 0;
+    SeqNum head_seq_ = 0;
+    SeqNum dispatch_end_ = 0;
+    SeqNum fetch_end_ = 0;
+    SeqNum engine_next_ = 0;
+    bool staged_valid_ = false;
+
+    InstRec& slot(SeqNum seq) { return slab_[seq & slab_mask_]; }
+    const InstRec& slot(SeqNum seq) const { return slab_[seq & slab_mask_]; }
+    SeqNum robSize() const { return dispatch_end_ - head_seq_; }
+    SeqNum frontendSize() const { return fetch_end_ - dispatch_end_; }
 
     std::vector<SeqNum> iq_;          ///< waiting instructions, seq order
     std::vector<SeqNum> ldq_;         ///< in-flight loads, seq order
@@ -240,10 +297,6 @@ class Core
     std::priority_queue<CompletionEvent, std::vector<CompletionEvent>,
                         std::greater<CompletionEvent>>
         completions_;
-
-    // Scratch for squashAfter(), member so squashes don't allocate.
-    std::vector<InstRec> squash_pulled_;
-    std::vector<InstRec> squash_young_;
 
     std::deque<PendingWrite> write_buffer_;
 

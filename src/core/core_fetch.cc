@@ -7,33 +7,39 @@
 namespace pfm {
 
 /**
- * Staging: the next instruction to fetch comes from the replay buffer
- * (after a squash) or from the functional engine (executed on demand).
+ * Staging: the next instruction to fetch comes from the replay window
+ * (after a squash, the squashed records are still sitting in their slab
+ * slots) or from the functional engine (executed on demand into the slot
+ * the sequence number maps to).
  */
 Core::InstRec*
 Core::peekNextFetch()
 {
-    if (staged_)
-        return &*staged_;
-    if (!replay_.empty()) {
-        staged_ = std::move(replay_.front());
-        replay_.pop_front();
-        return &*staged_;
+    if (staged_valid_)
+        return &slot(fetch_end_);
+    if (fetch_end_ != engine_next_) {
+        // Replay: the record is already in place with its prediction
+        // bookkeeping intact; no move, just mark it staged.
+        staged_valid_ = true;
+        return &slot(fetch_end_);
     }
     if (engine_.halted())
         return nullptr;
-    InstRec e;
+    InstRec& e = slot(fetch_end_);
+    e = InstRec{};
     e.d = engine_.step();
-    staged_ = std::move(e);
-    return &*staged_;
+    pfm_assert(e.d.seq == fetch_end_, "engine sequence out of step");
+    engine_next_ = fetch_end_ + 1;
+    staged_valid_ = true;
+    return &e;
 }
 
 void
 Core::consumeNextFetch()
 {
-    pfm_assert(staged_.has_value(), "consume without staged instruction");
-    frontend_.push_back(std::move(*staged_));
-    staged_.reset();
+    pfm_assert(staged_valid_, "consume without staged instruction");
+    ++fetch_end_;
+    staged_valid_ = false;
 }
 
 void
@@ -43,7 +49,7 @@ Core::fetch(Cycle now)
         return;
 
     for (unsigned i = 0; i < params_.fetch_width; ++i) {
-        if (frontend_.size() >= params_.frontend_buffer)
+        if (frontendSize() >= params_.frontend_buffer)
             return;
 
         InstRec* e = peekNextFetch();
@@ -72,8 +78,10 @@ Core::fetch(Cycle now)
             } else if (params_.bp_kind == BpKind::kPerfect) {
                 pred = e->d.taken;
             } else {
-                pred = bp_->predict(e->d.pc);
-                bp_->update(e->d.pc, e->d.taken);
+                // Fused predict+train: one virtual dispatch per branch and
+                // the predictor reuses its per-(PC, history) hash work
+                // across the lookup and the training pass.
+                pred = bp_->predictAndTrain(e->d.pc, e->d.taken);
             }
             e->pred_taken = pred;
             e->mispredicted = (pred != e->d.taken);
@@ -145,7 +153,7 @@ Core::fetch(Cycle now)
         }
         if (end_group)
             return;
-        if (frontend_.back().d.isHalt())
+        if (slot(fetch_end_ - 1).d.isHalt())
             return;
     }
 }
@@ -154,12 +162,12 @@ void
 Core::dispatch(Cycle now)
 {
     for (unsigned i = 0; i < params_.fetch_width; ++i) {
-        if (frontend_.empty())
+        if (dispatch_end_ == fetch_end_)
             return;
-        InstRec& f = frontend_.front();
+        InstRec& f = slot(dispatch_end_);
         if (f.dispatch_ready > now)
             return;
-        if (rob_.size() >= params_.rob_size) {
+        if (robSize() >= params_.rob_size) {
             ++ctr_dispatch_stall_rob_;
             return;
         }
@@ -187,15 +195,12 @@ Core::dispatch(Cycle now)
             return;
         }
 
-        InstRec e = std::move(f);
-        frontend_.pop_front();
+        // Dispatch in place: the record moves from the frontend window to
+        // the ROB window by bumping dispatch_end_.
+        InstRec& e = f;
         e.src1 = src1;
         e.src2 = src2;
-
-        if (rob_.empty())
-            head_seq_ = e.d.seq;
-        pfm_assert(rob_.empty() || e.d.seq == rob_.back().d.seq + 1,
-                   "non-contiguous dispatch");
+        pfm_assert(e.d.seq == dispatch_end_, "non-contiguous dispatch");
 
         if (needs_iq) {
             e.state = InstRec::kWaiting;
@@ -223,7 +228,7 @@ Core::dispatch(Cycle now)
 
         if (tracer_)
             tracer_->stage(e.d, TraceStage::kDispatch, now);
-        rob_.push_back(std::move(e));
+        ++dispatch_end_;
         ++ctr_dispatched_;
     }
 }

@@ -13,9 +13,9 @@ Core::retire(Cycle now)
         return;
 
     for (unsigned i = 0; i < params_.retire_width; ++i) {
-        if (rob_.empty())
+        if (head_seq_ == dispatch_end_)
             return;
-        InstRec& head = rob_.front();
+        InstRec& head = slot(head_seq_);
         // Writeback-to-retire takes one stage: an instruction completing
         // in cycle X is eligible to retire from X+1.
         if (head.state != InstRec::kDone || head.complete_cycle >= now)
@@ -62,8 +62,7 @@ Core::retire(Cycle now)
         SeqNum retired_seq = head.d.seq;
         if (tracer_)
             tracer_->stage(head.d, TraceStage::kRetire, now);
-        rob_.pop_front();
-        ++head_seq_;
+        ++head_seq_; // slot recycles once the window wraps past it
         ++retired_;
         ++ctr_retired_;
 

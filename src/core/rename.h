@@ -34,6 +34,16 @@ class RenameTracker
     bool rename(const Instruction& inst, SeqNum seq, SeqNum& src1,
                 SeqNum& src2);
 
+    /**
+     * Would rename() succeed for @p inst right now? Side-effect-free
+     * (the fast-forward quiescence scan must not allocate).
+     */
+    bool canRename(const Instruction& inst) const
+    {
+        const OpTraits& t = inst.traits();
+        return !(t.writes_rd && inst.rd != 0 && free_regs_ == 0);
+    }
+
     /** Instruction @p seq (writer of @p inst's rd) retires. */
     void retire(const Instruction& inst, SeqNum seq);
 

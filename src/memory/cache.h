@@ -72,6 +72,21 @@ class Cache
     /** True if the line holding @p addr is present (valid tag). */
     bool contains(Addr addr) const noexcept;
 
+    /**
+     * Earliest cycle after @p now at which an MSHR frees (kNoCycle if
+     * none are held past @p now). Feeds the fast-forward event horizon:
+     * MSHR occupancy is the only cache state that evolves with time
+     * rather than with accesses.
+     */
+    Cycle nextEventCycle(Cycle now) const noexcept
+    {
+        Cycle next = kNoCycle;
+        for (Cycle c : mshr_free_at_)
+            if (c > now && c < next)
+                next = c;
+        return next;
+    }
+
     /** Invalidate everything (used between experiment runs). */
     void flush();
 

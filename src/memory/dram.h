@@ -28,6 +28,19 @@ class Dram
     /** Request data at cycle @p now; returns completion cycle. */
     Cycle access(Cycle now);
 
+    /**
+     * Earliest cycle after @p now at which an outstanding-request slot
+     * completes (kNoCycle if none). Fast-forward event-horizon hook.
+     */
+    Cycle nextEventCycle(Cycle now) const noexcept
+    {
+        Cycle next = kNoCycle;
+        for (Cycle c : slots_)
+            if (c > now && c < next)
+                next = c;
+        return next;
+    }
+
     void flush();
 
     StatGroup& stats() { return stats_; }

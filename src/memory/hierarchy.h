@@ -55,6 +55,30 @@ class Hierarchy
     /** Warm a line into all levels instantly (used for warmup phases). */
     void warm(Addr addr);
 
+    /**
+     * Earliest cycle after @p now at which any level's MSHR or DRAM slot
+     * frees (kNoCycle if none). Fills are passive timestamps in this
+     * latency-forwarding model, so this only *bounds* a fast-forward skip;
+     * it never unblocks the core by itself.
+     */
+    Cycle nextEventCycle(Cycle now) const noexcept
+    {
+        Cycle next = l1i_.nextEventCycle(now);
+        Cycle c = l1d_.nextEventCycle(now);
+        if (c < next)
+            next = c;
+        c = l2_.nextEventCycle(now);
+        if (c < next)
+            next = c;
+        c = l3_.nextEventCycle(now);
+        if (c < next)
+            next = c;
+        c = dram_.nextEventCycle(now);
+        if (c < next)
+            next = c;
+        return next;
+    }
+
     void flush();
 
     const HierarchyParams& params() const { return params_; }

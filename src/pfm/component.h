@@ -59,6 +59,19 @@ class CustomComponent
     /** One RF cycle: deliver packets, drain replay, then run rfStep(). */
     void step(Cycle now);
 
+    /**
+     * Fast-forward horizon: the earliest cycle this component needs an RF
+     * step to make progress (PfmSystem aligns it up to the next RF edge).
+     * Return a value <= @p now when busy, kNoCycle when idle until an
+     * external packet arrives. The default is conservatively "always
+     * busy", which simply disables fast-forwarding while such a
+     * component's ROI is active; timer-driven components (e.g. the FSM
+     * prefetchers' adaptive-distance epochs) override this. Overrides
+     * must report *every* internal timer — see DESIGN.md "Fast-forward
+     * invariants".
+     */
+    virtual Cycle nextEventCycle(Cycle now) const { return now; }
+
     /** Core squash: roll the output stream back and schedule the replay. */
     void squash(Cycle now, const SquashInfo& info);
 
@@ -144,6 +157,7 @@ class CustomComponent
     FetchAgent& fetchAgent() { return *fetch_; }
     LoadAgent& loadAgent() { return *load_; }
     RetireAgent& retireAgent() { return *retire_; }
+    const RetireAgent& retireAgent() const { return *retire_; }
     const PfmParams& params() const { return *params_; }
     StatGroup& stats() { return *stats_; }
 

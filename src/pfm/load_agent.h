@@ -49,6 +49,22 @@ class LoadAgent
      */
     void onCycle(Cycle now, unsigned free_ls_slots);
 
+    /**
+     * Fast-forward horizon: earliest cycle onCycle() has work to do —
+     * immediately while requests or staged returns are queued, else the
+     * earliest MLB replay time; kNoCycle when fully idle.
+     */
+    Cycle nextEventCycle(Cycle now) const
+    {
+        if (intq_is_.size() != 0 || !staging_.empty())
+            return now;
+        Cycle next = kNoCycle;
+        for (const MlbEntry& e : mlb_)
+            if (e.retry_at < next)
+                next = e.retry_at;
+        return next < now ? now : next;
+    }
+
     void reset();
 
   private:

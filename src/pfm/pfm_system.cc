@@ -131,6 +131,69 @@ PfmSystem::onCycle(Cycle now, unsigned free_ls_slots, const IssueUsage& usage)
 }
 
 Cycle
+PfmSystem::nextEventCycle(Cycle now) const
+{
+    if (!component_)
+        return kNoCycle; // agents only ever carry component-initiated work
+
+    Cycle horizon = kNoCycle;
+    auto consider = [&horizon](Cycle c) {
+        if (c < horizon)
+            horizon = c;
+    };
+
+    if (params_.context_switch_interval != 0) {
+        if (next_context_switch_ == 0)
+            return now; // timer arms on the next onCycle()
+        consider(next_context_switch_);
+        if (now < reconfig_until_) {
+            // Fabric reconfiguring: agents and component are offline, so
+            // only the timers matter until the window closes.
+            consider(reconfig_until_);
+            return horizon;
+        }
+    }
+
+    Cycle la = load_agent_.nextEventCycle(now);
+    if (la <= now)
+        return now;
+    consider(la);
+
+    if (retire_agent_.roiActive()) {
+        // A busy component (pending agent traffic, or a component whose
+        // nextEventCycle() says "act now" — the conservative default)
+        // vetoes outright: the best such a skip could do is hop to the
+        // next RF edge, <= clk_div cycles, and the quiescence scan costs
+        // more than ticking those cycles. Only a component reporting a
+        // genuine *future* event time (e.g. an adaptive-distance epoch
+        // boundary) opens a skip window, aligned up to its RF edge.
+        Cycle want = (retire_agent_.pendingObservations() > 0 ||
+                      load_agent_.pendingReturns() > 0)
+                         ? now
+                         : component_->nextEventCycle(now);
+        if (want != kNoCycle) {
+            if (want <= now)
+                return now;
+            Cycle edge =
+                ((want + params_.clk_div - 1) / params_.clk_div) *
+                params_.clk_div;
+            consider(edge);
+        }
+    }
+    return horizon;
+}
+
+void
+PfmSystem::onFastForward(Cycle from, Cycle to)
+{
+    (void)from;
+    (void)to;
+    // No lane issued during the gap: retire-side port-contention checks at
+    // the resume cycle must see idle prior-cycle usage.
+    retire_agent_.setLaneUsage(IssueUsage{});
+}
+
+Cycle
 PfmSystem::squashDoneCycle(Cycle now) const
 {
     // The squash packet reaches the component at its next RF edge; the

@@ -40,6 +40,8 @@ class PfmSystem : public CoreHooks
     Cycle onSquash(Cycle now, SeqNum last_kept, const DynInst* branch) override;
     void onCycle(Cycle now, unsigned free_ls_slots,
                  const IssueUsage& usage) override;
+    Cycle nextEventCycle(Cycle now) const override;
+    void onFastForward(Cycle from, Cycle to) override;
 
     /** Debug: dump agent + component state. */
     void dumpDebug(std::ostream& os) const;

@@ -102,6 +102,19 @@ applyToken(SimOptions& opt, const std::string& token)
         opt.mem.perfect_dcache = true;
         return;
     }
+    if (token.rfind("fastfwd", 0) == 0 || token.rfind("--fastfwd", 0) == 0) {
+        // fastfwd / fastfwd=on / fastfwd=off (also with a -- prefix, so
+        // the bench/quickstart argv fall-through accepts --fastfwd=off).
+        const std::string v = token.substr(token[0] == '-' ? 9 : 7);
+        if (v.empty() || v == "=on")
+            opt.fastfwd = true;
+        else if (v == "=off")
+            opt.fastfwd = false;
+        else
+            pfm_fatal("bad fastfwd token '%s' (expected fastfwd[=on|off])",
+                      token.c_str());
+        return;
+    }
     if (token.rfind("scope", 0) == 0) {
         unsigned n = tokenNumber(token, token.substr(5));
         opt.astar_index_queue = n;

@@ -40,6 +40,14 @@ struct SimOptions {
     /** Abort if no instruction retires for this many cycles (deadlock). */
     Cycle deadlock_cycles = 2'000'000;
 
+    /**
+     * Event-horizon fast-forward: when the whole machine is provably
+     * quiescent for a cycle, jump straight to the next event instead of
+     * ticking through the stall. Stats and reports are byte-identical
+     * either way; "fastfwd=off" is the escape hatch.
+     */
+    bool fastfwd = true;
+
     /** Konata pipeline trace output ("" disables). */
     std::string trace_path;
     std::uint64_t trace_limit = 50'000;

@@ -94,13 +94,41 @@ Simulator::run()
     auto run_until = [this](std::uint64_t target) {
         std::uint64_t last_retired = core_->retired();
         Cycle last_progress = core_->cycle();
+        // Deadlock detection counts scheduler iterations, not raw cycles:
+        // each iteration is one ticked cycle (a fast-forward jump never
+        // replaces a tick that could have made progress), so a legitimate
+        // multi-thousand-cycle skip cannot trip the detector, while a true
+        // deadlock — where fastForward() always returns 0 — trips after
+        // exactly deadlock_cycles ticks, same as with fastfwd off.
+        Cycle idle_ticks = 0;
+        const bool ff = opt_.fastfwd;
+        // Only attempt a skip after a few retirement-free ticks: ticking a
+        // quiescent cycle and skipping it are interchangeable, so gating
+        // is free on correctness, and it keeps retire-bound phases (where
+        // the quiescence scan would run every cycle to skip 1-3 cycles)
+        // at zero overhead while multi-thousand-cycle stalls still
+        // collapse after a 4-tick on-ramp. A *vetoed* scan backs off
+        // exponentially — a busy-but-not-retiring stretch (RF round
+        // trips, write-buffer drains) costs O(log W) scans instead of one
+        // per cycle — and a successful skip or a retirement re-arms the
+        // threshold.
+        constexpr Cycle kFfIdleThreshold = 4;
+        Cycle next_ff_at = kFfIdleThreshold;
         while (!core_->done() && core_->retired() < target) {
+            // Skip before ticking so the loop exits at the same cycle
+            // whether or not the last instruction was followed by a
+            // quiescent gap (keeps warmup stats-reset boundaries, and so
+            // every dumped stat, byte-identical with fastfwd off).
+            if (ff && idle_ticks >= next_ff_at)
+                next_ff_at = core_->fastForward() ? kFfIdleThreshold
+                                                  : idle_ticks * 2;
             core_->tick();
             if (core_->retired() != last_retired) {
                 last_retired = core_->retired();
                 last_progress = core_->cycle();
-            } else if (core_->cycle() - last_progress >
-                       opt_.deadlock_cycles) {
+                idle_ticks = 0;
+                next_ff_at = kFfIdleThreshold;
+            } else if (++idle_ticks > opt_.deadlock_cycles) {
                 std::cerr << "--- deadlock diagnostics ---\n";
                 core_->stats().dump(std::cerr);
                 if (pfm_) {

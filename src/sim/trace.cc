@@ -48,7 +48,16 @@ PipelineTracer::advanceClock(Cycle now)
         return;
     }
     if (now > clock_) {
-        out_ << "C\t" << (now - clock_) << "\n";
+        // Fast-forward can open multi-thousand-cycle gaps between events.
+        // Konata accumulates relative "C" ticks one frame at a time, so a
+        // huge delta stalls the viewer; resync with an absolute "C=" stamp
+        // instead. The threshold keeps ordinary stall gaps as cheap
+        // relative records, and the output is identical with fastfwd off
+        // because events (not skipped cycles) drive this clock.
+        if (now - clock_ > kResyncDelta)
+            out_ << "C=\t" << now << "\n";
+        else
+            out_ << "C\t" << (now - clock_) << "\n";
         clock_ = now;
     }
 }

@@ -53,6 +53,9 @@ class PipelineTracer : public TraceSink
     std::uint64_t traced() const { return traced_; }
 
   private:
+    /** Gap size beyond which an absolute "C=" resync replaces "C". */
+    static constexpr Cycle kResyncDelta = 4096;
+
     struct Row {
         std::uint64_t id;
         Cycle last_event;

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Property tests for the event-horizon fast-forward: for a spread of
+ * randomized configurations (workload x component x clk/width x token
+ * extras), a simulation with fastfwd on must produce the *identical*
+ * machine state as one with fastfwd off — same final cycle count, same
+ * SimResult, and byte-identical stat dumps across core, memory hierarchy
+ * and the PFM system. Fast-forward is a pure wall-clock optimisation; any
+ * observable difference is a bug in a nextEventCycle() source (see
+ * DESIGN.md, "Fast-forward invariants").
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/options.h"
+#include "sim/simulator.h"
+
+namespace pfm {
+namespace {
+
+struct FfConfig {
+    const char* name;
+    const char* workload;
+    const char* component;
+    const char* tokens;
+};
+
+// Deterministic spread over the paper's axes: bare core vs PFM component
+// vs slipstream/alt models, fast vs slow reconfigurable-fabric clocks,
+// context switching, non-stalling fetch, perfect branch prediction, and
+// every custom-prefetcher workload family (each has its own
+// nextEventCycle() behaviour).
+const FfConfig kConfigs[] = {
+    {"astar_bare", "astar", "none", ""},
+    {"astar_pfm_fast", "astar", "auto", "clk4_w4 delay0 queue32 portALL"},
+    {"astar_pfm_slow_ctx", "astar", "auto",
+     "clk16_w1 delay8 queue8 portLS ctx100000"},
+    {"astar_alt", "astar", "alt", "clk4_w4"},
+    {"astar_slipstream", "astar", "slipstream", ""},
+    {"bfs_bare", "bfs-roads", "none", ""},
+    {"bfs_pfm_nonstall", "bfs-roads", "auto",
+     "clk4_w4 delay0 queue32 portALL nonstall"},
+    {"libquantum_pf", "libquantum", "auto", ""},
+    {"lbm_pf_perfbp", "lbm", "auto", "perfBP"},
+    {"bwaves_pf_slowclk", "bwaves", "auto", "clk8_w2"},
+    {"milc_pf", "milc", "auto", ""},
+    {"leslie_pf_nol1pf", "leslie", "auto", "noL1pf noVLDP"},
+};
+
+SimOptions
+ffOptions(const FfConfig& cfg, bool fastfwd)
+{
+    SimOptions o;
+    o.workload = cfg.workload;
+    o.component = cfg.component;
+    o.max_instructions = 40'000;
+    o.warmup_instructions = 8'000;
+    if (cfg.tokens[0] != '\0')
+        applyTokens(o, cfg.tokens);
+    o.fastfwd = fastfwd;
+    return o;
+}
+
+/** Every stat registry the simulator owns, dumped to one string. */
+std::string
+dumpAllStats(Simulator& sim)
+{
+    std::ostringstream os;
+    sim.core().stats().dump(os);
+    sim.memory().stats().dump(os);
+    if (sim.pfm())
+        sim.pfm()->stats().dump(os);
+    return os.str();
+}
+
+TEST(FastForward, IdenticalStateAcrossConfigs)
+{
+    for (const FfConfig& cfg : kConfigs) {
+        SCOPED_TRACE(cfg.name);
+
+        Simulator off(ffOptions(cfg, false));
+        SimResult r_off = off.run();
+        Simulator on(ffOptions(cfg, true));
+        SimResult r_on = on.run();
+
+        EXPECT_EQ(r_off.cycles, r_on.cycles);
+        EXPECT_EQ(r_off.instructions, r_on.instructions);
+        EXPECT_EQ(r_off.ipc, r_on.ipc);
+        EXPECT_EQ(r_off.mpki, r_on.mpki);
+        EXPECT_EQ(r_off.rst_hit_pct, r_on.rst_hit_pct);
+        EXPECT_EQ(r_off.fst_hit_pct, r_on.fst_hit_pct);
+        EXPECT_EQ(r_off.finished, r_on.finished);
+
+        EXPECT_EQ(dumpAllStats(off), dumpAllStats(on));
+    }
+}
+
+TEST(FastForward, DefaultsOnAndTokenToggles)
+{
+    SimOptions o;
+    EXPECT_TRUE(o.fastfwd);
+    applyToken(o, "fastfwd=off");
+    EXPECT_FALSE(o.fastfwd);
+    applyToken(o, "fastfwd=on");
+    EXPECT_TRUE(o.fastfwd);
+    applyToken(o, "--fastfwd=off");
+    EXPECT_FALSE(o.fastfwd);
+    applyToken(o, "fastfwd");
+    EXPECT_TRUE(o.fastfwd);
+}
+
+TEST(FastForward, ActuallySkipsCyclesOnStallHeavyRun)
+{
+    // Sanity that the optimisation engages at all: a bare-core run is
+    // dominated by DRAM-bound stalls, so with fastfwd on the core must
+    // reach the same final cycle while ticking far fewer times. tick()
+    // count is not exposed directly; instead run the same config through
+    // Core::fastForward() manually and check it reports skipped cycles.
+    SimOptions o = ffOptions(kConfigs[0], true);
+    Simulator sim(o);
+    std::uint64_t skipped = 0;
+    Core& core = sim.core();
+    while (!core.done() && core.retired() < 60'000) {
+        skipped += core.fastForward();
+        core.tick();
+    }
+    EXPECT_GT(skipped, 0u);
+}
+
+} // namespace
+} // namespace pfm

@@ -95,10 +95,25 @@ TEST(OptionsErrorDeathTest, CtxTokenTrailingGarbageIsFatal)
                 "bad number '100q' in parameter token 'ctx100q'");
 }
 
+TEST(OptionsErrorDeathTest, FastfwdTokenGarbageValueIsFatal)
+{
+    SimOptions o;
+    EXPECT_EXIT(applyToken(o, "fastfwd=maybe"), ::testing::ExitedWithCode(1),
+                "bad fastfwd token 'fastfwd=maybe'");
+}
+
+TEST(OptionsErrorDeathTest, FastfwdTokenTrailingGarbageIsFatal)
+{
+    SimOptions o;
+    EXPECT_EXIT(applyToken(o, "fastfwdish"), ::testing::ExitedWithCode(1),
+                "bad fastfwd token 'fastfwdish'");
+}
+
 TEST(OptionsErrors, WellFormedTokensStillParse)
 {
     SimOptions o;
-    applyTokens(o, "clk4_w2 delay3 queue16 scope8 ctx0x100");
+    applyTokens(o, "clk4_w2 delay3 queue16 scope8 ctx0x100 fastfwd=off");
+    EXPECT_FALSE(o.fastfwd);
     EXPECT_EQ(o.pfm.clk_div, 4u);
     EXPECT_EQ(o.pfm.width, 2u);
     EXPECT_EQ(o.pfm.delay, 3u);

@@ -199,6 +199,40 @@ TEST(Tracer, LimitCapsTracedInstructions)
     std::remove(path.c_str());
 }
 
+TEST(Tracer, ResyncsClockAcrossLargeGaps)
+{
+    // A fast-forward jump can separate consecutive trace events by tens of
+    // thousands of cycles; the writer must resync with an absolute "C="
+    // stamp instead of one huge relative "C" delta (which stalls Konata's
+    // frame-at-a-time clock accumulation).
+    std::string path = ::testing::TempDir() + "/pfm_trace_resync.kanata";
+    {
+        SimMemory mem;
+        Program prog = assemble("  addi x1, x0, 1\n  halt\n");
+        FunctionalEngine eng(prog, mem);
+        eng.reset(prog.base());
+        DynInst a = eng.step();
+        DynInst b = eng.step();
+        PipelineTracer tracer(path, 0);
+        tracer.stage(a, TraceStage::kFetch, 100);
+        tracer.stage(a, TraceStage::kRetire, 150);
+        tracer.stage(b, TraceStage::kFetch, 100'000); // fast-forwarded gap
+        tracer.stage(b, TraceStage::kRetire, 100'001);
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    bool resynced = false;
+    while (std::getline(in, line)) {
+        if (line == "C=\t100000")
+            resynced = true;
+        if (line.rfind("C\t", 0) == 0)
+            EXPECT_LE(std::stoull(line.substr(2)), 4096u) << line;
+    }
+    EXPECT_TRUE(resynced);
+    std::remove(path.c_str());
+}
+
 TEST(Tracer, WorksThroughSimulatorOption)
 {
     std::string path = ::testing::TempDir() + "/pfm_trace_sim.kanata";
