@@ -1,5 +1,7 @@
 #include "branch/bimodal.h"
 
+#include "sim/checkpoint.h"
+
 namespace pfm {
 
 BimodalPredictor::BimodalPredictor(unsigned log_entries)
@@ -36,6 +38,19 @@ void
 BimodalPredictor::reset()
 {
     std::fill(table_.begin(), table_.end(), 2);
+}
+
+
+void
+BimodalPredictor::saveState(CkptWriter& w) const
+{
+    w.putVec(table_);
+}
+
+void
+BimodalPredictor::loadState(CkptReader& r)
+{
+    r.getVec(table_);
 }
 
 } // namespace pfm

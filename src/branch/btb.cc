@@ -1,5 +1,7 @@
 #include "branch/btb.h"
 
+#include "sim/checkpoint.h"
+
 #include "common/bitutils.h"
 #include "common/log.h"
 
@@ -80,6 +82,37 @@ ReturnAddressStack::reset()
 {
     top_ = 0;
     size_ = 0;
+}
+
+
+void
+Btb::saveState(CkptWriter& w) const
+{
+    w.putVec(entries_);
+    w.put(lru_clock_);
+}
+
+void
+Btb::loadState(CkptReader& r)
+{
+    r.getVec(entries_);
+    r.get(lru_clock_);
+}
+
+void
+ReturnAddressStack::saveState(CkptWriter& w) const
+{
+    w.putVec(stack_);
+    w.put(top_);
+    w.put(size_);
+}
+
+void
+ReturnAddressStack::loadState(CkptReader& r)
+{
+    r.getVec(stack_);
+    r.get(top_);
+    r.get(size_);
 }
 
 } // namespace pfm

@@ -17,6 +17,9 @@
 
 namespace pfm {
 
+class CkptWriter;
+class CkptReader;
+
 struct BtbParams {
     unsigned sets = 512;
     unsigned ways = 4;
@@ -35,6 +38,9 @@ class Btb
     void update(Addr pc, Addr target);
 
     void reset();
+
+    void saveState(CkptWriter& w) const;
+    void loadState(CkptReader& r);
 
   private:
     struct Entry {
@@ -60,6 +66,9 @@ class ReturnAddressStack
     Addr pop();
 
     void reset();
+
+    void saveState(CkptWriter& w) const;
+    void loadState(CkptReader& r);
 
     unsigned size() const { return size_; }
 

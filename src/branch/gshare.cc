@@ -1,5 +1,7 @@
 #include "branch/gshare.h"
 
+#include "sim/checkpoint.h"
+
 #include "common/bitutils.h"
 
 namespace pfm {
@@ -42,6 +44,21 @@ GsharePredictor::reset()
 {
     std::fill(table_.begin(), table_.end(), 2);
     ghr_ = 0;
+}
+
+
+void
+GsharePredictor::saveState(CkptWriter& w) const
+{
+    w.put(ghr_);
+    w.putVec(table_);
+}
+
+void
+GsharePredictor::loadState(CkptReader& r)
+{
+    r.get(ghr_);
+    r.getVec(table_);
 }
 
 } // namespace pfm

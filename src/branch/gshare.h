@@ -21,6 +21,8 @@ class GsharePredictor : public BranchPredictor
     bool predict(Addr pc) override;
     void update(Addr pc, bool taken) override;
     void reset() override;
+    void saveState(CkptWriter& w) const override;
+    void loadState(CkptReader& r) override;
 
   private:
     size_t index(Addr pc) const;

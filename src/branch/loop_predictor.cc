@@ -1,5 +1,7 @@
 #include "branch/loop_predictor.h"
 
+#include "sim/checkpoint.h"
+
 namespace pfm {
 
 LoopPredictor::LoopPredictor(unsigned log_entries)
@@ -136,6 +138,37 @@ LoopPredictor::reset()
 {
     for (auto& e : table_)
         e = Entry{};
+}
+
+
+void
+LoopPredictor::saveState(CkptWriter& w) const
+{
+    // Field-wise: Entry is 9 value bytes padded to 10; raw bytes would
+    // leak the indeterminate tail byte into the image.
+    w.put<std::uint64_t>(table_.size());
+    for (const Entry& e : table_) {
+        w.put(e.tag);
+        w.put(e.past_trip);
+        w.put(e.current_iter);
+        w.put(e.confidence);
+        w.put(e.age);
+        w.put(e.valid);
+    }
+}
+
+void
+LoopPredictor::loadState(CkptReader& r)
+{
+    table_.resize(static_cast<size_t>(r.get<std::uint64_t>()));
+    for (Entry& e : table_) {
+        r.get(e.tag);
+        r.get(e.past_trip);
+        r.get(e.current_iter);
+        r.get(e.confidence);
+        r.get(e.age);
+        r.get(e.valid);
+    }
 }
 
 } // namespace pfm

@@ -14,6 +14,9 @@
 
 namespace pfm {
 
+class CkptWriter;
+class CkptReader;
+
 class LoopPredictor
 {
   public:
@@ -37,6 +40,9 @@ class LoopPredictor
                         bool& dir);
 
     void reset();
+
+    void saveState(CkptWriter& w) const;
+    void loadState(CkptReader& r);
 
   private:
     struct Entry {

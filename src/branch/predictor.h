@@ -16,6 +16,9 @@
 
 namespace pfm {
 
+class CkptWriter;
+class CkptReader;
+
 class BranchPredictor
 {
   public:
@@ -46,6 +49,13 @@ class BranchPredictor
     }
 
     virtual void reset() = 0;
+
+    /**
+     * Checkpoint hooks. Stateless predictors (the perfect oracle) keep the
+     * no-op defaults; save and load must stay symmetric per implementation.
+     */
+    virtual void saveState(CkptWriter& w) const { (void)w; }
+    virtual void loadState(CkptReader& r) { (void)r; }
 };
 
 } // namespace pfm

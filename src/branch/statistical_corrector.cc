@@ -1,5 +1,7 @@
 #include "branch/statistical_corrector.h"
 
+#include "sim/checkpoint.h"
+
 #include <cstdlib>
 
 namespace pfm {
@@ -78,6 +80,35 @@ StatisticalCorrector::reset()
         std::fill(tbl.begin(), tbl.end(), 0);
     threshold_ = 6;
     tc_ = 0;
+}
+
+
+void
+StatisticalCorrector::saveState(CkptWriter& w) const
+{
+    for (const auto& tbl : tables_)
+        w.putVec(tbl);
+    w.put(threshold_);
+    w.put(tc_);
+    w.put(last_tage_pred_);
+    w.put(last_used_sc_);
+    w.put(last_final_);
+    w.put(last_sum_);
+    w.putBytes(last_idx_, sizeof last_idx_);
+}
+
+void
+StatisticalCorrector::loadState(CkptReader& r)
+{
+    for (auto& tbl : tables_)
+        r.getVec(tbl);
+    r.get(threshold_);
+    r.get(tc_);
+    r.get(last_tage_pred_);
+    r.get(last_used_sc_);
+    r.get(last_final_);
+    r.get(last_sum_);
+    r.getBytes(last_idx_, sizeof last_idx_);
 }
 
 } // namespace pfm

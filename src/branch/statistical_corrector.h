@@ -16,6 +16,9 @@
 
 namespace pfm {
 
+class CkptWriter;
+class CkptReader;
+
 class StatisticalCorrector
 {
   public:
@@ -32,6 +35,9 @@ class StatisticalCorrector
     void update(Addr pc, bool taken);
 
     void reset();
+
+    void saveState(CkptWriter& w) const;
+    void loadState(CkptReader& r);
 
     /** History lengths (in bits) this SC wants hashes for. */
     static constexpr unsigned kNumTables = 4;

@@ -4,6 +4,7 @@
 
 #include "common/bitutils.h"
 #include "common/log.h"
+#include "sim/checkpoint.h"
 
 namespace pfm {
 
@@ -252,6 +253,47 @@ TagePredictor::pushHistory(bool taken)
         tag_fold_a_[t].update(ghist_, ghist_ptr_);
         tag_fold_b_[t].update(ghist_, ghist_ptr_);
     }
+}
+
+void
+TagePredictor::saveState(CkptWriter& w) const
+{
+    for (const auto& table : tables_)
+        w.putVec(table);
+    w.putVec(base_);
+    w.putVec(ghist_);
+    w.put(ghist_ptr_);
+    w.put(packed_hist_);
+    w.put(hist_gen_);
+    w.putVec(idx_fold_);
+    w.putVec(tag_fold_a_);
+    w.putVec(tag_fold_b_);
+    w.put(use_alt_on_na_);
+    w.put(branch_count_);
+    w.put(lfsr_);
+    w.put(info_);
+}
+
+void
+TagePredictor::loadState(CkptReader& r)
+{
+    for (auto& table : tables_)
+        r.getVec(table);
+    r.getVec(base_);
+    r.getVec(ghist_);
+    r.get(ghist_ptr_);
+    r.get(packed_hist_);
+    r.get(hist_gen_);
+    r.getVec(idx_fold_);
+    r.getVec(tag_fold_a_);
+    r.getVec(tag_fold_b_);
+    r.get(use_alt_on_na_);
+    r.get(branch_count_);
+    r.get(lfsr_);
+    r.get(info_);
+    // The (pc, generation) memo is a pure cache; drop it rather than
+    // serialize the cached index/tag arrays.
+    memo_valid_ = false;
 }
 
 std::uint64_t

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "branch/predictor.h"
+#include "sim/checkpoint.h"
 
 namespace pfm {
 
@@ -40,6 +41,33 @@ struct TagePredictionInfo {
     int provider_ctr = 0;       ///< signed provider counter value
 };
 
+/** Field-wise IO: the bool runs leave padding before the int fields. */
+template <> struct CkptIO<TagePredictionInfo> {
+    static constexpr std::size_t kWireSize = 1 + 1 + 4 + 4 + 1 + 1 + 4;
+    static void
+    save(CkptWriter& w, const TagePredictionInfo& i)
+    {
+        w.put(i.pred);
+        w.put(i.alt_pred);
+        w.put(i.provider);
+        w.put(i.alt_provider);
+        w.put(i.provider_weak);
+        w.put(i.pseudo_new_alloc);
+        w.put(i.provider_ctr);
+    }
+    static void
+    load(CkptReader& r, TagePredictionInfo& i)
+    {
+        r.get(i.pred);
+        r.get(i.alt_pred);
+        r.get(i.provider);
+        r.get(i.alt_provider);
+        r.get(i.provider_weak);
+        r.get(i.pseudo_new_alloc);
+        r.get(i.provider_ctr);
+    }
+};
+
 class TagePredictor : public BranchPredictor
 {
   public:
@@ -48,6 +76,8 @@ class TagePredictor : public BranchPredictor
     bool predict(Addr pc) override;
     void update(Addr pc, bool taken) override;
     void reset() override;
+    void saveState(CkptWriter& w) const override;
+    void loadState(CkptReader& r) override;
 
     /** Metadata for the most recent predict(). */
     const TagePredictionInfo& lastInfo() const { return info_; }

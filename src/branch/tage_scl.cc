@@ -1,5 +1,7 @@
 #include "branch/tage_scl.h"
 
+#include "sim/checkpoint.h"
+
 namespace pfm {
 
 TageSclPredictor::TageSclPredictor(const TageParams& tage_params)
@@ -81,6 +83,31 @@ TageSclPredictor::reset()
     tage_.reset();
     loop_.reset();
     sc_.reset();
+    sc_hashes_valid_ = false;
+    sc_hash_gen_ = 0;
+}
+
+
+void
+TageSclPredictor::saveState(CkptWriter& w) const
+{
+    tage_.saveState(w);
+    loop_.saveState(w);
+    sc_.saveState(w);
+    w.put(last_loop_valid_);
+    w.put(last_tage_pred_);
+}
+
+void
+TageSclPredictor::loadState(CkptReader& r)
+{
+    tage_.loadState(r);
+    loop_.loadState(r);
+    sc_.loadState(r);
+    r.get(last_loop_valid_);
+    r.get(last_tage_pred_);
+    // The SC hash memo keys off the TAGE history generation; drop it and
+    // let the first prediction rebuild the hashes.
     sc_hashes_valid_ = false;
     sc_hash_gen_ = 0;
 }

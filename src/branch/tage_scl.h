@@ -33,6 +33,8 @@ class TageSclPredictor : public BranchPredictor
     bool predictAndTrain(Addr pc, bool taken) override;
 
     void reset() override;
+    void saveState(CkptWriter& w) const override;
+    void loadState(CkptReader& r) override;
 
     TagePredictor& tage() { return tage_; }
 

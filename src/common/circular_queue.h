@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/log.h"
+#include "sim/checkpoint.h"
 
 namespace pfm {
 
@@ -109,6 +110,31 @@ class CircularQueue
     {
         head_ = 0;
         size_ = 0;
+    }
+
+    /**
+     * Checkpoint the occupied entries head-to-tail. Capacity is a config
+     * parameter (re-established at construction), not serialized state;
+     * the ring phase (head_) is normalized away, which is unobservable
+     * through this interface.
+     */
+    void
+    saveState(CkptWriter& w) const
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "CircularQueue checkpointing needs POD entries");
+        w.put<std::uint64_t>(size_);
+        for (size_t i = 0; i < size_; ++i)
+            w.put(at(i));
+    }
+
+    void
+    loadState(CkptReader& r)
+    {
+        clear();
+        std::uint64_t n = r.get<std::uint64_t>();
+        for (std::uint64_t i = 0; i < n; ++i)
+            push(r.get<T>());
     }
 
   private:

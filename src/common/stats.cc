@@ -3,7 +3,39 @@
 #include <algorithm>
 #include <iomanip>
 
+#include "sim/checkpoint.h"
+
 namespace pfm {
+
+void
+Counter::saveState(CkptWriter& w) const
+{
+    w.put(value_);
+}
+
+void
+Counter::loadState(CkptReader& r)
+{
+    r.get(value_);
+}
+
+void
+Distribution::saveState(CkptWriter& w) const
+{
+    w.put(sum_);
+    w.put(min_);
+    w.put(max_);
+    w.put(count_);
+}
+
+void
+Distribution::loadState(CkptReader& r)
+{
+    r.get(sum_);
+    r.get(min_);
+    r.get(max_);
+    r.get(count_);
+}
 
 namespace stats_detail {
 
@@ -59,6 +91,36 @@ StatGroup::dump(std::ostream& os) const
         os << prefix_ << dists_.name(i) << " mean=" << std::fixed
            << std::setprecision(3) << d.mean() << " min=" << d.min()
            << " max=" << d.max() << " n=" << d.count() << "\n";
+    }
+}
+
+void
+StatGroup::saveState(CkptWriter& w) const
+{
+    w.put<std::uint64_t>(counters_.size());
+    for (std::size_t i = 0; i < counters_.size(); ++i) {
+        w.putString(counters_.name(i));
+        counters_.value(i).saveState(w);
+    }
+    w.put<std::uint64_t>(dists_.size());
+    for (std::size_t i = 0; i < dists_.size(); ++i) {
+        w.putString(dists_.name(i));
+        dists_.value(i).saveState(w);
+    }
+}
+
+void
+StatGroup::loadState(CkptReader& r)
+{
+    std::uint64_t nc = r.get<std::uint64_t>();
+    for (std::uint64_t i = 0; i < nc; ++i) {
+        std::string name = r.getString();
+        counters_.bind(name).loadState(r);
+    }
+    std::uint64_t nd = r.get<std::uint64_t>();
+    for (std::uint64_t i = 0; i < nd; ++i) {
+        std::string name = r.getString();
+        dists_.bind(name).loadState(r);
     }
 }
 

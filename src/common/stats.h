@@ -23,6 +23,9 @@
 
 namespace pfm {
 
+class CkptWriter;
+class CkptReader;
+
 /** A simple accumulating counter. */
 class Counter
 {
@@ -31,6 +34,9 @@ class Counter
     Counter& operator+=(std::uint64_t v) { value_ += v; return *this; }
     std::uint64_t value() const { return value_; }
     void reset() { value_ = 0; }
+
+    void saveState(CkptWriter& w) const;
+    void loadState(CkptReader& r);
 
   private:
     std::uint64_t value_ = 0;
@@ -56,6 +62,9 @@ class Distribution
     double max() const { return count_ ? max_ : 0.0; }
     std::uint64_t count() const { return count_; }
     void reset() { sum_ = 0; count_ = 0; min_ = 0; max_ = 0; }
+
+    void saveState(CkptWriter& w) const;
+    void loadState(CkptReader& r);
 
   private:
     double sum_ = 0;
@@ -192,6 +201,17 @@ class StatGroup
 
     /** Reset every stat in the group (e.g., after warmup). */
     void resetAll();
+
+    /**
+     * Serialize every stat as (name, value) pairs. Dynamic, lazily-created
+     * counters (e.g. "squash_<reason>") exist only once touched, yet a
+     * zero-valued counter still prints at dump() — so the *name set* is
+     * part of the state and must round-trip for byte-identical reports.
+     */
+    void saveState(CkptWriter& w) const;
+
+    /** Re-bind (creating as needed) and restore every serialized stat. */
+    void loadState(CkptReader& r);
 
     const std::string& prefix() const { return prefix_; }
 

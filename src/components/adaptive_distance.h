@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "common/types.h"
+#include "sim/checkpoint.h"
 
 namespace pfm {
 
@@ -96,6 +97,26 @@ class AdaptiveDistance
         settled_ = false;
         epoch_start_ = kNoCycle;
         epoch_events_base_ = 0;
+    }
+
+    void
+    saveState(CkptWriter& w) const
+    {
+        w.put(distance_);
+        w.put(last_rate_);
+        w.put(settled_);
+        w.put(epoch_start_);
+        w.put(epoch_events_base_);
+    }
+
+    void
+    loadState(CkptReader& r)
+    {
+        r.get(distance_);
+        r.get(last_rate_);
+        r.get(settled_);
+        r.get(epoch_start_);
+        r.get(epoch_events_base_);
     }
 
   private:

@@ -1,5 +1,7 @@
 #include "components/prefetch_engine.h"
 
+#include "sim/checkpoint.h"
+
 #include <cstdio>
 #include <cstdlib>
 
@@ -197,6 +199,39 @@ FsmPrefetcher::rfStep(Cycle now)
             if (!advance(s, st))
                 break;
         }
+    }
+}
+
+
+void
+FsmPrefetcher::saveState(CkptWriter& w) const
+{
+    CustomComponent::saveState(w);
+    // streams_ is immutable configuration; per-stream runtime state only.
+    w.put<std::uint64_t>(state_.size());
+    for (const StreamState& st : state_) {
+        w.putVec(st.idx);
+        w.put(st.units_issued);
+        w.put(st.done);
+        st.adapt.saveState(w);
+        w.putVec(st.pending);
+    }
+}
+
+void
+FsmPrefetcher::loadState(CkptReader& r)
+{
+    CustomComponent::loadState(r);
+    std::uint64_t n = r.get<std::uint64_t>();
+    pfm_assert(n == state_.size(),
+               "stream count mismatch in checkpoint (%llu vs %zu)",
+               (unsigned long long)n, state_.size());
+    for (StreamState& st : state_) {
+        r.getVec(st.idx);
+        r.get(st.units_issued);
+        r.get(st.done);
+        st.adapt.loadState(r);
+        r.getVec(st.pending);
     }
 }
 

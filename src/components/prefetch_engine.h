@@ -62,6 +62,10 @@ class FsmPrefetcher : public CustomComponent
                        std::vector<PrefetchStream> streams,
                        const AdaptiveDistance::Params& adapt = {});
 
+    bool supportsCheckpoint() const override { return true; }
+    void saveState(CkptWriter& w) const override;
+    void loadState(CkptReader& r) override;
+
   protected:
     void rfStep(Cycle now) override;
     void onObservation(const ObsPacket& p, Cycle now) override;

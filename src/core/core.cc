@@ -1,5 +1,7 @@
 #include "core/core.h"
 
+#include "sim/checkpoint.h"
+
 #include <algorithm>
 #include <cstdlib>
 
@@ -440,6 +442,194 @@ Core::mpki() const
         return 0.0;
     return 1000.0 * static_cast<double>(stats_.get("branch_mispredicts")) /
            static_cast<double>(insts);
+}
+
+
+void
+Core::saveState(CkptWriter& w) const
+{
+    bp_->saveState(w);
+    btb_.saveState(w);
+    ras_.saveState(w);
+    store_sets_.saveState(w);
+    rename_.saveState(w);
+
+    w.put(cycle_);
+    w.put(retired_);
+    w.put(halt_retired_);
+
+    // The slab is a ring indexed by seq; only the live window
+    // [head_seq_, engine_next_) is meaningful (this includes the staged
+    // slot and any replay window). DynInst::inst is a pointer into the
+    // program image — field-wise serialization skips it; loadState()
+    // re-resolves it from the PC so checkpoint bytes stay deterministic.
+    w.put(head_seq_);
+    w.put(dispatch_end_);
+    w.put(fetch_end_);
+    w.put(engine_next_);
+    w.put(staged_valid_);
+    auto put_rec = [&w](const InstRec& e) {
+        w.put(e.d.seq);
+        w.put(e.d.pc);
+        w.put(e.d.next_pc);
+        w.put(e.d.taken);
+        w.put(e.d.mem_addr);
+        w.put(e.d.mem_size);
+        w.put(e.d.result);
+        w.put(e.d.store_val);
+        w.put(e.dispatch_ready);
+        w.put(e.pred_taken);
+        w.put(e.used_custom);
+        w.put(e.mispredicted);
+        w.put(e.mispredict_counted);
+        w.put(e.replayed);
+        w.put(e.state);
+        w.put(e.src1);
+        w.put(e.src2);
+        w.put(e.complete_cycle);
+        w.put(e.mem_barrier);
+        w.put(e.forwarded);
+        w.put(e.forwarded_from);
+        w.put(e.service_level);
+    };
+    for (SeqNum s = head_seq_; s != engine_next_; ++s)
+        put_rec(slot(s));
+
+    w.putVec(iq_);
+    w.putVec(ldq_);
+    w.putVec(stq_);
+
+    // priority_queue has no iteration; drain a copy (it is tiny: at most
+    // one completion event per in-flight instruction).
+    auto pq = completions_;
+    w.put<std::uint64_t>(pq.size());
+    while (!pq.empty()) {
+        w.put(pq.top().first);
+        w.put(pq.top().second);
+        pq.pop();
+    }
+
+    // Field-wise: PendingWrite is 12 value bytes padded to 16; raw bytes
+    // would leak the indeterminate tail into the image.
+    w.put<std::uint64_t>(write_buffer_.size());
+    for (const PendingWrite& pw : write_buffer_) {
+        w.put(pw.addr);
+        w.put(pw.size);
+    }
+
+    w.put(fetch_blocked_seq_);
+    w.put(fetch_resume_at_);
+    w.put(retire_stall_until_);
+    w.put(free_ls_slots_);
+    w.put(usage_);
+
+    auto put_profile = [&w](const std::unordered_map<Addr,
+                                                     std::uint64_t>& m) {
+        std::vector<Addr> keys;
+        keys.reserve(m.size());
+        for (const auto& [pc, count] : m)
+            keys.push_back(pc);
+        std::sort(keys.begin(), keys.end());
+        w.put<std::uint64_t>(keys.size());
+        for (Addr pc : keys) {
+            w.put(pc);
+            w.put(m.at(pc));
+        }
+    };
+    put_profile(mispredict_by_pc_);
+    put_profile(miss_by_pc_);
+
+    w.put(stats_cycle_base_);
+    w.put(stats_retired_base_);
+    stats_.saveState(w);
+}
+
+void
+Core::loadState(CkptReader& r)
+{
+    bp_->loadState(r);
+    btb_.loadState(r);
+    ras_.loadState(r);
+    store_sets_.loadState(r);
+    rename_.loadState(r);
+
+    r.get(cycle_);
+    r.get(retired_);
+    r.get(halt_retired_);
+
+    r.get(head_seq_);
+    r.get(dispatch_end_);
+    r.get(fetch_end_);
+    r.get(engine_next_);
+    r.get(staged_valid_);
+    auto get_rec = [this, &r](InstRec& e) {
+        r.get(e.d.seq);
+        r.get(e.d.pc);
+        r.get(e.d.next_pc);
+        r.get(e.d.taken);
+        r.get(e.d.mem_addr);
+        r.get(e.d.mem_size);
+        r.get(e.d.result);
+        r.get(e.d.store_val);
+        e.d.inst = &engine_.program().instAt(e.d.pc);
+        r.get(e.dispatch_ready);
+        r.get(e.pred_taken);
+        r.get(e.used_custom);
+        r.get(e.mispredicted);
+        r.get(e.mispredict_counted);
+        r.get(e.replayed);
+        r.get(e.state);
+        r.get(e.src1);
+        r.get(e.src2);
+        r.get(e.complete_cycle);
+        r.get(e.mem_barrier);
+        r.get(e.forwarded);
+        r.get(e.forwarded_from);
+        r.get(e.service_level);
+    };
+    for (SeqNum s = head_seq_; s != engine_next_; ++s)
+        get_rec(slot(s));
+
+    r.getVec(iq_);
+    r.getVec(ldq_);
+    r.getVec(stq_);
+
+    completions_ = {};
+    std::uint64_t nc = r.get<std::uint64_t>();
+    for (std::uint64_t i = 0; i < nc; ++i) {
+        Cycle c = r.get<Cycle>();
+        SeqNum s = r.get<SeqNum>();
+        completions_.emplace(c, s);
+    }
+
+    write_buffer_.clear();
+    for (std::uint64_t n = r.get<std::uint64_t>(); n; --n) {
+        PendingWrite pw;
+        r.get(pw.addr);
+        r.get(pw.size);
+        write_buffer_.push_back(pw);
+    }
+
+    r.get(fetch_blocked_seq_);
+    r.get(fetch_resume_at_);
+    r.get(retire_stall_until_);
+    r.get(free_ls_slots_);
+    r.get(usage_);
+
+    auto get_profile = [&r](std::unordered_map<Addr, std::uint64_t>& m) {
+        m.clear();
+        std::uint64_t n = r.get<std::uint64_t>();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            Addr pc = r.get<Addr>();
+            m[pc] = r.get<std::uint64_t>();
+        }
+    };
+    get_profile(mispredict_by_pc_);
+    get_profile(miss_by_pc_);
+
+    r.get(stats_cycle_base_);
+    r.get(stats_retired_base_);
+    stats_.loadState(r);
 }
 
 } // namespace pfm

@@ -194,6 +194,15 @@ class Core
         return miss_by_pc_;
     }
 
+    /**
+     * Checkpoint the full core state: predictor/BTB/RAS/store-sets/rename,
+     * the live InstRec slab window, scheduler queues, completion events,
+     * write buffer, stall state, PC profiles, stats and their baselines.
+     * DynInst::inst pointers are re-resolved from the program on load.
+     */
+    void saveState(CkptWriter& w) const;
+    void loadState(CkptReader& r);
+
   private:
     /** One in-flight instruction (replay, staging, frontend, or ROB). */
     struct InstRec {

@@ -1,5 +1,7 @@
 #include "core/rename.h"
 
+#include "sim/checkpoint.h"
+
 #include "common/log.h"
 
 namespace pfm {
@@ -72,6 +74,21 @@ RenameTracker::rebuildAdd(const Instruction& inst, SeqNum seq)
     const OpTraits& t = inst.traits();
     if (t.writes_rd && inst.rd != 0)
         last_writer_[inst.rd] = seq;
+}
+
+
+void
+RenameTracker::saveState(CkptWriter& w) const
+{
+    w.put(free_regs_);
+    w.putBytes(last_writer_.data(), last_writer_.size() * sizeof(SeqNum));
+}
+
+void
+RenameTracker::loadState(CkptReader& r)
+{
+    r.get(free_regs_);
+    r.getBytes(last_writer_.data(), last_writer_.size() * sizeof(SeqNum));
 }
 
 } // namespace pfm

@@ -18,6 +18,9 @@
 
 namespace pfm {
 
+class CkptWriter;
+class CkptReader;
+
 class RenameTracker
 {
   public:
@@ -62,6 +65,9 @@ class RenameTracker
     }
 
     void reset();
+
+    void saveState(CkptWriter& w) const;
+    void loadState(CkptReader& r);
 
   private:
     unsigned prf_size_;

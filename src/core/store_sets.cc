@@ -1,5 +1,7 @@
 #include "core/store_sets.h"
 
+#include "sim/checkpoint.h"
+
 #include <algorithm>
 
 namespace pfm {
@@ -75,6 +77,23 @@ StoreSets::reset()
     std::fill(ssit_.begin(), ssit_.end(), -1);
     std::fill(lfst_.begin(), lfst_.end(), kNoSeq);
     next_ssid_ = 0;
+}
+
+
+void
+StoreSets::saveState(CkptWriter& w) const
+{
+    w.putVec(ssit_);
+    w.putVec(lfst_);
+    w.put(next_ssid_);
+}
+
+void
+StoreSets::loadState(CkptReader& r)
+{
+    r.getVec(ssit_);
+    r.getVec(lfst_);
+    r.get(next_ssid_);
 }
 
 } // namespace pfm

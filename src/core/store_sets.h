@@ -16,6 +16,9 @@
 
 namespace pfm {
 
+class CkptWriter;
+class CkptReader;
+
 class StoreSets
 {
   public:
@@ -40,6 +43,9 @@ class StoreSets
     void trainViolation(Addr load_pc, Addr store_pc);
 
     void reset();
+
+    void saveState(CkptWriter& w) const;
+    void loadState(CkptReader& r);
 
   private:
     size_t ssitIndex(Addr pc) const;

@@ -1,5 +1,7 @@
 #include "isa/functional_engine.h"
 
+#include "sim/checkpoint.h"
+
 #include <bit>
 
 #include "common/log.h"
@@ -164,6 +166,29 @@ FunctionalEngine::step()
 
     pc_ = d.next_pc;
     return d;
+}
+
+
+void
+FunctionalEngine::saveState(CkptWriter& w) const
+{
+    w.putBytes(regs_.data(), regs_.size() * sizeof(RegVal));
+    w.put(pc_);
+    w.put(seq_);
+    w.put(halted_);
+    mem_.saveState(w);
+    commit_log_.saveState(w);
+}
+
+void
+FunctionalEngine::loadState(CkptReader& r)
+{
+    r.getBytes(regs_.data(), regs_.size() * sizeof(RegVal));
+    r.get(pc_);
+    r.get(seq_);
+    r.get(halted_);
+    mem_.loadState(r);
+    commit_log_.loadState(r);
 }
 
 } // namespace pfm

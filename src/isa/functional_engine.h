@@ -50,6 +50,11 @@ class FunctionalEngine
     CommitLog& commitLog() { return commit_log_; }
     const CommitLog& commitLog() const { return commit_log_; }
     SimMemory& memory() { return mem_; }
+    const Program& program() const { return prog_; }
+
+    /** Checkpoint: registers, PC, seq, halt flag, memory + commit log. */
+    void saveState(CkptWriter& w) const;
+    void loadState(CkptReader& r);
 
   private:
     RegVal aluResult(const Instruction& inst, RegVal a, RegVal b) const;

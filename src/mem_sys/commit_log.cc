@@ -1,5 +1,10 @@
 #include "mem_sys/commit_log.h"
 
+#include <algorithm>
+#include <vector>
+
+#include "sim/checkpoint.h"
+
 #include "common/log.h"
 
 namespace pfm {
@@ -46,6 +51,43 @@ CommitLog::committedRead(Addr addr, unsigned size) const
         v |= std::uint64_t{byte} << (8 * i);
     }
     return v;
+}
+
+
+void
+CommitLog::saveState(CkptWriter& w) const
+{
+    std::vector<Addr> addrs;
+    addrs.reserve(pending_.size());
+    for (const auto& [addr, entries] : pending_)
+        addrs.push_back(addr);
+    std::sort(addrs.begin(), addrs.end());
+    w.put<std::uint64_t>(addrs.size());
+    for (Addr a : addrs) {
+        const auto& entries = pending_.at(a);
+        w.put(a);
+        w.put<std::uint64_t>(entries.size());
+        for (const auto& [seq, byte] : entries) {
+            w.put(seq);
+            w.put(byte);
+        }
+    }
+}
+
+void
+CommitLog::loadState(CkptReader& r)
+{
+    pending_.clear();
+    std::uint64_t n = r.get<std::uint64_t>();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Addr a = r.get<Addr>();
+        std::uint64_t m = r.get<std::uint64_t>();
+        auto& entries = pending_[a];
+        for (std::uint64_t j = 0; j < m; ++j) {
+            SeqNum seq = r.get<SeqNum>();
+            entries[seq] = r.get<std::uint8_t>();
+        }
+    }
 }
 
 } // namespace pfm

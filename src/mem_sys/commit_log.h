@@ -22,6 +22,9 @@
 
 namespace pfm {
 
+class CkptWriter;
+class CkptReader;
+
 class CommitLog
 {
   public:
@@ -44,6 +47,9 @@ class CommitLog
 
     /** Number of in-flight store bytes being tracked (for tests). */
     size_t pendingBytes() const { return pending_.size(); }
+
+    void saveState(CkptWriter& w) const;
+    void loadState(CkptReader& r);
 
   private:
     SimMemory& mem_;

@@ -1,5 +1,10 @@
 #include "mem_sys/sim_memory.h"
 
+#include <algorithm>
+#include <vector>
+
+#include "sim/checkpoint.h"
+
 namespace pfm {
 
 Addr
@@ -45,6 +50,49 @@ SimMemory::writeByte(Addr addr, std::uint8_t v)
     if (!page)
         page = std::make_unique<PageData>(kPageBytes, 0);
     (*page)[addr & (kPageBytes - 1)] = v;
+}
+
+
+void
+SimMemory::saveState(CkptWriter& w) const
+{
+    std::vector<Addr> page_addrs;
+    page_addrs.reserve(pages_.size());
+    for (const auto& [addr, data] : pages_)
+        page_addrs.push_back(addr);
+    std::sort(page_addrs.begin(), page_addrs.end());
+    w.put<std::uint64_t>(page_addrs.size());
+    for (Addr a : page_addrs) {
+        w.put(a);
+        w.putBytes(pages_.at(a)->data(), kPageBytes);
+    }
+    w.put(brk_);
+}
+
+void
+SimMemory::loadState(CkptReader& r)
+{
+    // The restoring simulator just constructed this same workload, so
+    // nearly every checkpointed page already has a live allocation —
+    // overwrite in place rather than freeing and reallocating the whole
+    // image (tens of MB of churn per restore, multiplied by concurrent
+    // sweep legs).
+    std::uint64_t n = r.get<std::uint64_t>();
+    std::unordered_map<Addr, std::unique_ptr<PageData>> fresh;
+    fresh.reserve(static_cast<size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Addr a = r.get<Addr>();
+        auto it = pages_.find(a);
+        std::unique_ptr<PageData> page;
+        if (it != pages_.end())
+            page = std::move(it->second);
+        else
+            page = std::make_unique<PageData>(kPageBytes);
+        r.getBytes(page->data(), kPageBytes);
+        fresh[a] = std::move(page);
+    }
+    pages_ = std::move(fresh);
+    r.get(brk_);
 }
 
 } // namespace pfm

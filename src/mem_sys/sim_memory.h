@@ -19,6 +19,9 @@
 
 namespace pfm {
 
+class CkptWriter;
+class CkptReader;
+
 class SimMemory
 {
   public:
@@ -66,6 +69,10 @@ class SimMemory
     {
         writeBytes(addr, &v, n);
     }
+
+    /** Checkpoint: every mapped page (sorted by address) + brk. */
+    void saveState(CkptWriter& w) const;
+    void loadState(CkptReader& r);
 
   private:
     using PageData = std::vector<std::uint8_t>;

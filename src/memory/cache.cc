@@ -1,5 +1,7 @@
 #include "memory/cache.h"
 
+#include "sim/checkpoint.h"
+
 #include <algorithm>
 
 #include "common/bitutils.h"
@@ -154,6 +156,52 @@ Cache::flush()
     line_index_.clear();
     std::fill(mshr_free_at_.begin(), mshr_free_at_.end(), 0);
     lru_clock_ = 0;
+}
+
+
+void
+Cache::saveState(CkptWriter& w) const
+{
+    // Field-wise: Line has interior padding (two bools between u64s)
+    // that raw bytes would leak into the image non-deterministically.
+    w.put<std::uint64_t>(lines_.size());
+    for (const Line& l : lines_) {
+        w.put(l.tag);
+        w.put(l.valid);
+        w.put(l.prefetched);
+        w.put(l.fill_done);
+        w.put(l.lru);
+    }
+    w.put(lru_clock_);
+    w.putVec(mshr_free_at_);
+    w.put<std::uint64_t>(last_mshr_);
+    stats_.saveState(w);
+}
+
+void
+Cache::loadState(CkptReader& r)
+{
+    lines_.resize(static_cast<size_t>(r.get<std::uint64_t>()));
+    for (Line& l : lines_) {
+        r.get(l.tag);
+        r.get(l.valid);
+        r.get(l.prefetched);
+        r.get(l.fill_done);
+        r.get(l.lru);
+    }
+    r.get(lru_clock_);
+    r.getVec(mshr_free_at_);
+    last_mshr_ = static_cast<size_t>(r.get<std::uint64_t>());
+    stats_.loadState(r);
+    // line_index_ mirrors the valid tags; rebuild instead of serializing.
+    line_index_.clear();
+    for (size_t i = 0; i < lines_.size(); ++i) {
+        const Line& l = lines_[i];
+        if (l.valid) {
+            line_index_[keyOfLine(i / params_.assoc, l.tag)] =
+                static_cast<std::uint32_t>(i);
+        }
+    }
 }
 
 } // namespace pfm

@@ -90,6 +90,10 @@ class Cache
     /** Invalidate everything (used between experiment runs). */
     void flush();
 
+    /** Checkpoint: arrays + MSHR timing + stats (index is rebuilt). */
+    void saveState(CkptWriter& w) const;
+    void loadState(CkptReader& r);
+
     StatGroup& stats() { return stats_; }
     const StatGroup& stats() const { return stats_; }
 

@@ -1,5 +1,7 @@
 #include "memory/dram.h"
 
+#include "sim/checkpoint.h"
+
 #include <algorithm>
 
 namespace pfm {
@@ -37,6 +39,23 @@ Dram::flush()
 {
     next_issue_ = 0;
     std::fill(slots_.begin(), slots_.end(), 0);
+}
+
+
+void
+Dram::saveState(CkptWriter& w) const
+{
+    w.put(next_issue_);
+    w.putVec(slots_);
+    stats_.saveState(w);
+}
+
+void
+Dram::loadState(CkptReader& r)
+{
+    r.get(next_issue_);
+    r.getVec(slots_);
+    stats_.loadState(r);
 }
 
 } // namespace pfm

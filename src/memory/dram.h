@@ -43,6 +43,9 @@ class Dram
 
     void flush();
 
+    void saveState(CkptWriter& w) const;
+    void loadState(CkptReader& r);
+
     StatGroup& stats() { return stats_; }
 
   private:

@@ -1,5 +1,7 @@
 #include "memory/hierarchy.h"
 
+#include "sim/checkpoint.h"
+
 #include <algorithm>
 
 namespace pfm {
@@ -193,6 +195,33 @@ Hierarchy::flush()
     dram_.flush();
     l1d_pf_.reset();
     vldp_.reset();
+}
+
+
+void
+Hierarchy::saveState(CkptWriter& w) const
+{
+    // The scratch prefetch queues are drained within every access, so the
+    // caches + DRAM + VLDP + stats are the whole persistent state.
+    l1i_.saveState(w);
+    l1d_.saveState(w);
+    l2_.saveState(w);
+    l3_.saveState(w);
+    dram_.saveState(w);
+    vldp_.saveState(w);
+    stats_.saveState(w);
+}
+
+void
+Hierarchy::loadState(CkptReader& r)
+{
+    l1i_.loadState(r);
+    l1d_.loadState(r);
+    l2_.loadState(r);
+    l3_.loadState(r);
+    dram_.loadState(r);
+    vldp_.loadState(r);
+    stats_.loadState(r);
 }
 
 } // namespace pfm

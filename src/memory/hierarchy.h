@@ -81,6 +81,10 @@ class Hierarchy
 
     void flush();
 
+    /** Checkpoint every level, DRAM, VLDP and the hierarchy stats. */
+    void saveState(CkptWriter& w) const;
+    void loadState(CkptReader& r);
+
     const HierarchyParams& params() const { return params_; }
     Cache& l1i() { return l1i_; }
     Cache& l1d() { return l1d_; }

@@ -1,5 +1,7 @@
 #include "memory/vldp.h"
 
+#include "sim/checkpoint.h"
+
 #include <algorithm>
 
 namespace pfm {
@@ -145,6 +147,52 @@ VldpPrefetcher::onAccess(Addr addr, bool miss, std::vector<Addr>& out)
         if (hist.size() > params_.history)
             hist.erase(hist.begin());
     }
+}
+
+
+void
+VldpPrefetcher::saveState(CkptWriter& w) const
+{
+    w.put<std::uint64_t>(dhb_.size());
+    for (const DhbEntry& e : dhb_) {
+        w.put(e.page);
+        w.put(e.last_line);
+        w.putVec(e.deltas);
+        w.put(e.lru);
+    }
+    // Field-wise: DptEntry is 17 value bytes padded to 24; raw bytes
+    // would leak the indeterminate tail into the image.
+    for (const auto& tbl : dpt_) {
+        w.put<std::uint64_t>(tbl.size());
+        for (const DptEntry& e : tbl) {
+            w.put(e.key);
+            w.put(e.pred_delta);
+            w.put(e.confidence);
+        }
+    }
+    w.put(lru_clock_);
+}
+
+void
+VldpPrefetcher::loadState(CkptReader& r)
+{
+    std::uint64_t n = r.get<std::uint64_t>();
+    dhb_.resize(static_cast<size_t>(n));
+    for (DhbEntry& e : dhb_) {
+        r.get(e.page);
+        r.get(e.last_line);
+        r.getVec(e.deltas);
+        r.get(e.lru);
+    }
+    for (auto& tbl : dpt_) {
+        tbl.resize(static_cast<size_t>(r.get<std::uint64_t>()));
+        for (DptEntry& e : tbl) {
+            r.get(e.key);
+            r.get(e.pred_delta);
+            r.get(e.confidence);
+        }
+    }
+    r.get(lru_clock_);
 }
 
 } // namespace pfm

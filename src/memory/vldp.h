@@ -18,6 +18,9 @@
 
 namespace pfm {
 
+class CkptWriter;
+class CkptReader;
+
 struct VldpParams {
     unsigned dhb_entries = 16;   ///< tracked pages
     unsigned dpt_entries = 64;   ///< per delta prediction table
@@ -33,6 +36,9 @@ class VldpPrefetcher : public Prefetcher
 
     void onAccess(Addr addr, bool miss, std::vector<Addr>& out) override;
     void reset() override;
+
+    void saveState(CkptWriter& w) const;
+    void loadState(CkptReader& r);
 
   private:
     /** Per-page state in the Delta History Buffer. */

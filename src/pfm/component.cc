@@ -1,5 +1,7 @@
 #include "pfm/component.h"
 
+#include "sim/checkpoint.h"
+
 #include "common/log.h"
 
 namespace pfm {
@@ -204,6 +206,44 @@ CustomComponent::reset()
     replaying_ = false;
     replay_cursor_ = 0;
     replay_end_ = 0;
+}
+
+
+void
+CustomComponent::saveState(CkptWriter& w) const
+{
+    w.put<std::uint64_t>(log_.size());
+    for (const LogEntry& e : log_) {
+        w.put(e.dir);
+        w.put(e.meta);
+    }
+    w.put(log_base_);
+    w.put(gen_pos_);
+    w.put(replaying_);
+    w.put(replay_cursor_);
+    w.put(replay_end_);
+    w.put(pred_budget_);
+    w.put(load_budget_);
+}
+
+void
+CustomComponent::loadState(CkptReader& r)
+{
+    log_.clear();
+    std::uint64_t n = r.get<std::uint64_t>();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        LogEntry e;
+        r.get(e.dir);
+        r.get(e.meta);
+        log_.push_back(e);
+    }
+    r.get(log_base_);
+    r.get(gen_pos_);
+    r.get(replaying_);
+    r.get(replay_cursor_);
+    r.get(replay_end_);
+    r.get(pred_budget_);
+    r.get(load_budget_);
 }
 
 } // namespace pfm

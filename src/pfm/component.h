@@ -84,6 +84,23 @@ class CustomComponent
     /** Debug: dump internal engine state (deadlock diagnostics). */
     virtual void dumpDebug(std::ostream& os) const;
 
+    /**
+     * Whether this component implements checkpoint/restore. PfmSystem
+     * refuses (pfm_fatal, naming the component) to checkpoint through a
+     * component that does not opt in — silently dropping component state
+     * would break the byte-identity guarantee.
+     */
+    virtual bool supportsCheckpoint() const { return false; }
+
+    /**
+     * Checkpoint hooks. The base implementations serialize the framework
+     * half (replay log, stream positions, squash/replay cursors, width
+     * budgets); overrides must call them first, then handle the
+     * component-specific state, keeping save/load symmetric.
+     */
+    virtual void saveState(CkptWriter& w) const;
+    virtual void loadState(CkptReader& r);
+
   protected:
     // ---- author interface ------------------------------------------------
 

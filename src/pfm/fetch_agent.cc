@@ -1,5 +1,7 @@
 #include "pfm/fetch_agent.h"
 
+#include "sim/checkpoint.h"
+
 namespace pfm {
 
 FetchAgent::FetchAgent(const PfmParams& params, StatGroup& stats)
@@ -112,6 +114,35 @@ FetchAgent::resetStream()
     pops_.clear();
     pop_count_ = 0;
     push_count_ = 0;
+}
+
+
+void
+FetchAgent::saveState(CkptWriter& w) const
+{
+    fst_.saveState(w);
+    intq_f_.saveState(w);
+    w.put(enabled_);
+    w.put(chicken_switched_);
+    w.put(pop_count_);
+    w.put(push_count_);
+    w.put(stall_started_);
+    w.put(pending_drops_);
+    w.putDeque(pops_);
+}
+
+void
+FetchAgent::loadState(CkptReader& r)
+{
+    fst_.loadState(r);
+    intq_f_.loadState(r);
+    r.get(enabled_);
+    r.get(chicken_switched_);
+    r.get(pop_count_);
+    r.get(push_count_);
+    r.get(stall_started_);
+    r.get(pending_drops_);
+    r.getDeque(pops_);
 }
 
 } // namespace pfm

@@ -75,6 +75,9 @@ class FetchAgent
     /** Forget everything (component swap / ROI restart). */
     void resetStream();
 
+    void saveState(CkptWriter& w) const;
+    void loadState(CkptReader& r);
+
   private:
     PfmParams params_;
     StatGroup& stats_;

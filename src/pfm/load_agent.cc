@@ -1,5 +1,7 @@
 #include "pfm/load_agent.h"
 
+#include "sim/checkpoint.h"
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -127,6 +129,37 @@ LoadAgent::reset()
     obsq_ex_.clear();
     mlb_.clear();
     staging_.clear();
+}
+
+
+void
+LoadAgent::saveState(CkptWriter& w) const
+{
+    intq_is_.saveState(w);
+    obsq_ex_.saveState(w);
+    // Field-wise: MlbEntry embeds a LoadRequest whose tail padding raw
+    // bytes would leak into the image.
+    w.put<std::uint64_t>(mlb_.size());
+    for (const MlbEntry& e : mlb_) {
+        w.put(e.req);
+        w.put(e.value);
+        w.put(e.retry_at);
+    }
+    w.putDeque(staging_);
+}
+
+void
+LoadAgent::loadState(CkptReader& r)
+{
+    intq_is_.loadState(r);
+    obsq_ex_.loadState(r);
+    mlb_.resize(static_cast<size_t>(r.get<std::uint64_t>()));
+    for (MlbEntry& e : mlb_) {
+        r.get(e.req);
+        r.get(e.value);
+        r.get(e.retry_at);
+    }
+    r.getDeque(staging_);
 }
 
 } // namespace pfm

@@ -67,6 +67,9 @@ class LoadAgent
 
     void reset();
 
+    void saveState(CkptWriter& w) const;
+    void loadState(CkptReader& r);
+
   private:
     struct MlbEntry {
         LoadRequest req;

@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "common/types.h"
+#include "sim/checkpoint.h"
 
 namespace pfm {
 
@@ -50,6 +51,70 @@ struct LoadReturn {
 struct PredPacket {
     bool dir = false;
     Cycle avail = 0;
+};
+
+// Checkpoint hooks: these packets sit in CircularQueues that serialize
+// per element, and all three carry alignment padding — field-wise IO
+// keeps indeterminate padding bytes out of the image (see CkptIO).
+
+template <> struct CkptIO<ObsPacket> {
+    static constexpr std::size_t kWireSize = 1 + 8 + 8 + 8 + 1 + 8;
+    static void
+    save(CkptWriter& w, const ObsPacket& p)
+    {
+        w.put(p.type);
+        w.put(p.pc);
+        w.put(p.value);
+        w.put(p.mem_addr);
+        w.put(p.taken);
+        w.put(p.avail);
+    }
+    static void
+    load(CkptReader& r, ObsPacket& p)
+    {
+        r.get(p.type);
+        r.get(p.pc);
+        r.get(p.value);
+        r.get(p.mem_addr);
+        r.get(p.taken);
+        r.get(p.avail);
+    }
+};
+
+template <> struct CkptIO<LoadRequest> {
+    static constexpr std::size_t kWireSize = 8 + 8 + 1 + 1;
+    static void
+    save(CkptWriter& w, const LoadRequest& p)
+    {
+        w.put(p.id);
+        w.put(p.addr);
+        w.put(p.size);
+        w.put(p.prefetch_only);
+    }
+    static void
+    load(CkptReader& r, LoadRequest& p)
+    {
+        r.get(p.id);
+        r.get(p.addr);
+        r.get(p.size);
+        r.get(p.prefetch_only);
+    }
+};
+
+template <> struct CkptIO<PredPacket> {
+    static constexpr std::size_t kWireSize = 1 + 8;
+    static void
+    save(CkptWriter& w, const PredPacket& p)
+    {
+        w.put(p.dir);
+        w.put(p.avail);
+    }
+    static void
+    load(CkptReader& r, PredPacket& p)
+    {
+        r.get(p.dir);
+        r.get(p.avail);
+    }
 };
 
 } // namespace pfm

@@ -1,5 +1,8 @@
 #include "pfm/pfm_system.h"
 
+#include "common/log.h"
+#include "sim/checkpoint.h"
+
 #include <ostream>
 
 namespace pfm {
@@ -236,6 +239,69 @@ PfmSystem::fstHitPct() const
         return 0.0;
     return 100.0 * static_cast<double>(stats_.get("fst_retired_hits")) /
            static_cast<double>(retired);
+}
+
+
+void
+PfmSystem::beginRoiAtBoundary()
+{
+    pfm_assert(component_ != nullptr,
+               "boundary ROI begin requires an attached component");
+    fetch_agent_.setEnabled(true);
+    fetch_agent_.resetStream();
+    load_agent_.reset();
+    retire_agent_.beginRoi();
+    component_->reset();
+    ++stats_.counter("roi_begins");
+}
+
+void
+PfmSystem::saveState(CkptWriter& w) const
+{
+    if (component_ && !component_->supportsCheckpoint()) {
+        pfm_fatal("component '%s' does not support checkpointing",
+                  component_->name().c_str());
+    }
+    w.put(next_context_switch_);
+    w.put(reconfig_until_);
+    fetch_agent_.saveState(w);
+    retire_agent_.saveState(w);
+    load_agent_.saveState(w);
+    stats_.saveState(w);
+    w.put<std::uint8_t>(component_ ? 1 : 0);
+    if (component_) {
+        w.putString(component_->name());
+        component_->saveState(w);
+    }
+}
+
+void
+PfmSystem::loadState(CkptReader& r)
+{
+    if (component_ && !component_->supportsCheckpoint()) {
+        pfm_fatal("component '%s' does not support checkpointing",
+                  component_->name().c_str());
+    }
+    r.get(next_context_switch_);
+    r.get(reconfig_until_);
+    fetch_agent_.loadState(r);
+    retire_agent_.loadState(r);
+    load_agent_.loadState(r);
+    stats_.loadState(r);
+    std::uint8_t has_component = r.get<std::uint8_t>();
+    if (static_cast<bool>(has_component) != static_cast<bool>(component_)) {
+        pfm_fatal("checkpoint %s a component but the simulator %s one",
+                  has_component ? "carries" : "lacks",
+                  component_ ? "attached" : "did not attach");
+    }
+    if (component_) {
+        std::string saved_name = r.getString();
+        if (saved_name != component_->name()) {
+            pfm_fatal("checkpoint component '%s' != attached component '%s'",
+                      saved_name.c_str(), component_->name().c_str());
+        }
+        component_->loadState(r);
+    }
 }
 
 } // namespace pfm

@@ -50,6 +50,26 @@ class PfmSystem : public CoreHooks
     double rstHitPct() const;
     double fstHitPct() const;
 
+    /**
+     * Deferred-attach synchronization: when the component is attached at
+     * the warmup boundary (SimOptions::defer_component) the workload's
+     * roi_begin marker already retired, so the boundary itself plays the
+     * ROI-begin role — enable the Fetch Agent, reset the agents and the
+     * component, and mark the ROI active. Only statically-configured
+     * components (the FSM prefetchers) are eligible; components that rely
+     * on snooped configuration values are rejected by the simulator
+     * before this is called.
+     */
+    void beginRoiAtBoundary();
+
+    /**
+     * Checkpoint the agents, timers, stats and the attached component.
+     * Fatal (naming the component) when the component does not support
+     * checkpointing — see CustomComponent::supportsCheckpoint().
+     */
+    void saveState(CkptWriter& w) const;
+    void loadState(CkptReader& r);
+
   private:
     /** Squash/squash-done round trip: component rollback through its pipe. */
     Cycle squashDoneCycle(Cycle now) const;

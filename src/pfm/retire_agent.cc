@@ -1,5 +1,10 @@
 #include "pfm/retire_agent.h"
 
+#include <algorithm>
+#include <vector>
+
+#include "sim/checkpoint.h"
+
 namespace pfm {
 
 RetireAgent::RetireAgent(const PfmParams& params, StatGroup& stats)
@@ -134,6 +139,41 @@ RetireAgent::reset()
     obsq_r_.clear();
     roi_active_ = false;
     counts_.clear();
+}
+
+
+void
+RetireAgent::saveState(CkptWriter& w) const
+{
+    rst_.saveState(w);
+    obsq_r_.saveState(w);
+    w.put(usage_);
+    w.put(roi_active_);
+    std::vector<Addr> pcs;
+    pcs.reserve(counts_.size());
+    for (const auto& [pc, n] : counts_)
+        pcs.push_back(pc);
+    std::sort(pcs.begin(), pcs.end());
+    w.put<std::uint64_t>(pcs.size());
+    for (Addr pc : pcs) {
+        w.put(pc);
+        w.put(counts_.at(pc));
+    }
+}
+
+void
+RetireAgent::loadState(CkptReader& r)
+{
+    rst_.loadState(r);
+    obsq_r_.loadState(r);
+    r.get(usage_);
+    r.get(roi_active_);
+    counts_.clear();
+    std::uint64_t n = r.get<std::uint64_t>();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Addr pc = r.get<Addr>();
+        counts_[pc] = r.get<std::uint64_t>();
+    }
 }
 
 } // namespace pfm

@@ -29,6 +29,13 @@ class RetireAgent
 
     bool roiActive() const { return roi_active_; }
 
+    /**
+     * Deferred-attach synchronization: the workload's roi_begin marker
+     * retired during warmup, before this agent existed, so the warmup
+     * boundary itself begins the ROI (see PfmSystem::beginRoiAtBoundary).
+     */
+    void beginRoi() { roi_active_ = true; }
+
     /** Record the execution-lane usage of the previous cycle (for portP). */
     void setLaneUsage(const IssueUsage& usage) { usage_ = usage; }
 
@@ -53,6 +60,9 @@ class RetireAgent
     size_t pendingObservations() const { return obsq_r_.size(); }
 
     void reset();
+
+    void saveState(CkptWriter& w) const;
+    void loadState(CkptReader& r);
 
   private:
     bool portAvailable() const;

@@ -9,11 +9,14 @@
 #ifndef PFM_PFM_SNOOP_TABLE_H
 #define PFM_PFM_SNOOP_TABLE_H
 
+#include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "common/types.h"
 #include "pfm/packets.h"
+#include "sim/checkpoint.h"
 
 namespace pfm {
 
@@ -31,6 +34,27 @@ struct RstEntry {
     int user_tag = 0;         ///< component-defined meaning (e.g. "yoffset")
 };
 
+/** Field-wise IO: RstEntry has a padding byte before user_tag. */
+template <> struct CkptIO<RstEntry> {
+    static constexpr std::size_t kWireSize = 1 + 1 + 1 + 4;
+    static void
+    save(CkptWriter& w, const RstEntry& e)
+    {
+        w.put(e.type);
+        w.put(e.roi_begin);
+        w.put(e.count_only);
+        w.put(e.user_tag);
+    }
+    static void
+    load(CkptReader& r, RstEntry& e)
+    {
+        r.get(e.type);
+        r.get(e.roi_begin);
+        r.get(e.count_only);
+        r.get(e.user_tag);
+    }
+};
+
 class RetireSnoopTable
 {
   public:
@@ -43,6 +67,32 @@ class RetireSnoopTable
     void clear() { table_.clear(); }
     size_t size() const { return table_.size(); }
 
+    void
+    saveState(CkptWriter& w) const
+    {
+        std::vector<Addr> pcs;
+        pcs.reserve(table_.size());
+        for (const auto& [pc, entry] : table_)
+            pcs.push_back(pc);
+        std::sort(pcs.begin(), pcs.end());
+        w.put<std::uint64_t>(pcs.size());
+        for (Addr pc : pcs) {
+            w.put(pc);
+            w.put(table_.at(pc));
+        }
+    }
+
+    void
+    loadState(CkptReader& r)
+    {
+        table_.clear();
+        std::uint64_t n = r.get<std::uint64_t>();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            Addr pc = r.get<Addr>();
+            table_[pc] = r.get<RstEntry>();
+        }
+    }
+
   private:
     std::unordered_map<Addr, RstEntry> table_;
 };
@@ -54,6 +104,23 @@ class FetchSnoopTable
     bool contains(Addr pc) const { return pcs_.count(pc) != 0; }
     void clear() { pcs_.clear(); }
     size_t size() const { return pcs_.size(); }
+
+    void
+    saveState(CkptWriter& w) const
+    {
+        std::vector<Addr> sorted(pcs_.begin(), pcs_.end());
+        std::sort(sorted.begin(), sorted.end());
+        w.putVec(sorted);
+    }
+
+    void
+    loadState(CkptReader& r)
+    {
+        std::vector<Addr> sorted;
+        r.getVec(sorted);
+        pcs_.clear();
+        pcs_.insert(sorted.begin(), sorted.end());
+    }
 
   private:
     std::unordered_set<Addr> pcs_;

@@ -1,0 +1,335 @@
+#include "sim/checkpoint.h"
+
+#include <array>
+#include <cstdio>
+
+#include <sys/mman.h>
+
+#include "common/log.h"
+
+namespace pfm {
+
+namespace {
+
+/**
+ * Slice-by-8 tables: table[0] is the classic byte-at-a-time table,
+ * table[k][b] is the CRC of byte b followed by k zero bytes, letting the
+ * hot loop fold 8 input bytes per iteration. Section payloads run to tens
+ * of megabytes (the functional memory image), so the byte-at-a-time loop
+ * was a measurable slice of a warmup leg's wall time.
+ */
+std::array<std::array<std::uint32_t, 256>, 8>
+makeCrcTables()
+{
+    std::array<std::array<std::uint32_t, 256>, 8> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i)
+        for (std::size_t k = 1; k < 8; ++k)
+            t[k][i] = t[0][t[k - 1][i] & 0xFFu] ^ (t[k - 1][i] >> 8);
+    return t;
+}
+
+} // namespace
+
+std::uint32_t
+ckptCrc32(const void* data, std::size_t n) noexcept
+{
+    static const auto tables = makeCrcTables();
+    const auto& t = tables;
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    std::uint32_t crc = 0xFFFFFFFFu;
+    while (n >= 8) {
+        std::uint32_t lo;
+        std::uint32_t hi;
+        std::memcpy(&lo, p, 4);
+        std::memcpy(&hi, p + 4, 4);
+        lo ^= crc;
+        crc = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+              t[5][(lo >> 16) & 0xFFu] ^ t[4][lo >> 24] ^
+              t[3][hi & 0xFFu] ^ t[2][(hi >> 8) & 0xFFu] ^
+              t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+        p += 8;
+        n -= 8;
+    }
+    while (n--)
+        crc = t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+    return crc ^ 0xFFFFFFFFu;
+}
+
+// ---------------------------------------------------------------- writer
+
+CkptWriter::CkptWriter(std::string path) : path_(std::move(path)) {}
+
+void
+CkptWriter::writeHeader(const CkptHeader& h)
+{
+    pfm_assert(!header_written_, "checkpoint header written twice");
+    header_written_ = true;
+    // The header is framed with the same primitives as section payloads,
+    // but written straight into the image (no CRC: the magic + version gate
+    // rejects garbage, and each section carries its own CRC).
+    auto raw = [this](const void* p, std::size_t n) {
+        const auto* b = static_cast<const std::uint8_t*>(p);
+        out_.insert(out_.end(), b, b + n);
+    };
+    std::uint64_t magic = kCkptMagic;
+    std::uint32_t version = kCkptFormatVersion;
+    raw(&magic, sizeof magic);
+    raw(&version, sizeof version);
+    raw(&h.fingerprint, sizeof h.fingerprint);
+    auto raw_str = [&raw](const std::string& s) {
+        std::uint32_t len = static_cast<std::uint32_t>(s.size());
+        raw(&len, sizeof len);
+        raw(s.data(), s.size());
+    };
+    raw_str(h.workload);
+    raw_str(h.component);
+    raw(&h.retired, sizeof h.retired);
+}
+
+void
+CkptWriter::beginSection(const std::string& name)
+{
+    pfm_assert(header_written_, "section before checkpoint header");
+    pfm_assert(!in_section_, "nested checkpoint section '%s'", name.c_str());
+    in_section_ = true;
+    section_ = name;
+    auto raw = [this](const void* p, std::size_t n) {
+        const auto* b = static_cast<const std::uint8_t*>(p);
+        out_.insert(out_.end(), b, b + n);
+    };
+    std::uint32_t name_len = static_cast<std::uint32_t>(name.size());
+    raw(&name_len, sizeof name_len);
+    raw(name.data(), name.size());
+    std::uint64_t len_placeholder = 0;
+    std::uint32_t crc_placeholder = 0;
+    frame_patch_ = out_.size();
+    raw(&len_placeholder, sizeof len_placeholder);
+    raw(&crc_placeholder, sizeof crc_placeholder);
+    payload_start_ = out_.size();
+}
+
+void
+CkptWriter::endSection()
+{
+    pfm_assert(in_section_, "endSection() with no open section");
+    in_section_ = false;
+    std::uint64_t payload_len = out_.size() - payload_start_;
+    std::uint32_t crc = ckptCrc32(out_.data() + payload_start_,
+                                  static_cast<std::size_t>(payload_len));
+    std::memcpy(out_.data() + frame_patch_, &payload_len,
+                sizeof payload_len);
+    std::memcpy(out_.data() + frame_patch_ + sizeof payload_len, &crc,
+                sizeof crc);
+}
+
+void
+CkptWriter::putBytes(const void* p, std::size_t n)
+{
+    pfm_assert(in_section_, "checkpoint write outside a section");
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    out_.insert(out_.end(), b, b + n);
+}
+
+void
+CkptWriter::putString(const std::string& s)
+{
+    put<std::uint32_t>(static_cast<std::uint32_t>(s.size()));
+    putBytes(s.data(), s.size());
+}
+
+void
+CkptWriter::finish()
+{
+    pfm_assert(!in_section_, "finish() with section '%s' still open",
+               section_.c_str());
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    if (!f)
+        pfm_fatal("checkpoint '%s': cannot open for writing", path_.c_str());
+    std::size_t written = out_.empty()
+        ? 0
+        : std::fwrite(out_.data(), 1, out_.size(), f);
+    bool close_ok = std::fclose(f) == 0;
+    if (written != out_.size() || !close_ok)
+        pfm_fatal("checkpoint '%s': short write (%zu of %zu bytes)",
+                  path_.c_str(), written, out_.size());
+}
+
+// ---------------------------------------------------------------- reader
+
+CkptReader::CkptReader(std::string path) : path_(std::move(path))
+{
+    std::FILE* f = std::fopen(path_.c_str(), "rb");
+    if (!f)
+        pfm_fatal("checkpoint '%s': cannot open for reading", path_.c_str());
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    if (size < 0) {
+        std::fclose(f);
+        pfm_fatal("checkpoint '%s': cannot determine size", path_.c_str());
+    }
+    size_ = static_cast<std::size_t>(size);
+    if (size_ != 0) {
+        void* m = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE,
+                         ::fileno(f), 0);
+        if (m != MAP_FAILED) {
+            map_ = m;
+            data_ = static_cast<const std::uint8_t*>(m);
+        }
+    }
+    if (!map_) {
+        buf_.resize(size_);
+        std::size_t got =
+            buf_.empty() ? 0 : std::fread(buf_.data(), 1, buf_.size(), f);
+        if (got != buf_.size()) {
+            std::fclose(f);
+            pfm_fatal("checkpoint '%s': short read (%zu of %zu bytes)",
+                      path_.c_str(), got, buf_.size());
+        }
+        data_ = buf_.data();
+    }
+    std::fclose(f);
+}
+
+CkptReader::~CkptReader()
+{
+    if (map_)
+        ::munmap(map_, size_);
+}
+
+void
+CkptReader::fail(const std::string& what) const
+{
+    if (section_.empty())
+        pfm_fatal("checkpoint '%s': %s", path_.c_str(), what.c_str());
+    pfm_fatal("checkpoint '%s': %s (section '%s')", path_.c_str(),
+              what.c_str(), section_.c_str());
+}
+
+void
+CkptReader::rawBytes(void* p, std::size_t n, const char* what)
+{
+    if (n > size_ - pos_)
+        fail(std::string("truncated while reading ") + what);
+    std::memcpy(p, data_ + pos_, n);
+    pos_ += n;
+}
+
+std::uint32_t
+CkptReader::rawU32(const char* what)
+{
+    std::uint32_t v;
+    rawBytes(&v, sizeof v, what);
+    return v;
+}
+
+std::uint64_t
+CkptReader::rawU64(const char* what)
+{
+    std::uint64_t v;
+    rawBytes(&v, sizeof v, what);
+    return v;
+}
+
+std::string
+CkptReader::rawString(const char* what)
+{
+    std::uint32_t len = rawU32(what);
+    if (len > size_ - pos_)
+        fail(std::string("truncated while reading ") + what);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return s;
+}
+
+CkptHeader
+CkptReader::readHeader()
+{
+    std::uint64_t magic = rawU64("header magic");
+    if (magic != kCkptMagic)
+        fail("bad magic, not a PFM checkpoint");
+    CkptHeader h;
+    h.version = rawU32("header version");
+    if (h.version != kCkptFormatVersion)
+        fail("format version " + std::to_string(h.version) +
+             " != supported version " + std::to_string(kCkptFormatVersion));
+    h.fingerprint = rawU64("header fingerprint");
+    h.workload = rawString("header workload");
+    h.component = rawString("header component");
+    h.retired = rawU64("header retired count");
+    return h;
+}
+
+void
+CkptReader::beginSection(const std::string& name)
+{
+    pfm_assert(!in_section_, "nested checkpoint section '%s'", name.c_str());
+    // Report framing errors against the section we are *trying* to open.
+    section_ = name;
+    if (pos_ == size_)
+        fail("file ends before section");
+    std::string found = rawString("section name");
+    if (found != name)
+        fail("expected section '" + name + "', found '" + found +
+             "' (section order mismatch)");
+    std::uint64_t payload_len = rawU64("section length");
+    std::uint32_t crc = rawU32("section CRC");
+    if (payload_len > size_ - pos_)
+        fail("truncated payload (" + std::to_string(payload_len) +
+             " bytes declared, " + std::to_string(size_ - pos_) +
+             " available)");
+    if (ckptCrc32(data_ + pos_,
+                  static_cast<std::size_t>(payload_len)) != crc)
+        fail("CRC mismatch");
+    in_section_ = true;
+    section_end_ = pos_ + static_cast<std::size_t>(payload_len);
+}
+
+void
+CkptReader::endSection()
+{
+    pfm_assert(in_section_, "endSection() with no open section");
+    if (pos_ != section_end_)
+        fail(std::to_string(section_end_ - pos_) +
+             " unconsumed payload bytes");
+    in_section_ = false;
+    section_.clear();
+}
+
+void
+CkptReader::getBytes(void* p, std::size_t n)
+{
+    if (!in_section_)
+        fail("checkpoint read outside a section");
+    if (n > section_end_ - pos_)
+        fail("payload exhausted");
+    std::memcpy(p, data_ + pos_, n);
+    pos_ += n;
+}
+
+void
+CkptReader::checkCount(std::uint64_t n, std::size_t elem_size)
+{
+    std::uint64_t remaining = section_end_ - pos_;
+    if (elem_size != 0 && n > remaining / elem_size)
+        fail("implausible element count " + std::to_string(n));
+}
+
+std::string
+CkptReader::getString()
+{
+    std::uint32_t len = get<std::uint32_t>();
+    if (len > section_end_ - pos_)
+        fail("payload exhausted");
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return s;
+}
+
+} // namespace pfm

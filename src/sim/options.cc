@@ -168,6 +168,16 @@ parseCommandLine(int argc, char** argv)
                 std::strtoull(value("--warmup=").c_str(), nullptr, 0);
         } else if (arg.rfind("--trace=", 0) == 0) {
             opt.trace_path = value("--trace=");
+        } else if (arg.rfind("--checkpoint-save=", 0) == 0) {
+            opt.checkpoint_save = value("--checkpoint-save=");
+            if (opt.checkpoint_save.empty())
+                pfm_fatal("--checkpoint-save= requires a file path");
+        } else if (arg.rfind("--checkpoint-load=", 0) == 0) {
+            opt.checkpoint_load = value("--checkpoint-load=");
+            if (opt.checkpoint_load.empty())
+                pfm_fatal("--checkpoint-load= requires a file path");
+        } else if (arg == "--defer-component") {
+            opt.defer_component = true;
         } else if (arg.rfind("--verbose", 0) == 0) {
             log_detail::setVerbosity(2);
         } else {

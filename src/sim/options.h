@@ -51,6 +51,28 @@ struct SimOptions {
     /** Konata pipeline trace output ("" disables). */
     std::string trace_path;
     std::uint64_t trace_limit = 50'000;
+
+    /**
+     * Checkpoint/restore (DESIGN.md "Checkpoint format"). Save writes the
+     * whole machine state at the warmup boundary (right after the stats
+     * resets); load restores it into a freshly constructed simulator and
+     * skips straight to measurement. A save+load pair produces reports
+     * byte-identical to the uninterrupted run.
+     */
+    std::string checkpoint_save;
+    std::string checkpoint_load;
+
+    /**
+     * Attach the custom component at the warmup boundary instead of at
+     * construction, so a single bare-core warmup checkpoint is shareable
+     * across measurement legs with different components/parameters (the
+     * sharded-sweep mode). Only components with static configuration —
+     * the ones opting into supportsCheckpoint() — may defer; the ROI is
+     * begun synthetically at the boundary since the workload's roi_begin
+     * marker retired during warmup. The identity reference for a sharded
+     * run is an uninterrupted run with defer_component set.
+     */
+    bool defer_component = false;
 };
 
 /**

@@ -3,6 +3,7 @@
 #include <iostream>
 
 #include "common/log.h"
+#include "sim/checkpoint.h"
 #include "components/astar_alt_predictor.h"
 #include "components/astar_predictor.h"
 #include "components/bfs_component.h"
@@ -15,6 +16,123 @@
 #include "workloads/registry.h"
 
 namespace pfm {
+
+namespace {
+
+/**
+ * FNV-1a over every configuration knob that shapes the machine state a
+ * checkpoint captures. Two simulators with equal fingerprints restore
+ * each other's checkpoints bit-exactly; anything else is fatal at load.
+ * PFM knobs enter only when a component is attached at save time, so a
+ * bare-core warmup checkpoint stays shareable across deferred-component
+ * measurement legs that differ only in PFM parameters.
+ */
+class ConfigHash
+{
+  public:
+    void
+    bytes(const void* p, std::size_t n)
+    {
+        const unsigned char* b = static_cast<const unsigned char*>(p);
+        for (std::size_t i = 0; i < n; ++i) {
+            h_ ^= b[i];
+            h_ *= 1099511628211ull;
+        }
+    }
+
+    template <typename T>
+    void
+    num(T v)
+    {
+        std::uint64_t u = static_cast<std::uint64_t>(v);
+        bytes(&u, sizeof(u));
+    }
+
+    void
+    str(const std::string& s)
+    {
+        num(s.size());
+        bytes(s.data(), s.size());
+    }
+
+    std::uint64_t value() const { return h_; }
+
+  private:
+    std::uint64_t h_ = 1469598103934665603ull;
+};
+
+std::uint64_t
+configFingerprint(const SimOptions& o, bool with_pfm)
+{
+    ConfigHash h;
+    h.str(o.workload);
+    h.num(o.warmup_instructions);
+
+    const CoreParams& c = o.core;
+    h.num(c.fetch_width);
+    h.num(c.retire_width);
+    h.num(c.issue_width);
+    h.num(c.rob_size);
+    h.num(c.iq_size);
+    h.num(c.ldq_size);
+    h.num(c.stq_size);
+    h.num(c.prf_size);
+    h.num(c.alu_lanes);
+    h.num(c.ls_lanes);
+    h.num(c.fp_lanes);
+    h.num(c.frontend_depth);
+    h.num(c.redirect_penalty);
+    h.num(c.write_buffer_size);
+    h.num(c.lat_int_alu);
+    h.num(c.lat_int_mul);
+    h.num(c.lat_int_div);
+    h.num(c.lat_fp_add);
+    h.num(c.lat_fp_mul);
+    h.num(c.lat_fp_div);
+    h.num(c.lat_agen);
+    h.num(static_cast<int>(c.bp_kind));
+    h.num(c.model_btb);
+    h.num(c.btb_fill_penalty);
+    h.num(c.frontend_buffer);
+
+    auto cache = [&h](const CacheParams& p) {
+        h.str(p.name);
+        h.num(p.size_bytes);
+        h.num(p.assoc);
+        h.num(p.latency);
+        h.num(p.mshrs);
+    };
+    cache(o.mem.l1i);
+    cache(o.mem.l1d);
+    cache(o.mem.l2);
+    cache(o.mem.l3);
+    h.num(o.mem.dram.latency);
+    h.num(o.mem.dram.issue_gap);
+    h.num(o.mem.dram.max_outstanding);
+    h.num(o.mem.l1d_next_n);
+    h.num(o.mem.vldp_enabled);
+    h.num(o.mem.perfect_dcache);
+    h.num(o.mem.perfect_icache);
+
+    if (with_pfm) {
+        h.str(o.component);
+        h.num(o.pfm.clk_div);
+        h.num(o.pfm.width);
+        h.num(o.pfm.delay);
+        h.num(o.pfm.queue_size);
+        h.num(static_cast<int>(o.pfm.port));
+        h.num(o.pfm.mlb_entries);
+        h.num(o.pfm.watchdog_cycles);
+        h.num(o.pfm.non_stalling_fetch);
+        h.num(o.pfm.context_switch_interval);
+        h.num(o.pfm.reconfig_cycles);
+        h.num(o.astar_index_queue);
+        h.num(o.bfs_queue_entries);
+    }
+    return h.value();
+}
+
+} // namespace
 
 Simulator::Simulator(const SimOptions& opt)
     : opt_(opt), workload_(makeWorkload(opt.workload))
@@ -32,7 +150,10 @@ Simulator::Simulator(const SimOptions& opt)
                                                    opt_.trace_limit);
         core_->setTracer(tracer_.get());
     }
-    attachComponent();
+    // Deferred components attach at the warmup boundary (run()), so the
+    // warmup phase — and any warmup checkpoint — is bare-core.
+    if (!opt_.defer_component)
+        attachComponent();
 }
 
 Simulator::~Simulator() = default;
@@ -144,11 +265,38 @@ Simulator::run()
         }
     };
 
-    run_until(opt_.warmup_instructions);
-    core_->resetStats();
-    mem_->stats().resetAll();
-    if (pfm_)
-        pfm_->stats().resetAll();
+    if (!opt_.checkpoint_load.empty()) {
+        // The checkpoint was written right after the warmup stats resets,
+        // so restoring it *is* the warmed-up, reset state.
+        loadCheckpoint(opt_.checkpoint_load);
+    } else {
+        run_until(opt_.warmup_instructions);
+        core_->resetStats();
+        mem_->stats().resetAll();
+        if (pfm_)
+            pfm_->stats().resetAll();
+    }
+
+    if (!opt_.checkpoint_save.empty())
+        saveCheckpoint(opt_.checkpoint_save);
+
+    if (opt_.defer_component && !pfm_) {
+        // The warmup boundary is the deferred attach point; it happens
+        // after the (optional) save so warmup checkpoints stay bare-core,
+        // and identically on the load path so a sharded run matches the
+        // uninterrupted deferred run cycle for cycle.
+        attachComponent();
+        if (pfm_) {
+            CustomComponent* comp = pfm_->component();
+            if (comp && !comp->supportsCheckpoint()) {
+                pfm_fatal("component '%s' cannot be attached at the warmup "
+                          "boundary: it relies on configuration snooped "
+                          "during warmup (no checkpoint support)",
+                          comp->name().c_str());
+            }
+            pfm_->beginRoiAtBoundary();
+        }
+    }
 
     run_until(opt_.warmup_instructions + opt_.max_instructions);
 
@@ -163,6 +311,85 @@ Simulator::run()
         r.fst_hit_pct = pfm_->fstHitPct();
     }
     return r;
+}
+
+void
+Simulator::saveCheckpoint(const std::string& path)
+{
+    CkptWriter w(path);
+    CkptHeader h;
+    h.version = kCkptFormatVersion;
+    h.fingerprint = configFingerprint(opt_, pfm_ != nullptr);
+    h.workload = opt_.workload;
+    h.component = pfm_ ? opt_.component : "none";
+    h.retired = core_->retired();
+    w.writeHeader(h);
+
+    w.beginSection("engine");
+    engine_->saveState(w);
+    w.endSection();
+    w.beginSection("memory");
+    mem_->saveState(w);
+    w.endSection();
+    w.beginSection("core");
+    core_->saveState(w);
+    w.endSection();
+    if (pfm_) {
+        w.beginSection("pfm");
+        pfm_->saveState(w);
+        w.endSection();
+    }
+    w.finish();
+}
+
+void
+Simulator::loadCheckpoint(const std::string& path)
+{
+    CkptReader r(path);
+    CkptHeader h = r.readHeader();
+    if (h.workload != opt_.workload) {
+        pfm_fatal("checkpoint %s was saved for workload '%s', not '%s'",
+                  path.c_str(), h.workload.c_str(), opt_.workload.c_str());
+    }
+    const bool saved_pfm = h.component != "none";
+    if (saved_pfm != (pfm_ != nullptr)) {
+        pfm_fatal("checkpoint %s %s a PFM component but this simulator %s "
+                  "one (use --defer-component to load a bare-core warmup "
+                  "checkpoint into a component run)",
+                  path.c_str(), saved_pfm ? "carries" : "lacks",
+                  pfm_ ? "attached" : "did not attach");
+    }
+    if (saved_pfm && h.component != opt_.component) {
+        pfm_fatal("checkpoint %s component '%s' != --component=%s",
+                  path.c_str(), h.component.c_str(), opt_.component.c_str());
+    }
+    const std::uint64_t want = configFingerprint(opt_, saved_pfm);
+    if (h.fingerprint != want) {
+        pfm_fatal("checkpoint %s config fingerprint %016llx != this "
+                  "simulator's %016llx (core/memory/pfm parameters or "
+                  "warmup length differ)",
+                  path.c_str(), (unsigned long long)h.fingerprint,
+                  (unsigned long long)want);
+    }
+
+    r.beginSection("engine");
+    engine_->loadState(r);
+    r.endSection();
+    r.beginSection("memory");
+    mem_->loadState(r);
+    r.endSection();
+    r.beginSection("core");
+    core_->loadState(r);
+    r.endSection();
+    if (pfm_) {
+        r.beginSection("pfm");
+        pfm_->loadState(r);
+        r.endSection();
+    }
+    if (!r.atEnd()) {
+        pfm_fatal("checkpoint %s has trailing bytes after the last section",
+                  path.c_str());
+    }
 }
 
 SimResult

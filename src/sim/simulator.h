@@ -38,6 +38,25 @@ class Simulator
     /** Warmup then measure; returns the measured-phase result. */
     SimResult run();
 
+    /**
+     * Write a checkpoint of the complete machine state (engine, memory,
+     * core, and the PFM system when attached) to @p path. The header
+     * carries a config fingerprint so a checkpoint can only be restored
+     * into a compatibly-configured simulator. Normally driven by
+     * SimOptions::checkpoint_save at the warmup boundary.
+     */
+    void saveCheckpoint(const std::string& path);
+
+    /**
+     * Restore machine state from @p path into this freshly constructed
+     * simulator. Fatal on any mismatch: wrong workload, wrong component,
+     * config fingerprint drift, or a corrupt/truncated file (the error
+     * names the offending section). A checkpoint saved without a
+     * component ("none") loads into a bare-core or deferred-component
+     * simulator only.
+     */
+    void loadCheckpoint(const std::string& path);
+
     Core& core() { return *core_; }
     Hierarchy& memory() { return *mem_; }
     FunctionalEngine& engine() { return *engine_; }

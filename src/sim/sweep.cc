@@ -3,10 +3,13 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <future>
 #include <thread>
+
+#include <unistd.h>
 
 #include "common/log.h"
 #include "sim/stats_io.h"
@@ -25,14 +28,27 @@ clampJobs(long n)
     return static_cast<unsigned>(n);
 }
 
-/** Run one configuration, timing it on the calling thread. */
+/**
+ * Run one configuration, timing it on the calling thread. Sharded legs
+ * get their checkpoint paths injected here: a warmup leg saves at the
+ * boundary and skips measurement, a measurement leg restores instead of
+ * warming up.
+ */
 SweepResult
-executeRun(const SweepRun& run)
+executeRun(const SweepRun& run, const std::string& save_path,
+           const std::string& load_path)
 {
     using clock = std::chrono::steady_clock;
     SweepResult res;
     auto t0 = clock::now();
-    Simulator sim(run.opt);
+    SimOptions opt = run.opt;
+    if (!save_path.empty()) {
+        opt.checkpoint_save = save_path;
+        opt.max_instructions = 0;
+    }
+    if (!load_path.empty())
+        opt.checkpoint_load = load_path;
+    Simulator sim(opt);
     res.sim = sim.run();
     if (run.aux_fn)
         res.aux = run.aux_fn(sim, res.sim);
@@ -59,8 +75,38 @@ SweepSpec::add(SweepRun run)
     pfm_assert(!run.speedup_base.valid() ||
                    run.speedup_base.index < runs_.size(),
                "speedup base must be added before its dependents");
+    pfm_assert(!run.warmup_leg.valid() ||
+                   (run.warmup_leg.index < runs_.size() &&
+                    runs_[run.warmup_leg.index].warmup_only),
+               "warmup leg must be added before its dependents and be "
+               "warmup_only");
+    pfm_assert(!(run.warmup_only && run.warmup_leg.valid()),
+               "a warmup leg cannot itself restore a checkpoint");
     runs_.push_back(std::move(run));
     return RunHandle{runs_.size() - 1};
+}
+
+RunHandle
+SweepSpec::addWarmup(std::string label, SimOptions opt)
+{
+    SweepRun run;
+    run.label = std::move(label);
+    run.opt = std::move(opt);
+    run.warmup_only = true;
+    return add(std::move(run));
+}
+
+RunHandle
+SweepSpec::addMeasurement(std::string label, SimOptions opt,
+                          RunHandle warmup_leg, RunHandle speedup_base)
+{
+    pfm_assert(warmup_leg.valid(), "measurement legs need a warmup leg");
+    SweepRun run;
+    run.label = std::move(label);
+    run.opt = std::move(opt);
+    run.speedup_base = speedup_base;
+    run.warmup_leg = warmup_leg;
+    return add(std::move(run));
 }
 
 std::vector<RunHandle>
@@ -100,34 +146,71 @@ SweepRunner::run(const SweepSpec& spec)
     results_.clear();
     results_.resize(runs.size());
 
-    unsigned workers =
-        static_cast<unsigned>(std::min<std::size_t>(jobs_, runs.size()));
-    if (workers <= 1) {
-        // Serial execution on the calling thread (reference semantics the
-        // parallel path must reproduce bit-for-bit).
-        for (std::size_t i = 0; i < runs.size(); ++i)
-            results_[i] = executeRun(runs[i]);
-    } else {
-        // One packaged task per run; a fixed pool of workers claims tasks
-        // in spec order via an atomic cursor. Futures are drained in spec
-        // order afterwards, so results (and any exception) surface
-        // deterministically.
-        std::vector<std::packaged_task<SweepResult()>> tasks;
-        std::vector<std::future<SweepResult>> futures;
-        tasks.reserve(runs.size());
-        futures.reserve(runs.size());
-        for (const SweepRun& r : runs) {
-            tasks.emplace_back([&r] { return executeRun(r); });
+    // Auto-assigned checkpoint paths for warmup legs, PID-qualified so
+    // concurrent processes sharing a directory never collide.
+    std::string dir = ".";
+    if (const char* env = std::getenv("PFM_CKPT_DIR"))
+        dir = env;
+    std::vector<std::string> ckpt_path(runs.size());
+    bool sharded = false;
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        if (runs[i].warmup_only) {
+            ckpt_path[i] =
+                dir + "/pfm_warmup_" +
+                std::to_string(static_cast<unsigned long>(::getpid())) +
+                "_" + std::to_string(i) + ".ckpt";
+            sharded = true;
+        }
+    }
+
+    // Two phases: checkpoint producers (warmup legs) first, then every
+    // other run — the only cross-run dependency a spec can express.
+    // Within a phase workers claim runs in spec order via an atomic
+    // cursor and write disjoint result slots, so results (and reports
+    // derived from them) are byte-identical for any worker count.
+    std::vector<std::size_t> phases[2];
+    for (std::size_t i = 0; i < runs.size(); ++i)
+        phases[runs[i].warmup_only ? 0 : 1].push_back(i);
+
+    static const std::string kNoPath;
+    auto run_one = [&](std::size_t i) {
+        const SweepRun& r = runs[i];
+        const std::string& load = r.warmup_leg.valid()
+                                      ? ckpt_path[r.warmup_leg.index]
+                                      : kNoPath;
+        results_[i] = executeRun(r, ckpt_path[i], load);
+    };
+
+    for (const std::vector<std::size_t>& batch : phases) {
+        if (batch.empty())
+            continue;
+        unsigned workers = static_cast<unsigned>(
+            std::min<std::size_t>(jobs_, batch.size()));
+        if (workers <= 1) {
+            // Serial execution on the calling thread (reference semantics
+            // the parallel path must reproduce bit-for-bit).
+            for (std::size_t i : batch)
+                run_one(i);
+            continue;
+        }
+        // Packaged tasks so worker exceptions surface deterministically
+        // when the futures are drained in spec order.
+        std::vector<std::packaged_task<void()>> tasks;
+        std::vector<std::future<void>> futures;
+        tasks.reserve(batch.size());
+        futures.reserve(batch.size());
+        for (std::size_t i : batch) {
+            tasks.emplace_back([&run_one, i] { run_one(i); });
             futures.push_back(tasks.back().get_future());
         }
 
         std::atomic<std::size_t> cursor{0};
         auto worker = [&tasks, &cursor] {
             for (;;) {
-                std::size_t i = cursor.fetch_add(1);
-                if (i >= tasks.size())
+                std::size_t k = cursor.fetch_add(1);
+                if (k >= tasks.size())
                     return;
-                tasks[i]();
+                tasks[k]();
             }
         };
 
@@ -138,8 +221,16 @@ SweepRunner::run(const SweepSpec& spec)
         for (std::thread& t : pool)
             t.join();
 
-        for (std::size_t i = 0; i < futures.size(); ++i)
-            results_[i] = futures[i].get();
+        for (std::future<void>& f : futures)
+            f.get();
+    }
+
+    // Warmup checkpoints are scratch artifacts of this run() call; keep
+    // them only on explicit request (debugging a sharded identity diff).
+    if (sharded && !std::getenv("PFM_KEEP_CHECKPOINTS")) {
+        for (const std::string& p : ckpt_path)
+            if (!p.empty())
+                std::remove(p.c_str());
     }
 
     total_wall_ms_ =

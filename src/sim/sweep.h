@@ -43,6 +43,17 @@ struct SweepRun {
     RunHandle speedup_base;
 
     /**
+     * Sharded mode: a warmup leg runs only the warmup phase and saves a
+     * checkpoint at the boundary (the runner assigns the file path);
+     * measurement legs name their warmup leg and load its checkpoint
+     * instead of re-running warmup. The runner executes all warmup legs
+     * before any leg that depends on one. See DESIGN.md "Checkpoint
+     * format" for the identity guarantee.
+     */
+    bool warmup_only = false;
+    RunHandle warmup_leg;
+
+    /**
      * Optional per-run metric evaluated on the worker while the Simulator
      * is still alive (e.g. the energy model over final counters). The
      * returned value lands in SweepResult::aux.
@@ -58,6 +69,19 @@ class SweepSpec
                   RunHandle speedup_base = {});
 
     RunHandle add(SweepRun run);
+
+    /**
+     * Sharding helpers: a warmup leg (warmup only, saves a checkpoint at
+     * the boundary) and a measurement leg restoring from one. The
+     * measurement leg's options must be warmup-compatible with the leg it
+     * names — same workload and core/memory config — or the load is
+     * fatal; with SimOptions::defer_component one bare-core warmup leg
+     * serves measurement legs of any component/PFM parameters.
+     */
+    RunHandle addWarmup(std::string label, SimOptions opt);
+    RunHandle addMeasurement(std::string label, SimOptions opt,
+                             RunHandle warmup_leg,
+                             RunHandle speedup_base = {});
 
     /**
      * Cross-product helper: one run per (workload, token string), all with

@@ -1,0 +1,650 @@
+/**
+ * @file
+ * Checkpoint/restore subsystem tests.
+ *
+ * Property: for a spread of configurations (bare core vs PFM component,
+ * fastfwd on/off, short/long warmups) a run that saves a checkpoint at
+ * the warmup boundary and a second run that restores it must together be
+ * indistinguishable from one uninterrupted run — same SimResult, byte-
+ * identical stat dumps. Corruption tests: every malformed checkpoint
+ * (truncated, bit-flipped, wrong version, reordered sections, trailing
+ * garbage, config drift) dies through pfm_fatal naming the checkpoint and
+ * the offending section — never a crash or a silent misload. A checked-in
+ * fixture pins the on-disk format: tests/fixtures/astar_bare_v1.ckpt must
+ * keep producing the digest in astar_bare_v1.digest until
+ * kCkptFormatVersion is bumped (regenerate both with
+ * PFM_REGEN_FIXTURES=1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/checkpoint.h"
+#include "sim/options.h"
+#include "sim/simulator.h"
+#include "sim/sweep.h"
+
+namespace pfm {
+namespace {
+
+std::string
+tmpPath(const std::string& name)
+{
+    return ::testing::TempDir() + name;
+}
+
+/** Every stat registry the simulator owns, dumped to one string. */
+std::string
+dumpAllStats(Simulator& sim)
+{
+    std::ostringstream os;
+    sim.core().stats().dump(os);
+    sim.memory().stats().dump(os);
+    if (sim.pfm())
+        sim.pfm()->stats().dump(os);
+    return os.str();
+}
+
+std::vector<unsigned char>
+readFile(const std::string& path)
+{
+    std::ifstream is(path, std::ios::binary);
+    EXPECT_TRUE(is.good()) << path;
+    return std::vector<unsigned char>(std::istreambuf_iterator<char>(is),
+                                      std::istreambuf_iterator<char>());
+}
+
+void
+writeFile(const std::string& path, const std::vector<unsigned char>& data)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(reinterpret_cast<const char*>(data.data()),
+             static_cast<std::streamsize>(data.size()));
+    ASSERT_TRUE(os.good()) << path;
+}
+
+// ---------------------------------------------------------------- identity
+
+struct CkConfig {
+    const char* name;
+    const char* workload;
+    const char* component;
+    const char* tokens;
+    std::uint64_t warmup;
+    bool fastfwd;
+};
+
+// Spread over the axes the checkpoint has to survive: bare core vs every
+// FSM-prefetcher workload family, fastfwd on and off, short and long
+// warmups, slow RF clocks and port policies. (astar/bfs "auto" components
+// rely on warmup-snooped configuration and refuse to checkpoint; they are
+// covered by the negative tests below.)
+const CkConfig kConfigs[] = {
+    {"astar_bare_ff", "astar", "none", "", 6000, true},
+    {"astar_bare_noff_shortwarm", "astar", "none", "", 3000, false},
+    {"bfs_bare_ff", "bfs-roads", "none", "", 6000, true},
+    {"libq_pf_ff", "libquantum", "auto", "clk4_w4 delay0 queue32 portALL",
+     6000, true},
+    {"libq_pf_noff", "libquantum", "auto", "clk4_w4 delay0 queue32 portALL",
+     6000, false},
+    {"lbm_pf_slow_ff", "lbm", "auto", "clk8_w1 delay8 queue8 portLS1",
+     12000, true},
+    {"milc_pf_ff_longwarm", "milc", "auto", "", 12000, true},
+    {"bwaves_pf_noff", "bwaves", "auto", "", 3000, false},
+    {"leslie_pf_ff_nol1pf", "leslie", "auto", "noL1pf", 6000, true},
+};
+
+SimOptions
+ckOptions(const CkConfig& cfg)
+{
+    SimOptions o;
+    o.workload = cfg.workload;
+    o.component = cfg.component;
+    o.warmup_instructions = cfg.warmup;
+    o.max_instructions = 24'000;
+    o.fastfwd = cfg.fastfwd;
+    if (cfg.tokens[0] != '\0')
+        applyTokens(o, cfg.tokens);
+    return o;
+}
+
+TEST(Checkpoint, RoundTripIdentityAcrossConfigs)
+{
+    for (const CkConfig& cfg : kConfigs) {
+        SCOPED_TRACE(cfg.name);
+        const std::string path =
+            tmpPath(std::string("ckpt_rt_") + cfg.name + ".ckpt");
+
+        Simulator ref(ckOptions(cfg));
+        SimResult r_ref = ref.run();
+
+        SimOptions save_opt = ckOptions(cfg);
+        save_opt.checkpoint_save = path;
+        Simulator saver(save_opt);
+        SimResult r_save = saver.run();
+
+        SimOptions load_opt = ckOptions(cfg);
+        load_opt.checkpoint_load = path;
+        Simulator loader(load_opt);
+        SimResult r_load = loader.run();
+
+        // Saving must not perturb the run it happens in...
+        EXPECT_EQ(r_ref.cycles, r_save.cycles);
+        EXPECT_EQ(r_ref.ipc, r_save.ipc);
+        // ...and the restored run must be indistinguishable from the
+        // uninterrupted one.
+        EXPECT_EQ(r_ref.cycles, r_load.cycles);
+        EXPECT_EQ(r_ref.instructions, r_load.instructions);
+        EXPECT_EQ(r_ref.ipc, r_load.ipc);
+        EXPECT_EQ(r_ref.mpki, r_load.mpki);
+        EXPECT_EQ(r_ref.rst_hit_pct, r_load.rst_hit_pct);
+        EXPECT_EQ(r_ref.fst_hit_pct, r_load.fst_hit_pct);
+        EXPECT_EQ(r_ref.finished, r_load.finished);
+        EXPECT_EQ(dumpAllStats(ref), dumpAllStats(loader));
+
+        std::remove(path.c_str());
+    }
+}
+
+TEST(Checkpoint, WarmupOnlyLegPlusMeasurementLegMatchesUninterrupted)
+{
+    // The sharded-sweep shape with the component attached throughout: a
+    // warmup-only leg (max_instructions = 0) saves, a measurement leg
+    // restores, and together they must reproduce the uninterrupted run.
+    const std::string path = tmpPath("ckpt_warmleg.ckpt");
+    SimOptions base;
+    base.workload = "libquantum";
+    base.component = "auto";
+    base.warmup_instructions = 6000;
+    base.max_instructions = 24'000;
+
+    Simulator ref(base);
+    SimResult r_ref = ref.run();
+
+    SimOptions warm = base;
+    warm.max_instructions = 0;
+    warm.checkpoint_save = path;
+    Simulator warmer(warm);
+    warmer.run();
+
+    SimOptions meas = base;
+    meas.checkpoint_load = path;
+    Simulator loader(meas);
+    SimResult r_load = loader.run();
+
+    EXPECT_EQ(r_ref.cycles, r_load.cycles);
+    EXPECT_EQ(r_ref.ipc, r_load.ipc);
+    EXPECT_EQ(dumpAllStats(ref), dumpAllStats(loader));
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, BareWarmupSharedAcrossDeferredConfigs)
+{
+    // One bare-core warmup checkpoint must serve deferred-component
+    // measurement legs of *different* PFM parameters, each matching its
+    // own uninterrupted deferred-attach reference.
+    const std::string path = tmpPath("ckpt_shared.ckpt");
+    SimOptions warm;
+    warm.workload = "lbm";
+    warm.component = "none";
+    warm.warmup_instructions = 4000;
+    warm.max_instructions = 0;
+    warm.checkpoint_save = path;
+    Simulator warmer(warm);
+    warmer.run();
+
+    for (const char* tokens : {"clk4_w4 delay0 queue32 portALL",
+                               "clk8_w1 delay8 queue8 portLS1"}) {
+        SCOPED_TRACE(tokens);
+        SimOptions leg;
+        leg.workload = "lbm";
+        leg.component = "auto";
+        leg.defer_component = true;
+        leg.warmup_instructions = 4000;
+        leg.max_instructions = 16'000;
+        applyTokens(leg, tokens);
+
+        Simulator ref(leg);
+        SimResult r_ref = ref.run();
+
+        SimOptions load = leg;
+        load.checkpoint_load = path;
+        Simulator loader(load);
+        SimResult r_load = loader.run();
+
+        EXPECT_EQ(r_ref.cycles, r_load.cycles);
+        EXPECT_EQ(r_ref.ipc, r_load.ipc);
+        EXPECT_EQ(dumpAllStats(ref), dumpAllStats(loader));
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, SavedFilesAreByteIdentical)
+{
+    // Determinism of the writer itself: two identical runs must produce
+    // bit-for-bit identical checkpoint files (hash-stable golden fixtures
+    // depend on this; unordered containers are serialized sorted).
+    const std::string p1 = tmpPath("ckpt_det_1.ckpt");
+    const std::string p2 = tmpPath("ckpt_det_2.ckpt");
+    SimOptions o;
+    o.workload = "libquantum";
+    o.component = "auto";
+    o.warmup_instructions = 5000;
+    o.max_instructions = 0;
+
+    o.checkpoint_save = p1;
+    Simulator a(o);
+    a.run();
+    o.checkpoint_save = p2;
+    Simulator b(o);
+    b.run();
+
+    EXPECT_EQ(readFile(p1), readFile(p2));
+    std::remove(p1.c_str());
+    std::remove(p2.c_str());
+}
+
+TEST(Checkpoint, SweepRunnerShardedMatchesSerialReference)
+{
+    // End-to-end through the two-phase SweepRunner: a warmup leg plus a
+    // measurement leg must reproduce the uninterrupted deferred run, with
+    // the runner assigning and cleaning up the checkpoint path.
+    auto leg = []() {
+        SimOptions o;
+        o.workload = "lbm";
+        o.component = "auto";
+        o.defer_component = true;
+        o.warmup_instructions = 4000;
+        o.max_instructions = 16'000;
+        applyTokens(o, "clk4_w4 delay0 queue32 portALL");
+        return o;
+    };
+    SimOptions warm;
+    warm.workload = "lbm";
+    warm.component = "none";
+    warm.warmup_instructions = 4000;
+
+    SweepSpec spec;
+    RunHandle w = spec.addWarmup("warmup/lbm", warm);
+    RunHandle serial = spec.add("serial/lbm", leg());
+    RunHandle shard = spec.addMeasurement("sharded/lbm", leg(), w);
+
+    SweepRunner runner(2);
+    runner.run(spec);
+
+    const SimResult& a = runner.sim(serial);
+    const SimResult& b = runner.sim(shard);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.mpki, b.mpki);
+    // The warmup leg retired exactly the warmup budget and measured
+    // nothing.
+    EXPECT_EQ(0.0, runner.sim(w).ipc);
+}
+
+// ------------------------------------------------------------- serializer
+
+TEST(Checkpoint, WriterReaderPrimitivesRoundTrip)
+{
+    const std::string path = tmpPath("ckpt_prims.ckpt");
+    CkptHeader h;
+    h.fingerprint = 0xDEADBEEFCAFEF00Dull;
+    h.workload = "wl";
+    h.component = "comp";
+    h.retired = 1234;
+
+    CkptWriter w(path);
+    w.writeHeader(h);
+    w.beginSection("alpha");
+    w.put<std::uint32_t>(7);
+    w.putString("hello");
+    w.putVec(std::vector<std::uint64_t>{1, 2, 3});
+    w.endSection();
+    w.beginSection("beta");
+    std::deque<std::int16_t> dq{-5, 6};
+    w.putDeque(dq);
+    w.endSection();
+    w.finish();
+
+    CkptReader r(path);
+    CkptHeader got = r.readHeader();
+    EXPECT_EQ(kCkptFormatVersion, got.version);
+    EXPECT_EQ(h.fingerprint, got.fingerprint);
+    EXPECT_EQ(h.workload, got.workload);
+    EXPECT_EQ(h.component, got.component);
+    EXPECT_EQ(h.retired, got.retired);
+
+    r.beginSection("alpha");
+    EXPECT_EQ(7u, r.get<std::uint32_t>());
+    EXPECT_EQ("hello", r.getString());
+    std::vector<std::uint64_t> v;
+    r.getVec(v);
+    EXPECT_EQ((std::vector<std::uint64_t>{1, 2, 3}), v);
+    r.endSection();
+    r.beginSection("beta");
+    std::deque<std::int16_t> dq2;
+    r.getDeque(dq2);
+    EXPECT_EQ(dq, dq2);
+    r.endSection();
+    EXPECT_TRUE(r.atEnd());
+    std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------- corruption
+
+using CheckpointDeathTest = ::testing::Test;
+
+/** Small bare-core config so corruption tests stay fast. */
+SimOptions
+smallBareOptions()
+{
+    SimOptions o;
+    o.workload = "astar";
+    o.component = "none";
+    o.warmup_instructions = 2000;
+    o.max_instructions = 0;
+    o.core.bp_kind = BpKind::kBimodal;
+    o.mem.l2 = CacheParams{"l2", 64 * 1024, 8, 10, 16};
+    o.mem.l3 = CacheParams{"l3", 256 * 1024, 16, 30, 16};
+    return o;
+}
+
+std::string
+saveSmallCheckpoint(const std::string& name)
+{
+    const std::string path = tmpPath(name);
+    SimOptions o = smallBareOptions();
+    o.checkpoint_save = path;
+    Simulator sim(o);
+    sim.run();
+    return path;
+}
+
+void
+loadSmall(const std::string& path)
+{
+    SimOptions o = smallBareOptions();
+    o.checkpoint_load = path;
+    o.max_instructions = 1000;
+    Simulator sim(o);
+    sim.run();
+}
+
+TEST(CheckpointDeathTest, MissingFileIsFatal)
+{
+    EXPECT_EXIT(loadSmall(tmpPath("ckpt_does_not_exist.ckpt")),
+                ::testing::ExitedWithCode(1), "cannot open for reading");
+}
+
+TEST(CheckpointDeathTest, TruncatedFileIsFatal)
+{
+    const std::string path = saveSmallCheckpoint("ckpt_trunc.ckpt");
+    std::vector<unsigned char> bytes = readFile(path);
+    bytes.resize(bytes.size() / 2);
+    writeFile(path, bytes);
+    EXPECT_EXIT(loadSmall(path), ::testing::ExitedWithCode(1),
+                "truncated");
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointDeathTest, FlippedPayloadByteIsFatalWithSectionName)
+{
+    const std::string path = saveSmallCheckpoint("ckpt_flip.ckpt");
+    std::vector<unsigned char> bytes = readFile(path);
+    // The last payload byte in the file belongs to the final ("core")
+    // section; the CRC failure must name it.
+    bytes.back() ^= 0x01;
+    writeFile(path, bytes);
+    EXPECT_EXIT(loadSmall(path), ::testing::ExitedWithCode(1),
+                "CRC mismatch.*section 'core'");
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointDeathTest, WrongVersionTagIsFatal)
+{
+    const std::string path = saveSmallCheckpoint("ckpt_ver.ckpt");
+    std::vector<unsigned char> bytes = readFile(path);
+    // Format version u32 sits right after the u64 magic.
+    bytes[8] = 0x63; // version 99
+    writeFile(path, bytes);
+    EXPECT_EXIT(loadSmall(path), ::testing::ExitedWithCode(1),
+                "format version 99 != supported version");
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointDeathTest, BadMagicIsFatal)
+{
+    const std::string path = saveSmallCheckpoint("ckpt_magic.ckpt");
+    std::vector<unsigned char> bytes = readFile(path);
+    bytes[0] ^= 0xFF;
+    writeFile(path, bytes);
+    EXPECT_EXIT(loadSmall(path), ::testing::ExitedWithCode(1),
+                "bad magic, not a PFM checkpoint");
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointDeathTest, TrailingBytesAreFatal)
+{
+    const std::string path = saveSmallCheckpoint("ckpt_trail.ckpt");
+    std::vector<unsigned char> bytes = readFile(path);
+    bytes.insert(bytes.end(), {1, 2, 3, 4});
+    writeFile(path, bytes);
+    EXPECT_EXIT(loadSmall(path), ::testing::ExitedWithCode(1),
+                "trailing bytes after the last section");
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointDeathTest, SectionOrderMismatchIsFatal)
+{
+    const std::string path = tmpPath("ckpt_order.ckpt");
+    CkptWriter w(path);
+    w.writeHeader(CkptHeader{});
+    w.beginSection("alpha");
+    w.put<std::uint32_t>(1);
+    w.endSection();
+    w.finish();
+
+    auto read_wrong_order = [&path] {
+        CkptReader r(path);
+        r.readHeader();
+        r.beginSection("beta");
+    };
+    EXPECT_EXIT(read_wrong_order(), ::testing::ExitedWithCode(1),
+                "expected section 'beta', found 'alpha' \\(section order "
+                "mismatch\\)");
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointDeathTest, UnconsumedSectionBytesAreFatal)
+{
+    const std::string path = tmpPath("ckpt_under.ckpt");
+    CkptWriter w(path);
+    w.writeHeader(CkptHeader{});
+    w.beginSection("alpha");
+    w.put<std::uint64_t>(42);
+    w.endSection();
+    w.finish();
+
+    auto underread = [&path] {
+        CkptReader r(path);
+        r.readHeader();
+        r.beginSection("alpha");
+        r.get<std::uint32_t>();
+        r.endSection();
+    };
+    EXPECT_EXIT(underread(), ::testing::ExitedWithCode(1),
+                "unconsumed payload bytes.*section 'alpha'");
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointDeathTest, ImplausibleElementCountIsFatal)
+{
+    const std::string path = tmpPath("ckpt_count.ckpt");
+    CkptWriter w(path);
+    w.writeHeader(CkptHeader{});
+    w.beginSection("alpha");
+    w.put<std::uint64_t>(0xFFFFFFFFFFFFull); // count with no bytes behind it
+    w.endSection();
+    w.finish();
+
+    auto overread = [&path] {
+        CkptReader r(path);
+        r.readHeader();
+        r.beginSection("alpha");
+        std::vector<std::uint64_t> v;
+        r.getVec(v);
+    };
+    EXPECT_EXIT(overread(), ::testing::ExitedWithCode(1),
+                "implausible element count.*section 'alpha'");
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointDeathTest, WrongWorkloadIsFatal)
+{
+    const std::string path = saveSmallCheckpoint("ckpt_wl.ckpt");
+    auto load_other = [&path] {
+        SimOptions o = smallBareOptions();
+        o.workload = "bfs-roads";
+        o.checkpoint_load = path;
+        Simulator sim(o);
+        sim.run();
+    };
+    EXPECT_EXIT(load_other(), ::testing::ExitedWithCode(1),
+                "saved for workload 'astar', not 'bfs-roads'");
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointDeathTest, ComponentPresenceMismatchIsFatal)
+{
+    const std::string path = saveSmallCheckpoint("ckpt_comp.ckpt");
+    auto load_with_component = [&path] {
+        SimOptions o = smallBareOptions();
+        o.component = "auto"; // bare checkpoint, component attached now
+        o.checkpoint_load = path;
+        Simulator sim(o);
+        sim.run();
+    };
+    EXPECT_EXIT(load_with_component(), ::testing::ExitedWithCode(1),
+                "lacks a PFM component but this simulator attached one");
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointDeathTest, ConfigFingerprintDriftIsFatal)
+{
+    const std::string path = saveSmallCheckpoint("ckpt_fp.ckpt");
+    auto load_other_config = [&path] {
+        SimOptions o = smallBareOptions();
+        o.core.rob_size = 128; // warmed-up state depends on this
+        o.checkpoint_load = path;
+        Simulator sim(o);
+        sim.run();
+    };
+    EXPECT_EXIT(load_other_config(), ::testing::ExitedWithCode(1),
+                "config fingerprint");
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointDeathTest, UnsupportedComponentSaveIsFatal)
+{
+    // The astar predictor's configuration is snooped during warmup;
+    // checkpointing through it would silently drop that state, so
+    // PfmSystem must refuse by name.
+    auto save_astar_auto = [] {
+        SimOptions o;
+        o.workload = "astar";
+        o.component = "auto";
+        o.warmup_instructions = 2000;
+        o.max_instructions = 0;
+        o.checkpoint_save = tmpPath("ckpt_astar_auto.ckpt");
+        Simulator sim(o);
+        sim.run();
+    };
+    EXPECT_EXIT(save_astar_auto(), ::testing::ExitedWithCode(1),
+                "component 'astar-predictor' does not support "
+                "checkpointing");
+}
+
+TEST(CheckpointDeathTest, UnsupportedComponentDeferralIsFatal)
+{
+    auto defer_astar_auto = [] {
+        SimOptions o;
+        o.workload = "astar";
+        o.component = "auto";
+        o.defer_component = true;
+        o.warmup_instructions = 2000;
+        o.max_instructions = 1000;
+        Simulator sim(o);
+        sim.run();
+    };
+    EXPECT_EXIT(defer_astar_auto(), ::testing::ExitedWithCode(1),
+                "cannot be attached at the warmup boundary");
+}
+
+// ------------------------------------------------------------ golden file
+
+SimOptions
+fixtureOptions()
+{
+    SimOptions o = smallBareOptions();
+    o.max_instructions = 20'000;
+    return o;
+}
+
+TEST(Checkpoint, GoldenFixtureReportDigest)
+{
+    const std::string dir = PFM_FIXTURES_DIR;
+    const std::string fixture = dir + "/astar_bare_v1.ckpt";
+    const std::string digest_file = dir + "/astar_bare_v1.digest";
+    const bool regen = std::getenv("PFM_REGEN_FIXTURES") != nullptr;
+
+    if (regen) {
+        SimOptions o = fixtureOptions();
+        o.max_instructions = 0;
+        o.checkpoint_save = fixture;
+        Simulator sim(o);
+        sim.run();
+    }
+
+    SimOptions o = fixtureOptions();
+    o.checkpoint_load = fixture;
+    Simulator sim(o);
+    SimResult r = sim.run();
+
+    char head[160];
+    std::snprintf(head, sizeof head,
+                  "cycles=%llu instructions=%llu ipc=%.17g mpki=%.17g\n",
+                  (unsigned long long)r.cycles,
+                  (unsigned long long)r.instructions, r.ipc, r.mpki);
+    const std::string report = head + dumpAllStats(sim);
+    char digest[16];
+    std::snprintf(digest, sizeof digest, "%08x",
+                  ckptCrc32(report.data(), report.size()));
+
+    if (regen) {
+        std::ofstream os(digest_file, std::ios::trunc);
+        os << digest << "\n";
+        ASSERT_TRUE(os.good());
+        GTEST_SKIP() << "fixture regenerated, digest " << digest;
+    }
+
+    std::ifstream is(digest_file);
+    ASSERT_TRUE(is.good()) << digest_file;
+    std::string expected;
+    is >> expected;
+    // A mismatch means the simulator's measured-phase behaviour or the
+    // checkpoint format changed. If intentional: bump kCkptFormatVersion
+    // when the *format* changed, and regenerate the fixture pair with
+    // PFM_REGEN_FIXTURES=1.
+    EXPECT_EQ(expected, digest);
+}
+
+} // namespace
+} // namespace pfm

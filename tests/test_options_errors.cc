@@ -123,6 +123,37 @@ TEST(OptionsErrors, WellFormedTokensStillParse)
     EXPECT_EQ(o.pfm.context_switch_interval, 0x100u);
 }
 
+TEST(OptionsErrorDeathTest, CheckpointSaveEmptyPathIsFatal)
+{
+    char prog[] = "pfm_sim";
+    char flag[] = "--checkpoint-save=";
+    char* argv[] = {prog, flag};
+    EXPECT_EXIT(parseCommandLine(2, argv), ::testing::ExitedWithCode(1),
+                "--checkpoint-save= requires a file path");
+}
+
+TEST(OptionsErrorDeathTest, CheckpointLoadEmptyPathIsFatal)
+{
+    char prog[] = "pfm_sim";
+    char flag[] = "--checkpoint-load=";
+    char* argv[] = {prog, flag};
+    EXPECT_EXIT(parseCommandLine(2, argv), ::testing::ExitedWithCode(1),
+                "--checkpoint-load= requires a file path");
+}
+
+TEST(OptionsErrors, CheckpointFlagsParse)
+{
+    char prog[] = "pfm_sim";
+    char save[] = "--checkpoint-save=/tmp/a.ckpt";
+    char load[] = "--checkpoint-load=/tmp/b.ckpt";
+    char defer[] = "--defer-component";
+    char* argv[] = {prog, save, load, defer};
+    SimOptions o = parseCommandLine(4, argv);
+    EXPECT_EQ(o.checkpoint_save, "/tmp/a.ckpt");
+    EXPECT_EQ(o.checkpoint_load, "/tmp/b.ckpt");
+    EXPECT_TRUE(o.defer_component);
+}
+
 TEST(OptionsErrorDeathTest, ExplicitJobsEqGarbageIsFatal)
 {
     char prog[] = "bench";
