@@ -56,6 +56,8 @@ main(int argc, char** argv)
         reportRow(queues[i],
                   speedupPct(runner.sim(base), runner.sim(qrun[i])));
     reportNote("paper: performance is resistant to queue size");
+    for (size_t i = 0; i < qrun.size(); ++i)
+        reportPortStats(queues[i], runner.sim(qrun[i]).ports);
 
     reportHeader("Figure 9c: astar vs portP (clk4_w4 delay4 queue32)");
     for (size_t i = 0; i < prun.size(); ++i) {

@@ -51,6 +51,8 @@ main(int argc, char** argv)
         reportRow(queues[i],
                   speedupPct(runner.sim(base), runner.sim(qrun[i])));
     reportNote("paper: low sensitivity to Q");
+    for (size_t i = 0; i < qrun.size(); ++i)
+        reportPortStats(queues[i], runner.sim(qrun[i]).ports);
 
     reportHeader("Figure 13c: bfs vs portP (clk4_w4 delay4 queue32)");
     for (size_t i = 0; i < prun.size(); ++i)

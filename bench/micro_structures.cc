@@ -1,14 +1,31 @@
 /**
  * @file
  * google-benchmark microbenchmarks of the simulator's hot structures:
- * TAGE prediction, cache probing, circular queues, and the functional
- * engine's interpretation rate.
+ * TAGE prediction, cache probing, circular queues, timed ports, and the
+ * functional engine's interpretation rate.
+ *
+ * In addition to the usual console table, main() writes
+ * BENCH_micro_structures.json (into $PFM_BENCH_JSON_DIR, default cwd)
+ * in the perf_diff row shape so `ctest -L perf` can gate the numbers
+ * against bench/baselines/. The rows' "wall_ms" field carries
+ * *nanoseconds per iteration* — perf_diff compares ratios, so the unit
+ * only has to be consistent between baseline and candidate, and ns/iter
+ * (unlike the benchmark's accumulated wall time, which google-benchmark
+ * holds constant by adapting the iteration count) actually moves when a
+ * structure slows down.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
 #include "branch/tage_scl.h"
 #include "common/circular_queue.h"
+#include "common/stats.h"
+#include "common/timed_port.h"
 #include "isa/assembler.h"
 #include "isa/functional_engine.h"
 #include "memory/cache.h"
@@ -60,6 +77,24 @@ BM_CircularQueuePushPop(benchmark::State& state)
 BENCHMARK(BM_CircularQueuePushPop);
 
 void
+BM_TimedPortPushPop(benchmark::State& state)
+{
+    // The agent<->component hot path: CDC-stamped push, avail-gated pop,
+    // occupancy + queueing-latency sampling on every packet.
+    StatGroup stats;
+    TimedPort<std::uint64_t> port(stats, "bm", "u64", 64);
+    std::uint64_t i = 0;
+    std::uint64_t out = 0;
+    for (auto _ : state) {
+        port.push(i, i);
+        benchmark::DoNotOptimize(port.popReady(out, i + 1));
+        benchmark::DoNotOptimize(out);
+        ++i;
+    }
+}
+BENCHMARK(BM_TimedPortPushPop);
+
+void
 BM_FunctionalEngineLoop(benchmark::State& state)
 {
     SimMemory mem;
@@ -78,7 +113,68 @@ BM_FunctionalEngineLoop(benchmark::State& state)
 }
 BENCHMARK(BM_FunctionalEngineLoop);
 
+/**
+ * ConsoleReporter that additionally captures (name, ns/iter, wall) per
+ * run so main() can emit the perf_diff-shaped JSON after the usual
+ * console table.
+ */
+class JsonCaptureReporter : public benchmark::ConsoleReporter
+{
+  public:
+    struct Row {
+        std::string name;
+        double ns_per_iter = 0;
+        double wall_ms = 0;
+    };
+
+    void
+    ReportRuns(const std::vector<Run>& reports) override
+    {
+        for (const Run& r : reports) {
+            Row row;
+            row.name = r.benchmark_name();
+            row.ns_per_iter = r.GetAdjustedRealTime();
+            row.wall_ms = r.real_accumulated_time * 1e3;
+            rows.push_back(row);
+        }
+        ConsoleReporter::ReportRuns(reports);
+    }
+
+    std::vector<Row> rows;
+};
+
 } // namespace
 } // namespace pfm
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    pfm::JsonCaptureReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+
+    const char* dir = std::getenv("PFM_BENCH_JSON_DIR");
+    const std::string path =
+        std::string(dir ? dir : ".") + "/BENCH_micro_structures.json";
+    std::ofstream os(path);
+    if (!os)
+        return 1;
+    double total_ms = 0;
+    for (const auto& r : reporter.rows)
+        total_ms += r.wall_ms;
+    os.setf(std::ios::fixed);
+    os.precision(3);
+    os << "{\n  \"bench\": \"micro_structures\",\n  \"jobs\": 1,\n"
+       << "  \"total_wall_ms\": " << total_ms << ",\n  \"runs\": [\n";
+    for (std::size_t i = 0; i < reporter.rows.size(); ++i) {
+        const auto& r = reporter.rows[i];
+        os << "    {\"label\": \"" << r.name << "\", \"wall_ms\": "
+           << r.ns_per_iter << "}"
+           << (i + 1 < reporter.rows.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    benchmark::Shutdown();
+    return 0;
+}

@@ -17,6 +17,10 @@
  * flat shape writeBenchJson()/bench_hotpath emit — a top-level object
  * with "total_wall_ms" and a "runs" or "rows" array of one-line row
  * objects carrying "label", "wall_ms" and optionally "ipc"/"cycles".
+ * Rows may also carry "port_<name>_*" occupancy columns (TimedPort
+ * telemetry); those are diffed informationally like IPC — a changed
+ * occupancy profile means different queue pressure, worth eyeballing,
+ * but wall time alone decides the exit code.
  */
 
 #include <cstdio>
@@ -34,6 +38,8 @@ struct BenchRow {
     double wall_ms = 0;
     double ipc = -1;  // <0 = absent
     unsigned long long cycles = 0;
+    /** "port_<name>_*" occupancy columns, in row order. */
+    std::vector<std::pair<std::string, double>> ports;
 };
 
 struct BenchFile {
@@ -129,6 +135,15 @@ parseBenchFile(const std::string& path, BenchFile& out)
         row.ipc = numValue(obj, "ipc", -1);
         row.cycles = static_cast<unsigned long long>(
             numValue(obj, "cycles", 0));
+        for (size_t p = obj.find("\"port_"); p != std::string::npos;
+             p = obj.find("\"port_", p + 1)) {
+            size_t kend = obj.find('"', p + 1);
+            if (kend == std::string::npos)
+                break;
+            const std::string key = obj.substr(p + 1, kend - p - 1);
+            row.ports.emplace_back(key, numValue(obj, key.c_str(), 0));
+            p = kend;
+        }
         if (row.label.empty()) {
             std::fprintf(stderr, "perf_diff: row without label in '%s'\n",
                          path.c_str());
@@ -151,6 +166,15 @@ findRow(const BenchFile& f, const std::string& label)
     for (const BenchRow& r : f.rows)
         if (r.label == label)
             return &r;
+    return nullptr;
+}
+
+const double*
+findPort(const BenchRow& r, const std::string& key)
+{
+    for (const auto& kv : r.ports)
+        if (kv.first == key)
+            return &kv.second;
     return nullptr;
 }
 
@@ -203,6 +227,7 @@ main(int argc, char** argv)
 
     int regressions = 0;
     bool ipc_drift = false;
+    bool port_drift = false;
     for (const BenchRow& b : base.rows) {
         const BenchRow* c = findRow(cand, b.label);
         if (!c) {
@@ -230,6 +255,24 @@ main(int argc, char** argv)
         std::printf("  %-28s %12.3f %12.3f %+7.1f%%  %s%s\n",
                     b.label.c_str(), b.wall_ms, c->wall_ms, wall_pct,
                     ipc_col, mark);
+        // Port-occupancy columns: informational, like IPC — a changed
+        // profile is queue-pressure drift, not a wall-time regression.
+        for (const auto& bp : b.ports) {
+            const double* cv = findPort(*c, bp.first);
+            if (!cv) {
+                std::printf("      %-38s %12.6f %12s\n", bp.first.c_str(),
+                            bp.second, "MISSING");
+                port_drift = true;
+            } else if (*cv != bp.second) {
+                std::printf("      %-38s %12.6f %12.6f  (port drift)\n",
+                            bp.first.c_str(), bp.second, *cv);
+                port_drift = true;
+            }
+        }
+        for (const auto& cp : c->ports)
+            if (!findPort(b, cp.first))
+                std::printf("      %-38s %12s %12.6f  (new)\n",
+                            cp.first.c_str(), "-", cp.second);
     }
     for (const BenchRow& c : cand.rows)
         if (!findRow(base, c.label))
@@ -243,6 +286,9 @@ main(int argc, char** argv)
     if (ipc_drift)
         std::printf("perf_diff: WARNING — IPC diverged; the candidate "
                     "simulates a different machine\n");
+    if (port_drift)
+        std::printf("perf_diff: note — port occupancy diverged "
+                    "(informational; queue-pressure profile changed)\n");
     if (regressions) {
         std::printf("perf_diff: %d configuration(s) regressed past "
                     "%.1f%%\n", regressions, threshold);

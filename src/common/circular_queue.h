@@ -31,10 +31,16 @@ class CircularQueue
         : buf_(capacity), capacity_(capacity)
     {}
 
+    /**
+     * Re-establish the capacity of an empty queue. @p who names the
+     * owning structure (e.g. the TimedPort) in the failure diagnostic so
+     * a mis-sized paper queue is identifiable from the abort message.
+     */
     void
-    setCapacity(size_t capacity)
+    setCapacity(size_t capacity, const char* who = "queue")
     {
-        pfm_assert(empty(), "cannot resize a non-empty queue");
+        pfm_assert(empty(), "cannot resize non-empty queue '%s' (size %zu)",
+                   who, size_);
         buf_.assign(capacity, T{});
         capacity_ = capacity;
         head_ = 0;

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Clock-domain-aware FIFO channel between a producer and a consumer that
+ * run on different clocks (core vs. the reconfigurable fabric). This is
+ * the single implementation of the paper's four agent<->component queues
+ * (ObsQ-R, IntQ-F, IntQ-IS, ObsQ-EX): a packet pushed at core cycle
+ * `now` is stamped with the cycle it becomes visible on the consumer
+ * side (the CDC rounding rule below), popReady() enforces the stamp, and
+ * every port records occupancy, producer full-stalls and per-packet
+ * queueing latency into the owning StatGroup (see pfm/port_telemetry.h).
+ *
+ * The availability stamp lives in the port, not in the packet: producers
+ * and consumers exchange plain payload structs and never see (or get to
+ * disagree about) crossing arithmetic.
+ */
+
+#ifndef PFM_COMMON_TIMED_PORT_H
+#define PFM_COMMON_TIMED_PORT_H
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+
+#include "common/circular_queue.h"
+#include "common/log.h"
+#include "common/types.h"
+#include "pfm/port_telemetry.h"
+#include "sim/checkpoint.h"
+
+namespace pfm {
+
+/**
+ * Clock-domain-crossing rounding rules (Section 2 timing). Every
+ * avail-cycle and RF-edge computation in the model goes through these
+ * three helpers so the rule exists exactly once.
+ */
+namespace cdc {
+
+/**
+ * Visibility stamp for a packet pushed at core cycle @p now through a
+ * crossing with @p latency extra core cycles of pipelined delay: the
+ * packet is synchronized into the consumer domain one cycle after the
+ * push plus the crossing latency. latency 0 models the plain
+ * one-register synchronizer of ObsQ-R/IntQ-IS/ObsQ-EX; IntQ-F uses
+ * delayD RF cycles (delay * clk_div core cycles) for the component's
+ * pipelined execution latency.
+ */
+inline Cycle
+crossingAvail(Cycle now, Cycle latency)
+{
+    return now + latency + 1;
+}
+
+/** First RF edge strictly after @p now (clk_div core cycles per edge). */
+inline Cycle
+nextEdge(Cycle now, unsigned clk_div)
+{
+    return ((now / clk_div) + 1) * clk_div;
+}
+
+/** Smallest RF edge at or after @p want (round up to a multiple). */
+inline Cycle
+alignToEdge(Cycle want, unsigned clk_div)
+{
+    return ((want + clk_div - 1) / clk_div) * clk_div;
+}
+
+} // namespace cdc
+
+/**
+ * Bounded FIFO channel whose entries carry (payload, avail, pushed)
+ * where `avail` is the first cycle the consumer may pop the entry and
+ * `pushed` feeds the queueing-latency statistic. Telemetry is bound
+ * against the owning StatGroup at construction under "port.<name>.*".
+ *
+ * Producer API: push()/tryPush() stamp via the CDC rule with the port's
+ * fixed crossing latency; pushAt()/tryPushAt() take an absolute avail
+ * cycle (memory completions on ObsQ-EX). Consumer API: popReady() is
+ * avail-gated, popNow() ignores the gate (ROI-boundary drains and the
+ * non-stalling Fetch Agent's late-packet drops).
+ */
+template <typename T>
+class TimedPort
+{
+  public:
+    /**
+     * @p type_name is the packet type label printed by dump();
+     * @p latency is the crossing latency in core cycles (see
+     * cdc::crossingAvail). Zero capacity is a configuration error and is
+     * fatal, naming the port.
+     */
+    TimedPort(StatGroup& stats, std::string name, const char* type_name,
+              std::size_t capacity, Cycle latency = 0)
+        : name_(std::move(name)), type_name_(type_name), latency_(latency)
+    {
+        tel_.bind(stats, name_);
+        setCapacity(capacity);
+    }
+
+    /** Re-size an empty port; fatal (naming the port) on zero capacity. */
+    void
+    setCapacity(std::size_t capacity)
+    {
+        if (capacity == 0)
+            pfm_fatal("port '%s': queue capacity must be nonzero",
+                      name_.c_str());
+        q_.setCapacity(capacity, name_.c_str());
+    }
+
+    /** Crossing latency in core cycles added to every stamped push. */
+    void setLatency(Cycle latency) { latency_ = latency; }
+    Cycle latency() const { return latency_; }
+
+    const std::string& name() const { return name_; }
+
+    std::size_t size() const { return q_.size(); }
+    std::size_t capacity() const { return q_.capacity(); }
+    std::size_t freeSlots() const { return q_.freeSlots(); }
+    bool empty() const { return q_.empty(); }
+    bool full() const { return q_.full(); }
+
+    /** Push with the CDC-stamped avail cycle; the port must have room. */
+    void
+    push(const T& pkt, Cycle now)
+    {
+        pushAt(pkt, cdc::crossingAvail(now, latency_), now);
+    }
+
+    /** push() unless full; a rejected push counts as a full-stall. */
+    bool
+    tryPush(const T& pkt, Cycle now)
+    {
+        if (q_.full()) {
+            tel_.onFullStall();
+            return false;
+        }
+        push(pkt, now);
+        return true;
+    }
+
+    /** Push with an absolute avail cycle (e.g. a memory completion). */
+    void
+    pushAt(const T& pkt, Cycle avail, Cycle now)
+    {
+        q_.push(Entry{pkt, avail, now});
+        tel_.onPush(q_.size());
+    }
+
+    /** pushAt() unless full; a rejected push counts as a full-stall. */
+    bool
+    tryPushAt(const T& pkt, Cycle avail, Cycle now)
+    {
+        if (q_.full()) {
+            tel_.onFullStall();
+            return false;
+        }
+        pushAt(pkt, avail, now);
+        return true;
+    }
+
+    /**
+     * Producer pressure accounting for call sites that stall *before*
+     * building a packet (the Retire Agent holds the retiring instruction
+     * itself rather than dropping the push).
+     */
+    void noteFullStall() { tel_.onFullStall(); }
+
+    /** Head payload; the port must not be empty. */
+    const T& head() const { return q_.front().pkt; }
+
+    /** Head avail cycle, kNoCycle when empty (fast-forward horizons). */
+    Cycle
+    headAvail() const
+    {
+        return q_.empty() ? kNoCycle : q_.front().avail;
+    }
+
+    /** True when a packet is poppable at @p now (avail gate). */
+    bool
+    headReady(Cycle now) const
+    {
+        return !q_.empty() && q_.front().avail <= now;
+    }
+
+    /** Avail-gated pop; false while empty or the head is still late. */
+    bool
+    popReady(T& out, Cycle now)
+    {
+        if (!headReady(now))
+            return false;
+        return popNow(out, now);
+    }
+
+    /** Unconditional pop (drains, late-packet drops); false when empty. */
+    bool
+    popNow(T& out, Cycle now)
+    {
+        if (q_.empty())
+            return false;
+        Entry e = q_.pop();
+        out = e.pkt;
+        tel_.onPop(now >= e.pushed ? now - e.pushed : 0);
+        return true;
+    }
+
+    /** Drop every queued entry (squash flush / context-switch reset). */
+    void clear() { q_.clear(); }
+
+    const PortTelemetry& telemetry() const { return tel_; }
+
+    /** One-line live dump: type, occupancy, head stamps, stall count. */
+    void
+    dump(std::ostream& os) const
+    {
+        os << "port " << name_ << "<" << type_name_ << ">: " << q_.size()
+           << "/" << q_.capacity() << " entries";
+        if (!q_.empty()) {
+            os << ", head avail=" << q_.front().avail
+               << " pushed=" << q_.front().pushed;
+        }
+        os << ", full_stalls=" << tel_.fullStalls() << "\n";
+    }
+
+    /**
+     * Checkpoint the occupied entries head-to-tail: payload (through
+     * CkptIO when padded), avail and pushed stamps. The stamps are state
+     * — qlat samples after a restore must match an uninterrupted run.
+     * Capacity and latency are config parameters, not serialized.
+     */
+    void
+    saveState(CkptWriter& w) const
+    {
+        w.put<std::uint64_t>(q_.size());
+        for (std::size_t i = 0; i < q_.size(); ++i) {
+            const Entry& e = q_.at(i);
+            w.put(e.pkt);
+            w.put(e.avail);
+            w.put(e.pushed);
+        }
+    }
+
+    void
+    loadState(CkptReader& r)
+    {
+        q_.clear();
+        std::uint64_t n = r.get<std::uint64_t>();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            Entry e;
+            r.get(e.pkt);
+            r.get(e.avail);
+            r.get(e.pushed);
+            q_.push(e);
+        }
+    }
+
+  private:
+    struct Entry {
+        T pkt{};
+        Cycle avail = 0;   ///< first cycle the consumer may pop
+        Cycle pushed = 0;  ///< push cycle (queueing-latency base)
+    };
+
+    std::string name_;
+    const char* type_name_;
+    Cycle latency_;
+    CircularQueue<Entry> q_;
+    PortTelemetry tel_;
+};
+
+} // namespace pfm
+
+#endif // PFM_COMMON_TIMED_PORT_H

@@ -158,7 +158,8 @@ FsmPrefetcher::rfStep(Cycle now)
                          (unsigned long long)events,
                          (unsigned long long)st.units_issued,
                          st.adapt.distance(),
-                         loadAgent().intqFreeSlots());
+                         static_cast<unsigned>(
+                             loadAgent().requestPort().freeSlots()));
         }
 
         while (st.units_issued < target) {
@@ -168,7 +169,7 @@ FsmPrefetcher::rfStep(Cycle now)
                     st.pending.push_back(a + static_cast<Addr>(off));
             }
             if (s.skip_if_full &&
-                loadAgent().intqFreeSlots() < st.pending.size()) {
+                loadAgent().requestPort().freeSlots() < st.pending.size()) {
                 // lbm-style MLP awareness: never push a partial cluster.
                 st.pending.clear();
                 ++*ctr_sets_skipped_;

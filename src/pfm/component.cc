@@ -19,12 +19,6 @@ CustomComponent::attach(FetchAgent* fetch, RetireAgent* retire,
     onAttach();
 }
 
-Cycle
-CustomComponent::predAvail(Cycle now) const
-{
-    return now + static_cast<Cycle>(params_->delay) * params_->clk_div + 1;
-}
-
 void
 CustomComponent::step(Cycle now)
 {
@@ -61,7 +55,7 @@ CustomComponent::drainReplay(Cycle now)
                        replay_cursor_ < log_base_ + log_.size(),
                    "replay cursor outside log");
         bool dir = log_[replay_cursor_ - log_base_].dir != 0;
-        if (!fetch_->pushPrediction(dir, predAvail(now)))
+        if (!fetch_->pushPrediction(dir, now))
             break; // IntQ-F full; continue next RF cycle
         ++replay_cursor_;
         --pred_budget_;
@@ -76,7 +70,7 @@ CustomComponent::emitPrediction(bool dir, Cycle now, std::uint32_t meta)
 {
     if (replaying_ || pred_budget_ == 0)
         return false;
-    if (!fetch_->pushPrediction(dir, predAvail(now)))
+    if (!fetch_->pushPrediction(dir, now))
         return false;
     --pred_budget_;
     log_.push_back({static_cast<std::uint8_t>(dir ? 1 : 0), meta});
@@ -94,7 +88,6 @@ bool
 CustomComponent::issueLoad(std::uint64_t id, Addr addr, unsigned size,
                            Cycle now, bool prefetch_only)
 {
-    (void)now;
     if (load_budget_ == 0)
         return false;
     LoadRequest req;
@@ -102,7 +95,7 @@ CustomComponent::issueLoad(std::uint64_t id, Addr addr, unsigned size,
     req.addr = addr;
     req.size = static_cast<std::uint8_t>(size);
     req.prefetch_only = prefetch_only;
-    if (!load_->pushRequest(req))
+    if (!load_->pushRequest(req, now))
         return false;
     --load_budget_;
     return true;

@@ -168,9 +168,6 @@ class CustomComponent
     std::uint32_t logMetaAt(std::uint64_t pos) const;
     void logSetDirAt(std::uint64_t pos, bool dir);
 
-    /** Prediction visibility cycle honoring delayD. */
-    Cycle predAvail(Cycle now) const;
-
     FetchAgent& fetchAgent() { return *fetch_; }
     LoadAgent& loadAgent() { return *load_; }
     RetireAgent& retireAgent() { return *retire_; }

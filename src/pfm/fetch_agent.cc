@@ -13,7 +13,10 @@ FetchAgent::FetchAgent(const PfmParams& params, StatGroup& stats)
       ctr_watchdog_disables_(stats.counter("watchdog_disables")),
       ctr_custom_predictions_used_(
           stats.counter("custom_predictions_used")),
-      intq_f_(params.queue_size)
+      // Crossing latency: delayD RF cycles of pipelined component
+      // execution, expressed in core cycles.
+      intq_f_(stats, "intq_f", "PredPacket", params.queue_size,
+              static_cast<Cycle>(params.delay) * params.clk_div)
 {}
 
 FetchAgent::Decision
@@ -26,7 +29,7 @@ FetchAgent::onBranchFetch(const DynInst& d, Cycle now)
     dec.hit = true;
     ++ctr_fst_hits_;
 
-    if (intq_f_.empty() || intq_f_.front().avail > now) {
+    if (!intq_f_.headReady(now)) {
         if (params_.non_stalling_fetch) {
             // Section 2.4 alternative: fall back to the core predictor for
             // this branch, but keep the stream position: the late packet
@@ -35,9 +38,8 @@ FetchAgent::onBranchFetch(const DynInst& d, Cycle now)
             ++pop_count_;
             if (pops_.size() > 4096)
                 pops_.pop_front();
-            if (!intq_f_.empty())
-                intq_f_.pop();
-            else
+            PredPacket dropped;
+            if (!intq_f_.popNow(dropped, now))
                 ++pending_drops_;
             ++ctr_late_packet_drops_;
             dec.hit = false;
@@ -59,7 +61,8 @@ FetchAgent::onBranchFetch(const DynInst& d, Cycle now)
     }
     stall_started_ = kNoCycle;
 
-    PredPacket p = intq_f_.pop();
+    PredPacket p;
+    intq_f_.popNow(p, now);  // headReady() checked above
     dec.dir = p.dir;
     pops_.push_back({d.seq, pop_count_});
     ++pop_count_;
@@ -70,7 +73,7 @@ FetchAgent::onBranchFetch(const DynInst& d, Cycle now)
 }
 
 bool
-FetchAgent::pushPrediction(bool dir, Cycle avail)
+FetchAgent::pushPrediction(bool dir, Cycle now)
 {
     if (pending_drops_ > 0) {
         // The branch this prediction was for already went past fetch with
@@ -79,9 +82,8 @@ FetchAgent::pushPrediction(bool dir, Cycle avail)
         ++push_count_;
         return true;
     }
-    if (intq_f_.full())
+    if (!intq_f_.tryPush({dir}, now))
         return false;
-    intq_f_.push({dir, avail});
     ++push_count_;
     return true;
 }

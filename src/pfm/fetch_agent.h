@@ -15,8 +15,8 @@
 
 #include <deque>
 
-#include "common/circular_queue.h"
 #include "common/stats.h"
+#include "common/timed_port.h"
 #include "isa/dyn_inst.h"
 #include "pfm/packets.h"
 #include "pfm/pfm_params.h"
@@ -45,10 +45,17 @@ class FetchAgent
     };
     Decision onBranchFetch(const DynInst& d, Cycle now);
 
-    /** Component side: push a prediction; false if IntQ-F is full. */
-    bool pushPrediction(bool dir, Cycle avail);
+    /**
+     * Component side: push a prediction generated at RF cycle @p now;
+     * false if IntQ-F is full. The port stamps availability with the
+     * component's pipelined execution latency (delayD RF cycles).
+     */
+    bool pushPrediction(bool dir, Cycle now);
 
     unsigned freeSlots() const { return static_cast<unsigned>(intq_f_.freeSlots()); }
+
+    /** The IntQ-F channel itself (telemetry, horizons, debug dumps). */
+    const TimedPort<PredPacket>& predPort() const { return intq_f_; }
 
     /** Total predictions popped since enable (the stream position). */
     std::uint64_t popCount() const { return pop_count_; }
@@ -88,7 +95,7 @@ class FetchAgent
     Counter& ctr_watchdog_disables_;
     Counter& ctr_custom_predictions_used_;
     FetchSnoopTable fst_;
-    CircularQueue<PredPacket> intq_f_;
+    TimedPort<PredPacket> intq_f_;
     bool enabled_ = false;
     bool chicken_switched_ = false;
     std::uint64_t pop_count_ = 0;

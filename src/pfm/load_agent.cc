@@ -19,18 +19,17 @@ LoadAgent::LoadAgent(const PfmParams& params, Hierarchy& mem,
       ctr_mlb_allocations_(stats.counter("mlb_allocations")),
       ctr_mlb_replays_hit_(stats.counter("mlb_replays_hit")),
       ctr_mlb_full_stalls_(stats.counter("mlb_full_stalls")),
-      intq_is_(params.queue_size),
-      obsq_ex_(params.queue_size)
+      intq_is_(stats, "intq_is", "LoadRequest", params.queue_size),
+      obsq_ex_(stats, "obsq_ex", "LoadReturn", params.queue_size)
 {
     mlb_.reserve(params.mlb_entries);
 }
 
 bool
-LoadAgent::pushRequest(const LoadRequest& req)
+LoadAgent::pushRequest(const LoadRequest& req, Cycle now)
 {
-    if (intq_is_.full())
+    if (!intq_is_.tryPush(req, now))
         return false;
-    intq_is_.push(req);
     ++(req.prefetch_only ? ctr_agent_prefetches_ : ctr_agent_loads_);
     return true;
 }
@@ -38,27 +37,30 @@ LoadAgent::pushRequest(const LoadRequest& req)
 bool
 LoadAgent::popReturn(LoadReturn& out, Cycle now)
 {
-    if (obsq_ex_.empty() || obsq_ex_.front().avail > now)
+    if (!obsq_ex_.popReady(out, now))
         return false;
-    out = obsq_ex_.pop();
-    drainStaging();
+    drainStaging(now);
     return true;
 }
 
 void
-LoadAgent::finish(const LoadRequest& req, RegVal value, Cycle avail)
+LoadAgent::finish(const LoadRequest& req, RegVal value, Cycle avail, Cycle now)
 {
     if (req.prefetch_only)
         return;
-    staging_.push_back({req.id, value, avail});
-    drainStaging();
+    if (obsq_ex_.full())
+        obsq_ex_.noteFullStall();
+    staging_.push_back({{req.id, value}, avail});
+    drainStaging(now);
 }
 
 void
-LoadAgent::drainStaging()
+LoadAgent::drainStaging(Cycle now)
 {
+    // Returns complete out-of-order but enter ObsQ-EX in completion order,
+    // each carrying the absolute memory-completion cycle as its avail.
     while (!staging_.empty() && !obsq_ex_.full()) {
-        obsq_ex_.push(staging_.front());
+        obsq_ex_.pushAt(staging_.front().ret, staging_.front().avail, now);
         staging_.pop_front();
     }
 }
@@ -78,7 +80,7 @@ LoadAgent::inject(const LoadRequest& req, Cycle now)
         value = commit_log_.committedRead(req.addr, req.size);
 
     if (r.service_level <= 1 || req.prefetch_only) {
-        finish(req, value, r.done);
+        finish(req, value, r.done, now);
     } else {
         // Miss: park in the MLB and replay when the fill arrives.
         ++ctr_mlb_allocations_;
@@ -89,7 +91,7 @@ LoadAgent::inject(const LoadRequest& req, Cycle now)
 void
 LoadAgent::onCycle(Cycle now, unsigned free_ls_slots)
 {
-    drainStaging();
+    drainStaging(now);
 
     for (unsigned s = 0; s < free_ls_slots; ++s) {
         // MLB replays take priority over new injections (they are
@@ -102,7 +104,7 @@ LoadAgent::onCycle(Cycle now, unsigned free_ls_slots)
                                       return e.retry_at <= now;
                                   });
         if (ready != mlb_.end()) {
-            finish(ready->req, ready->value, now + 1);
+            finish(ready->req, ready->value, now + 1, now);
             mlb_.erase(ready);
             ++ctr_mlb_replays_hit_;
             continue;
@@ -112,12 +114,13 @@ LoadAgent::onCycle(Cycle now, unsigned free_ls_slots)
             break;
         // A missed (non-prefetch) load needs an MLB entry; block the queue
         // head if the MLB is full.
-        if (!intq_is_.front().prefetch_only &&
+        if (!intq_is_.head().prefetch_only &&
             mlb_.size() >= params_.mlb_entries) {
             ++ctr_mlb_full_stalls_;
             break;
         }
-        LoadRequest req = intq_is_.pop();
+        LoadRequest req;
+        intq_is_.popNow(req, now);
         inject(req, now);
     }
 }

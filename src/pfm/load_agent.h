@@ -15,8 +15,8 @@
 #include <deque>
 #include <vector>
 
-#include "common/circular_queue.h"
 #include "common/stats.h"
+#include "common/timed_port.h"
 #include "mem_sys/commit_log.h"
 #include "memory/hierarchy.h"
 #include "pfm/packets.h"
@@ -31,17 +31,18 @@ class LoadAgent
               const CommitLog& commit_log, StatGroup& stats);
 
     /** Component side: queue a load/prefetch. False if IntQ-IS is full. */
-    bool pushRequest(const LoadRequest& req);
-
-    unsigned intqFreeSlots() const
-    {
-        return static_cast<unsigned>(intq_is_.freeSlots());
-    }
+    bool pushRequest(const LoadRequest& req, Cycle now);
 
     /** Component side: pop a completed load value (OOO). */
     bool popReturn(LoadReturn& out, Cycle now);
 
     size_t pendingReturns() const { return obsq_ex_.size(); }
+
+    /** The IntQ-IS channel itself (telemetry, horizons, debug dumps). */
+    const TimedPort<LoadRequest>& requestPort() const { return intq_is_; }
+
+    /** The ObsQ-EX channel itself (telemetry, horizons, debug dumps). */
+    const TimedPort<LoadReturn>& returnPort() const { return obsq_ex_; }
 
     /**
      * Core end-of-cycle: @p free_ls_slots issue slots went unused; inject
@@ -77,9 +78,15 @@ class LoadAgent
         Cycle retry_at;
     };
 
+    /** A completed return waiting for ObsQ-EX room, with its avail stamp. */
+    struct StagedReturn {
+        LoadReturn ret;
+        Cycle avail;
+    };
+
     void inject(const LoadRequest& req, Cycle now);
-    void finish(const LoadRequest& req, RegVal value, Cycle avail);
-    void drainStaging();
+    void finish(const LoadRequest& req, RegVal value, Cycle avail, Cycle now);
+    void drainStaging(Cycle now);
 
     PfmParams params_;
     Hierarchy& mem_;
@@ -92,10 +99,10 @@ class LoadAgent
     Counter& ctr_mlb_replays_hit_;
     Counter& ctr_mlb_full_stalls_;
 
-    CircularQueue<LoadRequest> intq_is_;
-    CircularQueue<LoadReturn> obsq_ex_;
+    TimedPort<LoadRequest> intq_is_;
+    TimedPort<LoadReturn> obsq_ex_;
     std::vector<MlbEntry> mlb_;
-    std::deque<LoadReturn> staging_;   ///< completed, waiting for ObsQ-EX room
+    std::deque<StagedReturn> staging_; ///< completed, waiting for ObsQ-EX room
 };
 
 } // namespace pfm

@@ -2,6 +2,11 @@
  * @file
  * Packet formats flowing between the core-side Agents and the
  * RF-synthesized custom component (Section 2 of the paper).
+ *
+ * Packets are pure payload: the cycle at which a packet becomes visible
+ * on the consumer side of its clock-domain crossing is stamped and
+ * enforced by the TimedPort carrying it (common/timed_port.h), not
+ * carried in the packet itself.
  */
 
 #ifndef PFM_PFM_PACKETS_H
@@ -29,7 +34,6 @@ struct ObsPacket {
     RegVal value = 0;       ///< dest value / store value
     Addr mem_addr = kBadAddr; ///< store address (kStoreValue)
     bool taken = false;     ///< branch outcome (kBranchOutcome)
-    Cycle avail = 0;        ///< earliest cycle the component may consume it
 };
 
 /** Component -> Load Agent, via IntQ-IS. */
@@ -40,25 +44,25 @@ struct LoadRequest {
     bool prefetch_only = false; ///< no value returned; just fill the cache
 };
 
-/** Load Agent -> component, via ObsQ-EX. */
+/** Load Agent -> component, via ObsQ-EX. No padding: raw checkpoint IO. */
 struct LoadReturn {
     std::uint64_t id = 0;
     RegVal value = 0;
-    Cycle avail = 0;
 };
 
-/** Component -> Fetch Agent, via IntQ-F. */
+/** Component -> Fetch Agent, via IntQ-F. No padding: raw checkpoint IO. */
 struct PredPacket {
     bool dir = false;
-    Cycle avail = 0;
 };
 
-// Checkpoint hooks: these packets sit in CircularQueues that serialize
-// per element, and all three carry alignment padding — field-wise IO
-// keeps indeterminate padding bytes out of the image (see CkptIO).
+// Checkpoint hooks: ObsPacket and LoadRequest carry alignment padding —
+// field-wise IO keeps indeterminate padding bytes out of the image (see
+// CkptIO). The ports serialize per-entry through these hooks plus their
+// own avail/pushed stamps, so this is the single CkptIO site per packet
+// type. LoadReturn/PredPacket are padding-free and take the raw path.
 
 template <> struct CkptIO<ObsPacket> {
-    static constexpr std::size_t kWireSize = 1 + 8 + 8 + 8 + 1 + 8;
+    static constexpr std::size_t kWireSize = 1 + 8 + 8 + 8 + 1;
     static void
     save(CkptWriter& w, const ObsPacket& p)
     {
@@ -67,7 +71,6 @@ template <> struct CkptIO<ObsPacket> {
         w.put(p.value);
         w.put(p.mem_addr);
         w.put(p.taken);
-        w.put(p.avail);
     }
     static void
     load(CkptReader& r, ObsPacket& p)
@@ -77,7 +80,6 @@ template <> struct CkptIO<ObsPacket> {
         r.get(p.value);
         r.get(p.mem_addr);
         r.get(p.taken);
-        r.get(p.avail);
     }
 };
 
@@ -98,22 +100,6 @@ template <> struct CkptIO<LoadRequest> {
         r.get(p.addr);
         r.get(p.size);
         r.get(p.prefetch_only);
-    }
-};
-
-template <> struct CkptIO<PredPacket> {
-    static constexpr std::size_t kWireSize = 1 + 8;
-    static void
-    save(CkptWriter& w, const PredPacket& p)
-    {
-        w.put(p.dir);
-        w.put(p.avail);
-    }
-    static void
-    load(CkptReader& r, PredPacket& p)
-    {
-        r.get(p.dir);
-        r.get(p.avail);
     }
 };
 

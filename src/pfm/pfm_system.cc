@@ -71,7 +71,7 @@ PfmSystem::onRetire(const DynInst& d, Cycle now)
         // retired just before the marker (e.g. the fill-prologue base
         // addresses) are never lost to the boundary.
         ObsPacket p;
-        while (retire_agent_.drainOne(p)) {
+        while (retire_agent_.drainOne(p, now)) {
             if (p.type == ObsType::kRoiBegin && p.pc == d.pc) {
                 fetch_agent_.resetStream();
                 load_agent_.reset();
@@ -163,24 +163,25 @@ PfmSystem::nextEventCycle(Cycle now) const
     consider(la);
 
     if (retire_agent_.roiActive()) {
-        // A busy component (pending agent traffic, or a component whose
-        // nextEventCycle() says "act now" — the conservative default)
-        // vetoes outright: the best such a skip could do is hop to the
-        // next RF edge, <= clk_div cycles, and the quiescence scan costs
-        // more than ticking those cycles. Only a component reporting a
-        // genuine *future* event time (e.g. an adaptive-distance epoch
-        // boundary) opens a skip window, aligned up to its RF edge.
-        Cycle want = (retire_agent_.pendingObservations() > 0 ||
-                      load_agent_.pendingReturns() > 0)
-                         ? now
-                         : component_->nextEventCycle(now);
+        // A busy component (nextEventCycle() <= now — the conservative
+        // default) vetoes outright: the best such a skip could do is hop
+        // to the next RF edge, <= clk_div cycles, and the quiescence scan
+        // costs more than ticking those cycles. Queued agent traffic is
+        // gated by the ports' CDC stamps: a packet whose head avail is
+        // still in the future cannot be popped at any intervening RF edge
+        // (popReady() would refuse), so the earliest packet-driven event
+        // is the head avail of ObsQ-R / ObsQ-EX, not `now`. A packet
+        // already visible (head avail <= now) still vetoes.
+        Cycle want = component_->nextEventCycle(now);
+        Cycle head = retire_agent_.obsPort().headAvail();
+        if (load_agent_.returnPort().headAvail() < head)
+            head = load_agent_.returnPort().headAvail();
+        if (head < want)
+            want = head;
         if (want != kNoCycle) {
             if (want <= now)
                 return now;
-            Cycle edge =
-                ((want + params_.clk_div - 1) / params_.clk_div) *
-                params_.clk_div;
-            consider(edge);
+            consider(cdc::alignToEdge(want, params_.clk_div));
         }
     }
     return horizon;
@@ -202,8 +203,8 @@ PfmSystem::squashDoneCycle(Cycle now) const
     // The squash packet reaches the component at its next RF edge; the
     // rollback takes one RF cycle plus the component's pipelined execution
     // latency before squash-done reaches the Fetch Agent via IntQ-F.
-    Cycle next_edge = ((now / params_.clk_div) + 1) * params_.clk_div;
-    return next_edge + (1 + params_.delay) * params_.clk_div;
+    return cdc::nextEdge(now, params_.clk_div) +
+           (1 + params_.delay) * params_.clk_div;
 }
 
 void
@@ -211,14 +212,23 @@ PfmSystem::dumpDebug(std::ostream& os) const
 {
     os << "fetch agent: pops=" << fetch_agent_.popCount()
        << " pushes=" << fetch_agent_.pushCount()
-       << " intqF_free=" << fetch_agent_.freeSlots()
        << " enabled=" << fetch_agent_.enabled() << "\n";
-    os << "load agent: obsEx_pending=" << load_agent_.pendingReturns()
-       << " intqIS_free=" << load_agent_.intqFreeSlots() << "\n";
-    os << "retire agent: obsR_pending=" << retire_agent_.pendingObservations()
-       << " roi=" << retire_agent_.roiActive() << "\n";
+    os << "retire agent: roi=" << retire_agent_.roiActive() << "\n";
+    retire_agent_.obsPort().dump(os);
+    fetch_agent_.predPort().dump(os);
+    load_agent_.requestPort().dump(os);
+    load_agent_.returnPort().dump(os);
     if (component_)
         component_->dumpDebug(os);
+}
+
+std::vector<PortStatsSnapshot>
+PfmSystem::portSnapshots() const
+{
+    return {retire_agent_.obsPort().telemetry().snapshot(),
+            fetch_agent_.predPort().telemetry().snapshot(),
+            load_agent_.requestPort().telemetry().snapshot(),
+            load_agent_.returnPort().telemetry().snapshot()};
 }
 
 double

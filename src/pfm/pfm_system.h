@@ -9,9 +9,11 @@
 #define PFM_PFM_PFM_SYSTEM_H
 
 #include <memory>
+#include <vector>
 
 #include "core/core.h"
 #include "pfm/component.h"
+#include "pfm/port_telemetry.h"
 #include "pfm/fetch_agent.h"
 #include "pfm/load_agent.h"
 #include "pfm/retire_agent.h"
@@ -45,6 +47,12 @@ class PfmSystem : public CoreHooks
 
     /** Debug: dump agent + component state. */
     void dumpDebug(std::ostream& os) const;
+
+    /**
+     * Telemetry snapshots of the four paper queues (ObsQ-R, IntQ-F,
+     * IntQ-IS, ObsQ-EX), in that order (report/bench columns).
+     */
+    std::vector<PortStatsSnapshot> portSnapshots() const;
 
     /** Snoop percentages for Tables 2 and 3. */
     double rstHitPct() const;

@@ -1,0 +1,32 @@
+#include "pfm/port_telemetry.h"
+
+namespace pfm {
+
+void
+PortTelemetry::bind(StatGroup& stats, const std::string& name)
+{
+    name_ = name;
+    const std::string base = "port." + name + ".";
+    full_stalls_ = &stats.counter(base + "full_stalls");
+    occupancy_ = &stats.distribution(base + "occupancy");
+    qlat_ = &stats.distribution(base + "qlat");
+}
+
+PortStatsSnapshot
+PortTelemetry::snapshot() const
+{
+    PortStatsSnapshot s;
+    s.name = name_;
+    if (!bound())
+        return s;
+    s.pushes = occupancy_->count();
+    s.occ_avg = occupancy_->mean();
+    s.occ_max = occupancy_->max();
+    s.full_stalls = full_stalls_->value();
+    s.pops = qlat_->count();
+    s.qlat_avg = qlat_->mean();
+    s.qlat_max = qlat_->max();
+    return s;
+}
+
+} // namespace pfm

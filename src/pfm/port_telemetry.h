@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Per-port statistics for the TimedPort channels: occupancy (sampled at
+ * every push), producer full-stall counts, and per-packet queueing
+ * latency (pop cycle minus push cycle). Every port binds its stats once
+ * against the owning StatGroup under "port.<name>.*", so the four paper
+ * queues (ObsQ-R, IntQ-F, IntQ-IS, ObsQ-EX) report through one audited
+ * implementation instead of per-agent ad-hoc counters.
+ */
+
+#ifndef PFM_PFM_PORT_TELEMETRY_H
+#define PFM_PFM_PORT_TELEMETRY_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace pfm {
+
+/**
+ * Value snapshot of one port's telemetry, decoupled from the StatGroup
+ * so it can travel through SimResult into the bench JSON emitters after
+ * the Simulator is gone.
+ */
+struct PortStatsSnapshot {
+    std::string name;            ///< port name ("obsq_r", "intq_f", ...)
+    std::uint64_t pushes = 0;    ///< occupancy samples == accepted pushes
+    double occ_avg = 0;          ///< mean entries after each push
+    double occ_max = 0;          ///< peak occupancy seen
+    std::uint64_t full_stalls = 0; ///< producer attempts rejected for space
+    std::uint64_t pops = 0;      ///< queueing-latency samples == pops
+    double qlat_avg = 0;         ///< mean cycles a packet waited in the port
+    double qlat_max = 0;         ///< worst-case queueing latency
+};
+
+/**
+ * Stat bindings for one TimedPort. bind() is called once from the port
+ * constructor; the Counter/Distribution references stay valid for the
+ * StatGroup's lifetime (deque-backed registry), so the hot push/pop
+ * paths are plain increments.
+ */
+class PortTelemetry
+{
+  public:
+    /** Register "port.<name>.{full_stalls,occupancy,qlat}" in @p stats. */
+    void bind(StatGroup& stats, const std::string& name);
+
+    bool bound() const { return full_stalls_ != nullptr; }
+    const std::string& name() const { return name_; }
+
+    void
+    onPush(std::size_t size_after_push)
+    {
+        occupancy_->sample(static_cast<double>(size_after_push));
+    }
+
+    void onFullStall() { ++*full_stalls_; }
+
+    void
+    onPop(Cycle waited)
+    {
+        qlat_->sample(static_cast<double>(waited));
+    }
+
+    std::uint64_t fullStalls() const { return full_stalls_->value(); }
+
+    PortStatsSnapshot snapshot() const;
+
+  private:
+    std::string name_;
+    Counter* full_stalls_ = nullptr;
+    Distribution* occupancy_ = nullptr;
+    Distribution* qlat_ = nullptr;
+};
+
+} // namespace pfm
+
+#endif // PFM_PFM_PORT_TELEMETRY_H

@@ -13,8 +13,7 @@ RetireAgent::RetireAgent(const PfmParams& params, StatGroup& stats)
       ctr_rst_hits_(stats.counter("rst_hits")),
       ctr_retired_in_roi_(stats.counter("retired_in_roi")),
       ctr_port_stalls_(stats.counter("port_stalls")),
-      ctr_obsq_r_full_stalls_(stats.counter("obsq_r_full_stalls")),
-      obsq_r_(params.queue_size)
+      obsq_r_(stats, "obsq_r", "ObsPacket", params.queue_size)
 {}
 
 bool
@@ -65,7 +64,7 @@ RetireAgent::onRetire(const DynInst& d, Cycle now, RetireDecision& decision,
         if (obsq_r_.full()) {
             decision.allow = false;
             decision.retry_at = now + 1;
-            ++ctr_obsq_r_full_stalls_;
+            obsq_r_.noteFullStall();
             return;
         }
     }
@@ -80,7 +79,6 @@ RetireAgent::onRetire(const DynInst& d, Cycle now, RetireDecision& decision,
 
     ObsPacket p;
     p.pc = d.pc;
-    p.avail = now + 1;
     if (e->roi_begin) {
         p.type = ObsType::kRoiBegin;
         p.value = d.result;
@@ -105,25 +103,19 @@ RetireAgent::onRetire(const DynInst& d, Cycle now, RetireDecision& decision,
             break;
         }
     }
-    obsq_r_.push(p);
+    obsq_r_.push(p, now);
 }
 
 bool
 RetireAgent::popObservation(ObsPacket& out, Cycle now)
 {
-    if (obsq_r_.empty() || obsq_r_.front().avail > now)
-        return false;
-    out = obsq_r_.pop();
-    return true;
+    return obsq_r_.popReady(out, now);
 }
 
 bool
-RetireAgent::drainOne(ObsPacket& out)
+RetireAgent::drainOne(ObsPacket& out, Cycle now)
 {
-    if (obsq_r_.empty())
-        return false;
-    out = obsq_r_.pop();
-    return true;
+    return obsq_r_.popNow(out, now);
 }
 
 std::uint64_t

@@ -11,8 +11,8 @@
 #ifndef PFM_PFM_RETIRE_AGENT_H
 #define PFM_PFM_RETIRE_AGENT_H
 
-#include "common/circular_queue.h"
 #include "common/stats.h"
+#include "common/timed_port.h"
 #include "core/core.h"
 #include "pfm/packets.h"
 #include "pfm/pfm_params.h"
@@ -52,12 +52,15 @@ class RetireAgent
     bool popObservation(ObsPacket& out, Cycle now);
 
     /** Pop regardless of availability (ROI-boundary synchronous drain). */
-    bool drainOne(ObsPacket& out);
+    bool drainOne(ObsPacket& out, Cycle now);
 
     /** Count of retired count_only RST hits for @p pc (feedback wire). */
     std::uint64_t countFor(Addr pc) const;
 
     size_t pendingObservations() const { return obsq_r_.size(); }
+
+    /** The ObsQ-R channel itself (telemetry, horizons, debug dumps). */
+    const TimedPort<ObsPacket>& obsPort() const { return obsq_r_; }
 
     void reset();
 
@@ -73,9 +76,8 @@ class RetireAgent
     Counter& ctr_rst_hits_;
     Counter& ctr_retired_in_roi_;
     Counter& ctr_port_stalls_;
-    Counter& ctr_obsq_r_full_stalls_;
     RetireSnoopTable rst_;
-    CircularQueue<ObsPacket> obsq_r_;
+    TimedPort<ObsPacket> obsq_r_;
     IssueUsage usage_;
     bool roi_active_ = false;
     std::unordered_map<Addr, std::uint64_t> counts_;

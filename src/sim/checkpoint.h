@@ -34,8 +34,12 @@
 
 namespace pfm {
 
-/** Bump on any layout change; readers reject other versions outright. */
-constexpr std::uint32_t kCkptFormatVersion = 1;
+/**
+ * Bump on any layout change; readers reject other versions outright.
+ * v2: agent queues serialize through TimedPort (payload + avail + pushed
+ * stamps per entry); packets no longer carry their own avail field.
+ */
+constexpr std::uint32_t kCkptFormatVersion = 2;
 
 /** "PFMCKPT\0" little-endian. */
 constexpr std::uint64_t kCkptMagic = 0x0054504b434d4650ull;

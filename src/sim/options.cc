@@ -31,6 +31,23 @@ tokenNumber(const std::string& token, const std::string& digits)
     return static_cast<unsigned>(v);
 }
 
+/**
+ * tokenNumber() for fields where zero is structurally meaningless — a
+ * clock ratio, machine width or queue capacity of 0 describes hardware
+ * that cannot exist (and would divide-by-zero or trip the TimedPort
+ * capacity check much later, far from the offending flag).
+ */
+unsigned
+tokenNumberNonzero(const std::string& token, const std::string& digits,
+                   const char* what)
+{
+    unsigned v = tokenNumber(token, digits);
+    if (v == 0)
+        pfm_fatal("%s must be nonzero in parameter token '%s'", what,
+                  token.c_str());
+    return v;
+}
+
 } // namespace
 
 void
@@ -44,8 +61,10 @@ applyToken(SimOptions& opt, const std::string& token)
         if (us == std::string::npos)
             pfm_fatal("bad clk token '%s' (expected clkC_wW)",
                       token.c_str());
-        opt.pfm.clk_div = tokenNumber(token, token.substr(3, us - 3));
-        opt.pfm.width = tokenNumber(token, token.substr(us + 2));
+        opt.pfm.clk_div =
+            tokenNumberNonzero(token, token.substr(3, us - 3), "clock ratio");
+        opt.pfm.width =
+            tokenNumberNonzero(token, token.substr(us + 2), "width");
         return;
     }
     if (token.rfind("delay", 0) == 0) {
@@ -53,7 +72,8 @@ applyToken(SimOptions& opt, const std::string& token)
         return;
     }
     if (token.rfind("queue", 0) == 0) {
-        opt.pfm.queue_size = tokenNumber(token, token.substr(5));
+        opt.pfm.queue_size =
+            tokenNumberNonzero(token, token.substr(5), "queue capacity");
         return;
     }
     if (token == "portALL") {

@@ -30,4 +30,18 @@ reportNote(const std::string& text)
     std::printf("  # %s\n", text.c_str());
 }
 
+void
+reportPortStats(const std::string& label,
+                const std::vector<PortStatsSnapshot>& ports)
+{
+    std::printf("  %s ports:\n", label.c_str());
+    for (const PortStatsSnapshot& p : ports) {
+        std::printf("    %-8s occ_avg=%6.2f occ_max=%4.0f full_stalls=%8llu "
+                    "qlat_avg=%7.1f\n",
+                    p.name.c_str(), p.occ_avg, p.occ_max,
+                    static_cast<unsigned long long>(p.full_stalls),
+                    p.qlat_avg);
+    }
+}
+
 } // namespace pfm

@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "pfm/port_telemetry.h"
+
 namespace pfm {
 
 /** Print a boxed section header. */
@@ -30,6 +32,14 @@ void reportRowVs(const std::string& label, double measured, double paper,
 
 /** Print a free-form note line. */
 void reportNote(const std::string& text);
+
+/**
+ * Print one agent-queue occupancy line per port under @p label: average
+ * and peak occupancy, producer full-stalls, and mean queueing latency.
+ * Used by the queue-sizing figures (9/13); see EXPERIMENTS.md.
+ */
+void reportPortStats(const std::string& label,
+                     const std::vector<PortStatsSnapshot>& ports);
 
 } // namespace pfm
 

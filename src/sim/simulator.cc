@@ -309,6 +309,7 @@ Simulator::run()
     if (pfm_) {
         r.rst_hit_pct = pfm_->rstHitPct();
         r.fst_hit_pct = pfm_->fstHitPct();
+        r.ports = pfm_->portSnapshots();
     }
     return r;
 }

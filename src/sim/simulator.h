@@ -10,6 +10,7 @@
 
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "core/core.h"
 #include "sim/trace.h"
@@ -27,6 +28,9 @@ struct SimResult {
     double rst_hit_pct = 0;   ///< Tables 2/3
     double fst_hit_pct = 0;
     bool finished = false;    ///< workload halted before the budget
+    /** Agent-queue telemetry (ObsQ-R, IntQ-F, IntQ-IS, ObsQ-EX); empty
+     *  for bare-core runs. */
+    std::vector<PortStatsSnapshot> ports;
 };
 
 class Simulator

@@ -86,6 +86,15 @@ writeBenchJson(std::ostream& os, const std::string& bench, unsigned jobs,
         if (r.has_speedup)
             os << ", \"speedup_pct\": " << std::setprecision(6)
                << jsonFinite(r.speedup_pct);
+        for (const PortStatsSnapshot& p : r.ports) {
+            os << ", \"port_" << jsonEscape(p.name)
+               << "_occ_avg\": " << std::setprecision(6)
+               << jsonFinite(p.occ_avg) << ", \"port_" << jsonEscape(p.name)
+               << "_occ_max\": " << jsonFinite(p.occ_max) << ", \"port_"
+               << jsonEscape(p.name) << "_full_stalls\": " << p.full_stalls
+               << ", \"port_" << jsonEscape(p.name)
+               << "_qlat_avg\": " << jsonFinite(p.qlat_avg);
+        }
         os << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
     }
     os << "  ]\n";

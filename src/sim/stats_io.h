@@ -15,6 +15,7 @@
 #include "core/core_params.h"
 #include "memory/hierarchy.h"
 #include "pfm/pfm_params.h"
+#include "pfm/port_telemetry.h"
 
 namespace pfm {
 
@@ -32,6 +33,8 @@ struct BenchJsonRow {
     double wall_ms = 0;        ///< per-run wall time on its worker thread
     bool has_speedup = false;  ///< row declared a speedup baseline
     double speedup_pct = 0;
+    /** Agent-queue telemetry; emitted as port_<name>_* fields when set. */
+    std::vector<PortStatsSnapshot> ports;
 };
 
 /**

@@ -321,6 +321,7 @@ emitBenchJson(const std::string& name, const SweepSpec& spec,
         row.cycles = results[i].sim.cycles;
         row.instructions = results[i].sim.instructions;
         row.wall_ms = results[i].wall_ms;
+        row.ports = results[i].sim.ports;
         if (runs[i].speedup_base.valid()) {
             row.has_speedup = true;
             row.speedup_pct = speedupPct(

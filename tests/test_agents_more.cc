@@ -137,7 +137,7 @@ TEST_F(MlbCapacityTest, FullMlbBlocksFurtherMissingLoads)
 {
     // Three cold loads with a 2-entry MLB: the third stays in IntQ-IS.
     for (std::uint64_t i = 0; i < 3; ++i)
-        agent_.pushRequest({i, 0x800000 + i * 4096, 4, false});
+        agent_.pushRequest({i, 0x800000 + i * 4096, 4, false}, 0);
     agent_.onCycle(0, 2);
     agent_.onCycle(1, 2);
     EXPECT_EQ(stats_.get("mlb_allocations"), 2u);
@@ -157,7 +157,7 @@ TEST_F(MlbCapacityTest, FullMlbBlocksFurtherMissingLoads)
 TEST_F(MlbCapacityTest, PrefetchesBypassTheMlb)
 {
     for (std::uint64_t i = 0; i < 6; ++i)
-        agent_.pushRequest({i, 0x900000 + i * 4096, 8, true});
+        agent_.pushRequest({i, 0x900000 + i * 4096, 8, true}, 0);
     for (Cycle c = 0; c < 10; ++c)
         agent_.onCycle(c, 2);
     EXPECT_EQ(stats_.get("mlb_allocations"), 0u);

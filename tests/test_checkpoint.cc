@@ -10,8 +10,8 @@
  * (truncated, bit-flipped, wrong version, reordered sections, trailing
  * garbage, config drift) dies through pfm_fatal naming the checkpoint and
  * the offending section — never a crash or a silent misload. A checked-in
- * fixture pins the on-disk format: tests/fixtures/astar_bare_v1.ckpt must
- * keep producing the digest in astar_bare_v1.digest until
+ * fixture pins the on-disk format: tests/fixtures/astar_bare_v2.ckpt must
+ * keep producing the digest in astar_bare_v2.digest until
  * kCkptFormatVersion is bumped (regenerate both with
  * PFM_REGEN_FIXTURES=1).
  */
@@ -601,8 +601,8 @@ fixtureOptions()
 TEST(Checkpoint, GoldenFixtureReportDigest)
 {
     const std::string dir = PFM_FIXTURES_DIR;
-    const std::string fixture = dir + "/astar_bare_v1.ckpt";
-    const std::string digest_file = dir + "/astar_bare_v1.digest";
+    const std::string fixture = dir + "/astar_bare_v2.ckpt";
+    const std::string digest_file = dir + "/astar_bare_v2.digest";
     const bool regen = std::getenv("PFM_REGEN_FIXTURES") != nullptr;
 
     if (regen) {

@@ -46,6 +46,36 @@ TEST(OptionsErrorDeathTest, ClkTokenMissingSeparatorIsFatal)
                 "bad clk token");
 }
 
+TEST(OptionsErrorDeathTest, ClkTokenZeroDividerIsFatal)
+{
+    SimOptions o;
+    EXPECT_EXIT(applyToken(o, "clk0_w4"), ::testing::ExitedWithCode(1),
+                "clock ratio must be nonzero in parameter token 'clk0_w4'");
+}
+
+TEST(OptionsErrorDeathTest, ClkTokenZeroWidthIsFatal)
+{
+    SimOptions o;
+    EXPECT_EXIT(applyToken(o, "clk4_w0"), ::testing::ExitedWithCode(1),
+                "width must be nonzero in parameter token 'clk4_w0'");
+}
+
+TEST(OptionsErrorDeathTest, QueueTokenZeroIsFatal)
+{
+    SimOptions o;
+    EXPECT_EXIT(applyToken(o, "queue0"), ::testing::ExitedWithCode(1),
+                "queue capacity must be nonzero in parameter token 'queue0'");
+}
+
+TEST(OptionsErrorDeathTest, QueueTokenOverflowIsFatal)
+{
+    SimOptions o;
+    EXPECT_EXIT(applyToken(o, "queue99999999999"),
+                ::testing::ExitedWithCode(1),
+                "number '99999999999' out of range in parameter token "
+                "'queue99999999999'");
+}
+
 TEST(OptionsErrorDeathTest, DelayTokenGarbageIsFatal)
 {
     SimOptions o;

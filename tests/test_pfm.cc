@@ -73,10 +73,13 @@ TEST_F(FetchAgentTest, PopsInFifoOrder)
 
 TEST_F(FetchAgentTest, StallsOnLatePrediction)
 {
+    // Pushed at 100: the port's CDC stamp makes it visible at 101.
     agent_.pushPrediction(true, 100);
     auto dec = agent_.onBranchFetch(fakeBranch(0x100, 1), 10);
     EXPECT_TRUE(dec.stall);
     dec = agent_.onBranchFetch(fakeBranch(0x100, 1), 100);
+    EXPECT_TRUE(dec.stall);
+    dec = agent_.onBranchFetch(fakeBranch(0x100, 1), 101);
     EXPECT_FALSE(dec.stall);
 }
 
@@ -156,7 +159,7 @@ TEST_F(LoadAgentTest, HitReturnsValueWithCacheLatency)
 {
     mem_.write<std::uint32_t>(0x1000, 77);
     hier_.warm(0x1000);
-    agent_.pushRequest({1, 0x1000, 4, false});
+    agent_.pushRequest({1, 0x1000, 4, false}, 10);
     agent_.onCycle(10, 1);
     LoadReturn r;
     EXPECT_FALSE(agent_.popReturn(r, 10)); // data not ready yet
@@ -168,7 +171,7 @@ TEST_F(LoadAgentTest, HitReturnsValueWithCacheLatency)
 TEST_F(LoadAgentTest, MissGoesThroughMlbAndReplays)
 {
     mem_.write<std::uint32_t>(0x900000, 5);
-    agent_.pushRequest({7, 0x900000, 4, false});
+    agent_.pushRequest({7, 0x900000, 4, false}, 0);
     agent_.onCycle(0, 1);
     EXPECT_EQ(stats_.get("mlb_allocations"), 1u);
     LoadReturn r;
@@ -190,7 +193,7 @@ TEST_F(LoadAgentTest, ValuesAreCommittedView)
     log_.recordStore(55, 0x1000, 4);
     mem_.write<std::uint32_t>(0x1000, 2);
 
-    agent_.pushRequest({3, 0x1000, 4, false});
+    agent_.pushRequest({3, 0x1000, 4, false}, 0);
     agent_.onCycle(0, 1);
     LoadReturn r;
     ASSERT_TRUE(agent_.popReturn(r, 10));
@@ -199,7 +202,7 @@ TEST_F(LoadAgentTest, ValuesAreCommittedView)
 
 TEST_F(LoadAgentTest, PrefetchProducesNoReturn)
 {
-    agent_.pushRequest({9, 0x2000, 8, true});
+    agent_.pushRequest({9, 0x2000, 8, true}, 0);
     agent_.onCycle(0, 2);
     LoadReturn r;
     for (Cycle c = 0; c < 600; ++c)
@@ -211,7 +214,7 @@ TEST_F(LoadAgentTest, PrefetchProducesNoReturn)
 
 TEST_F(LoadAgentTest, NoFreeSlotsNoInjection)
 {
-    agent_.pushRequest({1, 0x1000, 4, false});
+    agent_.pushRequest({1, 0x1000, 4, false}, 0);
     agent_.onCycle(0, 0);
     LoadReturn r;
     EXPECT_FALSE(agent_.popReturn(r, 500));
@@ -300,7 +303,7 @@ TEST_F(RetireAgentTest, QueueFullStallsRetire)
     agent_.onRetire(dyn(1, 3), 12, dec, roi); // full -> stall
     EXPECT_FALSE(dec.allow);
     EXPECT_EQ(dec.retry_at, 13u);
-    EXPECT_EQ(stats_.get("obsq_r_full_stalls"), 1u);
+    EXPECT_EQ(stats_.get("port.obsq_r.full_stalls"), 1u);
 }
 
 TEST_F(RetireAgentTest, PortLs1NeedsIdleLsLane)
