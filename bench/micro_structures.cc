@@ -12,11 +12,15 @@
  * only has to be consistent between baseline and candidate, and ns/iter
  * (unlike the benchmark's accumulated wall time, which google-benchmark
  * holds constant by adapting the iteration count) actually moves when a
- * structure slows down.
+ * structure slows down. Each row also carries the same number as
+ * "ns_per_op" under its honest name. PFM_MICRO_REPS=N runs every
+ * benchmark N times and keeps the min — the stable statistic on a noisy
+ * host.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <string>
@@ -47,6 +51,100 @@ BM_TageSclPredictUpdate(benchmark::State& state)
     }
 }
 BENCHMARK(BM_TageSclPredictUpdate);
+
+void
+BM_TageBankProbe(benchmark::State& state)
+{
+    // Bank-probe path in isolation: a fresh PC every iteration defeats
+    // the (pc, generation) memo, so each predict() pays the full
+    // fold-hash + N-bank tag-compare walk the SoA arena optimizes. No
+    // update() — history stays fixed, keeping the fold state cold-path
+    // free so the probe cost dominates.
+    TagePredictor bp;
+    // Touch enough distinct PCs to sweep the 10-bit banks.
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        Addr pc = 0x1000 + (i % 4096) * 4;
+        bool pred = bp.predict(pc);
+        benchmark::DoNotOptimize(pred);
+        ++i;
+    }
+}
+BENCHMARK(BM_TageBankProbe);
+
+/**
+ * Standalone mirror of the core's two-plane instruction slab
+ * (core/core.h InstHot/InstCold): Core's planes are private, so the
+ * scheduler-scan benchmark reproduces the layout — a 48-byte hot record
+ * with everything the issue loop reads, and a fat cold record that the
+ * scan must never touch. Keep the shapes in sync with core.h when the
+ * planes change.
+ */
+struct BmInstHot {
+    enum : std::uint8_t { kFrontend, kWaiting, kIssued, kDone };
+    std::uint8_t state = kWaiting;
+    std::uint8_t cls = 0;
+    bool is_load = false;
+    bool is_store = false;
+    std::uint64_t src1 = ~0ull;
+    std::uint64_t src2 = ~0ull;
+    std::uint64_t complete_cycle = ~0ull;
+    std::uint64_t dispatch_ready = 0;
+    std::uint64_t mem_barrier = ~0ull;
+};
+
+struct BmInstCold {
+    std::uint64_t payload[22]; ///< DynInst + misc bookkeeping stand-in
+};
+
+void
+BM_InstRecScan(benchmark::State& state)
+{
+    // The issue-select inner loop over a full 96-entry IQ against a
+    // 256-slot ROB window: wakeup checks (producer complete?) plus the
+    // load/barrier test, all answerable from the hot plane alone.
+    constexpr std::uint64_t kSlab = 256;
+    std::vector<BmInstHot> hot(kSlab);
+    std::vector<BmInstCold> cold(kSlab); // present, deliberately untouched
+    std::vector<std::uint64_t> iq;
+    for (std::uint64_t s = 0; s < 96; ++s)
+        iq.push_back(s * 2 + 1);
+    for (std::uint64_t s = 0; s < kSlab; ++s) {
+        hot[s].src1 = (s >= 3) ? s - 3 : ~0ull;
+        hot[s].src2 = (s >= 7 && s % 5 == 0) ? s - 7 : ~0ull;
+        hot[s].is_load = (s % 4 == 0);
+        hot[s].mem_barrier = (s % 8 == 0 && s >= 16) ? s - 16 : ~0ull;
+        hot[s].complete_cycle = (s % 3 == 0) ? 100 + s : ~0ull;
+        hot[s].state = (s % 3 == 0) ? BmInstHot::kDone : BmInstHot::kWaiting;
+    }
+    benchmark::DoNotOptimize(cold.data());
+
+    std::uint64_t now = 500;
+    for (auto _ : state) {
+        unsigned ready = 0;
+        for (std::uint64_t seq : iq) {
+            const BmInstHot& e = hot[seq & (kSlab - 1)];
+            auto src_ready = [&](std::uint64_t p) {
+                if (p == ~0ull)
+                    return true;
+                const BmInstHot& h = hot[p & (kSlab - 1)];
+                return h.complete_cycle != ~0ull && h.complete_cycle <= now;
+            };
+            if (!src_ready(e.src1) || !src_ready(e.src2))
+                continue;
+            if (e.is_load && e.mem_barrier != ~0ull) {
+                const BmInstHot& s = hot[e.mem_barrier & (kSlab - 1)];
+                if (s.state != BmInstHot::kFrontend &&
+                    (s.complete_cycle == ~0ull || s.complete_cycle > now))
+                    continue;
+            }
+            ++ready;
+        }
+        benchmark::DoNotOptimize(ready);
+        ++now;
+    }
+}
+BENCHMARK(BM_InstRecScan);
 
 void
 BM_CacheProbe(benchmark::State& state)
@@ -131,6 +229,11 @@ class JsonCaptureReporter : public benchmark::ConsoleReporter
     ReportRuns(const std::vector<Run>& reports) override
     {
         for (const Run& r : reports) {
+            // With --benchmark_repetitions, mean/median/stddev aggregate
+            // rows follow the per-repetition rows; the JSON keeps only
+            // real measurements (repetitions fold to min in main()).
+            if (r.run_type == Run::RT_Aggregate)
+                continue;
             Row row;
             row.name = r.benchmark_name();
             row.ns_per_iter = r.GetAdjustedRealTime();
@@ -149,11 +252,36 @@ class JsonCaptureReporter : public benchmark::ConsoleReporter
 int
 main(int argc, char** argv)
 {
-    benchmark::Initialize(&argc, argv);
-    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    // PFM_MICRO_REPS=N repeats every benchmark N times; the JSON then
+    // carries the min across repetitions, which on a noisy host is the
+    // stable statistic (noise only ever adds time).
+    std::vector<char*> args(argv, argv + argc);
+    std::string reps_flag;
+    if (const char* reps = std::getenv("PFM_MICRO_REPS")) {
+        reps_flag = std::string("--benchmark_repetitions=") + reps;
+        args.push_back(reps_flag.data());
+    }
+    int args_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&args_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(args_argc, args.data()))
         return 1;
     pfm::JsonCaptureReporter reporter;
     benchmark::RunSpecifiedBenchmarks(&reporter);
+
+    // Fold repetitions: one row per benchmark, min ns/iter, summed wall.
+    std::vector<pfm::JsonCaptureReporter::Row> rows;
+    for (const auto& r : reporter.rows) {
+        pfm::JsonCaptureReporter::Row* found = nullptr;
+        for (auto& row : rows)
+            if (row.name == r.name)
+                found = &row;
+        if (!found) {
+            rows.push_back(r);
+        } else {
+            found->ns_per_iter = std::min(found->ns_per_iter, r.ns_per_iter);
+            found->wall_ms += r.wall_ms;
+        }
+    }
 
     const char* dir = std::getenv("PFM_BENCH_JSON_DIR");
     const std::string path =
@@ -162,17 +290,20 @@ main(int argc, char** argv)
     if (!os)
         return 1;
     double total_ms = 0;
-    for (const auto& r : reporter.rows)
+    for (const auto& r : rows)
         total_ms += r.wall_ms;
     os.setf(std::ios::fixed);
     os.precision(3);
     os << "{\n  \"bench\": \"micro_structures\",\n  \"jobs\": 1,\n"
        << "  \"total_wall_ms\": " << total_ms << ",\n  \"runs\": [\n";
-    for (std::size_t i = 0; i < reporter.rows.size(); ++i) {
-        const auto& r = reporter.rows[i];
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto& r = rows[i];
+        // "wall_ms" carries ns/iter (see the file comment); "ns_per_op"
+        // is the same number under its honest name for human readers and
+        // newer tooling. perf_diff ignores keys it does not know.
         os << "    {\"label\": \"" << r.name << "\", \"wall_ms\": "
-           << r.ns_per_iter << "}"
-           << (i + 1 < reporter.rows.size() ? "," : "") << "\n";
+           << r.ns_per_iter << ", \"ns_per_op\": " << r.ns_per_iter << "}"
+           << (i + 1 < rows.size() ? "," : "") << "\n";
     }
     os << "  ]\n}\n";
     benchmark::Shutdown();

@@ -5,17 +5,17 @@
 namespace pfm {
 
 LoopPredictor::LoopPredictor(unsigned log_entries)
-    : log_entries_(log_entries), table_(size_t{1} << log_entries)
+    : log_entries_(log_entries), table_(size_t{1} << log_entries, 0)
 {}
 
-LoopPredictor::Entry&
-LoopPredictor::entryFor(Addr pc)
+std::uint64_t&
+LoopPredictor::wordFor(Addr pc)
 {
     return table_[(pc >> 2) & ((size_t{1} << log_entries_) - 1)];
 }
 
 std::uint16_t
-LoopPredictor::tagOf(Addr pc)
+LoopPredictor::tagFor(Addr pc)
 {
     return static_cast<std::uint16_t>((pc >> 8) & 0x3FF);
 }
@@ -23,137 +23,112 @@ LoopPredictor::tagOf(Addr pc)
 void
 LoopPredictor::lookup(Addr pc, bool& valid, bool& dir)
 {
-    Entry& e = entryFor(pc);
+    const std::uint64_t e = wordFor(pc);
     valid = false;
     dir = false;
-    if (!e.valid || e.tag != tagOf(pc) || e.confidence < 3)
+    if (!validOf(e) || tagOf(e) != tagFor(pc) || confOf(e) < 3)
         return;
     valid = true;
     // Loop body branch: taken while iterating, not-taken at the trip count.
-    dir = (e.current_iter + 1 != e.past_trip);
+    dir = (iterOf(e) + 1 != tripOf(e));
 }
 
 void
-LoopPredictor::update(Addr pc, bool taken, bool tage_pred)
+LoopPredictor::train(std::uint64_t& e, std::uint16_t tag, bool taken,
+                     bool tage_pred)
 {
-    Entry& e = entryFor(pc);
-    if (!e.valid || e.tag != tagOf(pc)) {
+    if (!validOf(e) || tagOf(e) != tag) {
         // Allocate on a not-taken outcome (potential loop exit) when the
         // entry is old or invalid.
         if (!taken) {
-            if (e.valid && e.age > 0) {
-                --e.age;
+            if (validOf(e) && ageOf(e) > 0) {
+                e -= std::uint64_t{1} << kAgeShift; // --age
                 return;
             }
-            e = Entry{};
-            e.tag = tagOf(pc);
-            e.valid = true;
-            e.age = 3;
+            e = std::uint64_t{tag} | (std::uint64_t{3} << kAgeShift) |
+                (std::uint64_t{1} << kValidShift);
         }
         return;
     }
 
     if (taken) {
-        ++e.current_iter;
-        if (e.current_iter == 0) // overflow: trip too long to track
-            e.valid = false;
+        const std::uint16_t it =
+            static_cast<std::uint16_t>(iterOf(e) + 1);
+        e = (e & ~(kU16 << kIterShift)) |
+            (std::uint64_t{it} << kIterShift);
+        if (it == 0) // overflow: trip too long to track
+            e &= ~(std::uint64_t{1} << kValidShift);
         return;
     }
 
     // Loop exited: current_iter+1 is the observed trip count.
-    std::uint16_t trip = static_cast<std::uint16_t>(e.current_iter + 1);
-    if (trip == e.past_trip) {
-        if (e.confidence < 3)
-            ++e.confidence;
-        if (e.age < 3)
-            ++e.age;
+    const std::uint16_t trip = static_cast<std::uint16_t>(iterOf(e) + 1);
+    if (trip == tripOf(e)) {
+        const unsigned c = confOf(e);
+        const unsigned a = ageOf(e);
+        e = (e & ~((std::uint64_t{3} << kConfShift) |
+                   (std::uint64_t{3} << kAgeShift))) |
+            (std::uint64_t{c + (c < 3)} << kConfShift) |
+            (std::uint64_t{a + (a < 3)} << kAgeShift);
     } else {
-        if (e.confidence == 3 && tage_pred == taken) {
+        if (confOf(e) == 3 && tage_pred == taken) {
             // TAGE got it right and we were confidently wrong: retire entry.
-            e.valid = false;
+            e &= ~(std::uint64_t{1} << kValidShift);
             return;
         }
-        e.past_trip = trip;
-        e.confidence = 0;
+        e = (e & ~((kU16 << kTripShift) |
+                   (std::uint64_t{3} << kConfShift))) |
+            (std::uint64_t{trip} << kTripShift);
     }
-    e.current_iter = 0;
+    e &= ~(kU16 << kIterShift); // current_iter = 0
+}
+
+void
+LoopPredictor::update(Addr pc, bool taken, bool tage_pred)
+{
+    train(wordFor(pc), tagFor(pc), taken, tage_pred);
 }
 
 void
 LoopPredictor::lookupAndTrain(Addr pc, bool taken, bool tage_pred,
                               bool& valid, bool& dir)
 {
-    Entry& e = entryFor(pc);
-    const std::uint16_t tag = tagOf(pc);
+    std::uint64_t& e = wordFor(pc);
+    const std::uint16_t tag = tagFor(pc);
 
     // Query half (identical to lookup(), against the untrained entry).
     valid = false;
     dir = false;
-    if (e.valid && e.tag == tag && e.confidence >= 3) {
+    if (validOf(e) && tagOf(e) == tag && confOf(e) >= 3) {
         valid = true;
-        dir = (e.current_iter + 1 != e.past_trip);
+        dir = (iterOf(e) + 1 != tripOf(e));
     }
 
     // Training half (identical to update(), same walk).
-    if (!e.valid || e.tag != tag) {
-        if (!taken) {
-            if (e.valid && e.age > 0) {
-                --e.age;
-                return;
-            }
-            e = Entry{};
-            e.tag = tag;
-            e.valid = true;
-            e.age = 3;
-        }
-        return;
-    }
-
-    if (taken) {
-        ++e.current_iter;
-        if (e.current_iter == 0)
-            e.valid = false;
-        return;
-    }
-
-    std::uint16_t trip = static_cast<std::uint16_t>(e.current_iter + 1);
-    if (trip == e.past_trip) {
-        if (e.confidence < 3)
-            ++e.confidence;
-        if (e.age < 3)
-            ++e.age;
-    } else {
-        if (e.confidence == 3 && tage_pred == taken) {
-            e.valid = false;
-            return;
-        }
-        e.past_trip = trip;
-        e.confidence = 0;
-    }
-    e.current_iter = 0;
+    train(e, tag, taken, tage_pred);
 }
 
 void
 LoopPredictor::reset()
 {
     for (auto& e : table_)
-        e = Entry{};
+        e = 0;
 }
 
 
 void
 LoopPredictor::saveState(CkptWriter& w) const
 {
-    // Field-wise: Entry is 9 value bytes padded to 10; raw bytes would
-    // leak the indeterminate tail byte into the image.
+    // Byte-compatible with the historical field-wise struct layout (9
+    // value bytes per way); the packed word is unpacked on the way out.
     w.put<std::uint64_t>(table_.size());
-    for (const Entry& e : table_) {
-        w.put(e.tag);
-        w.put(e.past_trip);
-        w.put(e.current_iter);
-        w.put(e.confidence);
-        w.put(e.age);
-        w.put(e.valid);
+    for (const std::uint64_t e : table_) {
+        w.put(tagOf(e));
+        w.put(tripOf(e));
+        w.put(iterOf(e));
+        w.put(static_cast<std::uint8_t>(confOf(e)));
+        w.put(static_cast<std::uint8_t>(ageOf(e)));
+        w.put(validOf(e));
     }
 }
 
@@ -161,13 +136,18 @@ void
 LoopPredictor::loadState(CkptReader& r)
 {
     table_.resize(static_cast<size_t>(r.get<std::uint64_t>()));
-    for (Entry& e : table_) {
-        r.get(e.tag);
-        r.get(e.past_trip);
-        r.get(e.current_iter);
-        r.get(e.confidence);
-        r.get(e.age);
-        r.get(e.valid);
+    for (std::uint64_t& e : table_) {
+        const std::uint16_t tag = r.get<std::uint16_t>();
+        const std::uint16_t trip = r.get<std::uint16_t>();
+        const std::uint16_t iter = r.get<std::uint16_t>();
+        const std::uint8_t conf = r.get<std::uint8_t>();
+        const std::uint8_t age = r.get<std::uint8_t>();
+        const bool valid = r.get<bool>();
+        e = std::uint64_t{tag} | (std::uint64_t{trip} << kTripShift) |
+            (std::uint64_t{iter} << kIterShift) |
+            (static_cast<std::uint64_t>(conf & 3) << kConfShift) |
+            (static_cast<std::uint64_t>(age & 3) << kAgeShift) |
+            (std::uint64_t{valid} << kValidShift);
     }
 }
 

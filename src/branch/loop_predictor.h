@@ -2,6 +2,12 @@
  * @file
  * Loop predictor (the L of TAGE-SC-L): learns constant trip counts and,
  * once confident, predicts the loop-exit iteration exactly.
+ *
+ * Layout: each way packs into a single u64 word (tag | past_trip |
+ * current_iter | confidence | age | valid), so a lookup-and-train is one
+ * load, register-only field arithmetic, and one store — the historical
+ * 10-byte padded struct cost the same line but scattered field writes
+ * (see DESIGN.md "Hot structure layout").
  */
 
 #ifndef PFM_BRANCH_LOOP_PREDICTOR_H
@@ -45,20 +51,40 @@ class LoopPredictor
     void loadState(CkptReader& r);
 
   private:
-    struct Entry {
-        std::uint16_t tag = 0;
-        std::uint16_t past_trip = 0;   ///< learned trip count
-        std::uint16_t current_iter = 0;
-        std::uint8_t confidence = 0;   ///< saturates at 3
-        std::uint8_t age = 0;
-        bool valid = false;
-    };
+    // Packed way word: tag[15:0] | past_trip[31:16] | current_iter[47:32]
+    // | confidence[49:48] | age[51:50] | valid[52].
+    static constexpr unsigned kTripShift = 16;
+    static constexpr unsigned kIterShift = 32;
+    static constexpr unsigned kConfShift = 48;
+    static constexpr unsigned kAgeShift = 50;
+    static constexpr unsigned kValidShift = 52;
+    static constexpr std::uint64_t kU16 = 0xFFFFu;
 
-    Entry& entryFor(Addr pc);
-    static std::uint16_t tagOf(Addr pc);
+    static std::uint16_t tagOf(std::uint64_t e) { return e & kU16; }
+    static std::uint16_t tripOf(std::uint64_t e)
+    {
+        return (e >> kTripShift) & kU16;
+    }
+    static std::uint16_t iterOf(std::uint64_t e)
+    {
+        return (e >> kIterShift) & kU16;
+    }
+    static unsigned confOf(std::uint64_t e) { return (e >> kConfShift) & 3; }
+    static unsigned ageOf(std::uint64_t e) { return (e >> kAgeShift) & 3; }
+    static bool validOf(std::uint64_t e)
+    {
+        return (e >> kValidShift) & 1;
+    }
+
+    std::uint64_t& wordFor(Addr pc);
+    static std::uint16_t tagFor(Addr pc);
+
+    /** The shared training half of update()/lookupAndTrain(). */
+    void train(std::uint64_t& e, std::uint16_t tag, bool taken,
+               bool tage_pred);
 
     unsigned log_entries_;
-    std::vector<Entry> table_;
+    std::vector<std::uint64_t> table_;
 };
 
 } // namespace pfm

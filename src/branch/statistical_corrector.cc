@@ -1,7 +1,9 @@
 #include "branch/statistical_corrector.h"
 
+#include "common/log.h"
 #include "sim/checkpoint.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 namespace pfm {
@@ -9,7 +11,7 @@ namespace pfm {
 constexpr unsigned StatisticalCorrector::kHistBits[];
 
 StatisticalCorrector::StatisticalCorrector()
-    : tables_(kNumTables, std::vector<std::int8_t>(size_t{1} << kLogEntries, 0))
+    : plane_(size_t{kNumTables} << kLogEntries, 0)
 {}
 
 size_t
@@ -27,8 +29,10 @@ StatisticalCorrector::predict(Addr pc, bool tage_pred, bool tage_weak,
     last_tage_pred_ = tage_pred;
     int s = tage_pred ? 2 : -2; // TAGE's vote, lightly weighted
     for (unsigned t = 0; t < kNumTables; ++t) {
-        last_idx_[t] = index(pc, t, hashes[t]);
-        s += 2 * tables_[t][last_idx_[t]] + 1;
+        // Cache the flat plane offset (bank base folded in) so update()
+        // is a pure base+offset walk.
+        last_idx_[t] = (size_t{t} << kLogEntries) + index(pc, t, hashes[t]);
+        s += 2 * plane_[last_idx_[t]] + 1;
     }
     last_sum_ = s;
 
@@ -60,15 +64,16 @@ StatisticalCorrector::update(Addr pc, bool taken)
         }
     }
 
-    // Train counters when SC was wrong or weakly confident.
+    // Train counters when SC was wrong or weakly confident. The saturating
+    // step is branchless clamp arithmetic, bit-identical to the historical
+    // guarded increments.
     (void)pc; // indexes were cached by the paired predict()
     if (sc_pred != taken || std::abs(last_sum_) < threshold_ + 4) {
+        const int d = taken ? 1 : -1;
         for (unsigned t = 0; t < kNumTables; ++t) {
-            std::int8_t& c = tables_[t][last_idx_[t]];
-            if (taken && c < 31)
-                ++c;
-            else if (!taken && c > -32)
-                --c;
+            std::int8_t& c = plane_[last_idx_[t]];
+            c = static_cast<std::int8_t>(
+                std::clamp(static_cast<int>(c) + d, -32, 31));
         }
     }
 }
@@ -76,8 +81,7 @@ StatisticalCorrector::update(Addr pc, bool taken)
 void
 StatisticalCorrector::reset()
 {
-    for (auto& tbl : tables_)
-        std::fill(tbl.begin(), tbl.end(), 0);
+    std::fill(plane_.begin(), plane_.end(), 0);
     threshold_ = 6;
     tc_ = 0;
 }
@@ -86,29 +90,51 @@ StatisticalCorrector::reset()
 void
 StatisticalCorrector::saveState(CkptWriter& w) const
 {
-    for (const auto& tbl : tables_)
-        w.putVec(tbl);
+    // Byte-compatible with the historical per-table vectors: each bank is
+    // a u64 count + its slice of the flat plane, and the cached indices
+    // serialize bank-relative (the flat bank base is layout detail).
+    const std::size_t per_bank = std::size_t{1} << kLogEntries;
+    for (unsigned t = 0; t < kNumTables; ++t) {
+        w.put<std::uint64_t>(per_bank);
+        w.putBytes(plane_.data() + (std::size_t{t} << kLogEntries),
+                   per_bank);
+    }
     w.put(threshold_);
     w.put(tc_);
     w.put(last_tage_pred_);
     w.put(last_used_sc_);
     w.put(last_final_);
     w.put(last_sum_);
-    w.putBytes(last_idx_, sizeof last_idx_);
+    size_t rel[kNumTables];
+    for (unsigned t = 0; t < kNumTables; ++t)
+        rel[t] = last_idx_[t] & (per_bank - 1);
+    w.putBytes(rel, sizeof rel);
 }
 
 void
 StatisticalCorrector::loadState(CkptReader& r)
 {
-    for (auto& tbl : tables_)
-        r.getVec(tbl);
+    const std::size_t per_bank = std::size_t{1} << kLogEntries;
+    for (unsigned t = 0; t < kNumTables; ++t) {
+        std::uint64_t n = r.get<std::uint64_t>();
+        if (n != per_bank)
+            pfm_fatal("SC bank %u: checkpoint has %llu entries, "
+                      "configured geometry wants %llu",
+                      t, (unsigned long long)n,
+                      (unsigned long long)per_bank);
+        r.getBytes(plane_.data() + (std::size_t{t} << kLogEntries),
+                   per_bank);
+    }
     r.get(threshold_);
     r.get(tc_);
     r.get(last_tage_pred_);
     r.get(last_used_sc_);
     r.get(last_final_);
     r.get(last_sum_);
-    r.getBytes(last_idx_, sizeof last_idx_);
+    size_t rel[kNumTables];
+    r.getBytes(rel, sizeof rel);
+    for (unsigned t = 0; t < kNumTables; ++t)
+        last_idx_[t] = (size_t{t} << kLogEntries) + (rel[t] & (per_bank - 1));
 }
 
 } // namespace pfm

@@ -4,6 +4,11 @@
  * counters indexed by PC and global-history hashes of several lengths. The
  * summed vote can revert a low-confidence TAGE prediction when the
  * statistical bias disagrees.
+ *
+ * Layout: the per-length tables are banks of one flat counter plane
+ * (bank t at flat offset t << kLogEntries), so the vote loop walks a
+ * single allocation and the cached per-table indices are plain
+ * base+offset reads (see DESIGN.md "Hot structure layout").
  */
 
 #ifndef PFM_BRANCH_STATISTICAL_CORRECTOR_H
@@ -47,13 +52,14 @@ class StatisticalCorrector
     size_t index(Addr pc, unsigned t, std::uint64_t hash) const;
 
     static constexpr unsigned kLogEntries = 10;
-    std::vector<std::vector<std::int8_t>> tables_;
+    /** Flat GEHL counter plane; bank t spans [t << kLogEntries, ...). */
+    std::vector<std::int8_t> plane_;
     int threshold_ = 6;       ///< dynamic revert threshold
     int tc_ = 0;              ///< threshold training counter
 
-    // predict() metadata for update(). The per-table indices are cached
-    // so the paired update() reuses predict()'s hash work instead of
-    // recomputing all kNumTables index mixes.
+    // predict() metadata for update(). The per-table flat indices are
+    // cached so the paired update() reuses predict()'s hash work instead
+    // of recomputing all kNumTables index mixes.
     bool last_tage_pred_ = false;
     bool last_used_sc_ = false;
     bool last_final_ = false;

@@ -3,6 +3,12 @@
  * TAGE predictor (Seznec): a bimodal base plus N partially-tagged tables
  * indexed with geometrically increasing global-history lengths. This is the
  * T component of the paper's 64KB TAGE-SC-L baseline (Table 1).
+ *
+ * Hot-structure layout (see DESIGN.md "Hot structure layout"): the tagged
+ * banks live in one flat arena split into a u16 tag plane and an
+ * interleaved (ctr, u) meta plane, so a bank probe touches at most two
+ * cache lines (one per plane) and the provider scan is a branchless
+ * hit-bitmask reduction instead of a tag-compare if-chain.
  */
 
 #ifndef PFM_BRANCH_TAGE_H
@@ -85,9 +91,17 @@ class TagePredictor : public BranchPredictor
     /**
      * Also used by the SC component: the @p bits most recent global
      * history outcomes, newest in the most significant bit. O(1): served
-     * from an incrementally maintained packed word (bits <= 64).
+     * from an incrementally maintained packed word (bits <= 64); inline
+     * so the SC hash-memo rebuild is four constant shifts.
      */
-    std::uint64_t historyHash(unsigned bits) const;
+    std::uint64_t historyHash(unsigned bits) const
+    {
+        if (bits == 0)
+            return 0;
+        if (bits >= 64)
+            return packed_hist_;
+        return packed_hist_ >> (64 - bits);
+    }
 
     /**
      * Monotonic count of history updates; predictions taken at the same
@@ -97,30 +111,47 @@ class TagePredictor : public BranchPredictor
     std::uint64_t historyGen() const { return hist_gen_; }
 
   private:
-    struct TaggedEntry {
-        std::uint16_t tag = 0;
-        std::int8_t ctr = 0;    ///< signed: >=0 predicts taken
-        std::uint8_t u = 0;     ///< usefulness
-    };
+    // --- SoA bank planes -------------------------------------------------
+    // One flat arena: first the tag plane (u16 per entry, banks
+    // contiguous), then the meta plane (2 bytes per entry: signed ctr
+    // byte followed by the usefulness byte, so a provider read-modify-
+    // write touches a single cache line). Entry (t, i) lives at flat
+    // offset (t << log_tagged_entries) + i in both planes; the memoized
+    // per-prediction indices are stored pre-offset (flat), so the hot
+    // path is one base+offset per plane. Accessors recompute the plane
+    // base from the arena so reset()'s copy-assign cannot dangle.
+    std::uint16_t* tagPlane()
+    {
+        return reinterpret_cast<std::uint16_t*>(arena_.data());
+    }
+    const std::uint16_t* tagPlane() const
+    {
+        return reinterpret_cast<const std::uint16_t*>(arena_.data());
+    }
+    std::uint8_t* metaPlane() { return arena_.data() + meta_off_; }
+    const std::uint8_t* metaPlane() const
+    {
+        return arena_.data() + meta_off_;
+    }
+    std::int8_t ctrAt(std::size_t flat) const
+    {
+        return static_cast<std::int8_t>(metaPlane()[2 * flat]);
+    }
+    std::uint8_t uAt(std::size_t flat) const
+    {
+        return metaPlane()[2 * flat + 1];
+    }
 
-    /** Incremental folded history (Seznec's circular-shift trick). */
-    struct FoldedHistory {
-        std::uint32_t value = 0;
-        unsigned comp_length = 0;
-        unsigned orig_length = 0;
-        unsigned outpoint = 0;
-
-        void init(unsigned orig, unsigned comp);
-        void update(const std::vector<std::uint8_t>& ghist, unsigned ptr);
-    };
-
-    size_t taggedIndex(Addr pc, unsigned table) const;
+    std::size_t taggedIndex(Addr pc, unsigned table) const;
     std::uint16_t taggedTag(Addr pc, unsigned table) const;
+    void refreshMemo(Addr pc);
     void pushHistory(bool taken);
 
     TageParams params_;
     std::vector<unsigned> hist_lengths_;
-    std::vector<std::vector<TaggedEntry>> tables_;
+    std::vector<std::uint8_t> arena_;   ///< tag plane + meta plane
+    std::size_t meta_off_ = 0;          ///< byte offset of the meta plane
+    std::size_t entries_per_bank_ = 0;
     std::vector<std::uint8_t> base_;    ///< 2-bit counters
 
     // Global history ring buffer (most recent at ptr_).
@@ -132,9 +163,35 @@ class TagePredictor : public BranchPredictor
     std::uint64_t packed_hist_ = 0;
     std::uint64_t hist_gen_ = 0;
 
-    std::vector<FoldedHistory> idx_fold_;
-    std::vector<FoldedHistory> tag_fold_a_;
-    std::vector<FoldedHistory> tag_fold_b_;
+    // Folded histories (Seznec's incremental circular-shift trick) as
+    // per-kind SoA arrays: every table's index fold compresses to
+    // log_tagged_entries bits, every tag fold A to tag_bits, every tag
+    // fold B to tag_bits - 1 — uniform per kind, so the compressed length
+    // and mask live in registers across the history-push loop and only
+    // the per-table outpoint (orig % comp) is an array load. Two folds of
+    // one table with equal compressed lengths receive identical update
+    // streams forever (same original length, same initial value), so with
+    // the default geometry (log_tagged_entries == tag_bits - 1) the tag B
+    // array aliases the index array and a third of the per-branch fold
+    // work vanishes.
+    std::vector<std::uint32_t> idx_fold_;   ///< per table: index fold value
+    std::vector<std::uint32_t> taga_fold_;  ///< per table: tag fold A value
+    std::vector<std::uint32_t> tagb_fold_;  ///< empty when aliased to idx
+    std::vector<std::uint32_t> idx_outp_;   ///< per table: orig % comp
+    std::vector<std::uint32_t> taga_outp_;
+    std::vector<std::uint32_t> tagb_outp_;
+    // Per-table 1 << outpoint, so the vectorized history push selects the
+    // outgoing bit's XOR mask with an AND instead of a variable shift.
+    std::vector<std::uint32_t> idx_pow2_;
+    std::vector<std::uint32_t> taga_pow2_;
+    std::vector<std::uint32_t> tagb_pow2_;
+    std::vector<std::uint32_t> idx_shift_;  ///< per table: pc mix shift
+    bool tagb_is_idx_ = false;              ///< tag B aliases index folds
+
+    const std::uint32_t* tagbVals() const
+    {
+        return tagb_is_idx_ ? idx_fold_.data() : tagb_fold_.data();
+    }
 
     // use_alt_on_newly_allocated counter (4 bits signed semantics).
     int use_alt_on_na_ = 0;
@@ -143,10 +200,11 @@ class TagePredictor : public BranchPredictor
     std::uint32_t lfsr_ = 0xACE1u;  ///< deterministic allocation tie-break
 
     TagePredictionInfo info_;
-    // Cached index/tag per table for the in-flight prediction, memoized on
-    // (pc, history generation): a re-predict of the same branch before any
-    // history push reuses the folded-history hashes for all N tables.
-    std::vector<size_t> cached_idx_;
+    // Cached flat entry offset / tag per table for the in-flight
+    // prediction, memoized on (pc, history generation): a re-predict of
+    // the same branch before any history push reuses the folded-history
+    // hashes for all N tables.
+    std::vector<std::uint32_t> cached_idx_;
     std::vector<std::uint16_t> cached_tag_;
     Addr memo_pc_ = 0;
     std::uint64_t memo_gen_ = 0;

@@ -75,7 +75,8 @@ Core::Core(const CoreParams& params, FunctionalEngine& engine,
     while (cap < static_cast<SeqNum>(params_.rob_size) +
                      params_.frontend_buffer + 2)
         cap <<= 1;
-    slab_.resize(cap);
+    hot_slab_.resize(cap);
+    cold_slab_.resize(cap);
     slab_mask_ = cap - 1;
 
     switch (params_.bp_kind) {
@@ -103,20 +104,11 @@ Core::inWindow(SeqNum seq) const
     return seq >= head_seq_ && seq < dispatch_end_;
 }
 
-Core::InstRec&
-Core::rec(SeqNum seq)
+void
+Core::assertInWindow(SeqNum seq) const
 {
     pfm_assert(inWindow(seq), "seq %llu not in ROB window",
                (unsigned long long)seq);
-    return slot(seq);
-}
-
-const Core::InstRec&
-Core::rec(SeqNum seq) const
-{
-    pfm_assert(inWindow(seq), "seq %llu not in ROB window",
-               (unsigned long long)seq);
-    return slot(seq);
 }
 
 bool
@@ -126,7 +118,7 @@ Core::sourceReady(SeqNum producer, Cycle now) const
         return true; // architectural or already retired
     if (!inWindow(producer))
         return true; // producer squashed+retired concurrently (stale ref)
-    const InstRec& p = rec(producer);
+    const InstHot& p = hotAt(producer);
     return p.complete_cycle != kNoCycle && p.complete_cycle <= now;
 }
 
@@ -172,8 +164,8 @@ Core::fastForward() noexcept
     // only once any retire stall has elapsed. A non-Done head becomes Done
     // via completions_, which is considered below.
     if (head_seq_ != dispatch_end_) {
-        const InstRec& head = slot(head_seq_);
-        if (head.state == InstRec::kDone) {
+        const InstHot& head = hotAt(head_seq_);
+        if (head.state == InstHot::kDone) {
             if (now >= retire_stall_until_ && head.complete_cycle < now)
                 return 0; // would retire (or at least consult the hooks)
             consider(retire_stall_until_);
@@ -186,11 +178,11 @@ Core::fastForward() noexcept
     // the same stall counter accrues every skipped cycle), or dispatches.
     Counter* dispatch_stall = nullptr;
     if (dispatch_end_ != fetch_end_) {
-        const InstRec& f = slot(dispatch_end_);
+        const InstHot& f = hotAt(dispatch_end_);
         if (f.dispatch_ready > now) {
             consider(f.dispatch_ready);
         } else {
-            const OpTraits& t = f.d.inst->traits();
+            const OpTraits& t = coldAt(dispatch_end_).d.inst->traits();
             const bool needs_iq = t.cls != OpClass::kNop;
             if (robSize() >= params_.rob_size)
                 dispatch_stall = &ctr_dispatch_stall_rob_;
@@ -200,7 +192,7 @@ Core::fastForward() noexcept
                 dispatch_stall = &ctr_dispatch_stall_ldq_;
             else if (t.is_store && stq_.size() >= params_.stq_size)
                 dispatch_stall = &ctr_dispatch_stall_stq_;
-            else if (!rename_.canRename(*f.d.inst))
+            else if (!rename_.canRename(*coldAt(dispatch_end_).d.inst))
                 dispatch_stall = &ctr_dispatch_stall_prf_;
             else
                 return 0; // would dispatch this cycle
@@ -241,13 +233,13 @@ Core::fastForward() noexcept
     // completions_.
     std::uint64_t barrier_waits = 0;
     for (SeqNum seq : iq_) {
-        const InstRec& e = slot(seq);
+        const InstHot& e = hotAt(seq);
         if (!sourceReady(e.src1, now) || !sourceReady(e.src2, now))
             continue;
-        if (e.d.isLoad() && e.mem_barrier != kNoSeq &&
+        if (e.is_load && e.mem_barrier != kNoSeq &&
             inWindow(e.mem_barrier)) {
-            const InstRec& s = slot(e.mem_barrier);
-            if (s.state != InstRec::kFrontend &&
+            const InstHot& s = hotAt(e.mem_barrier);
+            if (s.state != InstHot::kFrontend &&
                 (s.complete_cycle == kNoCycle || s.complete_cycle > now)) {
                 ++barrier_waits;
                 continue;
@@ -288,14 +280,15 @@ Core::processCompletions(Cycle now)
         completions_.pop();
         if (!inWindow(seq))
             continue; // squashed
-        InstRec& e = rec(seq);
-        if (e.state != InstRec::kIssued || e.complete_cycle != c)
+        InstHot& h = hotAt(seq);
+        if (h.state != InstHot::kIssued || h.complete_cycle != c)
             continue; // stale event from before a squash/replay
-        e.state = InstRec::kDone;
+        h.state = InstHot::kDone;
+        InstCold& e = coldAt(seq);
         if (tracer_)
             tracer_->stage(e.d, TraceStage::kComplete, now);
 
-        if (e.d.isStore())
+        if (h.is_store)
             checkViolations(e, now);
 
         if (e.mispredicted && fetch_blocked_seq_ == seq)
@@ -304,7 +297,7 @@ Core::processCompletions(Cycle now)
 }
 
 void
-Core::resolveMispredict(InstRec& e, Cycle now)
+Core::resolveMispredict(InstCold& e, Cycle now)
 {
     fetch_blocked_seq_ = kNoSeq;
     fetch_resume_at_ =
@@ -345,15 +338,16 @@ Core::squashAfter(SeqNum last_kept, Cycle now, const char* reason)
     unsigned squashed_writers = 0;
     for (SeqNum s = dispatch_end_; s > first_squashed;) {
         --s;
-        InstRec& e = slot(s);
+        InstHot& h = hotAt(s);
+        InstCold& e = coldAt(s);
         const OpTraits& t = e.d.inst->traits();
         if (t.writes_rd && e.d.inst->rd != 0)
             ++squashed_writers;
         if (e.d.isStore())
             store_sets_.storeInactive(e.d.pc, e.d.seq);
         // Reset backend state for replay.
-        e.state = InstRec::kFrontend;
-        e.complete_cycle = kNoCycle;
+        h.state = InstHot::kFrontend;
+        h.complete_cycle = kNoCycle;
         e.forwarded = false;
         e.forwarded_from = kNoSeq;
         e.service_level = 0;
@@ -365,15 +359,16 @@ Core::squashAfter(SeqNum last_kept, Cycle now, const char* reason)
     // The frontend pipe and staging slot are strictly younger.
     for (SeqNum s = std::max(dispatch_end_, first_squashed); s < fetch_end_;
          ++s) {
-        InstRec& e = slot(s);
-        e.state = InstRec::kFrontend;
-        e.complete_cycle = kNoCycle;
+        InstHot& h = hotAt(s);
+        InstCold& e = coldAt(s);
+        h.state = InstHot::kFrontend;
+        h.complete_cycle = kNoCycle;
         e.replayed = true;
         if (tracer_)
             tracer_->stage(e.d, TraceStage::kSquash, now);
     }
     if (staged_valid_)
-        slot(fetch_end_).replayed = true;
+        coldAt(fetch_end_).replayed = true;
 
     stats_.counter("squashed_instrs") +=
         (fetch_end_ + (staged_valid_ ? 1 : 0)) - first_squashed;
@@ -385,7 +380,7 @@ Core::squashAfter(SeqNum last_kept, Cycle now, const char* reason)
     // Rebuild rename state from the surviving window.
     rename_.rebuildBegin(squashed_writers);
     for (SeqNum s = head_seq_; s < dispatch_end_; ++s)
-        rename_.rebuildAdd(*slot(s).d.inst, s);
+        rename_.rebuildAdd(*coldAt(s).d.inst, s);
 
     // Purge scheduling structures.
     auto purge = [last_kept](std::vector<SeqNum>& v) {
@@ -468,7 +463,11 @@ Core::saveState(CkptWriter& w) const
     w.put(fetch_end_);
     w.put(engine_next_);
     w.put(staged_valid_);
-    auto put_rec = [&w](const InstRec& e) {
+    // Field order is the historical single-struct record layout, so the
+    // two-plane split does not change checkpoint bytes; the denormalized
+    // hot flags (cls/is_load/is_store) are derived state and are not
+    // serialized.
+    auto put_rec = [&w](const InstHot& h, const InstCold& e) {
         w.put(e.d.seq);
         w.put(e.d.pc);
         w.put(e.d.next_pc);
@@ -477,23 +476,23 @@ Core::saveState(CkptWriter& w) const
         w.put(e.d.mem_size);
         w.put(e.d.result);
         w.put(e.d.store_val);
-        w.put(e.dispatch_ready);
+        w.put(h.dispatch_ready);
         w.put(e.pred_taken);
         w.put(e.used_custom);
         w.put(e.mispredicted);
         w.put(e.mispredict_counted);
         w.put(e.replayed);
-        w.put(e.state);
-        w.put(e.src1);
-        w.put(e.src2);
-        w.put(e.complete_cycle);
-        w.put(e.mem_barrier);
+        w.put(h.state);
+        w.put(h.src1);
+        w.put(h.src2);
+        w.put(h.complete_cycle);
+        w.put(h.mem_barrier);
         w.put(e.forwarded);
         w.put(e.forwarded_from);
         w.put(e.service_level);
     };
     for (SeqNum s = head_seq_; s != engine_next_; ++s)
-        put_rec(slot(s));
+        put_rec(hotAt(s), coldAt(s));
 
     w.putVec(iq_);
     w.putVec(ldq_);
@@ -562,7 +561,7 @@ Core::loadState(CkptReader& r)
     r.get(fetch_end_);
     r.get(engine_next_);
     r.get(staged_valid_);
-    auto get_rec = [this, &r](InstRec& e) {
+    auto get_rec = [this, &r](InstHot& h, InstCold& e) {
         r.get(e.d.seq);
         r.get(e.d.pc);
         r.get(e.d.next_pc);
@@ -572,23 +571,29 @@ Core::loadState(CkptReader& r)
         r.get(e.d.result);
         r.get(e.d.store_val);
         e.d.inst = &engine_.program().instAt(e.d.pc);
-        r.get(e.dispatch_ready);
+        // Rebuild the denormalized hot-plane decode fields from the
+        // re-resolved instruction (they are not part of the image).
+        const OpTraits& t = e.d.inst->traits();
+        h.cls = t.cls;
+        h.is_load = t.is_load;
+        h.is_store = t.is_store;
+        r.get(h.dispatch_ready);
         r.get(e.pred_taken);
         r.get(e.used_custom);
         r.get(e.mispredicted);
         r.get(e.mispredict_counted);
         r.get(e.replayed);
-        r.get(e.state);
-        r.get(e.src1);
-        r.get(e.src2);
-        r.get(e.complete_cycle);
-        r.get(e.mem_barrier);
+        r.get(h.state);
+        r.get(h.src1);
+        r.get(h.src2);
+        r.get(h.complete_cycle);
+        r.get(h.mem_barrier);
         r.get(e.forwarded);
         r.get(e.forwarded_from);
         r.get(e.service_level);
     };
     for (SeqNum s = head_seq_; s != engine_next_; ++s)
-        get_rec(slot(s));
+        get_rec(hotAt(s), coldAt(s));
 
     r.getVec(iq_);
     r.getVec(ldq_);

@@ -196,7 +196,7 @@ class Core
 
     /**
      * Checkpoint the full core state: predictor/BTB/RAS/store-sets/rename,
-     * the live InstRec slab window, scheduler queues, completion events,
+     * the live instruction slab window, scheduler queues, completion events,
      * write buffer, stall state, PC profiles, stats and their baselines.
      * DynInst::inst pointers are re-resolved from the program on load.
      */
@@ -204,10 +204,34 @@ class Core
     void loadState(CkptReader& r);
 
   private:
-    /** One in-flight instruction (replay, staging, frontend, or ROB). */
-    struct InstRec {
+    /**
+     * One in-flight instruction, split across two parallel slab planes
+     * (see DESIGN.md "Hot structure layout"). The hot plane holds exactly
+     * the fields the per-cycle scheduler scans read — issue wakeup
+     * (src1/src2), store-set barrier, retire / fast-forward eligibility
+     * (state, complete_cycle, dispatch_ready) — packed into 48 bytes so an
+     * IQ walk streams ~1.3 cache lines per entry instead of dragging the
+     * full DynInst payload through L1. The op class and load/store flags
+     * are denormalized from the decoded instruction at dispatch so the
+     * issue loop's lane/latency selection never leaves the hot plane.
+     */
+    struct InstHot {
+        // Backend state machine.
+        enum : std::uint8_t { kFrontend, kWaiting, kIssued, kDone };
+        std::uint8_t state = kFrontend;
+        OpClass cls = OpClass::kNop; ///< latched from traits() at dispatch
+        bool is_load = false;        ///< latched from traits() at dispatch
+        bool is_store = false;       ///< latched from traits() at dispatch
+        SeqNum src1 = kNoSeq;
+        SeqNum src2 = kNoSeq;
+        Cycle complete_cycle = kNoCycle;
+        Cycle dispatch_ready = 0;    ///< frontend pipe exit cycle
+        SeqNum mem_barrier = kNoSeq; ///< store-set barrier (dispatch-time)
+    };
+
+    /** Cold plane: per-stage bookkeeping, never touched by a scan loop. */
+    struct InstCold {
         DynInst d;
-        Cycle dispatch_ready = 0;   ///< frontend pipe exit cycle
 
         // Branch prediction bookkeeping.
         bool pred_taken = false;
@@ -216,15 +240,7 @@ class Core
         bool mispredict_counted = false;
         bool replayed = false;      ///< refetched after a squash
 
-        // Backend state machine.
-        enum : std::uint8_t { kFrontend, kWaiting, kIssued, kDone };
-        std::uint8_t state = kFrontend;
-        SeqNum src1 = kNoSeq;
-        SeqNum src2 = kNoSeq;
-        Cycle complete_cycle = kNoCycle;
-
-        // Memory bookkeeping.
-        SeqNum mem_barrier = kNoSeq; ///< store-set barrier (dispatch-time)
+        // Store-to-load forwarding / memory service bookkeeping.
         bool forwarded = false;
         SeqNum forwarded_from = kNoSeq;
         int service_level = 0;
@@ -245,15 +261,14 @@ class Core
 
     // --- helpers
     bool inWindow(SeqNum seq) const;
-    InstRec& rec(SeqNum seq);
-    const InstRec& rec(SeqNum seq) const;
+    void assertInWindow(SeqNum seq) const;
     bool sourceReady(SeqNum producer, Cycle now) const;
-    InstRec* peekNextFetch();
+    bool stageNextFetch();
     void consumeNextFetch();
-    Cycle issueLoad(InstRec& e, Cycle now);
-    void checkViolations(InstRec& store, Cycle now);
+    Cycle issueLoad(InstCold& e, Cycle now);
+    void checkViolations(const InstCold& store, Cycle now);
     void squashAfter(SeqNum last_kept, Cycle now, const char* reason);
-    void resolveMispredict(InstRec& e, Cycle now);
+    void resolveMispredict(InstCold& e, Cycle now);
 
     CoreParams params_;
     FunctionalEngine& engine_;
@@ -270,10 +285,11 @@ class Core
     std::uint64_t retired_ = 0;
     bool halt_retired_ = false;
 
-    // In-flight instruction slab: a power-of-two ring of stable InstRec
-    // slots indexed by sequence number (slot(seq) = slab_[seq & mask]).
-    // Sequence numbers are contiguous, so the live window is described by
-    // four monotone pointers instead of four containers:
+    // In-flight instruction slab: a power-of-two ring of stable slots
+    // indexed by sequence number (hotAt(seq) = hot_slab_[seq & mask]),
+    // stored as two parallel planes so scheduler scans stream only the
+    // hot one. Sequence numbers are contiguous, so the live window is
+    // described by four monotone pointers instead of four containers:
     //
     //   [head_seq_, dispatch_end_)  ROB (dispatched, not retired)
     //   [dispatch_end_, fetch_end_) frontend (fetched, not dispatched)
@@ -285,7 +301,8 @@ class Core
     // retire/dispatch/fetch advance recycles slots by bumping a pointer.
     // staged_valid_ marks slot(fetch_end_) as materialized (peeked but not
     // yet consumed by fetch).
-    std::vector<InstRec> slab_;
+    std::vector<InstHot> hot_slab_;
+    std::vector<InstCold> cold_slab_;
     SeqNum slab_mask_ = 0;
     SeqNum head_seq_ = 0;
     SeqNum dispatch_end_ = 0;
@@ -293,8 +310,16 @@ class Core
     SeqNum engine_next_ = 0;
     bool staged_valid_ = false;
 
-    InstRec& slot(SeqNum seq) { return slab_[seq & slab_mask_]; }
-    const InstRec& slot(SeqNum seq) const { return slab_[seq & slab_mask_]; }
+    InstHot& hotAt(SeqNum seq) { return hot_slab_[seq & slab_mask_]; }
+    const InstHot& hotAt(SeqNum seq) const
+    {
+        return hot_slab_[seq & slab_mask_];
+    }
+    InstCold& coldAt(SeqNum seq) { return cold_slab_[seq & slab_mask_]; }
+    const InstCold& coldAt(SeqNum seq) const
+    {
+        return cold_slab_[seq & slab_mask_];
+    }
     SeqNum robSize() const { return dispatch_end_ - head_seq_; }
     SeqNum frontendSize() const { return fetch_end_ - dispatch_end_; }
 

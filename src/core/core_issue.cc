@@ -44,8 +44,8 @@ Core::issue(Cycle now)
     size_t i = 0;
     for (; i < iq_.size() && budget > 0; ++i) {
         SeqNum seq = iq_[i];
-        InstRec& e = rec(seq);
-        const OpTraits& t = e.d.inst->traits();
+        assertInWindow(seq);
+        InstHot& e = hotAt(seq);
 
         if (!sourceReady(e.src1, now) || !sourceReady(e.src2, now)) {
             iq_[kept++] = seq;
@@ -55,10 +55,10 @@ Core::issue(Cycle now)
         // Memory dependence prediction: a load whose store set has an
         // unexecuted in-flight store waits for it (store-set barrier,
         // snapshotted at dispatch).
-        if (t.is_load && e.mem_barrier != kNoSeq &&
+        if (e.is_load && e.mem_barrier != kNoSeq &&
             inWindow(e.mem_barrier)) {
-            const InstRec& s = rec(e.mem_barrier);
-            if (s.state != InstRec::kFrontend &&
+            const InstHot& s = hotAt(e.mem_barrier);
+            if (s.state != InstHot::kFrontend &&
                 (s.complete_cycle == kNoCycle || s.complete_cycle > now)) {
                 ++ctr_load_waits_storeset_;
                 iq_[kept++] = seq;
@@ -66,7 +66,7 @@ Core::issue(Cycle now)
             }
         }
 
-        LaneGroup lane = laneOf(t.cls);
+        LaneGroup lane = laneOf(e.cls);
         bool lane_free =
             (lane == kLaneAlu && used_alu < params_.alu_lanes) ||
             (lane == kLaneLs && used_ls < params_.ls_lanes) ||
@@ -77,7 +77,7 @@ Core::issue(Cycle now)
         }
 
         Cycle complete;
-        switch (t.cls) {
+        switch (e.cls) {
           case OpClass::kIntAlu:
           case OpClass::kBranch:
           case OpClass::kJump:
@@ -99,7 +99,7 @@ Core::issue(Cycle now)
             complete = now + params_.lat_fp_div;
             break;
           case OpClass::kLoad:
-            complete = issueLoad(e, now);
+            complete = issueLoad(coldAt(seq), now);
             break;
           case OpClass::kStore:
             // Issues once address and data are both ready; agen completes
@@ -111,12 +111,12 @@ Core::issue(Cycle now)
             break;
         }
 
-        e.state = InstRec::kIssued;
+        e.state = InstHot::kIssued;
         e.complete_cycle = complete;
         completions_.emplace(complete, seq);
         ++ctr_issued_;
         if (tracer_)
-            tracer_->stage(e.d, TraceStage::kIssue, now);
+            tracer_->stage(coldAt(seq).d, TraceStage::kIssue, now);
 
         switch (lane) {
           case kLaneAlu: ++used_alu; break;
@@ -138,7 +138,7 @@ Core::issue(Cycle now)
 }
 
 Cycle
-Core::issueLoad(InstRec& e, Cycle now)
+Core::issueLoad(InstCold& e, Cycle now)
 {
     Cycle agen = now + params_.lat_agen;
     Addr lo = e.d.mem_addr;
@@ -148,10 +148,12 @@ Core::issueLoad(InstRec& e, Cycle now)
     for (auto it = stq_.rbegin(); it != stq_.rend(); ++it) {
         if (*it > e.d.seq)
             continue;
-        const InstRec& s = rec(*it);
+        assertInWindow(*it);
         // Only stores that have executed (address known) participate.
-        if (s.complete_cycle == kNoCycle || s.complete_cycle > agen)
+        const Cycle store_done = hotAt(*it).complete_cycle;
+        if (store_done == kNoCycle || store_done > agen)
             continue;
+        const InstCold& s = coldAt(*it);
         Addr slo = s.d.mem_addr;
         Addr shi = slo + s.d.mem_size;
         if (hi <= slo || shi <= lo)
@@ -189,7 +191,7 @@ Core::issueLoad(InstRec& e, Cycle now)
 }
 
 void
-Core::checkViolations(InstRec& store, Cycle now)
+Core::checkViolations(const InstCold& store, Cycle now)
 {
     Addr slo = store.d.mem_addr;
     Addr shi = slo + store.d.mem_size;
@@ -198,9 +200,11 @@ Core::checkViolations(InstRec& store, Cycle now)
     for (SeqNum lseq : ldq_) {
         if (lseq <= store.d.seq)
             continue;
-        InstRec& l = rec(lseq);
-        if (l.state != InstRec::kIssued && l.state != InstRec::kDone)
+        assertInWindow(lseq);
+        const std::uint8_t lstate = hotAt(lseq).state;
+        if (lstate != InstHot::kIssued && lstate != InstHot::kDone)
             continue; // not yet issued: no speculation happened
+        const InstCold& l = coldAt(lseq);
         Addr llo = l.d.mem_addr;
         Addr lhi = llo + l.d.mem_size;
         if (lhi <= slo || shi <= llo)

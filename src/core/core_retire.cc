@@ -15,11 +15,12 @@ Core::retire(Cycle now)
     for (unsigned i = 0; i < params_.retire_width; ++i) {
         if (head_seq_ == dispatch_end_)
             return;
-        InstRec& head = slot(head_seq_);
+        const InstHot& hot = hotAt(head_seq_);
         // Writeback-to-retire takes one stage: an instruction completing
         // in cycle X is eligible to retire from X+1.
-        if (head.state != InstRec::kDone || head.complete_cycle >= now)
+        if (hot.state != InstHot::kDone || hot.complete_cycle >= now)
             return;
+        InstCold& head = coldAt(head_seq_);
 
         if (head.d.isStore() &&
             write_buffer_.size() >= params_.write_buffer_size) {

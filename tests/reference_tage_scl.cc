@@ -1,0 +1,671 @@
+/**
+ * @file
+ * Implementation of the reference (array-of-structs) TAGE-SC-L — see
+ * reference_tage_scl.h. The bodies are the pre-SoA production sources,
+ * unchanged except for the namespace.
+ */
+
+#include "reference_tage_scl.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/bitutils.h"
+#include "sim/checkpoint.h"
+
+namespace pfm {
+namespace refmodel {
+
+namespace {
+constexpr unsigned kGhistSize = 4096;
+} // namespace
+
+// ------------------------------------------------------------------- loop
+
+LoopPredictor::LoopPredictor(unsigned log_entries)
+    : log_entries_(log_entries), table_(size_t{1} << log_entries)
+{}
+
+LoopPredictor::Entry&
+LoopPredictor::entryFor(Addr pc)
+{
+    return table_[(pc >> 2) & ((size_t{1} << log_entries_) - 1)];
+}
+
+std::uint16_t
+LoopPredictor::tagOf(Addr pc)
+{
+    return static_cast<std::uint16_t>((pc >> 8) & 0x3FF);
+}
+
+void
+LoopPredictor::lookup(Addr pc, bool& valid, bool& dir)
+{
+    Entry& e = entryFor(pc);
+    valid = false;
+    dir = false;
+    if (!e.valid || e.tag != tagOf(pc) || e.confidence < 3)
+        return;
+    valid = true;
+    dir = (e.current_iter + 1 != e.past_trip);
+}
+
+void
+LoopPredictor::update(Addr pc, bool taken, bool tage_pred)
+{
+    Entry& e = entryFor(pc);
+    if (!e.valid || e.tag != tagOf(pc)) {
+        if (!taken) {
+            if (e.valid && e.age > 0) {
+                --e.age;
+                return;
+            }
+            e = Entry{};
+            e.tag = tagOf(pc);
+            e.valid = true;
+            e.age = 3;
+        }
+        return;
+    }
+
+    if (taken) {
+        ++e.current_iter;
+        if (e.current_iter == 0) // overflow: trip too long to track
+            e.valid = false;
+        return;
+    }
+
+    std::uint16_t trip = static_cast<std::uint16_t>(e.current_iter + 1);
+    if (trip == e.past_trip) {
+        if (e.confidence < 3)
+            ++e.confidence;
+        if (e.age < 3)
+            ++e.age;
+    } else {
+        if (e.confidence == 3 && tage_pred == taken) {
+            e.valid = false;
+            return;
+        }
+        e.past_trip = trip;
+        e.confidence = 0;
+    }
+    e.current_iter = 0;
+}
+
+void
+LoopPredictor::lookupAndTrain(Addr pc, bool taken, bool tage_pred,
+                              bool& valid, bool& dir)
+{
+    Entry& e = entryFor(pc);
+    const std::uint16_t tag = tagOf(pc);
+
+    valid = false;
+    dir = false;
+    if (e.valid && e.tag == tag && e.confidence >= 3) {
+        valid = true;
+        dir = (e.current_iter + 1 != e.past_trip);
+    }
+
+    if (!e.valid || e.tag != tag) {
+        if (!taken) {
+            if (e.valid && e.age > 0) {
+                --e.age;
+                return;
+            }
+            e = Entry{};
+            e.tag = tag;
+            e.valid = true;
+            e.age = 3;
+        }
+        return;
+    }
+
+    if (taken) {
+        ++e.current_iter;
+        if (e.current_iter == 0)
+            e.valid = false;
+        return;
+    }
+
+    std::uint16_t trip = static_cast<std::uint16_t>(e.current_iter + 1);
+    if (trip == e.past_trip) {
+        if (e.confidence < 3)
+            ++e.confidence;
+        if (e.age < 3)
+            ++e.age;
+    } else {
+        if (e.confidence == 3 && tage_pred == taken) {
+            e.valid = false;
+            return;
+        }
+        e.past_trip = trip;
+        e.confidence = 0;
+    }
+    e.current_iter = 0;
+}
+
+void
+LoopPredictor::reset()
+{
+    for (auto& e : table_)
+        e = Entry{};
+}
+
+void
+LoopPredictor::saveState(CkptWriter& w) const
+{
+    // Field-wise: Entry is 9 value bytes padded to 10; raw bytes would
+    // leak the indeterminate tail byte into the image.
+    w.put<std::uint64_t>(table_.size());
+    for (const Entry& e : table_) {
+        w.put(e.tag);
+        w.put(e.past_trip);
+        w.put(e.current_iter);
+        w.put(e.confidence);
+        w.put(e.age);
+        w.put(e.valid);
+    }
+}
+
+void
+LoopPredictor::loadState(CkptReader& r)
+{
+    table_.resize(static_cast<size_t>(r.get<std::uint64_t>()));
+    for (Entry& e : table_) {
+        r.get(e.tag);
+        r.get(e.past_trip);
+        r.get(e.current_iter);
+        r.get(e.confidence);
+        r.get(e.age);
+        r.get(e.valid);
+    }
+}
+
+// --------------------------------------------------------------------- sc
+
+StatisticalCorrector::StatisticalCorrector()
+    : tables_(kNumTables, std::vector<std::int8_t>(size_t{1} << kLogEntries, 0))
+{}
+
+size_t
+StatisticalCorrector::index(Addr pc, unsigned t, std::uint64_t hash) const
+{
+    std::uint64_t x = (pc >> 2) * 0x9E3779B1u;
+    x ^= hash * (2 * t + 1);
+    return x & ((size_t{1} << kLogEntries) - 1);
+}
+
+bool
+StatisticalCorrector::predict(Addr pc, bool tage_pred, bool tage_weak,
+                              const std::uint64_t* hashes)
+{
+    last_tage_pred_ = tage_pred;
+    int s = tage_pred ? 2 : -2; // TAGE's vote, lightly weighted
+    for (unsigned t = 0; t < kNumTables; ++t) {
+        last_idx_[t] = index(pc, t, hashes[t]);
+        s += 2 * tables_[t][last_idx_[t]] + 1;
+    }
+    last_sum_ = s;
+
+    bool sc_pred = last_sum_ >= 0;
+    bool use_sc = tage_weak && std::abs(last_sum_) >= threshold_;
+    last_used_sc_ = use_sc;
+    last_final_ = use_sc ? sc_pred : tage_pred;
+    return last_final_;
+}
+
+void
+StatisticalCorrector::update(Addr pc, bool taken)
+{
+    bool sc_pred = last_sum_ >= 0;
+
+    if (sc_pred != last_tage_pred_) {
+        if (last_final_ == taken && last_used_sc_) {
+            if (tc_ < 63) ++tc_;
+        } else if (last_final_ != taken) {
+            if (tc_ > -64) --tc_;
+        }
+        if (tc_ == 63 && threshold_ > 4) {
+            --threshold_;
+            tc_ = 0;
+        } else if (tc_ == -64 && threshold_ < 31) {
+            ++threshold_;
+            tc_ = 0;
+        }
+    }
+
+    (void)pc; // indexes were cached by the paired predict()
+    if (sc_pred != taken || std::abs(last_sum_) < threshold_ + 4) {
+        for (unsigned t = 0; t < kNumTables; ++t) {
+            std::int8_t& c = tables_[t][last_idx_[t]];
+            if (taken && c < 31)
+                ++c;
+            else if (!taken && c > -32)
+                --c;
+        }
+    }
+}
+
+void
+StatisticalCorrector::reset()
+{
+    for (auto& tbl : tables_)
+        std::fill(tbl.begin(), tbl.end(), 0);
+    threshold_ = 6;
+    tc_ = 0;
+}
+
+void
+StatisticalCorrector::saveState(CkptWriter& w) const
+{
+    for (const auto& tbl : tables_)
+        w.putVec(tbl);
+    w.put(threshold_);
+    w.put(tc_);
+    w.put(last_tage_pred_);
+    w.put(last_used_sc_);
+    w.put(last_final_);
+    w.put(last_sum_);
+    w.putBytes(last_idx_, sizeof last_idx_);
+}
+
+void
+StatisticalCorrector::loadState(CkptReader& r)
+{
+    for (auto& tbl : tables_)
+        r.getVec(tbl);
+    r.get(threshold_);
+    r.get(tc_);
+    r.get(last_tage_pred_);
+    r.get(last_used_sc_);
+    r.get(last_final_);
+    r.get(last_sum_);
+    r.getBytes(last_idx_, sizeof last_idx_);
+}
+
+// ------------------------------------------------------------------- tage
+
+void
+TagePredictor::FoldedHistory::init(unsigned orig, unsigned comp)
+{
+    value = 0;
+    orig_length = orig;
+    comp_length = comp;
+    outpoint = orig % comp;
+}
+
+void
+TagePredictor::FoldedHistory::update(const std::vector<std::uint8_t>& ghist,
+                                     unsigned ptr)
+{
+    // Insert newest bit (at ptr), remove the bit falling out of range.
+    value = (value << 1) | ghist[ptr & (kGhistSize - 1)];
+    value ^= ghist[(ptr + orig_length) & (kGhistSize - 1)] << outpoint;
+    value ^= value >> comp_length;
+    value &= (1u << comp_length) - 1;
+}
+
+TagePredictor::TagePredictor(const TageParams& params) : params_(params)
+{
+    hist_lengths_.resize(params_.num_tables);
+    double ratio =
+        std::pow(static_cast<double>(params_.max_history) / params_.min_history,
+                 1.0 / (params_.num_tables - 1));
+    double len = params_.min_history;
+    for (unsigned i = 0; i < params_.num_tables; ++i) {
+        hist_lengths_[i] = static_cast<unsigned>(len + 0.5);
+        if (i > 0 && hist_lengths_[i] <= hist_lengths_[i - 1])
+            hist_lengths_[i] = hist_lengths_[i - 1] + 1;
+        len *= ratio;
+    }
+
+    tables_.assign(params_.num_tables,
+                   std::vector<TaggedEntry>(size_t{1}
+                                            << params_.log_tagged_entries));
+    base_.assign(size_t{1} << params_.log_base_entries, 2);
+    ghist_.assign(kGhistSize, 0);
+
+    idx_fold_.resize(params_.num_tables);
+    tag_fold_a_.resize(params_.num_tables);
+    tag_fold_b_.resize(params_.num_tables);
+    for (unsigned i = 0; i < params_.num_tables; ++i) {
+        idx_fold_[i].init(hist_lengths_[i], params_.log_tagged_entries);
+        tag_fold_a_[i].init(hist_lengths_[i], params_.tag_bits);
+        tag_fold_b_[i].init(hist_lengths_[i], params_.tag_bits - 1);
+    }
+    cached_idx_.resize(params_.num_tables);
+    cached_tag_.resize(params_.num_tables);
+}
+
+void
+TagePredictor::reset()
+{
+    *this = TagePredictor(params_);
+}
+
+size_t
+TagePredictor::taggedIndex(Addr pc, unsigned t) const
+{
+    std::uint64_t x = (pc >> 2) ^ ((pc >> 2) >> (params_.log_tagged_entries -
+                                                 (t % 4))) ^
+                      idx_fold_[t].value;
+    return x & ((size_t{1} << params_.log_tagged_entries) - 1);
+}
+
+std::uint16_t
+TagePredictor::taggedTag(Addr pc, unsigned t) const
+{
+    std::uint64_t x =
+        (pc >> 2) ^ tag_fold_a_[t].value ^ (tag_fold_b_[t].value << 1);
+    return static_cast<std::uint16_t>(x & mask(params_.tag_bits));
+}
+
+bool
+TagePredictor::predict(Addr pc)
+{
+    info_ = TagePredictionInfo{};
+
+    size_t base_idx = (pc >> 2) & ((size_t{1} << params_.log_base_entries) - 1);
+    bool base_pred = base_.at(base_idx) >= 2;
+
+    info_.pred = base_pred;
+    info_.alt_pred = base_pred;
+
+    if (!memo_valid_ || memo_pc_ != pc || memo_gen_ != hist_gen_) {
+        for (unsigned t = 0; t < params_.num_tables; ++t) {
+            cached_idx_[t] = taggedIndex(pc, t);
+            cached_tag_[t] = taggedTag(pc, t);
+        }
+        memo_pc_ = pc;
+        memo_gen_ = hist_gen_;
+        memo_valid_ = true;
+    }
+
+    for (int t = static_cast<int>(params_.num_tables) - 1; t >= 0; --t) {
+        const TaggedEntry& e = tables_[t][cached_idx_[t]];
+        if (e.tag == cached_tag_[t]) {
+            if (info_.provider < 0) {
+                info_.provider = t;
+            } else if (info_.alt_provider < 0) {
+                info_.alt_provider = t;
+                break;
+            }
+        }
+    }
+
+    if (info_.provider >= 0) {
+        const TaggedEntry& p = tables_[info_.provider]
+                                      [cached_idx_[info_.provider]];
+        bool prov_pred = p.ctr >= 0;
+        info_.provider_ctr = p.ctr;
+        info_.provider_weak = (p.ctr == 0 || p.ctr == -1);
+
+        if (info_.alt_provider >= 0) {
+            const TaggedEntry& a = tables_[info_.alt_provider]
+                                          [cached_idx_[info_.alt_provider]];
+            info_.alt_pred = a.ctr >= 0;
+        } else {
+            info_.alt_pred = base_pred;
+        }
+
+        info_.pseudo_new_alloc = info_.provider_weak && p.u == 0;
+        if (info_.pseudo_new_alloc && use_alt_on_na_ >= 0) {
+            info_.pred = info_.alt_pred;
+        } else {
+            info_.pred = prov_pred;
+        }
+    }
+    return info_.pred;
+}
+
+void
+TagePredictor::update(Addr pc, bool taken)
+{
+    ++branch_count_;
+    lfsr_ = (lfsr_ >> 1) ^ (-(lfsr_ & 1u) & 0xB400u);
+
+    size_t base_idx = (pc >> 2) & ((size_t{1} << params_.log_base_entries) - 1);
+
+    bool mispred = (info_.pred != taken);
+
+    if (info_.provider >= 0 && info_.pseudo_new_alloc) {
+        TaggedEntry& p = tables_[info_.provider][cached_idx_[info_.provider]];
+        bool prov_pred = p.ctr >= 0;
+        if (prov_pred != info_.alt_pred) {
+            bool alt_correct = (info_.alt_pred == taken);
+            if (alt_correct && use_alt_on_na_ < 7)
+                ++use_alt_on_na_;
+            else if (!alt_correct && use_alt_on_na_ > -8)
+                --use_alt_on_na_;
+        }
+    }
+
+    if (mispred && info_.provider < static_cast<int>(params_.num_tables) - 1) {
+        unsigned start = static_cast<unsigned>(info_.provider + 1);
+        if ((lfsr_ & 1) && start + 1 < params_.num_tables)
+            ++start;
+        bool allocated = false;
+        for (unsigned t = start; t < params_.num_tables; ++t) {
+            TaggedEntry& e = tables_[t][cached_idx_[t]];
+            if (e.u == 0) {
+                e.tag = cached_tag_[t];
+                e.ctr = taken ? 0 : -1;
+                allocated = true;
+                break;
+            }
+        }
+        if (!allocated) {
+            for (unsigned t = start; t < params_.num_tables; ++t) {
+                TaggedEntry& e = tables_[t][cached_idx_[t]];
+                if (e.u > 0)
+                    --e.u;
+            }
+        }
+    }
+
+    int max_ctr = (1 << (params_.ctr_bits - 1)) - 1;
+    int min_ctr = -(1 << (params_.ctr_bits - 1));
+    if (info_.provider >= 0) {
+        TaggedEntry& p = tables_[info_.provider][cached_idx_[info_.provider]];
+        if (taken && p.ctr < max_ctr)
+            ++p.ctr;
+        else if (!taken && p.ctr > min_ctr)
+            --p.ctr;
+        bool prov_pred_correct = ((p.ctr >= 0) == taken);
+        if (info_.alt_pred != taken && prov_pred_correct && p.u < 3)
+            ++p.u;
+        else if (info_.alt_pred == taken && !prov_pred_correct && p.u > 0)
+            --p.u;
+        if (info_.pseudo_new_alloc) {
+            std::uint8_t& b = base_[base_idx];
+            if (taken && b < 3)
+                ++b;
+            else if (!taken && b > 0)
+                --b;
+        }
+    } else {
+        std::uint8_t& b = base_[base_idx];
+        if (taken && b < 3)
+            ++b;
+        else if (!taken && b > 0)
+            --b;
+    }
+
+    if ((branch_count_ & ((std::uint64_t{1} << params_.useful_reset_period) -
+                          1)) == 0) {
+        for (auto& table : tables_)
+            for (auto& e : table)
+                e.u >>= 1;
+    }
+
+    pushHistory(taken);
+}
+
+void
+TagePredictor::pushHistory(bool taken)
+{
+    ghist_ptr_ = (ghist_ptr_ - 1) & (kGhistSize - 1);
+    ghist_[ghist_ptr_] = taken ? 1 : 0;
+    packed_hist_ = (packed_hist_ >> 1) |
+                   (taken ? (std::uint64_t{1} << 63) : 0);
+    ++hist_gen_;
+    for (unsigned t = 0; t < params_.num_tables; ++t) {
+        idx_fold_[t].update(ghist_, ghist_ptr_);
+        tag_fold_a_[t].update(ghist_, ghist_ptr_);
+        tag_fold_b_[t].update(ghist_, ghist_ptr_);
+    }
+}
+
+void
+TagePredictor::saveState(CkptWriter& w) const
+{
+    for (const auto& table : tables_)
+        w.putVec(table);
+    w.putVec(base_);
+    w.putVec(ghist_);
+    w.put(ghist_ptr_);
+    w.put(packed_hist_);
+    w.put(hist_gen_);
+    w.putVec(idx_fold_);
+    w.putVec(tag_fold_a_);
+    w.putVec(tag_fold_b_);
+    w.put(use_alt_on_na_);
+    w.put(branch_count_);
+    w.put(lfsr_);
+    w.put(info_);
+}
+
+void
+TagePredictor::loadState(CkptReader& r)
+{
+    for (auto& table : tables_)
+        r.getVec(table);
+    r.getVec(base_);
+    r.getVec(ghist_);
+    r.get(ghist_ptr_);
+    r.get(packed_hist_);
+    r.get(hist_gen_);
+    r.getVec(idx_fold_);
+    r.getVec(tag_fold_a_);
+    r.getVec(tag_fold_b_);
+    r.get(use_alt_on_na_);
+    r.get(branch_count_);
+    r.get(lfsr_);
+    r.get(info_);
+    memo_valid_ = false;
+}
+
+std::uint64_t
+TagePredictor::historyHash(unsigned bits) const
+{
+    if (bits == 0)
+        return 0;
+    if (bits >= 64)
+        return packed_hist_;
+    return packed_hist_ >> (64 - bits);
+}
+
+// --------------------------------------------------------------- tage-scl
+
+TageSclPredictor::TageSclPredictor(const TageParams& tage_params)
+    : tage_(tage_params)
+{}
+
+bool
+TageSclPredictor::predict(Addr pc)
+{
+    bool tage_pred = tage_.predict(pc);
+    last_tage_pred_ = tage_pred;
+    const TagePredictionInfo& info = tage_.lastInfo();
+
+    if (!sc_hashes_valid_ || sc_hash_gen_ != tage_.historyGen()) {
+        for (unsigned t = 0; t < StatisticalCorrector::kNumTables; ++t)
+            sc_hashes_[t] =
+                tage_.historyHash(StatisticalCorrector::kHistBits[t]);
+        sc_hash_gen_ = tage_.historyGen();
+        sc_hashes_valid_ = true;
+    }
+
+    bool tage_weak = info.provider < 0 || info.provider_weak;
+    bool pred = sc_.predict(pc, tage_pred, tage_weak, sc_hashes_);
+
+    bool loop_valid, loop_dir;
+    loop_.lookup(pc, loop_valid, loop_dir);
+    last_loop_valid_ = loop_valid;
+    if (loop_valid)
+        pred = loop_dir;
+
+    return pred;
+}
+
+void
+TageSclPredictor::update(Addr pc, bool taken)
+{
+    loop_.update(pc, taken, last_tage_pred_);
+    sc_.update(pc, taken);
+    tage_.update(pc, taken);
+}
+
+bool
+TageSclPredictor::predictAndTrain(Addr pc, bool taken)
+{
+    bool tage_pred = tage_.predict(pc);
+    last_tage_pred_ = tage_pred;
+    const TagePredictionInfo& info = tage_.lastInfo();
+
+    if (!sc_hashes_valid_ || sc_hash_gen_ != tage_.historyGen()) {
+        for (unsigned t = 0; t < StatisticalCorrector::kNumTables; ++t)
+            sc_hashes_[t] =
+                tage_.historyHash(StatisticalCorrector::kHistBits[t]);
+        sc_hash_gen_ = tage_.historyGen();
+        sc_hashes_valid_ = true;
+    }
+
+    bool tage_weak = info.provider < 0 || info.provider_weak;
+    bool pred = sc_.predict(pc, tage_pred, tage_weak, sc_hashes_);
+
+    bool loop_valid, loop_dir;
+    loop_.lookupAndTrain(pc, taken, tage_pred, loop_valid, loop_dir);
+    last_loop_valid_ = loop_valid;
+    if (loop_valid)
+        pred = loop_dir;
+
+    sc_.update(pc, taken);
+    tage_.update(pc, taken);
+    return pred;
+}
+
+void
+TageSclPredictor::reset()
+{
+    tage_.reset();
+    loop_.reset();
+    sc_.reset();
+    sc_hashes_valid_ = false;
+    sc_hash_gen_ = 0;
+}
+
+void
+TageSclPredictor::saveState(CkptWriter& w) const
+{
+    tage_.saveState(w);
+    loop_.saveState(w);
+    sc_.saveState(w);
+    w.put(last_loop_valid_);
+    w.put(last_tage_pred_);
+}
+
+void
+TageSclPredictor::loadState(CkptReader& r)
+{
+    tage_.loadState(r);
+    loop_.loadState(r);
+    sc_.loadState(r);
+    r.get(last_loop_valid_);
+    r.get(last_tage_pred_);
+    sc_hashes_valid_ = false;
+    sc_hash_gen_ = 0;
+}
+
+} // namespace refmodel
+} // namespace pfm

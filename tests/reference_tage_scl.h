@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Self-contained reference copy of the pre-SoA (array-of-structs)
+ * TAGE-SC-L implementation, kept behaviorally verbatim from the layout the
+ * src/branch SoA rewrite replaced. test_layout_equiv.cc runs it in
+ * lockstep with the production predictor on random branch streams and
+ * asserts identical predictions and identical saveState() bytes — the
+ * flat-plane banks, per-kind fold arrays, and packed loop words must be
+ * pure layout changes, never behavioral ones.
+ *
+ * The POD types shared between the layouts (TageParams,
+ * TagePredictionInfo and its CkptIO specialization) come from
+ * branch/tage.h; only the stateful classes are duplicated here.
+ */
+
+#ifndef PFM_TESTS_REFERENCE_TAGE_SCL_H
+#define PFM_TESTS_REFERENCE_TAGE_SCL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "branch/tage.h"
+#include "common/types.h"
+#include "sim/checkpoint.h"
+
+namespace pfm {
+namespace refmodel {
+
+class LoopPredictor
+{
+  public:
+    explicit LoopPredictor(unsigned log_entries = 6);
+
+    void lookup(Addr pc, bool& valid, bool& dir);
+    void update(Addr pc, bool taken, bool tage_pred);
+    void lookupAndTrain(Addr pc, bool taken, bool tage_pred, bool& valid,
+                        bool& dir);
+    void reset();
+    void saveState(CkptWriter& w) const;
+    void loadState(CkptReader& r);
+
+  private:
+    struct Entry {
+        std::uint16_t tag = 0;
+        std::uint16_t past_trip = 0;   ///< learned trip count
+        std::uint16_t current_iter = 0;
+        std::uint8_t confidence = 0;   ///< saturates at 3
+        std::uint8_t age = 0;
+        bool valid = false;
+    };
+
+    Entry& entryFor(Addr pc);
+    static std::uint16_t tagOf(Addr pc);
+
+    unsigned log_entries_;
+    std::vector<Entry> table_;
+};
+
+class StatisticalCorrector
+{
+  public:
+    StatisticalCorrector();
+
+    bool predict(Addr pc, bool tage_pred, bool tage_weak,
+                 const std::uint64_t* hist_hashes);
+    void update(Addr pc, bool taken);
+    void reset();
+    void saveState(CkptWriter& w) const;
+    void loadState(CkptReader& r);
+
+    static constexpr unsigned kNumTables = 4;
+    static constexpr unsigned kHistBits[kNumTables] = {0, 5, 11, 21};
+
+  private:
+    size_t index(Addr pc, unsigned t, std::uint64_t hash) const;
+
+    static constexpr unsigned kLogEntries = 10;
+    std::vector<std::vector<std::int8_t>> tables_;
+    int threshold_ = 6;       ///< dynamic revert threshold
+    int tc_ = 0;              ///< threshold training counter
+
+    bool last_tage_pred_ = false;
+    bool last_used_sc_ = false;
+    bool last_final_ = false;
+    int last_sum_ = 0;
+    size_t last_idx_[kNumTables] = {};
+};
+
+class TagePredictor
+{
+  public:
+    explicit TagePredictor(const TageParams& params = {});
+
+    bool predict(Addr pc);
+    void update(Addr pc, bool taken);
+    void reset();
+    void saveState(CkptWriter& w) const;
+    void loadState(CkptReader& r);
+
+    const TagePredictionInfo& lastInfo() const { return info_; }
+    std::uint64_t historyHash(unsigned bits) const;
+    std::uint64_t historyGen() const { return hist_gen_; }
+
+  private:
+    struct TaggedEntry {
+        std::uint16_t tag = 0;
+        std::int8_t ctr = 0;    ///< signed: >=0 predicts taken
+        std::uint8_t u = 0;     ///< usefulness
+    };
+
+    /** Incremental folded history (Seznec's circular-shift trick). */
+    struct FoldedHistory {
+        std::uint32_t value = 0;
+        unsigned comp_length = 0;
+        unsigned orig_length = 0;
+        unsigned outpoint = 0;
+
+        void init(unsigned orig, unsigned comp);
+        void update(const std::vector<std::uint8_t>& ghist, unsigned ptr);
+    };
+
+    size_t taggedIndex(Addr pc, unsigned table) const;
+    std::uint16_t taggedTag(Addr pc, unsigned table) const;
+    void pushHistory(bool taken);
+
+    TageParams params_;
+    std::vector<unsigned> hist_lengths_;
+    std::vector<std::vector<TaggedEntry>> tables_;
+    std::vector<std::uint8_t> base_;    ///< 2-bit counters
+
+    std::vector<std::uint8_t> ghist_;
+    unsigned ghist_ptr_ = 0;
+
+    std::uint64_t packed_hist_ = 0;
+    std::uint64_t hist_gen_ = 0;
+
+    std::vector<FoldedHistory> idx_fold_;
+    std::vector<FoldedHistory> tag_fold_a_;
+    std::vector<FoldedHistory> tag_fold_b_;
+
+    int use_alt_on_na_ = 0;
+
+    std::uint64_t branch_count_ = 0;
+    std::uint32_t lfsr_ = 0xACE1u;  ///< deterministic allocation tie-break
+
+    TagePredictionInfo info_;
+    std::vector<size_t> cached_idx_;
+    std::vector<std::uint16_t> cached_tag_;
+    Addr memo_pc_ = 0;
+    std::uint64_t memo_gen_ = 0;
+    bool memo_valid_ = false;
+};
+
+class TageSclPredictor
+{
+  public:
+    explicit TageSclPredictor(const TageParams& tage_params = {});
+
+    bool predict(Addr pc);
+    void update(Addr pc, bool taken);
+    bool predictAndTrain(Addr pc, bool taken);
+    void reset();
+    void saveState(CkptWriter& w) const;
+    void loadState(CkptReader& r);
+
+    TagePredictor& tage() { return tage_; }
+
+  private:
+    TagePredictor tage_;
+    LoopPredictor loop_;
+    StatisticalCorrector sc_;
+
+    bool last_loop_valid_ = false;
+    bool last_tage_pred_ = false;
+
+    std::uint64_t sc_hashes_[StatisticalCorrector::kNumTables] = {};
+    std::uint64_t sc_hash_gen_ = 0;
+    bool sc_hashes_valid_ = false;
+};
+
+} // namespace refmodel
+} // namespace pfm
+
+#endif // PFM_TESTS_REFERENCE_TAGE_SCL_H
