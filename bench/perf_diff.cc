@@ -23,6 +23,7 @@
  * but wall time alone decides the exit code.
  */
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,7 +36,7 @@ namespace {
 
 struct BenchRow {
     std::string label;
-    double wall_ms = 0;
+    double wall_ms = -1;  // <=0 or non-finite = not comparable
     double ipc = -1;  // <0 = absent
     unsigned long long cycles = 0;
     /** "port_<name>_*" occupancy columns, in row order. */
@@ -131,7 +132,7 @@ parseBenchFile(const std::string& path, BenchFile& out)
         const std::string obj = text.substr(ro, rc - ro + 1);
         BenchRow row;
         row.label = rawValue(obj, "label");
-        row.wall_ms = numValue(obj, "wall_ms", 0);
+        row.wall_ms = numValue(obj, "wall_ms", -1);
         row.ipc = numValue(obj, "ipc", -1);
         row.cycles = static_cast<unsigned long long>(
             numValue(obj, "cycles", 0));
@@ -178,12 +179,34 @@ findPort(const BenchRow& r, const std::string& key)
     return nullptr;
 }
 
+/**
+ * A wall-time value is comparable only when it is a finite positive
+ * number. Missing keys (numValue fallback -1), zero from a malformed
+ * token, or inf/NaN text must all land a row in the "not comparable"
+ * bucket — never in the delta arithmetic, where a base of 0 used to turn
+ * the percentage into inf/NaN (or, worse, a masked 0%).
+ */
+bool
+comparableWall(double v)
+{
+    return std::isfinite(v) && v > 0;
+}
+
+/** Delta percentage; callers must have checked comparableWall(base). */
 double
 pctDelta(double base, double now)
 {
-    if (base <= 0)
-        return 0;
     return (now / base - 1.0) * 100.0;
+}
+
+/** Wall-ms column: the value when meaningful, '-' when not. */
+const char*
+wallColumn(char (&buf)[32], double v)
+{
+    if (!comparableWall(v))
+        return "-";
+    std::snprintf(buf, sizeof buf, "%.3f", v);
+    return buf;
 }
 
 } // namespace
@@ -226,21 +249,36 @@ main(int argc, char** argv)
                 "cand ms", "wall", "ipc");
 
     int regressions = 0;
+    int not_comparable = 0;
     bool ipc_drift = false;
     bool port_drift = false;
     for (const BenchRow& b : base.rows) {
+        char bcol[32], ccol[32];
         const BenchRow* c = findRow(cand, b.label);
         if (!c) {
-            std::printf("  %-28s %12.3f %12s\n", b.label.c_str(), b.wall_ms,
-                        "MISSING");
+            std::printf("  %-28s %12s %12s\n", b.label.c_str(),
+                        wallColumn(bcol, b.wall_ms), "MISSING");
             ++regressions;
             continue;
         }
-        double wall_pct = pctDelta(b.wall_ms, c->wall_ms);
+        // Rows whose wall time is missing/zero/non-finite on either side
+        // are excluded from the threshold judgement in both directions:
+        // they can neither trip the exit code nor launder a regression
+        // into a 0% delta.
+        const bool comparable =
+            comparableWall(b.wall_ms) && comparableWall(c->wall_ms);
+        char pct_col[32] = "       -";
         const char* mark = "";
-        if (wall_pct > threshold) {
-            mark = "  << REGRESSION";
-            ++regressions;
+        if (comparable) {
+            double wall_pct = pctDelta(b.wall_ms, c->wall_ms);
+            std::snprintf(pct_col, sizeof pct_col, "%+7.1f%%", wall_pct);
+            if (wall_pct > threshold) {
+                mark = "  << REGRESSION";
+                ++regressions;
+            }
+        } else {
+            mark = "  (not comparable)";
+            ++not_comparable;
         }
         char ipc_col[64] = "-";
         if (b.ipc >= 0 && c->ipc >= 0) {
@@ -252,9 +290,9 @@ main(int argc, char** argv)
                 ipc_drift = true;
             }
         }
-        std::printf("  %-28s %12.3f %12.3f %+7.1f%%  %s%s\n",
-                    b.label.c_str(), b.wall_ms, c->wall_ms, wall_pct,
-                    ipc_col, mark);
+        std::printf("  %-28s %12s %12s %s  %s%s\n", b.label.c_str(),
+                    wallColumn(bcol, b.wall_ms),
+                    wallColumn(ccol, c->wall_ms), pct_col, ipc_col, mark);
         // Port-occupancy columns: informational, like IPC — a changed
         // profile is queue-pressure drift, not a wall-time regression.
         for (const auto& bp : b.ports) {
@@ -279,10 +317,16 @@ main(int argc, char** argv)
             std::printf("  %-28s %12s %12.3f   (new)\n", c.label.c_str(),
                         "-", c.wall_ms);
 
-    if (base.total_wall_ms > 0 && cand.total_wall_ms > 0)
+    if (comparableWall(base.total_wall_ms) &&
+        comparableWall(cand.total_wall_ms))
         std::printf("  %-28s %12.3f %12.3f %+7.1f%%\n", "TOTAL",
                     base.total_wall_ms, cand.total_wall_ms,
                     pctDelta(base.total_wall_ms, cand.total_wall_ms));
+    if (not_comparable)
+        std::printf("perf_diff: note — %d row(s) not comparable (missing "
+                    "or non-positive wall_ms); excluded from the "
+                    "threshold judgement\n",
+                    not_comparable);
     if (ipc_drift)
         std::printf("perf_diff: WARNING — IPC diverged; the candidate "
                     "simulates a different machine\n");

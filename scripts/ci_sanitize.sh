@@ -1,0 +1,18 @@
+#!/bin/sh
+# Sanitizer leg for CI: build with -DPFM_SANITIZE=ON (ASan + UBSan) and
+# run the daemon/concurrency tests under it. The daemon is the one part
+# of the codebase with real thread/descriptor lifetime hazards — leaked
+# mmaps on checkpoint error paths, double-fclose, worker threads outliving
+# stop() — exactly what the instrumented build catches and the plain
+# build cannot.
+#
+# Usage: scripts/ci_sanitize.sh [build-dir]   (default: build-sanitize)
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-sanitize}"
+
+cmake -B "$BUILD_DIR" -S . -DPFM_SANITIZE=ON
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target pfm_daemon_tests \
+    pfm_daemon pfm_client
+(cd "$BUILD_DIR" && ctest -L daemon --output-on-failure -j2)

@@ -1,0 +1,132 @@
+#include "common/framing.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace pfm {
+namespace framing {
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+/** Milliseconds left until @p deadline, clamped to >= 0; -1 = no limit. */
+int
+remainingMs(bool limited, clock::time_point deadline)
+{
+    if (!limited)
+        return -1;
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - clock::now())
+                    .count();
+    return left > 0 ? static_cast<int>(left) : 0;
+}
+
+/**
+ * send() first so SIGPIPE stays suppressed on sockets; ENOTSOCK falls
+ * back to write() for pipe-based tests.
+ */
+ssize_t
+writeSome(int fd, const void* p, std::size_t n)
+{
+    ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0 && errno == ENOTSOCK)
+        w = ::write(fd, p, n);
+    return w;
+}
+
+bool
+writeFull(int fd, const void* p, std::size_t n)
+{
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    while (n > 0) {
+        ssize_t w = writeSome(fd, b, n);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        b += w;
+        n -= static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+/**
+ * Read exactly @p n bytes. @p at_boundary lets a clean EOF before the
+ * first byte report as kEof rather than a truncated frame.
+ */
+ReadResult
+readFull(int fd, void* p, std::size_t n, bool at_boundary, bool limited,
+         clock::time_point deadline)
+{
+    auto* b = static_cast<std::uint8_t*>(p);
+    bool first = true;
+    while (n > 0) {
+        struct pollfd pfd{fd, POLLIN, 0};
+        int r = ::poll(&pfd, 1, remainingMs(limited, deadline));
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return ReadResult::kError;
+        }
+        if (r == 0)
+            return ReadResult::kTimeout;
+        ssize_t got = ::read(fd, b, n);
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            return ReadResult::kError;
+        }
+        if (got == 0)
+            return (first && at_boundary) ? ReadResult::kEof
+                                          : ReadResult::kError;
+        first = false;
+        b += got;
+        n -= static_cast<std::size_t>(got);
+    }
+    return ReadResult::kOk;
+}
+
+} // namespace
+
+bool
+writeFrame(int fd, const std::string& payload) noexcept
+{
+    std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+    if (payload.size() > kMaxFramePayload)
+        return false;
+    if (!writeFull(fd, &len, sizeof len))
+        return false;
+    return payload.empty() || writeFull(fd, payload.data(), payload.size());
+}
+
+ReadResult
+readFrame(int fd, std::string& out, int timeout_ms) noexcept
+{
+    const bool limited = timeout_ms >= 0;
+    const auto deadline =
+        clock::now() + std::chrono::milliseconds(limited ? timeout_ms : 0);
+
+    std::uint32_t len = 0;
+    ReadResult r = readFull(fd, &len, sizeof len, /*at_boundary=*/true,
+                            limited, deadline);
+    if (r != ReadResult::kOk)
+        return r;
+    if (len > kMaxFramePayload)
+        return ReadResult::kOversize;
+    out.resize(len);
+    if (len == 0)
+        return ReadResult::kOk;
+    return readFull(fd, out.data(), len, /*at_boundary=*/false, limited,
+                    deadline);
+}
+
+} // namespace framing
+} // namespace pfm

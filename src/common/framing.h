@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Length-prefixed message framing over a file descriptor — the wire
+ * format of the sim daemon (src/sim/daemon.h). One frame is a u32
+ * host-endian payload length followed by that many payload bytes; the
+ * payload itself is opaque (the daemon uses one-line text commands and
+ * BENCH-style JSON rows). Like the checkpoint format, frames are an
+ * intra-machine hand-off over a Unix-domain socket, not an interchange
+ * format, so host endianness is fine.
+ *
+ * All calls handle short reads/writes and EINTR, never raise SIGPIPE
+ * (MSG_NOSIGNAL, with a plain write() fallback for non-socket fds), and
+ * reject frames larger than kMaxFramePayload so a corrupt or hostile
+ * length prefix cannot trigger a giant allocation.
+ */
+
+#ifndef PFM_COMMON_FRAMING_H
+#define PFM_COMMON_FRAMING_H
+
+#include <cstddef>
+#include <string>
+
+namespace pfm {
+namespace framing {
+
+/** Upper bound on a frame payload; larger lengths are a protocol error. */
+constexpr std::size_t kMaxFramePayload = 16u << 20;
+
+enum class ReadResult {
+    kOk,        ///< a complete frame was read into the output string
+    kEof,       ///< clean EOF at a frame boundary (peer closed)
+    kError,     ///< I/O error or EOF mid-frame (truncated frame)
+    kOversize,  ///< length prefix exceeds kMaxFramePayload
+    kTimeout,   ///< timeout_ms elapsed before a complete frame arrived
+};
+
+/**
+ * Write one frame (length prefix + payload). Returns false on any I/O
+ * error (e.g. the peer disconnected); the caller treats that as a
+ * cancelled client, never as fatal.
+ */
+bool writeFrame(int fd, const std::string& payload) noexcept;
+
+/**
+ * Read one complete frame into @p out. @p timeout_ms < 0 blocks
+ * indefinitely; otherwise the whole frame must arrive within the budget.
+ * kEof is only reported at a frame boundary — EOF after a partial frame
+ * is kError.
+ */
+ReadResult readFrame(int fd, std::string& out, int timeout_ms = -1) noexcept;
+
+} // namespace framing
+} // namespace pfm
+
+#endif // PFM_COMMON_FRAMING_H

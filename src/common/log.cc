@@ -16,6 +16,10 @@ namespace {
 std::atomic<int> g_verbosity{0};
 std::mutex g_out_mutex;
 
+// Per-thread: daemon worker/connection threads convert user-error fatals
+// into exceptions; everything else keeps the classic print-and-exit.
+thread_local bool g_fatal_throws = false;
+
 void
 writeLine(const char* prefix, const std::string& msg)
 {
@@ -67,6 +71,8 @@ panicImpl(const char* file, int line, const std::string& msg)
 void
 fatalImpl(const char* file, int line, const std::string& msg)
 {
+    if (g_fatal_throws)
+        throw FatalError(msg + format(" (%s:%d)", file, line));
     writeLine("fatal: ", msg + format(" (%s:%d)", file, line));
     std::exit(1);
 }
@@ -85,4 +91,15 @@ informImpl(const std::string& msg)
 }
 
 } // namespace log_detail
+
+ScopedFatalThrow::ScopedFatalThrow() : prev_(log_detail::g_fatal_throws)
+{
+    log_detail::g_fatal_throws = true;
+}
+
+ScopedFatalThrow::~ScopedFatalThrow()
+{
+    log_detail::g_fatal_throws = prev_;
+}
+
 } // namespace pfm

@@ -9,9 +9,41 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 
 namespace pfm {
+
+/**
+ * What pfm_fatal throws inside a ScopedFatalThrow region. The message is
+ * the fully formatted diagnostic including the file:line suffix, exactly
+ * what would have been printed before exit(1).
+ */
+struct FatalError : std::runtime_error {
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * RAII: while alive, pfm_fatal on *this thread* throws FatalError instead
+ * of printing and calling exit(1). Long-running servers (the sim daemon)
+ * wrap request parsing and leg execution in one of these so a bad request
+ * — unknown workload, malformed token, checkpoint mismatch — becomes an
+ * error reply instead of killing the process. pfm_panic/pfm_assert still
+ * abort: those are simulator bugs, not user errors, and a server with a
+ * corrupted invariant must not keep serving. Nests; restores the previous
+ * mode on destruction.
+ */
+class ScopedFatalThrow
+{
+  public:
+    ScopedFatalThrow();
+    ~ScopedFatalThrow();
+    ScopedFatalThrow(const ScopedFatalThrow&) = delete;
+    ScopedFatalThrow& operator=(const ScopedFatalThrow&) = delete;
+
+  private:
+    bool prev_;
+};
 
 namespace log_detail {
 

@@ -148,53 +148,89 @@ CkptWriter::finish()
 {
     pfm_assert(!in_section_, "finish() with section '%s' still open",
                section_.c_str());
-    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    // Write-to-temp + atomic rename: a run killed (or a disk filled) mid
+    // write must never leave a truncated image at the final path, where a
+    // later sharded leg would trip over it as corruption. The temp is
+    // removed on every failure path, so the worst crash artifact is a
+    // stale .tmp no reader ever opens.
+    const std::string tmp = path_ + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
     if (!f)
         pfm_fatal("checkpoint '%s': cannot open for writing", path_.c_str());
     std::size_t written = out_.empty()
         ? 0
         : std::fwrite(out_.data(), 1, out_.size(), f);
     bool close_ok = std::fclose(f) == 0;
-    if (written != out_.size() || !close_ok)
+    if (written != out_.size() || !close_ok) {
+        std::remove(tmp.c_str());
         pfm_fatal("checkpoint '%s': short write (%zu of %zu bytes)",
                   path_.c_str(), written, out_.size());
+    }
+    if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        pfm_fatal("checkpoint '%s': cannot rename temp image into place",
+                  path_.c_str());
+    }
 }
 
 // ---------------------------------------------------------------- reader
 
+namespace {
+
+/**
+ * Exactly-once fclose for every exit from the reader constructor. The
+ * error paths below run under ScopedFatalThrow in the daemon, where
+ * pfm_fatal *throws* instead of exiting — a bare fclose-before-fatal
+ * pattern silently becomes a descriptor leak the moment someone adds an
+ * early return, so the close is tied to scope unwinding instead.
+ */
+struct ScopedFile {
+    std::FILE* f = nullptr;
+    ~ScopedFile()
+    {
+        if (f)
+            std::fclose(f);
+    }
+};
+
+} // namespace
+
 CkptReader::CkptReader(std::string path) : path_(std::move(path))
 {
-    std::FILE* f = std::fopen(path_.c_str(), "rb");
-    if (!f)
+    ScopedFile file;
+    file.f = std::fopen(path_.c_str(), "rb");
+    if (!file.f)
         pfm_fatal("checkpoint '%s': cannot open for reading", path_.c_str());
-    std::fseek(f, 0, SEEK_END);
-    long size = std::ftell(f);
-    std::fseek(f, 0, SEEK_SET);
-    if (size < 0) {
-        std::fclose(f);
+    if (std::fseek(file.f, 0, SEEK_END) != 0)
+        pfm_fatal("checkpoint '%s': cannot seek", path_.c_str());
+    long size = std::ftell(file.f);
+    if (size < 0 || std::fseek(file.f, 0, SEEK_SET) != 0)
         pfm_fatal("checkpoint '%s': cannot determine size", path_.c_str());
-    }
     size_ = static_cast<std::size_t>(size);
     if (size_ != 0) {
         void* m = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE,
-                         ::fileno(f), 0);
+                         ::fileno(file.f), 0);
         if (m != MAP_FAILED) {
+            // Owned by map_ from here; ~CkptReader munmaps. The mapping
+            // outlives the FILE* by design (a private file mapping stays
+            // valid after close), and concurrent readers of the same
+            // image share kernel page cache.
             map_ = m;
             data_ = static_cast<const std::uint8_t*>(m);
         }
     }
     if (!map_) {
+        // mmap unavailable (exotic filesystem) or empty file: fall back
+        // to a heap copy.
         buf_.resize(size_);
-        std::size_t got =
-            buf_.empty() ? 0 : std::fread(buf_.data(), 1, buf_.size(), f);
-        if (got != buf_.size()) {
-            std::fclose(f);
+        std::size_t got = buf_.empty()
+            ? 0
+            : std::fread(buf_.data(), 1, buf_.size(), file.f);
+        if (got != buf_.size())
             pfm_fatal("checkpoint '%s': short read (%zu of %zu bytes)",
                       path_.c_str(), got, buf_.size());
-        }
         data_ = buf_.data();
     }
-    std::fclose(f);
 }
 
 CkptReader::~CkptReader()

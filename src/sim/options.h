@@ -8,6 +8,7 @@
 #define PFM_SIM_OPTIONS_H
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -73,6 +74,16 @@ struct SimOptions {
      * run is an uninterrupted run with defer_component set.
      */
     bool defer_component = false;
+
+    /**
+     * Cooperative cancellation: polled every few thousand scheduler
+     * iterations inside Simulator::run(); returning true aborts the run
+     * by throwing SimCancelled (see simulator.h). Used by the sim daemon
+     * to abandon in-flight legs when their client disconnects. Empty =
+     * never cancelled. Deliberately excluded from the config fingerprint:
+     * it does not shape machine state.
+     */
+    std::function<bool()> cancel_poll;
 };
 
 /**

@@ -61,6 +61,8 @@ class ConfigHash
     std::uint64_t h_ = 1469598103934665603ull;
 };
 
+} // namespace
+
 std::uint64_t
 configFingerprint(const SimOptions& o, bool with_pfm)
 {
@@ -131,8 +133,6 @@ configFingerprint(const SimOptions& o, bool with_pfm)
     }
     return h.value();
 }
-
-} // namespace
 
 Simulator::Simulator(const SimOptions& opt)
     : opt_(opt), workload_(makeWorkload(opt.workload))
@@ -212,7 +212,17 @@ Simulator::attachComponent()
 SimResult
 Simulator::run()
 {
-    auto run_until = [this](std::uint64_t target) {
+    // Cooperative cancellation: cheap enough to leave in the loop (one
+    // increment + mask per iteration); the std::function is only invoked
+    // every 16k scheduler iterations, bounding a daemon leg's reaction
+    // time to a client disconnect at a few milliseconds of simulation.
+    std::uint64_t cancel_ticks = 0;
+    auto cancelled = [this, &cancel_ticks]() {
+        return opt_.cancel_poll && (++cancel_ticks & 0x3FFF) == 0 &&
+               opt_.cancel_poll();
+    };
+
+    auto run_until = [this, &cancelled](std::uint64_t target) {
         std::uint64_t last_retired = core_->retired();
         Cycle last_progress = core_->cycle();
         // Deadlock detection counts scheduler iterations, not raw cycles:
@@ -236,6 +246,8 @@ Simulator::run()
         constexpr Cycle kFfIdleThreshold = 4;
         Cycle next_ff_at = kFfIdleThreshold;
         while (!core_->done() && core_->retired() < target) {
+            if (cancelled())
+                throw SimCancelled{};
             // Skip before ticking so the loop exits at the same cycle
             // whether or not the last instruction was followed by a
             // quiescent gap (keeps warmup stats-reset boundaries, and so

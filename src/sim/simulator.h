@@ -20,6 +20,14 @@
 
 namespace pfm {
 
+/**
+ * Thrown out of Simulator::run() when SimOptions::cancel_poll returns
+ * true. Carries no state: the run's partial counters are meaningless by
+ * construction (the machine stopped mid-flight), so the only sane
+ * handling is to discard the simulator.
+ */
+struct SimCancelled {};
+
 struct SimResult {
     double ipc = 0;
     double mpki = 0;
@@ -81,6 +89,15 @@ class Simulator
 
 /** Convenience: build, run, and return the result. */
 SimResult runSim(const SimOptions& opt);
+
+/**
+ * FNV-1a over every configuration knob that shapes the machine state a
+ * checkpoint captures (DESIGN.md "Fingerprint and sharing"). With
+ * @p with_pfm false this is the *bare-core* fingerprint: the key under
+ * which a warmup checkpoint is shareable across measurement legs that
+ * differ only in component/PFM parameters — the daemon's warm-cache key.
+ */
+std::uint64_t configFingerprint(const SimOptions& opt, bool with_pfm);
 
 /** Speedup of @p pfm over @p base in percent ((ipc/ipc - 1) * 100). */
 double speedupPct(const SimResult& base, const SimResult& with);

@@ -64,6 +64,35 @@ writeStatsCsv(std::ostream& os, const std::vector<const StatGroup*>& groups)
     }
 }
 
+std::string
+formatBenchJsonRow(const BenchJsonRow& r, bool include_wall)
+{
+    std::ostringstream os;
+    os << std::fixed;
+    os << "{\"label\": \"" << jsonEscape(r.label) << "\", "
+       << "\"ipc\": " << std::setprecision(6) << jsonFinite(r.ipc)
+       << ", \"mpki\": " << jsonFinite(r.mpki)
+       << ", \"cycles\": " << r.cycles
+       << ", \"instructions\": " << r.instructions;
+    if (include_wall)
+        os << ", \"wall_ms\": " << std::setprecision(3)
+           << jsonFinite(r.wall_ms);
+    if (r.has_speedup)
+        os << ", \"speedup_pct\": " << std::setprecision(6)
+           << jsonFinite(r.speedup_pct);
+    for (const PortStatsSnapshot& p : r.ports) {
+        os << ", \"port_" << jsonEscape(p.name)
+           << "_occ_avg\": " << std::setprecision(6)
+           << jsonFinite(p.occ_avg) << ", \"port_" << jsonEscape(p.name)
+           << "_occ_max\": " << jsonFinite(p.occ_max) << ", \"port_"
+           << jsonEscape(p.name) << "_full_stalls\": " << p.full_stalls
+           << ", \"port_" << jsonEscape(p.name)
+           << "_qlat_avg\": " << jsonFinite(p.qlat_avg);
+    }
+    os << "}";
+    return os.str();
+}
+
 void
 writeBenchJson(std::ostream& os, const std::string& bench, unsigned jobs,
                double total_wall_ms, const std::vector<BenchJsonRow>& rows)
@@ -75,27 +104,8 @@ writeBenchJson(std::ostream& os, const std::string& bench, unsigned jobs,
        << jsonFinite(total_wall_ms) << ",\n";
     os << "  \"runs\": [\n";
     for (size_t i = 0; i < rows.size(); ++i) {
-        const BenchJsonRow& r = rows[i];
-        os << "    {\"label\": \"" << jsonEscape(r.label) << "\", "
-           << "\"ipc\": " << std::setprecision(6) << jsonFinite(r.ipc)
-           << ", \"mpki\": " << jsonFinite(r.mpki)
-           << ", \"cycles\": " << r.cycles
-           << ", \"instructions\": " << r.instructions
-           << ", \"wall_ms\": " << std::setprecision(3)
-           << jsonFinite(r.wall_ms);
-        if (r.has_speedup)
-            os << ", \"speedup_pct\": " << std::setprecision(6)
-               << jsonFinite(r.speedup_pct);
-        for (const PortStatsSnapshot& p : r.ports) {
-            os << ", \"port_" << jsonEscape(p.name)
-               << "_occ_avg\": " << std::setprecision(6)
-               << jsonFinite(p.occ_avg) << ", \"port_" << jsonEscape(p.name)
-               << "_occ_max\": " << jsonFinite(p.occ_max) << ", \"port_"
-               << jsonEscape(p.name) << "_full_stalls\": " << p.full_stalls
-               << ", \"port_" << jsonEscape(p.name)
-               << "_qlat_avg\": " << jsonFinite(p.qlat_avg);
-        }
-        os << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+        os << "    " << formatBenchJsonRow(rows[i], /*include_wall=*/true)
+           << (i + 1 < rows.size() ? "," : "") << "\n";
     }
     os << "  ]\n";
     os << "}\n";

@@ -38,6 +38,16 @@ struct BenchJsonRow {
 };
 
 /**
+ * One row rendered as a single-line JSON object, exactly as it appears in
+ * a BENCH_<name>.json "runs" array. The daemon streams rows through this
+ * same formatter with include_wall=false so a streamed row is
+ * byte-identical to the equivalent direct sweep leg's deterministic
+ * fields (wall time is the one legitimately nondeterministic column; the
+ * daemon sends it out-of-band in the frame header).
+ */
+std::string formatBenchJsonRow(const BenchJsonRow& r, bool include_wall);
+
+/**
  * Machine-readable benchmark report: {"bench", "jobs", "total_wall_ms",
  * "runs": [{label, ipc, mpki, cycles, instructions, wall_ms[, speedup_pct]}]}.
  * Keeps the perf trajectory of the figure sweeps comparable across PRs.

@@ -28,15 +28,11 @@ clampJobs(long n)
     return static_cast<unsigned>(n);
 }
 
-/**
- * Run one configuration, timing it on the calling thread. Sharded legs
- * get their checkpoint paths injected here: a warmup leg saves at the
- * boundary and skips measurement, a measurement leg restores instead of
- * warming up.
- */
+} // namespace
+
 SweepResult
-executeRun(const SweepRun& run, const std::string& save_path,
-           const std::string& load_path)
+runSweepLeg(const SweepRun& run, const std::string& save_path,
+            const std::string& load_path)
 {
     using clock = std::chrono::steady_clock;
     SweepResult res;
@@ -56,8 +52,6 @@ executeRun(const SweepRun& run, const std::string& save_path,
         std::chrono::duration<double, std::milli>(clock::now() - t0).count();
     return res;
 }
-
-} // namespace
 
 RunHandle
 SweepSpec::add(std::string label, SimOptions opt, RunHandle speedup_base)
@@ -178,7 +172,7 @@ SweepRunner::run(const SweepSpec& spec)
         const std::string& load = r.warmup_leg.valid()
                                       ? ckpt_path[r.warmup_leg.index]
                                       : kNoPath;
-        results_[i] = executeRun(r, ckpt_path[i], load);
+        results_[i] = runSweepLeg(r, ckpt_path[i], load);
     };
 
     for (const std::vector<std::size_t>& batch : phases) {

@@ -108,6 +108,18 @@ struct SweepResult {
 };
 
 /**
+ * Execute one run on the calling thread, timing it. This is the single
+ * leg-execution path shared by SweepRunner workers and the sim daemon's
+ * worker pool, so a daemon-served leg is the *same code* as a direct
+ * sweep leg (the byte-identity guarantee leans on this). A non-empty
+ * @p save_path turns the run into a warmup leg (checkpoint saved at the
+ * boundary, measurement skipped); a non-empty @p load_path restores from
+ * a warmup checkpoint instead of re-running warmup.
+ */
+SweepResult runSweepLeg(const SweepRun& run, const std::string& save_path,
+                        const std::string& load_path);
+
+/**
  * Fixed-size thread-pool executor. Workers pull runs from the spec in
  * order and run them to completion; run() blocks until every future is
  * fulfilled and returns results indexed exactly like the spec.

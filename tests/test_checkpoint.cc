@@ -26,6 +26,9 @@
 #include <string>
 #include <vector>
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include "sim/checkpoint.h"
 #include "sim/options.h"
 #include "sim/simulator.h"
@@ -338,6 +341,61 @@ TEST(Checkpoint, WriterReaderPrimitivesRoundTrip)
     std::remove(path.c_str());
 }
 
+// ------------------------------------------------------------ atomic write
+
+/** Minimal valid image via the primitives (no simulator run needed). */
+void
+writeTinyImage(const std::string& path, std::uint32_t payload)
+{
+    CkptHeader h;
+    h.fingerprint = 1;
+    h.workload = "wl";
+    h.component = "comp";
+    h.retired = 0;
+    CkptWriter w(path);
+    w.writeHeader(h);
+    w.beginSection("alpha");
+    w.put<std::uint32_t>(payload);
+    w.endSection();
+    w.finish();
+}
+
+bool
+fileExists(const std::string& path)
+{
+    std::ifstream is(path, std::ios::binary);
+    return is.good();
+}
+
+TEST(Checkpoint, SuccessfulSaveLeavesNoTempFile)
+{
+    const std::string path = tmpPath("ckpt_atomic_clean.ckpt");
+    writeTinyImage(path, 7);
+    EXPECT_TRUE(fileExists(path));
+    EXPECT_FALSE(fileExists(path + ".tmp"));
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, StaleTempFromInterruptedWriteIsInvisible)
+{
+    // A writer killed between fwrite and rename leaves only <path>.tmp.
+    // Readers must never see it — the final path stays absent — and a
+    // later save replaces the stale temp and publishes atomically.
+    const std::string path = tmpPath("ckpt_atomic_stale.ckpt");
+    writeFile(path + ".tmp", {0xDE, 0xAD, 0xBE, 0xEF});
+    EXPECT_FALSE(fileExists(path));
+    writeTinyImage(path, 42);
+    EXPECT_TRUE(fileExists(path));
+    EXPECT_FALSE(fileExists(path + ".tmp"));
+    CkptReader r(path);
+    r.readHeader();
+    r.beginSection("alpha");
+    EXPECT_EQ(42u, r.get<std::uint32_t>());
+    r.endSection();
+    EXPECT_TRUE(r.atEnd());
+    std::remove(path.c_str());
+}
+
 // ------------------------------------------------------------- corruption
 
 using CheckpointDeathTest = ::testing::Test;
@@ -382,6 +440,38 @@ TEST(CheckpointDeathTest, MissingFileIsFatal)
 {
     EXPECT_EXIT(loadSmall(tmpPath("ckpt_does_not_exist.ckpt")),
                 ::testing::ExitedWithCode(1), "cannot open for reading");
+}
+
+TEST(CheckpointDeathTest, UnwritableSavePathIsFatalAndLeavesNothing)
+{
+    // The temp-file open fails before a single byte lands anywhere; the
+    // death-test child shares our filesystem, so the parent can assert
+    // neither the final path nor the temp exists afterwards.
+    const std::string path =
+        tmpPath("ckpt_no_such_dir") + "/ckpt_unwritable.ckpt";
+    SimOptions o = smallBareOptions();
+    o.checkpoint_save = path;
+    EXPECT_EXIT(
+        {
+            Simulator sim(o);
+            sim.run();
+        },
+        ::testing::ExitedWithCode(1), "cannot open for writing");
+    EXPECT_FALSE(fileExists(path));
+    EXPECT_FALSE(fileExists(path + ".tmp"));
+}
+
+TEST(CheckpointDeathTest, RenameFailureRemovesTempImage)
+{
+    // Final path occupied by a directory: the temp write succeeds but the
+    // rename cannot publish it. The failure path must remove the temp so
+    // an interrupted save leaves no partial image under either name.
+    const std::string path = tmpPath("ckpt_rename_blocked");
+    ASSERT_EQ(0, ::mkdir(path.c_str(), 0755));
+    EXPECT_EXIT(writeTinyImage(path, 9), ::testing::ExitedWithCode(1),
+                "cannot rename temp image into place");
+    EXPECT_FALSE(fileExists(path + ".tmp"));
+    ::rmdir(path.c_str());
 }
 
 TEST(CheckpointDeathTest, TruncatedFileIsFatal)

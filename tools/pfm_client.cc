@@ -1,0 +1,191 @@
+/**
+ * @file
+ * CLI client for the sim daemon (tools/pfm_daemon.cc). Speaks the framing
+ * protocol of DESIGN.md "Daemon protocol":
+ *
+ *   pfm_client --socket=PATH ping
+ *   pfm_client --socket=PATH stats
+ *   pfm_client --socket=PATH sweep --workload=W [--component=C]
+ *              [--warmup=N] [--instructions=N] [--fastfwd=on|off]
+ *              --leg=TOKENS [--leg=TOKENS ...]
+ *
+ * Rows stream to stdout as they complete (one JSON object per line, the
+ * deterministic fields of the equivalent BENCH row); progress and errors
+ * go to stderr. Exit code: 0 all legs ok, 1 some legs errored, 2 protocol
+ * or connection failure.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/framing.h"
+
+namespace {
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: pfm_client --socket=PATH ping|stats\n"
+        "       pfm_client --socket=PATH sweep --workload=W"
+        " [--component=C]\n"
+        "                  [--warmup=N] [--instructions=N]"
+        " [--fastfwd=on|off]\n"
+        "                  --leg=TOKENS [--leg=TOKENS ...]\n");
+    std::exit(2);
+}
+
+int
+connectTo(const std::string& path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+        std::fprintf(stderr, "pfm_client: bad socket path '%s'\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0 || ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                            sizeof(addr)) != 0) {
+        std::fprintf(stderr, "pfm_client: cannot connect to '%s': %s\n",
+                     path.c_str(), std::strerror(errno));
+        std::exit(2);
+    }
+    return fd;
+}
+
+/** One-frame request/one-frame reply commands (ping, stats). */
+int
+simpleCommand(const std::string& socket_path, const std::string& cmd)
+{
+    int fd = connectTo(socket_path);
+    if (!pfm::framing::writeFrame(fd, cmd)) {
+        std::fprintf(stderr, "pfm_client: write failed\n");
+        return 2;
+    }
+    std::string reply;
+    if (pfm::framing::readFrame(fd, reply, 10'000) !=
+        pfm::framing::ReadResult::kOk) {
+        std::fprintf(stderr, "pfm_client: no reply\n");
+        ::close(fd);
+        return 2;
+    }
+    ::close(fd);
+    if (reply.rfind("ok ", 0) == 0) {
+        std::printf("%s\n", reply.c_str() + 3);
+        return 0;
+    }
+    std::fprintf(stderr, "pfm_client: %s\n", reply.c_str());
+    return 2;
+}
+
+int
+sweepCommand(const std::string& socket_path, const std::string& request)
+{
+    int fd = connectTo(socket_path);
+    if (!pfm::framing::writeFrame(fd, request)) {
+        std::fprintf(stderr, "pfm_client: write failed\n");
+        return 2;
+    }
+
+    std::size_t errors = 0;
+    for (;;) {
+        std::string frame;
+        pfm::framing::ReadResult r =
+            pfm::framing::readFrame(fd, frame, /*timeout_ms=*/-1);
+        if (r != pfm::framing::ReadResult::kOk) {
+            std::fprintf(stderr,
+                         "pfm_client: connection closed before done\n");
+            ::close(fd);
+            return 2;
+        }
+        if (frame.rfind("row ", 0) == 0) {
+            // "row <index> <wall_ms> <json>"
+            std::size_t sp1 = frame.find(' ', 4);
+            std::size_t sp2 =
+                sp1 == std::string::npos ? sp1 : frame.find(' ', sp1 + 1);
+            if (sp2 == std::string::npos) {
+                std::fprintf(stderr, "pfm_client: malformed row frame\n");
+                ::close(fd);
+                return 2;
+            }
+            std::fprintf(stderr, "leg %.*s done in %.*s ms\n",
+                         static_cast<int>(sp1 - 4), frame.c_str() + 4,
+                         static_cast<int>(sp2 - sp1 - 1),
+                         frame.c_str() + sp1 + 1);
+            std::printf("%s\n", frame.c_str() + sp2 + 1);
+            std::fflush(stdout);
+        } else if (frame.rfind("legerr ", 0) == 0) {
+            ++errors;
+            std::fprintf(stderr, "pfm_client: %s\n", frame.c_str());
+        } else if (frame.rfind("done", 0) == 0) {
+            std::fprintf(stderr, "pfm_client: %s\n", frame.c_str());
+            ::close(fd);
+            return errors ? 1 : 0;
+        } else if (frame.rfind("err ", 0) == 0) {
+            std::fprintf(stderr, "pfm_client: %s\n", frame.c_str());
+            ::close(fd);
+            return 2;
+        } else {
+            std::fprintf(stderr, "pfm_client: unexpected frame '%s'\n",
+                         frame.c_str());
+            ::close(fd);
+            return 2;
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string socket_path;
+    std::string command;
+    std::vector<std::string> request_lines;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--socket=", 0) == 0) {
+            socket_path = arg.substr(9);
+        } else if (arg == "ping" || arg == "stats" || arg == "sweep") {
+            if (!command.empty())
+                usage();
+            command = arg;
+        } else if (arg.rfind("--workload=", 0) == 0) {
+            request_lines.push_back("workload=" + arg.substr(11));
+        } else if (arg.rfind("--component=", 0) == 0) {
+            request_lines.push_back("component=" + arg.substr(12));
+        } else if (arg.rfind("--warmup=", 0) == 0) {
+            request_lines.push_back("warmup=" + arg.substr(9));
+        } else if (arg.rfind("--instructions=", 0) == 0) {
+            request_lines.push_back("instructions=" + arg.substr(15));
+        } else if (arg.rfind("--fastfwd=", 0) == 0) {
+            request_lines.push_back("fastfwd=" + arg.substr(10));
+        } else if (arg.rfind("--leg=", 0) == 0) {
+            request_lines.push_back("leg=" + arg.substr(6));
+        } else {
+            std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+            usage();
+        }
+    }
+    if (socket_path.empty() || command.empty())
+        usage();
+
+    if (command == "ping" || command == "stats")
+        return simpleCommand(socket_path, command);
+
+    std::string request = "sweep";
+    for (const std::string& line : request_lines)
+        request += "\n" + line;
+    return sweepCommand(socket_path, request);
+}
