@@ -20,7 +20,9 @@
  * Rows may also carry "port_<name>_*" occupancy columns (TimedPort
  * telemetry); those are diffed informationally like IPC — a changed
  * occupancy profile means different queue pressure, worth eyeballing,
- * but wall time alone decides the exit code.
+ * but wall time alone decides the exit code. Checkpoint-store rows
+ * (bench_ckpt_store) additionally carry "size_bytes"/"restore_ms"
+ * storage columns, diffed the same informational way.
  */
 
 #include <cmath>
@@ -41,6 +43,8 @@ struct BenchRow {
     unsigned long long cycles = 0;
     /** "port_<name>_*" occupancy columns, in row order. */
     std::vector<std::pair<std::string, double>> ports;
+    double size_bytes = -1;  // <0 = absent; checkpoint-store rows only
+    double restore_ms = -1;  // <0 = absent
 };
 
 struct BenchFile {
@@ -136,6 +140,8 @@ parseBenchFile(const std::string& path, BenchFile& out)
         row.ipc = numValue(obj, "ipc", -1);
         row.cycles = static_cast<unsigned long long>(
             numValue(obj, "cycles", 0));
+        row.size_bytes = numValue(obj, "size_bytes", -1);
+        row.restore_ms = numValue(obj, "restore_ms", -1);
         for (size_t p = obj.find("\"port_"); p != std::string::npos;
              p = obj.find("\"port_", p + 1)) {
             size_t kend = obj.find('"', p + 1);
@@ -311,6 +317,28 @@ main(int argc, char** argv)
             if (!findPort(b, cp.first))
                 std::printf("      %-38s %12s %12.6f  (new)\n",
                             cp.first.c_str(), "-", cp.second);
+        // Storage columns: informational like IPC — bytes on disk and
+        // restore latency are storage-efficiency numbers; wall time
+        // alone gates.
+        const struct {
+            const char* key;
+            double bval, cval;
+        } storage[] = {
+            {"size_bytes", b.size_bytes, c->size_bytes},
+            {"restore_ms", b.restore_ms, c->restore_ms},
+        };
+        for (const auto& s : storage) {
+            if (s.bval < 0 && s.cval < 0)
+                continue;
+            if (s.bval > 0 && s.cval >= 0)
+                std::printf("      %-38s %12.3f %12.3f %+7.1f%%  "
+                            "(storage)\n",
+                            s.key, s.bval, s.cval,
+                            pctDelta(s.bval, s.cval));
+            else
+                std::printf("      %-38s %12.3f %12.3f  (storage)\n",
+                            s.key, s.bval, s.cval);
+        }
     }
     for (const BenchRow& c : cand.rows)
         if (!findRow(base, c.label))

@@ -1,10 +1,12 @@
 #!/bin/sh
 # Sanitizer leg for CI: build with -DPFM_SANITIZE=ON (ASan + UBSan) and
-# run the daemon/concurrency tests under it. The daemon is the one part
-# of the codebase with real thread/descriptor lifetime hazards — leaked
-# mmaps on checkpoint error paths, double-fclose, worker threads outliving
-# stop() — exactly what the instrumented build catches and the plain
-# build cannot.
+# run the daemon/concurrency and checkpoint-store tests under it. The
+# daemon is the one part of the codebase with real thread/descriptor
+# lifetime hazards — leaked mmaps on checkpoint error paths,
+# double-fclose, worker threads outliving stop() — and the store's LZ
+# codec and blob loader are raw byte-twiddling over attacker-shaped
+# (corrupt) input: exactly what the instrumented build catches and the
+# plain build cannot.
 #
 # Usage: scripts/ci_sanitize.sh [build-dir]   (default: build-sanitize)
 set -eu
@@ -14,5 +16,5 @@ BUILD_DIR="${1:-build-sanitize}"
 
 cmake -B "$BUILD_DIR" -S . -DPFM_SANITIZE=ON
 cmake --build "$BUILD_DIR" -j"$(nproc)" --target pfm_daemon_tests \
-    pfm_daemon pfm_client
-(cd "$BUILD_DIR" && ctest -L daemon --output-on-failure -j2)
+    pfm_ckpt_store_tests pfm_daemon pfm_client
+(cd "$BUILD_DIR" && ctest -L 'daemon|ckptstore' --output-on-failure -j2)

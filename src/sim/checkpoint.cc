@@ -2,10 +2,12 @@
 
 #include <array>
 #include <cstdio>
+#include <cstdlib>
 
 #include <sys/mman.h>
 
 #include "common/log.h"
+#include "common/lz.h"
 
 namespace pfm {
 
@@ -61,7 +63,80 @@ ckptCrc32(const void* data, std::size_t n) noexcept
     return crc ^ 0xFFFFFFFFu;
 }
 
+bool
+ckptCompressEnabled(bool store_mode)
+{
+    const char* env = std::getenv("PFM_CKPT_COMPRESS");
+    if (env && *env)
+        return std::string(env) != "0";
+    return store_mode;
+}
+
+bool
+ckptStoreEnabled()
+{
+    const char* env = std::getenv("PFM_CKPT_STORE");
+    return !env || std::string(env) != "0";
+}
+
 // ---------------------------------------------------------------- writer
+
+namespace {
+
+/** Append raw bytes / u32-length strings to a byte buffer. */
+void
+appendBytes(std::vector<std::uint8_t>& out, const void* p, std::size_t n)
+{
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    out.insert(out.end(), b, b + n);
+}
+
+template <typename T>
+void
+appendVal(std::vector<std::uint8_t>& out, const T& v)
+{
+    appendBytes(out, &v, sizeof v);
+}
+
+void
+appendStr(std::vector<std::uint8_t>& out, const std::string& s)
+{
+    appendVal(out, static_cast<std::uint32_t>(s.size()));
+    appendBytes(out, s.data(), s.size());
+}
+
+/**
+ * Write-to-temp + atomic rename: a run killed (or a disk filled) mid
+ * write must never leave a truncated image at the final path, where a
+ * later sharded leg would trip over it as corruption. The temp is
+ * removed on every failure path, so the worst crash artifact is a
+ * stale .tmp no reader ever opens.
+ */
+void
+writeFileAtomic(const std::string& path,
+                const std::vector<std::uint8_t>& bytes)
+{
+    const std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        pfm_fatal("checkpoint '%s': cannot open for writing", path.c_str());
+    std::size_t written = bytes.empty()
+        ? 0
+        : std::fwrite(bytes.data(), 1, bytes.size(), f);
+    bool close_ok = std::fclose(f) == 0;
+    if (written != bytes.size() || !close_ok) {
+        std::remove(tmp.c_str());
+        pfm_fatal("checkpoint '%s': short write (%zu of %zu bytes)",
+                  path.c_str(), written, bytes.size());
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        pfm_fatal("checkpoint '%s': cannot rename temp image into place",
+                  path.c_str());
+    }
+}
+
+} // namespace
 
 CkptWriter::CkptWriter(std::string path) : path_(std::move(path)) {}
 
@@ -70,26 +145,7 @@ CkptWriter::writeHeader(const CkptHeader& h)
 {
     pfm_assert(!header_written_, "checkpoint header written twice");
     header_written_ = true;
-    // The header is framed with the same primitives as section payloads,
-    // but written straight into the image (no CRC: the magic + version gate
-    // rejects garbage, and each section carries its own CRC).
-    auto raw = [this](const void* p, std::size_t n) {
-        const auto* b = static_cast<const std::uint8_t*>(p);
-        out_.insert(out_.end(), b, b + n);
-    };
-    std::uint64_t magic = kCkptMagic;
-    std::uint32_t version = kCkptFormatVersion;
-    raw(&magic, sizeof magic);
-    raw(&version, sizeof version);
-    raw(&h.fingerprint, sizeof h.fingerprint);
-    auto raw_str = [&raw](const std::string& s) {
-        std::uint32_t len = static_cast<std::uint32_t>(s.size());
-        raw(&len, sizeof len);
-        raw(s.data(), s.size());
-    };
-    raw_str(h.workload);
-    raw_str(h.component);
-    raw(&h.retired, sizeof h.retired);
+    hdr_ = h;
 }
 
 void
@@ -99,19 +155,7 @@ CkptWriter::beginSection(const std::string& name)
     pfm_assert(!in_section_, "nested checkpoint section '%s'", name.c_str());
     in_section_ = true;
     section_ = name;
-    auto raw = [this](const void* p, std::size_t n) {
-        const auto* b = static_cast<const std::uint8_t*>(p);
-        out_.insert(out_.end(), b, b + n);
-    };
-    std::uint32_t name_len = static_cast<std::uint32_t>(name.size());
-    raw(&name_len, sizeof name_len);
-    raw(name.data(), name.size());
-    std::uint64_t len_placeholder = 0;
-    std::uint32_t crc_placeholder = 0;
-    frame_patch_ = out_.size();
-    raw(&len_placeholder, sizeof len_placeholder);
-    raw(&crc_placeholder, sizeof crc_placeholder);
-    payload_start_ = out_.size();
+    sec_start_ = out_.size();
 }
 
 void
@@ -119,21 +163,14 @@ CkptWriter::endSection()
 {
     pfm_assert(in_section_, "endSection() with no open section");
     in_section_ = false;
-    std::uint64_t payload_len = out_.size() - payload_start_;
-    std::uint32_t crc = ckptCrc32(out_.data() + payload_start_,
-                                  static_cast<std::size_t>(payload_len));
-    std::memcpy(out_.data() + frame_patch_, &payload_len,
-                sizeof payload_len);
-    std::memcpy(out_.data() + frame_patch_ + sizeof payload_len, &crc,
-                sizeof crc);
+    secs_.push_back(Sec{section_, sec_start_, out_.size() - sec_start_});
 }
 
 void
 CkptWriter::putBytes(const void* p, std::size_t n)
 {
     pfm_assert(in_section_, "checkpoint write outside a section");
-    const auto* b = static_cast<const std::uint8_t*>(p);
-    out_.insert(out_.end(), b, b + n);
+    appendBytes(out_, p, n);
 }
 
 void
@@ -148,29 +185,74 @@ CkptWriter::finish()
 {
     pfm_assert(!in_section_, "finish() with section '%s' still open",
                section_.c_str());
-    // Write-to-temp + atomic rename: a run killed (or a disk filled) mid
-    // write must never leave a truncated image at the final path, where a
-    // later sharded leg would trip over it as corruption. The temp is
-    // removed on every failure path, so the worst crash artifact is a
-    // stale .tmp no reader ever opens.
-    const std::string tmp = path_ + ".tmp";
-    std::FILE* f = std::fopen(tmp.c_str(), "wb");
-    if (!f)
-        pfm_fatal("checkpoint '%s': cannot open for writing", path_.c_str());
-    std::size_t written = out_.empty()
-        ? 0
-        : std::fwrite(out_.data(), 1, out_.size(), f);
-    bool close_ok = std::fclose(f) == 0;
-    if (written != out_.size() || !close_ok) {
-        std::remove(tmp.c_str());
-        pfm_fatal("checkpoint '%s': short write (%zu of %zu bytes)",
-                  path_.c_str(), written, out_.size());
+
+    std::vector<std::uint8_t> file;
+    const bool store = !store_rel_.empty();
+
+    if (!store) {
+        // Plain image: header, then self-describing v3 section frames.
+        appendVal(file, kCkptMagic);
+        appendVal(file, kCkptFormatVersion);
+        appendVal(file, hdr_.fingerprint);
+        appendStr(file, hdr_.workload);
+        appendStr(file, hdr_.component);
+        appendVal(file, hdr_.retired);
+    } else {
+        appendVal(file, kCkptManifestMagic);
+        appendVal(file, kCkptFormatVersion);
+        appendVal(file, hdr_.fingerprint);
+        appendStr(file, hdr_.workload);
+        appendStr(file, hdr_.component);
+        appendVal(file, hdr_.retired);
+        appendStr(file, store_rel_);
+        appendVal(file, static_cast<std::uint32_t>(secs_.size()));
     }
-    if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
-        std::remove(tmp.c_str());
-        pfm_fatal("checkpoint '%s': cannot rename temp image into place",
-                  path_.c_str());
+
+    const std::string store_dir =
+        store ? ckptDirOf(path_) + "/" + store_rel_ : std::string();
+    std::vector<std::uint8_t> packed;
+    for (const Sec& sec : secs_) {
+        const std::uint8_t* raw = out_.data() + sec.start;
+        // Compressed form is used only when it actually wins; the flags
+        // byte keeps the format self-describing either way.
+        const std::uint8_t* stored = raw;
+        std::size_t stored_len = sec.len;
+        std::uint8_t flags = 0;
+        if (compress_) {
+            lz::compress(raw, sec.len, packed);
+            if (packed.size() < sec.len) {
+                stored = packed.data();
+                stored_len = packed.size();
+                flags = kCkptBlobCompressed;
+            }
+        }
+        if (!store) {
+            appendStr(file, sec.name);
+            appendVal(file, static_cast<std::uint64_t>(stored_len));
+            appendVal(file, ckptCrc32(stored, stored_len));
+            appendVal(file, flags);
+            appendVal(file, static_cast<std::uint64_t>(sec.len));
+            appendBytes(file, stored, stored_len);
+        } else {
+            CkptBlobMeta meta;
+            meta.raw_len = sec.len;
+            meta.raw_crc = ckptCrc32(raw, sec.len);
+            meta.flags = flags;
+            meta.stored_len = stored_len;
+            std::uint64_t hash = ckptHash64(raw, sec.len);
+            ckptStorePut(store_dir, hash, meta, stored, path_, sec.name);
+            appendStr(file, sec.name);
+            appendVal(file, hash);
+            appendVal(file, meta.raw_len);
+            appendVal(file, meta.raw_crc);
+            appendVal(file, meta.flags);
+            appendVal(file, meta.stored_len);
+        }
     }
+    if (store)
+        appendVal(file, ckptCrc32(file.data(), file.size()));
+
+    writeFileAtomic(path_, file);
 }
 
 // ---------------------------------------------------------------- reader
@@ -288,17 +370,65 @@ CkptHeader
 CkptReader::readHeader()
 {
     std::uint64_t magic = rawU64("header magic");
+    if (magic == kCkptManifestMagic) {
+        mode_ = Mode::kManifest;
+        return readManifest();
+    }
     if (magic != kCkptMagic)
         fail("bad magic, not a PFM checkpoint");
     CkptHeader h;
     h.version = rawU32("header version");
-    if (h.version != kCkptFormatVersion)
+    if (h.version < kCkptMinReadVersion || h.version > kCkptFormatVersion)
         fail("format version " + std::to_string(h.version) +
-             " != supported version " + std::to_string(kCkptFormatVersion));
+             " != supported versions " +
+             std::to_string(kCkptMinReadVersion) + "-" +
+             std::to_string(kCkptFormatVersion));
+    mode_ = h.version == 2 ? Mode::kImageV2 : Mode::kImageV3;
     h.fingerprint = rawU64("header fingerprint");
     h.workload = rawString("header workload");
     h.component = rawString("header component");
     h.retired = rawU64("header retired count");
+    return h;
+}
+
+CkptHeader
+CkptReader::readManifest()
+{
+    CkptHeader h;
+    h.version = rawU32("manifest version");
+    if (h.version != kCkptFormatVersion)
+        fail("manifest format version " + std::to_string(h.version) +
+             " != supported version " +
+             std::to_string(kCkptFormatVersion));
+    h.fingerprint = rawU64("manifest fingerprint");
+    h.workload = rawString("manifest workload");
+    h.component = rawString("manifest component");
+    h.retired = rawU64("manifest retired count");
+    store_dir_ = ckptDirOf(path_) + "/" + rawString("manifest store path");
+    std::uint32_t nsec = rawU32("manifest section count");
+    // A manifest entry is ≥ 37 bytes on disk; an nsec the file cannot
+    // hold is corruption, not a gigantic resize request.
+    if (nsec > size_ / 37)
+        fail("implausible manifest section count " + std::to_string(nsec));
+    entries_.reserve(nsec);
+    for (std::uint32_t i = 0; i < nsec; ++i) {
+        ManifestEntry e;
+        e.name = rawString("manifest entry name");
+        e.hash = rawU64("manifest entry hash");
+        e.meta.raw_len = rawU64("manifest entry raw length");
+        e.meta.raw_crc = rawU32("manifest entry raw CRC");
+        rawBytes(&e.meta.flags, 1, "manifest entry flags");
+        e.meta.stored_len = rawU64("manifest entry stored length");
+        entries_.push_back(std::move(e));
+    }
+    // The trailing CRC covers every preceding byte, so a flipped bit
+    // anywhere in the manifest (including a blob hash, which would
+    // otherwise just look like a missing blob) dies here by name.
+    std::uint32_t crc = rawU32("manifest CRC");
+    if (ckptCrc32(data_, pos_ - sizeof crc) != crc)
+        fail("manifest CRC mismatch");
+    if (pos_ != size_)
+        fail("trailing bytes after manifest");
     return h;
 }
 
@@ -308,33 +438,71 @@ CkptReader::beginSection(const std::string& name)
     pfm_assert(!in_section_, "nested checkpoint section '%s'", name.c_str());
     // Report framing errors against the section we are *trying* to open.
     section_ = name;
+
+    if (mode_ == Mode::kManifest) {
+        if (next_entry_ == entries_.size())
+            fail("file ends before section");
+        const ManifestEntry& e = entries_[next_entry_++];
+        if (e.name != name)
+            fail("expected section '" + name + "', found '" + e.name +
+                 "' (section order mismatch)");
+        blob_ = ckptBlobLoad(store_dir_ + "/" + ckptBlobName(e.hash),
+                             e.hash, e.meta, path_, name);
+        sdata_ = blob_->data();
+        spos_ = 0;
+        send_ = blob_->size();
+        in_section_ = true;
+        return;
+    }
+
     if (pos_ == size_)
         fail("file ends before section");
     std::string found = rawString("section name");
     if (found != name)
         fail("expected section '" + name + "', found '" + found +
              "' (section order mismatch)");
-    std::uint64_t payload_len = rawU64("section length");
+    std::uint64_t stored_len = rawU64("section length");
     std::uint32_t crc = rawU32("section CRC");
-    if (payload_len > size_ - pos_)
-        fail("truncated payload (" + std::to_string(payload_len) +
+    std::uint8_t flags = 0;
+    std::uint64_t raw_len = stored_len;
+    if (mode_ == Mode::kImageV3) {
+        rawBytes(&flags, 1, "section flags");
+        raw_len = rawU64("section raw length");
+    }
+    if (stored_len > size_ - pos_)
+        fail("truncated payload (" + std::to_string(stored_len) +
              " bytes declared, " + std::to_string(size_ - pos_) +
              " available)");
-    if (ckptCrc32(data_ + pos_,
-                  static_cast<std::size_t>(payload_len)) != crc)
+    if (ckptCrc32(data_ + pos_, static_cast<std::size_t>(stored_len)) !=
+        crc)
         fail("CRC mismatch");
+    if (flags & kCkptBlobCompressed) {
+        sbuf_.resize(static_cast<std::size_t>(raw_len));
+        if (!lz::decompress(data_ + pos_,
+                            static_cast<std::size_t>(stored_len),
+                            sbuf_.data(), sbuf_.size()))
+            fail("corrupt compressed payload");
+        sdata_ = sbuf_.data();
+    } else {
+        if (raw_len != stored_len)
+            fail("raw/stored length mismatch in section frame");
+        // Raw payload: serve in place from the mmap, no copy.
+        sdata_ = data_ + pos_;
+    }
+    spos_ = 0;
+    send_ = static_cast<std::size_t>(raw_len);
+    pos_ += static_cast<std::size_t>(stored_len);
     in_section_ = true;
-    section_end_ = pos_ + static_cast<std::size_t>(payload_len);
 }
 
 void
 CkptReader::endSection()
 {
     pfm_assert(in_section_, "endSection() with no open section");
-    if (pos_ != section_end_)
-        fail(std::to_string(section_end_ - pos_) +
-             " unconsumed payload bytes");
+    if (spos_ != send_)
+        fail(std::to_string(send_ - spos_) + " unconsumed payload bytes");
     in_section_ = false;
+    blob_.reset();
     section_.clear();
 }
 
@@ -343,16 +511,16 @@ CkptReader::getBytes(void* p, std::size_t n)
 {
     if (!in_section_)
         fail("checkpoint read outside a section");
-    if (n > section_end_ - pos_)
+    if (n > send_ - spos_)
         fail("payload exhausted");
-    std::memcpy(p, data_ + pos_, n);
-    pos_ += n;
+    std::memcpy(p, sdata_ + spos_, n);
+    spos_ += n;
 }
 
 void
 CkptReader::checkCount(std::uint64_t n, std::size_t elem_size)
 {
-    std::uint64_t remaining = section_end_ - pos_;
+    std::uint64_t remaining = send_ - spos_;
     if (elem_size != 0 && n > remaining / elem_size)
         fail("implausible element count " + std::to_string(n));
 }
@@ -361,11 +529,19 @@ std::string
 CkptReader::getString()
 {
     std::uint32_t len = get<std::uint32_t>();
-    if (len > section_end_ - pos_)
+    if (len > send_ - spos_)
         fail("payload exhausted");
-    std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
-    pos_ += len;
+    std::string s(reinterpret_cast<const char*>(sdata_ + spos_), len);
+    spos_ += len;
     return s;
+}
+
+bool
+CkptReader::atEnd() const
+{
+    if (mode_ == Mode::kManifest)
+        return next_entry_ == entries_.size();
+    return pos_ == size_;
 }
 
 } // namespace pfm

@@ -2,13 +2,33 @@
  * @file
  * Versioned, tagged binary checkpoint format for sharded long runs.
  *
- * A checkpoint is a flat byte stream:
+ * A checkpoint *image* is a flat byte stream:
  *
  *   header:  magic u64 | format version u32 | config fingerprint u64 |
  *            workload string | component string | retired-at-save u64
- *   section: name string | payload length u64 | CRC32 u32 | payload bytes
+ *   section (v2): name string | payload length u64 | CRC32 u32 | payload
+ *   section (v3): name string | stored length u64 | CRC32 u32 (of stored
+ *                 bytes) | flags u8 | raw length u64 | stored bytes
  *   ...      (sections in a fixed order; the reader names the section it
  *             expects, so an order mismatch is caught by name)
+ *
+ * v3 sections are self-describing: flags bit 0 marks the stored bytes as
+ * lz-compressed (common/lz.h); with it clear, stored == raw and the
+ * reader serves the payload in place from the mmap — the zero-copy fast
+ * path plain images keep by default. The writer can also save in *store*
+ * mode (setStore()): each section payload becomes a content-addressed
+ * blob in a shared store directory, and the checkpoint file is a tiny
+ * manifest referencing blobs by FNV-1a hash — see ckpt_store.h:
+ *
+ *   manifest: manifest-magic u64 | version u32 | fingerprint u64 |
+ *             workload string | component string | retired u64 |
+ *             store subdir string | section count u32 |
+ *             per section { name string | hash u64 | raw length u64 |
+ *                           raw CRC32 u32 | flags u8 | stored length u64 }
+ *             | manifest CRC32 u32 (over everything before it)
+ *
+ * CkptReader dispatches on the leading magic and serves all three
+ * layouts (v2 image, v3 image, manifest) behind one section API.
  *
  * Strings are u32 length + bytes. Every multi-byte value is host-endian;
  * checkpoints are an intra-machine hand-off between sweep legs, not an
@@ -28,18 +48,42 @@
 #include <cstdint>
 #include <cstring>
 #include <deque>
+#include <memory>
 #include <string>
 #include <type_traits>
 #include <vector>
 
+#include "sim/ckpt_store.h"
+
 namespace pfm {
 
 /**
- * Bump on any layout change; readers reject other versions outright.
+ * Bump on any layout change; readers reject versions outside
+ * [kCkptMinReadVersion, kCkptFormatVersion]. The writer always emits the
+ * current version.
  * v2: agent queues serialize through TimedPort (payload + avail + pushed
  * stamps per entry); packets no longer carry their own avail field.
+ * v3: section framing gains flags + raw-length fields (per-section
+ * compression); adds the content-addressed manifest layout.
  */
-constexpr std::uint32_t kCkptFormatVersion = 2;
+constexpr std::uint32_t kCkptFormatVersion = 3;
+
+/** Oldest image version still readable (v2 section payloads unchanged). */
+constexpr std::uint32_t kCkptMinReadVersion = 2;
+
+/**
+ * Compression policy from the PFM_CKPT_COMPRESS env knob: "0" never,
+ * any other value always, unset = compress in store mode only (plain
+ * images stay raw so the mmap path serves sections zero-copy).
+ */
+bool ckptCompressEnabled(bool store_mode);
+
+/**
+ * Store policy from the PFM_CKPT_STORE env knob: "0" makes sharded
+ * sweeps and the daemon fall back to plain whole-image checkpoints;
+ * anything else (including unset) keeps the content-addressed store on.
+ */
+bool ckptStoreEnabled();
 
 /** "PFMCKPT\0" little-endian. */
 constexpr std::uint64_t kCkptMagic = 0x0054504b434d4650ull;
@@ -88,13 +132,24 @@ struct CkptHeader {
 };
 
 /**
- * Serializer. Accumulates the whole image in memory; finish() writes the
- * file atomically-enough (single write) and is fatal on any I/O error.
+ * Serializer. Accumulates raw section payloads in memory; finish()
+ * assembles and writes the image (or manifest + blobs) atomically via
+ * temp + rename and is fatal on any I/O error.
  */
 class CkptWriter
 {
   public:
     explicit CkptWriter(std::string path);
+
+    /**
+     * Save in content-addressed store mode: section payloads go to blobs
+     * under `<dir of path>/<subdir>` and the file at path becomes a
+     * manifest. Must be called before finish(); empty reverts to image.
+     */
+    void setStore(std::string subdir) { store_rel_ = std::move(subdir); }
+
+    /** Compress section payloads (kept only when actually smaller). */
+    void setCompress(bool on) { compress_ = on; }
 
     void writeHeader(const CkptHeader& h);
 
@@ -145,19 +200,26 @@ class CkptWriter
             put(v);
     }
 
-    /** Flush the image to disk. No further use after this. */
+    /** Flush the image or manifest to disk. No further use after this. */
     void finish();
 
     const std::string& path() const { return path_; }
 
   private:
+    /** One closed section: a [start, start+len) slice of out_. */
+    struct Sec {
+        std::string name;
+        std::size_t start;
+        std::size_t len;
+    };
+
     std::string path_;
-    std::vector<std::uint8_t> out_;  ///< header + sections, built in place
-    // Open-section bookkeeping: the payload is appended directly to out_
-    // and the length/CRC framing fields (written as placeholders by
-    // beginSection) are patched by endSection — no second payload buffer.
-    std::size_t frame_patch_ = 0;    ///< offset of the length placeholder
-    std::size_t payload_start_ = 0;  ///< offset of the first payload byte
+    CkptHeader hdr_;
+    std::vector<std::uint8_t> out_; ///< concatenated raw section payloads
+    std::vector<Sec> secs_;
+    std::string store_rel_;         ///< non-empty = manifest + blob store
+    bool compress_ = false;
+    std::size_t sec_start_ = 0;     ///< offset of the open section's payload
     std::string section_;
     bool in_section_ = false;
     bool header_written_ = false;
@@ -244,11 +306,21 @@ class CkptReader
     }
 
     /** True once every section has been consumed. */
-    bool atEnd() const { return pos_ == size_; }
+    bool atEnd() const;
 
     const std::string& path() const { return path_; }
 
   private:
+    /** Layout found behind the leading magic, set by readHeader(). */
+    enum class Mode { kImageV2, kImageV3, kManifest };
+
+    /** One parsed manifest entry, consumed in order by beginSection(). */
+    struct ManifestEntry {
+        std::string name;
+        std::uint64_t hash = 0;
+        CkptBlobMeta meta;
+    };
+
     [[noreturn]] void fail(const std::string& what) const;
 
     /** Element count sanity: must fit in the bytes left in the section. */
@@ -259,6 +331,9 @@ class CkptReader
     std::uint32_t rawU32(const char* what);
     std::uint64_t rawU64(const char* what);
     std::string rawString(const char* what);
+
+    /** Parse the manifest body (after the magic); fills entries_. */
+    CkptHeader readManifest();
 
     std::string path_;
     /**
@@ -273,7 +348,23 @@ class CkptReader
     const std::uint8_t* data_ = nullptr;
     std::size_t size_ = 0;
     std::size_t pos_ = 0;          ///< cursor into data_
-    std::size_t section_end_ = 0;  ///< one past the open section's payload
+
+    Mode mode_ = Mode::kImageV2;
+    std::vector<ManifestEntry> entries_; ///< manifest mode only
+    std::size_t next_entry_ = 0;
+    std::string store_dir_;              ///< resolved blob directory
+
+    /**
+     * Open-section serving state, decoupled from the file cursor: raw
+     * image sections serve in place from the mmap (sdata_ points into
+     * data_), compressed ones from sbuf_, manifest sections from the
+     * shared blob buffer pinned by blob_ for the section's lifetime.
+     */
+    const std::uint8_t* sdata_ = nullptr;
+    std::size_t spos_ = 0;
+    std::size_t send_ = 0;
+    std::vector<std::uint8_t> sbuf_;
+    std::shared_ptr<const std::vector<std::uint8_t>> blob_;
     std::string section_;
     bool in_section_ = false;
 };

@@ -15,6 +15,7 @@
 
 #include "common/framing.h"
 #include "common/log.h"
+#include "sim/checkpoint.h"
 #include "sim/simulator.h"
 #include "sim/stats_io.h"
 #include "sim/sweep.h"
@@ -29,7 +30,10 @@ struct WarmupCache::Entry {
     std::string path;
     enum class State { kWarming, kReady, kFailed } state = State::kWarming;
     std::string error;       ///< kFailed: what the producing warmup threw
-    std::uint64_t bytes = 0;
+    std::uint64_t bytes = 0; ///< the checkpoint file itself (manifest or
+                             ///  whole image; shared blobs charged apart)
+    std::uint64_t logical = 0;         ///< uncompressed whole-image cost
+    std::vector<std::string> blobs;    ///< store blob paths referenced
     unsigned pins = 0;       ///< live leases; evict/delete only at zero
     std::uint64_t lru = 0;   ///< last-touch tick
 };
@@ -162,12 +166,46 @@ WarmupCache::acquire(const std::string& key,
         throw;
     }
 
+    // Accounting inspection is best-effort (tests stub cache entries with
+    // junk payloads): an unrecognized file is charged at its plain size
+    // with no blob references, exactly like a whole image.
+    CkptFileInfo info = inspectCkptFile(path);
+
     lk.lock();
-    struct stat st{};
-    produce->bytes = (::stat(path.c_str(), &st) == 0)
-        ? static_cast<std::uint64_t>(st.st_size)
-        : 0;
+    // Publish-time blob check, under the same lock eviction runs under: a
+    // blob this manifest deduplicated against may have been evicted (last
+    // referencing entry dropped) while the warmup ran. Serving the key
+    // would fail on every future restore, so convert the race into one
+    // retryable failure instead of a poisoned cache entry.
+    for (const CkptBlobRef& b : info.blobs) {
+        struct stat bst{};
+        if (blobs_.find(b.path) == blobs_.end() &&
+            ::stat(b.path.c_str(), &bst) != 0) {
+            produce->state = Entry::State::kFailed;
+            produce->error =
+                "store blob '" + b.path + "' vanished before publication";
+            std::string msg = produce->error;
+            cv_.notify_all();
+            lk.unlock();
+            std::remove(path.c_str());
+            throw FatalError("shared warmup failed: " + msg);
+        }
+    }
+    produce->bytes = info.file_bytes;
+    produce->logical = info.logical_bytes;
     bytes_ += produce->bytes;
+    logical_bytes_ += produce->logical;
+    for (const CkptBlobRef& b : info.blobs) {
+        produce->blobs.push_back(b.path);
+        BlobAcct& acct = blobs_[b.path];
+        if (acct.refs++ == 0) {
+            struct stat bst{};
+            acct.bytes = (::stat(b.path.c_str(), &bst) == 0)
+                ? static_cast<std::uint64_t>(bst.st_size)
+                : kCkptBlobHeaderBytes + b.stored_len;
+            bytes_ += acct.bytes;
+        }
+    }
     produce->state = Entry::State::kReady;
     produce->pins = 1;
     produce->lru = ++tick_;
@@ -188,6 +226,26 @@ WarmupCache::release(Entry* e)
 }
 
 void
+WarmupCache::dropFilesLocked(Entry& e)
+{
+    std::remove(e.path.c_str());
+    bytes_ -= e.bytes;
+    logical_bytes_ -= e.logical;
+    for (const std::string& p : e.blobs) {
+        auto it = blobs_.find(p);
+        if (it == blobs_.end())
+            continue;
+        if (--it->second.refs == 0) {
+            // Last resident entry referencing this blob: its bytes leave
+            // the budget and the file leaves the store.
+            std::remove(p.c_str());
+            bytes_ -= it->second.bytes;
+            blobs_.erase(it);
+        }
+    }
+}
+
+void
 WarmupCache::evictLocked(const Entry* keep)
 {
     while (bytes_ > budget_) {
@@ -201,8 +259,7 @@ WarmupCache::evictLocked(const Entry* keep)
         }
         if (!victim)
             break;  // everything left is pinned/warming; resolve later
-        std::remove(victim->path.c_str());
-        bytes_ -= victim->bytes;
+        dropFilesLocked(*victim);
         ++stats_.evictions;
         entries_.erase(victim->key);
     }
@@ -214,6 +271,8 @@ WarmupCache::stats() const
     std::lock_guard<std::mutex> lk(mu_);
     DaemonCacheStats s = stats_;
     s.bytes = bytes_;
+    s.logical_bytes = logical_bytes_;
+    s.blobs = blobs_.size();
     std::uint64_t ready = 0;
     for (const auto& [k, e] : entries_)
         if (e->state == Entry::State::kReady)
@@ -234,10 +293,8 @@ WarmupCache::removeFiles()
             ++it;
             continue;
         }
-        if (e.state == Entry::State::kReady) {
-            std::remove(e.path.c_str());
-            bytes_ -= e.bytes;
-        }
+        if (e.state == Entry::State::kReady)
+            dropFilesLocked(e);
         it = entries_.erase(it);
     }
 }
@@ -254,6 +311,14 @@ resolveCacheDir(const DaemonOptions& opt)
     if (const char* env = std::getenv("PFM_CKPT_DIR"))
         return env;
     return ".";
+}
+
+/** Store subdir (under the cache dir) for this daemon's warmup blobs. */
+std::string
+daemonStoreSubdir()
+{
+    return "pfm_store_" +
+           std::to_string(static_cast<unsigned long>(::getpid()));
 }
 
 std::vector<std::string>
@@ -421,8 +486,13 @@ DaemonServer::stop()
             t.join();
     workers_.clear();
 
-    if (!opt_.keep_cache_files)
+    if (!opt_.keep_cache_files) {
         cache_.removeFiles();
+        // The refcounted blob accounting deletes blobs as their last
+        // referencing entry goes; this sweeps any stragglers (orphaned by
+        // a crash-interrupted publish) and removes the directory itself.
+        ckptStoreRemoveDir(resolveCacheDir(opt_) + "/" + daemonStoreSubdir());
+    }
     running_.store(false);
 }
 
@@ -480,18 +550,29 @@ DaemonServer::serveConnection(const std::shared_ptr<ConnState>& st)
             framing::writeFrame(fd, "ok pong");
         } else if (cmd == "stats") {
             DaemonCacheStats s = cacheStats();
+            // saved_bytes = what compression + dedup are buying right now:
+            // the whole-image cost of the resident entries minus what they
+            // actually occupy on disk.
+            std::uint64_t saved = s.logical_bytes > s.bytes
+                ? s.logical_bytes - s.bytes
+                : 0;
             framing::writeFrame(
                 fd,
                 log_detail::format(
                     "ok {\"hits\": %llu, \"misses\": %llu, \"warmups\": "
                     "%llu, \"evictions\": %llu, \"bytes\": %llu, "
-                    "\"entries\": %llu, \"requests\": %llu, \"legs_ok\": "
+                    "\"entries\": %llu, \"logical_bytes\": %llu, "
+                    "\"saved_bytes\": %llu, \"blobs\": %llu, "
+                    "\"requests\": %llu, \"legs_ok\": "
                     "%llu, \"legs_err\": %llu, \"legs_cancelled\": %llu}",
                     (unsigned long long)s.hits, (unsigned long long)s.misses,
                     (unsigned long long)s.warmups,
                     (unsigned long long)s.evictions,
                     (unsigned long long)s.bytes,
                     (unsigned long long)s.entries,
+                    (unsigned long long)s.logical_bytes,
+                    (unsigned long long)saved,
+                    (unsigned long long)s.blobs,
                     (unsigned long long)requests_.load(),
                     (unsigned long long)legs_ok_.load(),
                     (unsigned long long)legs_err_.load(),
@@ -764,7 +845,11 @@ DaemonServer::warmFor(const SimOptions& leg_opt, const std::string& path)
     // A bare-core warmup leg, exactly as SweepSpec::addWarmup would run
     // it: warm, reset stats, save at the boundary, skip measurement. The
     // saved header carries the bare fingerprint, so any leg on this key
-    // restores it regardless of component/PFM parameters.
+    // restores it regardless of component/PFM parameters. Saved through
+    // the content-addressed store by default: keys sharing section
+    // payloads (above all, keys differing only in warmup-irrelevant
+    // geometry) dedup against one blob set, and the LRU budget holds
+    // several times more keys for the same bytes.
     SweepRun warm;
     warm.label = "warmup";
     warm.opt = leg_opt;
@@ -772,7 +857,8 @@ DaemonServer::warmFor(const SimOptions& leg_opt, const std::string& path)
     warm.opt.defer_component = false;
     warm.opt.checkpoint_load.clear();
     warm.opt.cancel_poll = [this] { return stopping_.load(); };
-    runSweepLeg(warm, path, "");
+    runSweepLeg(warm, path, "",
+                ckptStoreEnabled() ? daemonStoreSubdir() : std::string());
 }
 
 } // namespace pfm

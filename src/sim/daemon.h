@@ -73,8 +73,12 @@ struct DaemonCacheStats {
     std::uint64_t warmups = 0;    ///< warm_fn invocations (== one per key
                                   ///  unless a warmup failed and retried)
     std::uint64_t evictions = 0;  ///< images deleted under budget pressure
-    std::uint64_t bytes = 0;      ///< resident image bytes
+    std::uint64_t bytes = 0;      ///< resident bytes on disk (manifests +
+                                  ///  unique store blobs, each counted once)
     std::uint64_t entries = 0;    ///< resident images
+    std::uint64_t logical_bytes = 0; ///< what the same entries would cost
+                                     ///  as uncompressed whole images
+    std::uint64_t blobs = 0;      ///< unique store blobs resident
 };
 
 /**
@@ -141,17 +145,34 @@ class WarmupCache
     void removeFiles();
 
   private:
+    /**
+     * Refcount + size of one store blob shared by resident entries. The
+     * cache charges each unique blob once (dedup accounting): an entry's
+     * cost is its manifest plus whichever referenced blobs it is first to
+     * bring in, and a blob's file is deleted only when the last resident
+     * entry referencing it goes.
+     */
+    struct BlobAcct {
+        std::uint64_t bytes = 0;
+        unsigned refs = 0;
+    };
+
     void release(Entry* e);
 
     /** Drop LRU unpinned ready entries until under budget (never @p keep). */
     void evictLocked(const Entry* keep);
+
+    /** Remove a ready entry's files and accounting (entry stays mapped). */
+    void dropFilesLocked(Entry& e);
 
     std::string dir_;
     std::uint64_t budget_;
     mutable std::mutex mu_;
     std::condition_variable cv_;
     std::map<std::string, std::unique_ptr<Entry>> entries_;
+    std::map<std::string, BlobAcct> blobs_;  ///< keyed by blob file path
     std::uint64_t bytes_ = 0;
+    std::uint64_t logical_bytes_ = 0;
     std::uint64_t tick_ = 0;  ///< LRU clock
     DaemonCacheStats stats_;
 };

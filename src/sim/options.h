@@ -64,6 +64,16 @@ struct SimOptions {
     std::string checkpoint_load;
 
     /**
+     * Non-empty: checkpoint_save writes a content-addressed manifest
+     * whose section payloads live as deduplicated (and, by default,
+     * compressed) blobs under `<ckpt dir>/<ckpt_store>` — see
+     * ckpt_store.h. Loads need no flag: the reader dispatches on the
+     * file's magic. Excluded from the config fingerprint: storage layout
+     * does not shape machine state.
+     */
+    std::string ckpt_store;
+
+    /**
      * Attach the custom component at the warmup boundary instead of at
      * construction, so a single bare-core warmup checkpoint is shareable
      * across measurement legs with different components/parameters (the

@@ -330,6 +330,9 @@ void
 Simulator::saveCheckpoint(const std::string& path)
 {
     CkptWriter w(path);
+    if (!opt_.ckpt_store.empty())
+        w.setStore(opt_.ckpt_store);
+    w.setCompress(ckptCompressEnabled(!opt_.ckpt_store.empty()));
     CkptHeader h;
     h.version = kCkptFormatVersion;
     h.fingerprint = configFingerprint(opt_, pfm_ != nullptr);

@@ -12,6 +12,7 @@
 #include <unistd.h>
 
 #include "common/log.h"
+#include "sim/checkpoint.h"
 #include "sim/stats_io.h"
 
 namespace pfm {
@@ -32,7 +33,7 @@ clampJobs(long n)
 
 SweepResult
 runSweepLeg(const SweepRun& run, const std::string& save_path,
-            const std::string& load_path)
+            const std::string& load_path, const std::string& store_subdir)
 {
     using clock = std::chrono::steady_clock;
     SweepResult res;
@@ -40,6 +41,7 @@ runSweepLeg(const SweepRun& run, const std::string& save_path,
     SimOptions opt = run.opt;
     if (!save_path.empty()) {
         opt.checkpoint_save = save_path;
+        opt.ckpt_store = store_subdir;
         opt.max_instructions = 0;
     }
     if (!load_path.empty())
@@ -166,13 +168,23 @@ SweepRunner::run(const SweepSpec& spec)
     for (std::size_t i = 0; i < runs.size(); ++i)
         phases[runs[i].warmup_only ? 0 : 1].push_back(i);
 
+    // Warmup checkpoints go through the content-addressed store by
+    // default: configs sharing a bare-core image dedup to one blob set
+    // per unique payload instead of N whole images (PFM_CKPT_STORE=0
+    // restores the plain whole-image behaviour).
+    const std::string store_subdir =
+        sharded && ckptStoreEnabled()
+            ? "pfm_store_" +
+                  std::to_string(static_cast<unsigned long>(::getpid()))
+            : std::string();
+
     static const std::string kNoPath;
     auto run_one = [&](std::size_t i) {
         const SweepRun& r = runs[i];
         const std::string& load = r.warmup_leg.valid()
                                       ? ckpt_path[r.warmup_leg.index]
                                       : kNoPath;
-        results_[i] = runSweepLeg(r, ckpt_path[i], load);
+        results_[i] = runSweepLeg(r, ckpt_path[i], load, store_subdir);
     };
 
     for (const std::vector<std::size_t>& batch : phases) {
@@ -225,6 +237,8 @@ SweepRunner::run(const SweepSpec& spec)
         for (const std::string& p : ckpt_path)
             if (!p.empty())
                 std::remove(p.c_str());
+        if (!store_subdir.empty())
+            ckptStoreRemoveDir(dir + "/" + store_subdir);
     }
 
     total_wall_ms_ =

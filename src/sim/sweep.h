@@ -114,10 +114,14 @@ struct SweepResult {
  * sweep leg (the byte-identity guarantee leans on this). A non-empty
  * @p save_path turns the run into a warmup leg (checkpoint saved at the
  * boundary, measurement skipped); a non-empty @p load_path restores from
- * a warmup checkpoint instead of re-running warmup.
+ * a warmup checkpoint instead of re-running warmup. A non-empty
+ * @p store_subdir makes the save a content-addressed manifest with its
+ * blobs under that subdir of the checkpoint's directory (ckpt_store.h);
+ * loads auto-detect the layout from the file.
  */
 SweepResult runSweepLeg(const SweepRun& run, const std::string& save_path,
-                        const std::string& load_path);
+                        const std::string& load_path,
+                        const std::string& store_subdir = "");
 
 /**
  * Fixed-size thread-pool executor. Workers pull runs from the spec in

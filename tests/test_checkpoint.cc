@@ -9,11 +9,12 @@
  * identical stat dumps. Corruption tests: every malformed checkpoint
  * (truncated, bit-flipped, wrong version, reordered sections, trailing
  * garbage, config drift) dies through pfm_fatal naming the checkpoint and
- * the offending section — never a crash or a silent misload. A checked-in
- * fixture pins the on-disk format: tests/fixtures/astar_bare_v2.ckpt must
- * keep producing the digest in astar_bare_v2.digest until
- * kCkptFormatVersion is bumped (regenerate both with
- * PFM_REGEN_FIXTURES=1).
+ * the offending section — never a crash or a silent misload. Checked-in
+ * fixtures pin the on-disk formats: astar_bare_v3.{ckpt,digest} track the
+ * current writer (regenerate with PFM_REGEN_FIXTURES=1 on a format bump),
+ * while astar_bare_v2.{ckpt,digest} are frozen — the writer can no longer
+ * produce v2, so that pair pins read-back compatibility and is never
+ * rewritten. (Store-mode coverage lives in test_ckpt_store.cc.)
  */
 
 #include <gtest/gtest.h>
@@ -688,21 +689,15 @@ fixtureOptions()
     return o;
 }
 
-TEST(Checkpoint, GoldenFixtureReportDigest)
+/**
+ * Restore @p fixture and digest the resulting report (SimResult head +
+ * every stat dump). With @p regen set, write the digest to
+ * @p digest_file instead of comparing against it.
+ */
+void
+checkFixtureDigest(const std::string& fixture,
+                   const std::string& digest_file, bool regen)
 {
-    const std::string dir = PFM_FIXTURES_DIR;
-    const std::string fixture = dir + "/astar_bare_v2.ckpt";
-    const std::string digest_file = dir + "/astar_bare_v2.digest";
-    const bool regen = std::getenv("PFM_REGEN_FIXTURES") != nullptr;
-
-    if (regen) {
-        SimOptions o = fixtureOptions();
-        o.max_instructions = 0;
-        o.checkpoint_save = fixture;
-        Simulator sim(o);
-        sim.run();
-    }
-
     SimOptions o = fixtureOptions();
     o.checkpoint_load = fixture;
     Simulator sim(o);
@@ -731,9 +726,42 @@ TEST(Checkpoint, GoldenFixtureReportDigest)
     is >> expected;
     // A mismatch means the simulator's measured-phase behaviour or the
     // checkpoint format changed. If intentional: bump kCkptFormatVersion
-    // when the *format* changed, and regenerate the fixture pair with
-    // PFM_REGEN_FIXTURES=1.
+    // when the *format* changed, and regenerate the current-version
+    // fixture pair with PFM_REGEN_FIXTURES=1 (frozen back-compat fixtures
+    // are never rewritten — their digest breaking means the *reader*
+    // regressed).
     EXPECT_EQ(expected, digest);
+}
+
+TEST(Checkpoint, GoldenFixtureReportDigest)
+{
+    // The v2 fixture is frozen: the writer only emits v3 now, so this
+    // pair can never be regenerated — it pins v2 read-back compatibility
+    // forever. PFM_REGEN_FIXTURES deliberately does not touch it.
+    const std::string dir = PFM_FIXTURES_DIR;
+    checkFixtureDigest(dir + "/astar_bare_v2.ckpt",
+                       dir + "/astar_bare_v2.digest", false);
+}
+
+TEST(Checkpoint, GoldenFixtureReportDigestV3)
+{
+    // Current-format fixture, saved with compression forced on so the
+    // digest also pins the v3 compressed-frame encoding.
+    const std::string dir = PFM_FIXTURES_DIR;
+    const std::string fixture = dir + "/astar_bare_v3.ckpt";
+    const bool regen = std::getenv("PFM_REGEN_FIXTURES") != nullptr;
+
+    if (regen) {
+        ::setenv("PFM_CKPT_COMPRESS", "1", 1);
+        SimOptions o = fixtureOptions();
+        o.max_instructions = 0;
+        o.checkpoint_save = fixture;
+        Simulator sim(o);
+        sim.run();
+        ::unsetenv("PFM_CKPT_COMPRESS");
+    }
+
+    checkFixtureDigest(fixture, dir + "/astar_bare_v3.digest", regen);
 }
 
 } // namespace
