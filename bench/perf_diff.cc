@@ -330,14 +330,35 @@ main(int argc, char** argv)
         for (const auto& s : storage) {
             if (s.bval < 0 && s.cval < 0)
                 continue;
-            if (s.bval > 0 && s.cval >= 0)
-                std::printf("      %-38s %12.3f %12.3f %+7.1f%%  "
+            // Mirror the port columns: '-' for an absent side, '(new)'
+            // when only the candidate has the column, 'MISSING' when
+            // only the baseline does, and a percent delta only when
+            // both sides are present and the baseline can divide.
+            char bbuf[32], cbuf[32];
+            const char* bs = "-";
+            const char* cs = "-";
+            if (s.bval >= 0) {
+                std::snprintf(bbuf, sizeof bbuf, "%.3f", s.bval);
+                bs = bbuf;
+            }
+            if (s.cval >= 0) {
+                std::snprintf(cbuf, sizeof cbuf, "%.3f", s.cval);
+                cs = cbuf;
+            }
+            if (s.bval < 0)
+                std::printf("      %-38s %12s %12s  (new)\n", s.key, bs,
+                            cs);
+            else if (s.cval < 0)
+                std::printf("      %-38s %12s %12s  (storage)\n", s.key,
+                            bs, "MISSING");
+            else if (s.bval > 0)
+                std::printf("      %-38s %12s %12s %+7.1f%%  "
                             "(storage)\n",
-                            s.key, s.bval, s.cval,
-                            pctDelta(s.bval, s.cval));
+                            s.key, bs, cs, pctDelta(s.bval, s.cval));
             else
-                std::printf("      %-38s %12.3f %12.3f  (storage)\n",
-                            s.key, s.bval, s.cval);
+                std::printf("      %-38s %12s %12s      (storage, "
+                            "zero baseline)\n",
+                            s.key, bs, cs);
         }
     }
     for (const BenchRow& c : cand.rows)

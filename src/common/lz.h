@@ -39,6 +39,21 @@ namespace lz {
 constexpr std::size_t kMinMatch = 4;
 
 /**
+ * Upper bound on the raw length any well-formed @p stored_len-byte
+ * stream can decode to: each stored byte yields at most 255 output
+ * bytes (a match-length extension byte), plus a constant for the token
+ * nibbles and the minimum match. Framing that declares a larger raw
+ * length is corrupt by construction — callers reject it before
+ * allocating the output buffer, so a flipped length bit dies with a
+ * named diagnostic instead of a bad_alloc.
+ */
+constexpr std::uint64_t
+maxRawLen(std::uint64_t stored_len) noexcept
+{
+    return stored_len * 255 + 255 + kMinMatch + 15;
+}
+
+/**
  * Compress @p n bytes at @p src into @p out (replacing its contents).
  * Never fails; incompressible input degenerates to literal runs with
  * ~0.4% overhead. out.size() is the exact compressed size.

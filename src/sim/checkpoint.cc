@@ -477,6 +477,13 @@ CkptReader::beginSection(const std::string& name)
         crc)
         fail("CRC mismatch");
     if (flags & kCkptBlobCompressed) {
+        // Bound the declared raw length by what the LZ format can
+        // legitimately expand to before trusting it with a resize: a
+        // corrupted length with a high bit set must die here by name,
+        // not as a bad_alloc.
+        if (raw_len > lz::maxRawLen(stored_len))
+            fail("implausible raw length " + std::to_string(raw_len) +
+                 " for " + std::to_string(stored_len) + " stored bytes");
         sbuf_.resize(static_cast<std::size_t>(raw_len));
         if (!lz::decompress(data_ + pos_,
                             static_cast<std::size_t>(stored_len),

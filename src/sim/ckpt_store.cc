@@ -1,5 +1,6 @@
 #include "sim/ckpt_store.h"
 
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -225,11 +226,18 @@ ckptStorePut(const std::string& store_dir, std::uint64_t hash,
                       "collision or corrupt store)");
     }
 
-    // Temp name carries the pid: concurrent shards publishing the same
-    // blob must not clobber each other's half-written temp. The rename
-    // is atomic, and losing the race just overwrites identical bytes.
+    // Temp name is unique per publish — pid for cross-process shards,
+    // plus a process-wide counter for same-process threads (sharded
+    // sweep warmup legs and daemon workers publish concurrently from one
+    // pid). Sharing a temp would let two publishers truncate each
+    // other's half-written bytes. The rename is atomic, so the final
+    // path only ever holds a complete blob; losing the race just
+    // replaces identical bytes.
+    static std::atomic<unsigned long> publish_seq{0};
     const std::string tmp =
-        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid())) +
+        "." +
+        std::to_string(publish_seq.fetch_add(1, std::memory_order_relaxed));
     f = std::fopen(tmp.c_str(), "wb");
     if (!f)
         pfm_fatal("checkpoint '%s': cannot open blob temp '%s' for writing",
@@ -247,6 +255,18 @@ ckptStorePut(const std::string& store_dir, std::uint64_t hash,
     }
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
         std::remove(tmp.c_str());
+        // A concurrent publisher may have raced us in a way the
+        // filesystem would not absorb; the loss is benign iff the final
+        // blob now exists with exactly our metadata.
+        f = std::fopen(path.c_str(), "rb");
+        if (f) {
+            std::size_t got = std::fread(hdr, 1, sizeof hdr, f);
+            std::fclose(f);
+            CkptBlobMeta found;
+            if (got == sizeof hdr &&
+                unpackBlobHeader(hdr, sizeof hdr, found) && found == meta)
+                return;
+        }
         pfm_fatal("checkpoint '%s': cannot rename blob '%s' into place",
                   ckpt_path.c_str(), path.c_str());
     }
@@ -289,6 +309,13 @@ ckptBlobLoad(const std::string& blob_path, std::uint64_t hash,
     const std::uint8_t* stored = file.data.data() + kCkptBlobHeaderBytes;
     auto raw = std::make_shared<std::vector<std::uint8_t>>();
     if (meta.flags & kCkptBlobCompressed) {
+        // Bound the declared raw length before trusting it with a
+        // resize: corruption must fail by name, not as a bad_alloc.
+        if (meta.raw_len > lz::maxRawLen(meta.stored_len))
+            storeFail(ckpt_path, section,
+                      "implausible raw length " +
+                          std::to_string(meta.raw_len) + " in blob '" +
+                          blob_path + "'");
         raw->resize(static_cast<std::size_t>(meta.raw_len));
         if (!lz::decompress(stored,
                             static_cast<std::size_t>(meta.stored_len),
@@ -344,7 +371,7 @@ ckptStoreRemoveDir(const std::string& dir)
     while (struct dirent* e = ::readdir(d)) {
         std::string name = e->d_name;
         if (name.find(".blob") != std::string::npos)
-            names.push_back(name); // *.blob and stray *.blob.tmp.<pid>
+            names.push_back(name); // *.blob, stray *.blob.tmp.<pid>.<seq>
     }
     ::closedir(d);
     for (const std::string& name : names)

@@ -281,15 +281,17 @@ WarmupCache::stats() const
     return s;
 }
 
-void
+std::size_t
 WarmupCache::removeFiles()
 {
     std::lock_guard<std::mutex> lk(mu_);
+    std::size_t pinned = 0;
     for (auto it = entries_.begin(); it != entries_.end();) {
         Entry& e = *it->second;
         if (e.pins != 0) {
             pfm_warn("cache image '%s' still leased at shutdown",
                      e.path.c_str());
+            ++pinned;
             ++it;
             continue;
         }
@@ -297,6 +299,7 @@ WarmupCache::removeFiles()
             dropFilesLocked(e);
         it = entries_.erase(it);
     }
+    return pinned;
 }
 
 // ----------------------------------------------------------- DaemonServer
@@ -487,11 +490,18 @@ DaemonServer::stop()
     workers_.clear();
 
     if (!opt_.keep_cache_files) {
-        cache_.removeFiles();
         // The refcounted blob accounting deletes blobs as their last
-        // referencing entry goes; this sweeps any stragglers (orphaned by
-        // a crash-interrupted publish) and removes the directory itself.
-        ckptStoreRemoveDir(resolveCacheDir(opt_) + "/" + daemonStoreSubdir());
+        // referencing entry goes; the directory sweep catches stragglers
+        // (orphaned by a crash-interrupted publish). When removeFiles()
+        // preserved still-leased entries, their manifests reference live
+        // blobs — sweeping the store then would turn an in-flight
+        // restore into a fatal 'missing blob', so leave it in place.
+        if (cache_.removeFiles() == 0)
+            ckptStoreRemoveDir(resolveCacheDir(opt_) + "/" +
+                               daemonStoreSubdir());
+        else
+            pfm_warn("daemon: leased cache entries survive shutdown; "
+                     "keeping store directory");
     }
     running_.store(false);
 }

@@ -141,8 +141,13 @@ class WarmupCache
 
     DaemonCacheStats stats() const;
 
-    /** Delete every unpinned image file and forget it (shutdown path). */
-    void removeFiles();
+    /**
+     * Delete every unpinned image file and forget it (shutdown path).
+     * Returns how many still-pinned entries were preserved — when
+     * nonzero, their manifests (and the store blobs they reference)
+     * must survive, so the caller must not sweep the store directory.
+     */
+    std::size_t removeFiles();
 
   private:
     /**

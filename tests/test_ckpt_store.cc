@@ -706,6 +706,96 @@ TEST(CkptStoreDeathTest, BlobHeaderDisagreeingWithManifestIsFatal)
     cleanupStore(saved);
 }
 
+/** Offset of @p needle in @p hay, or npos. */
+std::size_t
+findBytes(const std::vector<std::uint8_t>& hay, const std::string& needle)
+{
+    auto it = std::search(hay.begin(), hay.end(), needle.begin(),
+                          needle.end());
+    return it == hay.end() ? std::string::npos
+                           : static_cast<std::size_t>(it - hay.begin());
+}
+
+void
+pokeU64(std::vector<std::uint8_t>& bytes, std::size_t at, std::uint64_t v)
+{
+    ASSERT_LE(at + 8, bytes.size());
+    std::memcpy(bytes.data() + at, &v, 8);
+}
+
+TEST(CkptStoreDeathTest, ImplausibleRawLenInImageFrameIsFatal)
+{
+    // The v3 section frame's raw-length field is not covered by the
+    // payload CRC; a flipped high bit must die by name at the bounds
+    // check, not as a bad_alloc from a petabyte resize.
+    const std::string path = tmpPath("ckpt_rawlen_img.ckpt");
+    CkptWriter w(path);
+    w.setCompress(true);
+    CkptHeader h;
+    h.workload = "unit";
+    h.component = "none";
+    w.writeHeader(h);
+    w.beginSection("engine");
+    w.putVec(makePayload(6).engine);
+    w.endSection();
+    w.finish();
+
+    std::vector<std::uint8_t> bytes = readFile(path);
+    // Frame layout: name, stored_len u64, crc u32, flags u8, raw_len u64.
+    std::size_t name = findBytes(bytes, "engine");
+    ASSERT_NE(std::string::npos, name);
+    pokeU64(bytes, name + 6 + 8 + 4 + 1, 1ull << 63);
+    writeFile(path, bytes);
+
+    auto load = [&] {
+        CkptReader r(path);
+        r.readHeader();
+        r.beginSection("engine");
+    };
+    EXPECT_EXIT(load(), ::testing::ExitedWithCode(1),
+                "implausible raw length");
+    std::remove(path.c_str());
+}
+
+TEST(CkptStoreDeathTest, ImplausibleRawLenInBlobIsFatal)
+{
+    // Tamper the raw length in *both* the manifest entry and the blob
+    // header (and re-sign the manifest CRC), so every metadata
+    // cross-check agrees on the absurd value — only the expansion bound
+    // stands between the corrupt length and the allocator.
+    const std::string dir = tmpPath("ckpt_rawlen_blob");
+    ::mkdir(dir.c_str(), 0755);
+    const std::string path = dir + "/m.ckpt";
+    writeStoreCkpt(path, "blobs", makePayload(7));
+
+    const std::uint64_t huge = 1ull << 62;
+    std::vector<std::uint8_t> man = readFile(path);
+    // Entry layout: name, hash u64, raw_len u64, raw_crc u32, flags u8,
+    // stored_len u64; the trailing u32 CRC signs all preceding bytes.
+    std::size_t name = findBytes(man, "engine");
+    ASSERT_NE(std::string::npos, name);
+    pokeU64(man, name + 6 + 8, huge);
+    std::uint32_t crc = ckptCrc32(man.data(), man.size() - 4);
+    std::memcpy(man.data() + man.size() - 4, &crc, 4);
+    writeFile(path, man);
+
+    const std::string blob = biggestBlob(dir + "/blobs");
+    std::vector<std::uint8_t> bytes = readFile(blob);
+    pokeU64(bytes, 4, huge); // header: magic u32, then raw_len u64
+    writeFile(blob, bytes);
+
+    auto load = [&] {
+        CkptReader r(path);
+        r.readHeader();
+        r.beginSection("engine");
+    };
+    EXPECT_EXIT(load(), ::testing::ExitedWithCode(1),
+                "implausible raw length");
+    ckptStoreRemoveDir(dir + "/blobs");
+    std::remove(path.c_str());
+    ::rmdir(dir.c_str());
+}
+
 TEST(CkptStoreDeathTest, HashCollisionOnPublishIsFatal)
 {
     // A blob whose name exists but whose header disagrees with what we
