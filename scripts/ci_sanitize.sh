@@ -6,7 +6,9 @@
 # double-fclose, worker threads outliving stop() — and the store's LZ
 # codec and blob loader are raw byte-twiddling over attacker-shaped
 # (corrupt) input: exactly what the instrumented build catches and the
-# plain build cannot.
+# plain build cannot. The PMP suite rides along: its rotate/merge bit
+# arithmetic and the reference-model lockstep are cheap and exactly the
+# code UBSan pays off on (shift widths, popcount-driven indexing).
 #
 # Usage: scripts/ci_sanitize.sh [build-dir]   (default: build-sanitize)
 set -eu
@@ -16,5 +18,5 @@ BUILD_DIR="${1:-build-sanitize}"
 
 cmake -B "$BUILD_DIR" -S . -DPFM_SANITIZE=ON
 cmake --build "$BUILD_DIR" -j"$(nproc)" --target pfm_daemon_tests \
-    pfm_ckpt_store_tests pfm_daemon pfm_client
-(cd "$BUILD_DIR" && ctest -L 'daemon|ckptstore' --output-on-failure -j2)
+    pfm_ckpt_store_tests pfm_pmp_tests pfm_daemon pfm_client
+(cd "$BUILD_DIR" && ctest -L 'daemon|ckptstore|pmp' --output-on-failure -j2)

@@ -1,0 +1,323 @@
+#include "components/pmp_prefetcher.h"
+
+#include "common/log.h"
+#include "sim/checkpoint.h"
+
+#include <bit>
+#include <ostream>
+
+namespace pfm {
+
+// ---------------------------------------------------------------------------
+// PmpTables
+// ---------------------------------------------------------------------------
+
+PmpTables::PmpTables(const PmpParams& params) : params_(params)
+{
+    pfm_assert(params_.acc_entries > 0, "PMP accumulation table is empty");
+    pfm_assert(params_.pht_ways > 0, "PMP PHT has no ways");
+    pfm_assert(params_.max_distance < kRegionLines,
+               "PMP max_distance must stay inside one region");
+    pht_.resize(static_cast<std::size_t>(kRegionLines) * params_.pht_ways);
+}
+
+bool
+PmpTables::similarEnough(std::uint64_t a, std::uint64_t b,
+                         unsigned threshold_pct)
+{
+    const unsigned inter = static_cast<unsigned>(std::popcount(a & b));
+    const unsigned uni = static_cast<unsigned>(std::popcount(a | b));
+    // Empty-vs-empty is fully similar; committed patterns are never empty.
+    return static_cast<std::uint64_t>(inter) * 100 >=
+           static_cast<std::uint64_t>(threshold_pct) * uni;
+}
+
+std::uint64_t
+PmpTables::anchorPattern(std::uint64_t pattern, unsigned trigger)
+{
+    const unsigned s = trigger % kRegionLines;
+    if (s == 0)
+        return pattern;
+    return (pattern >> s) | (pattern << (kRegionLines - s));
+}
+
+void
+PmpTables::onAccess(Addr addr, std::vector<Addr>& out)
+{
+    const std::uint64_t lineno = addr / kLineBytes;
+    const std::uint64_t region = lineno / kRegionLines;
+    const unsigned offset = static_cast<unsigned>(lineno % kRegionLines);
+
+    for (AccEntry& e : acc_) {
+        if (e.region == region) {
+            e.pattern |= std::uint64_t{1} << offset;
+            return; // training only; predictions fire on region triggers
+        }
+    }
+
+    // Region trigger: retire the oldest accumulation into the PHT, start
+    // accumulating the new region, and predict from what the PHT already
+    // learned for this trigger offset.
+    if (acc_.size() >= params_.acc_entries) {
+        commit(acc_.front());
+        acc_.pop_front();
+    }
+    AccEntry e;
+    e.region = region;
+    e.trigger = static_cast<std::uint8_t>(offset);
+    e.pattern = std::uint64_t{1} << offset;
+    acc_.push_back(e);
+
+    predict(region, offset, out);
+}
+
+void
+PmpTables::commit(const AccEntry& e)
+{
+    // A footprint with only the trigger bit carries no spatial signal.
+    if (std::popcount(e.pattern) < 2)
+        return;
+
+    const std::uint64_t pat = anchorPattern(e.pattern, e.trigger);
+    PhtWay* set = &pht_[static_cast<std::size_t>(e.trigger) * params_.pht_ways];
+
+    // Find the most similar valid way (cross-multiplied Jaccard compare so
+    // everything stays in integers; first way wins ties).
+    unsigned best = params_.pht_ways;
+    std::uint64_t best_num = 0;
+    std::uint64_t best_den = 1;
+    for (unsigned w = 0; w < params_.pht_ways; ++w) {
+        if (set[w].merges == 0)
+            continue;
+        const std::uint64_t num =
+            static_cast<std::uint64_t>(std::popcount(pat & set[w].pattern));
+        const std::uint64_t den =
+            static_cast<std::uint64_t>(std::popcount(pat | set[w].pattern));
+        if (best == params_.pht_ways || num * best_den > best_num * den) {
+            best = w;
+            best_num = num;
+            best_den = den;
+        }
+    }
+
+    if (best != params_.pht_ways &&
+        best_num * 100 >= params_.merge_threshold_pct * best_den) {
+        set[best].pattern = mergePatterns(set[best].pattern, pat);
+        if (set[best].merges < 255)
+            ++set[best].merges;
+        return;
+    }
+
+    // No mergeable way: claim an invalid way, else victimize the
+    // least-merged one (lowest index on ties — deterministic).
+    unsigned victim = 0;
+    for (unsigned w = 0; w < params_.pht_ways; ++w) {
+        if (set[w].merges == 0) {
+            victim = w;
+            break;
+        }
+        if (set[w].merges < set[victim].merges)
+            victim = w;
+    }
+    set[victim].pattern = pat;
+    set[victim].merges = 1;
+}
+
+void
+PmpTables::predict(std::uint64_t region, unsigned trigger,
+                   std::vector<Addr>& out) const
+{
+    const PhtWay* set =
+        &pht_[static_cast<std::size_t>(trigger) * params_.pht_ways];
+    const PhtWay* way = nullptr;
+    for (unsigned w = 0; w < params_.pht_ways; ++w) {
+        if (set[w].merges == 0)
+            continue;
+        if (way == nullptr || set[w].merges > way->merges)
+            way = &set[w];
+    }
+    if (way == nullptr)
+        return;
+
+    // De-anchor around the trigger, nearest line first, forward before
+    // backward, throttled by distance and degree.
+    unsigned emitted = 0;
+    for (unsigned dd = 1; dd <= params_.max_distance; ++dd) {
+        const unsigned bits[2] = {dd, kRegionLines - dd};
+        for (unsigned k = 0; k < 2; ++k) {
+            if (k == 1 && bits[1] == bits[0])
+                continue; // dd == 32: forward and backward coincide
+            if (!((way->pattern >> bits[k]) & 1))
+                continue;
+            const unsigned toff = (trigger + bits[k]) % kRegionLines;
+            out.push_back(region * (kRegionLines * kLineBytes) +
+                          static_cast<Addr>(toff) * kLineBytes);
+            if (++emitted >= params_.degree)
+                return;
+        }
+    }
+}
+
+unsigned
+PmpTables::phtOccupancy(unsigned set) const
+{
+    unsigned n = 0;
+    const PhtWay* s = &pht_[static_cast<std::size_t>(set) * params_.pht_ways];
+    for (unsigned w = 0; w < params_.pht_ways; ++w)
+        n += s[w].merges != 0;
+    return n;
+}
+
+void
+PmpTables::reset()
+{
+    acc_.clear();
+    for (PhtWay& w : pht_)
+        w = PhtWay{};
+}
+
+void
+PmpTables::saveState(CkptWriter& w) const
+{
+    // Field-wise (AccEntry/PhtWay carry padding); refmodel::RefPmp writes
+    // the identical sequence — keep the two in lockstep.
+    w.put<std::uint64_t>(acc_.size());
+    for (const AccEntry& e : acc_) {
+        w.put(e.region);
+        w.put(e.trigger);
+        w.put(e.pattern);
+    }
+    for (const PhtWay& way : pht_) {
+        w.put(way.pattern);
+        w.put(way.merges);
+    }
+}
+
+void
+PmpTables::loadState(CkptReader& r)
+{
+    acc_.clear();
+    std::uint64_t n = r.get<std::uint64_t>();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        AccEntry e;
+        r.get(e.region);
+        r.get(e.trigger);
+        r.get(e.pattern);
+        acc_.push_back(e);
+    }
+    for (PhtWay& way : pht_) {
+        r.get(way.pattern);
+        r.get(way.merges);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PmpPrefetcher
+// ---------------------------------------------------------------------------
+
+PmpPrefetcher::PmpPrefetcher(const PmpParams& params)
+    : CustomComponent("pmp"), tables_(params)
+{}
+
+void
+PmpPrefetcher::attach(PfmSystem& sys, const Workload& w,
+                      const PmpParams& params)
+{
+    RstEntry begin;
+    begin.type = ObsType::kRoiBegin;
+    begin.roi_begin = true;
+    sys.retireAgent().rst().add(w.pc("roi_begin"), begin);
+    sys.setComponent(std::make_unique<PmpPrefetcher>(params));
+}
+
+void
+PmpPrefetcher::onAttach()
+{
+    ctr_candidates_ = &stats().counter("pmp_candidates");
+    ctr_dropped_ = &stats().counter("pmp_dropped");
+    acct_.bindCounters(stats());
+}
+
+void
+PmpPrefetcher::onCacheEvent(const CacheEvent& e)
+{
+    acct_.onCacheEvent(e);
+    if (e.type != CacheEventType::kDemandAccess || e.ifetch)
+        return;
+    scratch_.clear();
+    tables_.onAccess(e.line, scratch_);
+    for (Addr a : scratch_) {
+        if (pending_.size() >= kPendingCap) {
+            if (ctr_dropped_)
+                ++*ctr_dropped_;
+            continue;
+        }
+        pending_.push_back(a);
+        if (ctr_candidates_)
+            ++*ctr_candidates_;
+    }
+}
+
+void
+PmpPrefetcher::rfStep(Cycle now)
+{
+    while (!pending_.empty()) {
+        const Addr a = pending_.front();
+        if (!issueLoad(0, a, 8, now, /*prefetch_only=*/true))
+            break; // width budget or IntQ-IS full; retry next RF cycle
+        acct_.onIssue(a); // candidates are line-aligned by construction
+        pending_.pop_front();
+    }
+}
+
+Cycle
+PmpPrefetcher::nextEventCycle(Cycle now) const
+{
+    // Busy while a squash replay drains or candidates await issue; idle
+    // otherwise — the next cache event re-arms us synchronously and any
+    // resulting work is observed at the following RF edge via this hook.
+    if (replaying() || !pending_.empty())
+        return now;
+    return kNoCycle;
+}
+
+void
+PmpPrefetcher::reset()
+{
+    CustomComponent::reset();
+    tables_.reset();
+    pending_.clear();
+    acct_.reset();
+}
+
+void
+PmpPrefetcher::dumpDebug(std::ostream& os) const
+{
+    CustomComponent::dumpDebug(os);
+    os << "pmp: pending=" << pending_.size()
+       << " acc=" << tables_.accOccupancy()
+       << " issued=" << acct_.issued()
+       << " useful=" << acct_.useful()
+       << " useless=" << acct_.useless()
+       << " inflight=" << acct_.inflight() << "\n";
+}
+
+void
+PmpPrefetcher::saveState(CkptWriter& w) const
+{
+    CustomComponent::saveState(w);
+    tables_.saveState(w);
+    w.putDeque(pending_);
+    acct_.saveState(w);
+}
+
+void
+PmpPrefetcher::loadState(CkptReader& r)
+{
+    CustomComponent::loadState(r);
+    tables_.loadState(r);
+    r.getDeque(pending_);
+    acct_.loadState(r);
+}
+
+} // namespace pfm

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * PMP-style pattern-merging spatial prefetcher (cf. *Pattern Merging
+ * Prefetcher*, MICRO '22), built on the CustomComponent/TimedPort API
+ * plus the opt-in cache observation events (cache_events.h).
+ *
+ * Workload-agnostic, unlike the five hand-tuned FSM prefetchers: it
+ * learns 4KB-region spatial bit patterns from the demand access stream.
+ *
+ *  - Accumulation table: one FIFO entry per active region records the
+ *    trigger offset (first access) and a 64-bit footprint of the lines
+ *    touched while the region stayed resident.
+ *  - Pattern history table, one set per *trigger offset* ("per-page-offset
+ *    tables"): on accumulation eviction the footprint is anchored by
+ *    rotating it so the trigger sits at bit 0, then OR-merged into the
+ *    most similar stored pattern when the Jaccard similarity
+ *    |a&b| / |a|b| clears a threshold, else it replaces the
+ *    least-merged way. Merging is what lets one entry cover many pages
+ *    with slightly different footprints.
+ *  - Prediction: the first access to a new region looks up its trigger
+ *    offset's set, takes the most-merged pattern, de-anchors it around
+ *    the trigger and emits prefetch candidates nearest-first, throttled
+ *    by a degree cap and a maximum line distance.
+ *
+ * PmpTables is the pure lookup structure (no agents, no clocking) so the
+ * reference-model differential suite (tests/reference_pmp.*) can lockstep
+ * it; PmpPrefetcher wraps it into a component: cache events train and
+ * trigger, rfStep() drains the candidate queue through the Load Agent as
+ * prefetch_only loads (width- and IntQ-IS-budgeted).
+ */
+
+#ifndef PFM_COMPONENTS_PMP_PREFETCHER_H
+#define PFM_COMPONENTS_PMP_PREFETCHER_H
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "pfm/component.h"
+#include "pfm/pfm_system.h"
+#include "pfm/prefetch_stats.h"
+#include "workloads/workload.h"
+
+namespace pfm {
+
+struct PmpParams {
+    unsigned acc_entries = 32;          ///< accumulation table capacity
+    unsigned pht_ways = 8;              ///< ways per trigger-offset set
+    unsigned merge_threshold_pct = 60;  ///< Jaccard % at or above: OR-merge
+    unsigned degree = 8;                ///< max candidates per trigger
+    unsigned max_distance = 16;         ///< max rotation distance in lines
+};
+
+class PmpTables
+{
+  public:
+    /** 64-line (4KB) regions: one footprint bit per 64B line. */
+    static constexpr unsigned kRegionLines = 64;
+
+    explicit PmpTables(const PmpParams& params = {});
+
+    /**
+     * Observe one demand access; appends prefetch candidate addresses
+     * (line-aligned, same region) to @p out when the access triggers a
+     * new region. Ordering is deterministic: nearest rotation distance
+     * first, forward before backward, capped at degree.
+     */
+    void onAccess(Addr addr, std::vector<Addr>& out);
+
+    void reset();
+
+    /** Deterministic image mirrored by refmodel::RefPmp (byte-for-byte). */
+    void saveState(CkptWriter& w) const;
+    void loadState(CkptReader& r);
+
+    const PmpParams& params() const { return params_; }
+
+    // ---- merge-rule primitives (property-tested in tests/test_pmp.cc) --
+
+    /** The merge operation: footprint union. */
+    static std::uint64_t mergePatterns(std::uint64_t a, std::uint64_t b)
+    {
+        return a | b;
+    }
+
+    /** Jaccard-style gate: |a&b| * 100 >= threshold * |a|b|. */
+    static bool similarEnough(std::uint64_t a, std::uint64_t b,
+                              unsigned threshold_pct);
+
+    /** Anchor a footprint: rotate right so the trigger line is bit 0. */
+    static std::uint64_t anchorPattern(std::uint64_t pattern,
+                                       unsigned trigger);
+
+    // ---- introspection (occupancy property tests) ----------------------
+
+    std::size_t accOccupancy() const { return acc_.size(); }
+    unsigned phtOccupancy(unsigned set) const;
+
+  private:
+    struct AccEntry {
+        std::uint64_t region = 0;
+        std::uint8_t trigger = 0;
+        std::uint64_t pattern = 0;
+    };
+
+    /** merges == 0 means invalid; saturates at 255. */
+    struct PhtWay {
+        std::uint64_t pattern = 0;
+        std::uint8_t merges = 0;
+    };
+
+    void commit(const AccEntry& e);
+    void predict(std::uint64_t region, unsigned trigger,
+                 std::vector<Addr>& out) const;
+
+    PmpParams params_;
+    std::deque<AccEntry> acc_;  ///< FIFO, front = oldest
+    std::vector<PhtWay> pht_;   ///< kRegionLines sets x pht_ways, row-major
+};
+
+class PmpPrefetcher : public CustomComponent
+{
+  public:
+    explicit PmpPrefetcher(const PmpParams& params = {});
+
+    /** Register the roi_begin RST entry and install the component. Works
+     *  for any workload: PMP needs no per-workload configuration. */
+    static void attach(PfmSystem& sys, const Workload& w,
+                       const PmpParams& params = {});
+
+    void reset() override;
+    Cycle nextEventCycle(Cycle now) const override;
+    void dumpDebug(std::ostream& os) const override;
+
+    bool wantsCacheEvents() const override { return true; }
+    void onCacheEvent(const CacheEvent& e) override;
+
+    const PrefetchAccounting* prefetchAccounting() const override
+    {
+        return &acct_;
+    }
+
+    bool supportsCheckpoint() const override { return true; }
+    void saveState(CkptWriter& w) const override;
+    void loadState(CkptReader& r) override;
+
+  protected:
+    void rfStep(Cycle now) override;
+    void onObservation(const ObsPacket& p, Cycle now) override
+    {
+        (void)p; (void)now; // roi_begin reset is handled by PfmSystem
+    }
+    void onAttach() override;
+
+  private:
+    /** Candidate queue bound: cache events can outpace the RF issue rate
+     *  (clk_div, width, IntQ-IS); overflow drops the newest candidates. */
+    static constexpr std::size_t kPendingCap = 64;
+
+    PmpTables tables_;
+    std::deque<Addr> pending_;   ///< candidates awaiting issueLoad()
+    std::vector<Addr> scratch_;  ///< per-event candidate buffer
+    PrefetchAccounting acct_;
+
+    Counter* ctr_candidates_ = nullptr;
+    Counter* ctr_dropped_ = nullptr;
+};
+
+} // namespace pfm
+
+#endif // PFM_COMPONENTS_PMP_PREFETCHER_H

@@ -52,6 +52,7 @@ FsmPrefetcher::onAttach()
 {
     ctr_sets_skipped_ = &stats().counter("prefetch_sets_skipped");
     ctr_prefetches_issued_ = &stats().counter("prefetches_issued");
+    acct_.bindCounters(stats());
 }
 
 void
@@ -65,6 +66,7 @@ FsmPrefetcher::reset()
         state_[i].adapt.reset();
         state_[i].pending.clear();
     }
+    acct_.reset();
 }
 
 Cycle
@@ -191,6 +193,7 @@ FsmPrefetcher::rfStep(Cycle now)
                                  (unsigned long long)st.units_issued,
                                  (unsigned long long)st.pending.back());
                 }
+                acct_.onIssue(lineAlign(st.pending.back()));
                 st.pending.pop_back();
                 ++*ctr_prefetches_issued_;
             }
@@ -217,6 +220,7 @@ FsmPrefetcher::saveState(CkptWriter& w) const
         st.adapt.saveState(w);
         w.putVec(st.pending);
     }
+    acct_.saveState(w);
 }
 
 void
@@ -234,6 +238,7 @@ FsmPrefetcher::loadState(CkptReader& r)
         st.adapt.loadState(r);
         r.getVec(st.pending);
     }
+    acct_.loadState(r);
 }
 
 } // namespace pfm

@@ -15,6 +15,7 @@
 #include "components/adaptive_distance.h"
 #include "pfm/component.h"
 #include "pfm/pfm_system.h"
+#include "pfm/prefetch_stats.h"
 #include "workloads/workload.h"
 
 namespace pfm {
@@ -66,6 +67,17 @@ class FsmPrefetcher : public CustomComponent
     void saveState(CkptWriter& w) const override;
     void loadState(CkptReader& r) override;
 
+    /** Coverage/accuracy accounting rides on the cache observation tap. */
+    bool wantsCacheEvents() const override { return true; }
+    void onCacheEvent(const CacheEvent& e) override
+    {
+        acct_.onCacheEvent(e);
+    }
+    const PrefetchAccounting* prefetchAccounting() const override
+    {
+        return &acct_;
+    }
+
   protected:
     void rfStep(Cycle now) override;
     void onObservation(const ObsPacket& p, Cycle now) override;
@@ -94,6 +106,8 @@ class FsmPrefetcher : public CustomComponent
     // Bound once in onAttach(); rfStep() increments these per prefetch.
     Counter* ctr_sets_skipped_ = nullptr;
     Counter* ctr_prefetches_issued_ = nullptr;
+
+    PrefetchAccounting acct_;
 };
 
 } // namespace pfm

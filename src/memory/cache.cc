@@ -69,8 +69,11 @@ Cache::probe(Addr addr, Cycle now, bool is_demand) noexcept
             line.prefetched = false;
             ++ctr_prefetch_useful_;
         }
-        if (is_demand && line.fill_done > now)
-            ++ctr_hits_under_fill_;
+        if (line.fill_done > now) {
+            res.under_fill = true;
+            if (is_demand)
+                ++ctr_hits_under_fill_;
+        }
         return res;
     }
     if (is_demand)
@@ -78,17 +81,20 @@ Cache::probe(Addr addr, Cycle now, bool is_demand) noexcept
     return res;
 }
 
-void
+CacheFillResult
 Cache::fill(Addr addr, Cycle fill_done, bool prefetched) noexcept
 {
+    CacheFillResult res;
+
     // If the line is already present (e.g., racing prefetch + demand),
     // just take the earlier completion.
     auto it = line_index_.find(lineKey(addr));
     if (it != line_index_.end()) {
         Line& line = lines_[it->second];
         line.fill_done = std::min(line.fill_done, fill_done);
-        return;
+        return res;
     }
+    res.allocated = true;
 
     size_t set = setIndex(addr);
     Line* base = &lines_[set * params_.assoc];
@@ -108,6 +114,9 @@ Cache::fill(Addr addr, Cycle fill_done, bool prefetched) noexcept
         ++ctr_evictions_;
         if (victim->prefetched)
             ++ctr_prefetch_unused_;
+        res.evicted = true;
+        res.victim_prefetched = victim->prefetched;
+        res.victim_line = keyOfLine(set, victim->tag) * kLineBytes;
         line_index_.erase(keyOfLine(set, victim->tag));
     }
 
@@ -119,6 +128,7 @@ Cache::fill(Addr addr, Cycle fill_done, bool prefetched) noexcept
     line_index_.emplace(
         lineKey(addr),
         static_cast<std::uint32_t>(victim - lines_.data()));
+    return res;
 }
 
 Cycle

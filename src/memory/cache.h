@@ -34,6 +34,15 @@ struct CacheProbe {
     bool hit = false;           ///< tag present (possibly still filling)
     Cycle data_ready = kNoCycle; ///< cycle the data can be delivered
     bool was_prefetched = false; ///< first demand touch of a prefetched line
+    bool under_fill = false;     ///< hit on a line whose fill is in flight
+};
+
+/** Outcome of fill(): what the allocation displaced (observation events). */
+struct CacheFillResult {
+    bool allocated = false;        ///< false: line was present (fill merge)
+    bool evicted = false;          ///< a valid line was displaced
+    bool victim_prefetched = false; ///< victim was prefetched, never touched
+    Addr victim_line = kBadAddr;   ///< line-aligned address of the victim
 };
 
 class Cache
@@ -55,8 +64,11 @@ class Cache
     /**
      * Allocate @p addr with fill completing at @p fill_done. Evicts LRU.
      * @p prefetched marks prefetch-initiated fills for accuracy stats.
+     * The return value reports whether a line was actually allocated and
+     * what it displaced (feeds the opt-in cache observation events; cheap
+     * enough that unobserved callers just ignore it).
      */
-    void fill(Addr addr, Cycle fill_done, bool prefetched) noexcept;
+    CacheFillResult fill(Addr addr, Cycle fill_done, bool prefetched) noexcept;
 
     /**
      * Reserve an MSHR for a miss issued at @p now; returns the cycle the

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Opt-in cache observation events (DESIGN.md "Cache observation events").
+ *
+ * The PFM retire stream (ObsQ-R) only carries retired-instruction snoops;
+ * spatial prefetchers like PMP need to see what the *memory hierarchy*
+ * does — demand accesses, fills, evictions, MSHR pressure. A component
+ * that opts in (CustomComponent::wantsCacheEvents()) is installed as the
+ * Hierarchy's single event observer and receives one synchronous callback
+ * per event, during the access that produced it.
+ *
+ * Determinism/fast-forward contract: events fire only inside
+ * Hierarchy::access(), which only runs in ticked cycles. An event-horizon
+ * skip only jumps over cycles in which the whole machine is provably
+ * quiescent (no accesses), so the event stream is byte-identical with
+ * fast-forward on or off. Observers must not mutate timing-visible state
+ * outside their own tables; the hierarchy never reads the observer back.
+ *
+ * Cost contract: every emission site is null-guarded, so an unobserved
+ * hierarchy pays one pointer compare per site and nothing else.
+ */
+
+#ifndef PFM_MEMORY_CACHE_EVENTS_H
+#define PFM_MEMORY_CACHE_EVENTS_H
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace pfm {
+
+enum class CacheEventType : std::uint8_t {
+    kDemandAccess,    ///< one per demand access; level = serving level
+    kFill,            ///< a line was allocated at `level`
+    kEvict,           ///< a valid line was displaced at `level`
+    kPrefetchHandled, ///< an agent prefetch reached memory; hit = redundant
+    kMshrStall,       ///< a request waited for a free MSHR at `level`
+};
+
+struct CacheEvent {
+    CacheEventType type = CacheEventType::kDemandAccess;
+    std::uint8_t level = 0;  ///< 1=L1, 2=L2, 3=L3, 4=DRAM (serving level)
+    bool ifetch = false;     ///< demand access on the instruction side
+    /** Demand access: served from a cache (level < 4). PrefetchHandled:
+     *  the line was already resident (redundant prefetch, no fill). */
+    bool hit = false;
+    /** Demand access: first demand touch of a prefetched line. Fill:
+     *  prefetch-initiated fill. Evict: victim was prefetched and never
+     *  demand-touched. */
+    bool prefetched = false;
+    bool late = false;       ///< demand hit on a line still filling
+    Addr line = kBadAddr;    ///< line-aligned address
+    Cycle cycle = 0;         ///< cycle of the access that produced this
+};
+
+/** Single-observer tap installed via Hierarchy::setEventObserver(). */
+class CacheEventObserver
+{
+  public:
+    virtual ~CacheEventObserver() = default;
+    virtual void onCacheEvent(const CacheEvent& e) = 0;
+};
+
+} // namespace pfm
+
+#endif // PFM_MEMORY_CACHE_EVENTS_H

@@ -41,7 +41,17 @@ Hierarchy::access(Addr addr, Cycle now, MemAccessType type) noexcept
         // L1 MSHRs or displace the demand working set in the small L1
         // (prefetch-to-L2 policy; see DESIGN.md).
         Addr line = lineAlign(addr);
-        if (l1d_.contains(line) || l2_.contains(line))
+        bool redundant = l1d_.contains(line) || l2_.contains(line);
+        if (obs_) {
+            CacheEvent e;
+            e.type = CacheEventType::kPrefetchHandled;
+            e.level = 2;
+            e.hit = redundant;
+            e.line = line;
+            e.cycle = now;
+            obs_->onCacheEvent(e);
+        }
+        if (redundant)
             return {now, 2};
         ++ctr_agent_pf_fills_;
         return {fillOuterLevels(line, now), 2};
@@ -69,6 +79,17 @@ Hierarchy::walkLine(Addr addr, Cycle now, bool ifetch, bool demand,
 
     if (p1.hit) {
         res = {p1.data_ready, 1};
+        if (obs_ && demand) {
+            CacheEvent e;
+            e.level = 1;
+            e.ifetch = ifetch;
+            e.hit = true;
+            e.prefetched = p1.was_prefetched;
+            e.late = p1.under_fill;
+            e.line = line;
+            e.cycle = now;
+            obs_->onCacheEvent(e);
+        }
         if (trigger_prefetch) {
             for (Addr a : l1_pf_scratch_)
                 pf_work_.push_back({a, /*l1_level=*/true});
@@ -80,7 +101,13 @@ Hierarchy::walkLine(Addr addr, Cycle now, bool ifetch, bool demand,
     // L1 miss: request proceeds to L2 after the L1 lookup, gated by MSHRs.
     // Prefetch-initiated fills do not occupy demand MSHRs (hardware keeps
     // them in a separate, droppable prefetch queue).
-    Cycle t1 = (demand ? l1.mshrAcquire(now) : now) + l1.params().latency;
+    Cycle t1 = now;
+    if (demand) {
+        t1 = l1.mshrAcquire(now);
+        if (t1 > now)
+            emitMshrStall(1, line, now);
+    }
+    t1 += l1.params().latency;
 
     CacheProbe p2 = l2_.probe(line, t1, demand);
     if (trigger_prefetch && params_.vldp_enabled)
@@ -88,26 +115,39 @@ Hierarchy::walkLine(Addr addr, Cycle now, bool ifetch, bool demand,
 
     Cycle done;
     int level;
+    bool served_prefetched = false;
+    bool served_late = false;
     if (p2.hit) {
         done = p2.data_ready;
         level = 2;
+        served_prefetched = p2.was_prefetched;
+        served_late = p2.under_fill;
     } else {
-        Cycle t2 = l2_.mshrAcquire(t1) + l2_.params().latency;
+        Cycle t2 = l2_.mshrAcquire(t1);
+        if (t2 > t1)
+            emitMshrStall(2, line, now);
+        t2 += l2_.params().latency;
         CacheProbe p3 = l3_.probe(line, t2, demand);
         if (p3.hit) {
             done = p3.data_ready;
             level = 3;
+            served_prefetched = p3.was_prefetched;
+            served_late = p3.under_fill;
         } else {
-            Cycle t3 = l3_.mshrAcquire(t2) + l3_.params().latency;
+            Cycle t3 = l3_.mshrAcquire(t2);
+            if (t3 > t2)
+                emitMshrStall(3, line, now);
+            t3 += l3_.params().latency;
             done = dram_.access(t3);
             level = 4;
-            l3_.fill(line, done, !demand);
+            emitFillEvents(3, line, !demand, now,
+                           l3_.fill(line, done, !demand));
             l3_.holdMshr(done);
         }
-        l2_.fill(line, done, !demand);
+        emitFillEvents(2, line, !demand, now, l2_.fill(line, done, !demand));
         l2_.holdMshr(done);
     }
-    l1.fill(line, done, !demand);
+    emitFillEvents(1, line, !demand, now, l1.fill(line, done, !demand));
     if (demand)
         l1.holdMshr(done);
 
@@ -117,6 +157,17 @@ Hierarchy::walkLine(Addr addr, Cycle now, bool ifetch, bool demand,
           case 3: ++ctr_served_l3_; break;
           case 4: ++ctr_served_dram_; break;
           default: break;
+        }
+        if (obs_) {
+            CacheEvent e;
+            e.level = static_cast<std::uint8_t>(level);
+            e.ifetch = ifetch;
+            e.hit = level < 4;
+            e.prefetched = served_prefetched;
+            e.late = served_late;
+            e.line = line;
+            e.cycle = now;
+            obs_->onCacheEvent(e);
         }
     }
 
@@ -160,20 +211,65 @@ Hierarchy::drainPrefetchWork(Cycle now) noexcept
 Cycle
 Hierarchy::fillOuterLevels(Addr line, Cycle now) noexcept
 {
-    Cycle t1 = l2_.mshrAcquire(now) + l2_.params().latency;
+    Cycle t1 = l2_.mshrAcquire(now);
+    if (t1 > now)
+        emitMshrStall(2, line, now);
+    t1 += l2_.params().latency;
     CacheProbe p3 = l3_.probe(line, t1, false);
     Cycle done;
     if (p3.hit) {
         done = p3.data_ready;
     } else {
-        Cycle t2 = l3_.mshrAcquire(t1) + l3_.params().latency;
+        Cycle t2 = l3_.mshrAcquire(t1);
+        if (t2 > t1)
+            emitMshrStall(3, line, now);
+        t2 += l3_.params().latency;
         done = dram_.access(t2);
-        l3_.fill(line, done, true);
+        emitFillEvents(3, line, true, now, l3_.fill(line, done, true));
         l3_.holdMshr(done);
     }
-    l2_.fill(line, done, true);
+    emitFillEvents(2, line, true, now, l2_.fill(line, done, true));
     l2_.holdMshr(done);
     return done;
+}
+
+void
+Hierarchy::emitFillEvents(std::uint8_t level, Addr line, bool prefetched,
+                          Cycle now, const CacheFillResult& fr) noexcept
+{
+    if (!obs_)
+        return;
+    if (fr.allocated) {
+        CacheEvent e;
+        e.type = CacheEventType::kFill;
+        e.level = level;
+        e.prefetched = prefetched;
+        e.line = line;
+        e.cycle = now;
+        obs_->onCacheEvent(e);
+    }
+    if (fr.evicted) {
+        CacheEvent e;
+        e.type = CacheEventType::kEvict;
+        e.level = level;
+        e.prefetched = fr.victim_prefetched;
+        e.line = fr.victim_line;
+        e.cycle = now;
+        obs_->onCacheEvent(e);
+    }
+}
+
+void
+Hierarchy::emitMshrStall(std::uint8_t level, Addr line, Cycle now) noexcept
+{
+    if (!obs_)
+        return;
+    CacheEvent e;
+    e.type = CacheEventType::kMshrStall;
+    e.level = level;
+    e.line = line;
+    e.cycle = now;
+    obs_->onCacheEvent(e);
 }
 
 void

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "memory/cache.h"
+#include "memory/cache_events.h"
 #include "memory/dram.h"
 #include "memory/next_n_line.h"
 #include "memory/vldp.h"
@@ -81,6 +82,15 @@ class Hierarchy
 
     void flush();
 
+    /**
+     * Install (or clear, with nullptr) the single cache-event observer.
+     * Wiring, not machine state: never checkpointed, and emission is
+     * null-guarded so an unobserved hierarchy pays one pointer compare
+     * per site (see cache_events.h for the determinism contract).
+     */
+    void setEventObserver(CacheEventObserver* obs) noexcept { obs_ = obs; }
+    CacheEventObserver* eventObserver() const noexcept { return obs_; }
+
     /** Checkpoint every level, DRAM, VLDP and the hierarchy stats. */
     void saveState(CkptWriter& w) const;
     void loadState(CkptReader& r);
@@ -120,6 +130,11 @@ class Hierarchy
     /** L2/L3/DRAM-only fill path shared by agent and VLDP prefetches. */
     Cycle fillOuterLevels(Addr line, Cycle now) noexcept;
 
+    /** Forward a fill()'s allocation/eviction outcome to the observer. */
+    void emitFillEvents(std::uint8_t level, Addr line, bool prefetched,
+                        Cycle now, const CacheFillResult& fr) noexcept;
+    void emitMshrStall(std::uint8_t level, Addr line, Cycle now) noexcept;
+
     HierarchyParams params_;
     Cache l1i_;
     Cache l1d_;
@@ -143,6 +158,9 @@ class Hierarchy
     std::vector<Addr> l1_pf_scratch_;
     std::vector<Addr> l2_pf_scratch_;
     std::vector<PrefetchIssue> pf_work_;
+
+    /** Opt-in event tap; nullptr (the default) costs one compare/site. */
+    CacheEventObserver* obs_ = nullptr;
 };
 
 } // namespace pfm

@@ -28,6 +28,7 @@
 #include <string>
 
 #include "common/stats.h"
+#include "memory/cache_events.h"
 #include "pfm/fetch_agent.h"
 #include "pfm/load_agent.h"
 #include "pfm/packets.h"
@@ -35,6 +36,8 @@
 #include "pfm/retire_agent.h"
 
 namespace pfm {
+
+class PrefetchAccounting;
 
 /** Context delivered to the component when the core squashes. */
 struct SquashInfo {
@@ -44,7 +47,7 @@ struct SquashInfo {
     bool actual_taken = false;
 };
 
-class CustomComponent
+class CustomComponent : public CacheEventObserver
 {
   public:
     explicit CustomComponent(std::string name) : name_(std::move(name)) {}
@@ -77,6 +80,33 @@ class CustomComponent
 
     /** Synchronous packet delivery (ROI-boundary drain). */
     void deliver(const ObsPacket& p, Cycle now) { onObservation(p, now); }
+
+    /**
+     * Opt-in cache observation (DESIGN.md "Cache observation events"):
+     * when this returns true, PfmSystem installs the component as the
+     * Hierarchy's event observer at attach time and onCacheEvent() fires
+     * synchronously for every demand access, fill, evict, handled agent
+     * prefetch and MSHR stall. Off by default: a component that does not
+     * opt in costs the hierarchy exactly one null compare per site.
+     * Events may only update component-internal tables/counters — they
+     * run inside the memory access, not at an RF edge, so any
+     * timing-visible reaction must wait for rfStep().
+     */
+    virtual bool wantsCacheEvents() const { return false; }
+
+    /** Cache event delivery (only when wantsCacheEvents() opted in). */
+    void onCacheEvent(const CacheEvent& e) override { (void)e; }
+
+    /**
+     * Prefetch coverage/accuracy/timeliness accounting, when this
+     * component keeps any (nullptr otherwise). Tests assert the
+     * conservation invariant on it; the sweep layer snapshots it into
+     * BENCH JSON rows when SimOptions::report_prefetch_stats is set.
+     */
+    virtual const PrefetchAccounting* prefetchAccounting() const
+    {
+        return nullptr;
+    }
 
     /** Full reset (ROI begin). */
     virtual void reset();

@@ -10,6 +10,7 @@ namespace pfm {
 PfmSystem::PfmSystem(const PfmParams& params, Hierarchy& mem,
                      const CommitLog& commit_log)
     : params_(params),
+      mem_(mem),
       stats_("pfm."),
       ctr_fst_retired_hits_(stats_.counter("fst_retired_hits")),
       ctr_squash_packets_(stats_.counter("squash_packets")),
@@ -18,13 +19,25 @@ PfmSystem::PfmSystem(const PfmParams& params, Hierarchy& mem,
       load_agent_(params, mem, commit_log, stats_)
 {}
 
+PfmSystem::~PfmSystem()
+{
+    // The hierarchy outlives this system (Simulator member order); never
+    // leave a tap pointing into the component we are about to destroy.
+    if (component_ && mem_.eventObserver() == component_.get())
+        mem_.setEventObserver(nullptr);
+}
+
 void
 PfmSystem::setComponent(std::unique_ptr<CustomComponent> component)
 {
+    if (component_ && mem_.eventObserver() == component_.get())
+        mem_.setEventObserver(nullptr);
     component_ = std::move(component);
     if (component_) {
         component_->attach(&fetch_agent_, &retire_agent_, &load_agent_,
                            &params_, &stats_);
+        if (component_->wantsCacheEvents())
+            mem_.setEventObserver(component_.get());
     }
 }
 

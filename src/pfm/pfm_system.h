@@ -25,7 +25,14 @@ class PfmSystem : public CoreHooks
   public:
     PfmSystem(const PfmParams& params, Hierarchy& mem,
               const CommitLog& commit_log);
+    ~PfmSystem() override;
 
+    /**
+     * Install the component and wire it to the agents. A component that
+     * opts into cache observation (wantsCacheEvents()) is additionally
+     * installed as the Hierarchy's event observer; the tap is removed
+     * again when this system is destroyed.
+     */
     void setComponent(std::unique_ptr<CustomComponent> component);
     CustomComponent* component() { return component_.get(); }
 
@@ -83,6 +90,7 @@ class PfmSystem : public CoreHooks
     Cycle squashDoneCycle(Cycle now) const;
 
     PfmParams params_;
+    Hierarchy& mem_; ///< event-tap installation point (wantsCacheEvents)
     StatGroup stats_;
     // Bound once; onRetire()/onSquash() are per-retirement paths.
     Counter& ctr_fst_retired_hits_;

@@ -1,0 +1,140 @@
+#include "pfm/prefetch_stats.h"
+
+#include "sim/checkpoint.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace pfm {
+
+void
+PrefetchAccounting::bindCounters(StatGroup& stats)
+{
+    ctr_issued_ = &stats.counter("pf_issued");
+    ctr_useful_ = &stats.counter("pf_useful");
+    ctr_useless_ = &stats.counter("pf_useless");
+    ctr_late_ = &stats.counter("pf_late");
+}
+
+void
+PrefetchAccounting::onIssue(Addr line)
+{
+    ++issued_;
+    if (ctr_issued_)
+        ++*ctr_issued_;
+    ++transit_[line];
+    ++in_transit_;
+}
+
+void
+PrefetchAccounting::onCacheEvent(const CacheEvent& e)
+{
+    switch (e.type) {
+      case CacheEventType::kPrefetchHandled: {
+        auto it = transit_.find(e.line);
+        if (it == transit_.end())
+            return; // not ours (defensive; only one component issues)
+        if (--it->second == 0)
+            transit_.erase(it);
+        --in_transit_;
+        // Redundant (already resident) and re-prefetch of a still-tracked
+        // line both resolve useless so the conservation sum stays exact.
+        if (e.hit || !tracked_.insert(e.line).second) {
+            ++useless_;
+            if (ctr_useless_)
+                ++*ctr_useless_;
+        }
+        return;
+      }
+      case CacheEventType::kDemandAccess: {
+        auto it = tracked_.find(e.line);
+        if (it == tracked_.end())
+            return;
+        tracked_.erase(it);
+        ++useful_;
+        if (ctr_useful_)
+            ++*ctr_useful_;
+        if (e.late) {
+            ++late_;
+            if (ctr_late_)
+                ++*ctr_late_;
+        }
+        return;
+      }
+      case CacheEventType::kEvict: {
+        // Agent prefetches fill L2 (and L3); the L2 residency decides the
+        // outcome. An L3 copy may linger, but resolving on the L2 evict
+        // keeps one resolution per issue (slight useful undercount).
+        if (e.level != 2)
+            return;
+        auto it = tracked_.find(e.line);
+        if (it == tracked_.end())
+            return;
+        tracked_.erase(it);
+        ++useless_;
+        if (ctr_useless_)
+            ++*ctr_useless_;
+        return;
+      }
+      default:
+        return;
+    }
+}
+
+void
+PrefetchAccounting::reset()
+{
+    issued_ = 0;
+    useful_ = 0;
+    useless_ = 0;
+    late_ = 0;
+    transit_.clear();
+    in_transit_ = 0;
+    tracked_.clear();
+}
+
+void
+PrefetchAccounting::saveState(CkptWriter& w) const
+{
+    w.put(issued_);
+    w.put(useful_);
+    w.put(useless_);
+    w.put(late_);
+    // Hash containers iterate in an unspecified order; sort for a
+    // deterministic image (the tables are small: bounded by inflight).
+    std::vector<std::pair<Addr, std::uint32_t>> transit(transit_.begin(),
+                                                        transit_.end());
+    std::sort(transit.begin(), transit.end());
+    w.put<std::uint64_t>(transit.size());
+    for (const auto& [line, count] : transit) {
+        w.put(line);
+        w.put(count);
+    }
+    std::vector<Addr> tracked(tracked_.begin(), tracked_.end());
+    std::sort(tracked.begin(), tracked.end());
+    w.putVec(tracked);
+}
+
+void
+PrefetchAccounting::loadState(CkptReader& r)
+{
+    r.get(issued_);
+    r.get(useful_);
+    r.get(useless_);
+    r.get(late_);
+    transit_.clear();
+    in_transit_ = 0;
+    std::uint64_t n = r.get<std::uint64_t>();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Addr line = r.get<Addr>();
+        std::uint32_t count = r.get<std::uint32_t>();
+        transit_[line] = count;
+        in_transit_ += count;
+    }
+    std::vector<Addr> tracked;
+    r.getVec(tracked);
+    tracked_.clear();
+    tracked_.insert(tracked.begin(), tracked.end());
+}
+
+} // namespace pfm

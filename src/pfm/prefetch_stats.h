@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Coverage/accuracy/timeliness accounting for prefetching components,
+ * driven by the opt-in cache observation events (cache_events.h).
+ *
+ * Conservation invariant (checked by tests/test_components.cc):
+ *
+ *     issued == useful + useless + inflight()
+ *
+ * It holds because every prefetch a component issues travels exactly one
+ * of these paths:
+ *  - still queued in IntQ-IS or filled-but-untouched     -> inflight()
+ *  - found already resident (redundant), or re-prefetch
+ *    of a tracked line, or evicted before a demand touch -> useless
+ *  - demand-touched after the fill                       -> useful
+ * LoadAgent::reset() (which drops queued prefetches) only ever runs
+ * together with the component's reset(), which zeroes this accounting,
+ * so dropped requests never leak out of the conservation sum.
+ *
+ * The plain members are the source of truth (and the checkpointed state);
+ * the StatGroup counters bound by bindCounters() mirror them for
+ * reporting and are subject to the warmup-boundary resetAll() like every
+ * other stat, so the *reported* window may exclude warmup-issued
+ * prefetches (a reported accuracy slightly above 100% right after a
+ * stats reset is carry-over, not an accounting bug).
+ */
+
+#ifndef PFM_PFM_PREFETCH_STATS_H
+#define PFM_PFM_PREFETCH_STATS_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "memory/cache_events.h"
+
+namespace pfm {
+
+class CkptReader;
+class CkptWriter;
+
+class PrefetchAccounting
+{
+  public:
+    /** Bind the mirror counters (pf_issued/pf_useful/pf_useless/pf_late). */
+    void bindCounters(StatGroup& stats);
+
+    /** A prefetch_only load for @p line was pushed into IntQ-IS. */
+    void onIssue(Addr line);
+
+    /** Feed every cache event the component receives. */
+    void onCacheEvent(const CacheEvent& e);
+
+    /** Zero everything (component reset; see conservation note above). */
+    void reset();
+
+    std::uint64_t issued() const { return issued_; }
+    std::uint64_t useful() const { return useful_; }
+    std::uint64_t useless() const { return useless_; }
+    std::uint64_t late() const { return late_; }
+
+    /** Prefetches issued but not yet resolved useful/useless. */
+    std::uint64_t inflight() const
+    {
+        return in_transit_ + static_cast<std::uint64_t>(tracked_.size());
+    }
+
+    /** Deterministic image: totals + sorted transit/tracked sets. */
+    void saveState(CkptWriter& w) const;
+    void loadState(CkptReader& r);
+
+  private:
+    std::uint64_t issued_ = 0;
+    std::uint64_t useful_ = 0;
+    std::uint64_t useless_ = 0;
+    std::uint64_t late_ = 0; ///< useful, but the demand hit a filling line
+
+    /** Issued requests that have not yet reached memory, per line. */
+    std::unordered_map<Addr, std::uint32_t> transit_;
+    std::uint64_t in_transit_ = 0; ///< sum of transit_ counts
+
+    /** Lines filled by our prefetches, awaiting a demand touch or evict. */
+    std::unordered_set<Addr> tracked_;
+
+    // Reporting mirrors (nullptr until bindCounters()).
+    Counter* ctr_issued_ = nullptr;
+    Counter* ctr_useful_ = nullptr;
+    Counter* ctr_useless_ = nullptr;
+    Counter* ctr_late_ = nullptr;
+};
+
+} // namespace pfm
+
+#endif // PFM_PFM_PREFETCH_STATS_H

@@ -823,6 +823,16 @@ DaemonServer::runLeg(const LegTask& task)
                 row.instructions = res.sim.instructions;
                 row.wall_ms = res.wall_ms;
                 row.ports = res.sim.ports;
+                if (res.sim.has_pf) {
+                    row.has_pf = true;
+                    row.pf_issued = res.sim.pf_issued;
+                    row.pf_useful = res.sim.pf_useful;
+                    row.pf_useless = res.sim.pf_useless;
+                    row.pf_late = res.sim.pf_late;
+                    row.pf_inflight = res.sim.pf_inflight;
+                    row.pf_coverage_pct = res.sim.pf_coverage_pct;
+                    row.pf_accuracy_pct = res.sim.pf_accuracy_pct;
+                }
                 out.json = formatBenchJsonRow(row, /*include_wall=*/false);
                 out.wall_ms = res.wall_ms;
                 out.ok = true;

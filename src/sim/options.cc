@@ -135,6 +135,10 @@ applyToken(SimOptions& opt, const std::string& token)
                       token.c_str());
         return;
     }
+    if (token == "pfstats") {
+        opt.report_prefetch_stats = true;
+        return;
+    }
     if (token.rfind("scope", 0) == 0) {
         unsigned n = tokenNumber(token, token.substr(5));
         opt.astar_index_queue = n;

@@ -86,6 +86,15 @@ struct SimOptions {
     bool defer_component = false;
 
     /**
+     * Report prefetch coverage/accuracy/timeliness: when set, runs whose
+     * component keeps a PrefetchAccounting get pf_* fields in their BENCH
+     * JSON rows (token "pfstats"). Off by default so existing bench JSON
+     * stays byte-identical. Excluded from the config fingerprint:
+     * reporting shape, not machine state.
+     */
+    bool report_prefetch_stats = false;
+
+    /**
      * Cooperative cancellation: polled every few thousand scheduler
      * iterations inside Simulator::run(); returning true aborts the run
      * by throwing SimCancelled (see simulator.h). Used by the sim daemon

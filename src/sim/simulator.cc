@@ -12,7 +12,9 @@
 #include "components/leslie_prefetcher.h"
 #include "components/libquantum_prefetcher.h"
 #include "components/milc_prefetcher.h"
+#include "components/pmp_prefetcher.h"
 #include "components/slipstream.h"
+#include "pfm/prefetch_stats.h"
 #include "workloads/registry.h"
 
 namespace pfm {
@@ -176,6 +178,10 @@ Simulator::attachComponent()
         } else {
             pfm_fatal("slipstream model exists only for astar/bfs");
         }
+    } else if (opt_.component == "pmp") {
+        // Workload-agnostic: PMP learns patterns from the demand stream,
+        // so any workload with a roi_begin marker qualifies (all do).
+        PmpPrefetcher::attach(*pfm_, workload_);
     } else if (opt_.component == "alt") {
         if (wl != "astar")
             pfm_fatal("the astar-alt microarchitecture exists only for astar");
@@ -322,6 +328,30 @@ Simulator::run()
         r.rst_hit_pct = pfm_->rstHitPct();
         r.fst_hit_pct = pfm_->fstHitPct();
         r.ports = pfm_->portSnapshots();
+        const PrefetchAccounting* acct =
+            pfm_->component() ? pfm_->component()->prefetchAccounting()
+                              : nullptr;
+        if (opt_.report_prefetch_stats && acct) {
+            r.has_pf = true;
+            r.pf_issued = acct->issued();
+            r.pf_useful = acct->useful();
+            r.pf_useless = acct->useless();
+            r.pf_late = acct->late();
+            r.pf_inflight = acct->inflight();
+            // Coverage: of the demand traffic that needed an off-chip-ish
+            // trip (L3 or DRAM) plus the misses the prefetcher absorbed,
+            // how much did it absorb?
+            const std::uint64_t missed = mem_->stats().get("served_l3") +
+                                         mem_->stats().get("served_dram");
+            if (r.pf_useful + missed > 0)
+                r.pf_coverage_pct =
+                    100.0 * static_cast<double>(r.pf_useful) /
+                    static_cast<double>(r.pf_useful + missed);
+            if (r.pf_issued > 0)
+                r.pf_accuracy_pct = 100.0 *
+                                    static_cast<double>(r.pf_useful) /
+                                    static_cast<double>(r.pf_issued);
+        }
     }
     return r;
 }

@@ -39,6 +39,22 @@ struct SimResult {
     /** Agent-queue telemetry (ObsQ-R, IntQ-F, IntQ-IS, ObsQ-EX); empty
      *  for bare-core runs. */
     std::vector<PortStatsSnapshot> ports;
+
+    /**
+     * Prefetch coverage/accuracy/timeliness snapshot, filled only when
+     * SimOptions::report_prefetch_stats is set and the component keeps a
+     * PrefetchAccounting (the FSM prefetchers and PMP). coverage_pct is
+     * useful / (useful + demand accesses that still reached L3 or DRAM);
+     * accuracy_pct is useful / issued.
+     */
+    bool has_pf = false;
+    std::uint64_t pf_issued = 0;
+    std::uint64_t pf_useful = 0;
+    std::uint64_t pf_useless = 0;
+    std::uint64_t pf_late = 0;
+    std::uint64_t pf_inflight = 0;
+    double pf_coverage_pct = 0;
+    double pf_accuracy_pct = 0;
 };
 
 class Simulator

@@ -89,6 +89,16 @@ formatBenchJsonRow(const BenchJsonRow& r, bool include_wall)
            << ", \"port_" << jsonEscape(p.name)
            << "_qlat_avg\": " << jsonFinite(p.qlat_avg);
     }
+    if (r.has_pf) {
+        os << ", \"pf_issued\": " << r.pf_issued
+           << ", \"pf_useful\": " << r.pf_useful
+           << ", \"pf_useless\": " << r.pf_useless
+           << ", \"pf_late\": " << r.pf_late
+           << ", \"pf_inflight\": " << r.pf_inflight
+           << ", \"pf_coverage_pct\": " << std::setprecision(6)
+           << jsonFinite(r.pf_coverage_pct)
+           << ", \"pf_accuracy_pct\": " << jsonFinite(r.pf_accuracy_pct);
+    }
     os << "}";
     return os.str();
 }

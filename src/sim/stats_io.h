@@ -35,6 +35,17 @@ struct BenchJsonRow {
     double speedup_pct = 0;
     /** Agent-queue telemetry; emitted as port_<name>_* fields when set. */
     std::vector<PortStatsSnapshot> ports;
+    /** Prefetch accounting; emitted as pf_* fields only when has_pf is
+     *  set (runs with the "pfstats" token), so existing reports stay
+     *  byte-identical. */
+    bool has_pf = false;
+    std::uint64_t pf_issued = 0;
+    std::uint64_t pf_useful = 0;
+    std::uint64_t pf_useless = 0;
+    std::uint64_t pf_late = 0;
+    std::uint64_t pf_inflight = 0;
+    double pf_coverage_pct = 0;
+    double pf_accuracy_pct = 0;
 };
 
 /**

@@ -330,6 +330,16 @@ emitBenchJson(const std::string& name, const SweepSpec& spec,
         row.instructions = results[i].sim.instructions;
         row.wall_ms = results[i].wall_ms;
         row.ports = results[i].sim.ports;
+        if (results[i].sim.has_pf) {
+            row.has_pf = true;
+            row.pf_issued = results[i].sim.pf_issued;
+            row.pf_useful = results[i].sim.pf_useful;
+            row.pf_useless = results[i].sim.pf_useless;
+            row.pf_late = results[i].sim.pf_late;
+            row.pf_inflight = results[i].sim.pf_inflight;
+            row.pf_coverage_pct = results[i].sim.pf_coverage_pct;
+            row.pf_accuracy_pct = results[i].sim.pf_accuracy_pct;
+        }
         if (runs[i].speedup_base.valid()) {
             row.has_speedup = true;
             row.speedup_pct = speedupPct(

@@ -1,0 +1,199 @@
+#include "reference_pmp.h"
+
+namespace pfm {
+namespace refmodel {
+
+namespace {
+
+constexpr unsigned kLines = 64; // lines per 4KB region
+
+unsigned
+bitsSet(std::uint64_t v)
+{
+    unsigned n = 0;
+    for (unsigned i = 0; i < 64; ++i)
+        n += (v >> i) & 1;
+    return n;
+}
+
+std::uint64_t
+rotateRight(std::uint64_t v, unsigned s)
+{
+    std::uint64_t out = 0;
+    for (unsigned i = 0; i < 64; ++i) {
+        if ((v >> i) & 1)
+            out |= std::uint64_t{1} << ((i + 64 - (s % 64)) % 64);
+    }
+    return out;
+}
+
+} // namespace
+
+RefPmp::RefPmp(const PmpParams& params) : params_(params)
+{
+    pht_.assign(kLines, std::vector<Way>(params_.pht_ways));
+}
+
+void
+RefPmp::onAccess(Addr addr, std::vector<Addr>& out)
+{
+    const std::uint64_t region = addr / 4096;
+    const unsigned offset = static_cast<unsigned>((addr / 64) % 64);
+
+    for (std::size_t i = 0; i < acc_.size(); ++i) {
+        if (acc_[i].region == region) {
+            acc_[i].pattern |= std::uint64_t{1} << offset;
+            return;
+        }
+    }
+
+    if (acc_.size() >= params_.acc_entries) {
+        commit(acc_[0]);
+        acc_.erase(acc_.begin());
+    }
+    Acc e;
+    e.region = region;
+    e.trigger = offset;
+    e.pattern = std::uint64_t{1} << offset;
+    acc_.push_back(e);
+
+    predict(region, offset, out);
+}
+
+void
+RefPmp::commit(const Acc& e)
+{
+    if (bitsSet(e.pattern) < 2)
+        return;
+
+    const std::uint64_t pat = rotateRight(e.pattern, e.trigger);
+    std::vector<Way>& set = pht_[e.trigger];
+
+    // Most similar valid way; compare two Jaccard fractions num/den by
+    // cross-multiplication; the earlier way keeps ties.
+    int best = -1;
+    std::uint64_t best_num = 0;
+    std::uint64_t best_den = 1;
+    for (std::size_t w = 0; w < set.size(); ++w) {
+        if (set[w].merges == 0)
+            continue;
+        const std::uint64_t num = bitsSet(pat & set[w].pattern);
+        const std::uint64_t den = bitsSet(pat | set[w].pattern);
+        if (best < 0 || num * best_den > best_num * den) {
+            best = static_cast<int>(w);
+            best_num = num;
+            best_den = den;
+        }
+    }
+
+    if (best >= 0 && best_num * 100 >= params_.merge_threshold_pct * best_den) {
+        set[static_cast<std::size_t>(best)].pattern |= pat;
+        if (set[static_cast<std::size_t>(best)].merges < 255)
+            set[static_cast<std::size_t>(best)].merges += 1;
+        return;
+    }
+
+    // Replacement: first invalid way, else the least-merged (first on
+    // ties).
+    std::size_t victim = 0;
+    bool found_invalid = false;
+    for (std::size_t w = 0; w < set.size(); ++w) {
+        if (set[w].merges == 0) {
+            victim = w;
+            found_invalid = true;
+            break;
+        }
+    }
+    if (!found_invalid) {
+        for (std::size_t w = 1; w < set.size(); ++w) {
+            if (set[w].merges < set[victim].merges)
+                victim = w;
+        }
+    }
+    set[victim].pattern = pat;
+    set[victim].merges = 1;
+}
+
+void
+RefPmp::predict(std::uint64_t region, unsigned trigger,
+                std::vector<Addr>& out) const
+{
+    const std::vector<Way>& set = pht_[trigger];
+    int best = -1;
+    for (std::size_t w = 0; w < set.size(); ++w) {
+        if (set[w].merges == 0)
+            continue;
+        if (best < 0 ||
+            set[w].merges > set[static_cast<std::size_t>(best)].merges)
+            best = static_cast<int>(w);
+    }
+    if (best < 0)
+        return;
+    const std::uint64_t pattern = set[static_cast<std::size_t>(best)].pattern;
+
+    unsigned emitted = 0;
+    for (unsigned dd = 1; dd <= params_.max_distance; ++dd) {
+        for (int dir = 0; dir < 2; ++dir) {
+            const unsigned bit = dir == 0 ? dd : kLines - dd;
+            if (dir == 1 && bit == dd)
+                continue;
+            if (((pattern >> bit) & 1) == 0)
+                continue;
+            const unsigned toff = (trigger + bit) % kLines;
+            out.push_back(region * 4096 + static_cast<Addr>(toff) * 64);
+            emitted += 1;
+            if (emitted >= params_.degree)
+                return;
+        }
+    }
+}
+
+void
+RefPmp::reset()
+{
+    acc_.clear();
+    for (std::vector<Way>& set : pht_) {
+        for (Way& w : set)
+            w = Way{};
+    }
+}
+
+void
+RefPmp::saveState(CkptWriter& w) const
+{
+    w.put<std::uint64_t>(acc_.size());
+    for (const Acc& e : acc_) {
+        w.put<std::uint64_t>(e.region);
+        w.put<std::uint8_t>(static_cast<std::uint8_t>(e.trigger));
+        w.put<std::uint64_t>(e.pattern);
+    }
+    for (const std::vector<Way>& set : pht_) {
+        for (const Way& way : set) {
+            w.put<std::uint64_t>(way.pattern);
+            w.put<std::uint8_t>(static_cast<std::uint8_t>(way.merges));
+        }
+    }
+}
+
+void
+RefPmp::loadState(CkptReader& r)
+{
+    acc_.clear();
+    const std::uint64_t n = r.get<std::uint64_t>();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Acc e;
+        e.region = r.get<std::uint64_t>();
+        e.trigger = r.get<std::uint8_t>();
+        e.pattern = r.get<std::uint64_t>();
+        acc_.push_back(e);
+    }
+    for (std::vector<Way>& set : pht_) {
+        for (Way& way : set) {
+            way.pattern = r.get<std::uint64_t>();
+            way.merges = r.get<std::uint8_t>();
+        }
+    }
+}
+
+} // namespace refmodel
+} // namespace pfm

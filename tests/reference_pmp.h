@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Straight-line reference model of the PMP pattern-merging tables
+ * (src/components/pmp_prefetcher.h). Written deliberately naively — plain
+ * vectors instead of a deque, manual popcounts, per-way loops with no
+ * shared helpers — so that a bug in the production code's cleverness
+ * (rotations, cross-multiplied similarity, row-major PHT indexing) cannot
+ * be mirrored here by construction. test_pmp_equiv.cc locksteps the two
+ * on random access streams: the candidate sequences and the saveState()
+ * byte streams must both match exactly, and a checkpoint written by
+ * either side must restore into the other.
+ */
+
+#ifndef PFM_TESTS_REFERENCE_PMP_H
+#define PFM_TESTS_REFERENCE_PMP_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "components/pmp_prefetcher.h"
+#include "sim/checkpoint.h"
+
+namespace pfm {
+namespace refmodel {
+
+class RefPmp
+{
+  public:
+    explicit RefPmp(const PmpParams& params = {});
+
+    /** Mirror of PmpTables::onAccess: appends candidates to @p out. */
+    void onAccess(Addr addr, std::vector<Addr>& out);
+
+    void reset();
+
+    /** Byte-identical to PmpTables::saveState/loadState. */
+    void saveState(CkptWriter& w) const;
+    void loadState(CkptReader& r);
+
+  private:
+    struct Acc {
+        std::uint64_t region = 0;
+        unsigned trigger = 0;
+        std::uint64_t pattern = 0;
+    };
+    struct Way {
+        std::uint64_t pattern = 0;
+        unsigned merges = 0;
+    };
+
+    void commit(const Acc& e);
+    void predict(std::uint64_t region, unsigned trigger,
+                 std::vector<Addr>& out) const;
+
+    PmpParams params_;
+    std::vector<Acc> acc_;               ///< index 0 = oldest
+    std::vector<std::vector<Way>> pht_;  ///< [trigger offset][way]
+};
+
+} // namespace refmodel
+} // namespace pfm
+
+#endif // PFM_TESTS_REFERENCE_PMP_H

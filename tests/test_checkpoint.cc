@@ -103,6 +103,11 @@ const CkConfig kConfigs[] = {
     {"milc_pf_ff_longwarm", "milc", "auto", "", 12000, true},
     {"bwaves_pf_noff", "bwaves", "auto", "", 3000, false},
     {"leslie_pf_ff_nol1pf", "leslie", "auto", "noL1pf", 6000, true},
+    // PMP adds the cache-observation tap plus the accounting tables to
+    // the pfm section; both fastfwd flavours must round-trip.
+    {"lbm_pmp_ff", "lbm", "pmp", "clk4_w4 delay0 queue32 portALL", 6000,
+     true},
+    {"astar_pmp_noff", "astar", "pmp", "", 3000, false},
 };
 
 SimOptions
@@ -227,6 +232,44 @@ TEST(Checkpoint, BareWarmupSharedAcrossDeferredConfigs)
         EXPECT_EQ(r_ref.ipc, r_load.ipc);
         EXPECT_EQ(dumpAllStats(ref), dumpAllStats(loader));
     }
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, PmpWarmupAndDeferredAttachIdentity)
+{
+    // PMP has static configuration, so it is deferral-eligible: a
+    // bare-core warmup checkpoint plus a deferred PMP measurement leg
+    // must match the uninterrupted deferred PMP run — including the
+    // pattern tables and accounting state that begin empty at the
+    // boundary ROI begin.
+    const std::string path = tmpPath("ckpt_pmp_defer.ckpt");
+    SimOptions warm;
+    warm.workload = "lbm";
+    warm.component = "none";
+    warm.warmup_instructions = 4000;
+    warm.max_instructions = 0;
+    warm.checkpoint_save = path;
+    Simulator warmer(warm);
+    warmer.run();
+
+    SimOptions leg;
+    leg.workload = "lbm";
+    leg.component = "pmp";
+    leg.defer_component = true;
+    leg.warmup_instructions = 4000;
+    leg.max_instructions = 16'000;
+
+    Simulator ref(leg);
+    SimResult r_ref = ref.run();
+
+    SimOptions load = leg;
+    load.checkpoint_load = path;
+    Simulator loader(load);
+    SimResult r_load = loader.run();
+
+    EXPECT_EQ(r_ref.cycles, r_load.cycles);
+    EXPECT_EQ(r_ref.ipc, r_load.ipc);
+    EXPECT_EQ(dumpAllStats(ref), dumpAllStats(loader));
     std::remove(path.c_str());
 }
 
@@ -640,6 +683,40 @@ TEST(CheckpointDeathTest, ConfigFingerprintDriftIsFatal)
     };
     EXPECT_EXIT(load_other_config(), ::testing::ExitedWithCode(1),
                 "config fingerprint");
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointDeathTest, CorruptPmpSectionIsFatalWithSectionName)
+{
+    // The PMP tables and prefetch accounting serialize into the trailing
+    // "pfm" section; a flipped payload byte there must die through the
+    // CRC check naming that section, never restore garbage tables.
+    const std::string path = tmpPath("ckpt_pmp_flip.ckpt");
+    SimOptions o;
+    o.workload = "lbm";
+    o.component = "pmp";
+    o.warmup_instructions = 4000;
+    o.max_instructions = 0;
+    o.checkpoint_save = path;
+    Simulator saver(o);
+    saver.run();
+
+    std::vector<unsigned char> bytes = readFile(path);
+    bytes.back() ^= 0x01; // last payload byte: the final ("pfm") section
+    writeFile(path, bytes);
+
+    auto load_pmp = [&path] {
+        SimOptions lo;
+        lo.workload = "lbm";
+        lo.component = "pmp";
+        lo.warmup_instructions = 4000;
+        lo.max_instructions = 1000;
+        lo.checkpoint_load = path;
+        Simulator sim(lo);
+        sim.run();
+    };
+    EXPECT_EXIT(load_pmp(), ::testing::ExitedWithCode(1),
+                "CRC mismatch.*section 'pfm'");
     std::remove(path.c_str());
 }
 

@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "pfm/prefetch_stats.h"
 #include "sim/simulator.h"
 
 namespace pfm {
@@ -113,6 +116,39 @@ TEST(Prefetchers, LeslieMultiRoiHelps)
     SimResult base = runSim(fastOpts("leslie", "none"));
     SimResult with = runSim(fastOpts("leslie", "auto"));
     EXPECT_GT(speedupPct(base, with), 5.0);
+}
+
+TEST(Prefetchers, AccountingConservationInvariantAcrossComponents)
+{
+    // Every prefetch the accounting saw issued must be resolved exactly
+    // once or still be in flight: issued == useful + useless + inflight.
+    // Holds at any instant because LoadAgent::reset() (which drops queued
+    // prefetches) only ever runs together with the component reset that
+    // clears the accounting. Checked for all five FSM prefetchers plus
+    // PMP on a workload it was never tuned for.
+    struct Case {
+        const char* workload;
+        const char* component;
+    };
+    const Case kCases[] = {
+        {"libquantum", "auto"}, {"bwaves", "auto"}, {"lbm", "auto"},
+        {"milc", "auto"},       {"leslie", "auto"}, {"bfs-roads", "pmp"},
+        {"lbm", "pmp"},
+    };
+    for (const Case& c : kCases) {
+        SCOPED_TRACE(std::string(c.workload) + "/" + c.component);
+        SimOptions o = fastOpts(c.workload, c.component);
+        o.max_instructions = 200'000;
+        Simulator sim(o);
+        sim.run();
+        ASSERT_NE(sim.pfm(), nullptr);
+        const PrefetchAccounting* acct =
+            sim.pfm()->component()->prefetchAccounting();
+        ASSERT_NE(acct, nullptr);
+        EXPECT_GT(acct->issued(), 0u) << "component never prefetched";
+        EXPECT_EQ(acct->issued(),
+                  acct->useful() + acct->useless() + acct->inflight());
+    }
 }
 
 TEST(Prefetchers, ResistantToClockDivider)

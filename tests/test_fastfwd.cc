@@ -49,6 +49,11 @@ const FfConfig kConfigs[] = {
     {"bwaves_pf_slowclk", "bwaves", "auto", "clk8_w2"},
     {"milc_pf", "milc", "auto", ""},
     {"leslie_pf_nol1pf", "leslie", "auto", "noL1pf noVLDP"},
+    // PMP is event-driven (cache observation tap): its nextEventCycle()
+    // must be exact for the skip horizon to stay sound.
+    {"astar_pmp", "astar", "pmp", "clk4_w4 delay0 queue32 portALL"},
+    {"lbm_pmp", "lbm", "pmp", ""},
+    {"bfs_pmp_slowclk", "bfs-roads", "pmp", "clk8_w2"},
 };
 
 SimOptions
@@ -111,6 +116,106 @@ TEST(FastForward, DefaultsOnAndTokenToggles)
     EXPECT_FALSE(o.fastfwd);
     applyToken(o, "fastfwd");
     EXPECT_TRUE(o.fastfwd);
+}
+
+/**
+ * Counting/recording stub for the cache observation tap: serializes every
+ * event field so two runs can be compared byte for byte.
+ */
+class RecordingObserver : public CacheEventObserver
+{
+  public:
+    void onCacheEvent(const CacheEvent& e) override
+    {
+        ++count_;
+        os_ << static_cast<int>(e.type) << ':' << int{e.level} << ':'
+            << e.ifetch << e.hit << e.prefetched << e.late << ':' << std::hex
+            << e.line << ':' << e.cycle << std::dec << '\n';
+    }
+    std::string stream() const { return os_.str(); }
+    std::uint64_t count() const { return count_; }
+
+  private:
+    std::ostringstream os_;
+    std::uint64_t count_ = 0;
+};
+
+TEST(FastForward, CacheEventStreamIdenticalAcrossFastforward)
+{
+    // The observation tap must be deterministic under fast-forward: a
+    // skipped cycle is by definition one in which no memory access runs,
+    // so the full event stream — every field of every event, in order —
+    // has to match between fastfwd on and off. Covers bare core (tap
+    // otherwise uninstalled), FSM-prefetcher and PMP configs; installing
+    // the recorder displaces a component tap identically in both runs.
+    const char* names[] = {"astar_bare", "lbm_pf_perfbp", "lbm_pmp",
+                           "astar_pfm_slow_ctx", "bwaves_pf_slowclk"};
+    for (const char* name : names) {
+        const FfConfig* cfg = nullptr;
+        for (const FfConfig& c : kConfigs) {
+            if (std::string(c.name) == name)
+                cfg = &c;
+        }
+        ASSERT_NE(cfg, nullptr) << name;
+        SCOPED_TRACE(cfg->name);
+
+        RecordingObserver rec_off;
+        Simulator off(ffOptions(*cfg, false));
+        off.memory().setEventObserver(&rec_off);
+        off.run();
+
+        RecordingObserver rec_on;
+        Simulator on(ffOptions(*cfg, true));
+        on.memory().setEventObserver(&rec_on);
+        on.run();
+
+        EXPECT_GT(rec_off.count(), 0u) << "tap saw no traffic";
+        EXPECT_EQ(rec_off.count(), rec_on.count());
+        EXPECT_EQ(rec_off.stream(), rec_on.stream());
+    }
+}
+
+TEST(FastForward, TapInstalledOnlyForOptingComponents)
+{
+    // Zero-cost contract: a component that does not override
+    // wantsCacheEvents() must leave the hierarchy tap empty (one null
+    // compare per access is the entire overhead budget).
+    {
+        SimOptions o;
+        o.workload = "astar";
+        o.component = "none";
+        Simulator sim(o);
+        EXPECT_EQ(sim.memory().eventObserver(), nullptr);
+    }
+    {
+        // AstarPredictor keeps no prefetch accounting: not opted in.
+        SimOptions o;
+        o.workload = "astar";
+        o.component = "auto";
+        Simulator sim(o);
+        ASSERT_NE(sim.pfm(), nullptr);
+        EXPECT_FALSE(sim.pfm()->component()->wantsCacheEvents());
+        EXPECT_EQ(sim.memory().eventObserver(), nullptr);
+        EXPECT_EQ(sim.pfm()->component()->prefetchAccounting(), nullptr);
+    }
+    {
+        // The FSM prefetchers opt in; the tap must point at the component.
+        SimOptions o;
+        o.workload = "lbm";
+        o.component = "auto";
+        Simulator sim(o);
+        ASSERT_NE(sim.pfm(), nullptr);
+        EXPECT_TRUE(sim.pfm()->component()->wantsCacheEvents());
+        EXPECT_EQ(sim.memory().eventObserver(), sim.pfm()->component());
+    }
+    {
+        SimOptions o;
+        o.workload = "bfs-roads";
+        o.component = "pmp";
+        Simulator sim(o);
+        ASSERT_NE(sim.pfm(), nullptr);
+        EXPECT_EQ(sim.memory().eventObserver(), sim.pfm()->component());
+    }
 }
 
 TEST(FastForward, ActuallySkipsCyclesOnStallHeavyRun)
