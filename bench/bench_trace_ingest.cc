@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Trace-ingestion harness: the three costs the trace frontend adds to a
+ * farm run, each a row in BENCH_trace_ingest.json perf_diff gates on
+ * wall_ms:
+ *
+ *  - construct: streaming construction of the million-node bfs-roads-1m
+ *    workload (graph build + BFS image layout), the O(V+E) path the
+ *    scaled tiers depend on (construct_ms acceptance);
+ *  - record: a native bfs-roads run teed through --record-trace, i.e.
+ *    simulation plus LZ block compression and CRC framing;
+ *  - replay: the same interval re-run from the recorded trace, i.e.
+ *    block decompression plus record decoding feeding the core.
+ *
+ * Hard failure (exit 1), because it is a correctness claim, not perf:
+ * the replay's cycles/instructions/ipc/mpki must equal the recording
+ * run's exactly — a trace that does not reproduce its native run is
+ * useless no matter how fast it reads.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "bench_util.h"
+#include "trace_fe/trace_format.h"
+#include "workloads/registry.h"
+
+using namespace pfm;
+
+namespace {
+
+double
+msSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+std::uint64_t
+fileBytes(const std::string& path)
+{
+    struct stat st{};
+    return ::stat(path.c_str(), &st) == 0
+        ? static_cast<std::uint64_t>(st.st_size)
+        : 0;
+}
+
+double
+minstrPerSec(std::uint64_t instructions, double wall_ms)
+{
+    return wall_ms > 0 ? static_cast<double>(instructions) / wall_ms / 1e3
+                       : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    (void)argc;
+    (void)argv;
+
+    std::string dir = ".";
+    if (const char* env = std::getenv("PFM_CKPT_DIR"))
+        dir = env;
+    const std::string trace_path =
+        dir + "/pfm_bench_ingest_" +
+        std::to_string(static_cast<unsigned long>(::getpid())) + ".pfmt";
+
+    // Row 1: scaled-tier construction. The old quadratic adjacency build
+    // made million-node graphs intractable; this row is the construct_ms
+    // acceptance number for the streaming rewrite.
+    auto t0 = std::chrono::steady_clock::now();
+    Workload big = makeWorkload("bfs-roads-1m");
+    const double construct_ms = msSince(t0);
+    const std::uint64_t graph_nodes = big.metaVal("num_nodes");
+
+    // Row 2: record a native run. Wall time covers simulation plus the
+    // writer's compression/framing; the trace byte count lands in the
+    // JSON so size growth is visible in review even though perf_diff
+    // only gates wall_ms.
+    SimOptions rec = benchOptions("bfs-roads", "none");
+    rec.record_trace = trace_path;
+    t0 = std::chrono::steady_clock::now();
+    Simulator rec_sim(rec);
+    const SimResult rec_r = rec_sim.run();
+    const double record_ms = msSince(t0);
+    const std::uint64_t trace_bytes = fileBytes(trace_path);
+
+    // Row 3: replay the same interval from the trace.
+    SimOptions rep = benchOptions("trace:" + trace_path, "none");
+    rep.warmup_instructions = rec.warmup_instructions;
+    rep.max_instructions = rec.max_instructions;
+    t0 = std::chrono::steady_clock::now();
+    Simulator rep_sim(rep);
+    const SimResult rep_r = rep_sim.run();
+    const double replay_ms = msSince(t0);
+
+    int failures = 0;
+    if (rep_r.cycles != rec_r.cycles ||
+        rep_r.instructions != rec_r.instructions ||
+        rep_r.ipc != rec_r.ipc || rep_r.mpki != rec_r.mpki) {
+        std::fprintf(stderr,
+                     "FAIL: replay diverged from the recording run "
+                     "(cycles %llu vs %llu, instructions %llu vs %llu)\n",
+                     static_cast<unsigned long long>(rep_r.cycles),
+                     static_cast<unsigned long long>(rec_r.cycles),
+                     static_cast<unsigned long long>(rep_r.instructions),
+                     static_cast<unsigned long long>(rec_r.instructions));
+        ++failures;
+    }
+
+    const double rec_mips = minstrPerSec(rec_r.instructions, record_ms);
+    const double rep_mips = minstrPerSec(rep_r.instructions, replay_ms);
+
+    reportHeader("Trace ingestion: construct / record / replay");
+    reportRow("construct_1m", construct_ms, " ms");
+    reportRow("graph_nodes", static_cast<double>(graph_nodes) / 1e6,
+              " M");
+    reportRow("record", record_ms, " ms");
+    reportRow("record_tput", rec_mips, " Minstr/s");
+    reportRow("trace_size", static_cast<double>(trace_bytes) / 1024,
+              " KiB");
+    reportRow("replay", replay_ms, " ms");
+    reportRow("replay_tput", rep_mips, " Minstr/s");
+
+    std::string json_dir = ".";
+    if (const char* env = std::getenv("PFM_BENCH_JSON_DIR"))
+        json_dir = env;
+    const std::string json_path = json_dir + "/BENCH_trace_ingest.json";
+    std::ofstream os(json_path);
+    if (os) {
+        os << "{\n  \"bench\": \"trace_ingest\",\n";
+        os << "  \"trace_bytes\": " << trace_bytes << ",\n";
+        os << "  \"total_wall_ms\": "
+           << construct_ms + record_ms + replay_ms << ",\n  \"rows\": [\n";
+        os << "    {\"label\": \"construct/bfs-roads-1m\", \"wall_ms\": "
+           << construct_ms << ", \"construct_ms\": " << construct_ms
+           << "},\n";
+        os << "    {\"label\": \"record/bfs-roads\", \"wall_ms\": "
+           << record_ms << ", \"minstr_per_s\": " << rec_mips << "},\n";
+        os << "    {\"label\": \"replay/bfs-roads\", \"wall_ms\": "
+           << replay_ms << ", \"minstr_per_s\": " << rep_mips
+           << "}\n  ]\n}\n";
+    }
+
+    std::remove(trace_path.c_str());
+    return failures ? 1 : 0;
+}

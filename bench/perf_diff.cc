@@ -22,7 +22,8 @@
  * occupancy profile means different queue pressure, worth eyeballing,
  * but wall time alone decides the exit code. Checkpoint-store rows
  * (bench_ckpt_store) additionally carry "size_bytes"/"restore_ms"
- * storage columns, diffed the same informational way.
+ * storage columns, and "pfstats" runs carry "pf_*" prefetch-accounting
+ * columns — both diffed the same informational way.
  */
 
 #include <cmath>
@@ -43,6 +44,8 @@ struct BenchRow {
     unsigned long long cycles = 0;
     /** "port_<name>_*" occupancy columns, in row order. */
     std::vector<std::pair<std::string, double>> ports;
+    /** "pf_*" prefetch-accounting columns (token "pfstats" runs). */
+    std::vector<std::pair<std::string, double>> pf;
     double size_bytes = -1;  // <0 = absent; checkpoint-store rows only
     double restore_ms = -1;  // <0 = absent
 };
@@ -151,6 +154,15 @@ parseBenchFile(const std::string& path, BenchFile& out)
             row.ports.emplace_back(key, numValue(obj, key.c_str(), 0));
             p = kend;
         }
+        for (size_t p = obj.find("\"pf_"); p != std::string::npos;
+             p = obj.find("\"pf_", p + 1)) {
+            size_t kend = obj.find('"', p + 1);
+            if (kend == std::string::npos)
+                break;
+            const std::string key = obj.substr(p + 1, kend - p - 1);
+            row.pf.emplace_back(key, numValue(obj, key.c_str(), 0));
+            p = kend;
+        }
         if (row.label.empty()) {
             std::fprintf(stderr, "perf_diff: row without label in '%s'\n",
                          path.c_str());
@@ -177,9 +189,10 @@ findRow(const BenchFile& f, const std::string& label)
 }
 
 const double*
-findPort(const BenchRow& r, const std::string& key)
+findKey(const std::vector<std::pair<std::string, double>>& cols,
+        const std::string& key)
 {
-    for (const auto& kv : r.ports)
+    for (const auto& kv : cols)
         if (kv.first == key)
             return &kv.second;
     return nullptr;
@@ -258,6 +271,7 @@ main(int argc, char** argv)
     int not_comparable = 0;
     bool ipc_drift = false;
     bool port_drift = false;
+    bool pf_drift = false;
     for (const BenchRow& b : base.rows) {
         char bcol[32], ccol[32];
         const BenchRow* c = findRow(cand, b.label);
@@ -302,7 +316,7 @@ main(int argc, char** argv)
         // Port-occupancy columns: informational, like IPC — a changed
         // profile is queue-pressure drift, not a wall-time regression.
         for (const auto& bp : b.ports) {
-            const double* cv = findPort(*c, bp.first);
+            const double* cv = findKey(c->ports, bp.first);
             if (!cv) {
                 std::printf("      %-38s %12.6f %12s\n", bp.first.c_str(),
                             bp.second, "MISSING");
@@ -314,7 +328,27 @@ main(int argc, char** argv)
             }
         }
         for (const auto& cp : c->ports)
-            if (!findPort(b, cp.first))
+            if (!findKey(b.ports, cp.first))
+                std::printf("      %-38s %12s %12.6f  (new)\n",
+                            cp.first.c_str(), "-", cp.second);
+        // Prefetch-accounting columns (pf_issued/pf_useful/.../pf
+        // coverage and accuracy): informational, same contract as the
+        // port columns — changed counters mean the prefetcher behaved
+        // differently, flagged for eyeballing, never a wall-time gate.
+        for (const auto& bp : b.pf) {
+            const double* cv = findKey(c->pf, bp.first);
+            if (!cv) {
+                std::printf("      %-38s %12.6f %12s\n", bp.first.c_str(),
+                            bp.second, "MISSING");
+                pf_drift = true;
+            } else if (*cv != bp.second) {
+                std::printf("      %-38s %12.6f %12.6f  (pf drift)\n",
+                            bp.first.c_str(), bp.second, *cv);
+                pf_drift = true;
+            }
+        }
+        for (const auto& cp : c->pf)
+            if (!findKey(b.pf, cp.first))
                 std::printf("      %-38s %12s %12.6f  (new)\n",
                             cp.first.c_str(), "-", cp.second);
         // Storage columns: informational like IPC — bytes on disk and
@@ -382,6 +416,10 @@ main(int argc, char** argv)
     if (port_drift)
         std::printf("perf_diff: note — port occupancy diverged "
                     "(informational; queue-pressure profile changed)\n");
+    if (pf_drift)
+        std::printf("perf_diff: note — prefetch accounting diverged "
+                    "(informational; coverage/accuracy profile "
+                    "changed)\n");
     if (regressions) {
         std::printf("perf_diff: %d configuration(s) regressed past "
                     "%.1f%%\n", regressions, threshold);

@@ -8,7 +8,10 @@
 # (corrupt) input: exactly what the instrumented build catches and the
 # plain build cannot. The PMP suite rides along: its rotate/merge bit
 # arithmetic and the reference-model lockstep are cheap and exactly the
-# code UBSan pays off on (shift widths, popcount-driven indexing).
+# code UBSan pays off on (shift widths, popcount-driven indexing). The
+# trace-frontend suite joins for the same reason: block (de)compression,
+# CRC framing, and record decoding over deliberately corrupted trace
+# files are untrusted-input byte-twiddling.
 #
 # Usage: scripts/ci_sanitize.sh [build-dir]   (default: build-sanitize)
 set -eu
@@ -18,5 +21,6 @@ BUILD_DIR="${1:-build-sanitize}"
 
 cmake -B "$BUILD_DIR" -S . -DPFM_SANITIZE=ON
 cmake --build "$BUILD_DIR" -j"$(nproc)" --target pfm_daemon_tests \
-    pfm_ckpt_store_tests pfm_pmp_tests pfm_daemon pfm_client
-(cd "$BUILD_DIR" && ctest -L 'daemon|ckptstore|pmp' --output-on-failure -j2)
+    pfm_ckpt_store_tests pfm_pmp_tests pfm_trace_tests pfm_daemon \
+    pfm_client
+(cd "$BUILD_DIR" && ctest -L 'daemon|ckptstore|pmp|trace' --output-on-failure -j2)

@@ -26,8 +26,7 @@ class NullPredictor : public BranchPredictor
 
 } // namespace
 
-Core::Core(const CoreParams& params, FunctionalEngine& engine,
-           Hierarchy& memory)
+Core::Core(const CoreParams& params, InstSource& engine, Hierarchy& memory)
     : params_(params),
       engine_(engine),
       mem_(memory),

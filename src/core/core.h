@@ -34,7 +34,7 @@
 #include "core/rename.h"
 #include "core/store_sets.h"
 #include "isa/dyn_inst.h"
-#include "isa/functional_engine.h"
+#include "isa/inst_source.h"
 #include "memory/hierarchy.h"
 
 namespace pfm {
@@ -142,8 +142,7 @@ class TraceSink; // sim/trace.h
 class Core
 {
   public:
-    Core(const CoreParams& params, FunctionalEngine& engine,
-         Hierarchy& memory);
+    Core(const CoreParams& params, InstSource& engine, Hierarchy& memory);
 
     void setHooks(CoreHooks* hooks) { hooks_ = hooks; }
 
@@ -163,8 +162,20 @@ class Core
      */
     Cycle fastForward() noexcept;
 
-    /** True once the workload's halt instruction has retired. */
-    bool done() const { return halt_retired_; }
+    /**
+     * True once the instruction stream is finished: the workload's halt
+     * instruction retired, or — for sources that can simply run dry, like
+     * a replayed trace cut off at its recording budget — the source is
+     * exhausted and every produced instruction has retired. For a stream
+     * ending in a halt the two conditions flip on the same cycle (halt is
+     * the last instruction the source produces), so native runs are
+     * unaffected.
+     */
+    bool done() const
+    {
+        return halt_retired_ ||
+               (engine_.halted() && head_seq_ == engine_next_);
+    }
 
     Cycle cycle() const { return cycle_; }
     std::uint64_t retired() const { return retired_; }
@@ -271,7 +282,7 @@ class Core
     void resolveMispredict(InstCold& e, Cycle now);
 
     CoreParams params_;
-    FunctionalEngine& engine_;
+    InstSource& engine_;
     Hierarchy& mem_;
     CoreHooks* hooks_ = nullptr;
     TraceSink* tracer_ = nullptr;

@@ -14,13 +14,14 @@
 #include <cstdint>
 
 #include "isa/dyn_inst.h"
+#include "isa/inst_source.h"
 #include "isa/program.h"
 #include "mem_sys/commit_log.h"
 #include "mem_sys/sim_memory.h"
 
 namespace pfm {
 
-class FunctionalEngine
+class FunctionalEngine : public InstSource
 {
   public:
     FunctionalEngine(const Program& prog, SimMemory& mem);
@@ -29,32 +30,32 @@ class FunctionalEngine
     void reset(Addr entry_pc);
 
     /** True once a halt instruction has executed. */
-    bool halted() const { return halted_; }
+    bool halted() const override { return halted_; }
 
     /** Next PC to be executed. */
-    Addr pc() const { return pc_; }
+    Addr pc() const override { return pc_; }
 
     /**
      * Execute one instruction. Stores are recorded in the commit log before
      * memory is mutated. Returns the full dynamic record.
      */
-    DynInst step();
+    DynInst step() override;
 
     /** Architectural register read (unified index). */
     RegVal reg(unsigned r) const { return regs_[r]; }
     void setReg(unsigned r, RegVal v) { if (r != 0) regs_[r] = v; }
 
     /** Number of instructions executed since reset. */
-    SeqNum executed() const { return seq_; }
+    SeqNum executed() const override { return seq_; }
 
-    CommitLog& commitLog() { return commit_log_; }
+    CommitLog& commitLog() override { return commit_log_; }
     const CommitLog& commitLog() const { return commit_log_; }
-    SimMemory& memory() { return mem_; }
-    const Program& program() const { return prog_; }
+    SimMemory& memory() override { return mem_; }
+    const Program& program() const override { return prog_; }
 
     /** Checkpoint: registers, PC, seq, halt flag, memory + commit log. */
-    void saveState(CkptWriter& w) const;
-    void loadState(CkptReader& r);
+    void saveState(CkptWriter& w) const override;
+    void loadState(CkptReader& r) override;
 
   private:
     RegVal aluResult(const Instruction& inst, RegVal a, RegVal b) const;

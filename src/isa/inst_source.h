@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The committed-instruction frontend interface. The timing core is
+ * execution-driven: it consumes exact DynInst records one at a time from
+ * an InstSource's step() and never fetches wrong-path instructions. The
+ * interpreter (FunctionalEngine) is the first implementor; TraceSource
+ * (src/trace_fe/) replays a recorded compressed trace behind the same
+ * interface, so "workload" is an ingestion axis rather than a compiled-in
+ * enum — see DESIGN.md "Instruction sources & trace format".
+ *
+ * Contract:
+ *  - step() may only be called while !halted(); each call yields the next
+ *    committed instruction in program order with contiguous seq numbers
+ *    starting at 0.
+ *  - Stores must be applied to memory() *by step()* (after recording the
+ *    pre-image in commitLog()), so components observing the committed
+ *    memory state see the same bytes whichever source produced the
+ *    stream.
+ *  - pc() peeks the PC the next step() will execute (undefined once
+ *    halted).
+ *  - saveState()/loadState() checkpoint the full source state — for the
+ *    interpreter that is registers + PC + memory + commit log; for a
+ *    trace it is the stream cursor + memory + commit log — so sharded
+ *    warmup checkpoints work identically for both.
+ *  - sourceFingerprint() folds any identity beyond the workload name into
+ *    the config fingerprint (a trace's content id); sources whose
+ *    identity is fully captured by the workload string return 0.
+ */
+
+#ifndef PFM_ISA_INST_SOURCE_H
+#define PFM_ISA_INST_SOURCE_H
+
+#include <cstdint>
+
+#include "isa/dyn_inst.h"
+#include "isa/program.h"
+#include "mem_sys/commit_log.h"
+#include "mem_sys/sim_memory.h"
+
+namespace pfm {
+
+class CkptWriter;
+class CkptReader;
+
+class InstSource
+{
+  public:
+    virtual ~InstSource() = default;
+
+    /** True once the stream is exhausted (halt executed or trace end). */
+    virtual bool halted() const = 0;
+
+    /** Peek: PC of the instruction the next step() will produce. */
+    virtual Addr pc() const = 0;
+
+    /** Produce the next committed instruction (stores applied here). */
+    virtual DynInst step() = 0;
+
+    /** Number of instructions produced so far (== next seq). */
+    virtual SeqNum executed() const = 0;
+
+    /** Static program; DynInst::inst pointers resolve into it. */
+    virtual const Program& program() const = 0;
+
+    /** Committed-state view for retire-time consumers (components). */
+    virtual CommitLog& commitLog() = 0;
+
+    /** The functional memory image the source mutates. */
+    virtual SimMemory& memory() = 0;
+
+    /**
+     * Extra identity folded into configFingerprint() beyond the workload
+     * string (e.g. a trace file's content id). 0 = nothing extra.
+     */
+    virtual std::uint64_t sourceFingerprint() const { return 0; }
+
+    /** Checkpoint hooks (the simulator's "engine" section). */
+    virtual void saveState(CkptWriter& w) const = 0;
+    virtual void loadState(CkptReader& r) = 0;
+};
+
+} // namespace pfm
+
+#endif // PFM_ISA_INST_SOURCE_H

@@ -1,6 +1,7 @@
 #include "mem_sys/sim_memory.h"
 
 #include <algorithm>
+#include <cstring>
 #include <vector>
 
 #include "sim/checkpoint.h"
@@ -21,17 +22,47 @@ SimMemory::alloc(Addr bytes, Addr align)
 void
 SimMemory::readBytes(Addr addr, void* out, unsigned n) const
 {
+    // Page-chunked: one hash lookup + memcpy per touched page instead of
+    // per byte. The scalar loads/stores of the functional engine span at
+    // most two pages; workload setup streams megabytes through here.
     auto* dst = static_cast<std::uint8_t*>(out);
-    for (unsigned i = 0; i < n; ++i)
-        dst[i] = readByte(addr + i);
+    while (n > 0) {
+        const Addr off = addr & (kPageBytes - 1);
+        const unsigned chunk =
+            static_cast<unsigned>(std::min<Addr>(kPageBytes - off, n));
+        auto it = pages_.find(addr >> kPageShift);
+        if (it == pages_.end())
+            std::memset(dst, 0, chunk);
+        else
+            std::memcpy(dst, it->second->data() + off, chunk);
+        dst += chunk;
+        addr += chunk;
+        n -= chunk;
+    }
 }
 
 void
 SimMemory::writeBytes(Addr addr, const void* in, unsigned n)
 {
     const auto* src = static_cast<const std::uint8_t*>(in);
-    for (unsigned i = 0; i < n; ++i)
-        writeByte(addr + i, src[i]);
+    while (n > 0) {
+        const Addr off = addr & (kPageBytes - 1);
+        const unsigned chunk =
+            static_cast<unsigned>(std::min<Addr>(kPageBytes - off, n));
+        std::memcpy(pageFor(addr >> kPageShift).data() + off, src, chunk);
+        src += chunk;
+        addr += chunk;
+        n -= chunk;
+    }
+}
+
+SimMemory::PageData&
+SimMemory::pageFor(Addr page_index)
+{
+    auto& page = pages_[page_index];
+    if (!page)
+        page = std::make_unique<PageData>(kPageBytes, 0);
+    return *page;
 }
 
 std::uint8_t
@@ -46,21 +77,32 @@ SimMemory::readByte(Addr addr) const
 void
 SimMemory::writeByte(Addr addr, std::uint8_t v)
 {
-    auto& page = pages_[addr >> kPageShift];
-    if (!page)
-        page = std::make_unique<PageData>(kPageBytes, 0);
-    (*page)[addr & (kPageBytes - 1)] = v;
+    pageFor(addr >> kPageShift)[addr & (kPageBytes - 1)] = v;
 }
 
+std::vector<Addr>
+SimMemory::pageIndices() const
+{
+    std::vector<Addr> idx;
+    idx.reserve(pages_.size());
+    for (const auto& [addr, data] : pages_)
+        idx.push_back(addr);
+    std::sort(idx.begin(), idx.end());
+    return idx;
+}
+
+const std::uint8_t*
+SimMemory::pageBytes(Addr page_index) const
+{
+    auto it = pages_.find(page_index);
+    pfm_assert(it != pages_.end(), "pageBytes() of an unmapped page");
+    return it->second->data();
+}
 
 void
 SimMemory::saveState(CkptWriter& w) const
 {
-    std::vector<Addr> page_addrs;
-    page_addrs.reserve(pages_.size());
-    for (const auto& [addr, data] : pages_)
-        page_addrs.push_back(addr);
-    std::sort(page_addrs.begin(), page_addrs.end());
+    std::vector<Addr> page_addrs = pageIndices();
     w.put<std::uint64_t>(page_addrs.size());
     for (Addr a : page_addrs) {
         w.put(a);

@@ -74,11 +74,24 @@ class SimMemory
     void saveState(CkptWriter& w) const;
     void loadState(CkptReader& r);
 
+    /**
+     * Page-level enumeration for whole-image serializers (the checkpoint
+     * engine section and the trace frontend's meta block): mapped page
+     * indices (addr >> kPageShift) in ascending order, and the raw bytes
+     * of one such page.
+     */
+    std::vector<Addr> pageIndices() const;
+    const std::uint8_t* pageBytes(Addr page_index) const;
+
+    /** Restore the allocation top when rebuilding an image page-by-page. */
+    void setBrk(Addr b) { brk_ = b; }
+
   private:
     using PageData = std::vector<std::uint8_t>;
 
     std::uint8_t readByte(Addr addr) const;
     void writeByte(Addr addr, std::uint8_t v);
+    PageData& pageFor(Addr page_index);
 
     std::unordered_map<Addr, std::unique_ptr<PageData>> pages_;
     Addr brk_ = 0x100000; // data segment starts above the code region

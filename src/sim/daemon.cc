@@ -19,6 +19,7 @@
 #include "sim/simulator.h"
 #include "sim/stats_io.h"
 #include "sim/sweep.h"
+#include "trace_fe/trace_format.h"
 #include "workloads/registry.h"
 
 namespace pfm {
@@ -86,7 +87,20 @@ WarmupCache::keyFor(const SimOptions& opt)
     std::snprintf(fp, sizeof fp, "%016llx",
                   static_cast<unsigned long long>(
                       configFingerprint(opt, /*with_pfm=*/false)));
-    return opt.workload + "-" + fp;
+    // The key lands in a cache *filename*: trace workloads ("trace:/a/b")
+    // carry path separators, so squash anything filename-hostile. Two
+    // distinct traces squashing to the same text still get distinct keys
+    // — the fingerprint folds in the trace file's content id.
+    std::string wl = opt.workload;
+    for (char& ch : wl) {
+        const bool ok = (ch >= 'a' && ch <= 'z') ||
+                        (ch >= 'A' && ch <= 'Z') ||
+                        (ch >= '0' && ch <= '9') || ch == '-' ||
+                        ch == '.' || ch == '_';
+        if (!ok)
+            ch = '_';
+    }
+    return wl + "-" + fp;
 }
 
 WarmupCache::Lease
@@ -635,10 +649,24 @@ DaemonServer::handleSweep(const std::shared_ptr<ConnState>& conn,
             const std::string key = line.substr(0, eq);
             const std::string value = line.substr(eq + 1);
             if (key == "workload") {
-                const auto names = workloadNames();
-                if (std::find(names.begin(), names.end(), value) ==
-                    names.end())
-                    pfm_fatal("unknown workload '%s'", value.c_str());
+                if (trace::isTraceWorkload(value)) {
+                    // Trace replays name a file, not a registry entry.
+                    // Validate up front under ScopedFatalThrow so a
+                    // missing file or a corrupt header becomes a clean
+                    // err frame, not a dead worker mid-sweep; require an
+                    // absolute path because the daemon's cwd is its own,
+                    // not the client's.
+                    const std::string p = trace::traceWorkloadPath(value);
+                    if (p.empty() || p[0] != '/')
+                        pfm_fatal("trace workload path '%s' must be "
+                                  "absolute", p.c_str());
+                    trace::validateTraceFile(p);
+                } else {
+                    const auto names = workloadNames();
+                    if (std::find(names.begin(), names.end(), value) ==
+                        names.end())
+                        pfm_fatal("unknown workload '%s'", value.c_str());
+                }
                 base.workload = value;
                 have_workload = true;
             } else if (key == "component") {

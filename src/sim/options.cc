@@ -192,6 +192,10 @@ parseCommandLine(int argc, char** argv)
                 std::strtoull(value("--warmup=").c_str(), nullptr, 0);
         } else if (arg.rfind("--trace=", 0) == 0) {
             opt.trace_path = value("--trace=");
+        } else if (arg.rfind("--record-trace=", 0) == 0) {
+            opt.record_trace = value("--record-trace=");
+            if (opt.record_trace.empty())
+                pfm_fatal("--record-trace= requires a file path");
         } else if (arg.rfind("--checkpoint-save=", 0) == 0) {
             opt.checkpoint_save = value("--checkpoint-save=");
             if (opt.checkpoint_save.empty())

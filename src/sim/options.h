@@ -64,6 +64,17 @@ struct SimOptions {
     std::string checkpoint_load;
 
     /**
+     * Record the committed-instruction stream (plus the materialized
+     * workload) to this trace file; replay it later with
+     * --workload=trace:<path>. Exclusive with checkpointing (the writer's
+     * stream position is not checkpointable state) and with trace
+     * replays (re-recording a replay is a no-op by construction).
+     * Excluded from the config fingerprint: recording observes the run,
+     * it does not shape machine state.
+     */
+    std::string record_trace;
+
+    /**
      * Non-empty: checkpoint_save writes a content-addressed manifest
      * whose section payloads live as deduplicated (and, by default,
      * compressed) blobs under `<ckpt dir>/<ckpt_store>` — see

@@ -70,6 +70,12 @@ configFingerprint(const SimOptions& o, bool with_pfm)
 {
     ConfigHash h;
     h.str(o.workload);
+    // A trace workload's identity is its *content*, not its path: fold in
+    // the file id so checkpoints (and the daemon's warm cache) keyed
+    // against one recording die cleanly — by fingerprint mismatch or
+    // cache miss — when the file is re-recorded.
+    if (trace::isTraceWorkload(o.workload))
+        h.num(trace::traceFileId(trace::traceWorkloadPath(o.workload)));
     h.num(o.warmup_instructions);
 
     const CoreParams& c = o.core;
@@ -136,17 +142,44 @@ configFingerprint(const SimOptions& o, bool with_pfm)
     return h.value();
 }
 
-Simulator::Simulator(const SimOptions& opt)
-    : opt_(opt), workload_(makeWorkload(opt.workload))
+Simulator::Simulator(const SimOptions& opt) : opt_(opt)
 {
-    mem_ = std::make_unique<Hierarchy>(opt_.mem);
-    engine_ = std::make_unique<FunctionalEngine>(workload_.program,
-                                                 *workload_.mem);
-    engine_->reset(workload_.entry);
-    for (const auto& [reg, val] : workload_.init_regs)
-        engine_->setReg(reg, val);
+    if (trace::isTraceWorkload(opt_.workload)) {
+        if (!opt_.record_trace.empty())
+            pfm_fatal("--record-trace cannot re-record a trace replay "
+                      "(the replay *is* the recording)");
+        trace_ = std::make_unique<TraceSource>(
+            trace::traceWorkloadPath(opt_.workload));
+        // Copy the materialized workload so component factories and the
+        // annotation accessors see exactly what a native run would; the
+        // memory image is shared (shared_ptr), so the source's store
+        // replay and the components' committed reads observe one image.
+        workload_ = trace_->workload();
+        source_ = trace_.get();
+    } else {
+        workload_ = makeWorkload(opt_.workload);
+        engine_ = std::make_unique<FunctionalEngine>(workload_.program,
+                                                     *workload_.mem);
+        engine_->reset(workload_.entry);
+        for (const auto& [reg, val] : workload_.init_regs)
+            engine_->setReg(reg, val);
+        source_ = engine_.get();
+        if (!opt_.record_trace.empty()) {
+            if (!opt_.checkpoint_save.empty() ||
+                !opt_.checkpoint_load.empty()) {
+                pfm_fatal("--record-trace is exclusive with "
+                          "--checkpoint-save/--checkpoint-load (the "
+                          "writer's stream position is not checkpointable "
+                          "state)");
+            }
+            recorder_ = std::make_unique<TraceRecorder>(
+                *engine_, opt_.record_trace, workload_);
+            source_ = recorder_.get();
+        }
+    }
 
-    core_ = std::make_unique<Core>(opt_.core, *engine_, *mem_);
+    mem_ = std::make_unique<Hierarchy>(opt_.mem);
+    core_ = std::make_unique<Core>(opt_.core, *source_, *mem_);
     if (!opt_.trace_path.empty()) {
         tracer_ = std::make_unique<PipelineTracer>(opt_.trace_path,
                                                    opt_.trace_limit);
@@ -167,9 +200,12 @@ Simulator::attachComponent()
         return;
 
     pfm_ = std::make_unique<PfmSystem>(opt_.pfm, *mem_,
-                                       engine_->commitLog());
+                                       source_->commitLog());
 
-    const std::string& wl = opt_.workload;
+    // Dispatch on the *workload's* name, not the option string, so
+    // component=auto resolves identically for "bfs-roads" and a
+    // "trace:<path>" replay of it.
+    const std::string& wl = workload_.name;
     if (opt_.component == "slipstream") {
         if (wl == "astar") {
             attachAstarSlipstream(*pfm_, workload_);
@@ -318,6 +354,13 @@ Simulator::run()
 
     run_until(opt_.warmup_instructions + opt_.max_instructions);
 
+    // Seal the recording (end block + final header + rename into place).
+    // Everything the engine stepped is in the trace, including committed
+    // instructions still in flight in the core — replay terminates on
+    // end-of-stream, so the replayed run retires exactly this stream.
+    if (recorder_)
+        recorder_->finish();
+
     SimResult r;
     r.ipc = core_->ipc();
     r.mpki = core_->mpki();
@@ -365,14 +408,18 @@ Simulator::saveCheckpoint(const std::string& path)
     w.setCompress(ckptCompressEnabled(!opt_.ckpt_store.empty()));
     CkptHeader h;
     h.version = kCkptFormatVersion;
-    h.fingerprint = configFingerprint(opt_, pfm_ != nullptr);
+    // sourceFingerprint() lets an instruction source fold extra identity
+    // into the config fingerprint (a TraceSource contributes its file
+    // id; the functional engine contributes nothing).
+    h.fingerprint = configFingerprint(opt_, pfm_ != nullptr) ^
+                    source_->sourceFingerprint();
     h.workload = opt_.workload;
     h.component = pfm_ ? opt_.component : "none";
     h.retired = core_->retired();
     w.writeHeader(h);
 
     w.beginSection("engine");
-    engine_->saveState(w);
+    source_->saveState(w);
     w.endSection();
     w.beginSection("memory");
     mem_->saveState(w);
@@ -409,7 +456,8 @@ Simulator::loadCheckpoint(const std::string& path)
         pfm_fatal("checkpoint %s component '%s' != --component=%s",
                   path.c_str(), h.component.c_str(), opt_.component.c_str());
     }
-    const std::uint64_t want = configFingerprint(opt_, saved_pfm);
+    const std::uint64_t want = configFingerprint(opt_, saved_pfm) ^
+                               source_->sourceFingerprint();
     if (h.fingerprint != want) {
         pfm_fatal("checkpoint %s config fingerprint %016llx != this "
                   "simulator's %016llx (core/memory/pfm parameters or "
@@ -419,7 +467,7 @@ Simulator::loadCheckpoint(const std::string& path)
     }
 
     r.beginSection("engine");
-    engine_->loadState(r);
+    source_->loadState(r);
     r.endSection();
     r.beginSection("memory");
     mem_->loadState(r);

@@ -1,6 +1,8 @@
 /**
  * @file
- * Top-level simulator: builds the workload, functional engine, memory
+ * Top-level simulator: builds the instruction source (the functional
+ * engine for native workloads, a TraceSource for "trace:<path>"
+ * workloads, optionally teed through a TraceRecorder), the memory
  * hierarchy, core and (optionally) the PFM system + custom component,
  * runs warmup + measurement, and returns the result counters.
  */
@@ -13,9 +15,12 @@
 #include <vector>
 
 #include "core/core.h"
+#include "isa/functional_engine.h"
 #include "sim/trace.h"
 #include "pfm/pfm_system.h"
 #include "sim/options.h"
+#include "trace_fe/trace_source.h"
+#include "trace_fe/trace_writer.h"
 #include "workloads/workload.h"
 
 namespace pfm {
@@ -87,7 +92,9 @@ class Simulator
 
     Core& core() { return *core_; }
     Hierarchy& memory() { return *mem_; }
-    FunctionalEngine& engine() { return *engine_; }
+    /** The instruction source feeding the core (engine, trace, or
+     * recorder — whichever the options selected). */
+    InstSource& source() { return *source_; }
     PfmSystem* pfm() { return pfm_.get(); }
     const Workload& workload() const { return workload_; }
 
@@ -97,7 +104,13 @@ class Simulator
     SimOptions opt_;
     Workload workload_;
     std::unique_ptr<Hierarchy> mem_;
+    // At most one of engine_/trace_ is set; recorder_ optionally wraps
+    // engine_. source_ points at the outermost one and must outlive
+    // core_ (declared before it: members destroy in reverse order).
     std::unique_ptr<FunctionalEngine> engine_;
+    std::unique_ptr<TraceSource> trace_;
+    std::unique_ptr<TraceRecorder> recorder_;
+    InstSource* source_ = nullptr;
     std::unique_ptr<Core> core_;
     std::unique_ptr<PfmSystem> pfm_;
     std::unique_ptr<PipelineTracer> tracer_;

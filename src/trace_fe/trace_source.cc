@@ -1,0 +1,162 @@
+#include "trace_fe/trace_source.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "sim/checkpoint.h"
+
+namespace pfm {
+
+TraceSource::TraceSource(const std::string& path) : path_(path)
+{
+    f_ = std::fopen(path_.c_str(), "rb");
+    if (!f_)
+        pfm_fatal("trace %s: cannot open (missing file or permissions)",
+                  path_.c_str());
+    hdr_ = trace::readHeader(f_, path_);
+    file_id_ = trace::headerId(hdr_);
+
+    // Meta block first: materialize the workload before any records.
+    trace::BlockHeader mh = trace::readBlockHeader(f_, path_);
+    if (mh.kind != trace::kBlockMeta)
+        pfm_fatal("trace %s: first block is not the meta block",
+                  path_.c_str());
+    std::vector<std::uint8_t> meta;
+    trace::readBlockPayload(f_, mh, meta, path_);
+    workload_ = trace::decodeWorkloadMeta(meta, path_);
+    if (workload_.name != hdr_.workload)
+        pfm_fatal("trace %s: header names workload '%s' but meta block "
+                  "encodes '%s'", path_.c_str(), hdr_.workload.c_str(),
+                  workload_.name.c_str());
+    commit_log_ = std::make_unique<CommitLog>(*workload_.mem);
+
+    // Index the instruction blocks by header alone; payloads are CRC
+    // checked when (if) they are decoded.
+    std::uint64_t total = 0;
+    for (;;) {
+        trace::BlockHeader bh = trace::readBlockHeader(f_, path_);
+        if (bh.kind == trace::kBlockEnd) {
+            if (bh.raw_len != 0)
+                pfm_fatal("trace %s: non-empty end block", path_.c_str());
+            break;
+        }
+        if (bh.kind != trace::kBlockInsts)
+            pfm_fatal("trace %s: unexpected meta block mid-stream",
+                      path_.c_str());
+        if (bh.raw_len == 0 || bh.raw_len % trace::kRecordBytes != 0)
+            pfm_fatal("trace %s: instruction block of %llu bytes is not a "
+                      "whole number of records", path_.c_str(),
+                      static_cast<unsigned long long>(bh.raw_len));
+        IndexedBlock ib;
+        ib.bh = bh;
+        ib.payload_off = std::ftell(f_);
+        ib.first_seq = total;
+        ib.count = bh.raw_len / trace::kRecordBytes;
+        total += ib.count;
+        blocks_.push_back(ib);
+        trace::skipBlockPayload(f_, bh, path_);
+    }
+    if (total != hdr_.instret)
+        pfm_fatal("trace %s: header promises %llu records but blocks carry "
+                  "%llu", path_.c_str(),
+                  static_cast<unsigned long long>(hdr_.instret),
+                  static_cast<unsigned long long>(total));
+    if (std::fgetc(f_) != EOF)
+        pfm_fatal("trace %s: trailing bytes after end block",
+                  path_.c_str());
+
+    next_pc_ = workload_.entry;
+    halted_ = (hdr_.instret == 0);
+}
+
+TraceSource::~TraceSource()
+{
+    if (f_)
+        std::fclose(f_);
+}
+
+void
+TraceSource::ensureBlock()
+{
+    if (blk_valid_ && cursor_ >= blocks_[blk_].first_seq &&
+        cursor_ < blocks_[blk_].first_seq + blocks_[blk_].count)
+        return;
+    // Find the block whose [first_seq, first_seq + count) holds cursor_.
+    auto it = std::upper_bound(
+        blocks_.begin(), blocks_.end(), cursor_,
+        [](SeqNum seq, const IndexedBlock& b) { return seq < b.first_seq; });
+    pfm_assert(it != blocks_.begin(), "cursor before first block");
+    --it;
+    pfm_assert(cursor_ < it->first_seq + it->count,
+               "cursor past the last record");
+    if (std::fseek(f_, it->payload_off, SEEK_SET) != 0)
+        pfm_fatal("trace %s: seek failed", path_.c_str());
+    trace::readBlockPayload(f_, it->bh, buf_, path_);
+    blk_ = static_cast<std::size_t>(it - blocks_.begin());
+    blk_valid_ = true;
+}
+
+DynInst
+TraceSource::step()
+{
+    pfm_assert(!halted_, "step() after trace end");
+    ensureBlock();
+
+    const IndexedBlock& b = blocks_[blk_];
+    const std::uint8_t* rec =
+        buf_.data() + (cursor_ - b.first_seq) * trace::kRecordBytes;
+    DynInst d;
+    trace::decodeRecord(rec, d);
+    d.seq = cursor_;
+    if (d.pc != next_pc_)
+        pfm_fatal("trace %s: record %llu at pc 0x%llx breaks the committed "
+                  "stream (expected 0x%llx)", path_.c_str(),
+                  static_cast<unsigned long long>(cursor_),
+                  static_cast<unsigned long long>(d.pc),
+                  static_cast<unsigned long long>(next_pc_));
+    if (!workload_.program.contains(d.pc))
+        pfm_fatal("trace %s: record %llu pc 0x%llx outside the program",
+                  path_.c_str(), static_cast<unsigned long long>(cursor_),
+                  static_cast<unsigned long long>(d.pc));
+    d.inst = &workload_.program.instAt(d.pc);
+
+    // Replay the store exactly as the interpreter would have: log the
+    // pre-store bytes first so committedRead() sees retire-time memory.
+    if (d.inst->isStore()) {
+        commit_log_->recordStore(d.seq, d.mem_addr, d.mem_size);
+        workload_.mem->writeInt(d.mem_addr, d.store_val, d.mem_size);
+    }
+
+    ++cursor_;
+    next_pc_ = d.next_pc;
+    if (d.inst->isHalt() || cursor_ == hdr_.instret)
+        halted_ = true;
+    return d;
+}
+
+void
+TraceSource::saveState(CkptWriter& w) const
+{
+    w.put(cursor_);
+    w.put(next_pc_);
+    w.put(halted_);
+    workload_.mem->saveState(w);
+    commit_log_->saveState(w);
+}
+
+void
+TraceSource::loadState(CkptReader& r)
+{
+    r.get(cursor_);
+    r.get(next_pc_);
+    r.get(halted_);
+    workload_.mem->loadState(r);
+    commit_log_->loadState(r);
+    if (cursor_ > hdr_.instret)
+        pfm_fatal("trace %s: checkpoint cursor %llu past trace end %llu",
+                  path_.c_str(), static_cast<unsigned long long>(cursor_),
+                  static_cast<unsigned long long>(hdr_.instret));
+    blk_valid_ = false; // reposition lazily on the next step()
+}
+
+} // namespace pfm

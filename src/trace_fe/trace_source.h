@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Trace replay: an InstSource that feeds the timing core pre-recorded
+ * committed-instruction records instead of interpreting a program. The
+ * meta block materializes the original Workload (program, annotations,
+ * initial memory image), so component factories and the timing core see
+ * exactly what a native run would — down to the instruction pointers the
+ * core dereferences — while step() merely decodes the next record and
+ * replays its store (keeping SimMemory and the commit log in lockstep
+ * with the committed stream, as custom-component loads require).
+ */
+
+#ifndef PFM_TRACE_FE_TRACE_SOURCE_H
+#define PFM_TRACE_FE_TRACE_SOURCE_H
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/inst_source.h"
+#include "trace_fe/trace_format.h"
+
+namespace pfm {
+
+class TraceSource : public InstSource
+{
+  public:
+    /**
+     * Opens @p path, validates the header, decodes the meta block, and
+     * indexes every instruction block by scanning frame headers (O(#blocks),
+     * no payload reads) — so cursor seeks after a checkpoint restore are
+     * one binary search plus one block decode. Fatal (naming the path) on
+     * any framing, CRC, or accounting violation.
+     */
+    explicit TraceSource(const std::string& path);
+    ~TraceSource() override;
+    TraceSource(const TraceSource&) = delete;
+    TraceSource& operator=(const TraceSource&) = delete;
+
+    /** The workload materialized from the meta block. */
+    const Workload& workload() const { return workload_; }
+    const trace::TraceHeader& header() const { return hdr_; }
+    const std::string& path() const { return path_; }
+
+    bool halted() const override { return halted_; }
+    Addr pc() const override { return next_pc_; }
+    DynInst step() override;
+    SeqNum executed() const override { return cursor_; }
+    const Program& program() const override { return workload_.program; }
+    CommitLog& commitLog() override { return *commit_log_; }
+    SimMemory& memory() override { return *workload_.mem; }
+
+    /** Folds the trace identity into configFingerprint(): a checkpoint
+     * taken against one trace file dies by fingerprint against another. */
+    std::uint64_t sourceFingerprint() const override { return file_id_; }
+
+    /** Checkpoint: cursor, halt flag, next PC, memory + commit log. The
+     * block stream is repositioned lazily on the next step(). */
+    void saveState(CkptWriter& w) const override;
+    void loadState(CkptReader& r) override;
+
+  private:
+    /** One instruction block as found by the open-time header scan. */
+    struct IndexedBlock {
+        trace::BlockHeader bh;
+        long payload_off = 0;      ///< file offset of the stored bytes
+        std::uint64_t first_seq = 0;
+        std::uint64_t count = 0;
+    };
+
+    /** Decode the block containing cursor_ into buf_ (seeking if the
+     * stream is positioned elsewhere). Pre: !halted_. */
+    void ensureBlock();
+
+    std::string path_;
+    std::FILE* f_ = nullptr;
+    trace::TraceHeader hdr_;
+    std::uint64_t file_id_ = 0;
+    Workload workload_;
+    std::unique_ptr<CommitLog> commit_log_;
+
+    std::vector<IndexedBlock> blocks_;
+    std::vector<std::uint8_t> buf_;   ///< decoded records of block blk_
+    std::size_t blk_ = 0;
+    bool blk_valid_ = false;
+
+    SeqNum cursor_ = 0;               ///< seq of the next record to produce
+    Addr next_pc_ = 0;                ///< PC of that record (entry at start)
+    bool halted_ = false;
+};
+
+} // namespace pfm
+
+#endif // PFM_TRACE_FE_TRACE_SOURCE_H

@@ -26,6 +26,24 @@ makeWorkload(const std::string& name)
         cfg.input = BfsInput::kYoutube;
         return makeBfsWorkload(cfg);
     }
+    // Million-node tiers (streaming O(V+E) generation keeps their
+    // construction sub-second): same kernels, roadNet/com-youtube scale.
+    if (name == "bfs-roads-1m") {
+        BfsConfig cfg;
+        cfg.input = BfsInput::kRoads;
+        cfg.road_side = 1000;
+        Workload w = makeBfsWorkload(cfg);
+        w.name = name;
+        return w;
+    }
+    if (name == "bfs-youtube-1m") {
+        BfsConfig cfg;
+        cfg.input = BfsInput::kYoutube;
+        cfg.youtube_nodes = 1'000'000;
+        Workload w = makeBfsWorkload(cfg);
+        w.name = name;
+        return w;
+    }
     if (name == "libquantum")
         return makeLibquantumWorkload();
     if (name == "bwaves")
@@ -42,8 +60,9 @@ makeWorkload(const std::string& name)
 std::vector<std::string>
 workloadNames()
 {
-    return {"astar", "bfs-roads", "bfs-youtube", "libquantum",
-            "bwaves", "lbm", "milc", "leslie"};
+    return {"astar", "bfs-roads", "bfs-youtube", "bfs-roads-1m",
+            "bfs-youtube-1m", "libquantum", "bwaves", "lbm", "milc",
+            "leslie"};
 }
 
 } // namespace pfm

@@ -46,7 +46,7 @@ runAstarWith(const AstarPredictorOptions& opt)
     o.component = "none"; // attach manually below
     Simulator sim(o);
     auto pfm_sys = std::make_unique<PfmSystem>(o.pfm, sim.memory(),
-                                               sim.engine().commitLog());
+                                               sim.source().commitLog());
     AstarPredictor::attach(*pfm_sys, sim.workload(), opt);
     sim.core().setHooks(pfm_sys.get());
     return sim.run();
@@ -108,7 +108,7 @@ TEST(AltOptions, UndersizedTablesAliasAndHurt)
     auto run_alt = [&o](unsigned table_bytes) {
         Simulator sim(o);
         auto pfm_sys = std::make_unique<PfmSystem>(
-            o.pfm, sim.memory(), sim.engine().commitLog());
+            o.pfm, sim.memory(), sim.source().commitLog());
         AstarAltOptions alt;
         alt.table_bytes = table_bytes;
         AstarAltPredictor::attach(*pfm_sys, sim.workload(), alt);

@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "core/core.h"
+#include "isa/functional_engine.h"
 #include "isa/assembler.h"
 
 namespace pfm {

@@ -432,6 +432,66 @@ TEST(Daemon, BadRequestsAreErrorFramesNotDeath)
     ::close(fd);
 }
 
+TEST(Daemon, TraceWorkloadBadRequestsAreErrorFramesNotDeath)
+{
+    TestServer ts("d_trace_bad");
+    // A real file that is not a trace: bad magic must be an err frame.
+    const std::string junk = ::testing::TempDir() + "d_trace_junk.pfmtrace";
+    {
+        std::ofstream os(junk, std::ios::binary | std::ios::trunc);
+        os << "this is not a trace file, not even close";
+    }
+    const std::string bad[] = {
+        "sweep\nworkload=trace:\nleg=",  // empty path
+        "sweep\nworkload=trace:relative/path.pfmtrace\nleg=",
+        "sweep\nworkload=trace:/no/such/trace.pfmtrace\nleg=",
+        "sweep\nworkload=trace:" + junk + "\nleg=",
+    };
+    for (const std::string& req : bad) {
+        SweepReply r;
+        ASSERT_TRUE(runSweep(ts.opt.socket_path, req, r)) << req;
+        EXPECT_EQ(0u, r.err.rfind("err ", 0)) << req << " -> " << r.err;
+        EXPECT_TRUE(r.rows.empty()) << req;
+    }
+    // The daemon survived them all.
+    int fd = tryConnect(ts.opt.socket_path);
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(framing::writeFrame(fd, "ping"));
+    std::string reply;
+    EXPECT_EQ(framing::ReadResult::kOk,
+              framing::readFrame(fd, reply, 10'000));
+    EXPECT_EQ("ok pong", reply);
+    ::close(fd);
+    std::remove(junk.c_str());
+}
+
+TEST(Daemon, TraceWorkloadLegMatchesDirectReplay)
+{
+    // Record a short trace, then have the daemon replay it: the streamed
+    // row must be byte-identical to the direct replay run.
+    const std::string path = ::testing::TempDir() + "d_trace_leg.pfmtrace";
+    {
+        SimOptions rec;
+        rec.workload = "bfs-roads";
+        rec.component = "none";
+        rec.warmup_instructions = 2'500;
+        rec.max_instructions = 2'000;
+        rec.record_trace = path;
+        runSim(rec);
+    }
+    TestServer ts("d_trace_leg");
+    SweepReply r;
+    ASSERT_TRUE(runSweep(ts.opt.socket_path,
+                         "sweep\nworkload=trace:" + path +
+                             "\ncomponent=none\nwarmup=2500\n"
+                             "instructions=2000\nleg=",
+                         r));
+    ASSERT_EQ(1u, r.rows.size()) << r.err << r.done;
+    EXPECT_EQ(directRow("trace:" + path, "none", 2500, 2000, ""),
+              r.rows[0]);
+    std::remove(path.c_str());
+}
+
 TEST(Daemon, CheckpointRefusingComponentIsLegErrorNotDeath)
 {
     // astar's "auto" component configures itself by snooping warmup and

@@ -222,8 +222,8 @@ TEST(Integration, EngineAndTimingAgreeOnRetiredCount)
     // Everything retired was fetched and executed exactly once
     // architecturally: the engine's executed count can exceed retired only
     // by the in-flight window.
-    EXPECT_GE(sim.engine().executed(), sim.core().retired());
-    EXPECT_LE(sim.engine().executed(),
+    EXPECT_GE(sim.source().executed(), sim.core().retired());
+    EXPECT_LE(sim.source().executed(),
               sim.core().retired() + 1024);
 }
 

@@ -11,6 +11,7 @@
 
 #include "branch/btb.h"
 #include "core/core.h"
+#include "isa/functional_engine.h"
 #include "isa/assembler.h"
 #include "sim/simulator.h"
 #include "sim/trace.h"
